@@ -1,0 +1,60 @@
+// Figure 14 reproduction: per-case F-score of every method across the web
+// benchmark, cases sorted by Synthesis F-score (descending) exactly as the
+// paper plots them. Expected shape: Synthesis dominates the left region;
+// Freebase wins a few tail cases where web presence is thin.
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "bench_util.h"
+#include "eval/suite.h"
+
+int main() {
+  using namespace ms;
+  GeneratedWorld world = bench::StandardWebWorld();
+  bench::PrintWorldSummary(world);
+
+  SuiteResult suite = RunMethodSuite(world, {});
+
+  // Sort case indices by Synthesis f (descending).
+  const auto& synthesis = suite.entries.front().evaluation;
+  std::vector<size_t> order(world.cases.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return synthesis.per_case[a].fscore > synthesis.per_case[b].fscore;
+  });
+
+  PrintBanner(std::cout, "Figure 14: per-case f-score (sorted by Synthesis)");
+  std::vector<std::string> header = {"case", "name"};
+  for (const auto& e : suite.entries) header.push_back(e.output.method_name);
+  TextTable table(header);
+  for (size_t rank = 0; rank < order.size(); ++rank) {
+    const size_t ci = order[rank];
+    std::vector<std::string> row = {std::to_string(rank + 1),
+                                    world.cases[ci].name};
+    for (const auto& e : suite.entries) {
+      row.push_back(bench::F(e.evaluation.per_case[ci].fscore, 2));
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(std::cout);
+
+  // Summary: in how many cases does Synthesis win / tie?
+  size_t wins = 0, ties = 0;
+  for (size_t ci = 0; ci < world.cases.size(); ++ci) {
+    double best_other = 0;
+    for (size_t m = 1; m < suite.entries.size(); ++m) {
+      best_other = std::max(best_other,
+                            suite.entries[m].evaluation.per_case[ci].fscore);
+    }
+    const double f = synthesis.per_case[ci].fscore;
+    if (f > best_other + 1e-9) {
+      ++wins;
+    } else if (f > best_other - 1e-9) {
+      ++ties;
+    }
+  }
+  std::cout << "\nSynthesis strictly best on " << wins << "/"
+            << world.cases.size() << " cases, tied on " << ties << "\n";
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Figure 8 reproduction: wall-clock runtime of every method on the same web
+// corpus. Expected shape: KB lookups fastest; single-table / union scans
+// cheap; Synthesis mid-pack (dominated by pair scoring + partitioning);
+// Correlation slowest among the graph methods (iterative pivot rounds).
+#include <iostream>
+
+#include "bench_util.h"
+#include "eval/suite.h"
+
+int main() {
+  using namespace ms;
+  GeneratedWorld world = bench::StandardWebWorld();
+  bench::PrintWorldSummary(world);
+
+  SuiteResult suite = RunMethodSuite(world, {});
+
+  PrintBanner(std::cout, "Figure 8: runtime per method (seconds)");
+  TextTable table({"method", "runtime (s)", "relations produced"});
+  for (const auto& e : suite.entries) {
+    table.AddRow({e.output.method_name,
+                  bench::F(e.output.runtime_seconds, 2),
+                  std::to_string(e.output.relations.size())});
+  }
+  table.Print(std::cout);
+
+  // Step-level breakdown for Synthesis (Section 5.3 discussion: table
+  // synthesis dominates).
+  SynthesisPipeline pipeline{SynthesisOptions{}};
+  SynthesisResult r = pipeline.Run(world.corpus);
+  PrintBanner(std::cout, "Synthesis step breakdown (seconds)");
+  TextTable steps({"step", "seconds"});
+  steps.AddRow({"index build", bench::F(r.stats.index_seconds, 3)});
+  steps.AddRow({"candidate extraction", bench::F(r.stats.extract_seconds, 3)});
+  steps.AddRow({"blocking", bench::F(r.stats.blocking_seconds, 3)});
+  steps.AddRow({"pair scoring", bench::F(r.stats.scoring_seconds, 3)});
+  steps.AddRow({"greedy partitioning", bench::F(r.stats.partition_seconds, 3)});
+  steps.AddRow({"conflict resolution", bench::F(r.stats.resolve_seconds, 3)});
+  steps.AddRow({"total", bench::F(r.stats.total_seconds, 3)});
+  steps.Print(std::cout);
+  return 0;
+}

@@ -1,0 +1,196 @@
+// Google-benchmark micro-benchmarks for the performance-critical kernels:
+// banded vs full edit distance (Algorithm 2's payoff), NPMI lookups,
+// blocking, pair scoring, greedy partitioning, conflict resolution, bloom
+// probes, and mapping-store lookups.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "apps/mapping_store.h"
+#include "common/bloom_filter.h"
+#include "common/random.h"
+#include "stats/npmi.h"
+#include "synth/blocking.h"
+#include "synth/compatibility.h"
+#include "synth/conflict_resolution.h"
+#include "synth/partitioner.h"
+#include "text/edit_distance.h"
+
+namespace ms {
+namespace {
+
+std::string RandomString(Rng& rng, size_t len) {
+  std::string s;
+  for (size_t i = 0; i < len; ++i) {
+    s += static_cast<char>('a' + rng.Uniform(26));
+  }
+  return s;
+}
+
+void BM_EditDistanceFull(benchmark::State& state) {
+  Rng rng(1);
+  const size_t len = static_cast<size_t>(state.range(0));
+  std::string a = RandomString(rng, len), b = RandomString(rng, len);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EditDistanceFull(a, b));
+  }
+}
+BENCHMARK(BM_EditDistanceFull)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_EditDistanceBanded(benchmark::State& state) {
+  Rng rng(1);
+  const size_t len = static_cast<size_t>(state.range(0));
+  std::string a = RandomString(rng, len), b = a;
+  b[len / 2] = '!';  // distance 1, well within the band
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EditDistanceBanded(a, b, 3));
+  }
+}
+BENCHMARK(BM_EditDistanceBanded)->Arg(8)->Arg(32)->Arg(128);
+
+void BM_ApproxMatch(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<std::string> values;
+  for (int i = 0; i < 64; ++i) values.push_back(RandomString(rng, 12));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ApproxMatch(values[i % 64], values[(i + 1) % 64]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ApproxMatch);
+
+struct ScoringWorld {
+  std::shared_ptr<StringPool> pool = std::make_shared<StringPool>();
+  std::vector<BinaryTable> candidates;
+
+  explicit ScoringWorld(size_t n_tables, size_t rows = 16) {
+    Rng rng(3);
+    for (size_t t = 0; t < n_tables; ++t) {
+      std::vector<ValuePair> pairs;
+      for (size_t r = 0; r < rows; ++r) {
+        // ~50 shared keys so blocking has real work.
+        pairs.push_back(
+            {pool->Intern("key" + std::to_string(rng.Uniform(50))),
+             pool->Intern("val" + std::to_string(rng.Uniform(20)))});
+      }
+      BinaryTable b = BinaryTable::FromPairs(std::move(pairs));
+      b.id = static_cast<BinaryTableId>(t);
+      candidates.push_back(std::move(b));
+    }
+  }
+};
+
+void BM_Blocking(benchmark::State& state) {
+  ScoringWorld world(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenerateCandidatePairs(world.candidates, {}));
+  }
+}
+BENCHMARK(BM_Blocking)->Arg(64)->Arg(256);
+
+void BM_PairScoring(benchmark::State& state) {
+  ScoringWorld world(64);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& a = world.candidates[i % 64];
+    const auto& b = world.candidates[(i + 7) % 64];
+    benchmark::DoNotOptimize(ComputeCompatibility(a, b, *world.pool));
+    ++i;
+  }
+}
+BENCHMARK(BM_PairScoring);
+
+void BM_GreedyPartition(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(4);
+  CompatibilityGraph g(n);
+  for (size_t e = 0; e < n * 4; ++e) {
+    uint32_t u = static_cast<uint32_t>(rng.Uniform(n));
+    uint32_t v = static_cast<uint32_t>(rng.Uniform(n));
+    if (u == v) continue;
+    g.AddEdge(u, v, rng.UniformDouble(),
+              rng.Bernoulli(0.2) ? -rng.UniformDouble() : 0.0);
+  }
+  g.Finalize();
+  PartitionerOptions opts;
+  opts.theta_edge = 0.3;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GreedyPartition(g, opts));
+  }
+}
+BENCHMARK(BM_GreedyPartition)->Arg(128)->Arg(1024);
+
+void BM_ConflictResolution(benchmark::State& state) {
+  ScoringWorld world(24, 12);
+  std::vector<const BinaryTable*> ptrs;
+  for (const auto& c : world.candidates) ptrs.push_back(&c);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ResolveConflicts(ptrs));
+  }
+}
+BENCHMARK(BM_ConflictResolution);
+
+void BM_BloomProbe(benchmark::State& state) {
+  BloomFilter bf(10000, 0.01);
+  Rng rng(5);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 10000; ++i) {
+    keys.push_back("entry" + std::to_string(i));
+    bf.Add(keys.back());
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf.MayContain(keys[i % keys.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_BloomProbe);
+
+void BM_MappingStoreLookup(benchmark::State& state) {
+  auto pool = std::make_shared<StringPool>();
+  MappingStore store(pool);
+  std::vector<ValuePair> pairs;
+  for (int i = 0; i < 5000; ++i) {
+    pairs.push_back({pool->Intern("left" + std::to_string(i)),
+                     pool->Intern("right" + std::to_string(i))});
+  }
+  SynthesizedMapping m;
+  m.merged = BinaryTable::FromPairs(std::move(pairs));
+  store.Add(std::move(m), "bench");
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        store.LookupRight(0, "left" + std::to_string(i % 5000)));
+    ++i;
+  }
+}
+BENCHMARK(BM_MappingStoreLookup);
+
+void BM_Npmi(benchmark::State& state) {
+  TableCorpus corpus;
+  Rng rng(6);
+  for (int t = 0; t < 200; ++t) {
+    std::vector<std::string> col;
+    for (int r = 0; r < 10; ++r) {
+      col.push_back("w" + std::to_string(rng.Uniform(100)));
+    }
+    corpus.AddFromStrings("d", TableSource::kWeb, {"c"}, {col});
+  }
+  ColumnInvertedIndex index;
+  index.Build(corpus);
+  size_t i = 0;
+  for (auto _ : state) {
+    ValueId u = corpus.pool().Find("w" + std::to_string(i % 100));
+    ValueId v = corpus.pool().Find("w" + std::to_string((i + 13) % 100));
+    benchmark::DoNotOptimize(Npmi(index, u, v));
+    ++i;
+  }
+}
+BENCHMARK(BM_Npmi);
+
+}  // namespace
+}  // namespace ms
+
+BENCHMARK_MAIN();

@@ -1,0 +1,50 @@
+#include "apps/auto_correct.h"
+
+namespace ms {
+
+AutoCorrectResult SuggestCorrections(const MappingStore& store,
+                                     const std::vector<std::string>& column,
+                                     const AutoCorrectOptions& options) {
+  AutoCorrectResult result;
+  if (column.empty()) return result;
+
+  auto matches = store.FindByContainment(column, /*min_hits=*/2);
+  for (const auto& m : matches) {
+    const size_t covered = m.total();
+    if (static_cast<double>(covered) <
+        options.min_coverage * static_cast<double>(column.size())) {
+      continue;
+    }
+    // Count per-row sides.
+    std::vector<ValueSide> sides(column.size());
+    size_t lefts = 0, rights = 0;
+    for (size_t r = 0; r < column.size(); ++r) {
+      sides[r] = store.Probe(m.index, column[r]);
+      if (sides[r] == ValueSide::kLeft) ++lefts;
+      if (sides[r] == ValueSide::kRight) ++rights;
+    }
+    if (lefts == 0 || rights == 0) {
+      // Column is consistent w.r.t. this mapping; nothing to correct.
+      continue;
+    }
+    const bool left_majority = lefts >= rights;
+    const size_t minority = left_majority ? rights : lefts;
+    if (minority < options.min_minority) continue;
+
+    result.mapping_index = static_cast<int>(m.index);
+    result.inconsistency_detected = true;
+    for (size_t r = 0; r < column.size(); ++r) {
+      if (left_majority && sides[r] == ValueSide::kRight) {
+        auto fix = store.LookupLeft(m.index, column[r]);
+        if (fix) result.suggestions.push_back({r, column[r], *fix});
+      } else if (!left_majority && sides[r] == ValueSide::kLeft) {
+        auto fix = store.LookupRight(m.index, column[r]);
+        if (fix) result.suggestions.push_back({r, column[r], *fix});
+      }
+    }
+    return result;
+  }
+  return result;
+}
+
+}  // namespace ms

@@ -1,0 +1,40 @@
+// Auto-correction (paper Table 3): detect a user column whose values mix the
+// two sides of a known mapping (full state names and abbreviations in one
+// column) and suggest rewriting the minority side to the majority side.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/mapping_store.h"
+
+namespace ms {
+
+struct CorrectionSuggestion {
+  size_t row = 0;
+  std::string original;
+  std::string suggestion;
+};
+
+struct AutoCorrectResult {
+  /// Mapping used, or -1 when no mapping explains the column.
+  int mapping_index = -1;
+  /// True when the column mixes both sides of the mapping.
+  bool inconsistency_detected = false;
+  std::vector<CorrectionSuggestion> suggestions;
+};
+
+struct AutoCorrectOptions {
+  /// Minimum fraction of column values the mapping must cover.
+  double min_coverage = 0.6;
+  /// Minimum number of minority-side values to call it an inconsistency.
+  size_t min_minority = 1;
+};
+
+/// Scans the store for a mapping explaining `column` and proposes
+/// corrections for minority-representation values.
+AutoCorrectResult SuggestCorrections(const MappingStore& store,
+                                     const std::vector<std::string>& column,
+                                     const AutoCorrectOptions& options = {});
+
+}  // namespace ms

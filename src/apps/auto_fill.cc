@@ -1,0 +1,53 @@
+#include "apps/auto_fill.h"
+
+#include "text/normalize.h"
+
+namespace ms {
+
+AutoFillResult AutoFill(
+    const MappingStore& store, const std::vector<std::string>& keys,
+    const std::vector<std::pair<size_t, std::string>>& examples,
+    const AutoFillOptions& options) {
+  AutoFillResult result;
+  if (keys.empty() || examples.size() < options.min_examples) return result;
+
+  auto matches = store.FindByContainment(keys, /*min_hits=*/2);
+  for (const auto& m : matches) {
+    // The mapping must reproduce every example (left -> right).
+    bool consistent = true;
+    for (const auto& [row, expected] : examples) {
+      if (row >= keys.size()) {
+        consistent = false;
+        break;
+      }
+      auto got = store.LookupRight(m.index, keys[row]);
+      if (!got || *got != NormalizeCell(expected)) {
+        consistent = false;
+        break;
+      }
+    }
+    if (!consistent) continue;
+
+    result.mapping_index = static_cast<int>(m.index);
+    result.values.assign(keys.size(), "");
+    result.filled.assign(keys.size(), false);
+    std::vector<bool> is_example(keys.size(), false);
+    for (const auto& [row, expected] : examples) {
+      result.values[row] = expected;
+      is_example[row] = true;
+    }
+    for (size_t r = 0; r < keys.size(); ++r) {
+      if (is_example[r]) continue;
+      auto got = store.LookupRight(m.index, keys[r]);
+      if (got) {
+        result.values[r] = *got;
+        result.filled[r] = true;
+        ++result.num_filled;
+      }
+    }
+    return result;
+  }
+  return result;
+}
+
+}  // namespace ms

@@ -1,0 +1,34 @@
+// Auto-fill (paper Table 4): given a key column and a few example values the
+// user typed, discover the intended mapping by matching the example pairs
+// against the store and populate the remaining rows.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "apps/mapping_store.h"
+
+namespace ms {
+
+struct AutoFillResult {
+  int mapping_index = -1;
+  /// Per-row output; empty string when the mapping has no entry for a key.
+  std::vector<std::string> values;
+  /// True for rows the system filled (false = user-provided example).
+  std::vector<bool> filled;
+  size_t num_filled = 0;
+};
+
+struct AutoFillOptions {
+  /// All user examples must be consistent with the chosen mapping.
+  size_t min_examples = 1;
+};
+
+/// `examples` are (row index, expected value) pairs inside `keys`.
+AutoFillResult AutoFill(
+    const MappingStore& store, const std::vector<std::string>& keys,
+    const std::vector<std::pair<size_t, std::string>>& examples,
+    const AutoFillOptions& options = {});
+
+}  // namespace ms

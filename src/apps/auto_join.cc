@@ -1,0 +1,64 @@
+#include "apps/auto_join.h"
+
+#include <unordered_map>
+
+#include "text/normalize.h"
+
+namespace ms {
+namespace {
+
+/// Joins left_keys -> mapping -> right_keys assuming left keys live on
+/// `use_left_side` of the mapping. Returns the joined pairs.
+std::vector<JoinedRowPair> TryJoin(const MappingStore& store, size_t mi,
+                                   bool use_left_side,
+                                   const std::vector<std::string>& left_keys,
+                                   const std::vector<std::string>& right_keys) {
+  // Index right table keys by normalized value.
+  std::unordered_map<std::string, std::vector<size_t>> right_index;
+  for (size_t r = 0; r < right_keys.size(); ++r) {
+    right_index[NormalizeCell(right_keys[r])].push_back(r);
+  }
+  std::vector<JoinedRowPair> out;
+  for (size_t l = 0; l < left_keys.size(); ++l) {
+    auto bridged = use_left_side ? store.LookupRight(mi, left_keys[l])
+                                 : store.LookupLeft(mi, left_keys[l]);
+    if (!bridged) continue;
+    auto it = right_index.find(*bridged);
+    if (it == right_index.end()) continue;
+    for (size_t r : it->second) out.push_back({l, r});
+  }
+  return out;
+}
+
+}  // namespace
+
+AutoJoinResult AutoJoin(const MappingStore& store,
+                        const std::vector<std::string>& left_keys,
+                        const std::vector<std::string>& right_keys,
+                        const AutoJoinOptions& options) {
+  AutoJoinResult result;
+  if (left_keys.empty() || right_keys.empty()) return result;
+
+  // Candidate mappings must contain values from both key columns.
+  std::vector<std::string> all_keys = left_keys;
+  all_keys.insert(all_keys.end(), right_keys.begin(), right_keys.end());
+  auto matches = store.FindByContainment(all_keys, /*min_hits=*/2);
+
+  const size_t smaller = std::min(left_keys.size(), right_keys.size());
+  for (const auto& m : matches) {
+    auto forward = TryJoin(store, m.index, true, left_keys, right_keys);
+    auto backward = TryJoin(store, m.index, false, left_keys, right_keys);
+    const bool use_forward = forward.size() >= backward.size();
+    auto& best = use_forward ? forward : backward;
+    if (static_cast<double>(best.size()) >=
+        options.min_join_rate * static_cast<double>(smaller)) {
+      result.mapping_index = static_cast<int>(m.index);
+      result.left_keys_are_left_side = use_forward;
+      result.pairs = std::move(best);
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace ms

@@ -1,0 +1,37 @@
+// Auto-join (paper Table 5): join two tables whose key columns use
+// different representations (stock tickers vs company names) through a
+// mapping table acting as the bridge of a three-way join — no user-provided
+// correspondence needed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "apps/mapping_store.h"
+
+namespace ms {
+
+struct JoinedRowPair {
+  size_t left_row = 0;
+  size_t right_row = 0;
+};
+
+struct AutoJoinResult {
+  int mapping_index = -1;
+  /// True when left keys matched the mapping's left side (false: reversed).
+  bool left_keys_are_left_side = true;
+  std::vector<JoinedRowPair> pairs;
+};
+
+struct AutoJoinOptions {
+  /// Minimum fraction of the smaller key set that must join.
+  double min_join_rate = 0.3;
+};
+
+/// Finds the bridging mapping and the joined row pairs between key columns.
+AutoJoinResult AutoJoin(const MappingStore& store,
+                        const std::vector<std::string>& left_keys,
+                        const std::vector<std::string>& right_keys,
+                        const AutoJoinOptions& options = {});
+
+}  // namespace ms

@@ -1,0 +1,82 @@
+#include "apps/mapping_store.h"
+
+#include <algorithm>
+
+namespace ms {
+
+MappingStore::MappingStore(std::shared_ptr<StringPool> pool,
+                           NormalizeOptions normalize)
+    : pool_(std::move(pool)), normalize_(normalize) {}
+
+size_t MappingStore::Add(SynthesizedMapping mapping, std::string name) {
+  const size_t n = std::max<size_t>(mapping.size(), 1);
+  Entry e{std::move(name), std::move(mapping), BloomFilter(n),
+          BloomFilter(n), {}, {}};
+  for (const auto& p : e.mapping.merged.pairs()) {
+    std::string left(pool_->Get(p.left));
+    std::string right(pool_->Get(p.right));
+    e.left_bloom.Add(left);
+    e.right_bloom.Add(right);
+    e.left_to_right.emplace(left, right);
+    e.right_to_left.emplace(std::move(right), std::move(left));
+  }
+  entries_.push_back(std::move(e));
+  return entries_.size() - 1;
+}
+
+ValueSide MappingStore::Probe(size_t i, const std::string& raw_value) const {
+  const Entry& e = entries_[i];
+  const std::string v = Norm(raw_value);
+  bool left = e.left_bloom.MayContain(v) && e.left_to_right.count(v) > 0;
+  bool right = e.right_bloom.MayContain(v) && e.right_to_left.count(v) > 0;
+  if (left && right) return ValueSide::kBoth;
+  if (left) return ValueSide::kLeft;
+  if (right) return ValueSide::kRight;
+  return ValueSide::kNone;
+}
+
+std::vector<MappingStore::ContainmentMatch> MappingStore::FindByContainment(
+    const std::vector<std::string>& values, size_t min_hits) const {
+  std::vector<std::string> normed;
+  normed.reserve(values.size());
+  for (const auto& v : values) normed.push_back(Norm(v));
+
+  std::vector<ContainmentMatch> out;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    ContainmentMatch m;
+    m.index = i;
+    for (const auto& v : normed) {
+      if (e.left_bloom.MayContain(v) && e.left_to_right.count(v)) {
+        ++m.left_hits;
+      }
+      if (e.right_bloom.MayContain(v) && e.right_to_left.count(v)) {
+        ++m.right_hits;
+      }
+    }
+    if (m.total() >= min_hits) out.push_back(m);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ContainmentMatch& a, const ContainmentMatch& b) {
+              return a.total() > b.total();
+            });
+  return out;
+}
+
+std::optional<std::string> MappingStore::LookupRight(
+    size_t i, const std::string& raw_left) const {
+  const Entry& e = entries_[i];
+  auto it = e.left_to_right.find(Norm(raw_left));
+  if (it == e.left_to_right.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<std::string> MappingStore::LookupLeft(
+    size_t i, const std::string& raw_right) const {
+  const Entry& e = entries_[i];
+  auto it = e.right_to_left.find(Norm(raw_right));
+  if (it == e.right_to_left.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace ms

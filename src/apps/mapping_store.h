@@ -1,0 +1,84 @@
+// Curated mapping store: the materialized, indexed form of synthesized
+// mappings that applications consume (paper introduction: "one could index
+// synthesized mapping tables using hash-based techniques (e.g., bloom
+// filters) for efficient lookup based on value containment. Such logic is
+// both simple to implement and easy to scale.").
+//
+// All lookups normalize their inputs with the same rules the synthesis
+// pipeline used, so raw user values ("CA ", "California[1]") hit.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bloom_filter.h"
+#include "synth/mapping.h"
+#include "table/string_pool.h"
+#include "text/normalize.h"
+
+namespace ms {
+
+/// One mapping direction resolved for a probe value.
+enum class ValueSide { kNone = 0, kLeft, kRight, kBoth };
+
+class MappingStore {
+ public:
+  explicit MappingStore(std::shared_ptr<StringPool> pool,
+                        NormalizeOptions normalize = {});
+
+  /// Registers a curated mapping under a human-readable name. Returns its
+  /// index.
+  size_t Add(SynthesizedMapping mapping, std::string name);
+
+  size_t size() const { return entries_.size(); }
+  const SynthesizedMapping& mapping(size_t i) const {
+    return entries_[i].mapping;
+  }
+  const std::string& name(size_t i) const { return entries_[i].name; }
+
+  /// Which side(s) of mapping `i` contain the (raw) value.
+  ValueSide Probe(size_t i, const std::string& raw_value) const;
+
+  /// Containment search: mappings ranked by how many of `values` they
+  /// contain on either side. Bloom filters screen out non-candidates before
+  /// exact hash probes. Only mappings with >= min_hits matches return.
+  struct ContainmentMatch {
+    size_t index = 0;
+    size_t left_hits = 0;
+    size_t right_hits = 0;
+    size_t total() const { return left_hits + right_hits; }
+  };
+  std::vector<ContainmentMatch> FindByContainment(
+      const std::vector<std::string>& values, size_t min_hits = 2) const;
+
+  /// Functional lookup left -> right within mapping `i` (normalized).
+  std::optional<std::string> LookupRight(size_t i,
+                                         const std::string& raw_left) const;
+
+  /// Reverse lookup right -> canonical left (the first left mention seen).
+  std::optional<std::string> LookupLeft(size_t i,
+                                        const std::string& raw_right) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    SynthesizedMapping mapping;
+    BloomFilter left_bloom;
+    BloomFilter right_bloom;
+    std::unordered_map<std::string, std::string> left_to_right;
+    std::unordered_map<std::string, std::string> right_to_left;
+  };
+
+  std::string Norm(const std::string& raw) const {
+    return NormalizeCell(raw, normalize_);
+  }
+
+  std::shared_ptr<StringPool> pool_;
+  NormalizeOptions normalize_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace ms

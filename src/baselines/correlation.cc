@@ -1,0 +1,111 @@
+#include "baselines/correlation.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace ms {
+
+CorrelationResult ParallelPivotClustering(const CompatibilityGraph& graph,
+                                          const CorrelationOptions& options) {
+  const size_t n = graph.num_vertices();
+  CorrelationResult result;
+  result.cluster_of.assign(n, UINT32_MAX);
+
+  // Positive adjacency under the sign rule.
+  std::vector<std::vector<uint32_t>> pos_adj(n);
+  for (const auto& e : graph.edges()) {
+    if (e.w_pos >= options.positive_threshold && e.w_neg >= options.tau) {
+      pos_adj[e.u].push_back(e.v);
+      pos_adj[e.v].push_back(e.u);
+    }
+  }
+
+  Rng rng(options.seed);
+  std::vector<uint32_t> rank(n);
+  std::vector<bool> active(n, true);
+  size_t remaining = n;
+  uint32_t next_cluster = 0;
+
+  while (remaining > 0 && result.rounds < options.max_rounds) {
+    ++result.rounds;
+    // Fresh random permutation rank each round (CDK14).
+    std::vector<uint32_t> perm(n);
+    std::iota(perm.begin(), perm.end(), 0u);
+    rng.Shuffle(perm);
+    for (uint32_t i = 0; i < n; ++i) rank[perm[i]] = i;
+
+    // Pivots: active vertices that precede all active positive neighbors.
+    std::vector<uint32_t> pivots;
+    for (uint32_t v = 0; v < n; ++v) {
+      if (!active[v]) continue;
+      bool is_pivot = true;
+      for (uint32_t u : pos_adj[v]) {
+        if (active[u] && rank[u] < rank[v]) {
+          is_pivot = false;
+          break;
+        }
+      }
+      if (is_pivot) pivots.push_back(v);
+    }
+
+    // Each pivot claims itself + its active positive neighbors. A vertex
+    // adjacent to several pivots goes to the lowest-rank one.
+    std::vector<uint32_t> claimed_by(n, UINT32_MAX);
+    for (uint32_t p : pivots) claimed_by[p] = p;
+    for (uint32_t p : pivots) {
+      for (uint32_t u : pos_adj[p]) {
+        if (!active[u]) continue;
+        if (claimed_by[u] == UINT32_MAX ||
+            (claimed_by[u] != u && rank[p] < rank[claimed_by[u]])) {
+          claimed_by[u] = p;
+        }
+      }
+    }
+    for (uint32_t p : pivots) {
+      result.cluster_of[p] = next_cluster;
+      for (uint32_t u : pos_adj[p]) {
+        if (active[u] && claimed_by[u] == p) {
+          result.cluster_of[u] = next_cluster;
+        }
+      }
+      ++next_cluster;
+    }
+    for (uint32_t v = 0; v < n; ++v) {
+      if (active[v] && result.cluster_of[v] != UINT32_MAX) {
+        active[v] = false;
+        --remaining;
+      }
+    }
+  }
+  // Anything left after the round budget becomes singletons (timeout
+  // semantics of the paper's 20h cap).
+  for (uint32_t v = 0; v < n; ++v) {
+    if (result.cluster_of[v] == UINT32_MAX) {
+      result.cluster_of[v] = next_cluster++;
+    }
+  }
+  result.num_clusters = next_cluster;
+  return result;
+}
+
+std::vector<BinaryTable> CorrelationRelations(
+    const CompatibilityGraph& graph,
+    const std::vector<BinaryTable>& candidates,
+    const CorrelationOptions& options) {
+  CorrelationResult r = ParallelPivotClustering(graph, options);
+  std::vector<std::vector<ValuePair>> pair_sets(r.num_clusters);
+  for (uint32_t v = 0; v < candidates.size(); ++v) {
+    auto& dst = pair_sets[r.cluster_of[v]];
+    dst.insert(dst.end(), candidates[v].pairs().begin(),
+               candidates[v].pairs().end());
+  }
+  std::vector<BinaryTable> out;
+  out.reserve(pair_sets.size());
+  for (auto& pairs : pair_sets) {
+    if (pairs.empty()) continue;
+    out.push_back(BinaryTable::FromPairs(std::move(pairs)));
+  }
+  return out;
+}
+
+}  // namespace ms

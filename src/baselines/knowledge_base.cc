@@ -1,0 +1,44 @@
+#include "baselines/knowledge_base.h"
+
+namespace ms {
+
+std::vector<BinaryTable> KnowledgeBaseRelations(
+    const std::vector<RelationshipSpec>& specs, KbKind kind, StringPool* pool,
+    const KnowledgeBaseOptions& options) {
+  Rng rng(options.seed ^ (kind == KbKind::kFreebase ? 0xf0ee : 0x9a60));
+  std::vector<BinaryTable> out;
+  for (const auto& spec : specs) {
+    const bool covered =
+        kind == KbKind::kFreebase ? spec.in_freebase : spec.in_yago;
+    if (!covered) continue;
+    std::vector<ValuePair> pairs;
+    for (const auto& e : spec.entities) {
+      if (!rng.Bernoulli(options.entity_coverage)) continue;
+      // Canonical form only — KBs typically carry no synonyms (Section 6).
+      std::string left = NormalizeCell(e.left_forms[0], options.normalize);
+      std::string right = NormalizeCell(e.right, options.normalize);
+      if (left.empty() || right.empty() || left == right) continue;
+      pairs.push_back({pool->Intern(left), pool->Intern(right)});
+    }
+    if (pairs.empty()) continue;
+    BinaryTable rel = BinaryTable::FromPairs(std::move(pairs));
+    rel.left_name = spec.left_header;
+    rel.right_name = spec.right_header;
+    rel.domain = kind == KbKind::kFreebase ? "freebase.com" : "yago.mpg.de";
+    out.push_back(std::move(rel));
+    // The subject->object direction; KB processing in the paper also forms
+    // object->subject candidates. Add the reverse when it is functional.
+    std::vector<ValuePair> rev;
+    for (const auto& p : out.back().pairs()) rev.push_back({p.right, p.left});
+    BinaryTable reversed = BinaryTable::FromPairs(std::move(rev));
+    if (reversed.IsApproximateMapping(0.95)) {
+      reversed.left_name = spec.right_header;
+      reversed.right_name = spec.left_header;
+      reversed.domain = out.back().domain;
+      out.push_back(std::move(reversed));
+    }
+  }
+  return out;
+}
+
+}  // namespace ms

@@ -1,0 +1,35 @@
+// Knowledge-base surrogates for the Freebase [7] and YAGO [34] baselines.
+// Real KBs have three signatures the paper leans on (Section 6):
+//   1. high precision (heavily curated),
+//   2. one canonical mention per entity (no Table 6 synonyms),
+//   3. many mapping relationships simply missing.
+// The surrogate reproduces all three: it materializes, for each relation a
+// KB covers, the canonical-form pairs only, with partial entity coverage.
+#pragma once
+
+#include <vector>
+
+#include "common/random.h"
+#include "corpusgen/domain.h"
+#include "table/binary_table.h"
+#include "table/string_pool.h"
+#include "text/normalize.h"
+
+namespace ms {
+
+struct KnowledgeBaseOptions {
+  /// Fraction of a covered relation's entities present in the KB.
+  double entity_coverage = 0.9;
+  uint64_t seed = 99;
+  NormalizeOptions normalize;
+};
+
+enum class KbKind { kFreebase, kYago };
+
+/// Builds the KB's relations (normalized pairs interned into `pool`) from
+/// the ground-truth specs. Relations the KB does not cover are absent.
+std::vector<BinaryTable> KnowledgeBaseRelations(
+    const std::vector<RelationshipSpec>& specs, KbKind kind, StringPool* pool,
+    const KnowledgeBaseOptions& options = {});
+
+}  // namespace ms

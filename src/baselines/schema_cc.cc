@@ -1,0 +1,47 @@
+#include "baselines/schema_cc.h"
+
+#include "graph/union_find.h"
+
+namespace ms {
+
+std::vector<BinaryTable> SchemaCcRelations(
+    const CompatibilityGraph& graph,
+    const std::vector<BinaryTable>& candidates,
+    const SchemaCcOptions& options) {
+  UnionFind uf(candidates.size());
+  for (const auto& e : graph.edges()) {
+    const double score = options.use_negative_signals ? e.w_pos + e.w_neg
+                                                      : e.w_pos;
+    if (score >= options.threshold) uf.Union(e.u, e.v);
+  }
+  std::vector<BinaryTable> out;
+  for (auto& comp : uf.Components()) {
+    std::vector<ValuePair> pairs;
+    for (uint32_t v : comp) {
+      pairs.insert(pairs.end(), candidates[v].pairs().begin(),
+                   candidates[v].pairs().end());
+    }
+    BinaryTable merged = BinaryTable::FromPairs(std::move(pairs));
+    merged.left_name = candidates[comp[0]].left_name;
+    merged.right_name = candidates[comp[0]].right_name;
+    out.push_back(std::move(merged));
+  }
+  return out;
+}
+
+std::vector<std::vector<BinaryTable>> SchemaCcThresholdSweep(
+    const CompatibilityGraph& graph,
+    const std::vector<BinaryTable>& candidates,
+    const std::vector<double>& thresholds, bool use_negative_signals) {
+  std::vector<std::vector<BinaryTable>> out;
+  out.reserve(thresholds.size());
+  for (double t : thresholds) {
+    SchemaCcOptions o;
+    o.threshold = t;
+    o.use_negative_signals = use_negative_signals;
+    out.push_back(SchemaCcRelations(graph, candidates, o));
+  }
+  return out;
+}
+
+}  // namespace ms

@@ -1,0 +1,36 @@
+// Schema-matching-style baselines (Section 5.1): pair-wise match decisions
+// on the *same* positive/negative scores as Synthesis, aggregated to groups
+// by transitivity (connected components) — the paper's SchemaCC and
+// SchemaPosCC. A pair "matches" when its combined score clears a threshold;
+// components of the match graph become output relations by pair-set union.
+#pragma once
+
+#include <vector>
+
+#include "graph/weighted_graph.h"
+#include "table/binary_table.h"
+
+namespace ms {
+
+struct SchemaCcOptions {
+  /// Match iff w+ + w- >= threshold (SchemaCC) or w+ >= threshold
+  /// (SchemaPosCC when use_negative_signals = false).
+  double threshold = 0.5;
+  bool use_negative_signals = true;
+};
+
+/// Runs connected-component aggregation; returns one unioned relation per
+/// component (singletons included).
+std::vector<BinaryTable> SchemaCcRelations(
+    const CompatibilityGraph& graph,
+    const std::vector<BinaryTable>& candidates,
+    const SchemaCcOptions& options = {});
+
+/// Paper protocol: tries each threshold and returns the per-threshold
+/// outputs so the evaluator can report the best.
+std::vector<std::vector<BinaryTable>> SchemaCcThresholdSweep(
+    const CompatibilityGraph& graph,
+    const std::vector<BinaryTable>& candidates,
+    const std::vector<double>& thresholds, bool use_negative_signals);
+
+}  // namespace ms

@@ -1,0 +1,15 @@
+#include "baselines/single_table.h"
+
+namespace ms {
+
+std::vector<BinaryTable> SingleTableRelations(
+    const std::vector<BinaryTable>& candidates,
+    std::optional<TableSource> source) {
+  std::vector<BinaryTable> out;
+  for (const auto& c : candidates) {
+    if (!source || c.source == *source) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace ms

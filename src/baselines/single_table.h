@@ -1,0 +1,20 @@
+// Single-table baselines (no synthesis): WikiTable / WebTable / EntTable
+// score each benchmark case by the *best individual* candidate table from
+// the given source. The paper stresses this is an upper bound, not a
+// realistic method — a human cannot inspect millions of raw tables.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "table/binary_table.h"
+#include "table/table.h"
+
+namespace ms {
+
+/// Candidates restricted to a source kind (std::nullopt = all sources).
+std::vector<BinaryTable> SingleTableRelations(
+    const std::vector<BinaryTable>& candidates,
+    std::optional<TableSource> source);
+
+}  // namespace ms

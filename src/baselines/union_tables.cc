@@ -1,0 +1,48 @@
+#include "baselines/union_tables.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace ms {
+namespace {
+
+std::vector<BinaryTable> UnionByKey(
+    const std::vector<BinaryTable>& candidates, bool include_domain) {
+  std::unordered_map<std::string, std::vector<ValuePair>> groups;
+  std::unordered_map<std::string, const BinaryTable*> representative;
+  for (const auto& c : candidates) {
+    // Case-insensitive header key, mirroring [30]'s name matching.
+    std::string key = ToLower(c.left_name) + "\x1f" + ToLower(c.right_name);
+    if (include_domain) key += "\x1f" + c.domain;
+    auto& pairs = groups[key];
+    pairs.insert(pairs.end(), c.pairs().begin(), c.pairs().end());
+    representative.emplace(key, &c);
+  }
+  std::vector<BinaryTable> out;
+  out.reserve(groups.size());
+  for (auto& [key, pairs] : groups) {
+    BinaryTable merged = BinaryTable::FromPairs(std::move(pairs));
+    const BinaryTable* rep = representative[key];
+    merged.left_name = rep->left_name;
+    merged.right_name = rep->right_name;
+    merged.domain = include_domain ? rep->domain : "";
+    out.push_back(std::move(merged));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<BinaryTable> UnionDomainRelations(
+    const std::vector<BinaryTable>& candidates) {
+  return UnionByKey(candidates, /*include_domain=*/true);
+}
+
+std::vector<BinaryTable> UnionWebRelations(
+    const std::vector<BinaryTable>& candidates) {
+  return UnionByKey(candidates, /*include_domain=*/false);
+}
+
+}  // namespace ms

@@ -1,0 +1,23 @@
+// Union-table baselines after Ling & Halevy [30] (Section 5.1):
+//  - UnionDomain: union candidate tables that share identical column names
+//    *within the same web domain* (the original technique's setting).
+//  - UnionWeb: the relaxation that unions on column names across the whole
+//    corpus — better recall, but generic headers ("name", "code") make it
+//    over-group across unrelated relations.
+#pragma once
+
+#include <vector>
+
+#include "table/binary_table.h"
+
+namespace ms {
+
+/// Groups by (left header, right header, domain) and unions pair sets.
+std::vector<BinaryTable> UnionDomainRelations(
+    const std::vector<BinaryTable>& candidates);
+
+/// Groups by (left header, right header) across all domains.
+std::vector<BinaryTable> UnionWebRelations(
+    const std::vector<BinaryTable>& candidates);
+
+}  // namespace ms

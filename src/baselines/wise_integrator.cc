@@ -1,0 +1,132 @@
+#include "baselines/wise_integrator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace ms {
+
+ValueTypeProfile ProfileRightColumn(const BinaryTable& table,
+                                    const StringPool& pool) {
+  ValueTypeProfile p;
+  if (table.empty()) return p;
+  size_t chars = 0, digits = 0, uppers = 0, spaces = 0;
+  for (const auto& vp : table.pairs()) {
+    std::string_view s = pool.Get(vp.right);
+    chars += s.size();
+    for (char c : s) {
+      if (std::isdigit(static_cast<unsigned char>(c))) ++digits;
+      if (std::isupper(static_cast<unsigned char>(c))) ++uppers;
+      if (c == ' ') ++spaces;
+    }
+  }
+  const double n = static_cast<double>(table.size());
+  p.avg_length = static_cast<double>(chars) / n;
+  if (chars > 0) {
+    p.digit_fraction = static_cast<double>(digits) / chars;
+    p.upper_fraction = static_cast<double>(uppers) / chars;
+    p.space_fraction = static_cast<double>(spaces) / chars;
+  }
+  return p;
+}
+
+double HeaderSimilarity(const std::string& a, const std::string& b) {
+  std::string la = ToLower(a), lb = ToLower(b);
+  if (la == lb && !la.empty()) return 1.0;
+  std::set<std::string> ta, tb;
+  for (auto& t : Split(la, ' ')) {
+    if (!t.empty()) ta.insert(t);
+  }
+  for (auto& t : Split(lb, ' ')) {
+    if (!t.empty()) tb.insert(t);
+  }
+  if (ta.empty() || tb.empty()) return 0.0;
+  size_t inter = 0;
+  for (const auto& t : ta) inter += tb.count(t);
+  return static_cast<double>(inter) /
+         static_cast<double>(ta.size() + tb.size() - inter);
+}
+
+double ProfileSimilarity(const ValueTypeProfile& a,
+                         const ValueTypeProfile& b) {
+  const double len_sim =
+      1.0 - std::min(1.0, std::abs(a.avg_length - b.avg_length) /
+                              std::max({a.avg_length, b.avg_length, 1.0}));
+  const double digit_sim = 1.0 - std::abs(a.digit_fraction - b.digit_fraction);
+  const double upper_sim = 1.0 - std::abs(a.upper_fraction - b.upper_fraction);
+  const double space_sim = 1.0 - std::abs(a.space_fraction - b.space_fraction);
+  return (len_sim + digit_sim + upper_sim + space_sim) / 4.0;
+}
+
+std::vector<BinaryTable> WiseIntegratorRelations(
+    const std::vector<BinaryTable>& candidates, const StringPool& pool,
+    const WiseIntegratorOptions& options) {
+  struct Cluster {
+    // Representative evidence: headers of the first member.
+    std::string left_header;
+    std::string right_header;
+    ValueTypeProfile profile;
+    std::vector<ValuePair> pairs;
+    size_t members = 0;
+  };
+  const double hw =
+      options.header_weight / (options.header_weight +
+                               options.value_type_weight);
+  const double vw = 1.0 - hw;
+
+  std::vector<Cluster> clusters;
+  for (const auto& c : candidates) {
+    ValueTypeProfile prof = ProfileRightColumn(c, pool);
+    int best = -1;
+    double best_sim = options.join_threshold;
+    for (size_t k = 0; k < clusters.size(); ++k) {
+      const double hsim =
+          0.5 * (HeaderSimilarity(c.left_name, clusters[k].left_header) +
+                 HeaderSimilarity(c.right_name, clusters[k].right_header));
+      const double vsim = ProfileSimilarity(prof, clusters[k].profile);
+      const double sim = hw * hsim + vw * vsim;
+      if (sim >= best_sim) {
+        best_sim = sim;
+        best = static_cast<int>(k);
+      }
+    }
+    if (best < 0) {
+      Cluster nc;
+      nc.left_header = c.left_name;
+      nc.right_header = c.right_name;
+      nc.profile = prof;
+      nc.pairs.assign(c.pairs().begin(), c.pairs().end());
+      nc.members = 1;
+      clusters.push_back(std::move(nc));
+    } else {
+      auto& cl = clusters[best];
+      cl.pairs.insert(cl.pairs.end(), c.pairs().begin(), c.pairs().end());
+      // Running-average profile update.
+      const double m = static_cast<double>(cl.members);
+      cl.profile.avg_length =
+          (cl.profile.avg_length * m + prof.avg_length) / (m + 1);
+      cl.profile.digit_fraction =
+          (cl.profile.digit_fraction * m + prof.digit_fraction) / (m + 1);
+      cl.profile.upper_fraction =
+          (cl.profile.upper_fraction * m + prof.upper_fraction) / (m + 1);
+      cl.profile.space_fraction =
+          (cl.profile.space_fraction * m + prof.space_fraction) / (m + 1);
+      ++cl.members;
+    }
+  }
+
+  std::vector<BinaryTable> out;
+  out.reserve(clusters.size());
+  for (auto& cl : clusters) {
+    BinaryTable merged = BinaryTable::FromPairs(std::move(cl.pairs));
+    merged.left_name = cl.left_header;
+    merged.right_name = cl.right_header;
+    out.push_back(std::move(merged));
+  }
+  return out;
+}
+
+}  // namespace ms

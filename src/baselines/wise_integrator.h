@@ -1,0 +1,49 @@
+// WISE-Integrator-style collective schema matching (He, Meng, Yu & Wu,
+// VLDB 2003/2004 [22, 23]), the representative web-form matcher the paper
+// compares against. Attributes are matched by *linguistic* evidence —
+// header-token similarity — plus shallow value-type features (character
+// classes, average length), then greedily clustered. No instance-overlap or
+// FD reasoning is used, which is exactly why it trails Synthesis.
+#pragma once
+
+#include <vector>
+
+#include "table/binary_table.h"
+#include "table/string_pool.h"
+
+namespace ms {
+
+struct WiseIntegratorOptions {
+  /// Minimum combined similarity for joining an existing cluster.
+  double join_threshold = 0.55;
+  /// Weights of the evidence channels (normalized internally).
+  double header_weight = 0.6;
+  double value_type_weight = 0.4;
+};
+
+/// Shallow value-type profile of a column (the "data type / value pattern"
+/// evidence WISE-Integrator derives from form fields).
+struct ValueTypeProfile {
+  double avg_length = 0.0;
+  double digit_fraction = 0.0;
+  double upper_fraction = 0.0;
+  double space_fraction = 0.0;
+};
+
+ValueTypeProfile ProfileRightColumn(const BinaryTable& table,
+                                    const StringPool& pool);
+
+/// Similarity in [0,1] between two header strings (token Jaccard with a
+/// case-insensitive exact-match boost).
+double HeaderSimilarity(const std::string& a, const std::string& b);
+
+/// Similarity in [0,1] between two value-type profiles.
+double ProfileSimilarity(const ValueTypeProfile& a, const ValueTypeProfile& b);
+
+/// Greedy clustering of candidates; returns one unioned relation per
+/// cluster.
+std::vector<BinaryTable> WiseIntegratorRelations(
+    const std::vector<BinaryTable>& candidates, const StringPool& pool,
+    const WiseIntegratorOptions& options = {});
+
+}  // namespace ms

@@ -1,0 +1,58 @@
+#include "common/bloom_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/hashing.h"
+
+namespace ms {
+
+BloomFilter::BloomFilter(size_t expected_keys, double fp_rate) {
+  expected_keys = std::max<size_t>(expected_keys, 1);
+  fp_rate = std::clamp(fp_rate, 1e-6, 0.5);
+  // Optimal sizing: m = -n ln(p) / (ln 2)^2, k = (m/n) ln 2.
+  const double ln2 = std::log(2.0);
+  double m = -static_cast<double>(expected_keys) * std::log(fp_rate) /
+             (ln2 * ln2);
+  bit_count_ = std::max<size_t>(static_cast<size_t>(m), 64);
+  hash_count_ = std::clamp(
+      static_cast<int>(std::lround(m / expected_keys * ln2)), 1, 16);
+  bits_.assign((bit_count_ + 63) / 64, 0);
+}
+
+void BloomFilter::Indices(std::string_view key,
+                          std::vector<size_t>* out) const {
+  // Double hashing: h_i = h1 + i*h2 (Kirsch–Mitzenmacher).
+  uint64_t h1 = Fnv1a64(key);
+  uint64_t h2 = Mix64(h1) | 1;  // odd stride
+  out->clear();
+  out->reserve(hash_count_);
+  for (int i = 0; i < hash_count_; ++i) {
+    out->push_back(static_cast<size_t>((h1 + i * h2) % bit_count_));
+  }
+}
+
+void BloomFilter::Add(std::string_view key) {
+  std::vector<size_t> idx;
+  Indices(key, &idx);
+  for (size_t b : idx) bits_[b / 64] |= (1ULL << (b % 64));
+  ++inserted_;
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  std::vector<size_t> idx;
+  Indices(key, &idx);
+  for (size_t b : idx) {
+    if (!(bits_[b / 64] & (1ULL << (b % 64)))) return false;
+  }
+  return true;
+}
+
+double BloomFilter::EstimatedFpRate() const {
+  double frac = 1.0 - std::exp(-static_cast<double>(hash_count_) *
+                               static_cast<double>(inserted_) /
+                               static_cast<double>(bit_count_));
+  return std::pow(frac, hash_count_);
+}
+
+}  // namespace ms

@@ -1,0 +1,41 @@
+// Bloom filter used by apps::MappingStore for fast value-containment probes,
+// as suggested in the paper's introduction ("one could index synthesized
+// mapping tables using hash-based techniques (e.g., bloom filters)").
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace ms {
+
+/// Standard k-hash bloom filter over byte strings. No false negatives;
+/// false-positive rate is determined by bits-per-key and k.
+class BloomFilter {
+ public:
+  /// `expected_keys` sizes the bit array for roughly `fp_rate` false
+  /// positives (clamped to sane ranges).
+  BloomFilter(size_t expected_keys, double fp_rate = 0.01);
+
+  void Add(std::string_view key);
+
+  /// True if the key may have been added; false means definitely absent.
+  bool MayContain(std::string_view key) const;
+
+  size_t bit_count() const { return bit_count_; }
+  int hash_count() const { return hash_count_; }
+  size_t inserted_count() const { return inserted_; }
+
+  /// Estimated false-positive rate given the current load.
+  double EstimatedFpRate() const;
+
+ private:
+  void Indices(std::string_view key, std::vector<size_t>* out) const;
+
+  size_t bit_count_;
+  int hash_count_;
+  size_t inserted_ = 0;
+  std::vector<uint64_t> bits_;
+};
+
+}  // namespace ms

@@ -1,0 +1,40 @@
+// Minimal leveled logging. Benchmarks and the pipeline use INFO-level
+// progress lines; tests run with logging suppressed by default.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace ms {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace ms
+
+#define MS_LOG(level)                                              \
+  ::ms::internal::LogMessage(::ms::LogLevel::k##level, __FILE__, \
+                             __LINE__)

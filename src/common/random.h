@@ -1,0 +1,65 @@
+// Deterministic, fast pseudo-random number generation used across corpus
+// generation, sampling, and randomized tests. All randomness in the project
+// flows through Rng so experiments are reproducible from a single seed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace ms {
+
+/// xoshiro256** generator seeded via SplitMix64. Not cryptographic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from `seed`.
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Approximate Zipf(s) sample over [0, n): heavier mass on small indices.
+  /// Used to give values realistic popularity skew in the corpus generator.
+  size_t Zipf(size_t n, double s = 1.0);
+
+  /// Fisher–Yates shuffle of `v`.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    if (v.empty()) return;
+    for (size_t i = v.size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(Uniform(i + 1));
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (k clamped to n), in random
+  /// order.
+  std::vector<size_t> SampleIndices(size_t n, size_t k);
+
+  /// Picks one element uniformly from a non-empty vector.
+  template <typename T>
+  const T& Pick(const std::vector<T>& v) {
+    return v[static_cast<size_t>(Uniform(v.size()))];
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ms

@@ -1,0 +1,32 @@
+// Generic string helpers (split/join/trim/case). Cell-value normalization
+// specific to table matching lives in text/normalize.h.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ms {
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lower-casing (copies).
+std::string ToLower(std::string_view s);
+
+/// ASCII upper-casing (copies).
+std::string ToUpper(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// printf-style float formatting with fixed precision, for report tables.
+std::string FormatDouble(double v, int precision = 3);
+
+}  // namespace ms

@@ -1,0 +1,50 @@
+// Fixed-size worker pool used by the mini MapReduce engine and the pair-wise
+// compatibility computation.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace ms {
+
+/// A simple FIFO thread pool. Submit() enqueues a task; WaitIdle() blocks
+/// until all submitted tasks have finished. Destruction joins all workers.
+class ThreadPool {
+ public:
+  /// `num_threads` == 0 uses the hardware concurrency (at least 1).
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void WaitIdle();
+
+  /// Runs fn(i) for every i in [0, n), partitioned across the pool, and
+  /// blocks until all chunks complete. Exceptions in fn are not supported.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace ms

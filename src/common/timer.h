@@ -1,0 +1,26 @@
+// Wall-clock timing for the runtime/scalability experiments (Figures 8, 9).
+#pragma once
+
+#include <chrono>
+
+namespace ms {
+
+/// Monotonic stopwatch. Starts on construction; Restart() resets it.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ms

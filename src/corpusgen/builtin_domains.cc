@@ -1,0 +1,793 @@
+#include "corpusgen/builtin_domains.h"
+
+#include <array>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+namespace ms {
+namespace {
+
+/// Country master record. Empty synonym slots are skipped. Codes are real;
+/// the ISO/IOC/FIFA divergences (DZA/ALG, DEU/GER, ...) are the negative-
+/// signal stress test at the heart of the paper's Example 7/9.
+struct CountryRow {
+  const char* name;
+  const char* syn1;
+  const char* syn2;
+  const char* iso3;
+  const char* iso2;
+  const char* ioc;
+  const char* fifa;
+};
+
+constexpr std::array<CountryRow, 60> kCountries = {{
+    {"United States", "United States of America", "USA (United States)", "USA", "US", "USA", "USA"},
+    {"Canada", "", "", "CAN", "CA", "CAN", "CAN"},
+    {"Mexico", "", "", "MEX", "MX", "MEX", "MEX"},
+    {"Brazil", "Brasil", "", "BRA", "BR", "BRA", "BRA"},
+    {"Argentina", "", "", "ARG", "AR", "ARG", "ARG"},
+    {"Chile", "", "", "CHL", "CL", "CHI", "CHI"},
+    {"Uruguay", "", "", "URY", "UY", "URU", "URU"},
+    {"Colombia", "", "", "COL", "CO", "COL", "COL"},
+    {"Peru", "", "", "PER", "PE", "PER", "PER"},
+    {"United Kingdom", "Great Britain", "UK", "GBR", "GB", "GBR", "ENG"},
+    {"France", "", "", "FRA", "FR", "FRA", "FRA"},
+    {"Germany", "Federal Republic of Germany", "", "DEU", "DE", "GER", "GER"},
+    {"Italy", "", "", "ITA", "IT", "ITA", "ITA"},
+    {"Spain", "", "", "ESP", "ES", "ESP", "ESP"},
+    {"Portugal", "", "", "PRT", "PT", "POR", "POR"},
+    {"Netherlands", "The Netherlands", "Holland", "NLD", "NL", "NED", "NED"},
+    {"Belgium", "", "", "BEL", "BE", "BEL", "BEL"},
+    {"Switzerland", "Swiss Confederation", "", "CHE", "CH", "SUI", "SUI"},
+    {"Austria", "", "", "AUT", "AT", "AUT", "AUT"},
+    {"Sweden", "", "", "SWE", "SE", "SWE", "SWE"},
+    {"Norway", "", "", "NOR", "NO", "NOR", "NOR"},
+    {"Denmark", "", "", "DNK", "DK", "DEN", "DEN"},
+    {"Finland", "", "", "FIN", "FI", "FIN", "FIN"},
+    {"Iceland", "", "", "ISL", "IS", "ISL", "ISL"},
+    {"Ireland", "Republic of Ireland", "", "IRL", "IE", "IRL", "IRL"},
+    {"Poland", "", "", "POL", "PL", "POL", "POL"},
+    {"Czech Republic", "Czechia", "", "CZE", "CZ", "CZE", "CZE"},
+    {"Slovakia", "Slovak Republic", "", "SVK", "SK", "SVK", "SVK"},
+    {"Hungary", "", "", "HUN", "HU", "HUN", "HUN"},
+    {"Romania", "", "", "ROU", "RO", "ROU", "ROU"},
+    {"Bulgaria", "", "", "BGR", "BG", "BUL", "BUL"},
+    {"Greece", "Hellenic Republic", "", "GRC", "GR", "GRE", "GRE"},
+    {"Croatia", "", "", "HRV", "HR", "CRO", "CRO"},
+    {"Serbia", "", "", "SRB", "RS", "SRB", "SRB"},
+    {"Slovenia", "", "", "SVN", "SI", "SLO", "SVN"},
+    {"Ukraine", "", "", "UKR", "UA", "UKR", "UKR"},
+    {"Russia", "Russian Federation", "", "RUS", "RU", "RUS", "RUS"},
+    {"Turkey", "Turkiye", "", "TUR", "TR", "TUR", "TUR"},
+    {"China", "People's Republic of China", "PR China", "CHN", "CN", "CHN", "CHN"},
+    {"Japan", "", "", "JPN", "JP", "JPN", "JPN"},
+    {"South Korea", "Korea, Republic of", "Republic of Korea", "KOR", "KR", "KOR", "KOR"},
+    {"North Korea", "Korea, DPR", "DPR Korea", "PRK", "KP", "PRK", "PRK"},
+    {"India", "", "", "IND", "IN", "IND", "IND"},
+    {"Indonesia", "", "", "IDN", "ID", "INA", "IDN"},
+    {"Malaysia", "", "", "MYS", "MY", "MAS", "MAS"},
+    {"Singapore", "", "", "SGP", "SG", "SGP", "SGP"},
+    {"Thailand", "", "", "THA", "TH", "THA", "THA"},
+    {"Vietnam", "Viet Nam", "", "VNM", "VN", "VIE", "VIE"},
+    {"Philippines", "The Philippines", "", "PHL", "PH", "PHI", "PHI"},
+    {"Australia", "", "", "AUS", "AU", "AUS", "AUS"},
+    {"New Zealand", "", "", "NZL", "NZ", "NZL", "NZL"},
+    {"South Africa", "Republic of South Africa", "", "ZAF", "ZA", "RSA", "RSA"},
+    {"Nigeria", "", "", "NGA", "NG", "NGR", "NGA"},
+    {"Egypt", "Arab Republic of Egypt", "", "EGY", "EG", "EGY", "EGY"},
+    {"Morocco", "", "", "MAR", "MA", "MAR", "MAR"},
+    {"Algeria", "People's Democratic Republic of Algeria", "", "DZA", "DZ", "ALG", "ALG"},
+    {"Kenya", "", "", "KEN", "KE", "KEN", "KEN"},
+    {"Ghana", "", "", "GHA", "GH", "GHA", "GHA"},
+    {"Saudi Arabia", "Kingdom of Saudi Arabia", "", "SAU", "SA", "KSA", "KSA"},
+    {"Israel", "State of Israel", "", "ISR", "IL", "ISR", "ISR"},
+}};
+
+struct StateRow {
+  const char* name;
+  const char* abbrev;
+  const char* capital;
+  const char* largest;
+};
+
+constexpr std::array<StateRow, 50> kStates = {{
+    {"Alabama", "AL", "Montgomery", "Huntsville"},
+    {"Alaska", "AK", "Juneau", "Anchorage"},
+    {"Arizona", "AZ", "Phoenix", "Phoenix"},
+    {"Arkansas", "AR", "Little Rock", "Little Rock"},
+    {"California", "CA", "Sacramento", "Los Angeles"},
+    {"Colorado", "CO", "Denver", "Denver"},
+    {"Connecticut", "CT", "Hartford", "Bridgeport"},
+    {"Delaware", "DE", "Dover", "Wilmington"},
+    {"Florida", "FL", "Tallahassee", "Jacksonville"},
+    {"Georgia", "GA", "Atlanta", "Atlanta"},
+    {"Hawaii", "HI", "Honolulu", "Honolulu"},
+    {"Idaho", "ID", "Boise", "Boise"},
+    {"Illinois", "IL", "Springfield", "Chicago"},
+    {"Indiana", "IN", "Indianapolis", "Indianapolis"},
+    {"Iowa", "IA", "Des Moines", "Des Moines"},
+    {"Kansas", "KS", "Topeka", "Wichita"},
+    {"Kentucky", "KY", "Frankfort", "Louisville"},
+    {"Louisiana", "LA", "Baton Rouge", "New Orleans"},
+    {"Maine", "ME", "Augusta", "Portland"},
+    {"Maryland", "MD", "Annapolis", "Baltimore"},
+    {"Massachusetts", "MA", "Boston", "Boston"},
+    {"Michigan", "MI", "Lansing", "Detroit"},
+    {"Minnesota", "MN", "Saint Paul", "Minneapolis"},
+    {"Mississippi", "MS", "Jackson", "Jackson"},
+    {"Missouri", "MO", "Jefferson City", "Kansas City"},
+    {"Montana", "MT", "Helena", "Billings"},
+    {"Nebraska", "NE", "Lincoln", "Omaha"},
+    {"Nevada", "NV", "Carson City", "Las Vegas"},
+    {"New Hampshire", "NH", "Concord", "Manchester"},
+    {"New Jersey", "NJ", "Trenton", "Newark"},
+    {"New Mexico", "NM", "Santa Fe", "Albuquerque"},
+    {"New York", "NY", "Albany", "New York City"},
+    {"North Carolina", "NC", "Raleigh", "Charlotte"},
+    {"North Dakota", "ND", "Bismarck", "Fargo"},
+    {"Ohio", "OH", "Columbus", "Columbus"},
+    {"Oklahoma", "OK", "Oklahoma City", "Oklahoma City"},
+    {"Oregon", "OR", "Salem", "Portland"},
+    {"Pennsylvania", "PA", "Harrisburg", "Philadelphia"},
+    {"Rhode Island", "RI", "Providence", "Providence"},
+    {"South Carolina", "SC", "Columbia", "Charleston"},
+    {"South Dakota", "SD", "Pierre", "Sioux Falls"},
+    {"Tennessee", "TN", "Nashville", "Nashville"},
+    {"Texas", "TX", "Austin", "Houston"},
+    {"Utah", "UT", "Salt Lake City", "Salt Lake City"},
+    {"Vermont", "VT", "Montpelier", "Burlington"},
+    {"Virginia", "VA", "Richmond", "Virginia Beach"},
+    {"Washington", "WA", "Olympia", "Seattle"},
+    {"West Virginia", "WV", "Charleston", "Charleston"},
+    {"Wisconsin", "WI", "Madison", "Milwaukee"},
+    {"Wyoming", "WY", "Cheyenne", "Cheyenne"},
+}};
+
+struct AirportRow {
+  const char* name;
+  const char* syn;
+  const char* iata;
+  const char* icao;
+};
+
+constexpr std::array<AirportRow, 32> kAirports = {{
+    {"Los Angeles International Airport", "Los Angeles Intl", "LAX", "KLAX"},
+    {"San Francisco International Airport", "San Francisco Intl", "SFO", "KSFO"},
+    {"John F. Kennedy International Airport", "New York JFK", "JFK", "KJFK"},
+    {"O'Hare International Airport", "Chicago O'Hare", "ORD", "KORD"},
+    {"Hartsfield-Jackson Atlanta International Airport", "Atlanta Intl", "ATL", "KATL"},
+    {"Dallas/Fort Worth International Airport", "Dallas Fort Worth", "DFW", "KDFW"},
+    {"Denver International Airport", "Denver Intl", "DEN", "KDEN"},
+    {"Seattle-Tacoma International Airport", "SeaTac", "SEA", "KSEA"},
+    {"Miami International Airport", "Miami Intl", "MIA", "KMIA"},
+    {"Boston Logan International Airport", "Logan Airport", "BOS", "KBOS"},
+    {"London Heathrow Airport", "Heathrow", "LHR", "EGLL"},
+    {"London Gatwick Airport", "Gatwick", "LGW", "EGKK"},
+    {"Paris Charles de Gaulle Airport", "Charles de Gaulle", "CDG", "LFPG"},
+    {"Frankfurt Airport", "Frankfurt am Main", "FRA", "EDDF"},
+    {"Amsterdam Airport Schiphol", "Schiphol", "AMS", "EHAM"},
+    {"Madrid-Barajas Airport", "Barajas", "MAD", "LEMD"},
+    {"Rome Fiumicino Airport", "Leonardo da Vinci Airport", "FCO", "LIRF"},
+    {"Zurich Airport", "Zurich Kloten", "ZRH", "LSZH"},
+    {"Vienna International Airport", "Vienna Schwechat", "VIE", "LOWW"},
+    {"Copenhagen Airport", "Kastrup", "CPH", "EKCH"},
+    {"Tokyo Haneda Airport", "Tokyo International Airport", "HND", "RJTT"},
+    {"Narita International Airport", "Tokyo Narita", "NRT", "RJAA"},
+    {"Beijing Capital International Airport", "Beijing Capital", "PEK", "ZBAA"},
+    {"Shanghai Pudong International Airport", "Shanghai Pudong", "PVG", "ZSPD"},
+    {"Hong Kong International Airport", "Chek Lap Kok", "HKG", "VHHH"},
+    {"Singapore Changi Airport", "Changi", "SIN", "WSSS"},
+    {"Incheon International Airport", "Seoul Incheon", "ICN", "RKSI"},
+    {"Sydney Kingsford Smith Airport", "Sydney Airport", "SYD", "YSSY"},
+    {"Dubai International Airport", "Dubai Intl", "DXB", "OMDB"},
+    {"Indira Gandhi International Airport", "Delhi Airport", "DEL", "VIDP"},
+    {"Toronto Pearson International Airport", "Toronto Pearson", "YYZ", "CYYZ"},
+    {"Mexico City International Airport", "Benito Juarez Airport", "MEX", "MMMX"},
+}};
+
+struct ElementRow {
+  const char* name;
+  const char* symbol;
+  int number;
+};
+
+constexpr std::array<ElementRow, 40> kElements = {{
+    {"Hydrogen", "H", 1},    {"Helium", "He", 2},    {"Lithium", "Li", 3},
+    {"Beryllium", "Be", 4},  {"Boron", "B", 5},      {"Carbon", "C", 6},
+    {"Nitrogen", "N", 7},    {"Oxygen", "O", 8},     {"Fluorine", "F", 9},
+    {"Neon", "Ne", 10},      {"Sodium", "Na", 11},   {"Magnesium", "Mg", 12},
+    {"Aluminium", "Al", 13}, {"Silicon", "Si", 14},  {"Phosphorus", "P", 15},
+    {"Sulfur", "S", 16},     {"Chlorine", "Cl", 17}, {"Argon", "Ar", 18},
+    {"Potassium", "K", 19},  {"Calcium", "Ca", 20},  {"Titanium", "Ti", 22},
+    {"Chromium", "Cr", 24},  {"Manganese", "Mn", 25}, {"Iron", "Fe", 26},
+    {"Cobalt", "Co", 27},    {"Nickel", "Ni", 28},   {"Copper", "Cu", 29},
+    {"Zinc", "Zn", 30},      {"Arsenic", "As", 33},  {"Bromine", "Br", 35},
+    {"Silver", "Ag", 47},    {"Tin", "Sn", 50},      {"Iodine", "I", 53},
+    {"Tellurium", "Te", 52}, {"Gold", "Au", 79},     {"Mercury", "Hg", 80},
+    {"Lead", "Pb", 82},      {"Platinum", "Pt", 78}, {"Uranium", "U", 92},
+    {"Tungsten", "W", 74},
+}};
+
+struct TickerRow {
+  const char* company;
+  const char* syn;
+  const char* ticker;
+};
+
+constexpr std::array<TickerRow, 30> kTickers = {{
+    {"Microsoft Corporation", "Microsoft Corp", "MSFT"},
+    {"Apple Inc.", "Apple", "AAPL"},
+    {"Alphabet Inc.", "Google", "GOOGL"},
+    {"Amazon.com Inc.", "Amazon", "AMZN"},
+    {"Oracle Corporation", "Oracle", "ORCL"},
+    {"Intel Corporation", "Intel", "INTC"},
+    {"International Business Machines", "IBM", "IBM"},
+    {"General Electric Company", "General Electric", "GE"},
+    {"United Parcel Service", "UPS Inc", "UPS"},
+    {"Walmart Inc.", "Walmart", "WMT"},
+    {"The Coca-Cola Company", "Coca-Cola", "KO"},
+    {"PepsiCo Inc.", "Pepsi", "PEP"},
+    {"Johnson & Johnson", "", "JNJ"},
+    {"Procter & Gamble", "P&G", "PG"},
+    {"JPMorgan Chase & Co.", "JP Morgan", "JPM"},
+    {"Bank of America", "BofA", "BAC"},
+    {"Goldman Sachs Group", "Goldman Sachs", "GS"},
+    {"Exxon Mobil Corporation", "ExxonMobil", "XOM"},
+    {"Chevron Corporation", "Chevron", "CVX"},
+    {"Boeing Company", "Boeing", "BA"},
+    {"Caterpillar Inc.", "Caterpillar", "CAT"},
+    {"Ford Motor Company", "Ford", "F"},
+    {"General Motors Company", "General Motors", "GM"},
+    {"AT&T Inc.", "ATT", "T"},
+    {"Verizon Communications", "Verizon", "VZ"},
+    {"Cisco Systems Inc.", "Cisco", "CSCO"},
+    {"Nvidia Corporation", "Nvidia", "NVDA"},
+    {"Netflix Inc.", "Netflix", "NFLX"},
+    {"The Walt Disney Company", "Disney", "DIS"},
+    {"Nike Inc.", "Nike", "NKE"},
+}};
+
+struct CarRow {
+  const char* model;
+  const char* make;
+};
+
+constexpr std::array<CarRow, 28> kCars = {{
+    {"F-150", "Ford"},      {"Mustang", "Ford"},    {"Escape", "Ford"},
+    {"Explorer", "Ford"},   {"Accord", "Honda"},    {"Civic", "Honda"},
+    {"CR-V", "Honda"},      {"Pilot", "Honda"},     {"Camry", "Toyota"},
+    {"Corolla", "Toyota"},  {"RAV4", "Toyota"},     {"Highlander", "Toyota"},
+    {"Charger", "Dodge"},   {"Durango", "Dodge"},   {"Altima", "Nissan"},
+    {"Rogue", "Nissan"},    {"Sentra", "Nissan"},   {"Silverado", "Chevrolet"},
+    {"Malibu", "Chevrolet"}, {"Equinox", "Chevrolet"}, {"Model 3", "Tesla"},
+    {"Model S", "Tesla"},   {"Outback", "Subaru"},  {"Forester", "Subaru"},
+    {"Wrangler", "Jeep"},   {"Cherokee", "Jeep"},   {"3 Series", "BMW"},
+    {"C-Class", "Mercedes-Benz"},
+}};
+
+struct CityRow {
+  const char* city;
+  const char* state;
+};
+
+constexpr std::array<CityRow, 30> kCities = {{
+    {"Chicago", "Illinois"},        {"San Francisco", "California"},
+    {"Los Angeles", "California"},  {"San Diego", "California"},
+    {"San Jose", "California"},     {"Houston", "Texas"},
+    {"Dallas", "Texas"},            {"San Antonio", "Texas"},
+    {"Austin", "Texas"},            {"Seattle", "Washington"},
+    {"Spokane", "Washington"},      {"New York City", "New York"},
+    {"Buffalo", "New York"},        {"Miami", "Florida"},
+    {"Orlando", "Florida"},         {"Tampa", "Florida"},
+    {"Atlanta", "Georgia"},         {"Savannah", "Georgia"},
+    {"Boston", "Massachusetts"},    {"Philadelphia", "Pennsylvania"},
+    {"Pittsburgh", "Pennsylvania"}, {"Phoenix", "Arizona"},
+    {"Tucson", "Arizona"},          {"Denver", "Colorado"},
+    {"Detroit", "Michigan"},        {"Minneapolis", "Minnesota"},
+    {"Portland", "Oregon"},         {"Nashville", "Tennessee"},
+    {"Memphis", "Tennessee"},       {"New Orleans", "Louisiana"},
+}};
+
+struct CurrencyRow {
+  const char* name;
+  const char* code;
+  const char* num;
+};
+
+constexpr std::array<CurrencyRow, 20> kCurrencies = {{
+    {"US Dollar", "USD", "840"},     {"Euro", "EUR", "978"},
+    {"British Pound", "GBP", "826"}, {"Japanese Yen", "JPY", "392"},
+    {"Swiss Franc", "CHF", "756"},   {"Canadian Dollar", "CAD", "124"},
+    {"Australian Dollar", "AUD", "036"}, {"Chinese Yuan", "CNY", "156"},
+    {"Indian Rupee", "INR", "356"},  {"Brazilian Real", "BRL", "986"},
+    {"Mexican Peso", "MXN", "484"},  {"South Korean Won", "KRW", "410"},
+    {"Singapore Dollar", "SGD", "702"}, {"Norwegian Krone", "NOK", "578"},
+    {"Swedish Krona", "SEK", "752"}, {"Danish Krone", "DKK", "208"},
+    {"Polish Zloty", "PLN", "985"},  {"Turkish Lira", "TRY", "949"},
+    {"Russian Ruble", "RUB", "643"}, {"South African Rand", "ZAR", "710"},
+}};
+
+constexpr std::array<const char*, 12> kMonths = {
+    "January", "February", "March",     "April",   "May",      "June",
+    "July",    "August",   "September", "October", "November", "December"};
+
+constexpr std::array<std::pair<const char*, const char*>, 13> kBeaufort = {{
+    {"calm", "0"}, {"light air", "1"}, {"light breeze", "2"},
+    {"gentle breeze", "3"}, {"moderate breeze", "4"}, {"fresh breeze", "5"},
+    {"strong breeze", "6"}, {"near gale", "7"}, {"gale", "8"},
+    {"strong gale", "9"}, {"storm", "10"}, {"violent storm", "11"},
+    {"hurricane", "12"},
+}};
+
+struct F1Row {
+  const char* driver;
+  const char* team;
+};
+
+constexpr std::array<F1Row, 16> kF1 = {{
+    {"Sebastian Vettel", "Ferrari"},   {"Lewis Hamilton", "Mercedes"},
+    {"Valtteri Bottas", "Mercedes"},   {"Kimi Raikkonen", "Ferrari"},
+    {"Max Verstappen", "Red Bull"},    {"Daniel Ricciardo", "Red Bull"},
+    {"Sergio Perez", "Force India"},   {"Esteban Ocon", "Force India"},
+    {"Fernando Alonso", "McLaren"},    {"Stoffel Vandoorne", "McLaren"},
+    {"Nico Hulkenberg", "Renault"},    {"Carlos Sainz", "Renault"},
+    {"Romain Grosjean", "Haas"},       {"Kevin Magnussen", "Haas"},
+    {"Felipe Massa", "Williams"},      {"Lance Stroll", "Williams"},
+}};
+
+void AddEntity(RelationshipSpec* spec, std::vector<std::string> forms,
+               std::string right) {
+  EntitySpec e;
+  e.left_forms = std::move(forms);
+  e.right = std::move(right);
+  spec->entities.push_back(std::move(e));
+}
+
+std::vector<std::string> CountryForms(const CountryRow& c) {
+  std::vector<std::string> forms = {c.name};
+  if (c.syn1 && *c.syn1) forms.push_back(c.syn1);
+  if (c.syn2 && *c.syn2) forms.push_back(c.syn2);
+  return forms;
+}
+
+RelationshipSpec CountryCodeSpec(const char* name, const char* right_header,
+                                 const char* CountryRow::*code) {
+  RelationshipSpec spec;
+  spec.name = name;
+  spec.left_header = "Country";
+  spec.right_header = right_header;
+  spec.generic_left_headers = {"name", "country name", "nation"};
+  spec.generic_right_headers = {"code", "abbr"};
+  spec.popularity = 36;
+  spec.in_yago = false;
+  spec.in_freebase = true;
+  for (const auto& c : kCountries) {
+    AddEntity(&spec, CountryForms(c), c.*code);
+  }
+  return spec;
+}
+
+}  // namespace
+
+std::vector<RelationshipSpec> BuiltinWebRelationships() {
+  std::vector<RelationshipSpec> specs;
+
+  // --- Country code systems (mutually conflicting siblings).
+  {
+    RelationshipSpec iso3 =
+        CountryCodeSpec("country_iso3", "ISO", &CountryRow::iso3);
+    iso3.sibling_relations = {"country_ioc", "country_fifa"};
+    RelationshipSpec ioc =
+        CountryCodeSpec("country_ioc", "IOC", &CountryRow::ioc);
+    ioc.sibling_relations = {"country_iso3", "country_fifa"};
+    ioc.in_freebase = false;
+    RelationshipSpec fifa =
+        CountryCodeSpec("country_fifa", "FIFA", &CountryRow::fifa);
+    fifa.sibling_relations = {"country_iso3", "country_ioc"};
+    fifa.in_freebase = false;
+    RelationshipSpec iso2 =
+        CountryCodeSpec("country_iso2", "ISO2", &CountryRow::iso2);
+    iso2.popularity = 24;
+    specs.push_back(std::move(iso3));
+    specs.push_back(std::move(ioc));
+    specs.push_back(std::move(fifa));
+    specs.push_back(std::move(iso2));
+  }
+
+  // --- ISO3 -> ISO2 (code-to-code mapping, Figure 12 flavor).
+  {
+    RelationshipSpec s;
+    s.name = "iso3_iso2";
+    s.left_header = "Alpha-3";
+    s.right_header = "Alpha-2";
+    s.generic_left_headers = {"code"};
+    s.generic_right_headers = {"code"};
+    s.popularity = 14;
+    s.in_freebase = false;
+    for (const auto& c : kCountries) AddEntity(&s, {c.iso3}, c.iso2);
+    specs.push_back(std::move(s));
+  }
+
+  // --- US states: abbreviation, capital, largest city. Capital and largest
+  // city agree on many states and disagree on others, reproducing the
+  // (state->capital) vs (state->largest-city) confusion of Section 5.6.
+  {
+    RelationshipSpec ab;
+    ab.name = "state_abbrev";
+    ab.left_header = "State";
+    ab.right_header = "Abbrev.";
+    ab.generic_left_headers = {"name", "state name"};
+    ab.generic_right_headers = {"code", "abbr", "postal"};
+    ab.popularity = 34;
+    ab.in_freebase = true;
+    ab.in_yago = true;
+    for (const auto& st : kStates) AddEntity(&ab, {st.name}, st.abbrev);
+    specs.push_back(std::move(ab));
+
+    RelationshipSpec cap;
+    cap.name = "state_capital";
+    cap.left_header = "State";
+    cap.right_header = "Capital";
+    cap.generic_left_headers = {"name"};
+    cap.generic_right_headers = {"city"};
+    cap.sibling_relations = {"state_largest_city"};
+    cap.popularity = 22;
+    cap.in_freebase = true;
+    cap.in_yago = true;
+    for (const auto& st : kStates) AddEntity(&cap, {st.name}, st.capital);
+    specs.push_back(std::move(cap));
+
+    RelationshipSpec lc;
+    lc.name = "state_largest_city";
+    lc.left_header = "State";
+    lc.right_header = "Largest City";
+    lc.generic_left_headers = {"name"};
+    lc.generic_right_headers = {"city"};
+    lc.sibling_relations = {"state_capital"};
+    lc.popularity = 14;
+    lc.in_freebase = false;
+    for (const auto& st : kStates) AddEntity(&lc, {st.name}, st.largest);
+    specs.push_back(std::move(lc));
+  }
+
+  // --- Airports (large relation; trusted feed exists for expansion).
+  {
+    RelationshipSpec iata;
+    iata.name = "airport_iata";
+    iata.left_header = "Airport Name";
+    iata.right_header = "IATA";
+    iata.generic_left_headers = {"name", "airport"};
+    iata.generic_right_headers = {"code"};
+    iata.sibling_relations = {"airport_icao"};
+    iata.popularity = 26;
+    iata.has_trusted_feed = true;
+    iata.in_freebase = false;
+    for (const auto& a : kAirports) {
+      std::vector<std::string> forms = {a.name};
+      if (a.syn && *a.syn) forms.push_back(a.syn);
+      iata.entities.push_back({std::move(forms), a.iata});
+    }
+    specs.push_back(std::move(iata));
+
+    RelationshipSpec icao;
+    icao.name = "airport_icao";
+    icao.left_header = "Airport Name";
+    icao.right_header = "ICAO";
+    icao.generic_left_headers = {"name", "airport"};
+    icao.generic_right_headers = {"code"};
+    icao.sibling_relations = {"airport_iata"};
+    icao.popularity = 14;
+    icao.has_trusted_feed = true;
+    icao.in_freebase = false;
+    for (const auto& a : kAirports) {
+      std::vector<std::string> forms = {a.name};
+      if (a.syn && *a.syn) forms.push_back(a.syn);
+      icao.entities.push_back({std::move(forms), a.icao});
+    }
+    specs.push_back(std::move(icao));
+  }
+
+  // --- Chemical elements.
+  {
+    RelationshipSpec sym;
+    sym.name = "element_symbol";
+    sym.left_header = "Element";
+    sym.right_header = "Symbol";
+    sym.generic_left_headers = {"name"};
+    sym.generic_right_headers = {"sym"};
+    sym.popularity = 26;
+    sym.in_freebase = true;
+    sym.in_yago = true;
+    for (const auto& e : kElements) AddEntity(&sym, {e.name}, e.symbol);
+    specs.push_back(std::move(sym));
+
+    RelationshipSpec num;
+    num.name = "element_number";
+    num.left_header = "Element";
+    num.right_header = "Atomic Number";
+    num.generic_left_headers = {"name"};
+    num.generic_right_headers = {"number", "no"};
+    num.popularity = 16;
+    num.in_freebase = true;
+    for (const auto& e : kElements) {
+      AddEntity(&num, {e.name}, std::to_string(e.number));
+    }
+    specs.push_back(std::move(num));
+  }
+
+  // --- Stock tickers (Table 1b).
+  {
+    RelationshipSpec tick;
+    tick.name = "company_ticker";
+    tick.left_header = "Company";
+    tick.right_header = "Ticker";
+    tick.generic_left_headers = {"name", "company name"};
+    tick.generic_right_headers = {"symbol", "code"};
+    tick.popularity = 30;
+    tick.in_freebase = false;
+    tick.in_yago = false;
+    for (const auto& t : kTickers) {
+      std::vector<std::string> forms = {t.company};
+      if (t.syn && *t.syn) forms.push_back(t.syn);
+      tick.entities.push_back({std::move(forms), t.ticker});
+    }
+    specs.push_back(std::move(tick));
+  }
+
+  // --- Car model -> make (Table 2a; N:1).
+  {
+    RelationshipSpec car;
+    car.name = "car_make";
+    car.left_header = "Model";
+    car.right_header = "Make";
+    car.generic_left_headers = {"name", "model name"};
+    car.generic_right_headers = {"brand", "manufacturer"};
+    car.one_to_one = false;
+    car.popularity = 22;
+    car.in_freebase = true;
+    for (const auto& c : kCars) AddEntity(&car, {c.model}, c.make);
+    specs.push_back(std::move(car));
+  }
+
+  // --- City -> state (Table 2b; N:1 with the Portland ambiguity baked in
+  // via state_largest_city's Portland, Oregon vs Maine's Portland). State
+  // capitals and largest cities are cities too: synthesis legitimately
+  // discovers capital->state fragments as city->state facts, so the ground
+  // truth includes them (unambiguous names only — Portland/Charleston map
+  // to two states and are excluded, matching Definition 2's θ-tolerance).
+  {
+    RelationshipSpec city;
+    city.name = "city_state";
+    city.left_header = "City";
+    city.right_header = "State";
+    city.generic_left_headers = {"name"};
+    city.generic_right_headers = {"state name"};
+    city.one_to_one = false;
+    city.popularity = 28;
+    city.in_freebase = true;
+    city.in_yago = true;
+    std::vector<std::pair<std::string, std::string>> ordered;
+    std::unordered_map<std::string, std::string> seen;
+    std::unordered_set<std::string> ambiguous;
+    auto consider = [&](const std::string& name, const std::string& state) {
+      auto [it, inserted] = seen.emplace(name, state);
+      if (inserted) {
+        ordered.emplace_back(name, state);
+      } else if (it->second != state) {
+        ambiguous.insert(name);
+      }
+    };
+    for (const auto& c : kCities) consider(c.city, c.state);
+    for (const auto& st : kStates) {
+      consider(st.capital, st.name);
+      consider(st.largest, st.name);
+    }
+    for (const auto& [name, state] : ordered) {
+      if (!ambiguous.count(name)) AddEntity(&city, {name}, state);
+    }
+    specs.push_back(std::move(city));
+  }
+
+  // --- Currencies.
+  {
+    RelationshipSpec cur;
+    cur.name = "currency_code";
+    cur.left_header = "Currency";
+    cur.right_header = "Code";
+    cur.generic_left_headers = {"name"};
+    cur.generic_right_headers = {"code"};
+    cur.popularity = 18;
+    cur.in_freebase = true;
+    for (const auto& c : kCurrencies) AddEntity(&cur, {c.name}, c.code);
+    specs.push_back(std::move(cur));
+
+    RelationshipSpec num;
+    num.name = "currency_num";
+    num.left_header = "ISO-4217";
+    num.right_header = "Num";
+    num.generic_left_headers = {"code"};
+    num.generic_right_headers = {"number"};
+    num.popularity = 10;
+    num.in_freebase = false;
+    for (const auto& c : kCurrencies) AddEntity(&num, {c.code}, c.num);
+    specs.push_back(std::move(num));
+  }
+
+  // --- Beaufort wind scale (Figure 12).
+  {
+    RelationshipSpec b;
+    b.name = "wind_beaufort";
+    b.left_header = "Wind";
+    b.right_header = "Beaufort Scale";
+    b.generic_left_headers = {"description"};
+    b.generic_right_headers = {"force", "number"};
+    b.popularity = 10;
+    b.in_freebase = false;
+    for (const auto& [wind, force] : kBeaufort) AddEntity(&b, {wind}, force);
+    specs.push_back(std::move(b));
+  }
+
+  // --- Month -> number (static, mildly numeric).
+  {
+    RelationshipSpec m;
+    m.name = "month_number";
+    m.left_header = "Month";
+    m.right_header = "No.";
+    m.generic_left_headers = {"name"};
+    m.generic_right_headers = {"number"};
+    m.popularity = 12;
+    m.in_freebase = true;
+    for (size_t i = 0; i < kMonths.size(); ++i) {
+      AddEntity(&m, {kMonths[i]}, std::to_string(i + 1));
+    }
+    specs.push_back(std::move(m));
+  }
+
+  // --- Temporal relation: F1 driver -> team (Figure 13; meaningful but
+  // only for a season).
+  {
+    RelationshipSpec f1;
+    f1.name = "f1_driver_team";
+    f1.left_header = "Driver";
+    f1.right_header = "Team";
+    f1.generic_left_headers = {"name"};
+    f1.generic_right_headers = {"constructor"};
+    f1.kind = RelationKind::kTemporal;
+    f1.one_to_one = false;
+    f1.popularity = 16;
+    f1.in_freebase = false;
+    f1.has_wiki_table = false;
+    for (const auto& d : kF1) AddEntity(&f1, {d.driver}, d.team);
+    specs.push_back(std::move(f1));
+  }
+
+  // --- Meaningless formatting relation: month -> month + 6 (two-column
+  // calendar layouts, Figure 13's (month, month) example).
+  {
+    RelationshipSpec mm;
+    mm.name = "month_month";
+    mm.left_header = "Month";
+    mm.right_header = "Month";
+    mm.kind = RelationKind::kMeaningless;
+    mm.popularity = 8;
+    mm.has_wiki_table = false;
+    mm.in_freebase = false;
+    for (size_t i = 0; i < 6; ++i) {
+      AddEntity(&mm, {kMonths[i]}, kMonths[i + 6]);
+    }
+    specs.push_back(std::move(mm));
+  }
+
+  return specs;
+}
+
+std::vector<RelationshipSpec> BuiltinEnterpriseRelationships() {
+  std::vector<RelationshipSpec> specs;
+
+  auto make = [](const char* name, const char* lh, const char* rh,
+                 std::vector<std::pair<std::string, std::string>> rows,
+                 size_t popularity) {
+    RelationshipSpec s;
+    s.name = name;
+    s.left_header = lh;
+    s.right_header = rh;
+    s.generic_left_headers = {"name"};
+    s.generic_right_headers = {"code", "id"};
+    s.popularity = popularity;
+    s.has_wiki_table = false;
+    s.in_freebase = false;
+    s.in_yago = false;
+    for (auto& [l, r] : rows) {
+      EntitySpec e;
+      e.left_forms = {l};
+      e.right = r;
+      s.entities.push_back(std::move(e));
+    }
+    return s;
+  };
+
+  specs.push_back(make(
+      "product_family_code", "Product Family", "Code",
+      {{"Access", "ACCES"},      {"Consumer Productivity", "CORPO"},
+       {"Cloud Platform", "CLPLT"}, {"Developer Tools", "DVTLS"},
+       {"Gaming Studio", "GMSTD"},  {"Search Ads", "SRADS"},
+       {"Device Hardware", "DVHWD"}, {"Security Suite", "SCSTE"},
+       {"Data Warehouse", "DTWHS"},  {"Collaboration", "CLLAB"},
+       {"Machine Learning", "MCLRN"}, {"Support Services", "SPSVC"}},
+      18));
+
+  specs.push_back(make(
+      "profit_center_code", "Profit Center", "Description",
+      {{"P10018", "EQ-RU - Partner Support"}, {"P10021", "EQ-NA - PFE CPM"},
+       {"P10034", "EQ-EU - Field Sales"},     {"P10042", "EQ-AP - Consulting"},
+       {"P10057", "EQ-NA - Cloud Ops"},       {"P10063", "EQ-LA - Retail"},
+       {"P10071", "EQ-EU - OEM Licensing"},   {"P10088", "EQ-AP - Education"},
+       {"P10092", "EQ-NA - Federal"},         {"P10099", "EQ-RU - Distribution"}},
+      14));
+
+  specs.push_back(make(
+      "industry_vertical", "Industry", "Vertical",
+      {{"Accommodation", "Hospitality"},   {"Accounting", "Professional Services"},
+       {"Agriculture", "Primary"},         {"Airlines", "Transportation"},
+       {"Banking", "Financial Services"},  {"Biotech", "Healthcare"},
+       {"Construction", "Industrial"},     {"Education", "Public Sector"},
+       {"Insurance", "Financial Services"}, {"Logistics", "Transportation"},
+       {"Mining", "Primary"},              {"Pharmaceuticals", "Healthcare"},
+       {"Retail Grocery", "Retail"},       {"Telecom", "Communications"}},
+      16));
+
+  specs.push_back(make(
+      "atu_country", "ATU", "Country",
+      {{"Australia.01.EPG", "Australia"},   {"Australia.02.Commercial", "Australia"},
+       {"Canada.01.Enterprise", "Canada"},  {"Canada.02.SMB", "Canada"},
+       {"France.01.Public", "France"},      {"France.02.Enterprise", "France"},
+       {"Germany.01.Auto", "Germany"},      {"Germany.02.Finance", "Germany"},
+       {"Japan.01.Enterprise", "Japan"},    {"Japan.02.Gov", "Japan"},
+       {"UK.01.Retail", "United Kingdom"},  {"UK.02.Banking", "United Kingdom"}},
+      12));
+
+  specs.push_back(make(
+      "data_center_region", "Data Center", "Region",
+      {{"Singapore IDC", "APAC"},   {"Dublin IDC3", "EMEA"},
+       {"Amsterdam IDC1", "EMEA"},  {"Quincy DC2", "NORAM"},
+       {"San Antonio DC1", "NORAM"}, {"Tokyo IDC2", "APAC"},
+       {"Sydney IDC1", "APAC"},     {"Sao Paulo DC1", "LATAM"},
+       {"Chicago DC4", "NORAM"},    {"Hong Kong IDC1", "APAC"},
+       {"Frankfurt IDC2", "EMEA"},  {"Des Moines DC1", "NORAM"}},
+      14));
+
+  specs.push_back(make(
+      "cost_center_code", "Cost Center", "Code",
+      {{"Engineering Core", "CC-4410"},   {"Engineering Infra", "CC-4420"},
+       {"Marketing Digital", "CC-5210"},  {"Marketing Events", "CC-5220"},
+       {"Sales East", "CC-6110"},         {"Sales West", "CC-6120"},
+       {"HR Operations", "CC-7010"},      {"Finance Planning", "CC-7110"},
+       {"Legal Compliance", "CC-7210"},   {"Facilities", "CC-7310"},
+       {"IT Helpdesk", "CC-7410"},        {"Research Lab", "CC-4510"}},
+      16));
+
+  specs.push_back(make(
+      "building_campus", "Building", "Campus",
+      {{"B16", "Redmond Main"},  {"B17", "Redmond Main"},
+       {"B25", "Redmond Main"},  {"B40", "Redmond West"},
+       {"B41", "Redmond West"},  {"Studio A", "Studio Campus"},
+       {"Studio B", "Studio Campus"}, {"City Center 1", "Bellevue"},
+       {"City Center 2", "Bellevue"}, {"Lincoln Square", "Bellevue"}},
+      10));
+
+  specs.push_back(make(
+      "sku_product", "SKU", "Product",
+      {{"SKU-0010", "Office Standard"},  {"SKU-0011", "Office Professional"},
+       {"SKU-0020", "Windows Home"},     {"SKU-0021", "Windows Pro"},
+       {"SKU-0030", "SQL Server Std"},   {"SKU-0031", "SQL Server Ent"},
+       {"SKU-0040", "Azure Credits 100"}, {"SKU-0041", "Azure Credits 500"},
+       {"SKU-0050", "Surface Laptop"},   {"SKU-0051", "Surface Pro"}},
+      12));
+
+  return specs;
+}
+
+}  // namespace ms

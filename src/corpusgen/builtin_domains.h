@@ -1,0 +1,22 @@
+// Curated real-world relationship specs: country code systems (ISO-3166 /
+// IOC / FIFA, with their genuine divergences — Algeria is DZA in ISO but ALG
+// in IOC), US states (abbreviation / capital / largest city, with the
+// Washington: Olympia-vs-Seattle style near-conflicts Section 5.6
+// discusses), airports (IATA/ICAO), chemical elements, stock tickers, car
+// models, cities, currencies, and a few deliberately temporal or
+// meaningless relations for the Appendix J triage.
+#pragma once
+
+#include <vector>
+
+#include "corpusgen/domain.h"
+
+namespace ms {
+
+/// All hand-curated web-domain relationships.
+std::vector<RelationshipSpec> BuiltinWebRelationships();
+
+/// Hand-curated enterprise-style relationships (Figure 11 flavor).
+std::vector<RelationshipSpec> BuiltinEnterpriseRelationships();
+
+}  // namespace ms

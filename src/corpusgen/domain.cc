@@ -1,0 +1,11 @@
+#include "corpusgen/domain.h"
+
+namespace ms {
+
+size_t RelationshipSpec::GroundTruthSize() const {
+  size_t n = 0;
+  for (const auto& e : entities) n += e.left_forms.size();
+  return n;
+}
+
+}  // namespace ms

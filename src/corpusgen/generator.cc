@@ -1,0 +1,401 @@
+#include "corpusgen/generator.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "corpusgen/builtin_domains.h"
+#include "corpusgen/procedural.h"
+
+namespace ms {
+namespace {
+
+constexpr const char* kNoiseHeaders[] = {"Notes", "Comment", "Details"};
+constexpr const char* kNumericHeaders[] = {"Population", "Founded", "Score",
+                                           "Total"};
+
+class WorldBuilder {
+ public:
+  WorldBuilder(std::vector<RelationshipSpec> specs,
+               const GeneratorOptions& options)
+      : opts_(options), rng_(options.seed) {
+    world_.specs = std::move(specs);
+    for (const auto& s : world_.specs) spec_by_name_[s.name] = &s;
+    BuildDomainPools();
+  }
+
+  GeneratedWorld Build() {
+    size_t relation_tables = 0;
+    for (const auto& spec : world_.specs) {
+      relation_tables += GenerateRelationTables(spec);
+      if (spec.has_wiki_table && !opts_.enterprise_profile) {
+        GenerateWikiTable(spec);
+      }
+    }
+    const size_t noise_count = static_cast<size_t>(
+        static_cast<double>(relation_tables) * opts_.noise_table_fraction);
+    GenerateNoiseTables(noise_count);
+    BuildGroundTruthAndFeeds();
+    return std::move(world_);
+  }
+
+ private:
+  void BuildDomainPools() {
+    for (size_t i = 0; i < opts_.shared_domains; ++i) {
+      shared_domains_.push_back(
+          (opts_.enterprise_profile ? "share-" : "data") + std::to_string(i) +
+          (opts_.enterprise_profile ? ".corp.local" : ".example.org"));
+    }
+    for (const auto& spec : world_.specs) {
+      auto& pool = relation_domains_[spec.name];
+      for (size_t i = 0; i < opts_.domains_per_relation; ++i) {
+        pool.push_back(spec.name + "-" + std::to_string(i) +
+                       (opts_.enterprise_profile ? ".corp.local"
+                                                 : ".example.com"));
+      }
+    }
+  }
+
+  std::string PickDomain(const std::string& relation_name) {
+    const auto& pool = relation_domains_[relation_name];
+    if (rng_.Bernoulli(0.3)) return rng_.Pick(shared_domains_);
+    return rng_.Pick(pool);
+  }
+
+  std::string CellWithArtifacts(std::string cell) {
+    if (rng_.Bernoulli(opts_.footnote_probability)) {
+      cell += "[" + std::to_string(1 + rng_.Uniform(9)) + "]";
+    }
+    return cell;
+  }
+
+  std::string LeftForm(const EntitySpec& e) {
+    if (e.left_forms.size() > 1 &&
+        rng_.Bernoulli(opts_.synonym_use_probability)) {
+      return e.left_forms[1 + rng_.Uniform(e.left_forms.size() - 1)];
+    }
+    return e.left_forms[0];
+  }
+
+  std::string HeaderFor(const std::string& specific,
+                        const std::vector<std::string>& generics) {
+    if (!generics.empty() &&
+        rng_.Bernoulli(opts_.generic_header_probability)) {
+      return generics[rng_.Uniform(generics.size())];
+    }
+    return specific;
+  }
+
+  /// Samples k distinct entity indices with Zipf popularity skew.
+  std::vector<size_t> SampleEntities(size_t n, size_t k) {
+    k = std::min(k, n);
+    std::set<size_t> chosen;
+    size_t attempts = 0;
+    while (chosen.size() < k && attempts < k * 20) {
+      chosen.insert(rng_.Zipf(n, 0.7));
+      ++attempts;
+    }
+    // Fill deterministically if rejection sampling stalled.
+    for (size_t i = 0; i < n && chosen.size() < k; ++i) chosen.insert(i);
+    return {chosen.begin(), chosen.end()};
+  }
+
+  size_t GenerateRelationTables(const RelationshipSpec& spec) {
+    const size_t count = std::max<size_t>(
+        2, static_cast<size_t>(static_cast<double>(spec.popularity) *
+                               opts_.popularity_scale));
+    for (size_t t = 0; t < count; ++t) {
+      GenerateOneTable(spec);
+    }
+    return count;
+  }
+
+  void GenerateOneTable(const RelationshipSpec& spec) {
+    const size_t n = spec.num_entities();
+    const size_t rows = std::min(
+        n, static_cast<size_t>(rng_.UniformInt(
+               static_cast<int64_t>(opts_.min_rows),
+               static_cast<int64_t>(opts_.max_rows))));
+    auto picked = SampleEntities(n, rows);
+
+    std::vector<std::string> names;
+    std::vector<std::vector<std::string>> cols;
+
+    // Left column.
+    names.push_back(HeaderFor(spec.left_header, spec.generic_left_headers));
+    cols.emplace_back();
+    for (size_t ei : picked) {
+      std::string cell = LeftForm(spec.entities[ei]);
+      if (opts_.enterprise_profile &&
+          rng_.Bernoulli(opts_.pivot_pollution_probability)) {
+        cell = rng_.Bernoulli(0.5) ? "Total" : spec.left_header;
+      }
+      cols.back().push_back(CellWithArtifacts(std::move(cell)));
+    }
+
+    // Right column (with rare dirty values, Figure 4).
+    names.push_back(HeaderFor(spec.right_header, spec.generic_right_headers));
+    cols.emplace_back();
+    for (size_t ei : picked) {
+      std::string right = spec.entities[ei].right;
+      if (rng_.Bernoulli(opts_.cell_error_probability) && n > 1) {
+        right = spec.entities[rng_.Uniform(n)].right;
+      }
+      cols.back().push_back(CellWithArtifacts(std::move(right)));
+    }
+
+    // Occasionally include a sibling code system as a third column
+    // (the Figure 2 comparison-table layout).
+    if (!spec.sibling_relations.empty() &&
+        rng_.Bernoulli(opts_.multi_system_table_probability)) {
+      const std::string& sib_name =
+          spec.sibling_relations[rng_.Uniform(spec.sibling_relations.size())];
+      auto it = spec_by_name_.find(sib_name);
+      if (it != spec_by_name_.end()) {
+        const RelationshipSpec& sib = *it->second;
+        // Align sibling entities by canonical left form.
+        std::unordered_map<std::string, const EntitySpec*> by_canonical;
+        for (const auto& e : sib.entities) by_canonical[e.left_forms[0]] = &e;
+        std::vector<std::string> sib_col;
+        bool complete = true;
+        for (size_t ei : picked) {
+          auto sit = by_canonical.find(spec.entities[ei].left_forms[0]);
+          if (sit == by_canonical.end()) {
+            complete = false;
+            break;
+          }
+          sib_col.push_back(sit->second->right);
+        }
+        if (complete) {
+          names.push_back(
+              HeaderFor(sib.right_header, sib.generic_right_headers));
+          cols.push_back(std::move(sib_col));
+        }
+      }
+    }
+
+    // Extra noise columns.
+    if (rng_.Bernoulli(opts_.extra_column_probability)) {
+      if (rng_.Bernoulli(0.5)) {
+        // Numeric column: passes nothing useful, pruned by FD/numeric rules.
+        names.push_back(rng_.Pick(std::vector<std::string>(
+            std::begin(kNumericHeaders), std::end(kNumericHeaders))));
+        cols.emplace_back();
+        for (size_t r = 0; r < picked.size(); ++r) {
+          cols.back().push_back(std::to_string(rng_.Uniform(1000000)));
+        }
+      } else {
+        // Incoherent free-text column (the Table 7 "Location" analogue).
+        names.push_back(rng_.Pick(std::vector<std::string>(
+            std::begin(kNoiseHeaders), std::end(kNoiseHeaders))));
+        cols.emplace_back();
+        for (size_t r = 0; r < picked.size(); ++r) {
+          cols.back().push_back(RandomWord(rng_) + " " + RandomWord(rng_) +
+                                " " + std::to_string(rng_.Uniform(9999)));
+        }
+      }
+    }
+
+    world_.corpus.AddFromStrings(
+        PickDomain(spec.name),
+        opts_.enterprise_profile ? TableSource::kEnterprise
+                                 : TableSource::kWeb,
+        names, cols);
+  }
+
+  /// One comprehensive, clean, canonical-forms-only table (WikiTable style:
+  /// high precision, limited synonym coverage).
+  void GenerateWikiTable(const RelationshipSpec& spec) {
+    const size_t n = spec.num_entities();
+    const size_t rows = std::max<size_t>(4, (n * 3) / 5);
+    auto picked = SampleEntities(n, rows);
+    std::vector<std::string> names = {spec.left_header, spec.right_header};
+    std::vector<std::vector<std::string>> cols(2);
+    for (size_t ei : picked) {
+      cols[0].push_back(spec.entities[ei].left_forms[0]);
+      cols[1].push_back(spec.entities[ei].right);
+    }
+    world_.corpus.AddFromStrings("en.wikipedia.org", TableSource::kWiki,
+                                 names, cols);
+  }
+
+  void GenerateNoiseTables(size_t count) {
+    const TableSource noise_source = opts_.enterprise_profile
+                                         ? TableSource::kEnterprise
+                                         : TableSource::kWeb;
+    // Shared pools so noise values co-occur realistically.
+    std::vector<std::string> teams, stadiums, dates;
+    for (size_t i = 0; i < 24; ++i) {
+      teams.push_back(RandomWord(rng_) + " " + RandomWord(rng_, 1, 2) + "s");
+      stadiums.push_back(RandomWord(rng_) + " Field");
+    }
+    for (size_t i = 0; i < 30; ++i) {
+      dates.push_back(std::to_string(1 + rng_.Uniform(12)) + "-" +
+                      std::to_string(1 + rng_.Uniform(28)));
+    }
+
+    for (size_t t = 0; t < count; ++t) {
+      const size_t rows = 5 + rng_.Uniform(10);
+      switch (rng_.Uniform(3)) {
+        case 0: {
+          // Schedule table (Table 7): home/away/date/stadium + mixed
+          // location column. (home team -> stadium) is a true local FD;
+          // (home -> away) and (home -> date) are spurious.
+          std::vector<std::string> names = {"Home Team", "Away Team", "Date",
+                                            "Stadium", "Location"};
+          std::vector<std::vector<std::string>> cols(5);
+          for (size_t r = 0; r < rows; ++r) {
+            size_t home = rng_.Uniform(teams.size());
+            size_t away = rng_.Uniform(teams.size());
+            cols[0].push_back(teams[home]);
+            cols[1].push_back(teams[away]);
+            cols[2].push_back(rng_.Pick(dates));
+            cols[3].push_back(stadiums[home]);  // consistent per home team
+            // Mixed-format location cell: incoherent by construction.
+            cols[4].push_back(rng_.Bernoulli(0.5)
+                                  ? RandomWord(rng_) + ", " +
+                                        std::to_string(rng_.Uniform(99999))
+                                  : std::to_string(rng_.Uniform(9999)) + " " +
+                                        RandomWord(rng_) + " Ave");
+          }
+          world_.corpus.AddFromStrings("sports" + std::to_string(t % 7) +
+                                           ".example.net",
+                                       noise_source, names, cols);
+          break;
+        }
+        case 1: {
+          // Fully incoherent table: random words (never repeats, so no
+          // co-occurrence signal — the PMI filter's prey).
+          std::vector<std::string> names = {"name", "value"};
+          std::vector<std::vector<std::string>> cols(2);
+          for (size_t r = 0; r < rows; ++r) {
+            cols[0].push_back(RandomWord(rng_) + " " + RandomWord(rng_) +
+                              std::to_string(rng_.Uniform(100000)));
+            cols[1].push_back(RandomWord(rng_) +
+                              std::to_string(rng_.Uniform(100000)));
+          }
+          world_.corpus.AddFromStrings("misc" + std::to_string(t % 11) +
+                                           ".example.org",
+                                       noise_source, names, cols);
+          break;
+        }
+        default: {
+          // Numeric id table.
+          std::vector<std::string> names = {"id", "amount", "rank"};
+          std::vector<std::vector<std::string>> cols(3);
+          for (size_t r = 0; r < rows; ++r) {
+            cols[0].push_back(std::to_string(100000 + rng_.Uniform(900000)));
+            cols[1].push_back(std::to_string(rng_.Uniform(100000)));
+            cols[2].push_back(std::to_string(r + 1));
+          }
+          world_.corpus.AddFromStrings("finance" + std::to_string(t % 5) +
+                                           ".example.org",
+                                       noise_source, names, cols);
+          break;
+        }
+      }
+    }
+  }
+
+  BinaryTable NormalizedPairs(
+      const std::vector<EntitySpec>& entities) {
+    StringPool& pool = world_.corpus.pool();
+    std::vector<ValuePair> pairs;
+    for (const auto& e : entities) {
+      const std::string right = NormalizeCell(e.right, opts_.normalize);
+      if (right.empty()) continue;
+      ValueId rid = pool.Intern(right);
+      for (const auto& form : e.left_forms) {
+        const std::string left = NormalizeCell(form, opts_.normalize);
+        if (left.empty() || left == right) continue;
+        pairs.push_back({pool.Intern(left), rid});
+      }
+    }
+    return BinaryTable::FromPairs(std::move(pairs));
+  }
+
+  void BuildGroundTruthAndFeeds() {
+    Rng tail_rng(opts_.seed ^ 0xabcdef);
+    for (const auto& spec : world_.specs) {
+      std::vector<EntitySpec> truth_entities = spec.entities;
+      if (spec.has_trusted_feed && opts_.trusted_tail_factor > 0) {
+        auto tail = LongTailEntities(
+            spec,
+            static_cast<size_t>(static_cast<double>(spec.num_entities()) *
+                                opts_.trusted_tail_factor),
+            tail_rng);
+        truth_entities.insert(truth_entities.end(), tail.begin(), tail.end());
+      }
+
+      if (spec.kind != RelationKind::kMeaningless) {
+        BenchmarkCase c;
+        c.name = spec.name;
+        c.kind = spec.kind;
+        c.in_freebase = spec.in_freebase;
+        c.in_yago = spec.in_yago;
+        c.has_wiki_table = spec.has_wiki_table;
+        c.ground_truth = NormalizedPairs(truth_entities);
+        world_.cases.push_back(std::move(c));
+      }
+
+      if (spec.has_trusted_feed) {
+        BinaryTable feed = NormalizedPairs(truth_entities);
+        feed.domain = "trusted.data.gov";
+        feed.source = TableSource::kTrusted;
+        feed.left_name = spec.left_header;
+        feed.right_name = spec.right_header;
+        world_.trusted.push_back(std::move(feed));
+      }
+    }
+  }
+
+  GeneratorOptions opts_;
+  Rng rng_;
+  GeneratedWorld world_;
+  std::unordered_map<std::string, const RelationshipSpec*> spec_by_name_;
+  std::vector<std::string> shared_domains_;
+  std::unordered_map<std::string, std::vector<std::string>> relation_domains_;
+};
+
+}  // namespace
+
+int GeneratedWorld::CaseIndex(const std::string& name) const {
+  for (size_t i = 0; i < cases.size(); ++i) {
+    if (cases[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+GeneratedWorld GenerateWorld(std::vector<RelationshipSpec> specs,
+                             const GeneratorOptions& options) {
+  WorldBuilder builder(std::move(specs), options);
+  return builder.Build();
+}
+
+GeneratedWorld GenerateWebWorld(const GeneratorOptions& options) {
+  auto specs = BuiltinWebRelationships();
+  ProceduralOptions popts;
+  popts.seed = options.seed ^ 0x5eed;
+  auto procedural = ProceduralRelationships(popts);
+  specs.insert(specs.end(), std::make_move_iterator(procedural.begin()),
+               std::make_move_iterator(procedural.end()));
+  return GenerateWorld(std::move(specs), options);
+}
+
+GeneratedWorld GenerateEnterpriseWorld(GeneratorOptions options) {
+  options.enterprise_profile = true;
+  options.domains_per_relation = 3;  // intranets have few "domains"
+  options.shared_domains = 8;
+  auto specs = BuiltinEnterpriseRelationships();
+  ProceduralOptions popts;
+  popts.num_families = 12;
+  popts.seed = options.seed ^ 0xe17e;
+  auto procedural = ProceduralRelationships(popts);
+  specs.insert(specs.end(), std::make_move_iterator(procedural.begin()),
+               std::make_move_iterator(procedural.end()));
+  for (auto& s : specs) s.has_wiki_table = false;
+  return GenerateWorld(std::move(specs), options);
+}
+
+}  // namespace ms

@@ -1,0 +1,98 @@
+// The corpus/world generator: turns relationship specs into a realistic
+// table corpus plus exactly-known ground truth. See DESIGN.md §1 for why
+// this substitutes faithfully for the paper's proprietary 100M-table crawl:
+// it reproduces partial per-table coverage, synonym dispersion, dirty cells,
+// footnote marks, generic headers, sibling code-system conflicts, spurious
+// local FDs, incoherent columns, and domain provenance.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "corpusgen/domain.h"
+#include "table/binary_table.h"
+#include "table/corpus.h"
+#include "text/normalize.h"
+
+namespace ms {
+
+struct GeneratorOptions {
+  uint64_t seed = 42;
+
+  /// Rows per generated web table (uniform range, clamped by entity count).
+  size_t min_rows = 6;
+  size_t max_rows = 22;
+
+  /// Probability that a table's headers are replaced by generic ones
+  /// ("name", "code") — this is what breaks UnionWeb-style grouping (the
+  /// paper: "column names are often undescriptive" [15]).
+  double generic_header_probability = 0.65;
+  /// Per-cell probability of using a non-canonical synonym form.
+  double synonym_use_probability = 0.4;
+  /// Per-cell probability of a wrong right value (dirty data, Figure 4).
+  double cell_error_probability = 0.008;
+  /// Per-cell probability of a "[1]"-style footnote artifact (Figure 2).
+  double footnote_probability = 0.04;
+  /// Probability that a table carries 1-2 extra noise columns.
+  double extra_column_probability = 0.45;
+  /// For sibling code systems: probability a single table lists the left
+  /// column with several systems at once (Figure 2 layout).
+  double multi_system_table_probability = 0.2;
+  /// Number of pure-noise tables per relationship table (spurious FDs,
+  /// incoherent columns, schedules).
+  double noise_table_fraction = 0.35;
+
+  /// Web domains: each relation draws from `domains_per_relation` dedicated
+  /// domains plus a shared pool, so popularity stats are meaningful.
+  size_t domains_per_relation = 8;
+  size_t shared_domains = 24;
+
+  /// Scales every spec's popularity (table count); the Fig. 9 scalability
+  /// sweep raises this.
+  double popularity_scale = 1.0;
+
+  /// Long-tail entities added to trusted feeds (× spec size), invisible to
+  /// web tables — exercises Appendix I expansion.
+  double trusted_tail_factor = 1.0;
+
+  /// Enterprise profile: intranet domains, spreadsheet source tag, pivot
+  /// pollution (meta-data rows mixed into columns, Section 5.5).
+  bool enterprise_profile = false;
+  double pivot_pollution_probability = 0.06;
+
+  NormalizeOptions normalize;  ///< used when materializing ground truth
+};
+
+/// One benchmark case: a relationship plus its exact ground truth (pairs of
+/// *normalized* values interned in the world's pool).
+struct BenchmarkCase {
+  std::string name;
+  RelationKind kind = RelationKind::kStatic;
+  bool in_freebase = false;
+  bool in_yago = false;
+  bool has_wiki_table = false;
+  BinaryTable ground_truth;
+};
+
+/// Everything the experiments need: corpus + truth + side feeds.
+struct GeneratedWorld {
+  TableCorpus corpus;
+  std::vector<RelationshipSpec> specs;
+  std::vector<BenchmarkCase> cases;      ///< excludes meaningless relations
+  std::vector<BinaryTable> trusted;      ///< normalized trusted feeds
+  /// Index into `cases` by relationship name.
+  int CaseIndex(const std::string& name) const;
+};
+
+/// Generates a world from explicit specs.
+GeneratedWorld GenerateWorld(std::vector<RelationshipSpec> specs,
+                             const GeneratorOptions& options = {});
+
+/// The standard web world: built-in + procedural specs (≈80 cases).
+GeneratedWorld GenerateWebWorld(const GeneratorOptions& options = {});
+
+/// The standard enterprise world (≈30 cases; Section 5.5).
+GeneratedWorld GenerateEnterpriseWorld(GeneratorOptions options = {});
+
+}  // namespace ms

@@ -1,0 +1,208 @@
+#include "corpusgen/procedural.h"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+#include <string>
+
+namespace ms {
+namespace {
+
+constexpr const char* kSyllables[] = {
+    "ka", "to", "ri", "vel", "mar", "sun", "bel", "dor", "fen", "gal",
+    "hul", "jin", "kor", "lum", "nor", "pra", "quil", "ras", "tan", "ur",
+    "ven", "wex", "yor", "zan", "mil", "sor", "tev", "ond", "ash", "bru"};
+
+std::string Capitalize(std::string s) {
+  if (!s.empty()) s[0] = static_cast<char>(std::toupper(s[0]));
+  return s;
+}
+
+/// A distinct 2-4 letter code derived from a name plus salt, unique within
+/// `used`.
+std::string MakeCode(const std::string& name, uint64_t salt, Rng& rng,
+                     std::set<std::string>* used) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::string code;
+    size_t len = 3 + (salt % 2);
+    for (size_t i = 0; i < len; ++i) {
+      char c;
+      if (attempt == 0 && i < name.size() &&
+          std::isalpha(static_cast<unsigned char>(name[i]))) {
+        c = static_cast<char>(std::toupper(name[i]));
+      } else {
+        c = static_cast<char>('A' + rng.Uniform(26));
+      }
+      code.push_back(c);
+    }
+    if (used->insert(code).second) return code;
+  }
+  // Fallback: numeric suffix guarantees uniqueness.
+  std::string code = "Z" + std::to_string(used->size());
+  used->insert(code);
+  return code;
+}
+
+}  // namespace
+
+std::string RandomWord(Rng& rng, size_t min_syllables, size_t max_syllables) {
+  const size_t n = static_cast<size_t>(
+      rng.UniformInt(static_cast<int64_t>(min_syllables),
+                     static_cast<int64_t>(max_syllables)));
+  std::string w;
+  for (size_t i = 0; i < n; ++i) {
+    w += kSyllables[rng.Uniform(std::size(kSyllables))];
+  }
+  return Capitalize(w);
+}
+
+std::vector<EntitySpec> LongTailEntities(const RelationshipSpec& spec,
+                                         size_t count, Rng& rng) {
+  std::set<std::string> used_codes;
+  for (const auto& e : spec.entities) used_codes.insert(e.right);
+  std::vector<EntitySpec> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    EntitySpec e;
+    std::string name = RandomWord(rng) + " " + RandomWord(rng);
+    e.left_forms = {name};
+    e.right = MakeCode(name, i, rng, &used_codes);
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+std::vector<RelationshipSpec> ProceduralRelationships(
+    const ProceduralOptions& options) {
+  Rng rng(options.seed);
+  std::vector<RelationshipSpec> specs;
+
+  for (size_t f = 0; f < options.num_families; ++f) {
+    const std::string family = RandomWord(rng, 2, 2);
+    const size_t n_entities = static_cast<size_t>(rng.UniformInt(
+        static_cast<int64_t>(options.min_entities),
+        static_cast<int64_t>(options.max_entities)));
+
+    // --- Left entities, shared by all sibling systems of this family.
+    struct LeftEntity {
+      std::vector<std::string> forms;
+    };
+    std::vector<LeftEntity> lefts(n_entities);
+    std::set<std::string> seen_names;
+    for (auto& le : lefts) {
+      std::string base;
+      do {
+        base = RandomWord(rng) + " " + RandomWord(rng);
+      } while (!seen_names.insert(base).second);
+      le.forms.push_back(base);
+      if (rng.Bernoulli(options.synonym_probability)) {
+        // Synonymous surface forms in the style of Table 6.
+        auto space = base.find(' ');
+        std::string first = base.substr(0, space);
+        std::string second = base.substr(space + 1);
+        switch (rng.Uniform(3)) {
+          case 0:
+            le.forms.push_back(second + ", " + first);
+            break;
+          case 1:
+            le.forms.push_back(base + " (" + family + ")");
+            break;
+          default:
+            le.forms.push_back(first + " " + second.substr(0, 1) + ".");
+            break;
+        }
+        if (rng.Bernoulli(0.3)) {
+          le.forms.push_back("The " + base);
+        }
+      }
+    }
+
+    const bool many_to_one = rng.Bernoulli(options.many_to_one_probability);
+    size_t n_systems = 1;
+    if (!many_to_one) {
+      double r = rng.UniformDouble();
+      if (r < options.sibling3_probability) {
+        n_systems = 3;
+      } else if (r < options.sibling3_probability +
+                         options.sibling2_probability) {
+        n_systems = 2;
+      }
+    }
+
+    if (many_to_one) {
+      // Entity -> group (like city -> state): few groups, many entities.
+      RelationshipSpec s;
+      s.name = "proc" + std::to_string(f) + "_group";
+      s.left_header = family + " Name";
+      s.right_header = family + " Group";
+      s.generic_left_headers = {"name"};
+      s.generic_right_headers = {"group", "category"};
+      s.one_to_one = false;
+      s.popularity = 10 + rng.Uniform(20);
+      s.in_freebase = rng.Bernoulli(0.5);
+      s.in_yago = rng.Bernoulli(0.25);
+      s.has_wiki_table = rng.Bernoulli(0.7);
+      const size_t n_groups = 3 + rng.Uniform(5);
+      std::vector<std::string> groups;
+      for (size_t g = 0; g < n_groups; ++g) {
+        groups.push_back(RandomWord(rng, 2, 2) + " Division");
+      }
+      for (auto& le : lefts) {
+        EntitySpec e;
+        e.left_forms = le.forms;
+        e.right = groups[rng.Uniform(groups.size())];
+        s.entities.push_back(std::move(e));
+      }
+      specs.push_back(std::move(s));
+      continue;
+    }
+
+    // 1:1 code systems. System 0's codes are the reference; each further
+    // system reuses the reference code for most entities and diverges on a
+    // controlled fraction (the ISO/IOC pattern).
+    std::set<std::string> used_codes;
+    std::vector<std::string> ref_codes(n_entities);
+    for (size_t i = 0; i < n_entities; ++i) {
+      ref_codes[i] = MakeCode(lefts[i].forms[0], f, rng, &used_codes);
+    }
+
+    std::vector<std::string> sibling_names;
+    for (size_t sys = 0; sys < n_systems; ++sys) {
+      sibling_names.push_back("proc" + std::to_string(f) + "_sys" +
+                              std::to_string(sys));
+    }
+
+    for (size_t sys = 0; sys < n_systems; ++sys) {
+      RelationshipSpec s;
+      s.name = sibling_names[sys];
+      s.left_header = family + " Name";
+      s.right_header =
+          Capitalize(std::string(1, static_cast<char>('A' + sys))) + "-Code";
+      s.generic_left_headers = {"name"};
+      s.generic_right_headers = {"code", "abbr"};
+      s.popularity = 10 + rng.Uniform(24);
+      s.in_freebase = sys == 0 && rng.Bernoulli(0.5);
+      s.in_yago = sys == 0 && rng.Bernoulli(0.2);
+      s.has_wiki_table = rng.Bernoulli(0.6);
+      s.has_trusted_feed = rng.Bernoulli(0.15);
+      for (size_t other = 0; other < n_systems; ++other) {
+        if (other != sys) s.sibling_relations.push_back(sibling_names[other]);
+      }
+      std::set<std::string> sys_codes = used_codes;
+      for (size_t i = 0; i < n_entities; ++i) {
+        EntitySpec e;
+        e.left_forms = lefts[i].forms;
+        if (sys == 0 || !rng.Bernoulli(options.divergence_fraction)) {
+          e.right = ref_codes[i];
+        } else {
+          e.right = MakeCode(lefts[i].forms[0], f * 31 + sys, rng, &sys_codes);
+        }
+        s.entities.push_back(std::move(e));
+      }
+      specs.push_back(std::move(s));
+    }
+  }
+  return specs;
+}
+
+}  // namespace ms

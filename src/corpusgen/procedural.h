@@ -1,0 +1,46 @@
+// Procedurally generated relationship families. The paper's web benchmark
+// has 80 cases; the hand-curated specs cover the headline domains and these
+// families scale the benchmark to the same size with controlled structure:
+// each family is a set of left entities shared by 1-3 sibling "code systems"
+// whose right values agree on most entities but diverge on a controlled
+// fraction — the exact ISO-vs-IOC-vs-FIFA adversarial pattern that makes
+// positive-only methods over-merge.
+#pragma once
+
+#include <vector>
+
+#include "common/random.h"
+#include "corpusgen/domain.h"
+
+namespace ms {
+
+struct ProceduralOptions {
+  size_t num_families = 38;
+  size_t min_entities = 16;
+  size_t max_entities = 48;
+  /// Probability that a family has 2 or 3 sibling code systems.
+  double sibling2_probability = 0.35;
+  double sibling3_probability = 0.15;
+  /// Fraction of entities whose codes diverge between sibling systems.
+  double divergence_fraction = 0.35;
+  /// Probability an entity gets extra synonym forms.
+  double synonym_probability = 0.45;
+  /// Probability a family is N:1 (entity -> group) instead of 1:1 codes.
+  double many_to_one_probability = 0.25;
+  uint64_t seed = 20170705;
+};
+
+/// Generates the families. Relation names are "proc<k>_sys<j>".
+std::vector<RelationshipSpec> ProceduralRelationships(
+    const ProceduralOptions& options = {});
+
+/// Generates `count` extra "long tail" entities in the style of `spec`
+/// (used to extend trusted feeds beyond web coverage for Appendix I).
+std::vector<EntitySpec> LongTailEntities(const RelationshipSpec& spec,
+                                         size_t count, Rng& rng);
+
+/// Random pseudo-word ("Velkori", "Tansum") used for entity names.
+std::string RandomWord(Rng& rng, size_t min_syllables = 2,
+                       size_t max_syllables = 3);
+
+}  // namespace ms

@@ -1,0 +1,53 @@
+#include "eval/metrics.h"
+
+namespace ms {
+
+PrfScore ScoreRelation(const BinaryTable& predicted,
+                       const BinaryTable& truth) {
+  PrfScore s;
+  if (predicted.empty() || truth.empty()) return s;
+  const size_t inter = predicted.IntersectSize(truth);
+  s.precision = static_cast<double>(inter) /
+                static_cast<double>(predicted.size());
+  s.recall = static_cast<double>(inter) / static_cast<double>(truth.size());
+  if (s.precision + s.recall > 0) {
+    s.fscore = 2 * s.precision * s.recall / (s.precision + s.recall);
+  }
+  return s;
+}
+
+BestRelation FindBestRelation(const std::vector<BinaryTable>& relations,
+                              const BinaryTable& truth) {
+  BestRelation best;
+  for (size_t i = 0; i < relations.size(); ++i) {
+    PrfScore s = ScoreRelation(relations[i], truth);
+    if (s.fscore > best.score.fscore) {
+      best.index = static_cast<int>(i);
+      best.score = s;
+    }
+  }
+  return best;
+}
+
+AggregateScore Aggregate(const std::vector<PrfScore>& per_case,
+                         double precision_floor) {
+  AggregateScore agg;
+  agg.cases_total = per_case.size();
+  if (per_case.empty()) return agg;
+  double psum = 0, rsum = 0, fsum = 0;
+  for (const auto& s : per_case) {
+    rsum += s.recall;
+    fsum += s.fscore;
+    if (s.precision >= precision_floor) {
+      psum += s.precision;
+      ++agg.cases_with_hit;
+    }
+  }
+  agg.avg_precision =
+      agg.cases_with_hit ? psum / static_cast<double>(agg.cases_with_hit) : 0;
+  agg.avg_recall = rsum / static_cast<double>(per_case.size());
+  agg.avg_fscore = fsum / static_cast<double>(per_case.size());
+  return agg;
+}
+
+}  // namespace ms

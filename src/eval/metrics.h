@@ -1,0 +1,51 @@
+// Benchmark metrics (Section 5.1): for a ground-truth mapping B* and a
+// synthesized relation B,
+//   precision = |B ∩ B*| / |B|,  recall = |B ∩ B*| / |B*|,
+//   f-score = harmonic mean.
+// Every method is scored by its best relation per benchmark case — the
+// paper's deliberately method-favorable protocol ("a human who wishes to
+// pick the best relationship ... would effectively pick the same tables").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "table/binary_table.h"
+
+namespace ms {
+
+struct PrfScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double fscore = 0.0;
+};
+
+/// Exact pair-set precision/recall/f of `predicted` against `truth`.
+PrfScore ScoreRelation(const BinaryTable& predicted, const BinaryTable& truth);
+
+/// Index + score of the best-f relation for one ground truth; index -1 when
+/// `relations` is empty (score all-zero).
+struct BestRelation {
+  int index = -1;
+  PrfScore score;
+};
+
+BestRelation FindBestRelation(const std::vector<BinaryTable>& relations,
+                              const BinaryTable& truth);
+
+/// Aggregate scores across cases. Following the paper's footnote 5, cases
+/// with precision below `precision_floor` (method missed the relationship
+/// entirely) are excluded from the precision average only; recall and
+/// f-score average over all cases.
+struct AggregateScore {
+  double avg_precision = 0.0;
+  double avg_recall = 0.0;
+  double avg_fscore = 0.0;
+  size_t cases_total = 0;
+  size_t cases_with_hit = 0;  ///< cases contributing to avg_precision
+};
+
+AggregateScore Aggregate(const std::vector<PrfScore>& per_case,
+                         double precision_floor = 0.01);
+
+}  // namespace ms

@@ -1,0 +1,43 @@
+#include "eval/report.h"
+
+#include <algorithm>
+#include <ostream>
+
+namespace ms {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> row) {
+  row.resize(headers_.size());
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::Print(std::ostream& out) const {
+  std::vector<size_t> width(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) width[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out << (c ? "  " : "");
+      out << row[c];
+      out << std::string(width[c] - row[c].size(), ' ');
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  size_t total = 0;
+  for (size_t c = 0; c < width.size(); ++c) total += width[c] + (c ? 2 : 0);
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void PrintBanner(std::ostream& out, const std::string& title) {
+  out << "\n== " << title << " ==\n";
+}
+
+}  // namespace ms

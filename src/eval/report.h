@@ -1,0 +1,29 @@
+// Plain-text report tables for the benchmark binaries. Produces the
+// fixed-width rows the EXPERIMENTS.md transcripts quote.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ms {
+
+/// Simple fixed-width text table: collect rows, print aligned.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> row);
+
+  /// Writes the aligned table to `out`.
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section banner: "== title ==".
+void PrintBanner(std::ostream& out, const std::string& title);
+
+}  // namespace ms

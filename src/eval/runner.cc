@@ -1,0 +1,21 @@
+#include "eval/runner.h"
+
+namespace ms {
+
+MethodEvaluation EvaluateMethod(const MethodOutput& output,
+                                const GeneratedWorld& world) {
+  MethodEvaluation eval;
+  eval.method_name = output.method_name;
+  eval.runtime_seconds = output.runtime_seconds;
+  eval.per_case.reserve(world.cases.size());
+  eval.best_relation.reserve(world.cases.size());
+  for (const auto& c : world.cases) {
+    BestRelation best = FindBestRelation(output.relations, c.ground_truth);
+    eval.per_case.push_back(best.score);
+    eval.best_relation.push_back(best.index);
+  }
+  eval.aggregate = Aggregate(eval.per_case);
+  return eval;
+}
+
+}  // namespace ms

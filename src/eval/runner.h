@@ -1,0 +1,35 @@
+// Benchmark runner: evaluates any method's output relations against a
+// generated world's ground-truth cases and produces the per-case and
+// aggregate rows the paper's Figures 7/10/14 report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "corpusgen/generator.h"
+#include "eval/metrics.h"
+
+namespace ms {
+
+/// What a method hands to the evaluator: a name, its candidate relations,
+/// and the wall-clock it took to produce them (for Figure 8).
+struct MethodOutput {
+  std::string method_name;
+  std::vector<BinaryTable> relations;
+  double runtime_seconds = 0.0;
+};
+
+/// Per-case evaluation of one method.
+struct MethodEvaluation {
+  std::string method_name;
+  std::vector<PrfScore> per_case;   ///< aligned with world.cases
+  std::vector<int> best_relation;   ///< index into MethodOutput::relations
+  AggregateScore aggregate;
+  double runtime_seconds = 0.0;
+};
+
+/// Scores `output` on every benchmark case of `world`.
+MethodEvaluation EvaluateMethod(const MethodOutput& output,
+                                const GeneratedWorld& world);
+
+}  // namespace ms

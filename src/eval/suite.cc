@@ -1,0 +1,213 @@
+#include "eval/suite.h"
+
+#include <utility>
+
+#include "baselines/correlation.h"
+#include "baselines/knowledge_base.h"
+#include "baselines/schema_cc.h"
+#include "baselines/single_table.h"
+#include "baselines/union_tables.h"
+#include "baselines/wise_integrator.h"
+#include "common/timer.h"
+#include "stats/inverted_index.h"
+
+namespace ms {
+namespace {
+
+std::vector<BinaryTable> MappingsToRelations(
+    const std::vector<SynthesizedMapping>& mappings) {
+  std::vector<BinaryTable> out;
+  out.reserve(mappings.size());
+  for (const auto& m : mappings) out.push_back(m.merged);
+  return out;
+}
+
+/// Picks the best-scoring sweep variant per the paper's protocol ("We tested
+/// different thresholds in [0, 1] and report the best result").
+SuiteEntry BestOfSweep(std::string name,
+                       std::vector<std::vector<BinaryTable>> variants,
+                       double seconds, const GeneratedWorld& world) {
+  SuiteEntry best;
+  best.output.method_name = name;
+  best.output.runtime_seconds = seconds;
+  bool first = true;
+  for (auto& rels : variants) {
+    MethodOutput out;
+    out.method_name = name;
+    out.relations = std::move(rels);
+    out.runtime_seconds = seconds;
+    MethodEvaluation eval = EvaluateMethod(out, world);
+    if (first || eval.aggregate.avg_fscore >
+                     best.evaluation.aggregate.avg_fscore) {
+      best.output = std::move(out);
+      best.evaluation = std::move(eval);
+      first = false;
+    }
+  }
+  return best;
+}
+
+SuiteEntry Entry(std::string name, std::vector<BinaryTable> relations,
+                 double seconds, const GeneratedWorld& world) {
+  SuiteEntry e;
+  e.output.method_name = std::move(name);
+  e.output.relations = std::move(relations);
+  e.output.runtime_seconds = seconds;
+  e.evaluation = EvaluateMethod(e.output, world);
+  return e;
+}
+
+}  // namespace
+
+SuiteResult RunMethodSuite(const GeneratedWorld& world,
+                           const SuiteOptions& options) {
+  SuiteResult result;
+  ThreadPool threads(options.synthesis.num_threads);
+
+  // --- Shared preprocessing: index + candidate extraction (Step 1). Its
+  // cost is charged to every corpus-scanning method.
+  Timer prep_timer;
+  ColumnInvertedIndex index;
+  index.Build(world.corpus);
+  ExtractionResult extracted = ExtractCandidates(
+      world.corpus, index, options.synthesis.extraction, &threads);
+  const double prep_seconds = prep_timer.ElapsedSeconds();
+  result.extraction_stats = extracted.stats;
+  result.num_candidates = extracted.candidates.size();
+  const auto& candidates = extracted.candidates;
+  const StringPool& pool = world.corpus.pool();
+
+  // --- Shared compatibility graph for Synthesis + schema/correlation
+  // baselines.
+  Timer graph_timer;
+  PipelineStats graph_stats;
+  CompatibilityGraph graph =
+      BuildCompatibilityGraph(candidates, pool, options.synthesis.blocking,
+                              options.synthesis.compat, &threads,
+                              &graph_stats);
+  const double graph_seconds = graph_timer.ElapsedSeconds();
+  result.graph_edges = graph.num_edges();
+
+  // --- Synthesis (full).
+  {
+    Timer t;
+    SynthesisPipeline pipeline(options.synthesis);
+    SynthesisResult r = pipeline.RunOnCandidates(candidates, pool);
+    result.entries.push_back(Entry("Synthesis",
+                                   MappingsToRelations(r.mappings),
+                                   prep_seconds + t.ElapsedSeconds(), world));
+  }
+
+  // --- Single-table methods.
+  if (options.run_single_table) {
+    if (options.enterprise) {
+      Timer t;
+      auto rels =
+          SingleTableRelations(candidates, TableSource::kEnterprise);
+      result.entries.push_back(Entry("EntTable", std::move(rels),
+                                     prep_seconds + t.ElapsedSeconds(),
+                                     world));
+    } else {
+      Timer t1;
+      auto wiki = SingleTableRelations(candidates, TableSource::kWiki);
+      result.entries.push_back(Entry("WikiTable", std::move(wiki),
+                                     prep_seconds + t1.ElapsedSeconds(),
+                                     world));
+      Timer t2;
+      auto web = SingleTableRelations(candidates, std::nullopt);
+      result.entries.push_back(Entry("WebTable", std::move(web),
+                                     prep_seconds + t2.ElapsedSeconds(),
+                                     world));
+    }
+  }
+
+  // --- Union baselines.
+  if (options.run_union) {
+    Timer t1;
+    auto ud = UnionDomainRelations(candidates);
+    result.entries.push_back(Entry("UnionDomain", std::move(ud),
+                                   prep_seconds + t1.ElapsedSeconds(),
+                                   world));
+    Timer t2;
+    auto uw = UnionWebRelations(candidates);
+    result.entries.push_back(Entry("UnionWeb", std::move(uw),
+                                   prep_seconds + t2.ElapsedSeconds(),
+                                   world));
+  }
+
+  // --- SynthesisPos ablation (no FD-induced negative signals).
+  {
+    Timer t;
+    SynthesisOptions o = options.synthesis;
+    o.partitioner.use_negative_signals = false;
+    SynthesisPipeline pipeline(o);
+    SynthesisResult r = pipeline.RunOnCandidates(candidates, pool);
+    result.entries.push_back(
+        Entry("SynthesisPos", MappingsToRelations(r.mappings),
+              prep_seconds + t.ElapsedSeconds(), world));
+  }
+
+  // --- Correlation clustering on the same graph.
+  if (options.run_correlation) {
+    Timer t;
+    CorrelationOptions copts;
+    copts.tau = options.synthesis.partitioner.tau;
+    copts.positive_threshold = options.synthesis.partitioner.theta_edge;
+    auto rels = CorrelationRelations(graph, candidates, copts);
+    result.entries.push_back(
+        Entry("Correlation", std::move(rels),
+              prep_seconds + graph_seconds + t.ElapsedSeconds(), world));
+  }
+
+  // --- SchemaPosCC / SchemaCC threshold sweeps on the same graph.
+  {
+    Timer t1;
+    auto pos_variants = SchemaCcThresholdSweep(
+        graph, candidates, options.schema_cc_thresholds, false);
+    result.entries.push_back(
+        BestOfSweep("SchemaPosCC", std::move(pos_variants),
+                    prep_seconds + graph_seconds + t1.ElapsedSeconds(),
+                    world));
+    Timer t2;
+    auto neg_variants = SchemaCcThresholdSweep(
+        graph, candidates, options.schema_cc_thresholds, true);
+    result.entries.push_back(
+        BestOfSweep("SchemaCC", std::move(neg_variants),
+                    prep_seconds + graph_seconds + t2.ElapsedSeconds(),
+                    world));
+  }
+
+  // --- WiseIntegrator (join-threshold sweep, best reported).
+  if (options.run_wise_integrator) {
+    Timer t;
+    std::vector<std::vector<BinaryTable>> variants;
+    for (double thr : options.wise_thresholds) {
+      WiseIntegratorOptions wopts;
+      wopts.join_threshold = thr;
+      variants.push_back(WiseIntegratorRelations(candidates, pool, wopts));
+    }
+    result.entries.push_back(
+        BestOfSweep("WiseIntegrator", std::move(variants),
+                    prep_seconds + t.ElapsedSeconds(), world));
+  }
+
+  // --- Knowledge bases (lookup-only; near-zero runtime by construction).
+  if (options.run_knowledge_bases) {
+    StringPool* mutable_pool =
+        const_cast<StringPool*>(&world.corpus.pool());
+    Timer t1;
+    auto fb = KnowledgeBaseRelations(world.specs, KbKind::kFreebase,
+                                     mutable_pool);
+    result.entries.push_back(
+        Entry("Freebase", std::move(fb), t1.ElapsedSeconds(), world));
+    Timer t2;
+    auto yg = KnowledgeBaseRelations(world.specs, KbKind::kYago,
+                                     mutable_pool);
+    result.entries.push_back(
+        Entry("YAGO", std::move(yg), t2.ElapsedSeconds(), world));
+  }
+
+  return result;
+}
+
+}  // namespace ms

@@ -1,0 +1,141 @@
+#include "extract/candidate_extraction.h"
+
+#include <algorithm>
+#include <mutex>
+#include <unordered_map>
+
+namespace ms {
+namespace {
+
+/// Caches raw ValueId -> normalized ValueId (both in the same pool).
+class NormalizationCache {
+ public:
+  NormalizationCache(StringPool* pool, const NormalizeOptions& opts)
+      : pool_(pool), opts_(opts) {}
+
+  ValueId Normalized(ValueId raw) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = cache_.find(raw);
+      if (it != cache_.end()) return it->second;
+    }
+    std::string norm = NormalizeCell(pool_->Get(raw), opts_);
+    ValueId id = norm.empty() ? kInvalidValueId : pool_->Intern(norm);
+    std::lock_guard<std::mutex> lock(mu_);
+    cache_.emplace(raw, id);
+    return id;
+  }
+
+ private:
+  StringPool* pool_;
+  NormalizeOptions opts_;
+  std::mutex mu_;
+  std::unordered_map<ValueId, ValueId> cache_;
+};
+
+bool MostlyNumeric(const StringPool& pool, const BinaryTable& b) {
+  size_t numeric = 0;
+  for (const auto& p : b.pairs()) {
+    if (LooksNumeric(pool.Get(p.left))) ++numeric;
+  }
+  return numeric * 2 > b.size();
+}
+
+}  // namespace
+
+bool ColumnPassesCoherence(const ColumnInvertedIndex& index,
+                           const Column& column,
+                           const ExtractionOptions& options) {
+  const double s = ColumnCoherence(index, column.cells, options.coherence);
+  return s >= options.coherence_threshold;
+}
+
+ExtractionResult ExtractCandidates(const TableCorpus& corpus,
+                                   const ColumnInvertedIndex& index,
+                                   const ExtractionOptions& options,
+                                   ThreadPool* pool) {
+  ExtractionResult result;
+  auto shared_pool = corpus.shared_pool();
+  NormalizationCache norm(shared_pool.get(), options.normalize);
+
+  const auto& tables = corpus.tables();
+  std::vector<std::vector<BinaryTable>> per_table(tables.size());
+  std::vector<ExtractionStats> per_stats(tables.size());
+
+  auto process = [&](size_t ti) {
+    const Table& t = tables[ti];
+    ExtractionStats& st = per_stats[ti];
+    st.tables_seen = 1;
+    st.columns_seen = t.num_columns();
+    if (t.num_columns() < 2 || t.num_columns() > options.max_columns) return;
+
+    // --- PMI coherence filter (Algorithm 1 lines 4-6).
+    std::vector<size_t> kept;
+    for (size_t c = 0; c < t.columns.size(); ++c) {
+      if (ColumnPassesCoherence(index, t.columns[c], options)) kept.push_back(c);
+    }
+    st.columns_kept = kept.size();
+    if (kept.size() < 2) return;
+
+    // Normalize the kept columns once.
+    std::vector<std::vector<ValueId>> norm_cols(kept.size());
+    for (size_t k = 0; k < kept.size(); ++k) {
+      const auto& cells = t.columns[kept[k]].cells;
+      norm_cols[k].reserve(cells.size());
+      for (ValueId v : cells) norm_cols[k].push_back(norm.Normalized(v));
+    }
+
+    // --- FD filter over all ordered pairs (Algorithm 1 lines 7-10).
+    for (size_t a = 0; a < kept.size(); ++a) {
+      for (size_t b = 0; b < kept.size(); ++b) {
+        if (a == b) continue;
+        ++st.pairs_considered;
+        std::vector<ValuePair> pairs;
+        const size_t rows = std::min(norm_cols[a].size(), norm_cols[b].size());
+        pairs.reserve(rows);
+        for (size_t r = 0; r < rows; ++r) {
+          ValueId l = norm_cols[a][r];
+          ValueId rv = norm_cols[b][r];
+          if (l == kInvalidValueId || rv == kInvalidValueId) continue;
+          if (l == rv) continue;  // self-mapping rows carry no signal
+          pairs.push_back({l, rv});
+        }
+        BinaryTable cand = BinaryTable::FromPairs(std::move(pairs));
+        if (cand.size() < options.min_pairs) continue;
+        if (!cand.IsApproximateMapping(options.fd_theta)) continue;
+        if (options.drop_numeric_left &&
+            MostlyNumeric(corpus.pool(), cand)) {
+          continue;
+        }
+        cand.source_table = t.id;
+        cand.domain = t.domain;
+        cand.source = t.source;
+        cand.left_name = t.columns[kept[a]].name;
+        cand.right_name = t.columns[kept[b]].name;
+        ++st.pairs_kept;
+        per_table[ti].push_back(std::move(cand));
+      }
+    }
+  };
+
+  if (pool) {
+    pool->ParallelFor(tables.size(), process);
+  } else {
+    for (size_t i = 0; i < tables.size(); ++i) process(i);
+  }
+
+  for (size_t i = 0; i < tables.size(); ++i) {
+    result.stats.tables_seen += per_stats[i].tables_seen;
+    result.stats.columns_seen += per_stats[i].columns_seen;
+    result.stats.columns_kept += per_stats[i].columns_kept;
+    result.stats.pairs_considered += per_stats[i].pairs_considered;
+    result.stats.pairs_kept += per_stats[i].pairs_kept;
+    for (auto& cand : per_table[i]) {
+      cand.id = static_cast<BinaryTableId>(result.candidates.size());
+      result.candidates.push_back(std::move(cand));
+    }
+  }
+  return result;
+}
+
+}  // namespace ms

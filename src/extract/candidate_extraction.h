@@ -1,0 +1,73 @@
+// Step 1 of the pipeline (Section 3, Algorithm 1): from each corpus table,
+// extract ordered two-column candidate tables, dropping
+//   (a) incoherent columns (PMI/NPMI coherence below threshold), and
+//   (b) column pairs whose local relationship is not a θ-approximate FD.
+// Cell values are normalized (text/normalize.h) before candidates are built,
+// so all downstream matching operates on normalized values.
+#pragma once
+
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "stats/coherence.h"
+#include "stats/inverted_index.h"
+#include "table/binary_table.h"
+#include "table/corpus.h"
+#include "text/normalize.h"
+
+namespace ms {
+
+struct ExtractionOptions {
+  /// Columns with coherence S(C) below this are removed (Section 3.1).
+  double coherence_threshold = 0.10;
+  /// θ for the approximate-FD check (Definition 2; the paper uses 95%).
+  double fd_theta = 0.95;
+  /// Candidate tables with fewer distinct pairs than this are dropped:
+  /// tiny fragments provide no synthesis signal.
+  size_t min_pairs = 3;
+  /// Tables wider than this are skipped (guards pathological extractions).
+  size_t max_columns = 16;
+  /// Drop candidates whose left column is dominated by numeric values
+  /// (Section 4.3 suggests pruning numeric/temporal relationships).
+  bool drop_numeric_left = false;
+
+  CoherenceOptions coherence;
+  NormalizeOptions normalize;
+};
+
+/// Statistics reported alongside candidates (the paper notes ~78% of raw
+/// column pairs are filtered out by these two steps).
+struct ExtractionStats {
+  size_t tables_seen = 0;
+  size_t columns_seen = 0;
+  size_t columns_kept = 0;        ///< survived the PMI coherence filter
+  size_t pairs_considered = 0;    ///< ordered pairs among kept columns
+  size_t pairs_kept = 0;          ///< survived the FD filter
+
+  double FilterRate() const {
+    return pairs_considered == 0
+               ? 0.0
+               : 1.0 - static_cast<double>(pairs_kept) /
+                           static_cast<double>(pairs_considered);
+  }
+};
+
+struct ExtractionResult {
+  std::vector<BinaryTable> candidates;  ///< ids assigned densely from 0
+  ExtractionStats stats;
+};
+
+/// Runs Algorithm 1 over the whole corpus. `index` must have been built on
+/// `corpus`. Normalized values are interned into the corpus pool. Thread
+/// pool optional (per-table parallelism).
+ExtractionResult ExtractCandidates(const TableCorpus& corpus,
+                                   const ColumnInvertedIndex& index,
+                                   const ExtractionOptions& options = {},
+                                   ThreadPool* pool = nullptr);
+
+/// Exposed for tests: true when the column passes the coherence filter.
+bool ColumnPassesCoherence(const ColumnInvertedIndex& index,
+                           const Column& column,
+                           const ExtractionOptions& options);
+
+}  // namespace ms

@@ -1,0 +1,62 @@
+#include "graph/union_find.h"
+
+#include <cassert>
+
+namespace ms {
+
+void UnionFind::Reset(size_t n) {
+  parent_.resize(n);
+  size_.assign(n, 1);
+  for (size_t i = 0; i < n; ++i) parent_[i] = static_cast<uint32_t>(i);
+  num_sets_ = n;
+}
+
+uint32_t UnionFind::Find(uint32_t x) {
+  assert(x < parent_.size());
+  uint32_t root = x;
+  while (parent_[root] != root) root = parent_[root];
+  // Path compression.
+  while (parent_[x] != root) {
+    uint32_t next = parent_[x];
+    parent_[x] = root;
+    x = next;
+  }
+  return root;
+}
+
+uint32_t UnionFind::Union(uint32_t a, uint32_t b) {
+  uint32_t ra = Find(a);
+  uint32_t rb = Find(b);
+  if (ra == rb) return ra;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+  --num_sets_;
+  return ra;
+}
+
+uint32_t UnionFind::UnionInto(uint32_t child, uint32_t parent) {
+  uint32_t rc = Find(child);
+  uint32_t rp = Find(parent);
+  if (rc == rp) return rp;
+  parent_[rc] = rp;
+  size_[rp] += size_[rc];
+  --num_sets_;
+  return rp;
+}
+
+size_t UnionFind::SetSize(uint32_t x) { return size_[Find(x)]; }
+
+std::vector<std::vector<uint32_t>> UnionFind::Components() {
+  std::unordered_map<uint32_t, size_t> root_to_idx;
+  std::vector<std::vector<uint32_t>> out;
+  for (uint32_t i = 0; i < parent_.size(); ++i) {
+    uint32_t r = Find(i);
+    auto [it, inserted] = root_to_idx.emplace(r, out.size());
+    if (inserted) out.emplace_back();
+    out[it->second].push_back(i);
+  }
+  return out;
+}
+
+}  // namespace ms

@@ -1,0 +1,50 @@
+// Disjoint-set forest (Appendix F: "we use a disjoint-set data structure to
+// speed up the process" of iterative partition merging).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace ms {
+
+/// Union-find with union-by-size and path compression. Amortized near-O(1).
+class UnionFind {
+ public:
+  explicit UnionFind(size_t n = 0) { Reset(n); }
+
+  /// Re-initializes to n singleton sets {0}, {1}, ..., {n-1}.
+  void Reset(size_t n);
+
+  size_t size() const { return parent_.size(); }
+
+  /// Representative of x's set.
+  uint32_t Find(uint32_t x);
+
+  /// Merges the sets of a and b; returns the new root. No-op if same set.
+  uint32_t Union(uint32_t a, uint32_t b);
+
+  /// Directed merge: attaches child's set under parent's root, guaranteeing
+  /// Find(parent) stays the root. Needed when callers key side structures
+  /// by root id (e.g. the greedy partitioner's adjacency maps).
+  uint32_t UnionInto(uint32_t child, uint32_t parent);
+
+  bool Connected(uint32_t a, uint32_t b) { return Find(a) == Find(b); }
+
+  /// Size of the set containing x.
+  size_t SetSize(uint32_t x);
+
+  /// Number of disjoint sets.
+  size_t NumSets() const { return num_sets_; }
+
+  /// Groups all elements by root: vector of components (unsorted members).
+  std::vector<std::vector<uint32_t>> Components();
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+  size_t num_sets_ = 0;
+};
+
+}  // namespace ms

@@ -1,0 +1,34 @@
+#include "graph/weighted_graph.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ms {
+
+void CompatibilityGraph::AddEdge(VertexId u, VertexId v, double w_pos,
+                                 double w_neg) {
+  assert(u != v);
+  assert(u < num_vertices_ && v < num_vertices_);
+  if (u > v) std::swap(u, v);
+  edges_.push_back({u, v, w_pos, w_neg});
+  finalized_ = false;
+}
+
+void CompatibilityGraph::Finalize() {
+  if (finalized_) return;
+  adj_.assign(num_vertices_, {});
+  for (uint32_t e = 0; e < edges_.size(); ++e) {
+    adj_[edges_[e].u].push_back(e);
+    adj_[edges_[e].v].push_back(e);
+  }
+  finalized_ = true;
+}
+
+const std::vector<uint32_t>& CompatibilityGraph::IncidentEdges(
+    VertexId v) const {
+  assert(finalized_);
+  assert(v < adj_.size());
+  return adj_[v];
+}
+
+}  // namespace ms

@@ -1,0 +1,42 @@
+#include "stats/coherence.h"
+
+#include <algorithm>
+
+#include "stats/npmi.h"
+
+namespace ms {
+
+double ColumnCoherence(const ColumnInvertedIndex& index,
+                       const std::vector<ValueId>& cells,
+                       const CoherenceOptions& opts) {
+  std::vector<ValueId> distinct(cells);
+  std::sort(distinct.begin(), distinct.end());
+  distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                 distinct.end());
+  if (distinct.empty()) return 0.0;
+  if (distinct.size() == 1) return 1.0;
+
+  if (distinct.size() > opts.max_sampled_values) {
+    Rng rng(opts.sample_seed);
+    rng.Shuffle(distinct);
+    distinct.resize(opts.max_sampled_values);
+  }
+
+  double sum = 0.0;
+  size_t pairs = 0;
+  for (size_t i = 0; i < distinct.size(); ++i) {
+    const bool i_supported =
+        index.ColumnFrequency(distinct[i]) >= opts.min_value_support;
+    for (size_t j = i + 1; j < distinct.size(); ++j) {
+      if (i_supported &&
+          index.ColumnFrequency(distinct[j]) >= opts.min_value_support) {
+        sum += Npmi(index, distinct[i], distinct[j]);
+      }
+      // Unsupported pairs contribute 0 (no evidence either way).
+      ++pairs;
+    }
+  }
+  return pairs == 0 ? 0.0 : sum / static_cast<double>(pairs);
+}
+
+}  // namespace ms

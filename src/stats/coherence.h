@@ -1,0 +1,31 @@
+// Column coherence S(C) (Equation 2): the average pair-wise NPMI between the
+// column's distinct values. Low-coherence columns (mixed concepts, mis-
+// aligned extractions like the "Location" column of Table 7) are filtered
+// out of candidate extraction.
+#pragma once
+
+#include "common/random.h"
+#include "stats/inverted_index.h"
+
+namespace ms {
+
+struct CoherenceOptions {
+  /// Columns with more distinct values than this are scored on a random
+  /// sample of this many values, keeping the quadratic pair enumeration
+  /// bounded (the paper runs on Map-Reduce; we sample instead).
+  size_t max_sampled_values = 32;
+  uint64_t sample_seed = 42;
+  /// Values occurring in fewer than this many corpus columns contribute 0
+  /// (unknown) instead of their NPMI. Without this, junk values unique to
+  /// one column trivially score NPMI = 1 against each other (they only
+  /// ever "co-occur"), defeating the incoherence filter.
+  size_t min_value_support = 2;
+};
+
+/// Computes S(C) over the distinct values of `cells`. Columns with a single
+/// distinct value get coherence 1 (trivially coherent). Empty columns get 0.
+double ColumnCoherence(const ColumnInvertedIndex& index,
+                       const std::vector<ValueId>& cells,
+                       const CoherenceOptions& opts = {});
+
+}  // namespace ms

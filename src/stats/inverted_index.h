@@ -1,0 +1,47 @@
+// Corpus-level inverted index: value -> the set of columns containing it
+// (C(u) in Section 3.1). This is the backbone of the PMI/NPMI coherence
+// statistics and of the candidate-pair blocking in synthesis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "table/corpus.h"
+
+namespace ms {
+
+/// Dense id for a (table, column) slot across the whole corpus.
+using ColumnId = uint32_t;
+
+/// Immutable after Build(). Posting lists are sorted ColumnId vectors, so
+/// co-occurrence counts are linear merges.
+class ColumnInvertedIndex {
+ public:
+  /// Indexes every column of every table. Values are indexed by their
+  /// *distinct* presence per column (a value repeated in one column counts
+  /// once), matching the paper's set-of-columns definition of C(u).
+  void Build(const TableCorpus& corpus);
+
+  /// Number of columns indexed (the N in p(u) = |C(u)| / N).
+  size_t num_columns() const { return num_columns_; }
+
+  /// |C(u)|: how many columns contain value u. 0 for unseen values.
+  size_t ColumnFrequency(ValueId u) const;
+
+  /// |C(u) ∩ C(v)|: columns containing both values.
+  size_t CoOccurrence(ValueId u, ValueId v) const;
+
+  /// Posting list for a value (sorted, possibly empty).
+  const std::vector<ColumnId>& Postings(ValueId u) const;
+
+  /// Maps a ColumnId back to its (table, column index) coordinates.
+  std::pair<TableId, uint32_t> ColumnCoords(ColumnId c) const;
+
+ private:
+  size_t num_columns_ = 0;
+  std::vector<std::vector<ColumnId>> postings_;  // indexed by ValueId
+  std::vector<std::pair<TableId, uint32_t>> coords_;
+  static const std::vector<ColumnId> kEmpty;
+};
+
+}  // namespace ms

@@ -1,0 +1,35 @@
+#include "stats/npmi.h"
+
+#include <cmath>
+
+namespace ms {
+
+double Pmi(const ColumnInvertedIndex& index, ValueId u, ValueId v) {
+  const double n = static_cast<double>(index.num_columns());
+  if (n <= 0) return 0.0;
+  const double cu = static_cast<double>(index.ColumnFrequency(u));
+  const double cv = static_cast<double>(index.ColumnFrequency(v));
+  if (cu == 0 || cv == 0) return 0.0;
+  const double cuv = static_cast<double>(index.CoOccurrence(u, v));
+  if (cuv == 0) return -1e9;
+  const double pu = cu / n;
+  const double pv = cv / n;
+  const double puv = cuv / n;
+  return std::log(puv / (pu * pv));
+}
+
+double Npmi(const ColumnInvertedIndex& index, ValueId u, ValueId v) {
+  const double n = static_cast<double>(index.num_columns());
+  if (n <= 0) return 0.0;
+  const double cu = static_cast<double>(index.ColumnFrequency(u));
+  const double cv = static_cast<double>(index.ColumnFrequency(v));
+  if (cu == 0 || cv == 0) return 0.0;
+  const double cuv = static_cast<double>(index.CoOccurrence(u, v));
+  if (cuv == 0) return -1.0;
+  const double puv = cuv / n;
+  if (puv >= 1.0) return 1.0;  // co-occur in every column
+  const double pmi = std::log(puv / ((cu / n) * (cv / n)));
+  return pmi / (-std::log(puv));
+}
+
+}  // namespace ms

@@ -1,0 +1,93 @@
+#include "synth/blocking.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/hashing.h"
+#include "mr/mapreduce.h"
+
+namespace ms {
+namespace {
+
+struct OverlapCounts {
+  uint32_t pairs = 0;
+  uint32_t lefts = 0;
+};
+
+// Appends all co-occurring (i < j) id pairs from one posting list.
+void EmitIdPairs(std::vector<uint32_t>& ids, size_t max_posting,
+                 std::vector<std::pair<uint64_t, bool>>* out, bool is_pair) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  if (ids.size() > max_posting) ids.resize(max_posting);
+  for (size_t x = 0; x < ids.size(); ++x) {
+    for (size_t y = x + 1; y < ids.size(); ++y) {
+      out->push_back({(static_cast<uint64_t>(ids[x]) << 32) | ids[y], is_pair});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<CandidateTablePair> GenerateCandidatePairs(
+    const std::vector<BinaryTable>& candidates, const BlockingOptions& options,
+    ThreadPool* pool) {
+  // --- MapReduce round: key = hashed value pair (or hashed left value with
+  // a tag bit), value = candidate id. Reduce emits co-occurring id pairs.
+  std::vector<uint32_t> inputs(candidates.size());
+  for (uint32_t i = 0; i < candidates.size(); ++i) inputs[i] = i;
+
+  using KV = std::pair<uint64_t, bool>;  // (packed id pair, is_pair_key)
+  std::function<void(const uint32_t&, Emitter<uint64_t, uint32_t>&)> map_fn =
+      [&](const uint32_t& id, Emitter<uint64_t, uint32_t>& em) {
+        const BinaryTable& b = candidates[id];
+        for (const auto& p : b.pairs()) {
+          // Key space 1: full value pairs (tag bit 0).
+          em.Emit(HashIdPair(p.left, p.right) << 1, id);
+        }
+        for (ValueId l : b.LeftValues()) {
+          // Key space 2: left values only (tag bit 1).
+          em.Emit((Mix64(l) << 1) | 1, id);
+        }
+      };
+  std::function<void(const uint64_t&, std::vector<uint32_t>&,
+                     std::vector<KV>*)>
+      reduce_fn = [&](const uint64_t& key, std::vector<uint32_t>& ids,
+                      std::vector<KV>* out) {
+        EmitIdPairs(ids, options.max_posting, out, (key & 1) == 0);
+      };
+
+  auto emitted = RunMapReduce<uint32_t, uint64_t, uint32_t, KV>(
+      inputs, map_fn, reduce_fn, pool);
+
+  // --- Count per id-pair.
+  std::unordered_map<uint64_t, OverlapCounts> counts;
+  counts.reserve(emitted.size());
+  for (const auto& [packed, is_pair] : emitted) {
+    auto& c = counts[packed];
+    if (is_pair) {
+      ++c.pairs;
+    } else {
+      ++c.lefts;
+    }
+  }
+
+  std::vector<CandidateTablePair> out;
+  for (const auto& [packed, c] : counts) {
+    if (c.pairs >= options.theta_overlap || c.lefts >= options.theta_overlap) {
+      CandidateTablePair p;
+      p.a = static_cast<uint32_t>(packed >> 32);
+      p.b = static_cast<uint32_t>(packed & 0xffffffffu);
+      p.shared_pairs = c.pairs;
+      p.shared_lefts = c.lefts;
+      out.push_back(p);
+    }
+  }
+  // Deterministic order for reproducibility.
+  std::sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
+    return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+  });
+  return out;
+}
+
+}  // namespace ms

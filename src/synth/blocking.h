@@ -1,0 +1,40 @@
+// Inverted-index blocking (Section 4.1 "Efficiency"): instead of scoring all
+// O(N^2) candidate-table pairs, group tables that share value pairs (for w+)
+// or left-hand values (for w-) and only score pairs within a group with at
+// least θ_overlap shared items. Implemented as one MapReduce round: map each
+// table to (item-hash -> table-id), reduce emits co-occurring id pairs,
+// which are then counted.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "table/binary_table.h"
+
+namespace ms {
+
+struct BlockingOptions {
+  /// Minimum shared value pairs for a pair to be scored for w+ and minimum
+  /// shared left values for w- (θ_overlap in Section 5.4).
+  size_t theta_overlap = 2;
+  /// Posting lists longer than this are truncated: extremely common values
+  /// ("usa", "total") would otherwise create quadratic hot keys.
+  size_t max_posting = 256;
+};
+
+/// A pair of candidate tables that blocking selected for exact scoring.
+struct CandidateTablePair {
+  uint32_t a = 0;
+  uint32_t b = 0;             ///< a < b
+  uint32_t shared_pairs = 0;  ///< co-occurring (left,right) value pairs
+  uint32_t shared_lefts = 0;  ///< co-occurring left values
+};
+
+/// Runs blocking over all candidates. Returned pairs satisfy
+/// shared_pairs >= θ_overlap or shared_lefts >= θ_overlap.
+std::vector<CandidateTablePair> GenerateCandidatePairs(
+    const std::vector<BinaryTable>& candidates,
+    const BlockingOptions& options = {}, ThreadPool* pool = nullptr);
+
+}  // namespace ms

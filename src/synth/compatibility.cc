@@ -1,0 +1,127 @@
+#include "synth/compatibility.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ms {
+
+bool ValuesMatch(ValueId a, ValueId b, const StringPool& pool,
+                 const CompatibilityOptions& opts) {
+  if (a == b) return true;
+  if (opts.synonyms && opts.synonyms->AreSynonyms(a, b)) return true;
+  if (!opts.approximate_matching) return false;
+  return ApproxMatch(pool.Get(a), pool.Get(b), opts.edit);
+}
+
+namespace {
+
+/// Greedy one-to-one matching of a's pairs against b's pairs. Exact matches
+/// are resolved with a sorted merge first; only the residue pays the
+/// quadratic approximate pass (candidate tables are small).
+size_t CountPairOverlap(const BinaryTable& a, const BinaryTable& b,
+                        const StringPool& pool,
+                        const CompatibilityOptions& opts) {
+  const auto& pa = a.pairs();
+  const auto& pb = b.pairs();
+  size_t exact = 0;
+  std::vector<ValuePair> rest_a, rest_b;
+  size_t i = 0, j = 0;
+  while (i < pa.size() && j < pb.size()) {
+    if (pa[i] < pb[j]) {
+      rest_a.push_back(pa[i++]);
+    } else if (pb[j] < pa[i]) {
+      rest_b.push_back(pb[j++]);
+    } else {
+      ++exact;
+      ++i;
+      ++j;
+    }
+  }
+  for (; i < pa.size(); ++i) rest_a.push_back(pa[i]);
+  for (; j < pb.size(); ++j) rest_b.push_back(pb[j]);
+
+  if (!opts.approximate_matching && !opts.synonyms) return exact;
+  if (rest_a.empty() || rest_b.empty()) return exact;
+
+  // Approximate residue matching (greedy, each b-pair used once).
+  std::vector<bool> used(rest_b.size(), false);
+  size_t approx = 0;
+  for (const auto& qa : rest_a) {
+    for (size_t k = 0; k < rest_b.size(); ++k) {
+      if (used[k]) continue;
+      const auto& qb = rest_b[k];
+      if (ValuesMatch(qa.left, qb.left, pool, opts) &&
+          ValuesMatch(qa.right, qb.right, pool, opts)) {
+        used[k] = true;
+        ++approx;
+        break;
+      }
+    }
+  }
+  return exact + approx;
+}
+
+/// Counts conflicting left values: a's left matches some b's left but their
+/// right values differ (and are not synonyms / approximate matches).
+size_t CountConflicts(const BinaryTable& a, const BinaryTable& b,
+                      const StringPool& pool,
+                      const CompatibilityOptions& opts) {
+  const auto& pa = a.pairs();
+  const auto& pb = b.pairs();
+  size_t conflicts = 0;
+
+  // Walk left-runs of a; for each, find matching left-runs of b.
+  size_t i = 0;
+  while (i < pa.size()) {
+    size_t ie = i;
+    const ValueId la = pa[i].left;
+    while (ie < pa.size() && pa[ie].left == la) ++ie;
+
+    bool any_left_match = false;
+    bool any_right_conflict = false;
+    size_t j = 0;
+    while (j < pb.size()) {
+      size_t je = j;
+      const ValueId lb = pb[j].left;
+      while (je < pb.size() && pb[je].left == lb) ++je;
+      if (ValuesMatch(la, lb, pool, opts)) {
+        any_left_match = true;
+        // Conflict if some right of a's run fails to match some right of
+        // b's run (paper: ∃ r != r').
+        for (size_t x = i; x < ie && !any_right_conflict; ++x) {
+          for (size_t y = j; y < je; ++y) {
+            if (!ValuesMatch(pa[x].right, pb[y].right, pool, opts)) {
+              any_right_conflict = true;
+              break;
+            }
+          }
+        }
+      }
+      if (any_right_conflict) break;
+      j = je;
+    }
+    if (any_left_match && any_right_conflict) ++conflicts;
+    i = ie;
+  }
+  return conflicts;
+}
+
+}  // namespace
+
+PairScores ComputeCompatibility(const BinaryTable& a, const BinaryTable& b,
+                                const StringPool& pool,
+                                const CompatibilityOptions& opts) {
+  PairScores s;
+  if (a.empty() || b.empty()) return s;
+  s.overlap = CountPairOverlap(a, b, pool, opts);
+  s.conflicts = CountConflicts(a, b, pool, opts);
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double ov = static_cast<double>(s.overlap);
+  const double cf = static_cast<double>(s.conflicts);
+  s.w_pos = std::max(ov / na, ov / nb);
+  s.w_neg = -std::max(cf / na, cf / nb);
+  return s;
+}
+
+}  // namespace ms

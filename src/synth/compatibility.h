@@ -1,0 +1,41 @@
+// Pair-wise table compatibility (Section 4.1):
+//   w+(B, B') = max{ |B∩B'|/|B| , |B∩B'|/|B'| }     (Eq. 3, max-containment)
+//   w-(B, B') = -max{ |F(B,B')|/|B| , |F(B,B')|/|B'| }  (Eq. 4)
+// where F is the conflict set (same left, different right). Value matching
+// is exact on normalized strings, then approximate via banded edit distance
+// with a fractional threshold, then synonym-dictionary assisted.
+#pragma once
+
+#include "table/binary_table.h"
+#include "table/string_pool.h"
+#include "text/edit_distance.h"
+#include "text/synonyms.h"
+
+namespace ms {
+
+struct CompatibilityOptions {
+  /// Enables edit-distance matching of near-identical values (Example 8).
+  bool approximate_matching = true;
+  EditDistanceOptions edit;
+  /// Optional synonym feed; synonymous rights never conflict.
+  const SynonymDictionary* synonyms = nullptr;
+};
+
+/// Raw counts plus the two scores for one table pair.
+struct PairScores {
+  double w_pos = 0.0;   ///< in [0, 1]
+  double w_neg = 0.0;   ///< in [-1, 0]
+  size_t overlap = 0;   ///< |B ∩ B'| under the configured matching
+  size_t conflicts = 0; ///< |F(B, B')|
+};
+
+/// True when two values match under the configured predicate.
+bool ValuesMatch(ValueId a, ValueId b, const StringPool& pool,
+                 const CompatibilityOptions& opts);
+
+/// Computes both scores for a pair of candidate tables.
+PairScores ComputeCompatibility(const BinaryTable& a, const BinaryTable& b,
+                                const StringPool& pool,
+                                const CompatibilityOptions& opts = {});
+
+}  // namespace ms

@@ -1,0 +1,117 @@
+#include "synth/exact_partition.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace ms {
+namespace {
+
+/// Dense weight matrices for O(1) pair lookups during enumeration.
+struct Weights {
+  size_t n;
+  std::vector<double> pos;  // theta_edge-floored positive weights
+  std::vector<double> neg;
+
+  double& P(size_t i, size_t j) { return pos[i * n + j]; }
+  double& N(size_t i, size_t j) { return neg[i * n + j]; }
+};
+
+class Enumerator {
+ public:
+  Enumerator(Weights w, double tau) : w_(std::move(w)), tau_(tau) {
+    assignment_.assign(w_.n, 0);
+    best_assignment_.assign(w_.n, 0);
+  }
+
+  void Run() {
+    if (w_.n == 0) return;
+    Recurse(0, 0, 0.0);
+  }
+
+  double best_objective() const { return best_; }
+  const std::vector<uint32_t>& best_assignment() const {
+    return best_assignment_;
+  }
+  size_t enumerated() const { return enumerated_; }
+
+ private:
+  /// Assigns vertex v given `blocks` blocks already in use. Canonical
+  /// enumeration: vertex v may open block `blocks` or join any existing
+  /// one, which visits every set partition exactly once.
+  void Recurse(size_t v, uint32_t blocks, double objective) {
+    if (v == w_.n) {
+      ++enumerated_;
+      if (objective > best_) {
+        best_ = objective;
+        best_assignment_ = assignment_;
+      }
+      return;
+    }
+    for (uint32_t b = 0; b <= blocks && b < w_.n; ++b) {
+      // Gain and feasibility of putting v into block b.
+      double gain = 0.0;
+      bool feasible = true;
+      for (size_t u = 0; u < v; ++u) {
+        if (assignment_[u] != b) continue;
+        if (w_.N(u, v) < tau_) {
+          feasible = false;
+          break;
+        }
+        gain += w_.P(u, v);
+      }
+      if (!feasible) continue;
+      assignment_[v] = b;
+      Recurse(v + 1, b == blocks ? blocks + 1 : blocks, objective + gain);
+    }
+  }
+
+  Weights w_;
+  double tau_;
+  std::vector<uint32_t> assignment_;
+  std::vector<uint32_t> best_assignment_;
+  double best_ = -1.0;
+  size_t enumerated_ = 0;
+};
+
+}  // namespace
+
+ExactPartitionResult ExactPartition(const CompatibilityGraph& graph,
+                                    const PartitionerOptions& options,
+                                    size_t max_vertices) {
+  const size_t n = graph.num_vertices();
+  assert(n <= max_vertices && "ExactPartition is exponential; graph too big");
+  (void)max_vertices;
+
+  Weights w;
+  w.n = n;
+  w.pos.assign(n * n, 0.0);
+  w.neg.assign(n * n, 0.0);
+  for (const auto& e : graph.edges()) {
+    const double pos = e.w_pos >= options.theta_edge ? e.w_pos : 0.0;
+    const double neg = options.use_negative_signals ? e.w_neg : 0.0;
+    // Parallel edges accumulate positives and keep the worst negative,
+    // matching the greedy partitioner's aggregation semantics.
+    w.P(e.u, e.v) += pos;
+    w.P(e.v, e.u) = w.P(e.u, e.v);
+    w.N(e.u, e.v) = std::min(w.N(e.u, e.v), neg);
+    w.N(e.v, e.u) = w.N(e.u, e.v);
+  }
+
+  Enumerator enumerator(std::move(w), options.tau);
+  enumerator.Run();
+
+  ExactPartitionResult result;
+  result.objective = n == 0 ? 0.0 : enumerator.best_objective();
+  result.partitions_enumerated = enumerator.enumerated();
+  result.partition.partition_of = enumerator.best_assignment();
+  uint32_t max_block = 0;
+  for (uint32_t b : result.partition.partition_of) {
+    max_block = std::max(max_block, b);
+  }
+  result.partition.num_partitions =
+      result.partition.partition_of.empty() ? 0 : max_block + 1;
+  return result;
+}
+
+}  // namespace ms

@@ -1,0 +1,29 @@
+// Exact solver for the Table-Synthesis optimization (Problem 11) on small
+// graphs. The problem is NP-hard in general (Theorem 13; reduction from
+// multi-cut), and the paper's LP-relaxation route (Appendix D) is
+// impractical at scale, so production uses the greedy Algorithm 3. This
+// exhaustive solver exists to *validate* the greedy: tests and the ablation
+// bench compare greedy objectives against the true optimum on graphs small
+// enough to enumerate (the optimality gap observed is the empirical
+// counterpart of the O(log N) approximation discussion).
+#pragma once
+
+#include "synth/partitioner.h"
+
+namespace ms {
+
+struct ExactPartitionResult {
+  PartitionResult partition;
+  double objective = 0.0;
+  size_t partitions_enumerated = 0;
+};
+
+/// Enumerates all vertex partitions (with hard-constraint pruning) and
+/// returns one maximizing Σ_P w+(P) subject to w−(P) = 0 (Equations 5-8).
+/// Exponential (Bell-number) time: callers must keep
+/// graph.num_vertices() <= max_vertices (default guards mistakes).
+ExactPartitionResult ExactPartition(const CompatibilityGraph& graph,
+                                    const PartitionerOptions& options = {},
+                                    size_t max_vertices = 14);
+
+}  // namespace ms

@@ -1,0 +1,45 @@
+#include "synth/expansion.h"
+
+#include <algorithm>
+
+namespace ms {
+
+ExpansionStats ExpandMapping(SynthesizedMapping* mapping,
+                             const std::vector<BinaryTable>& trusted_sources,
+                             const StringPool& pool,
+                             const ExpansionOptions& options) {
+  ExpansionStats stats;
+  for (const auto& src : trusted_sources) {
+    ++stats.sources_considered;
+    if (src.empty() || mapping->merged.empty()) continue;
+    PairScores s = ComputeCompatibility(mapping->merged, src, pool,
+                                        options.compat);
+    // Containment of the core within the trusted source: the source should
+    // confirm a large fraction of what synthesis already established.
+    const double core_containment =
+        static_cast<double>(s.overlap) /
+        static_cast<double>(mapping->merged.size());
+    const double conflict_ratio =
+        static_cast<double>(s.conflicts) /
+        static_cast<double>(mapping->merged.size());
+    if (core_containment < options.min_core_containment) continue;
+    if (conflict_ratio > options.max_conflict_ratio) continue;
+
+    const size_t before = mapping->merged.size();
+    std::vector<ValuePair> all = mapping->merged.pairs();
+    // Only add source pairs whose left value is not already mapped — the
+    // core's assignments win on disagreement (it was conflict-resolved).
+    auto lefts = mapping->merged.LeftValues();
+    for (const auto& p : src.pairs()) {
+      if (!std::binary_search(lefts.begin(), lefts.end(), p.left)) {
+        all.push_back(p);
+      }
+    }
+    mapping->merged = BinaryTable::FromPairs(std::move(all));
+    stats.pairs_added += mapping->merged.size() - before;
+    ++stats.sources_merged;
+  }
+  return stats;
+}
+
+}  // namespace ms

@@ -1,0 +1,44 @@
+// Optional table expansion (Appendix I): synthesized mappings form robust
+// "cores" that can be extended with instances from trustworthy external
+// sources (data.gov-style feeds / spreadsheet files) that web tables rarely
+// enumerate fully (e.g. the long tail of airports). A trusted relation is
+// merged into a core when it agrees strongly with the core and introduces
+// few conflicts.
+#pragma once
+
+#include <vector>
+
+#include "synth/compatibility.h"
+#include "synth/mapping.h"
+
+namespace ms {
+
+struct ExpansionOptions {
+  ExpansionOptions() {
+    // Trusted feeds are clean and canonical; exact matching avoids the
+    // edit-distance false positives that long structured names produce
+    // ("tokyo haneda airport" vs "tokyo narita airport" is within the
+    // fractional threshold but is a genuine conflict, not a variant).
+    compat.approximate_matching = false;
+  }
+  /// Minimum containment of the core's pairs inside the trusted relation
+  /// (how much of what we already know the source confirms).
+  double min_core_containment = 0.5;
+  /// Maximum tolerated conflict fraction (conflicts / core size).
+  double max_conflict_ratio = 0.02;
+  CompatibilityOptions compat;
+};
+
+struct ExpansionStats {
+  size_t sources_considered = 0;
+  size_t sources_merged = 0;
+  size_t pairs_added = 0;
+};
+
+/// Expands `mapping` in place using any qualifying trusted relations.
+ExpansionStats ExpandMapping(SynthesizedMapping* mapping,
+                             const std::vector<BinaryTable>& trusted_sources,
+                             const StringPool& pool,
+                             const ExpansionOptions& options = {});
+
+}  // namespace ms

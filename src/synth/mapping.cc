@@ -1,0 +1,64 @@
+#include "synth/mapping.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ms {
+
+SynthesizedMapping BuildMapping(const std::vector<const BinaryTable*>& tables,
+                                const std::vector<size_t>& kept) {
+  SynthesizedMapping m;
+  std::vector<ValuePair> all;
+  std::unordered_set<std::string> domains;
+  std::unordered_map<std::string, size_t> left_names, right_names;
+
+  for (const auto* t : tables) m.member_tables.push_back(t->id);
+  for (size_t idx : kept) {
+    const BinaryTable* t = tables[idx];
+    m.kept_tables.push_back(t->id);
+    all.insert(all.end(), t->pairs().begin(), t->pairs().end());
+    if (!t->domain.empty()) domains.insert(t->domain);
+    if (!t->left_name.empty()) left_names[t->left_name] += 1;
+    if (!t->right_name.empty()) right_names[t->right_name] += 1;
+  }
+  m.merged = BinaryTable::FromPairs(std::move(all));
+  m.num_domains = domains.size();
+
+  auto most_frequent = [](const std::unordered_map<std::string, size_t>& mp) {
+    std::string best;
+    size_t best_count = 0;
+    for (const auto& [name, count] : mp) {
+      if (count > best_count || (count == best_count && name < best)) {
+        best = name;
+        best_count = count;
+      }
+    }
+    return best;
+  };
+  m.left_label = most_frequent(left_names);
+  m.right_label = most_frequent(right_names);
+  return m;
+}
+
+std::vector<SynthesizedMapping> FilterByPopularity(
+    std::vector<SynthesizedMapping> mappings, size_t min_domains,
+    size_t min_pairs) {
+  std::vector<SynthesizedMapping> out;
+  out.reserve(mappings.size());
+  for (auto& m : mappings) {
+    if (m.num_domains >= min_domains && m.size() >= min_pairs) {
+      out.push_back(std::move(m));
+    }
+  }
+  // Rank by popularity: domains desc, then size desc.
+  std::sort(out.begin(), out.end(),
+            [](const SynthesizedMapping& a, const SynthesizedMapping& b) {
+              if (a.num_domains != b.num_domains) {
+                return a.num_domains > b.num_domains;
+              }
+              return a.size() > b.size();
+            });
+  return out;
+}
+
+}  // namespace ms

@@ -1,0 +1,60 @@
+// Synthesized mapping relationships: the final output of the pipeline. One
+// mapping is the union of the value pairs of the (conflict-resolved) tables
+// in one partition, with provenance statistics used for curation ranking
+// (Section 4.3: number of contributing web domains / raw tables correlates
+// with mapping importance).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "table/binary_table.h"
+#include "table/string_pool.h"
+
+namespace ms {
+
+/// One synthesized mapping relationship, ready for human curation.
+struct SynthesizedMapping {
+  /// Union of all kept tables' pairs (sorted, distinct).
+  BinaryTable merged;
+  /// Candidate-table ids in the original partition.
+  std::vector<BinaryTableId> member_tables;
+  /// Subset surviving conflict resolution.
+  std::vector<BinaryTableId> kept_tables;
+  /// Distinct web domains contributing to kept tables (curation signal).
+  size_t num_domains = 0;
+  /// Most frequent (left_name, right_name) headers among kept tables; a
+  /// cheap human-readable label such as "country -> code".
+  std::string left_label;
+  std::string right_label;
+
+  size_t size() const { return merged.size(); }
+
+  /// Distinct left-hand entities (synonym-free count approximation).
+  size_t NumLeftValues() const { return merged.LeftValues().size(); }
+  size_t NumRightValues() const { return merged.RightValues().size(); }
+
+  /// Synonym fan-in: average number of left mentions per right value; > 1
+  /// indicates the synonym coverage of Table 6 (many names -> one code).
+  double LeftPerRight() const {
+    size_t r = NumRightValues();
+    return r == 0 ? 0.0
+                  : static_cast<double>(NumLeftValues()) /
+                        static_cast<double>(r);
+  }
+};
+
+/// Builds one mapping from a partition. `tables` are the partition members;
+/// `kept` indexes into `tables` (conflict-resolution survivors).
+SynthesizedMapping BuildMapping(const std::vector<const BinaryTable*>& tables,
+                                const std::vector<size_t>& kept);
+
+/// Curation-oriented filtering: keep mappings contributed by at least
+/// `min_domains` distinct domains and at least `min_pairs` value pairs
+/// (Section 4.3 uses >= 8 independent web domains).
+std::vector<SynthesizedMapping> FilterByPopularity(
+    std::vector<SynthesizedMapping> mappings, size_t min_domains,
+    size_t min_pairs);
+
+}  // namespace ms

@@ -1,0 +1,36 @@
+// Persistence for synthesized mappings: the curation handoff artifact. A
+// mapping file is what a human curator reviews and what the application
+// layer (MappingStore) ships with — the paper's "materialized as tables ...
+// easy to index" story. Line-oriented TSV:
+//
+//   #mapping <left_label> <right_label> <num_domains> <kept> <members>
+//   left<TAB>right
+//   ...
+//   (blank line)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "synth/mapping.h"
+#include "table/string_pool.h"
+
+namespace ms {
+
+Status WriteMappingsTsv(const std::vector<SynthesizedMapping>& mappings,
+                        const StringPool& pool, std::ostream& out);
+
+/// Reads mappings written by WriteMappingsTsv, interning values into
+/// `pool`. Pair provenance ids are restored; table contents are not (they
+/// live in the corpus, not the mapping file).
+Status ReadMappingsTsv(std::istream& in, StringPool* pool,
+                       std::vector<SynthesizedMapping>* mappings);
+
+Status SaveMappings(const std::vector<SynthesizedMapping>& mappings,
+                    const StringPool& pool, const std::string& path);
+Status LoadMappings(const std::string& path, StringPool* pool,
+                    std::vector<SynthesizedMapping>* mappings);
+
+}  // namespace ms

@@ -1,0 +1,153 @@
+#include "synth/partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <unordered_map>
+
+#include "graph/union_find.h"
+
+namespace ms {
+namespace {
+
+struct EdgeWeights {
+  double w_pos = 0.0;
+  double w_neg = 0.0;
+};
+
+struct HeapEntry {
+  double w_pos;
+  uint32_t a;  // partition roots at push time
+  uint32_t b;
+
+  bool operator<(const HeapEntry& other) const {
+    // std::priority_queue is a max-heap on operator<.
+    if (w_pos != other.w_pos) return w_pos < other.w_pos;
+    // Tie-break deterministically.
+    if (a != other.a) return a > other.a;
+    return b > other.b;
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<VertexId>> PartitionResult::Groups() const {
+  std::vector<std::vector<VertexId>> groups(num_partitions);
+  for (VertexId v = 0; v < partition_of.size(); ++v) {
+    groups[partition_of[v]].push_back(v);
+  }
+  return groups;
+}
+
+PartitionResult GreedyPartition(const CompatibilityGraph& graph,
+                                const PartitionerOptions& options) {
+  const size_t n = graph.num_vertices();
+  UnionFind uf(n);
+
+  // Partition-level adjacency: root -> (neighbor root -> weights).
+  std::vector<std::unordered_map<uint32_t, EdgeWeights>> adj(n);
+  std::priority_queue<HeapEntry> heap;
+
+  auto effective_neg = [&](double w_neg) {
+    return options.use_negative_signals ? w_neg : 0.0;
+  };
+
+  for (const auto& e : graph.edges()) {
+    const double pos = e.w_pos >= options.theta_edge ? e.w_pos : 0.0;
+    const double neg = effective_neg(e.w_neg);
+    if (pos == 0.0 && neg == 0.0) continue;
+    auto& wa = adj[e.u][e.v];
+    wa.w_pos += pos;
+    wa.w_neg = std::min(wa.w_neg, neg);
+    auto& wb = adj[e.v][e.u];
+    wb.w_pos += pos;
+    wb.w_neg = std::min(wb.w_neg, neg);
+  }
+  for (uint32_t u = 0; u < n; ++u) {
+    for (const auto& [v, w] : adj[u]) {
+      if (u < v && w.w_pos > 0.0 && w.w_neg >= options.tau) {
+        heap.push({w.w_pos, u, v});
+      }
+    }
+  }
+
+  size_t merges = 0;
+  while (!heap.empty()) {
+    HeapEntry top = heap.top();
+    heap.pop();
+    uint32_t ra = uf.Find(top.a);
+    uint32_t rb = uf.Find(top.b);
+    if (ra == rb) continue;  // already merged (stale entry)
+    // Validate against current adjacency (entry may be stale).
+    auto it = adj[ra].find(rb);
+    if (it == adj[ra].end()) continue;
+    const EdgeWeights cur = it->second;
+    if (cur.w_pos != top.w_pos || top.a != ra || top.b != rb) {
+      continue;  // superseded by a newer entry
+    }
+    if (cur.w_pos <= 0.0 || cur.w_neg < options.tau) continue;
+
+    // Merge rb into ra (small-to-large on adjacency size); ra stays root so
+    // all adjacency maps remain keyed by live roots.
+    if (adj[ra].size() < adj[rb].size()) std::swap(ra, rb);
+    uf.UnionInto(rb, ra);
+    ++merges;
+
+    adj[ra].erase(rb);
+    adj[rb].erase(ra);
+    for (const auto& [nb, w] : adj[rb]) {
+      adj[nb].erase(rb);
+      auto& merged = adj[ra][nb];
+      merged.w_pos += w.w_pos;
+      // Fresh entries default to w_neg = 0 and weights are <= 0, so a plain
+      // min implements Algorithm 3's w-(Pi, P') = min{w-(Pi,P1), w-(Pi,P2)}.
+      merged.w_neg = std::min(merged.w_neg, w.w_neg);
+      auto& back = adj[nb][ra];
+      back.w_pos = merged.w_pos;
+      back.w_neg = merged.w_neg;
+    }
+    adj[rb].clear();
+
+    for (const auto& [nb, w] : adj[ra]) {
+      if (w.w_pos > 0.0 && w.w_neg >= options.tau) {
+        heap.push({w.w_pos, std::min(ra, nb), std::max(ra, nb)});
+      }
+    }
+  }
+
+  PartitionResult result;
+  result.partition_of.resize(n);
+  std::unordered_map<uint32_t, uint32_t> dense;
+  for (uint32_t v = 0; v < n; ++v) {
+    uint32_t r = uf.Find(v);
+    auto [it, inserted] = dense.emplace(r, static_cast<uint32_t>(dense.size()));
+    result.partition_of[v] = it->second;
+  }
+  result.num_partitions = dense.size();
+  result.merges_performed = merges;
+  return result;
+}
+
+double PartitionObjective(const CompatibilityGraph& graph,
+                          const PartitionResult& result,
+                          const PartitionerOptions& options) {
+  double total = 0.0;
+  for (const auto& e : graph.edges()) {
+    if (result.partition_of[e.u] != result.partition_of[e.v]) continue;
+    if (e.w_pos >= options.theta_edge) total += e.w_pos;
+  }
+  return total;
+}
+
+bool SatisfiesNegativeConstraint(const CompatibilityGraph& graph,
+                                 const PartitionResult& result, double tau) {
+  for (const auto& e : graph.edges()) {
+    if (result.partition_of[e.u] == result.partition_of[e.v] &&
+        e.w_neg < tau) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ms

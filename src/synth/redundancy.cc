@@ -1,0 +1,73 @@
+#include "synth/redundancy.h"
+
+#include <algorithm>
+
+#include "graph/union_find.h"
+
+namespace ms {
+
+RedundancyStats ConsolidateRedundantMappings(
+    std::vector<SynthesizedMapping>* mappings, const StringPool& pool,
+    const RedundancyOptions& options) {
+  RedundancyStats stats;
+  stats.clusters_in = mappings->size();
+  const size_t n = mappings->size();
+  if (n < 2) {
+    stats.clusters_out = n;
+    return stats;
+  }
+
+  // Pairwise consolidation decisions aggregated transitively via
+  // union-find. Mapping counts are small post-curation-filter (hundreds),
+  // so the quadratic scan with cheap size-based pre-screens is fine.
+  UnionFind uf(static_cast<uint32_t>(n));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      const BinaryTable& a = (*mappings)[i].merged;
+      const BinaryTable& b = (*mappings)[j].merged;
+      if (a.empty() || b.empty()) continue;
+      PairScores s = ComputeCompatibility(a, b, pool, options.compat);
+      if (s.conflicts > options.max_conflicts) continue;
+      if (s.w_pos < options.min_containment) continue;
+      uf.Union(static_cast<uint32_t>(i), static_cast<uint32_t>(j));
+    }
+  }
+
+  if (uf.NumSets() == n) {
+    stats.clusters_out = n;
+    return stats;
+  }
+
+  // Rebuild: group members by root, keep input (popularity) order.
+  std::vector<SynthesizedMapping> out;
+  std::vector<bool> emitted(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t root = uf.Find(static_cast<uint32_t>(i));
+    if (emitted[root]) continue;
+    emitted[root] = true;
+    // Collect the group.
+    SynthesizedMapping merged = std::move((*mappings)[i]);
+    std::vector<ValuePair> pairs = merged.merged.pairs();
+    for (size_t j = i + 1; j < n; ++j) {
+      if (uf.Find(static_cast<uint32_t>(j)) != root) continue;
+      ++stats.merges;
+      SynthesizedMapping& other = (*mappings)[j];
+      pairs.insert(pairs.end(), other.merged.pairs().begin(),
+                   other.merged.pairs().end());
+      merged.member_tables.insert(merged.member_tables.end(),
+                                  other.member_tables.begin(),
+                                  other.member_tables.end());
+      merged.kept_tables.insert(merged.kept_tables.end(),
+                                other.kept_tables.begin(),
+                                other.kept_tables.end());
+      merged.num_domains += other.num_domains;  // upper bound; curator cue
+    }
+    merged.merged = BinaryTable::FromPairs(std::move(pairs));
+    out.push_back(std::move(merged));
+  }
+  *mappings = std::move(out);
+  stats.clusters_out = mappings->size();
+  return stats;
+}
+
+}  // namespace ms

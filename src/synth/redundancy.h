@@ -1,0 +1,41 @@
+// Redundant-cluster consolidation — the paper's Appendix K observation:
+// "in some cases [Synthesis] still produces many somewhat redundant
+// clusters for the same relationship because inconsistency in value
+// representations often lead to incompatible clusters that cannot be
+// merged. Optimizing redundancy to further reduce human efforts is a useful
+// area for future research." This module implements that post-processing
+// step: synthesized mappings whose merged relations are mutually consistent
+// (no conflicts) and strongly overlapping are consolidated, shrinking the
+// curation queue without sacrificing the hard w− constraint (consolidation
+// never joins conflicting clusters).
+#pragma once
+
+#include <vector>
+
+#include "synth/compatibility.h"
+#include "synth/mapping.h"
+
+namespace ms {
+
+struct RedundancyOptions {
+  /// Minimum max-containment between two merged relations to consolidate.
+  double min_containment = 0.5;
+  /// Consolidation requires a conflict-free union: any conflict blocks it.
+  size_t max_conflicts = 0;
+  CompatibilityOptions compat;
+};
+
+struct RedundancyStats {
+  size_t clusters_in = 0;
+  size_t clusters_out = 0;
+  size_t merges = 0;
+};
+
+/// Consolidates redundant mappings in place (popularity stats are summed,
+/// provenance lists concatenated). Order of survivors preserves the input's
+/// popularity ranking.
+RedundancyStats ConsolidateRedundantMappings(
+    std::vector<SynthesizedMapping>* mappings, const StringPool& pool,
+    const RedundancyOptions& options = {});
+
+}  // namespace ms

@@ -1,0 +1,106 @@
+#include "synth/temporal.h"
+
+#include <algorithm>
+
+#include "graph/union_find.h"
+
+namespace ms {
+namespace {
+
+/// Shared-left statistics between two merged relations.
+struct LeftOverlap {
+  size_t shared = 0;      ///< left values present in both
+  size_t conflicting = 0; ///< shared lefts with non-matching rights
+};
+
+LeftOverlap ComputeLeftOverlap(const BinaryTable& a, const BinaryTable& b,
+                               const StringPool& pool,
+                               const CompatibilityOptions& compat) {
+  LeftOverlap out;
+  const auto& pa = a.pairs();
+  const auto& pb = b.pairs();
+  size_t i = 0, j = 0;
+  while (i < pa.size() && j < pb.size()) {
+    if (pa[i].left < pb[j].left) {
+      ++i;
+    } else if (pb[j].left < pa[i].left) {
+      ++j;
+    } else {
+      const ValueId l = pa[i].left;
+      size_t ie = i, je = j;
+      while (ie < pa.size() && pa[ie].left == l) ++ie;
+      while (je < pb.size() && pb[je].left == l) ++je;
+      ++out.shared;
+      bool conflict = false;
+      for (size_t x = i; x < ie && !conflict; ++x) {
+        for (size_t y = j; y < je; ++y) {
+          if (!ValuesMatch(pa[x].right, pb[y].right, pool, compat)) {
+            conflict = true;
+            break;
+          }
+        }
+      }
+      if (conflict) ++out.conflicting;
+      i = ie;
+      j = je;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TemporalDetectionResult DetectTemporalMappings(
+    const std::vector<SynthesizedMapping>& mappings, const StringPool& pool,
+    const TemporalDetectionOptions& options) {
+  TemporalDetectionResult result;
+  const size_t n = mappings.size();
+  result.is_temporal.assign(n, false);
+  if (n == 0) return result;
+
+  UnionFind uf(static_cast<uint32_t>(n));
+  for (size_t i = 0; i < n; ++i) {
+    const size_t li = mappings[i].NumLeftValues();
+    if (li < options.min_cluster_size) continue;
+    for (size_t j = i + 1; j < n; ++j) {
+      const size_t lj = mappings[j].NumLeftValues();
+      if (lj < options.min_cluster_size) continue;
+      LeftOverlap ov = ComputeLeftOverlap(mappings[i].merged,
+                                          mappings[j].merged, pool,
+                                          options.compat);
+      if (ov.shared < options.min_shared_lefts) continue;
+      const double containment =
+          static_cast<double>(ov.shared) /
+          static_cast<double>(std::min(li, lj));
+      if (containment < options.min_left_containment) continue;
+      const double conflict_fraction =
+          static_cast<double>(ov.conflicting) /
+          static_cast<double>(ov.shared);
+      if (conflict_fraction < options.min_conflict_fraction) continue;
+      uf.Union(static_cast<uint32_t>(i), static_cast<uint32_t>(j));
+    }
+  }
+
+  result.groups = [&] {
+    std::vector<std::vector<size_t>> groups;
+    auto comps = uf.Components();
+    for (auto& c : comps) {
+      if (c.size() < 2) continue;  // singletons are not snapshot groups
+      groups.emplace_back(c.begin(), c.end());
+    }
+    return groups;
+  }();
+
+  for (const auto& group : result.groups) {
+    if (group.size() < options.min_group_size) continue;
+    for (size_t idx : group) {
+      if (!result.is_temporal[idx]) {
+        result.is_temporal[idx] = true;
+        ++result.flagged;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace ms

@@ -1,0 +1,53 @@
+// Temporal-mapping detection — the paper's Appendix J future-work item:
+// temporal relationships (driver → team, club → points) manifest as *many*
+// mutually-conflicting synthesized clusters over the same left entities
+// (one per season/snapshot), whereas static relationships produce either a
+// single cluster or a small, fixed set of conflicting siblings (ISO vs IOC
+// vs FIFA codes). "Additional reasoning of conflicts between synthesized
+// clusters can potentially identify such temporal mappings."
+//
+// The detector groups clusters that share left entities but conflict on
+// rights, and flags groups whose cardinality exceeds what code-system
+// families exhibit.
+#pragma once
+
+#include <vector>
+
+#include "synth/compatibility.h"
+#include "synth/mapping.h"
+
+namespace ms {
+
+struct TemporalDetectionOptions {
+  /// Two clusters are "snapshot-related" when this fraction of the smaller
+  /// cluster's left values also appears in the other...
+  double min_left_containment = 0.5;
+  /// ...and at least this fraction of those shared lefts have conflicting
+  /// rights (temporal snapshots re-map most entities; code systems only a
+  /// minority).
+  double min_conflict_fraction = 0.4;
+  /// Groups with at least this many snapshot-related clusters are flagged
+  /// temporal (ISO/IOC/FIFA-style families have 2-3 siblings).
+  size_t min_group_size = 4;
+  /// Clusters smaller than this never participate: synthesis fragments
+  /// (2-3 pairs) trivially reach high containment and would chain
+  /// unrelated clusters into giant spurious snapshot groups.
+  size_t min_cluster_size = 5;
+  /// At least this many shared left entities are required per pair.
+  size_t min_shared_lefts = 4;
+  CompatibilityOptions compat;
+};
+
+struct TemporalDetectionResult {
+  /// Per input mapping: true when it belongs to a flagged temporal group.
+  std::vector<bool> is_temporal;
+  /// Snapshot groups found (indices into the input vector), flagged or not.
+  std::vector<std::vector<size_t>> groups;
+  size_t flagged = 0;
+};
+
+TemporalDetectionResult DetectTemporalMappings(
+    const std::vector<SynthesizedMapping>& mappings, const StringPool& pool,
+    const TemporalDetectionOptions& options = {});
+
+}  // namespace ms

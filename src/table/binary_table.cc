@@ -1,0 +1,138 @@
+#include "table/binary_table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace ms {
+
+BinaryTable BinaryTable::FromColumns(const Table& table, size_t left_col,
+                                     size_t right_col) {
+  assert(left_col < table.columns.size());
+  assert(right_col < table.columns.size());
+  assert(left_col != right_col);
+  const Column& lc = table.columns[left_col];
+  const Column& rc = table.columns[right_col];
+  const size_t n = std::min(lc.size(), rc.size());
+
+  BinaryTable b;
+  b.source_table = table.id;
+  b.domain = table.domain;
+  b.source = table.source;
+  b.left_name = lc.name;
+  b.right_name = rc.name;
+  b.pairs_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    b.pairs_.push_back({lc.cells[i], rc.cells[i]});
+  }
+  b.Canonicalize();
+  return b;
+}
+
+BinaryTable BinaryTable::FromPairs(std::vector<ValuePair> pairs) {
+  BinaryTable b;
+  b.pairs_ = std::move(pairs);
+  b.Canonicalize();
+  return b;
+}
+
+void BinaryTable::Canonicalize() {
+  std::sort(pairs_.begin(), pairs_.end());
+  pairs_.erase(std::unique(pairs_.begin(), pairs_.end()), pairs_.end());
+}
+
+bool BinaryTable::ContainsPair(const ValuePair& p) const {
+  return std::binary_search(pairs_.begin(), pairs_.end(), p);
+}
+
+std::vector<ValueId> BinaryTable::LeftValues() const {
+  std::vector<ValueId> out;
+  out.reserve(pairs_.size());
+  for (const auto& p : pairs_) {
+    if (out.empty() || out.back() != p.left) out.push_back(p.left);
+  }
+  return out;  // pairs_ sorted by (left, right) => lefts already sorted
+}
+
+std::vector<ValueId> BinaryTable::RightValues() const {
+  std::vector<ValueId> out;
+  out.reserve(pairs_.size());
+  for (const auto& p : pairs_) out.push_back(p.right);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+double BinaryTable::FdHoldRatio() const {
+  if (pairs_.empty()) return 1.0;
+  // pairs_ sorted by left: walk runs of equal left values. Each distinct
+  // (left,right) pair appears once, so within a run every right is distinct;
+  // the plurality right value for that left can only be justified by raw row
+  // multiplicity, which dedup removed. We therefore count, per left value,
+  // one kept pair out of the k distinct rights it maps to.
+  size_t kept = 0;
+  size_t i = 0;
+  while (i < pairs_.size()) {
+    size_t j = i;
+    while (j < pairs_.size() && pairs_[j].left == pairs_[i].left) ++j;
+    kept += 1;  // keep exactly one right value per left value
+    i = j;
+  }
+  return static_cast<double>(kept) / static_cast<double>(pairs_.size());
+}
+
+size_t BinaryTable::IntersectSize(const BinaryTable& other) const {
+  size_t count = 0;
+  size_t i = 0, j = 0;
+  const auto& a = pairs_;
+  const auto& b = other.pairs_;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+std::vector<ValueId> BinaryTable::ConflictSet(const BinaryTable& other) const {
+  std::vector<ValueId> out;
+  size_t i = 0, j = 0;
+  const auto& a = pairs_;
+  const auto& b = other.pairs_;
+  // Walk runs of equal left value in both tables; a conflict exists when the
+  // two runs' right-value sets are not identical... the paper's definition is
+  // l ∈ F iff ∃ (l,r) ∈ B, (l,r') ∈ B' with r ≠ r'.
+  while (i < a.size() && j < b.size()) {
+    if (a[i].left < b[j].left) {
+      ++i;
+    } else if (b[j].left < a[i].left) {
+      ++j;
+    } else {
+      const ValueId l = a[i].left;
+      size_t ie = i, je = j;
+      while (ie < a.size() && a[ie].left == l) ++ie;
+      while (je < b.size() && b[je].left == l) ++je;
+      bool conflict = false;
+      for (size_t x = i; x < ie && !conflict; ++x) {
+        for (size_t y = j; y < je; ++y) {
+          if (a[x].right != b[y].right) {
+            conflict = true;
+            break;
+          }
+        }
+      }
+      if (conflict) out.push_back(l);
+      i = ie;
+      j = je;
+    }
+  }
+  return out;
+}
+
+}  // namespace ms

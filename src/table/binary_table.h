@@ -1,0 +1,84 @@
+// Two-column candidate tables ("binary tables", B in the paper). These are
+// the unit of synthesis: Step 1 extracts them from corpus tables, Step 2
+// groups compatible ones, Step 3 resolves conflicts inside each group.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "table/string_pool.h"
+#include "table/table.h"
+
+namespace ms {
+
+/// One (left, right) value pair of a binary relation.
+struct ValuePair {
+  ValueId left = kInvalidValueId;
+  ValueId right = kInvalidValueId;
+
+  friend bool operator==(const ValuePair&, const ValuePair&) = default;
+  friend auto operator<=>(const ValuePair&, const ValuePair&) = default;
+};
+
+using BinaryTableId = uint32_t;
+
+/// An ordered two-column table B = {(l_i, r_i)} with provenance. Pairs are
+/// stored sorted and de-duplicated, which makes intersection, containment
+/// and conflict-set computations linear merges.
+class BinaryTable {
+ public:
+  BinaryTable() = default;
+
+  /// Builds from two row-aligned columns of `table` (ordered: `left_col` is
+  /// the determining attribute). Duplicate pairs collapse.
+  static BinaryTable FromColumns(const Table& table, size_t left_col,
+                                 size_t right_col);
+
+  /// Builds directly from pairs (sorted + deduped internally).
+  static BinaryTable FromPairs(std::vector<ValuePair> pairs);
+
+  BinaryTableId id = 0;
+  TableId source_table = 0;
+  std::string domain;
+  TableSource source = TableSource::kWeb;
+  std::string left_name;   ///< header of the determining column
+  std::string right_name;  ///< header of the determined column
+
+  const std::vector<ValuePair>& pairs() const { return pairs_; }
+  size_t size() const { return pairs_.size(); }
+  bool empty() const { return pairs_.empty(); }
+
+  bool ContainsPair(const ValuePair& p) const;
+
+  /// Distinct left-hand-side values, sorted.
+  std::vector<ValueId> LeftValues() const;
+
+  /// Distinct right-hand-side values, sorted.
+  std::vector<ValueId> RightValues() const;
+
+  /// Fraction of pairs that survive in the largest FD-consistent subset:
+  /// for each left value keep the plurality right value. Definition 2's
+  /// θ-approximate mapping holds iff FdHoldRatio() >= θ.
+  double FdHoldRatio() const;
+
+  /// True when the relation X -> Y is a θ-approximate mapping.
+  bool IsApproximateMapping(double theta) const {
+    return !pairs_.empty() && FdHoldRatio() >= theta;
+  }
+
+  /// |this ∩ other| exact pair intersection size (merge on sorted pairs).
+  size_t IntersectSize(const BinaryTable& other) const;
+
+  /// Conflict set F(B, B') = {l | (l,r) ∈ B, (l,r') ∈ B', r ≠ r'} — the
+  /// left values mapped inconsistently across the two tables. Returns
+  /// distinct left values.
+  std::vector<ValueId> ConflictSet(const BinaryTable& other) const;
+
+ private:
+  void Canonicalize();
+
+  std::vector<ValuePair> pairs_;
+};
+
+}  // namespace ms

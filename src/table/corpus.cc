@@ -1,0 +1,52 @@
+#include "table/corpus.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ms {
+
+TableId TableCorpus::Add(Table table) {
+  table.id = static_cast<TableId>(tables_.size());
+  tables_.push_back(std::move(table));
+  return tables_.back().id;
+}
+
+TableId TableCorpus::AddFromStrings(
+    std::string domain, TableSource source,
+    const std::vector<std::string>& column_names,
+    const std::vector<std::vector<std::string>>& columns) {
+  assert(column_names.size() == columns.size());
+  Table t;
+  t.domain = std::move(domain);
+  t.source = source;
+  t.columns.reserve(columns.size());
+  for (size_t c = 0; c < columns.size(); ++c) {
+    Column col;
+    col.name = column_names[c];
+    col.cells.reserve(columns[c].size());
+    for (const auto& cell : columns[c]) col.cells.push_back(pool_->Intern(cell));
+    t.columns.push_back(std::move(col));
+  }
+  return Add(std::move(t));
+}
+
+size_t TableCorpus::TotalColumns() const {
+  size_t n = 0;
+  for (const auto& t : tables_) n += t.num_columns();
+  return n;
+}
+
+TableCorpus TableCorpus::Subset(double fraction) const {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  TableCorpus out;
+  out.pool_ = pool_;  // share interning
+  const size_t keep = static_cast<size_t>(
+      static_cast<double>(tables_.size()) * fraction);
+  for (size_t i = 0; i < keep; ++i) {
+    Table t = tables_[i];
+    out.Add(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace ms

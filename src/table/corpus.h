@@ -1,0 +1,57 @@
+// A table corpus T = {T}: the only input to the synthesis problem
+// (Definition 3). Owns the interning pool shared by all contained tables.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "table/string_pool.h"
+#include "table/table.h"
+
+namespace ms {
+
+/// Container for tables plus the shared string pool. Movable, not copyable
+/// (a corpus can be large).
+class TableCorpus {
+ public:
+  TableCorpus() : pool_(std::make_shared<StringPool>()) {}
+
+  TableCorpus(const TableCorpus&) = delete;
+  TableCorpus& operator=(const TableCorpus&) = delete;
+  TableCorpus(TableCorpus&&) = default;
+  TableCorpus& operator=(TableCorpus&&) = default;
+
+  StringPool& pool() { return *pool_; }
+  const StringPool& pool() const { return *pool_; }
+  std::shared_ptr<StringPool> shared_pool() const { return pool_; }
+
+  /// Adds a table, assigning it the next TableId. Returns the id.
+  TableId Add(Table table);
+
+  /// Convenience: builds a table from string cells (column-major), interning
+  /// values into the pool.
+  TableId AddFromStrings(std::string domain, TableSource source,
+                         const std::vector<std::string>& column_names,
+                         const std::vector<std::vector<std::string>>& columns);
+
+  const std::vector<Table>& tables() const { return tables_; }
+  const Table& table(TableId id) const { return tables_[id]; }
+  size_t size() const { return tables_.size(); }
+
+  /// Total number of columns across all tables (the N in the PMI formula).
+  size_t TotalColumns() const;
+
+  /// Keeps only the first `fraction` (by insertion order after a seeded
+  /// shuffle would be done by the caller) — used by the scalability sweep.
+  /// Returns a new corpus sharing the same pool.
+  TableCorpus Subset(double fraction) const;
+
+ private:
+  std::shared_ptr<StringPool> pool_;
+  std::vector<Table> tables_;
+};
+
+}  // namespace ms

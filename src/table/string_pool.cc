@@ -1,0 +1,34 @@
+#include "table/string_pool.h"
+
+#include <cassert>
+
+namespace ms {
+
+ValueId StringPool::Intern(std::string_view s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  strings_.emplace_back(s);
+  ValueId id = static_cast<ValueId>(strings_.size() - 1);
+  index_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+ValueId StringPool::Find(std::string_view s) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(s);
+  return it == index_.end() ? kInvalidValueId : it->second;
+}
+
+std::string_view StringPool::Get(ValueId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  assert(id < strings_.size());
+  return strings_[id];
+}
+
+size_t StringPool::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return strings_.size();
+}
+
+}  // namespace ms

@@ -1,0 +1,47 @@
+// Global string interning. Every distinct cell value in a corpus is stored
+// once and referenced by a dense 32-bit ValueId everywhere else (tables,
+// binary relations, inverted indexes, graphs). This keeps the quadratic
+// compatibility computations id-based and cache-friendly.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace ms {
+
+using ValueId = uint32_t;
+
+/// Sentinel for "no value".
+inline constexpr ValueId kInvalidValueId = UINT32_MAX;
+
+/// Append-only interning pool. Intern() is thread-safe; Get() is safe to
+/// call concurrently with Intern() because stored strings never move (deque
+/// storage) and ids are handed out only after the string is in place.
+class StringPool {
+ public:
+  StringPool() = default;
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+
+  /// Returns the id for `s`, inserting it on first sight.
+  ValueId Intern(std::string_view s);
+
+  /// Returns the id for `s` or kInvalidValueId if never interned.
+  ValueId Find(std::string_view s) const;
+
+  /// The interned string for a valid id.
+  std::string_view Get(ValueId id) const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<std::string> strings_;
+  std::unordered_map<std::string_view, ValueId> index_;
+};
+
+}  // namespace ms

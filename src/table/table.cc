@@ -1,0 +1,28 @@
+#include "table/table.h"
+
+namespace ms {
+
+const char* TableSourceName(TableSource s) {
+  switch (s) {
+    case TableSource::kWeb:
+      return "web";
+    case TableSource::kWiki:
+      return "wiki";
+    case TableSource::kEnterprise:
+      return "enterprise";
+    case TableSource::kTrusted:
+      return "trusted";
+  }
+  return "?";
+}
+
+bool Table::IsRectangular() const {
+  if (columns.empty()) return true;
+  const size_t n = columns[0].size();
+  for (const auto& c : columns) {
+    if (c.size() != n) return false;
+  }
+  return true;
+}
+
+}  // namespace ms

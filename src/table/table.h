@@ -1,0 +1,49 @@
+// Core relational-table model: a Table is a set of named columns of interned
+// values, annotated with provenance (web domain / source kind) used by the
+// UnionDomain baseline and by curation-popularity statistics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "table/string_pool.h"
+
+namespace ms {
+
+using TableId = uint32_t;
+
+/// Where a table came from; drives baseline eligibility (WikiTable only
+/// looks at kWiki tables) and the trusted-source expansion step.
+enum class TableSource {
+  kWeb = 0,        ///< generic web-extracted HTML table
+  kWiki,           ///< Wikipedia table (high quality, short)
+  kEnterprise,     ///< intranet spreadsheet
+  kTrusted,        ///< authoritative feed (data.gov-style), used for expansion
+};
+
+const char* TableSourceName(TableSource s);
+
+/// One named column of interned cell values.
+struct Column {
+  std::string name;            ///< header, often undescriptive ("name","code")
+  std::vector<ValueId> cells;  ///< row-aligned values
+
+  size_t size() const { return cells.size(); }
+};
+
+/// A relational table extracted from a corpus.
+struct Table {
+  TableId id = 0;
+  std::string domain;  ///< website domain (e.g. "sports.example.org")
+  TableSource source = TableSource::kWeb;
+  std::vector<Column> columns;
+
+  size_t num_columns() const { return columns.size(); }
+  size_t num_rows() const { return columns.empty() ? 0 : columns[0].size(); }
+
+  /// True when all columns have the same number of cells.
+  bool IsRectangular() const;
+};
+
+}  // namespace ms

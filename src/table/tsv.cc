@@ -1,0 +1,88 @@
+#include "table/tsv.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace ms {
+namespace {
+
+TableSource ParseSource(std::string_view s) {
+  if (s == "wiki") return TableSource::kWiki;
+  if (s == "enterprise") return TableSource::kEnterprise;
+  if (s == "trusted") return TableSource::kTrusted;
+  return TableSource::kWeb;
+}
+
+}  // namespace
+
+Status WriteCorpusTsv(const TableCorpus& corpus, std::ostream& out) {
+  const StringPool& pool = corpus.pool();
+  for (const auto& t : corpus.tables()) {
+    out << "#table " << (t.domain.empty() ? "-" : t.domain) << ' '
+        << TableSourceName(t.source) << '\n';
+    for (size_t c = 0; c < t.columns.size(); ++c) {
+      if (c) out << '\t';
+      out << t.columns[c].name;
+    }
+    out << '\n';
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      for (size_t c = 0; c < t.columns.size(); ++c) {
+        if (c) out << '\t';
+        if (r < t.columns[c].size()) out << pool.Get(t.columns[c].cells[r]);
+      }
+      out << '\n';
+    }
+    out << '\n';
+  }
+  if (!out.good()) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Status ReadCorpusTsv(std::istream& in, TableCorpus* corpus) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (!StartsWith(line, "#table ")) {
+      return Status::InvalidArgument("expected '#table' header, got: " + line);
+    }
+    auto header = Split(line.substr(7), ' ');
+    if (header.size() < 2) {
+      return Status::InvalidArgument("malformed table header: " + line);
+    }
+    std::string domain = header[0] == "-" ? "" : header[0];
+    TableSource source = ParseSource(header[1]);
+
+    if (!std::getline(in, line)) {
+      return Status::InvalidArgument("missing column-name row");
+    }
+    auto names = Split(line, '\t');
+    std::vector<std::vector<std::string>> cols(names.size());
+
+    while (std::getline(in, line) && !line.empty()) {
+      auto cells = Split(line, '\t');
+      cells.resize(names.size());
+      for (size_t c = 0; c < names.size(); ++c) {
+        cols[c].push_back(std::move(cells[c]));
+      }
+    }
+    corpus->AddFromStrings(std::move(domain), source, names, cols);
+  }
+  return Status::OK();
+}
+
+Status SaveCorpus(const TableCorpus& corpus, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  return WriteCorpusTsv(corpus, out);
+}
+
+Status LoadCorpus(const std::string& path, TableCorpus* corpus) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  return ReadCorpusTsv(in, corpus);
+}
+
+}  // namespace ms

@@ -1,0 +1,30 @@
+// Plain-text persistence for corpora and synthesized mappings. The format is
+// line-oriented TSV with `#table` section headers so a corpus round-trips
+// through a single file; this stands in for the paper's 200GB extraction
+// dumps at laptop scale.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "common/status.h"
+#include "table/corpus.h"
+
+namespace ms {
+
+/// Serializes the corpus to a stream.
+/// Format per table:
+///   #table <domain> <source>
+///   name1<TAB>name2...
+///   cell<TAB>cell...
+///   (blank line terminates the table)
+Status WriteCorpusTsv(const TableCorpus& corpus, std::ostream& out);
+
+/// Parses a corpus from a stream in the format produced by WriteCorpusTsv.
+Status ReadCorpusTsv(std::istream& in, TableCorpus* corpus);
+
+/// File-path conveniences.
+Status SaveCorpus(const TableCorpus& corpus, const std::string& path);
+Status LoadCorpus(const std::string& path, TableCorpus* corpus);
+
+}  // namespace ms

@@ -1,0 +1,40 @@
+// Approximate string matching (paper Section 4.1 + Appendix B).
+//
+// The match predicate uses a *fractional* edit-distance threshold
+//   θ_ed(v1, v2) = min{ ⌊|v1|·f_ed⌋, ⌊|v2|·f_ed⌋, k_ed }
+// so short codes ("USA" vs "RSA") require exact equality while longer names
+// tolerate small variations. The distance itself is computed with a banded
+// dynamic program (Ukkonen-style, Algorithm 2) that only fills a diagonal
+// band of width θ_ed, giving O(θ_ed · min(|v1|,|v2|)) time.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace ms {
+
+/// Paper defaults: f_ed = 0.2, k_ed = 10.
+struct EditDistanceOptions {
+  double fractional = 0.2;  ///< f_ed
+  size_t cap = 10;          ///< k_ed safeguard
+};
+
+/// Full-matrix Levenshtein distance. O(|a|·|b|); reference implementation
+/// used by tests to validate the banded version.
+size_t EditDistanceFull(std::string_view a, std::string_view b);
+
+/// Banded Levenshtein: returns the exact distance if it is <= band,
+/// otherwise any value > band (early-exits). band may be 0 (exact match).
+size_t EditDistanceBanded(std::string_view a, std::string_view b, size_t band);
+
+/// The dynamic threshold θ_ed(v1, v2).
+size_t FractionalThreshold(std::string_view a, std::string_view b,
+                           const EditDistanceOptions& opts = {});
+
+/// True when a and b approximately match under the fractional threshold
+/// (Example 8: "American Samoa" ~ "American Samoa (US)" after
+/// normalization).
+bool ApproxMatch(std::string_view a, std::string_view b,
+                 const EditDistanceOptions& opts = {});
+
+}  // namespace ms

@@ -1,0 +1,126 @@
+#include "text/normalize.h"
+
+#include <cctype>
+
+namespace ms {
+namespace {
+
+bool IsPunct(char c) {
+  switch (c) {
+    case ',':
+    case '.':
+    case '(':
+    case ')':
+    case '\'':
+    case '"':
+    case '!':
+    case '?':
+    case ':':
+    case ';':
+    case '[':
+    case ']':
+    case '{':
+    case '}':
+      return true;
+    default:
+      return false;
+  }
+}
+
+// Removes trailing footnote markers: "...Samoa[1]", "...Samoa (2)".
+std::string StripFootnotes(std::string_view s) {
+  std::string out(s);
+  for (;;) {
+    // trim trailing spaces first
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    if (out.size() >= 3 && out.back() == ']') {
+      size_t open = out.rfind('[');
+      if (open != std::string::npos && open + 1 < out.size() - 1) {
+        bool digits = true;
+        for (size_t i = open + 1; i + 1 < out.size(); ++i) {
+          if (!std::isdigit(static_cast<unsigned char>(out[i]))) {
+            digits = false;
+            break;
+          }
+        }
+        if (digits) {
+          out.erase(open);
+          continue;
+        }
+      }
+    }
+    break;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string NormalizeCell(std::string_view raw, const NormalizeOptions& opts) {
+  std::string s = opts.strip_footnote_marks ? StripFootnotes(raw)
+                                            : std::string(raw);
+  std::string out;
+  out.reserve(s.size());
+  bool last_space = true;  // also trims leading whitespace
+  for (char c : s) {
+    if (opts.strip_punctuation && IsPunct(c)) continue;
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (opts.collapse_whitespace) {
+        if (!last_space) {
+          out.push_back(' ');
+          last_space = true;
+        }
+      } else {
+        out.push_back(c);
+        last_space = true;
+      }
+      continue;
+    }
+    out.push_back(opts.lowercase
+                      ? static_cast<char>(
+                            std::tolower(static_cast<unsigned char>(c)))
+                      : c);
+    last_space = false;
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+bool LooksNumeric(std::string_view v) {
+  if (v.empty()) return false;
+  size_t digits = 0, other = 0;
+  for (char c : v) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      ++digits;
+    } else if (c == '.' || c == ',' || c == '-' || c == '+' || c == '%' ||
+               c == '$' || c == ' ') {
+      // numeric furniture
+    } else {
+      ++other;
+    }
+  }
+  return digits > 0 && other == 0;
+}
+
+bool LooksTemporal(std::string_view v) {
+  if (v.size() == 4) {
+    // plain year 1000-2999
+    bool all = true;
+    for (char c : v) all = all && std::isdigit(static_cast<unsigned char>(c));
+    if (all && (v[0] == '1' || v[0] == '2')) return true;
+  }
+  // date-ish: digits separated by - or /
+  size_t digits = 0, seps = 0, other = 0;
+  for (char c : v) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      ++digits;
+    } else if (c == '-' || c == '/' || c == ':') {
+      ++seps;
+    } else {
+      ++other;
+    }
+  }
+  return digits >= 3 && seps >= 1 && other == 0;
+}
+
+}  // namespace ms

@@ -1,0 +1,32 @@
+// Cell-value normalization applied before matching. The paper notes real
+// cells carry extraneous artifacts — footnote marks like "[1]", punctuation,
+// case differences — that artificially reduce positive compatibility
+// (Section 4.1, "Approximate String Matching"). Normalization strips the
+// cheap-to-remove artifacts; the banded edit distance absorbs the rest.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace ms {
+
+struct NormalizeOptions {
+  bool lowercase = true;
+  bool strip_punctuation = true;      ///< drop ,.()'"!?: etc (keeps &-/)
+  bool collapse_whitespace = true;    ///< runs of spaces -> one space
+  bool strip_footnote_marks = true;   ///< remove trailing "[12]" / "(1)" marks
+};
+
+/// Returns the normalized form of a raw cell value.
+std::string NormalizeCell(std::string_view raw,
+                          const NormalizeOptions& opts = {});
+
+/// True if the value looks numeric (integer/decimal/percent/currency-ish).
+/// Used by curation filtering ("additional filtering can be performed to
+/// further prune out numeric and temporal relationships", Section 4.3).
+bool LooksNumeric(std::string_view v);
+
+/// True if the value looks like a date/time or a year.
+bool LooksTemporal(std::string_view v);
+
+}  // namespace ms

@@ -1,0 +1,61 @@
+#include "text/synonyms.h"
+
+#include <unordered_set>
+
+namespace ms {
+
+ValueId SynonymDictionary::Find(ValueId v) const {
+  auto it = parent_.find(v);
+  if (it == parent_.end() || it->second == v) return v;  // root
+  // Path compression.
+  ValueId root = Find(it->second);
+  if (root != it->second) parent_[v] = root;
+  return root;
+}
+
+void SynonymDictionary::AddSynonym(std::string_view a, std::string_view b) {
+  ValueId ia = pool_->Intern(a);
+  ValueId ib = pool_->Intern(b);
+  ValueId ra = Find(ia);
+  ValueId rb = Find(ib);
+  if (ra == rb) return;
+  parent_[rb] = ra;
+  // Ensure both leaves are present so ClassMembers can enumerate them.
+  if (!parent_.count(ia)) parent_[ia] = ra;
+  if (!parent_.count(ib)) parent_[ib] = ra;
+  if (!parent_.count(ra)) parent_[ra] = ra;
+}
+
+bool SynonymDictionary::AreSynonyms(ValueId a, ValueId b) const {
+  if (a == b) return true;
+  return Find(a) == Find(b);
+}
+
+bool SynonymDictionary::AreSynonyms(std::string_view a,
+                                    std::string_view b) const {
+  if (a == b) return true;
+  ValueId ia = pool_->Find(a);
+  ValueId ib = pool_->Find(b);
+  if (ia == kInvalidValueId || ib == kInvalidValueId) return false;
+  return AreSynonyms(ia, ib);
+}
+
+ValueId SynonymDictionary::ClassOf(ValueId v) const { return Find(v); }
+
+std::vector<ValueId> SynonymDictionary::ClassMembers(ValueId v) const {
+  ValueId root = Find(v);
+  std::vector<ValueId> out;
+  for (const auto& [child, _] : parent_) {
+    if (Find(child) == root) out.push_back(child);
+  }
+  if (out.empty()) out.push_back(v);
+  return out;
+}
+
+size_t SynonymDictionary::num_classes_with_synonyms() const {
+  std::unordered_set<ValueId> roots;
+  for (const auto& [child, _] : parent_) roots.insert(Find(child));
+  return roots.size();
+}
+
+}  // namespace ms

@@ -1,0 +1,46 @@
+// Synonym dictionary (paper Section 4.1 "Synonyms" + Section 4.2 conflict
+// definition). When an external feed declares two strings synonymous, they
+// (a) count as a positive match when computing w+, and (b) are *not*
+// treated as conflicting right-hand sides when computing w- / F(B,B').
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "table/string_pool.h"
+
+namespace ms {
+
+/// Union-find over interned values: synonymous values share a class id.
+class SynonymDictionary {
+ public:
+  explicit SynonymDictionary(std::shared_ptr<StringPool> pool)
+      : pool_(std::move(pool)) {}
+
+  /// Declares a and b synonyms (strings are interned if new).
+  void AddSynonym(std::string_view a, std::string_view b);
+
+  /// True if the two values are known synonyms (or equal).
+  bool AreSynonyms(ValueId a, ValueId b) const;
+  bool AreSynonyms(std::string_view a, std::string_view b) const;
+
+  /// Canonical class representative for a value (itself if no synonyms).
+  ValueId ClassOf(ValueId v) const;
+
+  /// All members of v's synonym class, including v.
+  std::vector<ValueId> ClassMembers(ValueId v) const;
+
+  size_t num_classes_with_synonyms() const;
+
+ private:
+  ValueId Find(ValueId v) const;
+
+  std::shared_ptr<StringPool> pool_;
+  // Parent pointers; values absent from the map are their own class.
+  mutable std::unordered_map<ValueId, ValueId> parent_;
+};
+
+}  // namespace ms

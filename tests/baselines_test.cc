@@ -1,0 +1,339 @@
+// Tests for the comparison methods of Figure 7: union baselines, schema-CC,
+// correlation clustering, WiseIntegrator, single-table pickers and the
+// knowledge-base surrogates.
+#include <memory>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "baselines/correlation.h"
+#include "baselines/knowledge_base.h"
+#include "baselines/schema_cc.h"
+#include "baselines/single_table.h"
+#include "baselines/union_tables.h"
+#include "baselines/wise_integrator.h"
+#include "corpusgen/builtin_domains.h"
+
+namespace ms {
+namespace {
+
+class BaselineFixture : public ::testing::Test {
+ protected:
+  BaselineFixture() : pool_(std::make_shared<StringPool>()) {}
+
+  BinaryTable Make(const std::vector<std::pair<std::string, std::string>>&
+                       rows,
+                   const std::string& lname, const std::string& rname,
+                   const std::string& domain,
+                   TableSource source = TableSource::kWeb) {
+    std::vector<ValuePair> pairs;
+    for (const auto& [l, r] : rows) {
+      pairs.push_back({pool_->Intern(l), pool_->Intern(r)});
+    }
+    BinaryTable b = BinaryTable::FromPairs(std::move(pairs));
+    b.left_name = lname;
+    b.right_name = rname;
+    b.domain = domain;
+    b.source = source;
+    b.id = next_id_++;
+    return b;
+  }
+
+  std::shared_ptr<StringPool> pool_;
+  BinaryTableId next_id_ = 0;
+};
+
+// ------------------------------------------------------------- Union [30]
+
+TEST_F(BaselineFixture, UnionDomainGroupsWithinDomainOnly) {
+  std::vector<BinaryTable> cands;
+  cands.push_back(Make({{"a", "1"}}, "name", "code", "d1.com"));
+  cands.push_back(Make({{"b", "2"}}, "name", "code", "d1.com"));
+  cands.push_back(Make({{"c", "3"}}, "name", "code", "d2.com"));
+  auto rels = UnionDomainRelations(cands);
+  EXPECT_EQ(rels.size(), 2u);
+  size_t sizes = 0;
+  for (const auto& r : rels) sizes += r.size();
+  EXPECT_EQ(sizes, 3u);
+}
+
+TEST_F(BaselineFixture, UnionWebGroupsAcrossDomains) {
+  std::vector<BinaryTable> cands;
+  cands.push_back(Make({{"a", "1"}}, "name", "code", "d1.com"));
+  cands.push_back(Make({{"b", "2"}}, "name", "code", "d2.com"));
+  auto rels = UnionWebRelations(cands);
+  ASSERT_EQ(rels.size(), 1u);
+  EXPECT_EQ(rels[0].size(), 2u);
+}
+
+TEST_F(BaselineFixture, UnionWebOverGroupsGenericHeaders) {
+  // Two semantically different relations with identical generic headers
+  // end up in one union table — the paper's core criticism of [30].
+  std::vector<BinaryTable> cands;
+  cands.push_back(Make({{"france", "fra"}}, "name", "code", "d1.com"));
+  cands.push_back(Make({{"hydrogen", "h"}}, "name", "code", "d2.com"));
+  auto rels = UnionWebRelations(cands);
+  EXPECT_EQ(rels.size(), 1u);  // over-grouped
+}
+
+TEST_F(BaselineFixture, UnionHeaderMatchingIsCaseInsensitive) {
+  std::vector<BinaryTable> cands;
+  cands.push_back(Make({{"a", "1"}}, "Name", "Code", "d.com"));
+  cands.push_back(Make({{"b", "2"}}, "name", "code", "d.com"));
+  EXPECT_EQ(UnionDomainRelations(cands).size(), 1u);
+}
+
+// ---------------------------------------------------------------- SchemaCC
+
+TEST_F(BaselineFixture, SchemaCcMergesAboveThreshold) {
+  std::vector<BinaryTable> cands;
+  cands.push_back(Make({{"a", "1"}, {"b", "2"}}, "x", "y", "d1"));
+  cands.push_back(Make({{"a", "1"}, {"b", "2"}}, "x", "y", "d2"));
+  cands.push_back(Make({{"z", "9"}}, "x", "y", "d3"));
+  CompatibilityGraph g(3);
+  g.AddEdge(0, 1, 1.0, 0.0);
+  g.Finalize();
+  SchemaCcOptions opts;
+  opts.threshold = 0.5;
+  auto rels = SchemaCcRelations(g, cands, opts);
+  EXPECT_EQ(rels.size(), 2u);
+}
+
+TEST_F(BaselineFixture, SchemaCcNegativeSignalsLowerScore) {
+  std::vector<BinaryTable> cands;
+  cands.push_back(Make({{"algeria", "dza"}}, "x", "y", "d1"));
+  cands.push_back(Make({{"algeria", "alg"}}, "x", "y", "d2"));
+  CompatibilityGraph g(2);
+  g.AddEdge(0, 1, 0.6, -0.4);  // combined 0.2 < 0.5 threshold
+  g.Finalize();
+  SchemaCcOptions with_neg;
+  with_neg.threshold = 0.5;
+  with_neg.use_negative_signals = true;
+  EXPECT_EQ(SchemaCcRelations(g, cands, with_neg).size(), 2u);
+  SchemaCcOptions pos_only = with_neg;
+  pos_only.use_negative_signals = false;  // 0.6 >= 0.5: merges
+  EXPECT_EQ(SchemaCcRelations(g, cands, pos_only).size(), 1u);
+}
+
+TEST_F(BaselineFixture, SchemaCcTransitivityOverGroups) {
+  // A-B and B-C match, A-C conflicts: CC still lumps all three (the
+  // aggregation flaw Synthesis avoids).
+  std::vector<BinaryTable> cands;
+  cands.push_back(Make({{"a", "1"}}, "x", "y", "d1"));
+  cands.push_back(Make({{"a", "1"}, {"b", "2"}}, "x", "y", "d2"));
+  cands.push_back(Make({{"b", "2"}}, "x", "y", "d3"));
+  CompatibilityGraph g(3);
+  g.AddEdge(0, 1, 0.9, 0.0);
+  g.AddEdge(1, 2, 0.9, 0.0);
+  g.AddEdge(0, 2, 0.0, -1.0);
+  g.Finalize();
+  SchemaCcOptions opts;
+  opts.threshold = 0.5;
+  EXPECT_EQ(SchemaCcRelations(g, cands, opts).size(), 1u);
+}
+
+TEST_F(BaselineFixture, SchemaCcThresholdSweepSizes) {
+  std::vector<BinaryTable> cands;
+  for (int i = 0; i < 3; ++i) {
+    cands.push_back(Make({{"v" + std::to_string(i), "1"}}, "x", "y", "d"));
+  }
+  CompatibilityGraph g(3);
+  g.AddEdge(0, 1, 0.3, 0.0);
+  g.AddEdge(1, 2, 0.7, 0.0);
+  g.Finalize();
+  auto sweep = SchemaCcThresholdSweep(g, cands, {0.2, 0.5, 0.9}, false);
+  ASSERT_EQ(sweep.size(), 3u);
+  EXPECT_EQ(sweep[0].size(), 1u);  // everything merges at 0.2
+  EXPECT_EQ(sweep[1].size(), 2u);  // only the 0.7 edge at 0.5
+  EXPECT_EQ(sweep[2].size(), 3u);  // nothing at 0.9
+}
+
+// ------------------------------------------------------------- Correlation
+
+TEST_F(BaselineFixture, CorrelationClustersPositiveCliques) {
+  CompatibilityGraph g(6);
+  // Two positive triangles, negative across.
+  for (auto [u, v] : {std::pair{0, 1}, {1, 2}, {0, 2}}) {
+    g.AddEdge(u, v, 0.9, 0.0);
+  }
+  for (auto [u, v] : {std::pair{3, 4}, {4, 5}, {3, 5}}) {
+    g.AddEdge(u, v, 0.9, 0.0);
+  }
+  g.AddEdge(2, 3, 0.1, -0.8);
+  g.Finalize();
+  CorrelationOptions opts;
+  opts.positive_threshold = 0.5;
+  auto r = ParallelPivotClustering(g, opts);
+  EXPECT_EQ(r.cluster_of[0], r.cluster_of[1]);
+  EXPECT_EQ(r.cluster_of[1], r.cluster_of[2]);
+  EXPECT_EQ(r.cluster_of[3], r.cluster_of[4]);
+  EXPECT_NE(r.cluster_of[2], r.cluster_of[3]);
+  EXPECT_GE(r.rounds, 1u);
+}
+
+TEST_F(BaselineFixture, CorrelationTerminatesAndCoversAll) {
+  Rng rng(3);
+  const size_t n = 50;
+  CompatibilityGraph g(n);
+  for (int e = 0; e < 150; ++e) {
+    uint32_t u = static_cast<uint32_t>(rng.Uniform(n));
+    uint32_t v = static_cast<uint32_t>(rng.Uniform(n));
+    if (u != v) g.AddEdge(u, v, rng.UniformDouble(), 0.0);
+  }
+  g.Finalize();
+  auto r = ParallelPivotClustering(g, {});
+  EXPECT_EQ(r.cluster_of.size(), n);
+  for (uint32_t c : r.cluster_of) EXPECT_LT(c, r.num_clusters);
+}
+
+TEST_F(BaselineFixture, CorrelationOneHopLimitFragmentsChains) {
+  // A long positive chain: parallel pivot (one-hop assignment) must produce
+  // more than one cluster — the recall weakness the paper describes.
+  const size_t n = 20;
+  CompatibilityGraph g(n);
+  for (uint32_t i = 0; i + 1 < n; ++i) g.AddEdge(i, i + 1, 0.9, 0.0);
+  g.Finalize();
+  CorrelationOptions opts;
+  opts.seed = 5;
+  auto r = ParallelPivotClustering(g, opts);
+  EXPECT_GT(r.num_clusters, 1u);
+}
+
+TEST_F(BaselineFixture, CorrelationRelationsUnionClusters) {
+  std::vector<BinaryTable> cands;
+  cands.push_back(Make({{"a", "1"}}, "x", "y", "d1"));
+  cands.push_back(Make({{"b", "2"}}, "x", "y", "d2"));
+  CompatibilityGraph g(2);
+  g.AddEdge(0, 1, 0.9, 0.0);
+  g.Finalize();
+  CorrelationOptions opts;
+  opts.positive_threshold = 0.5;
+  auto rels = CorrelationRelations(g, cands, opts);
+  ASSERT_EQ(rels.size(), 1u);
+  EXPECT_EQ(rels[0].size(), 2u);
+}
+
+// --------------------------------------------------------- WiseIntegrator
+
+TEST_F(BaselineFixture, HeaderSimilarityBehaves) {
+  EXPECT_DOUBLE_EQ(HeaderSimilarity("Country", "country"), 1.0);
+  EXPECT_GT(HeaderSimilarity("country name", "country code"), 0.0);
+  EXPECT_DOUBLE_EQ(HeaderSimilarity("abc", "xyz"), 0.0);
+  EXPECT_DOUBLE_EQ(HeaderSimilarity("", "x"), 0.0);
+}
+
+TEST_F(BaselineFixture, ProfileSimilarityRange) {
+  BinaryTable codes = Make({{"france", "FRA"}, {"spain", "ESP"}}, "c", "k",
+                           "d");
+  BinaryTable nums = Make({{"a", "123456"}, {"b", "987654"}}, "c", "k", "d");
+  auto pc = ProfileRightColumn(codes, *pool_);
+  auto pn = ProfileRightColumn(nums, *pool_);
+  EXPECT_GT(pc.upper_fraction, 0.9);
+  EXPECT_GT(pn.digit_fraction, 0.9);
+  double sim = ProfileSimilarity(pc, pn);
+  EXPECT_GE(sim, 0.0);
+  EXPECT_LE(sim, 1.0);
+  EXPECT_GT(ProfileSimilarity(pc, pc), 0.99);
+}
+
+TEST_F(BaselineFixture, WiseIntegratorClustersByHeadersNotValues) {
+  std::vector<BinaryTable> cands;
+  // Same headers + same value shape: clusters together even though the
+  // instances are disjoint relations (its known blind spot).
+  cands.push_back(Make({{"france", "FRA"}}, "Country", "Code", "d1"));
+  cands.push_back(Make({{"algeria", "ALG"}}, "Country", "Code", "d2"));
+  cands.push_back(Make({{"9912", "551"}}, "Account", "Balance", "d3"));
+  auto rels = WiseIntegratorRelations(cands, *pool_);
+  EXPECT_EQ(rels.size(), 2u);
+}
+
+TEST_F(BaselineFixture, WiseIntegratorThresholdControlsGranularity) {
+  std::vector<BinaryTable> cands;
+  cands.push_back(Make({{"a", "X1"}}, "name", "code", "d1"));
+  cands.push_back(Make({{"b", "Y2"}}, "title", "id", "d2"));
+  WiseIntegratorOptions strict;
+  strict.join_threshold = 0.95;
+  EXPECT_EQ(WiseIntegratorRelations(cands, *pool_, strict).size(), 2u);
+  WiseIntegratorOptions loose;
+  loose.join_threshold = 0.1;
+  EXPECT_EQ(WiseIntegratorRelations(cands, *pool_, loose).size(), 1u);
+}
+
+// ------------------------------------------------------------ SingleTable
+
+TEST_F(BaselineFixture, SingleTableFiltersBySource) {
+  std::vector<BinaryTable> cands;
+  cands.push_back(Make({{"a", "1"}}, "x", "y", "wiki", TableSource::kWiki));
+  cands.push_back(Make({{"b", "2"}}, "x", "y", "web", TableSource::kWeb));
+  EXPECT_EQ(SingleTableRelations(cands, TableSource::kWiki).size(), 1u);
+  EXPECT_EQ(SingleTableRelations(cands, std::nullopt).size(), 2u);
+  EXPECT_EQ(SingleTableRelations(cands, TableSource::kEnterprise).size(),
+            0u);
+}
+
+// ---------------------------------------------------------- KnowledgeBase
+
+TEST_F(BaselineFixture, KnowledgeBaseCoversOnlyFlaggedRelations) {
+  auto specs = BuiltinWebRelationships();
+  StringPool pool;
+  KnowledgeBaseOptions opts;
+  opts.entity_coverage = 1.0;
+  auto fb = KnowledgeBaseRelations(specs, KbKind::kFreebase, &pool, opts);
+  auto yago = KnowledgeBaseRelations(specs, KbKind::kYago, &pool, opts);
+  EXPECT_GT(fb.size(), 0u);
+  EXPECT_GT(yago.size(), 0u);
+  // YAGO covers strictly fewer relations than Freebase in the builtin set.
+  EXPECT_LT(yago.size(), fb.size());
+}
+
+TEST_F(BaselineFixture, KnowledgeBaseHasNoSynonyms) {
+  auto specs = BuiltinWebRelationships();
+  StringPool pool;
+  KnowledgeBaseOptions opts;
+  opts.entity_coverage = 1.0;
+  auto fb = KnowledgeBaseRelations(specs, KbKind::kFreebase, &pool, opts);
+  // Find the country_iso3 relation and confirm one mention per country:
+  // left count == right count for a 1:1 relation without synonyms.
+  bool checked = false;
+  for (const auto& rel : fb) {
+    if (rel.left_name == "Country" && rel.right_name == "ISO") {
+      EXPECT_EQ(rel.LeftValues().size(), rel.RightValues().size());
+      checked = true;
+    }
+  }
+  EXPECT_TRUE(checked);
+}
+
+TEST_F(BaselineFixture, KnowledgeBaseCoverageParameter) {
+  auto specs = BuiltinWebRelationships();
+  StringPool pool;
+  KnowledgeBaseOptions full, half;
+  full.entity_coverage = 1.0;
+  half.entity_coverage = 0.5;
+  auto rel_full = KnowledgeBaseRelations(specs, KbKind::kFreebase, &pool,
+                                         full);
+  auto rel_half = KnowledgeBaseRelations(specs, KbKind::kFreebase, &pool,
+                                         half);
+  size_t pairs_full = 0, pairs_half = 0;
+  for (const auto& r : rel_full) pairs_full += r.size();
+  for (const auto& r : rel_half) pairs_half += r.size();
+  EXPECT_LT(pairs_half, pairs_full);
+}
+
+TEST_F(BaselineFixture, KnowledgeBaseAddsFunctionalReverseDirection) {
+  std::vector<RelationshipSpec> specs(1);
+  specs[0].name = "test";
+  specs[0].left_header = "L";
+  specs[0].right_header = "R";
+  specs[0].in_freebase = true;
+  specs[0].entities = {{{"alpha"}, "x1"}, {{"beta"}, "x2"}};
+  StringPool pool;
+  KnowledgeBaseOptions opts;
+  opts.entity_coverage = 1.0;
+  auto rels = KnowledgeBaseRelations(specs, KbKind::kFreebase, &pool, opts);
+  // 1:1 relation: both directions emitted.
+  EXPECT_EQ(rels.size(), 2u);
+}
+
+}  // namespace
+}  // namespace ms

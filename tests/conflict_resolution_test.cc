@@ -1,0 +1,195 @@
+// Tests for Step 3 conflict resolution (Problem 17 / Algorithm 4) and the
+// majority-voting alternative of Section 5.6, including the paper's
+// Figure 4 dirty-chemical-symbols scenario.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "synth/conflict_resolution.h"
+#include "table/string_pool.h"
+
+namespace ms {
+namespace {
+
+class ConflictFixture : public ::testing::Test {
+ protected:
+  ConflictFixture() : pool_(std::make_shared<StringPool>()) {}
+
+  BinaryTable Make(const std::vector<std::pair<std::string, std::string>>&
+                       rows) {
+    std::vector<ValuePair> pairs;
+    for (const auto& [l, r] : rows) {
+      pairs.push_back({pool_->Intern(l), pool_->Intern(r)});
+    }
+    return BinaryTable::FromPairs(std::move(pairs));
+  }
+
+  std::vector<const BinaryTable*> Ptrs() {
+    std::vector<const BinaryTable*> out;
+    for (const auto& t : tables_) out.push_back(&t);
+    return out;
+  }
+
+  std::shared_ptr<StringPool> pool_;
+  std::vector<BinaryTable> tables_;
+};
+
+TEST_F(ConflictFixture, CleanPartitionKeepsEverything) {
+  tables_.push_back(Make({{"hydrogen", "h"}, {"helium", "he"}}));
+  tables_.push_back(Make({{"helium", "he"}, {"lithium", "li"}}));
+  auto r = ResolveConflicts(Ptrs());
+  EXPECT_EQ(r.kept.size(), 2u);
+  EXPECT_EQ(r.tables_removed, 0u);
+  EXPECT_TRUE(IsConflictFree(Ptrs(), r.kept));
+}
+
+TEST_F(ConflictFixture, Figure4DirtyTableIsRemoved) {
+  // Three clean periodic-table fragments and one dirty table that swaps the
+  // symbols of Tellurium and Iodine (the paper's Figure 4).
+  tables_.push_back(Make({{"tellurium", "te"}, {"iodine", "i"},
+                          {"xenon", "xe"}}));
+  tables_.push_back(Make({{"tellurium", "te"}, {"iodine", "i"},
+                          {"cesium", "cs"}}));
+  tables_.push_back(Make({{"iodine", "i"}, {"xenon", "xe"},
+                          {"cesium", "cs"}}));
+  tables_.push_back(Make({{"tellurium", "i"}, {"iodine", "te"},
+                          {"xenon", "xe"}}));  // dirty
+  auto r = ResolveConflicts(Ptrs());
+  EXPECT_EQ(r.tables_removed, 1u);
+  ASSERT_EQ(r.kept.size(), 3u);
+  for (size_t k : r.kept) EXPECT_NE(k, 3u);  // the dirty table is gone
+  EXPECT_TRUE(IsConflictFree(Ptrs(), r.kept));
+}
+
+TEST_F(ConflictFixture, MajorityStaysWhenMinorityConflicts) {
+  // state -> capital (majority) vs state -> largest-city (one stray table):
+  // the Section 5.6 Washington/Olympia-vs-Seattle confusion.
+  tables_.push_back(Make({{"washington", "olympia"}, {"oregon", "salem"}}));
+  tables_.push_back(Make({{"washington", "olympia"}, {"idaho", "boise"}}));
+  tables_.push_back(Make({{"washington", "seattle"}, {"oregon", "salem"}}));
+  auto r = ResolveConflicts(Ptrs());
+  EXPECT_TRUE(IsConflictFree(Ptrs(), r.kept));
+  // The seattle table conflicts with two olympia tables; it must go.
+  for (size_t k : r.kept) EXPECT_NE(k, 2u);
+}
+
+TEST_F(ConflictFixture, SynonymousRightsAreNotConflicts) {
+  tables_.push_back(Make({{"germany", "deu"}}));
+  tables_.push_back(Make({{"germany", "ger"}}));
+  SynonymDictionary dict(pool_);
+  dict.AddSynonym("deu", "ger");
+  ConflictResolutionOptions opts;
+  opts.synonyms = &dict;
+  auto r = ResolveConflicts(Ptrs(), opts);
+  EXPECT_EQ(r.kept.size(), 2u);
+  EXPECT_TRUE(IsConflictFree(Ptrs(), r.kept, opts));
+  // Without the dictionary one table must be dropped.
+  auto r2 = ResolveConflicts(Ptrs());
+  EXPECT_EQ(r2.kept.size(), 1u);
+}
+
+TEST_F(ConflictFixture, EmptyPartition) {
+  auto r = ResolveConflicts({});
+  EXPECT_TRUE(r.kept.empty());
+  EXPECT_EQ(r.tables_removed, 0u);
+}
+
+TEST_F(ConflictFixture, SingleTableAlwaysKept) {
+  tables_.push_back(Make({{"a", "1"}, {"a2", "1"}}));
+  auto r = ResolveConflicts(Ptrs());
+  EXPECT_EQ(r.kept.size(), 1u);
+}
+
+TEST_F(ConflictFixture, PairwiseIrreconcilableKeepsOne) {
+  // Two tables disagreeing on every left value: one survives.
+  tables_.push_back(Make({{"a", "1"}, {"b", "2"}}));
+  tables_.push_back(Make({{"a", "9"}, {"b", "8"}}));
+  auto r = ResolveConflicts(Ptrs());
+  EXPECT_EQ(r.kept.size(), 1u);
+  EXPECT_TRUE(IsConflictFree(Ptrs(), r.kept));
+}
+
+TEST_F(ConflictFixture, RemovalPrefersTheMostConflictingTable) {
+  // One poison table conflicts with three others on the same left value.
+  tables_.push_back(Make({{"k", "good"}, {"x1", "a"}}));
+  tables_.push_back(Make({{"k", "good"}, {"x2", "b"}}));
+  tables_.push_back(Make({{"k", "good"}, {"x3", "c"}}));
+  tables_.push_back(Make({{"k", "bad"}, {"x4", "d"}}));
+  auto r = ResolveConflicts(Ptrs());
+  EXPECT_EQ(r.tables_removed, 1u);
+  for (size_t k : r.kept) EXPECT_NE(k, 3u);
+}
+
+TEST_F(ConflictFixture, IsConflictFreeDetectsViolations) {
+  tables_.push_back(Make({{"a", "1"}}));
+  tables_.push_back(Make({{"a", "2"}}));
+  EXPECT_FALSE(IsConflictFree(Ptrs(), {0, 1}));
+  EXPECT_TRUE(IsConflictFree(Ptrs(), {0}));
+  EXPECT_TRUE(IsConflictFree(Ptrs(), {}));
+}
+
+/// Property: the resolved subset is always conflict-free and the algorithm
+/// terminates within |tables| iterations.
+class ConflictPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConflictPropertyTest, AlwaysConflictFree) {
+  Rng rng(GetParam());
+  StringPool pool;
+  std::vector<BinaryTable> tables;
+  // 12 tables over 10 left values with 3 possible rights each.
+  for (int t = 0; t < 12; ++t) {
+    std::vector<ValuePair> pairs;
+    for (int l = 0; l < 10; ++l) {
+      if (!rng.Bernoulli(0.5)) continue;
+      ValueId left = pool.Intern("l" + std::to_string(l));
+      ValueId right = pool.Intern("r" + std::to_string(l) + "_" +
+                                  std::to_string(rng.Uniform(3)));
+      pairs.push_back({left, right});
+    }
+    tables.push_back(BinaryTable::FromPairs(std::move(pairs)));
+  }
+  std::vector<const BinaryTable*> ptrs;
+  for (const auto& t : tables) ptrs.push_back(&t);
+  auto r = ResolveConflicts(ptrs);
+  EXPECT_TRUE(IsConflictFree(ptrs, r.kept));
+  EXPECT_LE(r.iterations, tables.size() + 1);
+  EXPECT_EQ(r.kept.size() + r.tables_removed, tables.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPartitions, ConflictPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+// ---------------------------------------------------------- MajorityVote
+
+TEST_F(ConflictFixture, MajorityVotePicksSupportedRight) {
+  tables_.push_back(Make({{"tellurium", "te"}}));
+  tables_.push_back(Make({{"tellurium", "te"}}));
+  tables_.push_back(Make({{"tellurium", "i"}}));
+  auto pairs = MajorityVotePairs(Ptrs());
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pool_->Get(pairs[0].right), "te");
+}
+
+TEST_F(ConflictFixture, MajorityVoteKeepsAllLefts) {
+  tables_.push_back(Make({{"a", "1"}, {"b", "2"}}));
+  tables_.push_back(Make({{"a", "9"}, {"c", "3"}}));
+  auto pairs = MajorityVotePairs(Ptrs());
+  EXPECT_EQ(pairs.size(), 3u);  // a, b, c each resolved to one right
+}
+
+TEST_F(ConflictFixture, MajorityVoteOutputIsFunctional) {
+  tables_.push_back(Make({{"a", "1"}, {"a2", "1"}}));
+  tables_.push_back(Make({{"a", "2"}, {"a2", "1"}}));
+  tables_.push_back(Make({{"a", "2"}}));
+  auto pairs = MajorityVotePairs(Ptrs());
+  BinaryTable merged = BinaryTable::FromPairs(pairs);
+  EXPECT_DOUBLE_EQ(merged.FdHoldRatio(), 1.0);
+  // "a" -> "2" wins 2:1.
+  for (const auto& p : pairs) {
+    if (pool_->Get(p.left) == "a") EXPECT_EQ(pool_->Get(p.right), "2");
+  }
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,325 @@
+// Tests for the ground-truth domain library, procedural relationship
+// families, and the corpus/world generator (the paper-corpus substitute; see
+// DESIGN.md §1 for the substitution argument these tests pin down).
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "corpusgen/builtin_domains.h"
+#include "corpusgen/generator.h"
+#include "corpusgen/procedural.h"
+
+namespace ms {
+namespace {
+
+// --------------------------------------------------------------- Builtins
+
+TEST(BuiltinDomainsTest, WebSpecsHaveUniqueNames) {
+  auto specs = BuiltinWebRelationships();
+  std::set<std::string> names;
+  for (const auto& s : specs) EXPECT_TRUE(names.insert(s.name).second);
+  EXPECT_GE(specs.size(), 15u);
+}
+
+TEST(BuiltinDomainsTest, SpecsAreInternallyFunctional) {
+  // Within one spec, no left form may map to two different rights
+  // (otherwise the "ground truth" itself would violate Definition 1).
+  for (const auto& specs :
+       {BuiltinWebRelationships(), BuiltinEnterpriseRelationships()}) {
+    for (const auto& s : specs) {
+      std::unordered_map<std::string, std::string> seen;
+      for (const auto& e : s.entities) {
+        for (const auto& form : e.left_forms) {
+          auto [it, inserted] = seen.emplace(form, e.right);
+          EXPECT_TRUE(inserted || it->second == e.right)
+              << s.name << ": left form '" << form << "' maps to both '"
+              << it->second << "' and '" << e.right << "'";
+        }
+      }
+    }
+  }
+}
+
+TEST(BuiltinDomainsTest, CountryCodeSystemsDiverge) {
+  auto specs = BuiltinWebRelationships();
+  const RelationshipSpec* iso = nullptr;
+  const RelationshipSpec* ioc = nullptr;
+  for (const auto& s : specs) {
+    if (s.name == "country_iso3") iso = &s;
+    if (s.name == "country_ioc") ioc = &s;
+  }
+  ASSERT_NE(iso, nullptr);
+  ASSERT_NE(ioc, nullptr);
+  ASSERT_EQ(iso->num_entities(), ioc->num_entities());
+  size_t diverging = 0;
+  for (size_t i = 0; i < iso->num_entities(); ++i) {
+    ASSERT_EQ(iso->entities[i].left_forms[0], ioc->entities[i].left_forms[0]);
+    if (iso->entities[i].right != ioc->entities[i].right) ++diverging;
+  }
+  // Real-world divergence (Algeria, Germany, Netherlands, ...) is
+  // substantial but partial — both needed for the negative-signal test.
+  EXPECT_GT(diverging, 10u);
+  EXPECT_LT(diverging, iso->num_entities());
+  // And they declare each other as siblings.
+  EXPECT_FALSE(iso->sibling_relations.empty());
+}
+
+TEST(BuiltinDomainsTest, SynonymsArePresent) {
+  auto specs = BuiltinWebRelationships();
+  size_t with_synonyms = 0;
+  for (const auto& s : specs) {
+    for (const auto& e : s.entities) {
+      if (e.left_forms.size() > 1) {
+        ++with_synonyms;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(with_synonyms, 3u);
+}
+
+TEST(BuiltinDomainsTest, KindMixIncludesTemporalAndMeaningless) {
+  auto specs = BuiltinWebRelationships();
+  bool temporal = false, meaningless = false;
+  for (const auto& s : specs) {
+    temporal |= s.kind == RelationKind::kTemporal;
+    meaningless |= s.kind == RelationKind::kMeaningless;
+  }
+  EXPECT_TRUE(temporal);
+  EXPECT_TRUE(meaningless);
+}
+
+TEST(BuiltinDomainsTest, EnterpriseSpecsAreOffKb) {
+  for (const auto& s : BuiltinEnterpriseRelationships()) {
+    EXPECT_FALSE(s.in_freebase) << s.name;
+    EXPECT_FALSE(s.in_yago) << s.name;
+    EXPECT_FALSE(s.has_wiki_table) << s.name;
+  }
+}
+
+// ------------------------------------------------------------- Procedural
+
+TEST(ProceduralTest, DeterministicForSeed) {
+  ProceduralOptions opts;
+  auto a = ProceduralRelationships(opts);
+  auto b = ProceduralRelationships(opts);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].name, b[i].name);
+    EXPECT_EQ(a[i].num_entities(), b[i].num_entities());
+  }
+}
+
+TEST(ProceduralTest, EntityCountsWithinBounds) {
+  ProceduralOptions opts;
+  opts.min_entities = 10;
+  opts.max_entities = 20;
+  for (const auto& s : ProceduralRelationships(opts)) {
+    EXPECT_GE(s.num_entities(), 10u);
+    EXPECT_LE(s.num_entities(), 20u);
+  }
+}
+
+TEST(ProceduralTest, SiblingSystemsShareLeftsAndDiverge) {
+  ProceduralOptions opts;
+  opts.num_families = 20;
+  opts.sibling2_probability = 1.0;  // force 2-system families
+  opts.sibling3_probability = 0.0;
+  opts.many_to_one_probability = 0.0;
+  opts.divergence_fraction = 0.4;
+  auto specs = ProceduralRelationships(opts);
+  ASSERT_EQ(specs.size(), 40u);
+  for (size_t f = 0; f < 20; ++f) {
+    const auto& s0 = specs[2 * f];
+    const auto& s1 = specs[2 * f + 1];
+    ASSERT_EQ(s0.num_entities(), s1.num_entities());
+    size_t diverge = 0;
+    for (size_t i = 0; i < s0.num_entities(); ++i) {
+      EXPECT_EQ(s0.entities[i].left_forms[0], s1.entities[i].left_forms[0]);
+      if (s0.entities[i].right != s1.entities[i].right) ++diverge;
+    }
+    EXPECT_GT(diverge, 0u);
+    EXPECT_LT(diverge, s0.num_entities());
+    EXPECT_EQ(s0.sibling_relations.size(), 1u);
+  }
+}
+
+TEST(ProceduralTest, CodesAreUniqueWithinSystem) {
+  ProceduralOptions opts;
+  opts.many_to_one_probability = 0.0;
+  for (const auto& s : ProceduralRelationships(opts)) {
+    std::set<std::string> codes;
+    for (const auto& e : s.entities) {
+      EXPECT_TRUE(codes.insert(e.right).second)
+          << s.name << " duplicate code " << e.right;
+    }
+  }
+}
+
+TEST(ProceduralTest, ManyToOneFamiliesHaveFewGroups) {
+  ProceduralOptions opts;
+  opts.many_to_one_probability = 1.0;
+  auto specs = ProceduralRelationships(opts);
+  for (const auto& s : specs) {
+    EXPECT_FALSE(s.one_to_one);
+    std::set<std::string> groups;
+    for (const auto& e : s.entities) groups.insert(e.right);
+    EXPECT_LT(groups.size(), s.num_entities());
+  }
+}
+
+TEST(ProceduralTest, LongTailEntitiesAvoidCodeCollisions) {
+  Rng rng(4);
+  RelationshipSpec spec;
+  spec.entities = {{{"Existing Entity"}, "EXI"}};
+  auto tail = LongTailEntities(spec, 50, rng);
+  EXPECT_EQ(tail.size(), 50u);
+  std::set<std::string> codes = {"EXI"};
+  for (const auto& e : tail) {
+    EXPECT_TRUE(codes.insert(e.right).second) << e.right;
+  }
+}
+
+TEST(ProceduralTest, RandomWordShape) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    std::string w = RandomWord(rng, 2, 3);
+    EXPECT_GE(w.size(), 3u);
+    EXPECT_TRUE(std::isupper(static_cast<unsigned char>(w[0])));
+  }
+}
+
+// -------------------------------------------------------------- Generator
+
+TEST(GeneratorTest, WebWorldShape) {
+  GeneratorOptions opts;
+  opts.seed = 5;
+  GeneratedWorld world = GenerateWebWorld(opts);
+  EXPECT_GT(world.corpus.size(), 500u);
+  EXPECT_GE(world.cases.size(), 60u);
+  EXPECT_FALSE(world.trusted.empty());
+  // Meaningless relations are excluded from benchmark cases.
+  for (const auto& c : world.cases) {
+    EXPECT_NE(c.kind, RelationKind::kMeaningless);
+  }
+}
+
+TEST(GeneratorTest, DeterministicForSeed) {
+  GeneratorOptions opts;
+  opts.seed = 77;
+  GeneratedWorld a = GenerateWebWorld(opts);
+  GeneratedWorld b = GenerateWebWorld(opts);
+  ASSERT_EQ(a.corpus.size(), b.corpus.size());
+  ASSERT_EQ(a.cases.size(), b.cases.size());
+  for (size_t i = 0; i < a.cases.size(); ++i) {
+    EXPECT_EQ(a.cases[i].name, b.cases[i].name);
+    EXPECT_EQ(a.cases[i].ground_truth.size(), b.cases[i].ground_truth.size());
+  }
+}
+
+TEST(GeneratorTest, GroundTruthIsNormalizedAndFunctional) {
+  GeneratorOptions opts;
+  opts.seed = 3;
+  GeneratedWorld world = GenerateWebWorld(opts);
+  const StringPool& pool = world.corpus.pool();
+  for (const auto& c : world.cases) {
+    ASSERT_FALSE(c.ground_truth.empty()) << c.name;
+    for (const auto& p : c.ground_truth.pairs()) {
+      std::string_view l = pool.Get(p.left);
+      // Normalized: no upper case, no footnotes.
+      for (char ch : l) {
+        EXPECT_FALSE(std::isupper(static_cast<unsigned char>(ch)))
+            << c.name << ": " << l;
+      }
+    }
+    EXPECT_DOUBLE_EQ(c.ground_truth.FdHoldRatio(), 1.0) << c.name;
+  }
+}
+
+TEST(GeneratorTest, WikiTablesExistForFlaggedSpecs) {
+  GeneratorOptions opts;
+  opts.seed = 13;
+  GeneratedWorld world = GenerateWebWorld(opts);
+  size_t wiki = 0, web = 0, ent = 0;
+  for (const auto& t : world.corpus.tables()) {
+    wiki += t.source == TableSource::kWiki;
+    web += t.source == TableSource::kWeb;
+    ent += t.source == TableSource::kEnterprise;
+  }
+  EXPECT_GT(wiki, 0u);
+  EXPECT_GT(web, wiki);
+  EXPECT_EQ(ent, 0u);
+}
+
+TEST(GeneratorTest, PopularityScaleGrowsCorpus) {
+  GeneratorOptions small, large;
+  small.seed = large.seed = 21;
+  small.popularity_scale = 0.3;
+  large.popularity_scale = 1.0;
+  EXPECT_LT(GenerateWebWorld(small).corpus.size(),
+            GenerateWebWorld(large).corpus.size());
+}
+
+TEST(GeneratorTest, TrustedFeedsExtendBeyondWebCoverage) {
+  GeneratorOptions opts;
+  opts.seed = 31;
+  opts.trusted_tail_factor = 1.0;
+  GeneratedWorld world = GenerateWebWorld(opts);
+  ASSERT_FALSE(world.trusted.empty());
+  // Find the airport_iata case: its ground truth must be about twice the
+  // spec size because of the long tail, and the trusted feed covers it.
+  int ci = world.CaseIndex("airport_iata");
+  ASSERT_GE(ci, 0);
+  const auto& truth = world.cases[ci].ground_truth;
+  bool found = false;
+  for (const auto& feed : world.trusted) {
+    if (feed.IntersectSize(truth) == truth.size()) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(GeneratorTest, EnterpriseWorldProfile) {
+  GeneratorOptions opts;
+  opts.seed = 41;
+  GeneratedWorld world = GenerateEnterpriseWorld(opts);
+  EXPECT_GE(world.cases.size(), 20u);
+  size_t ent = 0;
+  for (const auto& t : world.corpus.tables()) {
+    ent += t.source == TableSource::kEnterprise;
+  }
+  EXPECT_EQ(ent, world.corpus.size());  // everything is a spreadsheet
+}
+
+TEST(GeneratorTest, KbFlagsPropagateToCases) {
+  GeneratorOptions opts;
+  opts.seed = 51;
+  GeneratedWorld world = GenerateWebWorld(opts);
+  int ci = world.CaseIndex("company_ticker");
+  ASSERT_GE(ci, 0);
+  EXPECT_FALSE(world.cases[ci].in_freebase);  // stocks missing from KBs
+  ci = world.CaseIndex("state_abbrev");
+  ASSERT_GE(ci, 0);
+  EXPECT_TRUE(world.cases[ci].in_freebase);
+}
+
+TEST(GeneratorTest, CorpusContainsDirtyArtifacts) {
+  GeneratorOptions opts;
+  opts.seed = 61;
+  opts.footnote_probability = 0.2;
+  GeneratedWorld world = GenerateWebWorld(opts);
+  const StringPool& pool = world.corpus.pool();
+  bool footnote = false;
+  for (const auto& t : world.corpus.tables()) {
+    for (const auto& col : t.columns) {
+      for (ValueId v : col.cells) {
+        if (pool.Get(v).find('[') != std::string_view::npos) footnote = true;
+      }
+    }
+  }
+  EXPECT_TRUE(footnote);
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,168 @@
+// Tests for benchmark metrics (Section 5.1), the evaluation runner, and the
+// report formatting helpers.
+#include <memory>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "eval/metrics.h"
+#include "eval/report.h"
+#include "eval/runner.h"
+
+namespace ms {
+namespace {
+
+BinaryTable MakePairs(StringPool* pool,
+                      const std::vector<std::pair<std::string, std::string>>&
+                          rows) {
+  std::vector<ValuePair> pairs;
+  for (const auto& [l, r] : rows) {
+    pairs.push_back({pool->Intern(l), pool->Intern(r)});
+  }
+  return BinaryTable::FromPairs(std::move(pairs));
+}
+
+TEST(MetricsTest, PerfectPrediction) {
+  StringPool pool;
+  BinaryTable truth = MakePairs(&pool, {{"a", "1"}, {"b", "2"}});
+  PrfScore s = ScoreRelation(truth, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.fscore, 1.0);
+}
+
+TEST(MetricsTest, PartialOverlap) {
+  StringPool pool;
+  BinaryTable truth = MakePairs(&pool, {{"a", "1"}, {"b", "2"}, {"c", "3"},
+                                        {"d", "4"}});
+  BinaryTable pred = MakePairs(&pool, {{"a", "1"}, {"b", "2"}, {"x", "9"}});
+  PrfScore s = ScoreRelation(pred, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.5);
+  EXPECT_NEAR(s.fscore, 2 * (2.0 / 3.0) * 0.5 / (2.0 / 3.0 + 0.5), 1e-12);
+}
+
+TEST(MetricsTest, DisjointScoresZero) {
+  StringPool pool;
+  BinaryTable truth = MakePairs(&pool, {{"a", "1"}});
+  BinaryTable pred = MakePairs(&pool, {{"b", "2"}});
+  PrfScore s = ScoreRelation(pred, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 0.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  EXPECT_DOUBLE_EQ(s.fscore, 0.0);
+}
+
+TEST(MetricsTest, EmptyPredictionOrTruth) {
+  StringPool pool;
+  BinaryTable truth = MakePairs(&pool, {{"a", "1"}});
+  BinaryTable empty;
+  EXPECT_DOUBLE_EQ(ScoreRelation(empty, truth).fscore, 0.0);
+  EXPECT_DOUBLE_EQ(ScoreRelation(truth, empty).fscore, 0.0);
+}
+
+TEST(MetricsTest, FindBestRelationPicksHighestF) {
+  StringPool pool;
+  BinaryTable truth = MakePairs(&pool, {{"a", "1"}, {"b", "2"}, {"c", "3"}});
+  std::vector<BinaryTable> rels;
+  rels.push_back(MakePairs(&pool, {{"a", "1"}}));
+  rels.push_back(MakePairs(&pool, {{"a", "1"}, {"b", "2"}}));
+  rels.push_back(MakePairs(&pool, {{"z", "0"}}));
+  BestRelation best = FindBestRelation(rels, truth);
+  EXPECT_EQ(best.index, 1);
+  EXPECT_GT(best.score.fscore, 0.7);
+}
+
+TEST(MetricsTest, FindBestRelationEmptySet) {
+  StringPool pool;
+  BinaryTable truth = MakePairs(&pool, {{"a", "1"}});
+  BestRelation best = FindBestRelation({}, truth);
+  EXPECT_EQ(best.index, -1);
+  EXPECT_DOUBLE_EQ(best.score.fscore, 0.0);
+}
+
+TEST(MetricsTest, AggregateExcludesMissesFromPrecisionOnly) {
+  // Footnote 5 semantics: a method that misses a case entirely doesn't
+  // drag avg precision, but does drag recall/f.
+  std::vector<PrfScore> per_case = {
+      {1.0, 0.5, 2.0 / 3.0},
+      {0.0, 0.0, 0.0},  // complete miss
+  };
+  AggregateScore agg = Aggregate(per_case);
+  EXPECT_DOUBLE_EQ(agg.avg_precision, 1.0);
+  EXPECT_DOUBLE_EQ(agg.avg_recall, 0.25);
+  EXPECT_NEAR(agg.avg_fscore, (2.0 / 3.0) / 2, 1e-12);
+  EXPECT_EQ(agg.cases_with_hit, 1u);
+  EXPECT_EQ(agg.cases_total, 2u);
+}
+
+TEST(MetricsTest, AggregateEmpty) {
+  AggregateScore agg = Aggregate({});
+  EXPECT_DOUBLE_EQ(agg.avg_fscore, 0.0);
+  EXPECT_EQ(agg.cases_total, 0u);
+}
+
+TEST(RunnerTest, EvaluateMethodAlignsWithCases) {
+  GeneratedWorld world;
+  StringPool& pool = world.corpus.pool();
+  BenchmarkCase c1;
+  c1.name = "case1";
+  c1.ground_truth = MakePairs(&pool, {{"a", "1"}, {"b", "2"}});
+  BenchmarkCase c2;
+  c2.name = "case2";
+  c2.ground_truth = MakePairs(&pool, {{"x", "7"}});
+  world.cases.push_back(std::move(c1));
+  world.cases.push_back(std::move(c2));
+
+  MethodOutput out;
+  out.method_name = "toy";
+  out.runtime_seconds = 1.5;
+  out.relations.push_back(MakePairs(&pool, {{"a", "1"}, {"b", "2"}}));
+
+  MethodEvaluation eval = EvaluateMethod(out, world);
+  EXPECT_EQ(eval.method_name, "toy");
+  ASSERT_EQ(eval.per_case.size(), 2u);
+  EXPECT_DOUBLE_EQ(eval.per_case[0].fscore, 1.0);
+  EXPECT_DOUBLE_EQ(eval.per_case[1].fscore, 0.0);
+  EXPECT_EQ(eval.best_relation[0], 0);
+  EXPECT_EQ(eval.best_relation[1], -1);
+  EXPECT_DOUBLE_EQ(eval.runtime_seconds, 1.5);
+  EXPECT_DOUBLE_EQ(eval.aggregate.avg_fscore, 0.5);
+}
+
+TEST(RunnerTest, CaseIndexLookup) {
+  GeneratedWorld world;
+  BenchmarkCase c;
+  c.name = "findme";
+  world.cases.push_back(std::move(c));
+  EXPECT_EQ(world.CaseIndex("findme"), 0);
+  EXPECT_EQ(world.CaseIndex("missing"), -1);
+}
+
+TEST(ReportTest, TextTableAlignsColumns) {
+  TextTable t({"method", "f"});
+  t.AddRow({"Synthesis", "0.90"});
+  t.AddRow({"YAGO", "0.2"});
+  std::ostringstream out;
+  t.Print(out);
+  std::string s = out.str();
+  EXPECT_NE(s.find("method"), std::string::npos);
+  EXPECT_NE(s.find("Synthesis  0.90"), std::string::npos);
+  EXPECT_NE(s.find("----"), std::string::npos);
+}
+
+TEST(ReportTest, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.AddRow({"only one"});
+  std::ostringstream out;
+  t.Print(out);  // must not crash; row padded to 3 columns
+  EXPECT_NE(out.str().find("only one"), std::string::npos);
+}
+
+TEST(ReportTest, BannerFormat) {
+  std::ostringstream out;
+  PrintBanner(out, "Figure 7");
+  EXPECT_EQ(out.str(), "\n== Figure 7 ==\n");
+}
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,253 @@
+// Tests for Step 1 candidate extraction (Section 3, Algorithm 1): PMI-based
+// column filtering and approximate-FD column-pair filtering, reproducing the
+// paper's Table 7 walk-through (Examples 5 and 6).
+#include <gtest/gtest.h>
+
+#include "extract/candidate_extraction.h"
+#include "stats/inverted_index.h"
+#include "table/corpus.h"
+
+namespace ms {
+namespace {
+
+/// Builds the Table 7 scenario: a schedule table with coherent team/stadium
+/// columns (values recur across many corpus tables) and an incoherent
+/// Location column (values never recur).
+class ExtractFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    teams_ = {"bears", "lions", "vikings", "packers", "eagles"};
+    stadiums_ = {"soldier field", "ford field", "us bank stadium",
+                 "lambeau field", "lincoln field"};
+    // Background tables give teams/stadiums strong co-occurrence stats.
+    for (int i = 0; i < 12; ++i) {
+      corpus_.AddFromStrings("bg" + std::to_string(i), TableSource::kWeb,
+                             {"team"}, {teams_});
+      corpus_.AddFromStrings("bgs" + std::to_string(i), TableSource::kWeb,
+                             {"stadium"}, {stadiums_});
+    }
+    // The schedule table under test: home, away, date, stadium, location.
+    std::vector<std::string> home = {"bears", "lions", "lions", "vikings",
+                                     "packers"};
+    std::vector<std::string> away = {"packers", "vikings", "packers",
+                                     "bears", "vikings"};
+    std::vector<std::string> date = {"10-12", "10-12", "10-19", "10-19",
+                                     "10-26"};
+    std::vector<std::string> stadium = {"soldier field", "ford field",
+                                        "ford field", "us bank stadium",
+                                        "lambeau field"};
+    std::vector<std::string> location = {"chicago il 60605", "detroit mi",
+                                         "unique9183", "minneapolis zz1",
+                                         "1265 lombardi ave"};
+    schedule_id_ = corpus_.AddFromStrings(
+        "nfl.example.com", TableSource::kWeb,
+        {"Home Team", "Away Team", "Date", "Stadium", "Location"},
+        {home, away, date, stadium, location});
+    index_.Build(corpus_);
+  }
+
+  TableCorpus corpus_;
+  ColumnInvertedIndex index_;
+  TableId schedule_id_ = 0;
+  std::vector<std::string> teams_, stadiums_;
+};
+
+TEST_F(ExtractFixture, CoherentColumnsPassPmiFilter) {
+  const Table& t = corpus_.table(schedule_id_);
+  ExtractionOptions opts;
+  opts.coherence_threshold = 0.1;
+  EXPECT_TRUE(ColumnPassesCoherence(index_, t.columns[0], opts));  // home
+  EXPECT_TRUE(ColumnPassesCoherence(index_, t.columns[3], opts));  // stadium
+}
+
+TEST_F(ExtractFixture, IncoherentLocationColumnFails) {
+  const Table& t = corpus_.table(schedule_id_);
+  ExtractionOptions opts;
+  opts.coherence_threshold = 0.1;
+  EXPECT_FALSE(ColumnPassesCoherence(index_, t.columns[4], opts));
+}
+
+TEST_F(ExtractFixture, FdFilterKeepsHomeStadiumAndDropsHomeAway) {
+  ExtractionOptions opts;
+  opts.coherence_threshold = 0.05;
+  opts.min_pairs = 3;
+  opts.fd_theta = 0.95;
+  auto result = ExtractCandidates(corpus_, index_, opts);
+
+  bool home_stadium = false, home_away = false, stadium_home = false;
+  for (const auto& c : result.candidates) {
+    if (c.source_table != schedule_id_) continue;
+    if (c.left_name == "Home Team" && c.right_name == "Stadium") {
+      home_stadium = true;
+    }
+    if (c.left_name == "Home Team" && c.right_name == "Away Team") {
+      home_away = true;
+    }
+    if (c.left_name == "Stadium" && c.right_name == "Home Team") {
+      stadium_home = true;
+    }
+  }
+  // Example 6: only (Home Team, Stadium) and (Stadium, Home Team) survive.
+  EXPECT_TRUE(home_stadium);
+  EXPECT_TRUE(stadium_home);
+  EXPECT_FALSE(home_away);  // lions play two different opponents
+}
+
+TEST_F(ExtractFixture, ExtractionStatsAreConsistent) {
+  auto result = ExtractCandidates(corpus_, index_, {});
+  const auto& st = result.stats;
+  EXPECT_EQ(st.tables_seen, corpus_.size());
+  EXPECT_EQ(st.columns_seen, corpus_.TotalColumns());
+  EXPECT_LE(st.columns_kept, st.columns_seen);
+  EXPECT_LE(st.pairs_kept, st.pairs_considered);
+  EXPECT_EQ(st.pairs_kept, result.candidates.size());
+  EXPECT_GE(st.FilterRate(), 0.0);
+  EXPECT_LE(st.FilterRate(), 1.0);
+}
+
+TEST_F(ExtractFixture, CandidateIdsAreDense) {
+  auto result = ExtractCandidates(corpus_, index_, {});
+  for (size_t i = 0; i < result.candidates.size(); ++i) {
+    EXPECT_EQ(result.candidates[i].id, i);
+  }
+}
+
+TEST_F(ExtractFixture, ParallelExtractionMatchesSerial) {
+  ThreadPool pool(4);
+  auto serial = ExtractCandidates(corpus_, index_, {});
+  auto parallel = ExtractCandidates(corpus_, index_, {}, &pool);
+  ASSERT_EQ(serial.candidates.size(), parallel.candidates.size());
+  for (size_t i = 0; i < serial.candidates.size(); ++i) {
+    EXPECT_EQ(serial.candidates[i].pairs(), parallel.candidates[i].pairs());
+    EXPECT_EQ(serial.candidates[i].source_table,
+              parallel.candidates[i].source_table);
+  }
+}
+
+TEST(ExtractOptionsTest, MinPairsDropsTinyCandidates) {
+  TableCorpus corpus;
+  corpus.AddFromStrings("d", TableSource::kWeb, {"a", "b"},
+                        {{"x", "y"}, {"1", "2"}});
+  ColumnInvertedIndex index;
+  index.Build(corpus);
+  ExtractionOptions opts;
+  opts.coherence_threshold = -1.0;  // let everything through PMI
+  opts.min_pairs = 3;
+  auto result = ExtractCandidates(corpus, index, opts);
+  EXPECT_TRUE(result.candidates.empty());
+  opts.min_pairs = 2;
+  result = ExtractCandidates(corpus, index, opts);
+  EXPECT_EQ(result.candidates.size(), 2u);  // both orders
+}
+
+TEST(ExtractOptionsTest, MaxColumnsSkipsWideTables) {
+  TableCorpus corpus;
+  std::vector<std::string> names;
+  std::vector<std::vector<std::string>> cols;
+  for (int c = 0; c < 6; ++c) {
+    names.push_back("c" + std::to_string(c));
+    cols.push_back({"v" + std::to_string(c) + "a",
+                    "v" + std::to_string(c) + "b",
+                    "v" + std::to_string(c) + "c"});
+  }
+  corpus.AddFromStrings("d", TableSource::kWeb, names, cols);
+  ColumnInvertedIndex index;
+  index.Build(corpus);
+  ExtractionOptions opts;
+  opts.coherence_threshold = -1.0;
+  opts.min_pairs = 2;
+  opts.max_columns = 4;
+  auto result = ExtractCandidates(corpus, index, opts);
+  EXPECT_TRUE(result.candidates.empty());
+}
+
+TEST(ExtractOptionsTest, CellsAreNormalized) {
+  TableCorpus corpus;
+  corpus.AddFromStrings("d", TableSource::kWeb, {"Country", "Code"},
+                        {{"United States[1]", "South  Korea", "France"},
+                         {"USA", "KOR", "FRA"}});
+  ColumnInvertedIndex index;
+  index.Build(corpus);
+  ExtractionOptions opts;
+  opts.coherence_threshold = -1.0;
+  auto result = ExtractCandidates(corpus, index, opts);
+  ASSERT_FALSE(result.candidates.empty());
+  const StringPool& pool = corpus.pool();
+  bool found = false;
+  for (const auto& c : result.candidates) {
+    for (const auto& p : c.pairs()) {
+      if (pool.Get(p.left) == "united states" && pool.Get(p.right) == "usa") {
+        found = true;
+      }
+      // No raw (un-normalized) forms may leak through.
+      EXPECT_EQ(pool.Get(p.left).find('['), std::string_view::npos);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ExtractOptionsTest, DropNumericLeft) {
+  TableCorpus corpus;
+  corpus.AddFromStrings("d", TableSource::kWeb, {"rank", "team"},
+                        {{"1", "2", "3", "4"},
+                         {"bears", "lions", "vikings", "packers"}});
+  ColumnInvertedIndex index;
+  index.Build(corpus);
+  ExtractionOptions opts;
+  opts.coherence_threshold = -1.0;
+  opts.drop_numeric_left = true;
+  auto result = ExtractCandidates(corpus, index, opts);
+  for (const auto& c : result.candidates) {
+    EXPECT_NE(c.left_name, "rank");
+  }
+  opts.drop_numeric_left = false;
+  result = ExtractCandidates(corpus, index, opts);
+  bool rank_left = false;
+  for (const auto& c : result.candidates) rank_left |= c.left_name == "rank";
+  EXPECT_TRUE(rank_left);
+}
+
+TEST(ExtractOptionsTest, FdThetaControlsApproximateTolerance) {
+  TableCorpus corpus;
+  // 19 clean rows + 1 violating row: ratio 19/20 = 0.95.
+  std::vector<std::string> left, right;
+  for (int i = 0; i < 19; ++i) {
+    left.push_back("l" + std::to_string(i));
+    right.push_back("r" + std::to_string(i));
+  }
+  left.push_back("l0");
+  right.push_back("rX");
+  corpus.AddFromStrings("d", TableSource::kWeb, {"a", "b"}, {left, right});
+  ColumnInvertedIndex index;
+  index.Build(corpus);
+  ExtractionOptions opts;
+  opts.coherence_threshold = -1.0;
+  opts.fd_theta = 0.95;
+  auto result = ExtractCandidates(corpus, index, opts);
+  bool ab = false;
+  for (const auto& c : result.candidates) ab |= (c.left_name == "a");
+  EXPECT_TRUE(ab);
+
+  opts.fd_theta = 0.97;
+  result = ExtractCandidates(corpus, index, opts);
+  ab = false;
+  for (const auto& c : result.candidates) ab |= (c.left_name == "a");
+  EXPECT_FALSE(ab);
+}
+
+TEST(ExtractOptionsTest, SelfPairsAreDropped) {
+  TableCorpus corpus;
+  // Identical left/right values carry no mapping signal.
+  corpus.AddFromStrings("d", TableSource::kWeb, {"a", "b"},
+                        {{"x", "y", "z"}, {"x", "y", "z"}});
+  ColumnInvertedIndex index;
+  index.Build(corpus);
+  ExtractionOptions opts;
+  opts.coherence_threshold = -1.0;
+  opts.min_pairs = 1;
+  auto result = ExtractCandidates(corpus, index, opts);
+  EXPECT_TRUE(result.candidates.empty());
+}
+
+}  // namespace
+}  // namespace ms

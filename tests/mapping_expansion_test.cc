@@ -1,0 +1,192 @@
+// Tests for synthesized-mapping assembly (popularity stats, labels,
+// curation filtering) and the Appendix I table-expansion step.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "synth/expansion.h"
+#include "synth/mapping.h"
+#include "table/string_pool.h"
+
+namespace ms {
+namespace {
+
+class MappingFixture : public ::testing::Test {
+ protected:
+  MappingFixture() : pool_(std::make_shared<StringPool>()) {}
+
+  BinaryTable Make(const std::vector<std::pair<std::string, std::string>>&
+                       rows,
+                   const std::string& domain = "", BinaryTableId id = 0,
+                   const std::string& lname = "", const std::string& rname = "") {
+    std::vector<ValuePair> pairs;
+    for (const auto& [l, r] : rows) {
+      pairs.push_back({pool_->Intern(l), pool_->Intern(r)});
+    }
+    BinaryTable b = BinaryTable::FromPairs(std::move(pairs));
+    b.domain = domain;
+    b.id = id;
+    b.left_name = lname;
+    b.right_name = rname;
+    return b;
+  }
+
+  std::shared_ptr<StringPool> pool_;
+};
+
+TEST_F(MappingFixture, BuildMappingUnionsKeptTables) {
+  std::vector<BinaryTable> tables;
+  tables.push_back(Make({{"a", "1"}, {"b", "2"}}, "d1.com", 10, "Country",
+                        "Code"));
+  tables.push_back(Make({{"b", "2"}, {"c", "3"}}, "d2.com", 11, "Country",
+                        "Code"));
+  tables.push_back(Make({{"z", "9"}}, "d3.com", 12, "name", "code"));
+  std::vector<const BinaryTable*> ptrs = {&tables[0], &tables[1], &tables[2]};
+
+  SynthesizedMapping m = BuildMapping(ptrs, {0, 1});
+  EXPECT_EQ(m.size(), 3u);  // a, b, c (z's table was not kept)
+  EXPECT_EQ(m.member_tables.size(), 3u);
+  EXPECT_EQ(m.kept_tables, (std::vector<BinaryTableId>{10, 11}));
+  EXPECT_EQ(m.num_domains, 2u);
+  EXPECT_EQ(m.left_label, "Country");
+  EXPECT_EQ(m.right_label, "Code");
+}
+
+TEST_F(MappingFixture, DomainsAreDeduplicated) {
+  std::vector<BinaryTable> tables;
+  tables.push_back(Make({{"a", "1"}}, "same.com", 0));
+  tables.push_back(Make({{"b", "2"}}, "same.com", 1));
+  std::vector<const BinaryTable*> ptrs = {&tables[0], &tables[1]};
+  SynthesizedMapping m = BuildMapping(ptrs, {0, 1});
+  EXPECT_EQ(m.num_domains, 1u);
+}
+
+TEST_F(MappingFixture, SynonymFanInStatistic) {
+  // 4 left mentions over 2 right values -> LeftPerRight == 2 (Table 6
+  // style synonym coverage).
+  std::vector<BinaryTable> tables;
+  tables.push_back(Make({{"south korea", "kor"},
+                         {"korea republic of", "kor"},
+                         {"congo", "cod"},
+                         {"dr congo", "cod"}}));
+  std::vector<const BinaryTable*> ptrs = {&tables[0]};
+  SynthesizedMapping m = BuildMapping(ptrs, {0});
+  EXPECT_EQ(m.NumLeftValues(), 4u);
+  EXPECT_EQ(m.NumRightValues(), 2u);
+  EXPECT_DOUBLE_EQ(m.LeftPerRight(), 2.0);
+}
+
+TEST_F(MappingFixture, FilterByPopularityDropsAndRanks) {
+  std::vector<SynthesizedMapping> ms;
+  for (size_t domains : {1u, 5u, 3u}) {
+    std::vector<BinaryTable> tables;
+    std::vector<std::pair<std::string, std::string>> rows;
+    for (size_t i = 0; i < 4 + domains; ++i) {
+      rows.push_back({"k" + std::to_string(domains) + std::to_string(i),
+                      "v" + std::to_string(i)});
+    }
+    BinaryTable t = Make(rows);
+    std::vector<const BinaryTable*> ptrs = {&t};
+    SynthesizedMapping m = BuildMapping(ptrs, {0});
+    m.num_domains = domains;
+    ms.push_back(std::move(m));
+  }
+  auto filtered = FilterByPopularity(std::move(ms), 2, 1);
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_EQ(filtered[0].num_domains, 5u);  // ranked by popularity
+  EXPECT_EQ(filtered[1].num_domains, 3u);
+}
+
+TEST_F(MappingFixture, FilterByMinPairs) {
+  std::vector<SynthesizedMapping> ms;
+  BinaryTable t = Make({{"a", "1"}});
+  std::vector<const BinaryTable*> ptrs = {&t};
+  SynthesizedMapping m = BuildMapping(ptrs, {0});
+  m.num_domains = 10;
+  ms.push_back(std::move(m));
+  EXPECT_TRUE(FilterByPopularity(std::move(ms), 1, 2).empty());
+}
+
+// ------------------------------------------------------------- Expansion
+
+TEST_F(MappingFixture, ExpansionAddsLongTailFromTrustedSource) {
+  // Names chosen pairwise > 2 edits apart so approximate matching cannot
+  // cross-link them ("sfo"/"jfk" and "lax"/"pdx" are distance 2!).
+  BinaryTable core_table = Make({{"lax airport", "lax"},
+                                 {"ord airport", "ord"},
+                                 {"mia airport", "mia"}});
+  std::vector<const BinaryTable*> ptrs = {&core_table};
+  SynthesizedMapping m = BuildMapping(ptrs, {0});
+
+  // Trusted feed confirms the core and brings two long-tail airports.
+  std::vector<BinaryTable> trusted;
+  trusted.push_back(Make({{"lax airport", "lax"},
+                          {"ord airport", "ord"},
+                          {"mia airport", "mia"},
+                          {"bwi airport", "bwi"},
+                          {"syr airport", "syr"}}));
+  auto stats = ExpandMapping(&m, trusted, *pool_);
+  EXPECT_EQ(stats.sources_merged, 1u);
+  EXPECT_EQ(stats.pairs_added, 2u);
+  EXPECT_EQ(m.size(), 5u);
+}
+
+TEST_F(MappingFixture, ExpansionRejectsLowContainmentSource) {
+  BinaryTable core_table = Make({{"a", "1"}, {"b", "2"}, {"c", "3"}});
+  std::vector<const BinaryTable*> ptrs = {&core_table};
+  SynthesizedMapping m = BuildMapping(ptrs, {0});
+  std::vector<BinaryTable> trusted;
+  trusted.push_back(Make({{"a", "1"}, {"x", "8"}, {"y", "9"}}));  // 1/3 core
+  auto stats = ExpandMapping(&m, trusted, *pool_);
+  EXPECT_EQ(stats.sources_merged, 0u);
+  EXPECT_EQ(m.size(), 3u);
+}
+
+TEST_F(MappingFixture, ExpansionRejectsConflictingSource) {
+  BinaryTable core_table = Make({{"a", "1"}, {"b", "2"}, {"c", "3"},
+                                 {"d", "4"}});
+  std::vector<const BinaryTable*> ptrs = {&core_table};
+  SynthesizedMapping m = BuildMapping(ptrs, {0});
+  std::vector<BinaryTable> trusted;
+  // High containment but conflicting on "d".
+  trusted.push_back(Make({{"a", "1"}, {"b", "2"}, {"c", "3"}, {"d", "X"}}));
+  ExpansionOptions opts;
+  opts.max_conflict_ratio = 0.0;
+  auto stats = ExpandMapping(&m, trusted, *pool_, opts);
+  EXPECT_EQ(stats.sources_merged, 0u);
+}
+
+TEST_F(MappingFixture, ExpansionNeverOverridesCoreAssignments) {
+  BinaryTable core_table = Make({{"a", "1"}, {"b", "2"}});
+  std::vector<const BinaryTable*> ptrs = {&core_table};
+  SynthesizedMapping m = BuildMapping(ptrs, {0});
+  std::vector<BinaryTable> trusted;
+  trusted.push_back(Make({{"a", "1"}, {"b", "2"}, {"b", "99"}, {"e", "5"}}));
+  ExpansionOptions opts;
+  opts.max_conflict_ratio = 0.6;  // tolerate the (b,99) conflict
+  ExpandMapping(&m, trusted, *pool_, opts);
+  // "b" keeps its core right value only.
+  size_t b_count = 0;
+  for (const auto& p : m.merged.pairs()) {
+    if (pool_->Get(p.left) == "b") {
+      ++b_count;
+      EXPECT_EQ(pool_->Get(p.right), "2");
+    }
+  }
+  EXPECT_EQ(b_count, 1u);
+}
+
+TEST_F(MappingFixture, ExpansionStatsCountSources) {
+  BinaryTable core_table = Make({{"a", "1"}, {"b", "2"}});
+  std::vector<const BinaryTable*> ptrs = {&core_table};
+  SynthesizedMapping m = BuildMapping(ptrs, {0});
+  std::vector<BinaryTable> trusted;
+  trusted.push_back(Make({{"a", "1"}, {"b", "2"}, {"c", "3"}}));
+  trusted.push_back(Make({{"z", "0"}}));
+  auto stats = ExpandMapping(&m, trusted, *pool_);
+  EXPECT_EQ(stats.sources_considered, 2u);
+  EXPECT_EQ(stats.sources_merged, 1u);
+}
+
+}  // namespace
+}  // namespace ms

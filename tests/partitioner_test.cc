@@ -1,0 +1,208 @@
+// Tests for the greedy synthesis partitioner (Problem 11 / Algorithm 3),
+// including the paper's Figure 3 / Example 12 / Example 16 worked example
+// and the formal invariants of the optimization (Equations 5-8).
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "synth/partitioner.h"
+
+namespace ms {
+namespace {
+
+/// The Figure 3 graph (0-indexed: paper vertex k = here k-1).
+/// Positive edges: (1,2)=0.67, (3,4)=0.6, (3,5)=0.8, (4,5)=0.7, (2,3)=0.5.
+/// Negative edges: (1,3) w-=-0.7, (2,4) w-=-0.33.
+CompatibilityGraph Figure3Graph() {
+  CompatibilityGraph g(5);
+  g.AddEdge(0, 1, 0.67, 0.0);
+  g.AddEdge(2, 3, 0.6, 0.0);
+  g.AddEdge(2, 4, 0.8, 0.0);
+  g.AddEdge(3, 4, 0.7, 0.0);
+  g.AddEdge(1, 2, 0.5, 0.0);
+  g.AddEdge(0, 2, 0.0, -0.7);
+  g.AddEdge(1, 3, 0.0, -0.33);
+  g.Finalize();
+  return g;
+}
+
+PartitionerOptions Figure3Options() {
+  PartitionerOptions o;
+  o.tau = -0.2;
+  o.theta_edge = 0.0;  // Figure 3 counts all positive edges
+  return o;
+}
+
+std::set<std::set<VertexId>> AsSets(const PartitionResult& r) {
+  std::set<std::set<VertexId>> out;
+  for (const auto& g : r.Groups()) out.insert({g.begin(), g.end()});
+  return out;
+}
+
+TEST(PartitionerTest, Example12OptimalPartitioning) {
+  auto g = Figure3Graph();
+  PartitionResult r = GreedyPartition(g, Figure3Options());
+  // Expected: ISO tables {B1,B2} and IOC tables {B3,B4,B5}.
+  std::set<std::set<VertexId>> expected = {{0, 1}, {2, 3, 4}};
+  EXPECT_EQ(AsSets(r), expected);
+  EXPECT_EQ(r.num_partitions, 2u);
+  EXPECT_EQ(r.merges_performed, 3u);  // Example 16: three merges
+}
+
+TEST(PartitionerTest, Example12ObjectiveValue) {
+  auto g = Figure3Graph();
+  auto opts = Figure3Options();
+  PartitionResult r = GreedyPartition(g, opts);
+  // Σ w+(P) = 0.67 + (0.6 + 0.8 + 0.7) = 2.77 (Example 12).
+  EXPECT_NEAR(PartitionObjective(g, r, opts), 2.77, 1e-9);
+}
+
+TEST(PartitionerTest, NegativeConstraintHolds) {
+  auto g = Figure3Graph();
+  auto opts = Figure3Options();
+  PartitionResult r = GreedyPartition(g, opts);
+  EXPECT_TRUE(SatisfiesNegativeConstraint(g, r, opts.tau));
+}
+
+TEST(PartitionerTest, WithoutNegativeSignalsEverythingMerges) {
+  // The SynthesisPos ablation: dropping w- merges all five tables through
+  // the 0.5 bridge edge — exactly the failure the paper attributes to
+  // schema-matching-style positive-only reasoning.
+  auto g = Figure3Graph();
+  auto opts = Figure3Options();
+  opts.use_negative_signals = false;
+  PartitionResult r = GreedyPartition(g, opts);
+  EXPECT_EQ(r.num_partitions, 1u);
+}
+
+TEST(PartitionerTest, ThetaEdgeFloorsWeakEdges) {
+  auto g = Figure3Graph();
+  auto opts = Figure3Options();
+  opts.theta_edge = 0.65;  // keeps 0.67, 0.7, 0.8; floors 0.5, 0.6
+  PartitionResult r = GreedyPartition(g, opts);
+  // {3,5} merges (0.8); then ({3,5},{4}) via the 0.7 edge; {1,2} via 0.67.
+  std::set<std::set<VertexId>> expected = {{0, 1}, {2, 3, 4}};
+  EXPECT_EQ(AsSets(r), expected);
+  // Objective only counts edges >= theta_edge: 0.67 + 0.8 + 0.7.
+  EXPECT_NEAR(PartitionObjective(g, r, opts), 2.17, 1e-9);
+}
+
+TEST(PartitionerTest, TauControlsConflictTolerance) {
+  CompatibilityGraph g(2);
+  g.AddEdge(0, 1, 0.9, -0.1);
+  g.Finalize();
+  PartitionerOptions strict;
+  strict.tau = -0.05;  // -0.1 < -0.05: blocked
+  strict.theta_edge = 0.0;
+  EXPECT_EQ(GreedyPartition(g, strict).num_partitions, 2u);
+  PartitionerOptions lenient;
+  lenient.tau = -0.2;  // -0.1 >= -0.2: slight inconsistency tolerated
+  lenient.theta_edge = 0.0;
+  EXPECT_EQ(GreedyPartition(g, lenient).num_partitions, 1u);
+}
+
+TEST(PartitionerTest, EmptyGraph) {
+  CompatibilityGraph g(0);
+  g.Finalize();
+  PartitionResult r = GreedyPartition(g, {});
+  EXPECT_EQ(r.num_partitions, 0u);
+  EXPECT_TRUE(r.partition_of.empty());
+}
+
+TEST(PartitionerTest, NoEdgesMeansSingletons) {
+  CompatibilityGraph g(4);
+  g.Finalize();
+  PartitionResult r = GreedyPartition(g, {});
+  EXPECT_EQ(r.num_partitions, 4u);
+}
+
+TEST(PartitionerTest, AggregatedNegativeBlocksIndirectMerge) {
+  // 0-1 strongly positive; 1-2 strongly positive; 0-2 heavily conflicting.
+  // After merging {0,1}, the {0,1}-{2} pair inherits min(w-) = -0.9 < τ, so
+  // 2 must stay out even though the 1-2 edge alone is clean.
+  CompatibilityGraph g(3);
+  g.AddEdge(0, 1, 0.9, 0.0);
+  g.AddEdge(1, 2, 0.8, 0.0);
+  g.AddEdge(0, 2, 0.0, -0.9);
+  g.Finalize();
+  PartitionerOptions opts;
+  opts.theta_edge = 0.0;
+  PartitionResult r = GreedyPartition(g, opts);
+  std::set<std::set<VertexId>> expected = {{0, 1}, {2}};
+  EXPECT_EQ(AsSets(r), expected);
+  EXPECT_TRUE(SatisfiesNegativeConstraint(g, r, opts.tau));
+}
+
+TEST(PartitionerTest, PositiveWeightsAggregateAcrossMerges) {
+  // Individually weak edges from 2 to both 0 and 1 (0.3 each) exceed the
+  // strongest remaining edge after summation (Algorithm 3's update rule).
+  CompatibilityGraph g(4);
+  g.AddEdge(0, 1, 0.9, 0.0);
+  g.AddEdge(0, 2, 0.3, 0.0);
+  g.AddEdge(1, 2, 0.3, 0.0);
+  g.AddEdge(2, 3, 0.5, 0.0);
+  g.Finalize();
+  PartitionerOptions opts;
+  opts.theta_edge = 0.0;
+  PartitionResult r = GreedyPartition(g, opts);
+  // All connect eventually (no negative edges): one partition.
+  EXPECT_EQ(r.num_partitions, 1u);
+}
+
+/// Invariant sweep on random graphs: output is a disjoint cover, never
+/// violates the negative constraint, and is deterministic.
+class PartitionerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PartitionerPropertyTest, InvariantsHold) {
+  Rng rng(GetParam());
+  const size_t n = 40;
+  CompatibilityGraph g(n);
+  std::set<std::pair<uint32_t, uint32_t>> seen;
+  for (int e = 0; e < 120; ++e) {
+    uint32_t u = static_cast<uint32_t>(rng.Uniform(n));
+    uint32_t v = static_cast<uint32_t>(rng.Uniform(n));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (!seen.insert({u, v}).second) continue;
+    double pos = rng.Bernoulli(0.7) ? rng.UniformDouble() : 0.0;
+    double neg = rng.Bernoulli(0.3) ? -rng.UniformDouble() : 0.0;
+    if (pos == 0.0 && neg == 0.0) pos = 0.5;
+    g.AddEdge(u, v, pos, neg);
+  }
+  g.Finalize();
+
+  PartitionerOptions opts;
+  opts.theta_edge = 0.2;
+  opts.tau = -0.25;
+  PartitionResult r = GreedyPartition(g, opts);
+
+  // Disjoint cover (Equations 7-8): every vertex in exactly one partition.
+  EXPECT_EQ(r.partition_of.size(), n);
+  size_t covered = 0;
+  for (const auto& group : r.Groups()) covered += group.size();
+  EXPECT_EQ(covered, n);
+
+  // Hard constraint (Equation 6).
+  EXPECT_TRUE(SatisfiesNegativeConstraint(g, r, opts.tau));
+
+  // Determinism.
+  PartitionResult r2 = GreedyPartition(g, opts);
+  EXPECT_EQ(r.partition_of, r2.partition_of);
+
+  // Objective of the produced partitioning is no worse than all-singletons
+  // (which scores 0) and no better than the sum of all positive weights.
+  double upper = 0;
+  for (const auto& e : g.edges()) {
+    if (e.w_pos >= opts.theta_edge) upper += e.w_pos;
+  }
+  const double obj = PartitionObjective(g, r, opts);
+  EXPECT_GE(obj, 0.0);
+  EXPECT_LE(obj, upper + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, PartitionerPropertyTest,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace ms

@@ -1,0 +1,172 @@
+// Tests for the corpus inverted index, PMI/NPMI (Equations 1-2, Example 4),
+// and column coherence (Example 5's Table 7 scenario).
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/coherence.h"
+#include "stats/inverted_index.h"
+#include "stats/npmi.h"
+#include "table/corpus.h"
+
+namespace ms {
+namespace {
+
+/// A corpus where {usa, canada, mexico} co-occur in many columns, {red,
+/// blue} co-occur in others, and "orphan" appears alone.
+class StatsFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 10; ++i) {
+      corpus_.AddFromStrings(
+          "geo" + std::to_string(i), TableSource::kWeb, {"country"},
+          {{"usa", "canada", "mexico"}});
+    }
+    for (int i = 0; i < 6; ++i) {
+      corpus_.AddFromStrings("col" + std::to_string(i), TableSource::kWeb,
+                             {"color"}, {{"red", "blue"}});
+    }
+    corpus_.AddFromStrings("misc", TableSource::kWeb, {"x"}, {{"orphan"}});
+    // One column mixing both concepts.
+    corpus_.AddFromStrings("mixed", TableSource::kWeb, {"m"},
+                           {{"usa", "red"}});
+    index_.Build(corpus_);
+  }
+
+  ValueId Id(const std::string& s) { return corpus_.pool().Find(s); }
+
+  TableCorpus corpus_;
+  ColumnInvertedIndex index_;
+};
+
+TEST_F(StatsFixture, ColumnCountMatchesCorpus) {
+  EXPECT_EQ(index_.num_columns(), corpus_.TotalColumns());
+  EXPECT_EQ(index_.num_columns(), 18u);
+}
+
+TEST_F(StatsFixture, ColumnFrequency) {
+  EXPECT_EQ(index_.ColumnFrequency(Id("usa")), 11u);     // 10 geo + mixed
+  EXPECT_EQ(index_.ColumnFrequency(Id("canada")), 10u);
+  EXPECT_EQ(index_.ColumnFrequency(Id("red")), 7u);      // 6 color + mixed
+  EXPECT_EQ(index_.ColumnFrequency(Id("orphan")), 1u);
+  EXPECT_EQ(index_.ColumnFrequency(999999), 0u);  // unseen id
+}
+
+TEST_F(StatsFixture, CoOccurrence) {
+  EXPECT_EQ(index_.CoOccurrence(Id("usa"), Id("canada")), 10u);
+  EXPECT_EQ(index_.CoOccurrence(Id("usa"), Id("red")), 1u);  // mixed column
+  EXPECT_EQ(index_.CoOccurrence(Id("canada"), Id("red")), 0u);
+  EXPECT_EQ(index_.CoOccurrence(Id("orphan"), Id("usa")), 0u);
+}
+
+TEST_F(StatsFixture, DuplicateValueInColumnCountsOnce) {
+  TableCorpus c;
+  c.AddFromStrings("d", TableSource::kWeb, {"x"}, {{"a", "a", "a"}});
+  ColumnInvertedIndex idx;
+  idx.Build(c);
+  EXPECT_EQ(idx.ColumnFrequency(c.pool().Find("a")), 1u);
+}
+
+TEST_F(StatsFixture, ColumnCoords) {
+  auto [table, col] = index_.ColumnCoords(0);
+  EXPECT_EQ(table, 0u);
+  EXPECT_EQ(col, 0u);
+}
+
+TEST_F(StatsFixture, PmiPositiveForCoOccurring) {
+  EXPECT_GT(Pmi(index_, Id("usa"), Id("canada")), 0.0);
+}
+
+TEST_F(StatsFixture, PmiVeryNegativeForNonCoOccurring) {
+  EXPECT_LT(Pmi(index_, Id("canada"), Id("red")), -1e8);
+}
+
+TEST_F(StatsFixture, PmiZeroForUnseenValues) {
+  EXPECT_DOUBLE_EQ(Pmi(index_, 999999, Id("usa")), 0.0);
+}
+
+TEST_F(StatsFixture, NpmiRange) {
+  for (const char* a : {"usa", "canada", "red", "blue", "orphan"}) {
+    for (const char* b : {"usa", "canada", "red", "blue", "orphan"}) {
+      double v = Npmi(index_, Id(a), Id(b));
+      EXPECT_GE(v, -1.0) << a << "," << b;
+      EXPECT_LE(v, 1.0) << a << "," << b;
+    }
+  }
+}
+
+TEST_F(StatsFixture, NpmiSelfIsOneWhenExclusive) {
+  // canada only ever occurs with itself-containing columns: NPMI(u,u)=1.
+  EXPECT_DOUBLE_EQ(Npmi(index_, Id("canada"), Id("canada")), 1.0);
+}
+
+TEST_F(StatsFixture, NpmiMinusOneForDisjoint) {
+  EXPECT_DOUBLE_EQ(Npmi(index_, Id("canada"), Id("red")), -1.0);
+}
+
+TEST_F(StatsFixture, NpmiOrdersRelatednessSensibly) {
+  const double strong = Npmi(index_, Id("usa"), Id("canada"));
+  const double weak = Npmi(index_, Id("usa"), Id("red"));
+  EXPECT_GT(strong, weak);
+}
+
+TEST(PmiExampleTest, PaperExample4) {
+  // N=100M columns, |C(u)|=1000, |C(v)|=500, |C(u)∩C(v)|=300
+  // => PMI = log(300e-8 / (1e-5 * 5e-6)) = log(6e4) ≈ 11.0 (natural log).
+  // The paper quotes 4.78 with log10; we use natural log, so check the
+  // ratio rather than the constant.
+  const double n = 1e8, cu = 1000, cv = 500, cuv = 300;
+  const double pmi = std::log((cuv / n) / ((cu / n) * (cv / n)));
+  EXPECT_NEAR(pmi / std::log(10.0), 4.778, 0.01);  // matches the paper in log10
+}
+
+// ---------------------------------------------------------------- Coherence
+
+TEST_F(StatsFixture, CoherentColumnScoresHigh) {
+  std::vector<ValueId> cells = {Id("usa"), Id("canada"), Id("mexico")};
+  EXPECT_GT(ColumnCoherence(index_, cells), 0.5);
+}
+
+TEST_F(StatsFixture, MixedColumnScoresLow) {
+  std::vector<ValueId> cells = {Id("usa"), Id("canada"), Id("red"),
+                                Id("blue"), Id("orphan")};
+  const double mixed = ColumnCoherence(index_, cells);
+  std::vector<ValueId> pure = {Id("usa"), Id("canada"), Id("mexico")};
+  EXPECT_LT(mixed, ColumnCoherence(index_, pure));
+}
+
+TEST_F(StatsFixture, SingleValueColumnIsTriviallyCoherent) {
+  EXPECT_DOUBLE_EQ(ColumnCoherence(index_, {Id("usa")}), 1.0);
+  EXPECT_DOUBLE_EQ(ColumnCoherence(index_, {Id("usa"), Id("usa")}), 1.0);
+}
+
+TEST_F(StatsFixture, EmptyColumnScoresZero) {
+  EXPECT_DOUBLE_EQ(ColumnCoherence(index_, {}), 0.0);
+}
+
+TEST_F(StatsFixture, SamplingIsDeterministic) {
+  std::vector<ValueId> cells;
+  for (int rep = 0; rep < 3; ++rep) {
+    cells.push_back(Id("usa"));
+    cells.push_back(Id("canada"));
+    cells.push_back(Id("mexico"));
+    cells.push_back(Id("red"));
+    cells.push_back(Id("blue"));
+  }
+  CoherenceOptions opts;
+  opts.max_sampled_values = 3;
+  const double a = ColumnCoherence(index_, cells, opts);
+  const double b = ColumnCoherence(index_, cells, opts);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST_F(StatsFixture, SamplingCapChangesNothingWhenSmall) {
+  std::vector<ValueId> cells = {Id("usa"), Id("canada")};
+  CoherenceOptions big, small;
+  small.max_sampled_values = 2;
+  EXPECT_DOUBLE_EQ(ColumnCoherence(index_, cells, big),
+                   ColumnCoherence(index_, cells, small));
+}
+
+}  // namespace
+}  // namespace ms

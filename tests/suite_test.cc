@@ -1,0 +1,119 @@
+// Integration test for the 12-method evaluation suite (the engine behind
+// Figures 7/8/10/14): every method runs, is evaluated against ground truth,
+// and the headline orderings the paper reports hold on a small world.
+#include <gtest/gtest.h>
+
+#include "corpusgen/builtin_domains.h"
+#include "eval/suite.h"
+
+namespace ms {
+namespace {
+
+class SuiteFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto all = BuiltinWebRelationships();
+    std::vector<RelationshipSpec> specs;
+    for (auto& s : all) {
+      if (s.name == "country_iso3" || s.name == "country_ioc" ||
+          s.name == "state_abbrev" || s.name == "element_symbol" ||
+          s.name == "city_state" || s.name == "company_ticker") {
+        s.popularity = 14;
+        specs.push_back(std::move(s));
+      }
+    }
+    GeneratorOptions gen;
+    gen.seed = 99;
+    gen.noise_table_fraction = 0.2;
+    world_ = new GeneratedWorld(GenerateWorld(std::move(specs), gen));
+    SuiteOptions opts;
+    opts.synthesis.num_threads = 4;
+    result_ = new SuiteResult(RunMethodSuite(*world_, opts));
+  }
+  static void TearDownTestSuite() {
+    delete result_;
+    delete world_;
+    result_ = nullptr;
+    world_ = nullptr;
+  }
+
+  static const SuiteEntry* Find(const std::string& name) {
+    for (const auto& e : result_->entries) {
+      if (e.output.method_name == name) return &e;
+    }
+    return nullptr;
+  }
+
+  static GeneratedWorld* world_;
+  static SuiteResult* result_;
+};
+
+GeneratedWorld* SuiteFixture::world_ = nullptr;
+SuiteResult* SuiteFixture::result_ = nullptr;
+
+TEST_F(SuiteFixture, AllTwelveMethodsPresent) {
+  for (const char* name :
+       {"Synthesis", "WikiTable", "WebTable", "UnionDomain", "UnionWeb",
+        "SynthesisPos", "Correlation", "SchemaPosCC", "SchemaCC",
+        "WiseIntegrator", "Freebase", "YAGO"}) {
+    EXPECT_NE(Find(name), nullptr) << name;
+  }
+  EXPECT_EQ(result_->entries.size(), 12u);
+}
+
+TEST_F(SuiteFixture, EvaluationsCoverEveryCase) {
+  for (const auto& e : result_->entries) {
+    EXPECT_EQ(e.evaluation.per_case.size(), world_->cases.size())
+        << e.output.method_name;
+    EXPECT_GE(e.output.runtime_seconds, 0.0);
+  }
+}
+
+TEST_F(SuiteFixture, SynthesisHasBestFscore) {
+  const auto* synthesis = Find("Synthesis");
+  ASSERT_NE(synthesis, nullptr);
+  for (const auto& e : result_->entries) {
+    EXPECT_GE(synthesis->evaluation.aggregate.avg_fscore + 1e-9,
+              e.evaluation.aggregate.avg_fscore)
+        << e.output.method_name;
+  }
+  EXPECT_GT(synthesis->evaluation.aggregate.avg_fscore, 0.8);
+}
+
+TEST_F(SuiteFixture, NegativeSignalsMatter) {
+  // Figure 7's central ablation: SynthesisPos < Synthesis.
+  EXPECT_LT(Find("SynthesisPos")->evaluation.aggregate.avg_fscore,
+            Find("Synthesis")->evaluation.aggregate.avg_fscore);
+}
+
+TEST_F(SuiteFixture, WikiTableIsPreciseButIncomplete) {
+  const auto* wiki = Find("WikiTable");
+  ASSERT_NE(wiki, nullptr);
+  EXPECT_GT(wiki->evaluation.aggregate.avg_precision, 0.85);
+  EXPECT_LT(wiki->evaluation.aggregate.avg_recall,
+            Find("Synthesis")->evaluation.aggregate.avg_recall);
+}
+
+TEST_F(SuiteFixture, SingleTablesTrailSynthesisOnRecall) {
+  EXPECT_LT(Find("WebTable")->evaluation.aggregate.avg_recall,
+            Find("Synthesis")->evaluation.aggregate.avg_recall);
+}
+
+TEST_F(SuiteFixture, KnowledgeBasesMissRelations) {
+  // company_ticker is flagged off-KB in the builtin data (Section 6: both
+  // KBs miss stocks); Freebase must score ~0 there.
+  int ci = world_->CaseIndex("company_ticker");
+  ASSERT_GE(ci, 0);
+  EXPECT_LT(Find("Freebase")->evaluation.per_case[ci].fscore, 0.05);
+  EXPECT_LT(Find("YAGO")->evaluation.aggregate.avg_recall,
+            Find("Freebase")->evaluation.aggregate.avg_recall + 1e-9);
+}
+
+TEST_F(SuiteFixture, SharedGraphStatsReported) {
+  EXPECT_GT(result_->num_candidates, 0u);
+  EXPECT_GT(result_->graph_edges, 0u);
+  EXPECT_GT(result_->extraction_stats.pairs_considered, 0u);
+}
+
+}  // namespace
+}  // namespace ms

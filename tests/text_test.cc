@@ -1,0 +1,230 @@
+// Tests for cell normalization, the banded edit distance of Algorithm 2
+// (validated against the full-matrix reference on random inputs), the
+// fractional matching threshold, and the synonym dictionary.
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "text/edit_distance.h"
+#include "text/normalize.h"
+#include "text/synonyms.h"
+
+namespace ms {
+namespace {
+
+// -------------------------------------------------------------- Normalize
+
+TEST(NormalizeTest, LowercasesAndCollapsesWhitespace) {
+  EXPECT_EQ(NormalizeCell("  South   KOREA "), "south korea");
+}
+
+TEST(NormalizeTest, StripsPunctuation) {
+  EXPECT_EQ(NormalizeCell("Korea, Republic of"), "korea republic of");
+  EXPECT_EQ(NormalizeCell("American Samoa (US)"), "american samoa us");
+}
+
+TEST(NormalizeTest, StripsFootnoteMarks) {
+  EXPECT_EQ(NormalizeCell("American Samoa[1]"), "american samoa");
+  EXPECT_EQ(NormalizeCell("France[12][3]"), "france");
+}
+
+TEST(NormalizeTest, KeepsInnerBracketsThatAreNotFootnotes) {
+  // "[ab]" is not a numeric footnote; punctuation stripping still removes
+  // the brackets themselves.
+  EXPECT_EQ(NormalizeCell("x [ab]"), "x ab");
+}
+
+TEST(NormalizeTest, OptionsCanDisableEachStep) {
+  NormalizeOptions opts;
+  opts.lowercase = false;
+  opts.strip_punctuation = false;
+  opts.strip_footnote_marks = false;
+  opts.collapse_whitespace = false;
+  EXPECT_EQ(NormalizeCell("A,b [1]", opts), "A,b [1]");
+}
+
+TEST(NormalizeTest, EmptyAndWhitespaceOnly) {
+  EXPECT_EQ(NormalizeCell(""), "");
+  EXPECT_EQ(NormalizeCell("   "), "");
+  EXPECT_EQ(NormalizeCell("..."), "");
+}
+
+TEST(NormalizeTest, LooksNumeric) {
+  EXPECT_TRUE(LooksNumeric("123"));
+  EXPECT_TRUE(LooksNumeric("1,234.56"));
+  EXPECT_TRUE(LooksNumeric("-42%"));
+  EXPECT_TRUE(LooksNumeric("$1000"));
+  EXPECT_FALSE(LooksNumeric("abc"));
+  EXPECT_FALSE(LooksNumeric("12 apples"));
+  EXPECT_FALSE(LooksNumeric(""));
+}
+
+TEST(NormalizeTest, LooksTemporal) {
+  EXPECT_TRUE(LooksTemporal("1994"));
+  EXPECT_TRUE(LooksTemporal("2017"));
+  EXPECT_TRUE(LooksTemporal("10-12"));
+  EXPECT_TRUE(LooksTemporal("7:30"));
+  EXPECT_FALSE(LooksTemporal("3127"));  // not 1xxx/2xxx year
+  EXPECT_FALSE(LooksTemporal("hello"));
+  EXPECT_FALSE(LooksTemporal("10-12 pm"));
+}
+
+// ---------------------------------------------------------- EditDistance
+
+TEST(EditDistanceTest, FullBasics) {
+  EXPECT_EQ(EditDistanceFull("", ""), 0u);
+  EXPECT_EQ(EditDistanceFull("abc", ""), 3u);
+  EXPECT_EQ(EditDistanceFull("", "abc"), 3u);
+  EXPECT_EQ(EditDistanceFull("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistanceFull("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistanceFull("usa", "rsa"), 1u);
+}
+
+TEST(EditDistanceTest, BandedMatchesFullWithinBand) {
+  EXPECT_EQ(EditDistanceBanded("kitten", "sitting", 3), 3u);
+  EXPECT_EQ(EditDistanceBanded("abc", "abc", 0), 0u);
+  EXPECT_EQ(EditDistanceBanded("american samoa", "american samoa us", 3), 3u);
+}
+
+TEST(EditDistanceTest, BandedReportsExceededBand) {
+  EXPECT_GT(EditDistanceBanded("kitten", "sitting", 2), 2u);
+  EXPECT_GT(EditDistanceBanded("aaaa", "bbbb", 3), 3u);
+  EXPECT_GT(EditDistanceBanded("short", "muchlongerstring", 3), 3u);
+}
+
+TEST(EditDistanceTest, BandedHandlesEmptyStrings) {
+  EXPECT_EQ(EditDistanceBanded("", "", 0), 0u);
+  EXPECT_EQ(EditDistanceBanded("", "ab", 2), 2u);
+  EXPECT_GT(EditDistanceBanded("", "abc", 2), 2u);
+}
+
+TEST(EditDistanceTest, BandedIsSymmetric) {
+  EXPECT_EQ(EditDistanceBanded("abcdef", "abdf", 4),
+            EditDistanceBanded("abdf", "abcdef", 4));
+}
+
+/// Property sweep: the banded distance must agree with the full DP whenever
+/// the true distance fits the band, and must report > band otherwise.
+class BandedVsFullTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BandedVsFullTest, AgreesWithReference) {
+  Rng rng(GetParam());
+  const char alphabet[] = "abcde";
+  for (int iter = 0; iter < 300; ++iter) {
+    std::string a, b;
+    const size_t la = rng.Uniform(15);
+    const size_t lb = rng.Uniform(15);
+    for (size_t i = 0; i < la; ++i) a += alphabet[rng.Uniform(5)];
+    for (size_t i = 0; i < lb; ++i) b += alphabet[rng.Uniform(5)];
+    const size_t truth = EditDistanceFull(a, b);
+    for (size_t band = 0; band <= 6; ++band) {
+      const size_t got = EditDistanceBanded(a, b, band);
+      if (truth <= band) {
+        EXPECT_EQ(got, truth) << "a=" << a << " b=" << b << " band=" << band;
+      } else {
+        EXPECT_GT(got, band) << "a=" << a << " b=" << b << " band=" << band;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, BandedVsFullTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(FractionalThresholdTest, PaperExample8) {
+  // θ_ed("American Samoa"(13ch no punct? use raw), ...) = min{⌊13*0.2⌋,
+  // ⌊15*0.2⌋, 10} = 2 per the paper's walk-through.
+  std::string a = "american samoa";     // 14 chars
+  std::string b = "american samoa us";  // 17 chars
+  EXPECT_EQ(FractionalThreshold(a, b), 2u);
+}
+
+TEST(FractionalThresholdTest, ShortCodesRequireExactMatch) {
+  EXPECT_EQ(FractionalThreshold("USA", "RSA"), 0u);
+  EXPECT_FALSE(ApproxMatch("USA", "RSA"));
+  EXPECT_TRUE(ApproxMatch("USA", "USA"));
+}
+
+TEST(FractionalThresholdTest, CapAppliesToVeryLongStrings) {
+  std::string a(200, 'x');
+  std::string b(200, 'y');
+  EXPECT_EQ(FractionalThreshold(a, b), 10u);  // k_ed cap
+}
+
+TEST(ApproxMatchTest, ToleratesSmallVariation) {
+  // 2 edits, threshold min(⌊17·0.2⌋, ⌊15·0.2⌋, 10) = 3: match.
+  EXPECT_TRUE(ApproxMatch("korea republic of", "korea republic f"));
+  // 3 edits, threshold min(3, ⌊14·0.2⌋ = 2, 10) = 2: no match.
+  EXPECT_FALSE(ApproxMatch("korea republic of", "korea republic"));
+  EXPECT_FALSE(ApproxMatch("washington", "wisconsin"));
+}
+
+TEST(ApproxMatchTest, CustomOptions) {
+  EditDistanceOptions strict;
+  strict.fractional = 0.0;
+  EXPECT_FALSE(ApproxMatch("abcdefgh", "abcdefgx", strict));
+  EditDistanceOptions loose;
+  loose.fractional = 0.5;
+  EXPECT_TRUE(ApproxMatch("abcdefgh", "abcdxxgh", loose));
+}
+
+// ---------------------------------------------------------------- Synonyms
+
+class SynonymTest : public ::testing::Test {
+ protected:
+  SynonymTest() : pool_(std::make_shared<StringPool>()), dict_(pool_) {}
+  std::shared_ptr<StringPool> pool_;
+  SynonymDictionary dict_;
+};
+
+TEST_F(SynonymTest, BasicPairs) {
+  dict_.AddSynonym("US Virgin Islands", "United States Virgin Islands");
+  EXPECT_TRUE(
+      dict_.AreSynonyms("US Virgin Islands", "United States Virgin Islands"));
+  EXPECT_FALSE(dict_.AreSynonyms("US Virgin Islands", "Guam"));
+}
+
+TEST_F(SynonymTest, Transitivity) {
+  dict_.AddSynonym("a", "b");
+  dict_.AddSynonym("b", "c");
+  EXPECT_TRUE(dict_.AreSynonyms("a", "c"));
+}
+
+TEST_F(SynonymTest, SelfSynonymAlwaysTrue) {
+  ValueId v = pool_->Intern("solo");
+  EXPECT_TRUE(dict_.AreSynonyms(v, v));
+  EXPECT_TRUE(dict_.AreSynonyms("never seen", "never seen"));
+}
+
+TEST_F(SynonymTest, UnknownStringsAreNotSynonyms) {
+  EXPECT_FALSE(dict_.AreSynonyms("ghost1", "ghost2"));
+}
+
+TEST_F(SynonymTest, ClassMembersEnumeratesClass) {
+  dict_.AddSynonym("x", "y");
+  dict_.AddSynonym("y", "z");
+  ValueId x = pool_->Find("x");
+  auto members = dict_.ClassMembers(x);
+  EXPECT_EQ(members.size(), 3u);
+}
+
+TEST_F(SynonymTest, ClassOfSingletonIsSelf) {
+  ValueId v = pool_->Intern("lonely");
+  EXPECT_EQ(dict_.ClassOf(v), v);
+  auto members = dict_.ClassMembers(v);
+  ASSERT_EQ(members.size(), 1u);
+  EXPECT_EQ(members[0], v);
+}
+
+TEST_F(SynonymTest, IdempotentAdd) {
+  dict_.AddSynonym("p", "q");
+  dict_.AddSynonym("p", "q");
+  dict_.AddSynonym("q", "p");
+  EXPECT_TRUE(dict_.AreSynonyms("p", "q"));
+  EXPECT_EQ(dict_.ClassMembers(pool_->Find("p")).size(), 2u);
+}
+
+}  // namespace
+}  // namespace ms
