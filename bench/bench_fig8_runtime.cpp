@@ -32,10 +32,21 @@ int main() {
   steps.AddRow({"index build", bench::F(r.stats.index_seconds, 3)});
   steps.AddRow({"candidate extraction", bench::F(r.stats.extract_seconds, 3)});
   steps.AddRow({"blocking", bench::F(r.stats.blocking_seconds, 3)});
+  steps.AddRow({"  blocking: map+shuffle",
+                bench::F(r.stats.blocking_map_shuffle_seconds, 3)});
+  steps.AddRow({"  blocking: shard count",
+                bench::F(r.stats.blocking_count_seconds, 3)});
+  steps.AddRow({"  blocking: reduce",
+                bench::F(r.stats.blocking_reduce_seconds, 3)});
   steps.AddRow({"pair scoring", bench::F(r.stats.scoring_seconds, 3)});
   steps.AddRow({"greedy partitioning", bench::F(r.stats.partition_seconds, 3)});
   steps.AddRow({"conflict resolution", bench::F(r.stats.resolve_seconds, 3)});
   steps.AddRow({"total", bench::F(r.stats.total_seconds, 3)});
   steps.Print(std::cout);
+  std::cout << "blocking: " << r.stats.blocking_keys << " keys, "
+            << r.stats.blocking_dropped_postings
+            << " postings dropped by max_posting; normalize cache: "
+            << r.stats.extraction.normalize_cache_hits << " hits / "
+            << r.stats.extraction.normalize_cache_misses << " misses\n";
   return 0;
 }

@@ -82,13 +82,56 @@ struct ScoringWorld {
   }
 };
 
+/// Web-shaped blocking world: value popularity is skewed (a few hot keys
+/// with truncation-length posting lists, a long thin tail) and the key
+/// space grows with the table count, like a real extracted-candidate set.
+/// ScoringWorld above is deliberately dense (nearly all pairs overlap) —
+/// that shape is right for scoring benchmarks but degenerate for blocking.
+std::vector<BinaryTable> BlockingWorld(size_t n_tables) {
+  Rng rng(7);
+  auto pool = std::make_shared<StringPool>();
+  const uint32_t key_space = static_cast<uint32_t>(n_tables * 2);
+  std::vector<BinaryTable> candidates;
+  for (size_t t = 0; t < n_tables; ++t) {
+    std::vector<ValuePair> pairs;
+    for (size_t r = 0; r < 10; ++r) {
+      const double p = rng.UniformDouble();
+      uint32_t k;
+      if (p < 0.1) {
+        k = static_cast<uint32_t>(rng.Uniform(8));
+      } else if (p < 0.4) {
+        k = 8 + static_cast<uint32_t>(rng.Uniform(key_space / 100 + 1));
+      } else {
+        k = 8 + key_space / 100 + 1 +
+            static_cast<uint32_t>(rng.Uniform(key_space));
+      }
+      pairs.push_back({k, static_cast<ValueId>(rng.Uniform(2000))});
+    }
+    BinaryTable b = BinaryTable::FromPairs(std::move(pairs));
+    b.id = static_cast<BinaryTableId>(t);
+    candidates.push_back(std::move(b));
+  }
+  return candidates;
+}
+
 void BM_Blocking(benchmark::State& state) {
-  ScoringWorld world(static_cast<size_t>(state.range(0)));
+  auto candidates = BlockingWorld(static_cast<size_t>(state.range(0)));
   for (auto _ : state) {
-    benchmark::DoNotOptimize(GenerateCandidatePairs(world.candidates, {}));
+    benchmark::DoNotOptimize(GenerateCandidatePairs(candidates, {}));
   }
 }
-BENCHMARK(BM_Blocking)->Arg(64)->Arg(256);
+BENCHMARK(BM_Blocking)->Arg(1024)->Arg(8192)->Arg(32768);
+
+// Seed emit-then-count blocking, kept for speedup tracking against
+// BM_Blocking (same worlds, same options).
+void BM_BlockingReference(benchmark::State& state) {
+  auto candidates = BlockingWorld(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        GenerateCandidatePairsReference(candidates, {}));
+  }
+}
+BENCHMARK(BM_BlockingReference)->Arg(1024)->Arg(8192)->Arg(32768);
 
 void BM_PairScoring(benchmark::State& state) {
   ScoringWorld world(64);
@@ -167,6 +210,61 @@ void BM_MappingStoreLookup(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MappingStoreLookup);
+
+TableCorpus IndexBenchCorpus(size_t n_tables) {
+  Rng rng(8);
+  TableCorpus corpus;
+  for (size_t t = 0; t < n_tables; ++t) {
+    std::vector<std::string> cells;
+    const size_t rows = 8 + rng.Uniform(10);
+    for (size_t r = 0; r < rows; ++r) {
+      cells.push_back("w" + std::to_string(rng.Uniform(n_tables * 4)));
+    }
+    corpus.AddFromStrings("d", TableSource::kWeb, {"c"}, {cells});
+  }
+  return corpus;
+}
+
+void BM_IndexBuildCsr(benchmark::State& state) {
+  TableCorpus corpus = IndexBenchCorpus(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    ColumnInvertedIndex index;
+    index.Build(corpus);
+    benchmark::DoNotOptimize(index.num_columns());
+  }
+}
+BENCHMARK(BM_IndexBuildCsr)->Arg(1000)->Arg(10000);
+
+// Seed vector<vector> build, for comparison with BM_IndexBuildCsr.
+void BM_IndexBuildReference(benchmark::State& state) {
+  TableCorpus corpus = IndexBenchCorpus(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    ReferenceInvertedIndex index;
+    index.Build(corpus);
+    benchmark::DoNotOptimize(index.num_columns());
+  }
+}
+BENCHMARK(BM_IndexBuildReference)->Arg(1000)->Arg(10000);
+
+// Skewed-length posting intersection: exercises the galloping path.
+void BM_CoOccurrenceSkewed(benchmark::State& state) {
+  TableCorpus corpus;
+  Rng rng(9);
+  for (int t = 0; t < 4000; ++t) {
+    std::vector<std::string> cells = {"hot"};
+    if (rng.Bernoulli(0.01)) cells.push_back("rare");
+    cells.push_back("w" + std::to_string(rng.Uniform(500)));
+    corpus.AddFromStrings("d", TableSource::kWeb, {"c"}, {cells});
+  }
+  ColumnInvertedIndex index;
+  index.Build(corpus);
+  ValueId hot = corpus.pool().Find("hot");
+  ValueId rare = corpus.pool().Find("rare");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.CoOccurrence(hot, rare));
+  }
+}
+BENCHMARK(BM_CoOccurrenceSkewed);
 
 void BM_Npmi(benchmark::State& state) {
   TableCorpus corpus;

@@ -1,37 +1,11 @@
 #include "extract/candidate_extraction.h"
 
 #include <algorithm>
-#include <mutex>
-#include <unordered_map>
+
+#include "extract/normalization_cache.h"
 
 namespace ms {
 namespace {
-
-/// Caches raw ValueId -> normalized ValueId (both in the same pool).
-class NormalizationCache {
- public:
-  NormalizationCache(StringPool* pool, const NormalizeOptions& opts)
-      : pool_(pool), opts_(opts) {}
-
-  ValueId Normalized(ValueId raw) {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      auto it = cache_.find(raw);
-      if (it != cache_.end()) return it->second;
-    }
-    std::string norm = NormalizeCell(pool_->Get(raw), opts_);
-    ValueId id = norm.empty() ? kInvalidValueId : pool_->Intern(norm);
-    std::lock_guard<std::mutex> lock(mu_);
-    cache_.emplace(raw, id);
-    return id;
-  }
-
- private:
-  StringPool* pool_;
-  NormalizeOptions opts_;
-  std::mutex mu_;
-  std::unordered_map<ValueId, ValueId> cache_;
-};
 
 bool MostlyNumeric(const StringPool& pool, const BinaryTable& b) {
   size_t numeric = 0;
@@ -56,7 +30,7 @@ ExtractionResult ExtractCandidates(const TableCorpus& corpus,
                                    ThreadPool* pool) {
   ExtractionResult result;
   auto shared_pool = corpus.shared_pool();
-  NormalizationCache norm(shared_pool.get(), options.normalize);
+  ShardedNormalizationCache norm(shared_pool.get(), options.normalize);
 
   const auto& tables = corpus.tables();
   std::vector<std::vector<BinaryTable>> per_table(tables.size());
@@ -77,12 +51,10 @@ ExtractionResult ExtractCandidates(const TableCorpus& corpus,
     st.columns_kept = kept.size();
     if (kept.size() < 2) return;
 
-    // Normalize the kept columns once.
+    // Normalize the kept columns once, one sharded-cache batch per column.
     std::vector<std::vector<ValueId>> norm_cols(kept.size());
     for (size_t k = 0; k < kept.size(); ++k) {
-      const auto& cells = t.columns[kept[k]].cells;
-      norm_cols[k].reserve(cells.size());
-      for (ValueId v : cells) norm_cols[k].push_back(norm.Normalized(v));
+      norm.NormalizeBatch(t.columns[kept[k]].cells, &norm_cols[k]);
     }
 
     // --- FD filter over all ordered pairs (Algorithm 1 lines 7-10).
@@ -124,6 +96,8 @@ ExtractionResult ExtractCandidates(const TableCorpus& corpus,
     for (size_t i = 0; i < tables.size(); ++i) process(i);
   }
 
+  result.stats.normalize_cache_hits = norm.hits();
+  result.stats.normalize_cache_misses = norm.misses();
   for (size_t i = 0; i < tables.size(); ++i) {
     result.stats.tables_seen += per_stats[i].tables_seen;
     result.stats.columns_seen += per_stats[i].columns_seen;

@@ -43,6 +43,8 @@ struct ExtractionStats {
   size_t columns_kept = 0;        ///< survived the PMI coherence filter
   size_t pairs_considered = 0;    ///< ordered pairs among kept columns
   size_t pairs_kept = 0;          ///< survived the FD filter
+  size_t normalize_cache_hits = 0;    ///< cell lookups served from the cache
+  size_t normalize_cache_misses = 0;  ///< distinct values actually normalized
 
   double FilterRate() const {
     return pairs_considered == 0

@@ -38,6 +38,60 @@ class Emitter {
   std::hash<K> hasher_;
 };
 
+/// Runs just the map + shuffle phases: maps every input, hash-partitions the
+/// emitted (K, V) pairs by key, and returns one buffer per partition. All
+/// pairs for a given key land in the same partition, so callers can stream-
+/// aggregate each partition independently (in parallel) without ever
+/// materializing per-key groups or reduce outputs. Concatenation order
+/// within a partition is deterministic (worker index, then emission order).
+template <typename Input, typename K, typename V>
+std::vector<std::vector<std::pair<K, V>>> RunMapShuffle(
+    const std::vector<Input>& inputs,
+    const std::function<void(const Input&, Emitter<K, V>&)>& map_fn,
+    ThreadPool* pool) {
+  const size_t workers = pool ? pool->num_threads() : 1;
+  const size_t partitions = DefaultPartitionCount(inputs.size(), workers);
+
+  // --- Map phase: each worker owns an Emitter; merge per partition after.
+  std::vector<Emitter<K, V>> emitters;
+  emitters.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) emitters.emplace_back(partitions);
+
+  if (pool && workers > 1) {
+    const size_t chunk = (inputs.size() + workers - 1) / workers;
+    for (size_t w = 0; w < workers; ++w) {
+      const size_t begin = w * chunk;
+      const size_t end = std::min(inputs.size(), begin + chunk);
+      if (begin >= end) break;
+      pool->Submit([&, w, begin, end] {
+        for (size_t i = begin; i < end; ++i) map_fn(inputs[i], emitters[w]);
+      });
+    }
+    pool->WaitIdle();
+  } else {
+    for (const auto& in : inputs) map_fn(in, emitters[0]);
+  }
+
+  // --- Shuffle: concatenate all workers' buffers per partition.
+  std::vector<std::vector<std::pair<K, V>>> parts(partitions);
+  for (size_t p = 0; p < partitions; ++p) {
+    size_t total = 0;
+    for (auto& em : emitters) total += em.buffers()[p].size();
+    parts[p].reserve(total);
+  }
+  for (auto& em : emitters) {
+    for (size_t p = 0; p < partitions; ++p) {
+      auto& src = em.buffers()[p];
+      auto& dst = parts[p];
+      dst.insert(dst.end(), std::make_move_iterator(src.begin()),
+                 std::make_move_iterator(src.end()));
+      src.clear();
+      src.shrink_to_fit();
+    }
+  }
+  return parts;
+}
+
 /// Runs a full map-shuffle-reduce round.
 ///  - `inputs`: the records to map over.
 ///  - `map_fn(input, emitter)`: emits intermediate (K, V) pairs.
@@ -51,43 +105,8 @@ std::vector<Output> RunMapReduce(
         reduce_fn,
     ThreadPool* pool) {
   const size_t workers = pool ? pool->num_threads() : 1;
-  const size_t partitions = DefaultPartitionCount(inputs.size(), workers);
-
-  // --- Map phase: each worker owns an Emitter; merge per partition after.
-  std::vector<Emitter<K, V>> emitters;
-  emitters.reserve(workers);
-  for (size_t w = 0; w < workers; ++w) emitters.emplace_back(partitions);
-
-  if (pool && workers > 1) {
-    std::mutex mu;
-    size_t next_worker = 0;
-    const size_t chunk = (inputs.size() + workers - 1) / workers;
-    for (size_t w = 0; w < workers; ++w) {
-      const size_t begin = w * chunk;
-      const size_t end = std::min(inputs.size(), begin + chunk);
-      if (begin >= end) break;
-      pool->Submit([&, w, begin, end] {
-        for (size_t i = begin; i < end; ++i) map_fn(inputs[i], emitters[w]);
-      });
-      (void)mu;
-      (void)next_worker;
-    }
-    pool->WaitIdle();
-  } else {
-    for (const auto& in : inputs) map_fn(in, emitters[0]);
-  }
-
-  // --- Shuffle: concatenate all workers' buffers per partition.
-  std::vector<std::vector<std::pair<K, V>>> parts(partitions);
-  for (auto& em : emitters) {
-    for (size_t p = 0; p < partitions; ++p) {
-      auto& src = em.buffers()[p];
-      auto& dst = parts[p];
-      dst.insert(dst.end(), std::make_move_iterator(src.begin()),
-                 std::make_move_iterator(src.end()));
-      src.clear();
-    }
-  }
+  auto parts = RunMapShuffle<Input, K, V>(inputs, map_fn, pool);
+  const size_t partitions = parts.size();
 
   // --- Reduce phase: group by key within each partition.
   std::vector<std::vector<Output>> partial(partitions);

@@ -1,46 +1,46 @@
 #include "stats/inverted_index.h"
 
 #include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+#include "common/logging.h"
 
 namespace ms {
+namespace {
 
-const std::vector<ColumnId> ColumnInvertedIndex::kEmpty;
-
-void ColumnInvertedIndex::Build(const TableCorpus& corpus) {
-  postings_.clear();
-  coords_.clear();
-  postings_.resize(corpus.pool().size());
-  ColumnId next = 0;
-  std::vector<ValueId> distinct;
-  for (const auto& t : corpus.tables()) {
-    for (uint32_t c = 0; c < t.columns.size(); ++c) {
-      distinct.assign(t.columns[c].cells.begin(), t.columns[c].cells.end());
-      std::sort(distinct.begin(), distinct.end());
-      distinct.erase(std::unique(distinct.begin(), distinct.end()),
-                     distinct.end());
-      for (ValueId v : distinct) {
-        if (v >= postings_.size()) postings_.resize(v + 1);
-        postings_[v].push_back(next);
-      }
-      coords_.emplace_back(t.id, c);
-      ++next;
+/// Counts |a ∩ b| where b is much longer than a: for each element of a,
+/// gallop (exponential probe + binary search) forward in b. O(|a| log |b|)
+/// versus O(|a| + |b|) for the plain merge — a big win on the skewed list
+/// lengths that hot corpus values ("usa", "total") produce.
+size_t GallopIntersect(PostingsView a, PostingsView b) {
+  size_t count = 0;
+  size_t lo = 0;
+  for (size_t i = 0; i < a.size; ++i) {
+    const ColumnId x = a[i];
+    // Exponential probe for the first position with b[pos] >= x.
+    size_t step = 1;
+    size_t hi = lo;
+    while (hi < b.size && b[hi] < x) {
+      lo = hi + 1;
+      hi += step;
+      step <<= 1;
+    }
+    if (hi > b.size) hi = b.size;
+    const ColumnId* it = std::lower_bound(b.begin() + lo, b.begin() + hi, x);
+    lo = static_cast<size_t>(it - b.begin());
+    if (lo == b.size) break;
+    if (*it == x) {
+      ++count;
+      ++lo;
     }
   }
-  num_columns_ = next;
-  // Posting lists are built in increasing ColumnId order => already sorted.
+  return count;
 }
 
-size_t ColumnInvertedIndex::ColumnFrequency(ValueId u) const {
-  if (u >= postings_.size()) return 0;
-  return postings_[u].size();
-}
-
-size_t ColumnInvertedIndex::CoOccurrence(ValueId u, ValueId v) const {
-  if (u >= postings_.size() || v >= postings_.size()) return 0;
-  const auto& a = postings_[u];
-  const auto& b = postings_[v];
+size_t MergeIntersect(PostingsView a, PostingsView b) {
   size_t i = 0, j = 0, count = 0;
-  while (i < a.size() && j < b.size()) {
+  while (i < a.size && j < b.size) {
     if (a[i] < b[j]) {
       ++i;
     } else if (b[j] < a[i]) {
@@ -54,14 +54,160 @@ size_t ColumnInvertedIndex::CoOccurrence(ValueId u, ValueId v) const {
   return count;
 }
 
-const std::vector<ColumnId>& ColumnInvertedIndex::Postings(ValueId u) const {
-  if (u >= postings_.size()) return kEmpty;
-  return postings_[u];
+}  // namespace
+
+void ColumnInvertedIndex::Build(const TableCorpus& corpus, ThreadPool* pool) {
+  const auto& tables = corpus.tables();
+
+  // Global ColumnId numbering: sequential over tables, then columns. The
+  // per-table bases let chunks write disjoint coord ranges without locks.
+  std::vector<uint32_t> col_base(tables.size() + 1, 0);
+  for (size_t i = 0; i < tables.size(); ++i) {
+    col_base[i + 1] =
+        col_base[i] + static_cast<uint32_t>(tables[i].columns.size());
+  }
+  num_columns_ = col_base.back();
+  coords_.assign(num_columns_, {});
+  offsets_.assign(1, 0);
+  postings_.clear();
+  if (tables.empty()) return;
+
+  // --- Pass 1 (parallel over table ranges): per-column distinct values into
+  // per-chunk flat buffers. The sort+unique per column dominates the build;
+  // everything after is linear scans.
+  const size_t workers = pool ? pool->num_threads() : 1;
+  const size_t num_chunks = std::min(tables.size(), workers * 4);
+  struct Chunk {
+    size_t t0 = 0, t1 = 0;
+    std::vector<ValueId> values;     ///< distinct values, column-major
+    std::vector<size_t> col_ends;    ///< end offset into `values` per column
+  };
+  std::vector<Chunk> chunks(num_chunks);
+  const size_t per = (tables.size() + num_chunks - 1) / num_chunks;
+  for (size_t ci = 0; ci < num_chunks; ++ci) {
+    chunks[ci].t0 = ci * per;
+    chunks[ci].t1 = std::min(tables.size(), chunks[ci].t0 + per);
+  }
+  auto build_chunk = [&](size_t ci) {
+    Chunk& ch = chunks[ci];
+    std::vector<ValueId> distinct;
+    for (size_t ti = ch.t0; ti < ch.t1; ++ti) {
+      const Table& t = tables[ti];
+      for (uint32_t c = 0; c < t.columns.size(); ++c) {
+        distinct.assign(t.columns[c].cells.begin(), t.columns[c].cells.end());
+        std::sort(distinct.begin(), distinct.end());
+        distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                       distinct.end());
+        ch.values.insert(ch.values.end(), distinct.begin(), distinct.end());
+        ch.col_ends.push_back(ch.values.size());
+        coords_[col_base[ti] + c] = {t.id, c};
+      }
+    }
+  };
+  if (pool && workers > 1) {
+    pool->ParallelFor(num_chunks, build_chunk);
+  } else {
+    for (size_t ci = 0; ci < num_chunks; ++ci) build_chunk(ci);
+  }
+
+  // --- Pass 2: count occurrences per value, prefix-sum into CSR offsets.
+  ValueId max_v = 0;
+  size_t total = 0;
+  for (const Chunk& ch : chunks) {
+    for (ValueId v : ch.values) max_v = std::max(max_v, v);
+    total += ch.values.size();
+  }
+  if (total == 0) return;
+  // The CSR offsets are uint32_t; past 2^32 postings the prefix sums would
+  // wrap silently and corrupt every list. Fail loudly instead (widening the
+  // offsets doubles index memory; do that when a corpus actually needs it).
+  if (total > std::numeric_limits<uint32_t>::max()) {
+    MS_LOG(Error) << "inverted index: " << total
+                  << " postings exceed the 2^32 CSR offset limit";
+    std::abort();
+  }
+  offsets_.assign(static_cast<size_t>(max_v) + 2, 0);
+  for (const Chunk& ch : chunks) {
+    for (ValueId v : ch.values) ++offsets_[v + 1];
+  }
+  for (size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+
+  // --- Pass 3: fill. Walking chunks/columns in ColumnId order means each
+  // value's cursor advances in increasing ColumnId, so every posting list
+  // comes out sorted without a per-list sort.
+  postings_.resize(total);
+  std::vector<uint32_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  ColumnId col = 0;
+  for (const Chunk& ch : chunks) {
+    size_t begin = 0;
+    for (size_t end : ch.col_ends) {
+      for (size_t i = begin; i < end; ++i) {
+        postings_[cursor[ch.values[i]]++] = col;
+      }
+      begin = end;
+      ++col;
+    }
+  }
+}
+
+size_t ColumnInvertedIndex::CoOccurrence(ValueId u, ValueId v) const {
+  PostingsView a = Postings(u);
+  PostingsView b = Postings(v);
+  if (a.size > b.size) std::swap(a, b);
+  if (a.empty()) return 0;
+  // Gallop when the lengths are skewed enough that |a| log |b| beats the
+  // linear merge; the crossover constant is generous because the merge has
+  // better branch behavior.
+  if (b.size / a.size >= 8) return GallopIntersect(a, b);
+  return MergeIntersect(a, b);
 }
 
 std::pair<TableId, uint32_t> ColumnInvertedIndex::ColumnCoords(
     ColumnId c) const {
   return coords_[c];
+}
+
+// ------------------------------------------------------- reference (seed)
+
+const std::vector<ColumnId> ReferenceInvertedIndex::kEmpty;
+
+void ReferenceInvertedIndex::Build(const TableCorpus& corpus) {
+  postings_.clear();
+  postings_.resize(corpus.pool().size());
+  ColumnId next = 0;
+  std::vector<ValueId> distinct;
+  for (const auto& t : corpus.tables()) {
+    for (uint32_t c = 0; c < t.columns.size(); ++c) {
+      distinct.assign(t.columns[c].cells.begin(), t.columns[c].cells.end());
+      std::sort(distinct.begin(), distinct.end());
+      distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                     distinct.end());
+      for (ValueId v : distinct) {
+        if (v >= postings_.size()) postings_.resize(v + 1);
+        postings_[v].push_back(next);
+      }
+      ++next;
+    }
+  }
+  num_columns_ = next;
+  // Posting lists are built in increasing ColumnId order => already sorted.
+}
+
+size_t ReferenceInvertedIndex::ColumnFrequency(ValueId u) const {
+  if (u >= postings_.size()) return 0;
+  return postings_[u].size();
+}
+
+size_t ReferenceInvertedIndex::CoOccurrence(ValueId u, ValueId v) const {
+  if (u >= postings_.size() || v >= postings_.size()) return 0;
+  return MergeIntersect({postings_[u].data(), postings_[u].size()},
+                        {postings_[v].data(), postings_[v].size()});
+}
+
+const std::vector<ColumnId>& ReferenceInvertedIndex::Postings(
+    ValueId u) const {
+  if (u >= postings_.size()) return kEmpty;
+  return postings_[u];
 }
 
 }  // namespace ms

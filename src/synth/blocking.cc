@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/flat_hash.h"
 #include "common/hashing.h"
+#include "common/timer.h"
 #include "mr/mapreduce.h"
 
 namespace ms {
@@ -14,7 +16,27 @@ struct OverlapCounts {
   uint32_t lefts = 0;
 };
 
-// Appends all co-occurring (i < j) id pairs from one posting list.
+size_t NextPow2(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+// Blocking key spaces shared by both implementations: full value pairs get
+// tag bit 0 (feeds shared_pairs / w+), left values get tag bit 1 (feeds
+// shared_lefts / w-).
+void EmitBlockingKeys(const BinaryTable& b, uint32_t id,
+                      Emitter<uint64_t, uint32_t>& em) {
+  for (const auto& p : b.pairs()) {
+    em.Emit(HashIdPair(p.left, p.right) << 1, id);
+  }
+  for (ValueId l : b.LeftValues()) {
+    em.Emit((Mix64(l) << 1) | 1, id);
+  }
+}
+
+// Appends all co-occurring (i < j) id pairs from one posting list
+// (reference implementation only).
 void EmitIdPairs(std::vector<uint32_t>& ids, size_t max_posting,
                  std::vector<std::pair<uint64_t, bool>>* out, bool is_pair) {
   std::sort(ids.begin(), ids.end());
@@ -27,9 +49,181 @@ void EmitIdPairs(std::vector<uint32_t>& ids, size_t max_posting,
   }
 }
 
+std::vector<CandidateTablePair> CollectAndSort(
+    std::vector<std::vector<CandidateTablePair>>& per_shard) {
+  std::vector<CandidateTablePair> out;
+  size_t total = 0;
+  for (const auto& s : per_shard) total += s.size();
+  out.reserve(total);
+  for (auto& s : per_shard) {
+    out.insert(out.end(), s.begin(), s.end());
+  }
+  // Deterministic order for reproducibility.
+  std::sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
+    return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+  });
+  return out;
+}
+
 }  // namespace
 
 std::vector<CandidateTablePair> GenerateCandidatePairs(
+    const std::vector<BinaryTable>& candidates, const BlockingOptions& options,
+    ThreadPool* pool, BlockingStats* stats) {
+  if (candidates.empty()) return {};
+  Timer timer;
+
+  // --- Map + shuffle: hash-partition (blocking key -> candidate id), so
+  // every posting list lives wholly inside one partition.
+  std::vector<uint32_t> inputs(candidates.size());
+  for (uint32_t i = 0; i < candidates.size(); ++i) inputs[i] = i;
+  std::function<void(const uint32_t&, Emitter<uint64_t, uint32_t>&)> map_fn =
+      [&](const uint32_t& id, Emitter<uint64_t, uint32_t>& em) {
+        EmitBlockingKeys(candidates[id], id, em);
+      };
+  auto parts = RunMapShuffle<uint32_t, uint64_t, uint32_t>(inputs, map_fn, pool);
+  if (stats) stats->map_shuffle_seconds = timer.ElapsedSeconds();
+
+  // --- Streaming count: sort each partition by key, walk posting-list runs,
+  // and stream the co-occurring id pairs directly into per-partition flat
+  // count maps sharded by the packed id pair. Nothing quadratic is ever
+  // stored; each id pair costs one hash-map increment.
+  timer.Restart();
+  const size_t workers = pool ? pool->num_threads() : 1;
+  const bool parallel = pool && workers > 1;
+  const size_t num_shards = NextPow2(workers);
+  const uint64_t shard_mask = num_shards - 1;
+
+  // One count-map group per partition when counting runs in parallel;
+  // serially, all partitions share one group so the merge below is a no-op.
+  const size_t num_groups = parallel ? parts.size() : 1;
+  std::vector<std::vector<FlatMap64<OverlapCounts>>> counts(num_groups);
+  for (auto& c : counts) c.resize(num_shards);
+  std::vector<size_t> part_keys(parts.size(), 0);
+  std::vector<size_t> part_dropped(parts.size(), 0);
+
+  auto for_each_run = [](const std::vector<std::pair<uint64_t, uint32_t>>& part,
+                         auto&& fn) {
+    size_t i = 0;
+    while (i < part.size()) {
+      const uint64_t key = part[i].first;
+      size_t j = i;
+      while (j < part.size() && part[j].first == key) ++j;
+      fn(key, i, j);
+      i = j;
+    }
+  };
+
+  auto count_partition = [&](size_t p) {
+    auto& part = parts[p];
+    if (part.empty()) return;
+    auto& shards = counts[parallel ? p : 0];
+    std::vector<uint32_t> ids;
+    for_each_run(part, [&](uint64_t key, size_t begin, size_t end) {
+      ids.clear();
+      for (size_t i = begin; i < end; ++i) {
+        // Runs are sorted by id, so de-dup is an adjacency check.
+        if (ids.empty() || ids.back() != part[i].second) {
+          ids.push_back(part[i].second);
+        }
+      }
+      ++part_keys[p];
+      if (ids.size() > options.max_posting) {
+        // Deterministic truncation (lowest ids kept), but accounted for.
+        part_dropped[p] += ids.size() - options.max_posting;
+        ids.resize(options.max_posting);
+      }
+      const bool is_pair = (key & 1) == 0;
+      for (size_t x = 0; x < ids.size(); ++x) {
+        const uint64_t hi = static_cast<uint64_t>(ids[x]) << 32;
+        for (size_t y = x + 1; y < ids.size(); ++y) {
+          const uint64_t packed = hi | ids[y];
+          // High mix bits pick the shard; FlatMap64 slots use the low bits.
+          auto& c = shards[(Mix64(packed) >> 32) & shard_mask][packed];
+          if (is_pair) {
+            ++c.pairs;
+          } else {
+            ++c.lefts;
+          }
+        }
+      }
+    });
+  };
+  if (parallel) {
+    // Each partition task sorts its own buffer; count maps are per group.
+    pool->ParallelFor(parts.size(), [&](size_t p) {
+      std::sort(parts[p].begin(), parts[p].end());
+      count_partition(p);
+    });
+  } else {
+    // Serial: all partitions share one map group. Growth-by-doubling beats
+    // an upfront reservation here — increment counts overestimate distinct
+    // id pairs several-fold, and an oversized map trades amortized rehash
+    // for a cache miss on every increment (measurably worse).
+    for (size_t p = 0; p < parts.size(); ++p) {
+      std::sort(parts[p].begin(), parts[p].end());
+      count_partition(p);
+    }
+  }
+  if (stats) stats->count_seconds = timer.ElapsedSeconds();
+
+  // --- Reduce: merge each shard across partition groups (parallel over
+  // shards), apply the θ_overlap threshold, and emit surviving pairs. With
+  // one group (serial counting) the "merge" reads the counts in place.
+  timer.Restart();
+  std::vector<std::vector<CandidateTablePair>> survivors(num_shards);
+  auto emit_survivor = [&](std::vector<CandidateTablePair>& out,
+                           uint64_t packed, const OverlapCounts& c) {
+    if (c.pairs >= options.theta_overlap || c.lefts >= options.theta_overlap) {
+      CandidateTablePair p;
+      p.a = static_cast<uint32_t>(packed >> 32);
+      p.b = static_cast<uint32_t>(packed & 0xffffffffu);
+      p.shared_pairs = c.pairs;
+      p.shared_lefts = c.lefts;
+      out.push_back(p);
+    }
+  };
+  auto reduce_shard = [&](size_t s) {
+    auto& out = survivors[s];
+    if (num_groups == 1) {
+      counts[0][s].ForEach([&](uint64_t packed, const OverlapCounts& c) {
+        emit_survivor(out, packed, c);
+      });
+      return;
+    }
+    size_t expected = 0;
+    for (size_t g = 0; g < num_groups; ++g) expected += counts[g][s].size();
+    if (expected == 0) return;
+    FlatMap64<OverlapCounts> merged(expected);
+    for (size_t g = 0; g < num_groups; ++g) {
+      counts[g][s].ForEach([&](uint64_t packed, const OverlapCounts& c) {
+        auto& m = merged[packed];
+        m.pairs += c.pairs;
+        m.lefts += c.lefts;
+      });
+    }
+    merged.ForEach([&](uint64_t packed, const OverlapCounts& c) {
+      emit_survivor(out, packed, c);
+    });
+  };
+  if (parallel && num_shards > 1) {
+    pool->ParallelFor(num_shards, reduce_shard);
+  } else {
+    for (size_t s = 0; s < num_shards; ++s) reduce_shard(s);
+  }
+
+  auto out = CollectAndSort(survivors);
+  if (stats) {
+    stats->reduce_seconds = timer.ElapsedSeconds();
+    for (size_t p = 0; p < parts.size(); ++p) {
+      stats->keys += part_keys[p];
+      stats->dropped_postings += part_dropped[p];
+    }
+  }
+  return out;
+}
+
+std::vector<CandidateTablePair> GenerateCandidatePairsReference(
     const std::vector<BinaryTable>& candidates, const BlockingOptions& options,
     ThreadPool* pool) {
   // --- MapReduce round: key = hashed value pair (or hashed left value with
@@ -40,15 +234,7 @@ std::vector<CandidateTablePair> GenerateCandidatePairs(
   using KV = std::pair<uint64_t, bool>;  // (packed id pair, is_pair_key)
   std::function<void(const uint32_t&, Emitter<uint64_t, uint32_t>&)> map_fn =
       [&](const uint32_t& id, Emitter<uint64_t, uint32_t>& em) {
-        const BinaryTable& b = candidates[id];
-        for (const auto& p : b.pairs()) {
-          // Key space 1: full value pairs (tag bit 0).
-          em.Emit(HashIdPair(p.left, p.right) << 1, id);
-        }
-        for (ValueId l : b.LeftValues()) {
-          // Key space 2: left values only (tag bit 1).
-          em.Emit((Mix64(l) << 1) | 1, id);
-        }
+        EmitBlockingKeys(candidates[id], id, em);
       };
   std::function<void(const uint64_t&, std::vector<uint32_t>&,
                      std::vector<KV>*)>
@@ -83,7 +269,6 @@ std::vector<CandidateTablePair> GenerateCandidatePairs(
       out.push_back(p);
     }
   }
-  // Deterministic order for reproducibility.
   std::sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
     return std::tie(x.a, x.b) < std::tie(y.a, y.b);
   });

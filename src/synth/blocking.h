@@ -1,9 +1,16 @@
 // Inverted-index blocking (Section 4.1 "Efficiency"): instead of scoring all
 // O(N^2) candidate-table pairs, group tables that share value pairs (for w+)
 // or left-hand values (for w-) and only score pairs within a group with at
-// least θ_overlap shared items. Implemented as one MapReduce round: map each
-// table to (item-hash -> table-id), reduce emits co-occurring id pairs,
-// which are then counted.
+// least θ_overlap shared items.
+//
+// The production path is a sharded streaming design: one map+shuffle round
+// hash-partitions (item-hash -> table-id) postings, then each partition is
+// sort-grouped and its co-occurring id pairs are streamed straight into
+// hash-sharded flat count maps keyed by the packed id pair. The quadratic
+// id-pair stream is never materialized and the final count/threshold pass is
+// parallel over shards. `GenerateCandidatePairsReference` keeps the original
+// emit-everything-then-count implementation for equivalence tests and
+// benchmarking.
 #pragma once
 
 #include <cstdint>
@@ -19,7 +26,9 @@ struct BlockingOptions {
   /// shared left values for w- (θ_overlap in Section 5.4).
   size_t theta_overlap = 2;
   /// Posting lists longer than this are truncated: extremely common values
-  /// ("usa", "total") would otherwise create quadratic hot keys.
+  /// ("usa", "total") would otherwise create quadratic hot keys. Truncation
+  /// is deterministic (lowest candidate ids win) and the number of dropped
+  /// postings is reported in BlockingStats.
   size_t max_posting = 256;
 };
 
@@ -31,9 +40,29 @@ struct CandidateTablePair {
   uint32_t shared_lefts = 0;  ///< co-occurring left values
 };
 
+/// Observability for the blocking stage (feeds PipelineStats).
+struct BlockingStats {
+  double map_shuffle_seconds = 0.0;  ///< map + hash-partition phase
+  double count_seconds = 0.0;        ///< sort-group + sharded counting
+  double reduce_seconds = 0.0;       ///< shard merge + threshold + sort
+  size_t keys = 0;                   ///< distinct blocking keys seen
+  /// Postings dropped by the max_posting cap. The cap keeps lowest candidate
+  /// ids, so high-id candidates silently lose pairs; this counter makes that
+  /// bias observable instead of silent.
+  size_t dropped_postings = 0;
+};
+
 /// Runs blocking over all candidates. Returned pairs satisfy
-/// shared_pairs >= θ_overlap or shared_lefts >= θ_overlap.
+/// shared_pairs >= θ_overlap or shared_lefts >= θ_overlap, sorted by (a, b).
 std::vector<CandidateTablePair> GenerateCandidatePairs(
+    const std::vector<BinaryTable>& candidates,
+    const BlockingOptions& options = {}, ThreadPool* pool = nullptr,
+    BlockingStats* stats = nullptr);
+
+/// The seed implementation (materialize every co-occurring id pair, then
+/// count in one hash map). Kept as the equivalence oracle for tests and as
+/// the baseline for bench_micro/bench_pr1; do not use on large inputs.
+std::vector<CandidateTablePair> GenerateCandidatePairsReference(
     const std::vector<BinaryTable>& candidates,
     const BlockingOptions& options = {}, ThreadPool* pool = nullptr);
 

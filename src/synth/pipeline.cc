@@ -16,10 +16,17 @@ CompatibilityGraph BuildCompatibilityGraph(
     const BlockingOptions& blocking, const CompatibilityOptions& compat,
     ThreadPool* pool_threads, PipelineStats* stats) {
   Timer timer;
-  auto pairs = GenerateCandidatePairs(candidates, blocking, pool_threads);
+  BlockingStats bstats;
+  auto pairs =
+      GenerateCandidatePairs(candidates, blocking, pool_threads, &bstats);
   if (stats) {
     stats->blocking_seconds = timer.ElapsedSeconds();
     stats->candidate_pairs = pairs.size();
+    stats->blocking_map_shuffle_seconds = bstats.map_shuffle_seconds;
+    stats->blocking_count_seconds = bstats.count_seconds;
+    stats->blocking_reduce_seconds = bstats.reduce_seconds;
+    stats->blocking_keys = bstats.keys;
+    stats->blocking_dropped_postings = bstats.dropped_postings;
   }
 
   timer.Restart();
@@ -57,7 +64,7 @@ SynthesisResult SynthesisPipeline::Run(const TableCorpus& corpus) {
   Timer total;
   Timer step;
   ColumnInvertedIndex index;
-  index.Build(corpus);
+  index.Build(corpus, threads_.get());
   const double index_s = step.ElapsedSeconds();
 
   step.Restart();

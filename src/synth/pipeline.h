@@ -54,13 +54,23 @@ struct PipelineStats {
   double resolve_seconds = 0.0;
   double total_seconds = 0.0;
 
+  /// Blocking-internal phase breakdown (sums to ~blocking_seconds); makes
+  /// the sharded-blocking speedup observable per phase.
+  double blocking_map_shuffle_seconds = 0.0;  ///< map + hash partition
+  double blocking_count_seconds = 0.0;        ///< sort-group + shard counting
+  double blocking_reduce_seconds = 0.0;       ///< shard merge + threshold
+
   size_t candidates = 0;
   size_t candidate_pairs = 0;  ///< pairs surviving blocking
+  size_t blocking_keys = 0;    ///< distinct blocking keys
+  /// Postings dropped by BlockingOptions::max_posting truncation; non-zero
+  /// means high-id candidates silently lost potential pairs.
+  size_t blocking_dropped_postings = 0;
   size_t graph_edges = 0;      ///< pairs with non-zero w+ or w-
   size_t components = 0;
   size_t partitions = 0;
   size_t mappings = 0;         ///< after curation filter
-  ExtractionStats extraction;
+  ExtractionStats extraction;  ///< includes normalize-cache hit/miss counts
 };
 
 struct SynthesisResult {

@@ -14,6 +14,23 @@ ValueId StringPool::Intern(std::string_view s) {
   return id;
 }
 
+void StringPool::InternBatch(const std::vector<std::string>& strs,
+                             std::vector<ValueId>* ids) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ids->reserve(ids->size() + strs.size());
+  for (const std::string& s : strs) {
+    auto it = index_.find(s);
+    if (it != index_.end()) {
+      ids->push_back(it->second);
+      continue;
+    }
+    strings_.emplace_back(s);
+    ValueId id = static_cast<ValueId>(strings_.size() - 1);
+    index_.emplace(std::string_view(strings_.back()), id);
+    ids->push_back(id);
+  }
+}
+
 ValueId StringPool::Find(std::string_view s) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(s);

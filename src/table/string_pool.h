@@ -10,6 +10,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <vector>
 
 namespace ms {
 
@@ -29,6 +30,13 @@ class StringPool {
 
   /// Returns the id for `s`, inserting it on first sight.
   ValueId Intern(std::string_view s);
+
+  /// Interns every string in `strs` under a single lock acquisition and
+  /// appends the resulting ids to `ids` (same order). Batching matters on
+  /// the extraction hot path: per-cell Intern() calls serialize every
+  /// worker on this pool's mutex.
+  void InternBatch(const std::vector<std::string>& strs,
+                   std::vector<ValueId>* ids);
 
   /// Returns the id for `s` or kInvalidValueId if never interned.
   ValueId Find(std::string_view s) const;

@@ -165,5 +165,100 @@ TEST_F(BlockingFixture, EmptyCandidateSet) {
   EXPECT_TRUE(GenerateCandidatePairs({}, {}).empty());
 }
 
+// ------------------------------------------------- sharded-vs-seed oracle
+
+void ExpectSamePairs(const std::vector<CandidateTablePair>& got,
+                     const std::vector<CandidateTablePair>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].a, want[i].a) << "at " << i;
+    EXPECT_EQ(got[i].b, want[i].b) << "at " << i;
+    EXPECT_EQ(got[i].shared_pairs, want[i].shared_pairs) << "at " << i;
+    EXPECT_EQ(got[i].shared_lefts, want[i].shared_lefts) << "at " << i;
+  }
+}
+
+TEST_F(BlockingFixture, ShardedMatchesReferenceOnRandomCorpora) {
+  // The sharded streaming implementation must emit the exact same
+  // CandidateTablePair set (values included) as the seed emit-then-count
+  // algorithm, across seeds, overlap thresholds, and truncation caps.
+  for (uint64_t seed : {7u, 19u, 101u}) {
+    Rng rng(seed);
+    std::vector<BinaryTable> cands;
+    const size_t n = 30 + rng.Uniform(40);
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<std::pair<std::string, std::string>> rows;
+      const size_t n_rows = 3 + rng.Uniform(12);
+      for (size_t r = 0; r < n_rows; ++r) {
+        // Zipf-ish key skew so some posting lists are long.
+        rows.push_back({"k" + std::to_string(rng.Zipf(60)),
+                        "v" + std::to_string(rng.Uniform(12))});
+      }
+      cands.push_back(Make(rows));
+    }
+    for (size_t theta : {1u, 2u, 3u}) {
+      for (size_t cap : {4u, 256u}) {
+        BlockingOptions opts;
+        opts.theta_overlap = theta;
+        opts.max_posting = cap;
+        auto reference = GenerateCandidatePairsReference(cands, opts);
+        ExpectSamePairs(GenerateCandidatePairs(cands, opts), reference);
+        ThreadPool pool(4);
+        ExpectSamePairs(GenerateCandidatePairs(cands, opts, &pool), reference);
+      }
+    }
+  }
+}
+
+TEST_F(BlockingFixture, DroppedPostingsAreCounted) {
+  // 20 tables share the pair keys (hot,key) and (hot2,key2) and the left
+  // keys hot/hot2; with max_posting = 4 each of those four posting lists
+  // drops 16 entries. The per-table (u_i, v) rows add unique keys that drop
+  // nothing.
+  std::vector<BinaryTable> cands;
+  for (int i = 0; i < 20; ++i) {
+    cands.push_back(Make({{"hot", "key"}, {"hot2", "key2"},
+                          {"u" + std::to_string(i), "v"}}));
+  }
+  BlockingOptions opts;
+  opts.theta_overlap = 1;
+  opts.max_posting = 4;
+  BlockingStats stats;
+  GenerateCandidatePairs(cands, opts, nullptr, &stats);
+  EXPECT_EQ(stats.dropped_postings, 4u * 16u);
+  // Keys: pair space {hot->key, hot2->key2, 20 x u_i->v}; left space
+  // {hot, hot2, 20 x u_i}.
+  EXPECT_EQ(stats.keys, 44u);
+
+  // No truncation => nothing dropped, and timing fields are populated.
+  opts.max_posting = 256;
+  BlockingStats full;
+  GenerateCandidatePairs(cands, opts, nullptr, &full);
+  EXPECT_EQ(full.dropped_postings, 0u);
+  EXPECT_EQ(full.keys, 44u);
+  EXPECT_GE(full.map_shuffle_seconds, 0.0);
+  EXPECT_GE(full.count_seconds, 0.0);
+  EXPECT_GE(full.reduce_seconds, 0.0);
+}
+
+TEST_F(BlockingFixture, TruncationIsDeterministicAcrossThreadCounts) {
+  std::vector<BinaryTable> cands;
+  for (int i = 0; i < 30; ++i) {
+    cands.push_back(Make({{"hot", "key"},
+                          {"x" + std::to_string(i % 7), "y"}}));
+  }
+  BlockingOptions opts;
+  opts.theta_overlap = 1;
+  opts.max_posting = 5;
+  auto serial = GenerateCandidatePairs(cands, opts);
+  ThreadPool pool(8);
+  BlockingStats stats_par;
+  auto parallel = GenerateCandidatePairs(cands, opts, &pool, &stats_par);
+  ExpectSamePairs(parallel, serial);
+  BlockingStats stats_ser;
+  GenerateCandidatePairs(cands, opts, nullptr, &stats_ser);
+  EXPECT_EQ(stats_ser.dropped_postings, stats_par.dropped_postings);
+}
+
 }  // namespace
 }  // namespace ms

@@ -1,9 +1,12 @@
 // Tests for Step 1 candidate extraction (Section 3, Algorithm 1): PMI-based
 // column filtering and approximate-FD column-pair filtering, reproducing the
 // paper's Table 7 walk-through (Examples 5 and 6).
+#include <thread>
+
 #include <gtest/gtest.h>
 
 #include "extract/candidate_extraction.h"
+#include "extract/normalization_cache.h"
 #include "stats/inverted_index.h"
 #include "table/corpus.h"
 
@@ -233,6 +236,91 @@ TEST(ExtractOptionsTest, FdThetaControlsApproximateTolerance) {
   ab = false;
   for (const auto& c : result.candidates) ab |= (c.left_name == "a");
   EXPECT_FALSE(ab);
+}
+
+// ------------------------------------------------ sharded normalize cache
+
+TEST(NormalizationCacheTest, EachRawValueNormalizedExactlyOnceUnderRace) {
+  // Regression for the seed's double-normalize race: the global-mutex cache
+  // released its lock while normalizing, so two threads could both miss on
+  // the same raw value and normalize + intern it twice. The sharded cache
+  // holds the owning shard's lock across the miss, so the number of
+  // NormalizeCell invocations must equal the number of distinct raw values
+  // no matter how many threads hammer it.
+  StringPool pool;
+  std::vector<ValueId> raw;
+  for (int i = 0; i < 200; ++i) {
+    raw.push_back(pool.Intern("  Value  " + std::to_string(i) + " [1]"));
+  }
+  ShardedNormalizationCache cache(&pool, {});
+  constexpr int kThreads = 8;
+  std::vector<std::vector<ValueId>> results(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Offset start positions to maximize same-value collisions mid-flight.
+      for (size_t k = 0; k < raw.size(); ++k) {
+        results[t].push_back(cache.Normalized(raw[(k + t * 23) % raw.size()]));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(cache.normalize_calls(), raw.size());
+  EXPECT_EQ(cache.misses(), raw.size());
+  EXPECT_EQ(cache.hits(), (kThreads - 1) * raw.size());
+  // All threads observed identical normalizations: thread t's k-th lookup
+  // was raw[(k + t*23) % n], which thread 0 saw at that same index.
+  for (int t = 1; t < kThreads; ++t) {
+    for (size_t k = 0; k < raw.size(); ++k) {
+      EXPECT_EQ(results[t][k], results[0][(k + t * 23) % raw.size()]);
+    }
+  }
+}
+
+TEST(NormalizationCacheTest, BatchMatchesSingleLookups) {
+  StringPool pool_a, pool_b;
+  std::vector<ValueId> raw_a, raw_b;
+  std::vector<std::string> cells = {"United States[1]", "South  Korea",
+                                    "France", "   ", "United States[1]",
+                                    "France"};
+  for (const auto& c : cells) {
+    raw_a.push_back(pool_a.Intern(c));
+    raw_b.push_back(pool_b.Intern(c));
+  }
+  ShardedNormalizationCache single(&pool_a, {});
+  ShardedNormalizationCache batch(&pool_b, {});
+  std::vector<ValueId> out_single, out_batch;
+  for (ValueId v : raw_a) out_single.push_back(single.Normalized(v));
+  batch.NormalizeBatch(raw_b, &out_batch);
+  ASSERT_EQ(out_single.size(), out_batch.size());
+  for (size_t i = 0; i < out_single.size(); ++i) {
+    // Ids may differ across pools; compare resolved strings (or both
+    // invalid, for the all-whitespace cell).
+    if (out_single[i] == kInvalidValueId) {
+      EXPECT_EQ(out_batch[i], kInvalidValueId);
+    } else {
+      EXPECT_EQ(pool_a.Get(out_single[i]), pool_b.Get(out_batch[i]));
+    }
+  }
+  // Batch path also normalizes each distinct value exactly once.
+  EXPECT_EQ(batch.normalize_calls(), 4u);  // 4 distinct cells
+  std::vector<ValueId> again;
+  batch.NormalizeBatch(raw_b, &again);
+  EXPECT_EQ(batch.normalize_calls(), 4u);
+  EXPECT_EQ(again, out_batch);
+}
+
+TEST(NormalizationCacheTest, ExtractionReportsCacheCounters) {
+  TableCorpus corpus;
+  corpus.AddFromStrings("d", TableSource::kWeb, {"a", "b"},
+                        {{"x1", "x2", "x3", "x1"}, {"y1", "y2", "y3", "y1"}});
+  ColumnInvertedIndex index;
+  index.Build(corpus);
+  ExtractionOptions opts;
+  opts.coherence_threshold = -1.0;
+  auto result = ExtractCandidates(corpus, index, opts);
+  EXPECT_EQ(result.stats.normalize_cache_misses, 6u);  // x1..x3, y1..y3
+  EXPECT_GT(result.stats.normalize_cache_hits, 0u);
 }
 
 TEST(ExtractOptionsTest, SelfPairsAreDropped) {

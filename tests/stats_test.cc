@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
+#include "common/thread_pool.h"
 #include "stats/coherence.h"
 #include "stats/inverted_index.h"
 #include "stats/npmi.h"
@@ -118,6 +120,105 @@ TEST(PmiExampleTest, PaperExample4) {
   const double n = 1e8, cu = 1000, cv = 500, cuv = 300;
   const double pmi = std::log((cuv / n) / ((cu / n) * (cv / n)));
   EXPECT_NEAR(pmi / std::log(10.0), 4.778, 0.01);  // matches the paper in log10
+}
+
+// ------------------------------------------------- CSR-vs-reference oracle
+
+TEST(CsrEquivalenceTest, MatchesReferenceOnRandomCorpora) {
+  // The CSR build (serial and parallel) must agree with the seed
+  // vector<vector> build on every observable: column counts, frequencies,
+  // posting lists, and co-occurrence counts.
+  for (uint64_t seed : {3u, 17u, 91u}) {
+    Rng rng(seed);
+    TableCorpus corpus;
+    const size_t n_tables = 20 + rng.Uniform(30);
+    for (size_t t = 0; t < n_tables; ++t) {
+      const size_t n_cols = 1 + rng.Uniform(4);
+      std::vector<std::string> names;
+      std::vector<std::vector<std::string>> cols;
+      for (size_t c = 0; c < n_cols; ++c) {
+        names.push_back("c" + std::to_string(c));
+        std::vector<std::string> cells;
+        const size_t n_rows = 1 + rng.Uniform(15);
+        for (size_t r = 0; r < n_rows; ++r) {
+          // Zipf skew => a few very hot values with long posting lists.
+          cells.push_back("w" + std::to_string(rng.Zipf(80)));
+        }
+        cols.push_back(std::move(cells));
+      }
+      corpus.AddFromStrings("d" + std::to_string(t), TableSource::kWeb, names,
+                            cols);
+    }
+
+    ReferenceInvertedIndex ref;
+    ref.Build(corpus);
+    ColumnInvertedIndex csr;
+    csr.Build(corpus);
+    ThreadPool pool(4);
+    ColumnInvertedIndex csr_par;
+    csr_par.Build(corpus, &pool);
+
+    ASSERT_EQ(csr.num_columns(), ref.num_columns());
+    ASSERT_EQ(csr_par.num_columns(), ref.num_columns());
+    const size_t n_values = corpus.pool().size();
+    for (ValueId u = 0; u < n_values; ++u) {
+      ASSERT_EQ(csr.ColumnFrequency(u), ref.ColumnFrequency(u)) << "u=" << u;
+      ASSERT_EQ(csr_par.ColumnFrequency(u), ref.ColumnFrequency(u));
+      PostingsView pv = csr.Postings(u);
+      const auto& rv = ref.Postings(u);
+      ASSERT_EQ(pv.size, rv.size());
+      for (size_t i = 0; i < pv.size; ++i) {
+        ASSERT_EQ(pv[i], rv[i]) << "u=" << u << " i=" << i;
+      }
+      PostingsView pp = csr_par.Postings(u);
+      ASSERT_EQ(pp.size, rv.size());
+      for (size_t i = 0; i < pp.size; ++i) ASSERT_EQ(pp[i], rv[i]);
+    }
+    for (int rep = 0; rep < 400; ++rep) {
+      ValueId u = static_cast<ValueId>(rng.Uniform(n_values));
+      ValueId v = static_cast<ValueId>(rng.Uniform(n_values));
+      ASSERT_EQ(csr.CoOccurrence(u, v), ref.CoOccurrence(u, v))
+          << "u=" << u << " v=" << v;
+    }
+  }
+}
+
+TEST(CsrEquivalenceTest, GallopingHandlesSkewedLists) {
+  // One value present in every column, one in few: forces the galloping
+  // path (|long| / |short| >= 8) in both argument orders.
+  TableCorpus corpus;
+  for (int t = 0; t < 120; ++t) {
+    std::vector<std::string> cells = {"hot"};
+    if (t % 30 == 0) cells.push_back("rare");
+    corpus.AddFromStrings("d", TableSource::kWeb, {"c"}, {cells});
+  }
+  ReferenceInvertedIndex ref;
+  ref.Build(corpus);
+  ColumnInvertedIndex csr;
+  csr.Build(corpus);
+  ValueId hot = corpus.pool().Find("hot");
+  ValueId rare = corpus.pool().Find("rare");
+  EXPECT_EQ(csr.ColumnFrequency(hot), 120u);
+  EXPECT_EQ(csr.ColumnFrequency(rare), 4u);
+  EXPECT_EQ(csr.CoOccurrence(hot, rare), ref.CoOccurrence(hot, rare));
+  EXPECT_EQ(csr.CoOccurrence(rare, hot), 4u);
+  EXPECT_EQ(csr.CoOccurrence(hot, hot), 120u);
+}
+
+TEST(CsrEquivalenceTest, UnseenAndInvalidIdsAreSafe) {
+  TableCorpus corpus;
+  corpus.AddFromStrings("d", TableSource::kWeb, {"c"}, {{"a", "b"}});
+  ColumnInvertedIndex csr;
+  csr.Build(corpus);
+  EXPECT_EQ(csr.ColumnFrequency(999999), 0u);
+  EXPECT_EQ(csr.ColumnFrequency(kInvalidValueId), 0u);
+  EXPECT_EQ(csr.CoOccurrence(kInvalidValueId, 0), 0u);
+  EXPECT_TRUE(csr.Postings(kInvalidValueId).empty());
+  ColumnInvertedIndex empty;
+  TableCorpus none;
+  empty.Build(none);
+  EXPECT_EQ(empty.num_columns(), 0u);
+  EXPECT_EQ(empty.ColumnFrequency(0), 0u);
 }
 
 // ---------------------------------------------------------------- Coherence
