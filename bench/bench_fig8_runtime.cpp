@@ -39,6 +39,13 @@ int main() {
   steps.AddRow({"  blocking: reduce",
                 bench::F(r.stats.blocking_reduce_seconds, 3)});
   steps.AddRow({"pair scoring", bench::F(r.stats.scoring_seconds, 3)});
+  const auto& sm = r.stats.scoring.matcher;
+  steps.AddRow({"  scoring: myers64 kernel calls",
+                std::to_string(sm.myers64_calls)});
+  steps.AddRow({"  scoring: myers blocked calls",
+                std::to_string(sm.myers_blocked_calls)});
+  steps.AddRow({"  scoring: scalar fallback calls",
+                std::to_string(sm.banded_calls)});
   steps.AddRow({"greedy partitioning", bench::F(r.stats.partition_seconds, 3)});
   steps.AddRow({"conflict resolution", bench::F(r.stats.resolve_seconds, 3)});
   steps.AddRow({"total", bench::F(r.stats.total_seconds, 3)});
@@ -48,5 +55,10 @@ int main() {
             << " postings dropped by max_posting; normalize cache: "
             << r.stats.extraction.normalize_cache_hits << " hits / "
             << r.stats.extraction.normalize_cache_misses << " misses\n";
+  std::cout << "scoring: " << sm.match_calls << " value-match calls, mask "
+            << "cache " << sm.pattern_cache_hits << " hits / "
+            << sm.pattern_cache_misses << " builds; blocking-count reuse "
+            << "skipped " << r.stats.scoring.overlap_merges_skipped
+            << " merges\n";
   return 0;
 }

@@ -1,5 +1,6 @@
 // Google-benchmark micro-benchmarks for the performance-critical kernels:
-// banded vs full edit distance (Algorithm 2's payoff), NPMI lookups,
+// banded vs full vs bit-parallel Myers edit distance (short / long /
+// mismatched lengths, one-shot and prebuilt-pattern), NPMI lookups,
 // blocking, pair scoring, greedy partitioning, conflict resolution, bloom
 // probes, and mapping-store lookups.
 #include <benchmark/benchmark.h>
@@ -15,6 +16,7 @@
 #include "synth/conflict_resolution.h"
 #include "synth/partitioner.h"
 #include "text/edit_distance.h"
+#include "text/myers.h"
 
 namespace ms {
 namespace {
@@ -60,6 +62,107 @@ void BM_ApproxMatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ApproxMatch);
+
+// ------------------------------------------------------- scalar vs Myers
+// Same inputs as BM_EditDistanceBanded (short / long / 64-boundary) so the
+// scalar-banded vs bit-parallel comparison is direct.
+
+void BM_Myers64OneShot(benchmark::State& state) {
+  Rng rng(1);
+  const size_t len = static_cast<size_t>(state.range(0));
+  std::string a = RandomString(rng, len), b = a;
+  b[len / 2] = '!';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Myers64(a, b));
+  }
+}
+BENCHMARK(BM_Myers64OneShot)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_MyersBlockedOneShot(benchmark::State& state) {
+  Rng rng(1);
+  const size_t len = static_cast<size_t>(state.range(0));
+  std::string a = RandomString(rng, len), b = a;
+  b[len / 2] = '!';
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MyersBlocked(a, b));
+  }
+}
+BENCHMARK(BM_MyersBlockedOneShot)->Arg(128)->Arg(256);
+
+// The batch case pair scoring actually hits: the pattern's bitmask table is
+// prebuilt once and amortized over the candidate loop.
+void BM_MyersPrebuiltPattern(benchmark::State& state) {
+  Rng rng(1);
+  const size_t len = static_cast<size_t>(state.range(0));
+  std::string a = RandomString(rng, len), b = a;
+  b[len / 2] = '!';
+  MyersPattern p;
+  BuildMyersPattern(a, &p);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MyersDistance(p, b));
+  }
+}
+BENCHMARK(BM_MyersPrebuiltPattern)->Arg(8)->Arg(32)->Arg(128);
+
+// Mismatched lengths: the length-gap prefilter rejects before any DP work;
+// both gates should collapse to a subtraction.
+void BM_ApproxMatchMismatchedLengths(benchmark::State& state) {
+  Rng rng(2);
+  EditDistanceOptions opts;
+  opts.use_bit_parallel = state.range(0) != 0;
+  std::string short_s = RandomString(rng, 8);
+  std::string long_s = RandomString(rng, 120);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ApproxMatch(short_s, long_s, opts));
+  }
+}
+BENCHMARK(BM_ApproxMatchMismatchedLengths)->Arg(0)->Arg(1);
+
+// Gate off = the scalar banded path through the same predicate, for
+// tracking the ApproxMatch-level speedup on near-miss pairs (the common
+// case in conflict counting: similar lengths, distance just over θ).
+void BM_ApproxMatchGate(benchmark::State& state) {
+  Rng rng(2);
+  EditDistanceOptions opts;
+  opts.use_bit_parallel = state.range(1) != 0;
+  const size_t len = static_cast<size_t>(state.range(0));
+  std::vector<std::string> values;
+  for (int i = 0; i < 64; ++i) values.push_back(RandomString(rng, len));
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ApproxMatch(values[i % 64], values[(i + 1) % 64], opts));
+    ++i;
+  }
+}
+BENCHMARK(BM_ApproxMatchGate)
+    ->Args({12, 0})
+    ->Args({12, 1})
+    ->Args({28, 0})
+    ->Args({28, 1})
+    ->Args({90, 0})
+    ->Args({90, 1});
+
+// The full scoring kernel through the batch matcher (mask cache warm), the
+// configuration BuildCompatibilityGraph runs per chunk.
+void BM_BatchMatcherScoring(benchmark::State& state) {
+  auto pool = std::make_shared<StringPool>();
+  Rng rng(11);
+  std::vector<ValueId> ids;
+  for (int i = 0; i < 256; ++i) {
+    ids.push_back(pool->Intern(RandomString(rng, 6 + rng.Uniform(24))));
+  }
+  EditDistanceOptions opts;
+  BatchApproxMatcher matcher(*pool, opts, /*approximate_matching=*/true,
+                             nullptr);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        matcher.Match(ids[i % 256], ids[(i + 1) % 256]));
+    ++i;
+  }
+}
+BENCHMARK(BM_BatchMatcherScoring);
 
 struct ScoringWorld {
   std::shared_ptr<StringPool> pool = std::make_shared<StringPool>();

@@ -219,6 +219,7 @@ std::vector<CandidateTablePair> GenerateCandidatePairs(
       stats->keys += part_keys[p];
       stats->dropped_postings += part_dropped[p];
     }
+    stats->exact_counts = stats->dropped_postings == 0;
   }
   return out;
 }

@@ -50,6 +50,11 @@ struct BlockingStats {
   /// ids, so high-id candidates silently lose pairs; this counter makes that
   /// bias observable instead of silent.
   size_t dropped_postings = 0;
+  /// True when no posting list was truncated, i.e. every returned
+  /// shared_pairs / shared_lefts is the true co-occurrence cardinality.
+  /// Scoring uses this to reuse the counts instead of re-intersecting the
+  /// pair lists (CompatibilityOptions::reuse_blocking_counts).
+  bool exact_counts = false;
 };
 
 /// Runs blocking over all candidates. Returned pairs satisfy

@@ -2,13 +2,23 @@
 //   w+(B, B') = max{ |B∩B'|/|B| , |B∩B'|/|B'| }     (Eq. 3, max-containment)
 //   w-(B, B') = -max{ |F(B,B')|/|B| , |F(B,B')|/|B'| }  (Eq. 4)
 // where F is the conflict set (same left, different right). Value matching
-// is exact on normalized strings, then approximate via banded edit distance
-// with a fractional threshold, then synonym-dictionary assisted.
+// is exact on normalized strings, then approximate via bit-parallel Myers
+// edit distance with a fractional threshold (scalar banded DP behind the
+// EditDistanceOptions::use_bit_parallel gate), then synonym-dictionary
+// assisted.
+//
+// The production entry point is the extended ComputeCompatibility overload:
+// it scores through a caller-owned BatchApproxMatcher (pattern bitmasks
+// cached across the whole candidate loop) and can reuse the shared_pairs /
+// shared_lefts counts the blocking stage already computed instead of
+// re-intersecting the sorted pair lists. ComputeCompatibilityReference
+// keeps the seed scalar implementation as the equivalence oracle.
 #pragma once
 
 #include "table/binary_table.h"
 #include "table/string_pool.h"
 #include "text/edit_distance.h"
+#include "text/myers.h"
 #include "text/synonyms.h"
 
 namespace ms {
@@ -19,6 +29,10 @@ struct CompatibilityOptions {
   EditDistanceOptions edit;
   /// Optional synonym feed; synonymous rights never conflict.
   const SynonymDictionary* synonyms = nullptr;
+  /// Reuse the blocking stage's co-occurrence counts (BlockingHint) to skip
+  /// the exact pair-list merge / conflict scan where they are provably
+  /// equivalent. Only fires for hints marked exact (no posting truncation).
+  bool reuse_blocking_counts = true;
 };
 
 /// Raw counts plus the two scores for one table pair.
@@ -27,15 +41,66 @@ struct PairScores {
   double w_neg = 0.0;   ///< in [-1, 0]
   size_t overlap = 0;   ///< |B ∩ B'| under the configured matching
   size_t conflicts = 0; ///< |F(B, B')|
+  /// Blocking's co-occurrence counts for this pair, threaded through so
+  /// downstream consumers see what blocking knew (0 when scored without a
+  /// hint). `shared_pairs` counts exactly shared (left, right) pairs,
+  /// `shared_lefts` exactly shared left values.
+  uint32_t shared_pairs = 0;
+  uint32_t shared_lefts = 0;
+};
+
+/// The blocking stage's per-pair knowledge, forwarded to scoring. `exact`
+/// is true when no posting list was truncated in the blocking run, i.e. the
+/// counts are the true co-occurrence cardinalities (modulo 64-bit key-hash
+/// collisions, which blocking itself already relies on being absent).
+struct BlockingHint {
+  uint32_t shared_pairs = 0;
+  uint32_t shared_lefts = 0;
+  bool exact = false;
+};
+
+/// Scoring-stage observability: kernel mix from the batch matcher plus the
+/// blocking-count reuse fast-path hits. Feeds PipelineStats.
+struct ScoringStats {
+  MatcherStats matcher;
+  size_t overlap_merges_skipped = 0;  ///< overlap taken from BlockingHint
+
+  void Add(const ScoringStats& o) {
+    matcher.Add(o.matcher);
+    overlap_merges_skipped += o.overlap_merges_skipped;
+  }
 };
 
 /// True when two values match under the configured predicate.
 bool ValuesMatch(ValueId a, ValueId b, const StringPool& pool,
                  const CompatibilityOptions& opts);
 
-/// Computes both scores for a pair of candidate tables.
+/// Computes both scores for a pair of candidate tables. Convenience form:
+/// builds a one-call matcher internally.
 PairScores ComputeCompatibility(const BinaryTable& a, const BinaryTable& b,
                                 const StringPool& pool,
                                 const CompatibilityOptions& opts = {});
+
+/// Hot-path form: scores through a caller-owned matcher (whose cached
+/// pattern masks survive across calls) and optionally reuses blocking's
+/// counts. `matcher` must have been constructed from the same pool and the
+/// same matching configuration as `opts`. Matcher kernel counters accumulate
+/// inside `matcher`; only the fast-path skip counters are added to `stats`
+/// here (callers merge matcher->stats() once at the end of their loop).
+PairScores ComputeCompatibility(const BinaryTable& a, const BinaryTable& b,
+                                const StringPool& pool,
+                                const CompatibilityOptions& opts,
+                                BatchApproxMatcher* matcher,
+                                const BlockingHint* hint = nullptr,
+                                ScoringStats* stats = nullptr);
+
+/// The seed scalar implementation (per-call ValuesMatch, no mask caching,
+/// no blocking reuse). Kept as the differential-test oracle and the
+/// baseline for bench_pr2; identical results to the fast path by
+/// construction.
+PairScores ComputeCompatibilityReference(const BinaryTable& a,
+                                         const BinaryTable& b,
+                                         const StringPool& pool,
+                                         const CompatibilityOptions& opts = {});
 
 }  // namespace ms

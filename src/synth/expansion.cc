@@ -9,11 +9,16 @@ ExpansionStats ExpandMapping(SynthesizedMapping* mapping,
                              const StringPool& pool,
                              const ExpansionOptions& options) {
   ExpansionStats stats;
+  // One matcher across all sources: the mapping side's pattern masks are
+  // built once and reused for every trusted-source comparison.
+  BatchApproxMatcher matcher(pool, options.compat.edit,
+                             options.compat.approximate_matching,
+                             options.compat.synonyms);
   for (const auto& src : trusted_sources) {
     ++stats.sources_considered;
     if (src.empty() || mapping->merged.empty()) continue;
     PairScores s = ComputeCompatibility(mapping->merged, src, pool,
-                                        options.compat);
+                                        options.compat, &matcher);
     // Containment of the core within the trusted source: the source should
     // confirm a large fraction of what synthesis already established.
     const double core_containment =

@@ -32,14 +32,37 @@ CompatibilityGraph BuildCompatibilityGraph(
   timer.Restart();
   CompatibilityGraph graph(candidates.size());
   std::vector<PairScores> scores(pairs.size());
-  auto score_one = [&](size_t i) {
-    scores[i] = ComputeCompatibility(candidates[pairs[i].a],
-                                     candidates[pairs[i].b], pool, compat);
+
+  // Pairs arrive sorted by (a, b), so consecutive pairs share table a and —
+  // more importantly — value strings. Scoring in chunks with one
+  // BatchApproxMatcher per chunk lets every pattern bitmask build amortize
+  // across the whole chunk, and the blocking hints let exact-matching
+  // configurations skip the pair-list merge entirely.
+  constexpr size_t kScoringChunk = 256;
+  const size_t num_chunks = (pairs.size() + kScoringChunk - 1) / kScoringChunk;
+  std::vector<ScoringStats> chunk_stats(num_chunks);
+  auto score_chunk = [&](size_t c) {
+    const size_t begin = c * kScoringChunk;
+    const size_t end = std::min(begin + kScoringChunk, pairs.size());
+    BatchApproxMatcher matcher(pool, compat.edit, compat.approximate_matching,
+                               compat.synonyms);
+    ScoringStats& st = chunk_stats[c];
+    for (size_t i = begin; i < end; ++i) {
+      const BlockingHint hint{pairs[i].shared_pairs, pairs[i].shared_lefts,
+                              bstats.exact_counts};
+      scores[i] = ComputeCompatibility(candidates[pairs[i].a],
+                                       candidates[pairs[i].b], pool, compat,
+                                       &matcher, &hint, &st);
+    }
+    st.matcher.Add(matcher.stats());
   };
   if (pool_threads) {
-    pool_threads->ParallelFor(pairs.size(), score_one);
+    pool_threads->ParallelFor(num_chunks, score_chunk);
   } else {
-    for (size_t i = 0; i < pairs.size(); ++i) score_one(i);
+    for (size_t c = 0; c < num_chunks; ++c) score_chunk(c);
+  }
+  if (stats) {
+    for (const auto& st : chunk_stats) stats->scoring.Add(st);
   }
   for (size_t i = 0; i < pairs.size(); ++i) {
     if (scores[i].w_pos > 0.0 || scores[i].w_neg < 0.0) {

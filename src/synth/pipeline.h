@@ -60,6 +60,11 @@ struct PipelineStats {
   double blocking_count_seconds = 0.0;        ///< sort-group + shard counting
   double blocking_reduce_seconds = 0.0;       ///< shard merge + threshold
 
+  /// Scoring-stage breakdown: bit-parallel kernel mix (Myers64 vs blocked
+  /// vs scalar fallback), pattern-mask cache effectiveness, and how many
+  /// pair merges / conflict scans the blocking-count reuse eliminated.
+  ScoringStats scoring;
+
   size_t candidates = 0;
   size_t candidate_pairs = 0;  ///< pairs surviving blocking
   size_t blocking_keys = 0;    ///< distinct blocking keys

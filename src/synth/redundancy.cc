@@ -19,14 +19,20 @@ RedundancyStats ConsolidateRedundantMappings(
 
   // Pairwise consolidation decisions aggregated transitively via
   // union-find. Mapping counts are small post-curation-filter (hundreds),
-  // so the quadratic scan with cheap size-based pre-screens is fine.
+  // so the quadratic scan with cheap size-based pre-screens is fine. One
+  // matcher spans the whole scan: merged mappings share value strings
+  // heavily, so pattern masks amortize across all n(n-1)/2 scorings.
+  BatchApproxMatcher matcher(pool, options.compat.edit,
+                             options.compat.approximate_matching,
+                             options.compat.synonyms);
   UnionFind uf(static_cast<uint32_t>(n));
   for (size_t i = 0; i < n; ++i) {
     for (size_t j = i + 1; j < n; ++j) {
       const BinaryTable& a = (*mappings)[i].merged;
       const BinaryTable& b = (*mappings)[j].merged;
       if (a.empty() || b.empty()) continue;
-      PairScores s = ComputeCompatibility(a, b, pool, options.compat);
+      PairScores s = ComputeCompatibility(a, b, pool, options.compat,
+                                          &matcher);
       if (s.conflicts > options.max_conflicts) continue;
       if (s.w_pos < options.min_containment) continue;
       uf.Union(static_cast<uint32_t>(i), static_cast<uint32_t>(j));

@@ -17,6 +17,11 @@ namespace ms {
 struct EditDistanceOptions {
   double fractional = 0.2;  ///< f_ed
   size_t cap = 10;          ///< k_ed safeguard
+  /// Runtime feature gate for the bit-parallel Myers kernels (text/myers.h).
+  /// Both paths compute the exact distance, so flipping this never changes
+  /// results — only speed. Off = the scalar banded DP below, kept as the
+  /// oracle and fallback.
+  bool use_bit_parallel = true;
 };
 
 /// Full-matrix Levenshtein distance. O(|a|·|b|); reference implementation

@@ -1,10 +1,16 @@
 // Tests for pair-wise compatibility scores (Section 4.1): positive
 // max-containment w+ (Equation 3, Examples 7-8) and negative conflict score
-// w- (Equation 4, Example 9), with approximate matching and synonyms.
+// w- (Equation 4, Example 9), with approximate matching and synonyms — and
+// differential coverage holding the batched Myers fast path byte-identical
+// to the seed scalar implementation (ComputeCompatibilityReference).
 #include <memory>
+#include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/random.h"
+#include "synth/blocking.h"
 #include "synth/compatibility.h"
 #include "table/string_pool.h"
 
@@ -186,6 +192,167 @@ TEST_F(Table8Fixture, GreedyResidueMatchingIsOneToOne) {
   opts.edit.fractional = 0.3;
   PairScores s = ComputeCompatibility(a, b, *pool_, opts);
   EXPECT_EQ(s.overlap, 1u);
+}
+
+// ----------------------------------------------------- fast-path equivalence
+
+/// Random value universe with realistic shape: shared country-like names,
+/// typo'd variants (exercising the approximate matcher), short codes, and a
+/// sprinkle of long multi-word strings (exercising the blocked kernel).
+class FastPathFixture : public ::testing::Test {
+ protected:
+  FastPathFixture() : pool_(std::make_shared<StringPool>()) {}
+
+  std::vector<ValueId> MakeUniverse(Rng& rng, size_t n) {
+    std::vector<ValueId> ids;
+    for (size_t i = 0; i < n; ++i) {
+      std::string s = "entity " + std::to_string(rng.Uniform(n / 2 + 1));
+      const double r = rng.UniformDouble();
+      if (r < 0.25) {  // typo variant
+        s += std::string(1, static_cast<char>('a' + rng.Uniform(26)));
+      } else if (r < 0.35) {  // short code
+        s = s.substr(s.size() - 3);
+      } else if (r < 0.45) {  // long string (> 64 bytes)
+        while (s.size() <= 70) s += " of the united provinces";
+      }
+      ids.push_back(pool_->Intern(s));
+    }
+    return ids;
+  }
+
+  BinaryTable RandomTable(Rng& rng, const std::vector<ValueId>& lefts,
+                          const std::vector<ValueId>& rights) {
+    std::vector<ValuePair> pairs;
+    const size_t rows = 2 + rng.Uniform(12);
+    for (size_t r = 0; r < rows; ++r) {
+      pairs.push_back({rng.Pick(lefts), rng.Pick(rights)});
+    }
+    return BinaryTable::FromPairs(std::move(pairs));
+  }
+
+  static void ExpectSameScores(const PairScores& x, const PairScores& y,
+                               const std::string& ctx) {
+    EXPECT_EQ(x.overlap, y.overlap) << ctx;
+    EXPECT_EQ(x.conflicts, y.conflicts) << ctx;
+    EXPECT_EQ(x.w_pos, y.w_pos) << ctx;    // bitwise: same integer inputs
+    EXPECT_EQ(x.w_neg, y.w_neg) << ctx;
+  }
+
+  std::shared_ptr<StringPool> pool_;
+};
+
+TEST_F(FastPathFixture, BatchMatcherAgreesWithValuesMatch) {
+  Rng rng(71);
+  auto ids = MakeUniverse(rng, 160);
+  SynonymDictionary dict(pool_);
+  dict.AddSynonym("entity 0", "entity 1");
+  for (const bool approx : {true, false}) {
+    for (const bool gate : {true, false}) {
+      const SynonymDictionary* configs[] = {nullptr, &dict};
+      for (const SynonymDictionary* syn : configs) {
+        CompatibilityOptions opts;
+        opts.approximate_matching = approx;
+        opts.edit.use_bit_parallel = gate;
+        opts.synonyms = syn;
+        BatchApproxMatcher matcher(*pool_, opts.edit, approx, syn);
+        for (int i = 0; i < 4000; ++i) {
+          const ValueId a = rng.Pick(ids);
+          const ValueId b = rng.Pick(ids);
+          ASSERT_EQ(matcher.Match(a, b), ValuesMatch(a, b, *pool_, opts))
+              << pool_->Get(a) << " vs " << pool_->Get(b) << " approx="
+              << approx << " gate=" << gate << " syn=" << (syn != nullptr);
+        }
+        EXPECT_EQ(matcher.stats().match_calls, 4000u);
+        if (approx && gate) {
+          EXPECT_GT(matcher.stats().pattern_cache_hits, 0u);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(FastPathFixture, FastPathMatchesReferenceOnRandomTables) {
+  Rng rng(72);
+  auto lefts = MakeUniverse(rng, 80);
+  auto rights = MakeUniverse(rng, 40);
+  SynonymDictionary dict(pool_);
+  dict.AddSynonym("entity 2", "entity 3");
+  for (int round = 0; round < 120; ++round) {
+    BinaryTable a = RandomTable(rng, lefts, rights);
+    BinaryTable b = RandomTable(rng, lefts, rights);
+    for (const bool approx : {true, false}) {
+      for (const bool gate : {true, false}) {
+        CompatibilityOptions opts;
+        opts.approximate_matching = approx;
+        opts.edit.use_bit_parallel = gate;
+        if (round % 3 == 0) opts.synonyms = &dict;
+        const PairScores ref = ComputeCompatibilityReference(a, b, *pool_,
+                                                             opts);
+        const PairScores fast = ComputeCompatibility(a, b, *pool_, opts);
+        ExpectSameScores(fast, ref,
+                         "round " + std::to_string(round) + " approx=" +
+                             std::to_string(approx) + " gate=" +
+                             std::to_string(gate));
+      }
+    }
+  }
+}
+
+TEST_F(FastPathFixture, BlockingHintReuseIsExact) {
+  // Score every blocking survivor of a random candidate set twice — with
+  // the hint-driven fast path and with the reference — under exact-only
+  // matching, where the hint replaces the pair-list merge outright.
+  Rng rng(73);
+  auto lefts = MakeUniverse(rng, 60);
+  auto rights = MakeUniverse(rng, 30);
+  std::vector<BinaryTable> candidates;
+  for (int t = 0; t < 120; ++t) {
+    candidates.push_back(RandomTable(rng, lefts, rights));
+    candidates.back().id = static_cast<BinaryTableId>(t);
+  }
+  BlockingOptions bopts;
+  BlockingStats bstats;
+  auto pairs = GenerateCandidatePairs(candidates, bopts, nullptr, &bstats);
+  ASSERT_FALSE(pairs.empty());
+  ASSERT_TRUE(bstats.exact_counts);
+
+  CompatibilityOptions opts;
+  opts.approximate_matching = false;
+  ASSERT_TRUE(opts.reuse_blocking_counts);
+  BatchApproxMatcher matcher(*pool_, opts.edit, false, nullptr);
+  ScoringStats sstats;
+  for (const auto& p : pairs) {
+    const BlockingHint hint{p.shared_pairs, p.shared_lefts, true};
+    const PairScores fast =
+        ComputeCompatibility(candidates[p.a], candidates[p.b], *pool_, opts,
+                             &matcher, &hint, &sstats);
+    const PairScores ref = ComputeCompatibilityReference(
+        candidates[p.a], candidates[p.b], *pool_, opts);
+    ExpectSameScores(fast, ref, "pair " + std::to_string(p.a) + "," +
+                                    std::to_string(p.b));
+    // The hint is threaded through to the scores.
+    EXPECT_EQ(fast.shared_pairs, p.shared_pairs);
+    EXPECT_EQ(fast.shared_lefts, p.shared_lefts);
+  }
+  // Every overlap merge was replaced by the blocking count.
+  EXPECT_EQ(sstats.overlap_merges_skipped, pairs.size());
+}
+
+TEST_F(FastPathFixture, InexactHintsAreIgnored) {
+  Rng rng(74);
+  BinaryTable a = RandomTable(rng, MakeUniverse(rng, 20),
+                              MakeUniverse(rng, 10));
+  // A wildly wrong hint marked inexact must not corrupt the scores.
+  CompatibilityOptions opts;
+  opts.approximate_matching = false;
+  BatchApproxMatcher matcher(*pool_, opts.edit, false, nullptr);
+  const BlockingHint bogus{9999, 9999, /*exact=*/false};
+  const PairScores with_hint =
+      ComputeCompatibility(a, a, *pool_, opts, &matcher, &bogus, nullptr);
+  const PairScores ref = ComputeCompatibilityReference(a, a, *pool_, opts);
+  EXPECT_EQ(with_hint.overlap, ref.overlap);
+  EXPECT_EQ(with_hint.conflicts, ref.conflicts);
+  EXPECT_EQ(with_hint.shared_pairs, 9999u);  // recorded, not trusted
 }
 
 }  // namespace

@@ -1,6 +1,9 @@
 // Integration tests for the end-to-end synthesis pipeline (Figure 1):
 // extraction -> blocking -> scoring -> partitioning -> conflict resolution
 // on small generated worlds with exactly known ground truth.
+#include <set>
+#include <string>
+
 #include <gtest/gtest.h>
 
 #include "corpusgen/builtin_domains.h"
@@ -215,6 +218,83 @@ TEST(PipelineOptionTest, PopularityFilterIsMonotone) {
   size_t n_strict =
       SynthesisPipeline(strict).Run(world.corpus).mappings.size();
   EXPECT_GE(n_loose, n_strict);
+}
+
+/// Canonical view of a mapping set: partition ids (and hence vector order)
+/// depend on thread scheduling, so compare as a sorted multiset of
+/// (labels, member count, exact pair list).
+std::multiset<std::string> CanonicalMappings(const SynthesisResult& r,
+                                             const StringPool& pool) {
+  std::multiset<std::string> out;
+  for (const auto& m : r.mappings) {
+    std::string key = m.left_label + "\x1f" + m.right_label + "\x1f" +
+                      std::to_string(m.kept_tables.size()) + "\x1f";
+    for (const auto& p : m.merged.pairs()) {
+      key += std::string(pool.Get(p.left)) + "\x1e" +
+             std::string(pool.Get(p.right)) + "\x1f";
+    }
+    out.insert(std::move(key));
+  }
+  return out;
+}
+
+TEST(PipelineEquivalenceTest, BitParallelFastPathIsByteIdentical) {
+  // The tentpole guarantee: Myers kernels + batched mask caching + blocking
+  // count reuse change speed only. Pair scores must be bitwise identical
+  // and the final mappings must carry exactly the same pairs.
+  GeneratedWorld world = SmallWorld(31);
+  ColumnInvertedIndex index;
+  index.Build(world.corpus);
+  auto extracted = ExtractCandidates(world.corpus, index);
+  const StringPool& pool = world.corpus.pool();
+
+  SynthesisOptions fast = FastOptions();  // bit-parallel + reuse: defaults
+  SynthesisOptions slow = FastOptions();
+  slow.compat.edit.use_bit_parallel = false;
+  slow.compat.reuse_blocking_counts = false;
+
+  // Graph level: identical edges, bitwise-identical weights.
+  PipelineStats fast_stats, slow_stats;
+  CompatibilityGraph gf =
+      BuildCompatibilityGraph(extracted.candidates, pool, fast.blocking,
+                              fast.compat, nullptr, &fast_stats);
+  CompatibilityGraph gs =
+      BuildCompatibilityGraph(extracted.candidates, pool, slow.blocking,
+                              slow.compat, nullptr, &slow_stats);
+  ASSERT_EQ(gf.num_edges(), gs.num_edges());
+  for (size_t e = 0; e < gf.edges().size(); ++e) {
+    EXPECT_EQ(gf.edges()[e].u, gs.edges()[e].u) << e;
+    EXPECT_EQ(gf.edges()[e].v, gs.edges()[e].v) << e;
+    EXPECT_EQ(gf.edges()[e].w_pos, gs.edges()[e].w_pos) << e;  // bitwise
+    EXPECT_EQ(gf.edges()[e].w_neg, gs.edges()[e].w_neg) << e;
+  }
+  // The fast run actually took the bit-parallel path (and the slow one the
+  // scalar fallback) — guards against silently comparing the same code.
+  EXPECT_GT(fast_stats.scoring.matcher.myers64_calls, 0u);
+  EXPECT_EQ(fast_stats.scoring.matcher.banded_calls, 0u);
+  EXPECT_EQ(slow_stats.scoring.matcher.myers64_calls, 0u);
+  EXPECT_GT(slow_stats.scoring.matcher.banded_calls, 0u);
+
+  // End-to-end: identical mappings, pair for pair.
+  SynthesisResult rf = SynthesisPipeline(fast).Run(world.corpus);
+  SynthesisResult rs = SynthesisPipeline(slow).Run(world.corpus);
+  ASSERT_EQ(rf.mappings.size(), rs.mappings.size());
+  EXPECT_EQ(CanonicalMappings(rf, pool), CanonicalMappings(rs, pool));
+  EXPECT_EQ(rf.stats.graph_edges, rs.stats.graph_edges);
+  EXPECT_EQ(rf.stats.candidate_pairs, rs.stats.candidate_pairs);
+  EXPECT_EQ(rf.stats.partitions, rs.stats.partitions);
+}
+
+TEST(PipelineEquivalenceTest, ScoringStatsArePopulated) {
+  GeneratedWorld world = SmallWorld(37);
+  SynthesisResult r = SynthesisPipeline(FastOptions()).Run(world.corpus);
+  const auto& sc = r.stats.scoring;
+  EXPECT_GT(sc.matcher.match_calls, 0u);
+  EXPECT_GT(sc.matcher.myers64_calls, 0u);
+  EXPECT_EQ(sc.matcher.banded_calls, 0u);  // gate defaults on
+  // Mask caching must actually amortize: strictly more kernel calls than
+  // mask builds.
+  EXPECT_GT(sc.matcher.pattern_cache_hits, 0u);
 }
 
 TEST(PipelineOptionTest, RunOnCandidatesDirectly) {
