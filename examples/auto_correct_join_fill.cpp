@@ -1,44 +1,41 @@
-// End-to-end application demo: synthesize mappings from a corpus, load them
-// into the indexed MappingStore, and replay the paper's three motivating
-// scenarios — auto-correction (Table 3), auto-fill (Table 4), and auto-join
-// (Table 5) — on dirty user data the pipeline has never seen.
+// End-to-end application demo: stand up a MappingService (the serving-style
+// façade over the staged synthesis session + indexed MappingStore) and
+// replay the paper's three motivating scenarios — auto-correction
+// (Table 3), auto-fill (Table 4), and auto-join (Table 5) — on dirty user
+// data the pipeline has never seen. A final warm re-synthesis with a
+// tweaked scoring threshold shows the service reusing its materialized
+// extraction + blocking artifacts instead of re-running the whole pipeline.
 #include <iostream>
 
-#include "apps/auto_correct.h"
-#include "apps/auto_fill.h"
-#include "apps/auto_join.h"
-#include "apps/mapping_store.h"
+#include "apps/serving.h"
 #include "corpusgen/generator.h"
-#include "synth/pipeline.h"
 
 int main() {
   using namespace ms;
 
-  // --- Synthesize mappings from a generated web corpus.
+  // --- Synthesize mappings from a generated web corpus through the
+  // service. Failures propagate as Status instead of an empty store.
   GeneratorOptions gen;
   gen.seed = 42;
   GeneratedWorld world = GenerateWebWorld(gen);
-  SynthesisPipeline pipeline{SynthesisOptions{}};
-  SynthesisResult result = pipeline.Run(world.corpus);
-  std::cout << "synthesized " << result.mappings.size()
-            << " curated mapping relationships\n";
-
-  // --- Load them into the store (this is the "curation output" artifact).
-  MappingStore store(world.corpus.shared_pool());
-  for (auto& m : result.mappings) {
-    std::string name = m.left_label + "->" + m.right_label;
-    store.Add(std::move(m), std::move(name));
+  MappingService service{SynthesisOptions{}};
+  Status st = service.Synthesize(world.corpus);
+  if (!st.ok()) {
+    std::cerr << "synthesis failed: " << st.ToString() << "\n";
+    return 1;
   }
+  std::cout << "synthesized " << service.num_mappings()
+            << " curated mapping relationships\n";
 
   // --- Scenario 1: auto-correction (paper Table 3). A column mixing full
   // state names with abbreviations.
   std::cout << "\n--- auto-correct (Table 3) ---\n";
   std::vector<std::string> residence = {"California", "Washington", "Oregon",
                                         "CA", "WA"};
-  AutoCorrectResult corr = SuggestCorrections(store, residence);
+  AutoCorrectResult corr = service.SuggestCorrections(residence);
   if (corr.inconsistency_detected) {
     std::cout << "inconsistent column detected via mapping '"
-              << store.name(corr.mapping_index) << "'\n";
+              << service.store().name(corr.mapping_index) << "'\n";
     for (const auto& s : corr.suggestions) {
       std::cout << "  row " << s.row << ": '" << s.original << "' -> '"
                 << s.suggestion << "'\n";
@@ -52,10 +49,10 @@ int main() {
   std::cout << "\n--- auto-fill (Table 4) ---\n";
   std::vector<std::string> cities = {"San Francisco", "Seattle",
                                      "Los Angeles", "Houston", "Denver"};
-  AutoFillResult fill = AutoFill(store, cities, {{0, "California"}});
+  AutoFillResult fill = service.AutoFill(cities, {{0, "California"}});
   if (fill.mapping_index >= 0) {
-    std::cout << "intent matched mapping '" << store.name(fill.mapping_index)
-              << "'\n";
+    std::cout << "intent matched mapping '"
+              << service.store().name(fill.mapping_index) << "'\n";
     for (size_t r = 0; r < cities.size(); ++r) {
       std::cout << "  " << cities[r] << " -> " << fill.values[r]
                 << (fill.filled[r] ? "  (auto)" : "  (user)") << "\n";
@@ -70,10 +67,11 @@ int main() {
   std::vector<std::string> tickers = {"GE", "WMT", "MSFT", "ORCL"};
   std::vector<std::string> companies = {"General Electric", "Walmart",
                                         "Oracle", "Microsoft Corporation"};
-  AutoJoinResult join = AutoJoin(store, tickers, companies);
+  AutoJoinResult join = service.AutoJoin(tickers, companies);
   if (join.mapping_index >= 0) {
-    std::cout << "bridged via mapping '" << store.name(join.mapping_index)
-              << "' (" << join.pairs.size() << " joined rows)\n";
+    std::cout << "bridged via mapping '"
+              << service.store().name(join.mapping_index) << "' ("
+              << join.pairs.size() << " joined rows)\n";
     for (const auto& p : join.pairs) {
       std::cout << "  " << tickers[p.left_row] << " <-> "
                 << companies[p.right_row] << "\n";
@@ -81,5 +79,22 @@ int main() {
   } else {
     std::cout << "no bridging mapping found\n";
   }
+
+  // --- Warm re-synthesis: a curator tightens the approximate-matching cap;
+  // only scoring onward re-runs (extraction and blocking artifacts reused).
+  std::cout << "\n--- warm re-synthesis (edit cap 10 -> 6) ---\n";
+  SynthesisOptions tweaked;
+  tweaked.compat.edit.cap = 6;
+  st = service.Resynthesize(tweaked);
+  if (!st.ok()) {
+    std::cerr << "re-synthesis failed: " << st.ToString() << "\n";
+    return 1;
+  }
+  const auto& ss = service.session_stats();
+  std::cout << "store now holds " << service.num_mappings()
+            << " mappings; stage runs so far: " << ss.extract_runs
+            << " extract, " << ss.blocking_runs << " blocking, "
+            << ss.scoring_runs << " scoring (extraction + blocking were "
+            << "reused)\n";
   return 0;
 }

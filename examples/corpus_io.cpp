@@ -1,14 +1,16 @@
 // Corpus ETL demo: generate a corpus, persist it to the line-oriented TSV
-// format, reload it, and verify the synthesis pipeline produces identical
-// mappings from the round-tripped corpus — the workflow a user with their
-// own table dump would follow (save your extraction into this format and
-// run the pipeline on it).
+// format, reload it through the session's corpus-file entry point, and
+// verify the synthesis pipeline produces identical mappings from the
+// round-tripped corpus — the workflow a user with their own table dump
+// would follow. Also demonstrates Status propagation: loading a corrupt
+// dump fails loudly instead of synthesizing zero mappings from it.
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <set>
 
 #include "corpusgen/generator.h"
-#include "synth/pipeline.h"
+#include "synth/session.h"
 #include "table/tsv.h"
 
 int main() {
@@ -28,32 +30,46 @@ int main() {
   std::cout << "saved " << world.corpus.size() << " tables to " << path
             << "\n";
 
-  // --- Reload into a fresh corpus (fresh string pool, fresh ids).
-  TableCorpus reloaded;
-  st = LoadCorpus(path, &reloaded);
-  if (!st.ok()) {
-    std::cerr << "load failed: " << st.ToString() << "\n";
+  // --- Synthesize from the in-memory corpus and from the reloaded file
+  // with the same session (thread pool and matcher caches are reused).
+  SynthesisSession session{SynthesisOptions{}};
+  auto original = session.Run(world.corpus);
+  if (!original.ok()) {
+    std::cerr << "synthesis failed: " << original.status().ToString() << "\n";
+    return 1;
+  }
+
+  TableCorpus reloaded;  // caller-owned: mappings reference its pool
+  auto roundtrip = session.RunOnCorpusFile(path, &reloaded);
+  if (!roundtrip.ok()) {
+    std::cerr << "load-and-run failed: " << roundtrip.status().ToString()
+              << "\n";
     return 1;
   }
   std::cout << "reloaded " << reloaded.size() << " tables ("
             << reloaded.pool().size() << " distinct strings)\n";
 
-  // --- Synthesize from both and compare the outputs.
-  SynthesisPipeline pipeline{SynthesisOptions{}};
-  SynthesisResult original = pipeline.Run(world.corpus);
-  SynthesisResult roundtrip = pipeline.Run(reloaded);
-
   std::multiset<size_t> sizes_a, sizes_b;
-  for (const auto& m : original.mappings) sizes_a.insert(m.size());
-  for (const auto& m : roundtrip.mappings) sizes_b.insert(m.size());
+  for (const auto& m : original.value().mappings) sizes_a.insert(m.size());
+  for (const auto& m : roundtrip.value().mappings) sizes_b.insert(m.size());
 
   std::cout << "mappings from original corpus:     "
-            << original.mappings.size() << "\n"
+            << original.value().mappings.size() << "\n"
             << "mappings from round-tripped corpus: "
-            << roundtrip.mappings.size() << "\n"
+            << roundtrip.value().mappings.size() << "\n"
             << "identical mapping-size profile:     "
             << (sizes_a == sizes_b ? "yes" : "NO — TSV round-trip is lossy!")
             << "\n";
+
+  // --- Status propagation: a corrupt dump (or a missing file) is an error
+  // the caller sees, not an empty result.
+  TableCorpus scratch;
+  auto missing = session.RunOnCorpusFile("/tmp/does_not_exist.tsv", &scratch);
+  std::cout << "\nloading a missing file: "
+            << (missing.ok() ? "unexpectedly succeeded!"
+                             : missing.status().ToString())
+            << "\n";
+
   std::remove(path.c_str());
-  return sizes_a == sizes_b ? 0 : 1;
+  return sizes_a == sizes_b && !missing.ok() ? 0 : 1;
 }

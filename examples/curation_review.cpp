@@ -9,8 +9,8 @@
 #include "common/string_util.h"
 #include "corpusgen/generator.h"
 #include "eval/report.h"
-#include "synth/pipeline.h"
 #include "synth/redundancy.h"
+#include "synth/session.h"
 #include "synth/temporal.h"
 #include "text/normalize.h"
 
@@ -24,8 +24,13 @@ int main() {
   SynthesisOptions opts;
   opts.min_domains = 1;
   opts.min_pairs = 2;
-  SynthesisPipeline pipeline(opts);
-  SynthesisResult result = pipeline.Run(world.corpus);
+  SynthesisSession session(opts);
+  auto run = session.Run(world.corpus);
+  if (!run.ok()) {
+    std::cerr << "synthesis failed: " << run.status().ToString() << "\n";
+    return 1;
+  }
+  SynthesisResult result = std::move(run).value();
 
   // --- Consolidate redundant clusters first (Appendix K): fewer, larger
   // entries for the curator to review.

@@ -1,11 +1,14 @@
 // Quickstart: generate a small web-table world, synthesize mapping
-// relationships from it, and inspect the top results.
+// relationships from it with the staged SynthesisSession API, and inspect
+// the top results.
 //
 //   ./examples/quickstart [seed]
 //
-// This walks the whole public API surface: corpus generation, the synthesis
-// pipeline, popularity-ranked mappings, and a quick precision/recall check
-// against the generated ground truth.
+// This walks the whole public API surface: corpus generation, the staged
+// pipeline (extract -> block -> score -> partition -> resolve, each stage a
+// materialized artifact), a warm re-score under tweaked thresholds that
+// reuses the blocking artifact verbatim, popularity-ranked mappings, and a
+// quick precision/recall check against the generated ground truth.
 #include <cstdlib>
 #include <iostream>
 
@@ -13,7 +16,7 @@
 #include "corpusgen/generator.h"
 #include "eval/metrics.h"
 #include "eval/report.h"
-#include "synth/pipeline.h"
+#include "synth/session.h"
 
 int main(int argc, char** argv) {
   uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 42;
@@ -26,19 +29,69 @@ int main(int argc, char** argv) {
             << world.corpus.TotalColumns() << " columns, "
             << world.cases.size() << " benchmark relationships\n";
 
-  // --- 2. Synthesize mapping relationships.
+  // --- 2. Synthesize stage by stage. Every fallible step returns a
+  // Status/Result; malformed options would be rejected up front.
   ms::SynthesisOptions opts;
-  ms::SynthesisPipeline pipeline(opts);
-  ms::SynthesisResult result = pipeline.Run(world.corpus);
+  ms::SynthesisSession session(opts);
+  if (!session.status().ok()) {
+    std::cerr << "invalid options: " << session.status().ToString() << "\n";
+    return 1;
+  }
+
+  auto cands = session.ExtractCandidates(world.corpus);
+  if (!cands.ok()) {
+    std::cerr << "extraction failed: " << cands.status().ToString() << "\n";
+    return 1;
+  }
+  auto blocked = session.BlockPairs(cands.value());
+  if (!blocked.ok()) {
+    std::cerr << "blocking failed: " << blocked.status().ToString() << "\n";
+    return 1;
+  }
+  auto graph = session.ScorePairs(cands.value(), blocked.value());
+  if (!graph.ok()) {
+    std::cerr << "scoring failed: " << graph.status().ToString() << "\n";
+    return 1;
+  }
+  auto parts = session.Partition(graph.value());
+  if (!parts.ok()) {
+    std::cerr << "partitioning failed: " << parts.status().ToString() << "\n";
+    return 1;
+  }
+  auto resolved = session.Resolve(cands.value(), graph.value(), parts.value());
+  if (!resolved.ok()) {
+    std::cerr << "synthesis failed: " << resolved.status().ToString() << "\n";
+    return 1;
+  }
+  ms::SynthesisResult result = std::move(resolved).value();
+
   const auto& st = result.stats;
   std::cout << "extracted " << st.candidates << " candidate tables ("
             << ms::FormatDouble(100 * st.extraction.FilterRate(), 1)
-            << "% of column pairs filtered), built " << st.graph_edges
+            << "% of column pairs filtered), blocked " << st.candidate_pairs
+            << " pairs, built " << st.graph_edges
             << " graph edges, synthesized " << st.mappings
             << " mappings in " << ms::FormatDouble(st.total_seconds, 2)
             << "s\n";
 
-  // --- 3. Show the most popular synthesized mappings.
+  // --- 3. Warm re-score: tighten the edit-distance cap and re-run scoring
+  // onward. Extraction and blocking artifacts are reused verbatim — the
+  // session stats prove neither stage ran again.
+  ms::SynthesisOptions tweaked = opts;
+  tweaked.compat.edit.cap = 4;
+  if (session.UpdateOptions(tweaked).ok()) {
+    auto rescore =
+        session.FinishFromBlocked(cands.value(), blocked.value());
+    if (rescore.ok()) {
+      std::cout << "warm re-score (edit cap 10 -> 4): "
+                << rescore.value().stats.mappings << " mappings; stage runs: "
+                << session.session_stats().extract_runs << " extract, "
+                << session.session_stats().blocking_runs << " blocking, "
+                << session.session_stats().scoring_runs << " scoring\n";
+    }
+  }
+
+  // --- 4. Show the most popular synthesized mappings.
   ms::TextTable table({"label", "pairs", "lefts", "rights", "domains",
                        "tables"});
   const ms::StringPool& pool = world.corpus.pool();
@@ -55,7 +108,7 @@ int main(int argc, char** argv) {
   ms::PrintBanner(std::cout, "top synthesized mappings");
   table.Print(std::cout);
 
-  // --- 4. Sample rows of the best mapping.
+  // --- 5. Sample rows of the best mapping.
   if (!result.mappings.empty()) {
     const auto& top = result.mappings.front();
     ms::PrintBanner(std::cout, "sample of '" + top.left_label + " -> " +
@@ -68,7 +121,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  // --- 5. Score against the generated ground truth.
+  // --- 6. Score against the generated ground truth.
   double fsum = 0;
   std::vector<ms::BinaryTable> relations;
   for (const auto& m : result.mappings) relations.push_back(m.merged);

@@ -1,0 +1,136 @@
+#include "apps/serving.h"
+
+#include <utility>
+
+#include "common/logging.h"
+#include "table/tsv.h"
+
+namespace ms {
+
+MappingService::MappingService(SynthesisOptions options)
+    : session_(std::move(options)) {}
+
+MappingService::~MappingService() = default;
+
+Status MappingService::Synthesize(const TableCorpus& corpus) {
+  MS_RETURN_IF_ERROR(status());
+  corpus_ = &corpus;
+  owned_corpus_.reset();
+  pool_keepalive_ = corpus.shared_pool();
+  candidates_.reset();
+  blocked_.reset();
+  scored_.reset();
+  return RunChain(false, false, false);
+}
+
+Status MappingService::SynthesizeFromFile(const std::string& path) {
+  MS_RETURN_IF_ERROR(status());
+  auto corpus = std::make_unique<TableCorpus>();
+  MS_RETURN_IF_ERROR(LoadCorpus(path, corpus.get()));
+  owned_corpus_ = std::move(corpus);
+  corpus_ = owned_corpus_.get();
+  pool_keepalive_ = corpus_->shared_pool();
+  candidates_.reset();
+  blocked_.reset();
+  scored_.reset();
+  return RunChain(false, false, false);
+}
+
+Status MappingService::Resynthesize(SynthesisOptions new_options) {
+  if (corpus_ == nullptr || candidates_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Resynthesize: nothing synthesized yet — call Synthesize first so "
+        "there are stage artifacts to reuse");
+  }
+  const SynthesisOptions old = session_.options();
+  MS_RETURN_IF_ERROR(session_.UpdateOptions(std::move(new_options)));
+  const SynthesisOptions& now = session_.options();
+
+  // Resume from the first stage whose inputs changed (the defaulted
+  // operator== on each options struct documents exactly which knobs an
+  // artifact depends on). Thread-count changes only affect scheduling
+  // (results are deterministic across worker counts), so they alone
+  // invalidate nothing. The graph additionally depends on the synonym
+  // dictionary's *contents*: the pointer compares equal after AddSynonym,
+  // so reuse also requires the version the graph was scored at.
+  const bool keep_candidates = old.extraction == now.extraction;
+  const bool keep_blocked = keep_candidates && old.blocking == now.blocking;
+  const bool synonyms_unchanged =
+      now.compat.synonyms == nullptr ||
+      now.compat.synonyms->version() == scored_synonym_version_;
+  const bool keep_scored =
+      keep_blocked && old.compat == now.compat && synonyms_unchanged;
+  return RunChain(keep_candidates, keep_blocked && blocked_ != nullptr,
+                  keep_scored && scored_ != nullptr);
+}
+
+Status MappingService::RunChain(bool have_candidates, bool have_blocked,
+                                bool have_scored) {
+  if (!have_candidates) {
+    Result<CandidateSet> c = session_.ExtractCandidates(*corpus_);
+    if (!c.ok()) return c.status();
+    candidates_ = std::make_unique<CandidateSet>(std::move(c).value());
+    have_blocked = false;
+    have_scored = false;
+  }
+  if (!have_blocked) {
+    Result<BlockedPairs> b = session_.BlockPairs(*candidates_);
+    if (!b.ok()) return b.status();
+    blocked_ = std::make_unique<BlockedPairs>(std::move(b).value());
+    have_scored = false;
+  }
+  if (!have_scored) {
+    Result<ScoredGraph> g = session_.ScorePairs(*candidates_, *blocked_);
+    if (!g.ok()) return g.status();
+    scored_ = std::make_unique<ScoredGraph>(std::move(g).value());
+    const SynonymDictionary* dict = session_.options().compat.synonyms;
+    scored_synonym_version_ = dict ? dict->version() : 0;
+  }
+  Result<Partitions> parts = session_.Partition(*scored_);
+  if (!parts.ok()) return parts.status();
+  Result<SynthesisResult> r =
+      session_.Resolve(*candidates_, *scored_, parts.value());
+  if (!r.ok()) return r.status();
+  last_result_ = std::move(r).value();
+  return RebuildStore();
+}
+
+Status MappingService::RebuildStore() {
+  if (pool_keepalive_ == nullptr) {
+    return Status::Internal("RebuildStore: no string pool handle");
+  }
+  // Store lookups must normalize exactly like the pipeline did, or raw user
+  // probes ("CA ", "California[1]") miss values the pipeline matched.
+  auto store = std::make_unique<MappingStore>(
+      pool_keepalive_, session_.options().extraction.normalize);
+  for (const auto& m : last_result_.mappings) {
+    store->Add(m, m.left_label + "->" + m.right_label);
+  }
+  store_ = std::move(store);
+  return Status::OK();
+}
+
+AutoCorrectResult MappingService::SuggestCorrections(
+    const std::vector<std::string>& column,
+    const AutoCorrectOptions& options) const {
+  if (!store_) return AutoCorrectResult{};
+  return ::ms::SuggestCorrections(*store_, column, options);
+}
+
+AutoFillResult MappingService::AutoFill(
+    const std::vector<std::string>& keys,
+    const std::vector<std::pair<size_t, std::string>>& examples,
+    const AutoFillOptions& options) const {
+  if (!store_) return AutoFillResult{};
+  return ::ms::AutoFill(*store_, keys, examples, options);
+}
+
+AutoJoinResult MappingService::AutoJoin(
+    const std::vector<std::string>& left_keys,
+    const std::vector<std::string>& right_keys,
+    const AutoJoinOptions& options) const {
+  if (!store_) return AutoJoinResult{};
+  return ::ms::AutoJoin(*store_, left_keys, right_keys, options);
+}
+
+}  // namespace ms

@@ -1,0 +1,117 @@
+// Serving-style façade over the staged synthesis API: one long-lived object
+// that owns a SynthesisSession, the materialized stage artifacts of the
+// last synthesis, and the indexed MappingStore the paper's three
+// applications (auto-correct Table 3, auto-fill Table 4, auto-join Table 5)
+// query. This is the ROADMAP's production shape — a service under heavy
+// traffic where repeated queries must not re-pay pipeline setup and
+// re-synthesis with tweaked thresholds must only re-run the stages
+// downstream of the change:
+//
+//   MappingService svc(options);
+//   svc.Synthesize(corpus);                  // cold: full staged chain
+//   svc.AutoJoin(tickers, companies);        // serve from the indexed store
+//   opts.compat.edit.cap = 6;
+//   svc.Resynthesize(opts);                  // warm: re-scores the cached
+//                                            // BlockedPairs, nothing above
+//
+// Every fallible entry point returns Status; a service never silently
+// serves from a store that failed to build.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/auto_correct.h"
+#include "apps/auto_fill.h"
+#include "apps/auto_join.h"
+#include "apps/mapping_store.h"
+#include "synth/session.h"
+
+namespace ms {
+
+class MappingService {
+ public:
+  explicit MappingService(SynthesisOptions options = {});
+  ~MappingService();
+
+  MappingService(const MappingService&) = delete;
+  MappingService& operator=(const MappingService&) = delete;
+
+  /// Construction-time options validation verdict (mirrors the session's).
+  Status status() const { return session_.status(); }
+
+  /// Runs the full staged chain on `corpus` and rebuilds the store. The
+  /// corpus must outlive the service (stage artifacts borrow its tables;
+  /// the string pool is kept alive via its shared handle regardless).
+  Status Synthesize(const TableCorpus& corpus);
+
+  /// Loads a TSV corpus (owned by the service) and synthesizes from it.
+  /// IO/parse failures propagate instead of yielding an empty store.
+  Status SynthesizeFromFile(const std::string& path);
+
+  /// Warm re-synthesis: diffs `new_options` against the current options and
+  /// re-runs only the stages downstream of the first difference, reusing
+  /// the materialized artifacts above it verbatim — changed
+  /// CompatibilityOptions re-score the cached BlockedPairs; changed
+  /// partitioner/conflict/curation options re-partition the cached
+  /// ScoredGraph. FailedPrecondition when nothing was synthesized yet.
+  Status Resynthesize(SynthesisOptions new_options);
+
+  /// The indexed store applications query. Valid after a successful
+  /// Synthesize*/Resynthesize.
+  const MappingStore& store() const { return *store_; }
+  bool has_store() const { return store_ != nullptr; }
+  size_t num_mappings() const { return store_ ? store_->size() : 0; }
+
+  /// Full result (stats included) of the last successful synthesis. Note
+  /// the store holds its own copy of every mapping (it normalizes and
+  /// indexes them independently), so the service keeps two copies of the
+  /// mapping set; callers that only serve lookups and never read
+  /// last_result().mappings can clear it.
+  const SynthesisResult& last_result() const { return last_result_; }
+
+  /// Stage-run counters of the underlying session; lets operators verify a
+  /// Resynthesize actually skipped the upstream stages.
+  const SynthesisSession::SessionStats& session_stats() const {
+    return session_.session_stats();
+  }
+
+  // ------------------------------------------------- serving entry points
+  // Thin forwards to the paper's three applications, bound to the store.
+
+  AutoCorrectResult SuggestCorrections(
+      const std::vector<std::string>& column,
+      const AutoCorrectOptions& options = {}) const;
+
+  AutoFillResult AutoFill(
+      const std::vector<std::string>& keys,
+      const std::vector<std::pair<size_t, std::string>>& examples,
+      const AutoFillOptions& options = {}) const;
+
+  AutoJoinResult AutoJoin(const std::vector<std::string>& left_keys,
+                          const std::vector<std::string>& right_keys,
+                          const AutoJoinOptions& options = {}) const;
+
+ private:
+  Status RunChain(bool have_candidates, bool have_blocked, bool have_scored);
+  Status RebuildStore();
+
+  SynthesisSession session_;
+  std::unique_ptr<TableCorpus> owned_corpus_;     ///< SynthesizeFromFile
+  const TableCorpus* corpus_ = nullptr;           ///< source of artifacts
+  std::shared_ptr<StringPool> pool_keepalive_;
+
+  // Materialized stage artifacts of the last chain (resume points).
+  std::unique_ptr<CandidateSet> candidates_;
+  std::unique_ptr<BlockedPairs> blocked_;
+  std::unique_ptr<ScoredGraph> scored_;
+  /// Synonym-dictionary version the cached graph was scored at; mutations
+  /// behind an unchanged pointer must invalidate the graph.
+  uint64_t scored_synonym_version_ = 0;
+
+  SynthesisResult last_result_;
+  std::unique_ptr<MappingStore> store_;
+};
+
+}  // namespace ms

@@ -5,6 +5,7 @@
 // grows by doubling, and never allocates per entry.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -57,6 +58,13 @@ class FlatMap64 {
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  /// Removes every entry, keeping the slot array capacity.
+  void Clear() {
+    if (size_ == 0) return;
+    std::fill(slots_.begin(), slots_.end(), Slot{});
+    size_ = 0;
+  }
 
   /// Ensures capacity for `n` entries without rehashing mid-stream.
   void Reserve(size_t n) {

@@ -35,8 +35,15 @@ class ThreadPool {
 
   size_t num_threads() const { return workers_.size(); }
 
+  /// Index of the calling thread within its owning pool ([0, num_threads)),
+  /// or kNotAWorker for threads no pool owns (e.g. the submitting thread).
+  /// Lets callers keep per-worker scratch state (pattern-mask caches, score
+  /// buffers) that survives across tasks without locking.
+  static size_t CurrentWorkerIndex();
+  static constexpr size_t kNotAWorker = static_cast<size_t>(-1);
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> queue_;

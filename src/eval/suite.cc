@@ -8,8 +8,8 @@
 #include "baselines/single_table.h"
 #include "baselines/union_tables.h"
 #include "baselines/wise_integrator.h"
+#include "common/logging.h"
 #include "common/timer.h"
-#include "stats/inverted_index.h"
 
 namespace ms {
 namespace {
@@ -62,41 +62,75 @@ SuiteEntry Entry(std::string name, std::vector<BinaryTable> relations,
 SuiteResult RunMethodSuite(const GeneratedWorld& world,
                            const SuiteOptions& options) {
   SuiteResult result;
-  ThreadPool threads(options.synthesis.num_threads);
 
-  // --- Shared preprocessing: index + candidate extraction (Step 1). Its
-  // cost is charged to every corpus-scanning method.
+  // --- One staged session drives every graph-based method: extraction,
+  // blocking, and pair scoring run exactly once, and Synthesis plus its
+  // ablations are partition/resolve re-runs over the identical ScoredGraph
+  // artifact (previously each synthesis variant silently re-blocked and
+  // re-scored the same candidates).
+  SynthesisSession session(options.synthesis);
+  if (!session.status().ok()) {
+    MS_LOG(Error) << "RunMethodSuite: invalid synthesis options: "
+                  << session.status().ToString();
+    return result;
+  }
+
   Timer prep_timer;
-  ColumnInvertedIndex index;
-  index.Build(world.corpus);
-  ExtractionResult extracted = ExtractCandidates(
-      world.corpus, index, options.synthesis.extraction, &threads);
+  Result<CandidateSet> cands_r = session.ExtractCandidates(world.corpus);
+  if (!cands_r.ok()) {
+    MS_LOG(Error) << "RunMethodSuite: extraction failed: "
+                  << cands_r.status().ToString();
+    return result;
+  }
+  CandidateSet cands = std::move(cands_r).value();
   const double prep_seconds = prep_timer.ElapsedSeconds();
-  result.extraction_stats = extracted.stats;
-  result.num_candidates = extracted.candidates.size();
-  const auto& candidates = extracted.candidates;
+  result.extraction_stats = cands.stats.extraction;
+  result.num_candidates = cands.tables().size();
+  const auto& candidates = cands.tables();
   const StringPool& pool = world.corpus.pool();
 
   // --- Shared compatibility graph for Synthesis + schema/correlation
   // baselines.
   Timer graph_timer;
-  PipelineStats graph_stats;
-  CompatibilityGraph graph =
-      BuildCompatibilityGraph(candidates, pool, options.synthesis.blocking,
-                              options.synthesis.compat, &threads,
-                              &graph_stats);
+  Result<BlockedPairs> blocked_r = session.BlockPairs(cands);
+  if (!blocked_r.ok()) {
+    MS_LOG(Error) << "RunMethodSuite: blocking failed: "
+                  << blocked_r.status().ToString();
+    return result;
+  }
+  Result<ScoredGraph> scored_r = session.ScorePairs(cands, blocked_r.value());
+  if (!scored_r.ok()) {
+    MS_LOG(Error) << "RunMethodSuite: scoring failed: "
+                  << scored_r.status().ToString();
+    return result;
+  }
+  ScoredGraph scored = std::move(scored_r).value();
+  const CompatibilityGraph& graph = scored.graph;
   const double graph_seconds = graph_timer.ElapsedSeconds();
   result.graph_edges = graph.num_edges();
 
-  // --- Synthesis (full).
-  {
+  // Partition + resolve over the shared graph artifact under the session's
+  // current options; byte-identical to a monolithic run by construction.
+  auto synthesize = [&](const char* name) {
     Timer t;
-    SynthesisPipeline pipeline(options.synthesis);
-    SynthesisResult r = pipeline.RunOnCandidates(candidates, pool);
-    result.entries.push_back(Entry("Synthesis",
-                                   MappingsToRelations(r.mappings),
-                                   prep_seconds + t.ElapsedSeconds(), world));
-  }
+    Result<Partitions> parts = session.Partition(scored);
+    if (!parts.ok()) {
+      MS_LOG(Error) << "RunMethodSuite: " << name
+                    << " partitioning failed: " << parts.status().ToString();
+      return Entry(name, {}, 0.0, world);
+    }
+    Result<SynthesisResult> r = session.Resolve(cands, scored, parts.value());
+    if (!r.ok()) {
+      MS_LOG(Error) << "RunMethodSuite: " << name
+                    << " resolution failed: " << r.status().ToString();
+      return Entry(name, {}, 0.0, world);
+    }
+    return Entry(name, MappingsToRelations(r.value().mappings),
+                 prep_seconds + graph_seconds + t.ElapsedSeconds(), world);
+  };
+
+  // --- Synthesis (full).
+  result.entries.push_back(synthesize("Synthesis"));
 
   // --- Single-table methods.
   if (options.run_single_table) {
@@ -135,16 +169,16 @@ SuiteResult RunMethodSuite(const GeneratedWorld& world,
                                    world));
   }
 
-  // --- SynthesisPos ablation (no FD-induced negative signals).
+  // --- SynthesisPos ablation (no FD-induced negative signals): an
+  // option-swap on the same session, re-running partition/resolve only —
+  // scoring does not depend on partitioner options.
   {
-    Timer t;
-    SynthesisOptions o = options.synthesis;
-    o.partitioner.use_negative_signals = false;
-    SynthesisPipeline pipeline(o);
-    SynthesisResult r = pipeline.RunOnCandidates(candidates, pool);
-    result.entries.push_back(
-        Entry("SynthesisPos", MappingsToRelations(r.mappings),
-              prep_seconds + t.ElapsedSeconds(), world));
+    SynthesisOptions pos = options.synthesis;
+    pos.partitioner.use_negative_signals = false;
+    if (session.UpdateOptions(pos).ok()) {
+      result.entries.push_back(synthesize("SynthesisPos"));
+      (void)session.UpdateOptions(options.synthesis);  // restore
+    }
   }
 
   // --- Correlation clustering on the same graph.

@@ -1,6 +1,7 @@
 #include "extract/candidate_extraction.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "extract/normalization_cache.h"
 
@@ -16,6 +17,30 @@ bool MostlyNumeric(const StringPool& pool, const BinaryTable& b) {
 }
 
 }  // namespace
+
+Status ExtractionOptions::Validate() const {
+  if (!std::isfinite(coherence_threshold)) {
+    return Status::InvalidArgument(
+        "extraction.coherence_threshold must be finite");
+  }
+  if (!std::isfinite(fd_theta) || fd_theta <= 0.0 || fd_theta > 1.0) {
+    return Status::InvalidArgument(
+        "extraction.fd_theta must be in (0, 1]: it is the fraction of rows "
+        "the approximate FD must hold over (Definition 2), got " +
+        std::to_string(fd_theta));
+  }
+  if (min_pairs == 0) {
+    return Status::InvalidArgument(
+        "extraction.min_pairs must be >= 1: empty candidate tables divide "
+        "by zero in every containment score downstream");
+  }
+  if (max_columns < 2) {
+    return Status::InvalidArgument(
+        "extraction.max_columns must be >= 2: a table needs two columns to "
+        "yield a binary relationship");
+  }
+  return Status::OK();
+}
 
 bool ColumnPassesCoherence(const ColumnInvertedIndex& index,
                            const Column& column,

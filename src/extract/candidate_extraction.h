@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "stats/coherence.h"
 #include "stats/inverted_index.h"
@@ -33,6 +34,15 @@ struct ExtractionOptions {
 
   CoherenceOptions coherence;
   NormalizeOptions normalize;
+
+  /// InvalidArgument on out-of-domain thresholds: fd_theta outside (0, 1]
+  /// (Definition 2 is a fraction of rows), min_pairs == 0 (an empty
+  /// candidate carries no synthesis signal and breaks downstream ratios),
+  /// max_columns < 2 (no column pair can ever form), or a non-finite
+  /// coherence threshold.
+  Status Validate() const;
+
+  bool operator==(const ExtractionOptions&) const = default;
 };
 
 /// Statistics reported alongside candidates (the paper notes ~78% of raw

@@ -20,6 +20,8 @@ struct CoherenceOptions {
   /// one column trivially score NPMI = 1 against each other (they only
   /// ever "co-occur"), defeating the incoherence filter.
   size_t min_value_support = 2;
+
+  bool operator==(const CoherenceOptions&) const = default;
 };
 
 /// Computes S(C) over the distinct values of `cells`. Columns with a single

@@ -1,6 +1,7 @@
 #include "synth/blocking.h"
 
 #include <algorithm>
+#include <mutex>
 #include <unordered_map>
 
 #include "common/flat_hash.h"
@@ -36,12 +37,18 @@ void EmitBlockingKeys(const BinaryTable& b, uint32_t id,
 }
 
 // Appends all co-occurring (i < j) id pairs from one posting list
-// (reference implementation only).
+// (reference implementation only). Dropped ids go to `tainted` under
+// `tainted_mu` so the reference matches the production per-pair exactness.
 void EmitIdPairs(std::vector<uint32_t>& ids, size_t max_posting,
-                 std::vector<std::pair<uint64_t, bool>>* out, bool is_pair) {
+                 std::vector<std::pair<uint64_t, bool>>* out, bool is_pair,
+                 std::mutex& tainted_mu, std::vector<uint32_t>* tainted) {
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
-  if (ids.size() > max_posting) ids.resize(max_posting);
+  if (ids.size() > max_posting) {
+    std::lock_guard<std::mutex> lock(tainted_mu);
+    tainted->insert(tainted->end(), ids.begin() + max_posting, ids.end());
+    ids.resize(max_posting);
+  }
   for (size_t x = 0; x < ids.size(); ++x) {
     for (size_t y = x + 1; y < ids.size(); ++y) {
       out->push_back({(static_cast<uint64_t>(ids[x]) << 32) | ids[y], is_pair});
@@ -101,6 +108,11 @@ std::vector<CandidateTablePair> GenerateCandidatePairs(
   for (auto& c : counts) c.resize(num_shards);
   std::vector<size_t> part_keys(parts.size(), 0);
   std::vector<size_t> part_dropped(parts.size(), 0);
+  // Candidate ids dropped from a truncated posting list, per partition.
+  // Only pairs touching one of these can have understated counts; everyone
+  // else keeps per-pair count exactness (counts_exact) even when some hot
+  // key somewhere truncated.
+  std::vector<std::vector<uint32_t>> part_tainted(parts.size());
 
   auto for_each_run = [](const std::vector<std::pair<uint64_t, uint32_t>>& part,
                          auto&& fn) {
@@ -131,6 +143,8 @@ std::vector<CandidateTablePair> GenerateCandidatePairs(
       if (ids.size() > options.max_posting) {
         // Deterministic truncation (lowest ids kept), but accounted for.
         part_dropped[p] += ids.size() - options.max_posting;
+        part_tainted[p].insert(part_tainted[p].end(),
+                               ids.begin() + options.max_posting, ids.end());
         ids.resize(options.max_posting);
       }
       const bool is_pair = (key & 1) == 0;
@@ -167,6 +181,22 @@ std::vector<CandidateTablePair> GenerateCandidatePairs(
   }
   if (stats) stats->count_seconds = timer.ElapsedSeconds();
 
+  // --- Merge the per-partition taint lists into one bitmap: a pair's
+  // counts are exact iff neither endpoint was ever dropped from a truncated
+  // list (a pair only loses count from a list both appear in when one of
+  // them sits in the dropped tail).
+  std::vector<uint8_t> tainted;
+  size_t num_tainted = 0;
+  for (const auto& t : part_tainted) {
+    for (uint32_t id : t) {
+      if (tainted.empty()) tainted.assign(candidates.size(), 0);
+      if (!tainted[id]) {
+        tainted[id] = 1;
+        ++num_tainted;
+      }
+    }
+  }
+
   // --- Reduce: merge each shard across partition groups (parallel over
   // shards), apply the θ_overlap threshold, and emit surviving pairs. With
   // one group (serial counting) the "merge" reads the counts in place.
@@ -180,6 +210,7 @@ std::vector<CandidateTablePair> GenerateCandidatePairs(
       p.b = static_cast<uint32_t>(packed & 0xffffffffu);
       p.shared_pairs = c.pairs;
       p.shared_lefts = c.lefts;
+      p.counts_exact = tainted.empty() || (!tainted[p.a] && !tainted[p.b]);
       out.push_back(p);
     }
   };
@@ -219,9 +250,24 @@ std::vector<CandidateTablePair> GenerateCandidatePairs(
       stats->keys += part_keys[p];
       stats->dropped_postings += part_dropped[p];
     }
+    stats->tainted_candidates = num_tainted;
     stats->exact_counts = stats->dropped_postings == 0;
   }
   return out;
+}
+
+Status BlockingOptions::Validate() const {
+  if (theta_overlap == 0) {
+    return Status::InvalidArgument(
+        "blocking.theta_overlap must be >= 1: 0 would emit every candidate "
+        "pair and defeat blocking entirely");
+  }
+  if (max_posting < 2) {
+    return Status::InvalidArgument(
+        "blocking.max_posting must be >= 2: shorter posting lists can never "
+        "produce a co-occurrence, so no pair would ever be scored");
+  }
+  return Status::OK();
 }
 
 std::vector<CandidateTablePair> GenerateCandidatePairsReference(
@@ -233,6 +279,8 @@ std::vector<CandidateTablePair> GenerateCandidatePairsReference(
   for (uint32_t i = 0; i < candidates.size(); ++i) inputs[i] = i;
 
   using KV = std::pair<uint64_t, bool>;  // (packed id pair, is_pair_key)
+  std::mutex tainted_mu;
+  std::vector<uint32_t> tainted_ids;
   std::function<void(const uint32_t&, Emitter<uint64_t, uint32_t>&)> map_fn =
       [&](const uint32_t& id, Emitter<uint64_t, uint32_t>& em) {
         EmitBlockingKeys(candidates[id], id, em);
@@ -241,7 +289,8 @@ std::vector<CandidateTablePair> GenerateCandidatePairsReference(
                      std::vector<KV>*)>
       reduce_fn = [&](const uint64_t& key, std::vector<uint32_t>& ids,
                       std::vector<KV>* out) {
-        EmitIdPairs(ids, options.max_posting, out, (key & 1) == 0);
+        EmitIdPairs(ids, options.max_posting, out, (key & 1) == 0,
+                    tainted_mu, &tainted_ids);
       };
 
   auto emitted = RunMapReduce<uint32_t, uint64_t, uint32_t, KV>(
@@ -259,6 +308,12 @@ std::vector<CandidateTablePair> GenerateCandidatePairsReference(
     }
   }
 
+  std::vector<uint8_t> tainted;
+  if (!tainted_ids.empty()) {
+    tainted.assign(candidates.size(), 0);
+    for (uint32_t id : tainted_ids) tainted[id] = 1;
+  }
+
   std::vector<CandidateTablePair> out;
   for (const auto& [packed, c] : counts) {
     if (c.pairs >= options.theta_overlap || c.lefts >= options.theta_overlap) {
@@ -267,6 +322,7 @@ std::vector<CandidateTablePair> GenerateCandidatePairsReference(
       p.b = static_cast<uint32_t>(packed & 0xffffffffu);
       p.shared_pairs = c.pairs;
       p.shared_lefts = c.lefts;
+      p.counts_exact = tainted.empty() || (!tainted[p.a] && !tainted[p.b]);
       out.push_back(p);
     }
   }

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/status.h"
 #include "common/thread_pool.h"
 #include "table/binary_table.h"
 
@@ -30,6 +31,13 @@ struct BlockingOptions {
   /// is deterministic (lowest candidate ids win) and the number of dropped
   /// postings is reported in BlockingStats.
   size_t max_posting = 256;
+
+  /// InvalidArgument when θ_overlap is 0 (every id pair would survive —
+  /// the quadratic blow-up blocking exists to prevent) or max_posting < 2
+  /// (no posting list could ever emit a co-occurrence).
+  Status Validate() const;
+
+  bool operator==(const BlockingOptions&) const = default;
 };
 
 /// A pair of candidate tables that blocking selected for exact scoring.
@@ -38,6 +46,13 @@ struct CandidateTablePair {
   uint32_t b = 0;             ///< a < b
   uint32_t shared_pairs = 0;  ///< co-occurring (left,right) value pairs
   uint32_t shared_lefts = 0;  ///< co-occurring left values
+  /// True when this pair's counts are provably the true co-occurrence
+  /// cardinalities: neither a nor b was ever dropped from a truncated
+  /// posting list, so no list containing both could have lost either of
+  /// them. Scoring uses this to skip the exact pair-list merge per pair
+  /// (CompatibilityOptions::reuse_blocking_counts) instead of requiring the
+  /// whole run to be truncation-free.
+  bool counts_exact = false;
 };
 
 /// Observability for the blocking stage (feeds PipelineStats).
@@ -50,10 +65,16 @@ struct BlockingStats {
   /// ids, so high-id candidates silently lose pairs; this counter makes that
   /// bias observable instead of silent.
   size_t dropped_postings = 0;
+  /// Candidates dropped from at least one truncated posting list. Only
+  /// pairs touching one of these have potentially understated counts; all
+  /// other pairs keep CandidateTablePair::counts_exact even in truncated
+  /// runs (previously one dropped posting anywhere disabled count reuse
+  /// globally).
+  size_t tainted_candidates = 0;
   /// True when no posting list was truncated, i.e. every returned
   /// shared_pairs / shared_lefts is the true co-occurrence cardinality.
-  /// Scoring uses this to reuse the counts instead of re-intersecting the
-  /// pair lists (CompatibilityOptions::reuse_blocking_counts).
+  /// Kept as the whole-run summary; per-pair reuse is driven by
+  /// CandidateTablePair::counts_exact.
   bool exact_counts = false;
 };
 

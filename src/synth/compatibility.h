@@ -15,6 +15,7 @@
 // keeps the seed scalar implementation as the equivalence oracle.
 #pragma once
 
+#include "common/status.h"
 #include "table/binary_table.h"
 #include "table/string_pool.h"
 #include "text/edit_distance.h"
@@ -29,10 +30,26 @@ struct CompatibilityOptions {
   EditDistanceOptions edit;
   /// Optional synonym feed; synonymous rights never conflict.
   const SynonymDictionary* synonyms = nullptr;
+  /// Optional immutable snapshot of `synonyms`. When set, every synonym
+  /// check on the scoring hot path goes through the snapshot (two lock-free
+  /// hash probes) instead of the dictionary's mutex + union-find walk.
+  /// Results are identical as long as the snapshot reflects the current
+  /// dictionary state; SynthesisSession maintains this automatically.
+  const SynonymSnapshot* synonym_snapshot = nullptr;
   /// Reuse the blocking stage's co-occurrence counts (BlockingHint) to skip
   /// the exact pair-list merge / conflict scan where they are provably
-  /// equivalent. Only fires for hints marked exact (no posting truncation).
+  /// equivalent. Only fires for hints marked exact (the pair's counts were
+  /// not affected by posting truncation).
   bool reuse_blocking_counts = true;
+
+  /// InvalidArgument on malformed edit-distance thresholds, or when a
+  /// snapshot is supplied without (or stale against) its dictionary.
+  Status Validate() const;
+
+  /// Pointer equality for the synonym feed — callers tracking dictionary
+  /// *contents* must compare SynonymDictionary::version() themselves
+  /// (MappingService::Resynthesize does).
+  bool operator==(const CompatibilityOptions&) const = default;
 };
 
 /// Raw counts plus the two scores for one table pair.

@@ -10,8 +10,7 @@ namespace {
 bool RightsConflict(ValueId r1, ValueId r2,
                     const ConflictResolutionOptions& options) {
   if (r1 == r2) return false;
-  if (options.synonyms && options.synonyms->AreSynonyms(r1, r2)) return false;
-  return true;
+  return !AreSynonymsVia(options.synonym_snapshot, options.synonyms, r1, r2);
 }
 
 /// Grouping of every (table, pair) instance by left value.

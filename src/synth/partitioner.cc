@@ -2,12 +2,27 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 #include <queue>
 #include <unordered_map>
 
 #include "graph/union_find.h"
 
 namespace ms {
+
+Status PartitionerOptions::Validate() const {
+  if (!std::isfinite(tau) || tau < -1.0 || tau > 0.0) {
+    return Status::InvalidArgument(
+        "partitioner.tau must be in [-1, 0] (w- range), got " +
+        std::to_string(tau));
+  }
+  if (!std::isfinite(theta_edge) || theta_edge < 0.0 || theta_edge > 1.0) {
+    return Status::InvalidArgument(
+        "partitioner.theta_edge must be in [0, 1] (w+ range), got " +
+        std::to_string(theta_edge));
+  }
+  return Status::OK();
+}
 namespace {
 
 struct EdgeWeights {

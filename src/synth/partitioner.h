@@ -12,6 +12,7 @@
 
 #include <vector>
 
+#include "common/status.h"
 #include "graph/weighted_graph.h"
 
 namespace ms {
@@ -27,6 +28,11 @@ struct PartitionerOptions {
   double theta_edge = 0.5;
   /// Ignore negative signals entirely (the SynthesisPos ablation).
   bool use_negative_signals = true;
+
+  /// InvalidArgument when τ is outside [-1, 0] (w- lives in [-1, 0], so any
+  /// other τ makes the hard constraint vacuous or unsatisfiable) or θ_edge
+  /// is outside [0, 1] (w+ lives in [0, 1]).
+  Status Validate() const;
 };
 
 /// Result: vertex -> partition id (dense from 0).

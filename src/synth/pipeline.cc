@@ -1,208 +1,32 @@
 #include "synth/pipeline.h"
 
-#include <algorithm>
-#include <atomic>
-#include <mutex>
-
 #include "common/logging.h"
-#include "common/timer.h"
-#include "graph/connected_components.h"
-#include "stats/inverted_index.h"
 
 namespace ms {
+namespace {
 
-CompatibilityGraph BuildCompatibilityGraph(
-    const std::vector<BinaryTable>& candidates, const StringPool& pool,
-    const BlockingOptions& blocking, const CompatibilityOptions& compat,
-    ThreadPool* pool_threads, PipelineStats* stats) {
-  Timer timer;
-  BlockingStats bstats;
-  auto pairs =
-      GenerateCandidatePairs(candidates, blocking, pool_threads, &bstats);
-  if (stats) {
-    stats->blocking_seconds = timer.ElapsedSeconds();
-    stats->candidate_pairs = pairs.size();
-    stats->blocking_map_shuffle_seconds = bstats.map_shuffle_seconds;
-    stats->blocking_count_seconds = bstats.count_seconds;
-    stats->blocking_reduce_seconds = bstats.reduce_seconds;
-    stats->blocking_keys = bstats.keys;
-    stats->blocking_dropped_postings = bstats.dropped_postings;
-  }
-
-  timer.Restart();
-  CompatibilityGraph graph(candidates.size());
-  std::vector<PairScores> scores(pairs.size());
-
-  // Pairs arrive sorted by (a, b), so consecutive pairs share table a and —
-  // more importantly — value strings. Scoring in chunks with one
-  // BatchApproxMatcher per chunk lets every pattern bitmask build amortize
-  // across the whole chunk, and the blocking hints let exact-matching
-  // configurations skip the pair-list merge entirely.
-  constexpr size_t kScoringChunk = 256;
-  const size_t num_chunks = (pairs.size() + kScoringChunk - 1) / kScoringChunk;
-  std::vector<ScoringStats> chunk_stats(num_chunks);
-  auto score_chunk = [&](size_t c) {
-    const size_t begin = c * kScoringChunk;
-    const size_t end = std::min(begin + kScoringChunk, pairs.size());
-    BatchApproxMatcher matcher(pool, compat.edit, compat.approximate_matching,
-                               compat.synonyms);
-    ScoringStats& st = chunk_stats[c];
-    for (size_t i = begin; i < end; ++i) {
-      const BlockingHint hint{pairs[i].shared_pairs, pairs[i].shared_lefts,
-                              bstats.exact_counts};
-      scores[i] = ComputeCompatibility(candidates[pairs[i].a],
-                                       candidates[pairs[i].b], pool, compat,
-                                       &matcher, &hint, &st);
-    }
-    st.matcher.Add(matcher.stats());
-  };
-  if (pool_threads) {
-    pool_threads->ParallelFor(num_chunks, score_chunk);
-  } else {
-    for (size_t c = 0; c < num_chunks; ++c) score_chunk(c);
-  }
-  if (stats) {
-    for (const auto& st : chunk_stats) stats->scoring.Add(st);
-  }
-  for (size_t i = 0; i < pairs.size(); ++i) {
-    if (scores[i].w_pos > 0.0 || scores[i].w_neg < 0.0) {
-      graph.AddEdge(pairs[i].a, pairs[i].b, scores[i].w_pos, scores[i].w_neg);
-    }
-  }
-  graph.Finalize();
-  if (stats) {
-    stats->scoring_seconds = timer.ElapsedSeconds();
-    stats->graph_edges = graph.num_edges();
-  }
-  return graph;
+/// Legacy contract: no error channel. Misconfigurations that the session
+/// rejects surface as a logged error + empty result instead of undefined
+/// behavior.
+SynthesisResult UnwrapOrEmpty(Result<SynthesisResult> r, const char* what) {
+  if (r.ok()) return std::move(r).value();
+  MS_LOG(Error) << what << " failed: " << r.status().ToString();
+  return SynthesisResult{};
 }
+
+}  // namespace
 
 SynthesisPipeline::SynthesisPipeline(SynthesisOptions options)
-    : options_(std::move(options)) {
-  size_t n = options_.num_threads;
-  threads_ = std::make_unique<ThreadPool>(n);
-}
+    : session_(std::make_unique<SynthesisSession>(std::move(options))) {}
 
 SynthesisResult SynthesisPipeline::Run(const TableCorpus& corpus) {
-  Timer total;
-  Timer step;
-  ColumnInvertedIndex index;
-  index.Build(corpus, threads_.get());
-  const double index_s = step.ElapsedSeconds();
-
-  step.Restart();
-  ExtractionResult extracted =
-      ExtractCandidates(corpus, index, options_.extraction, threads_.get());
-  const double extract_s = step.ElapsedSeconds();
-
-  SynthesisResult result =
-      RunOnCandidates(extracted.candidates, corpus.pool());
-  result.stats.index_seconds = index_s;
-  result.stats.extract_seconds = extract_s;
-  result.stats.extraction = extracted.stats;
-  result.stats.total_seconds = total.ElapsedSeconds();
-  return result;
+  return UnwrapOrEmpty(session_->Run(corpus), "SynthesisPipeline::Run");
 }
 
 SynthesisResult SynthesisPipeline::RunOnCandidates(
     const std::vector<BinaryTable>& candidates, const StringPool& pool) {
-  SynthesisResult result;
-  result.stats.candidates = candidates.size();
-  Timer total;
-
-  CompatibilityGraph graph =
-      BuildCompatibilityGraph(candidates, pool, options_.blocking,
-                              options_.compat, threads_.get(), &result.stats);
-
-  // --- Partitioning (Algorithm 3), optionally per positive component
-  // (Appendix F divide-and-conquer).
-  Timer step;
-  PartitionResult partition;
-  if (options_.divide_and_conquer) {
-    auto comp = ConnectedComponentsBfs(graph, options_.partitioner.theta_edge);
-    auto groups = GroupByComponent(comp);
-    result.stats.components = groups.size();
-
-    partition.partition_of.assign(graph.num_vertices(), 0);
-    std::atomic<uint32_t> next_partition{0};
-    std::mutex mu;
-
-    auto run_component = [&](size_t gi) {
-      const auto& members = groups[gi];
-      if (members.size() == 1) {
-        uint32_t pid = next_partition.fetch_add(1);
-        partition.partition_of[members[0]] = pid;
-        return;
-      }
-      // Build the local subgraph.
-      std::vector<uint32_t> local_of(graph.num_vertices(), UINT32_MAX);
-      for (uint32_t i = 0; i < members.size(); ++i) local_of[members[i]] = i;
-      CompatibilityGraph sub(members.size());
-      for (VertexId v : members) {
-        for (uint32_t e : graph.IncidentEdges(v)) {
-          const auto& edge = graph.edges()[e];
-          if (edge.u != v) continue;  // visit each edge once (u < v)
-          if (local_of[edge.v] == UINT32_MAX) continue;
-          sub.AddEdge(local_of[edge.u], local_of[edge.v], edge.w_pos,
-                      edge.w_neg);
-        }
-      }
-      sub.Finalize();
-      PartitionResult local = GreedyPartition(sub, options_.partitioner);
-      uint32_t base = next_partition.fetch_add(
-          static_cast<uint32_t>(local.num_partitions));
-      for (uint32_t i = 0; i < members.size(); ++i) {
-        partition.partition_of[members[i]] = base + local.partition_of[i];
-      }
-      std::lock_guard<std::mutex> lock(mu);
-      partition.merges_performed += local.merges_performed;
-    };
-    threads_->ParallelFor(groups.size(), run_component);
-    partition.num_partitions = next_partition.load();
-  } else {
-    partition = GreedyPartition(graph, options_.partitioner);
-  }
-  result.stats.partition_seconds = step.ElapsedSeconds();
-  result.stats.partitions = partition.num_partitions;
-
-  // --- Conflict resolution + mapping assembly.
-  step.Restart();
-  auto groups = partition.Groups();
-  std::vector<SynthesizedMapping> mappings(groups.size());
-  auto resolve_one = [&](size_t gi) {
-    std::vector<const BinaryTable*> tables;
-    tables.reserve(groups[gi].size());
-    for (VertexId v : groups[gi]) tables.push_back(&candidates[v]);
-
-    if (options_.use_majority_voting) {
-      std::vector<size_t> all(tables.size());
-      for (size_t i = 0; i < all.size(); ++i) all[i] = i;
-      SynthesizedMapping m = BuildMapping(tables, all);
-      m.merged =
-          BinaryTable::FromPairs(MajorityVotePairs(tables, options_.conflict));
-      mappings[gi] = std::move(m);
-    } else if (options_.resolve_conflicts) {
-      auto resolved = ResolveConflicts(tables, options_.conflict);
-      mappings[gi] = BuildMapping(tables, resolved.kept);
-    } else {
-      std::vector<size_t> all(tables.size());
-      for (size_t i = 0; i < all.size(); ++i) all[i] = i;
-      mappings[gi] = BuildMapping(tables, all);
-    }
-  };
-  threads_->ParallelFor(groups.size(), resolve_one);
-  result.stats.resolve_seconds = step.ElapsedSeconds();
-
-  result.mappings = FilterByPopularity(std::move(mappings),
-                                       options_.min_domains,
-                                       options_.min_pairs);
-  result.stats.mappings = result.mappings.size();
-  result.stats.total_seconds = total.ElapsedSeconds();
-  MS_LOG(Info) << "synthesis: " << result.stats.candidates << " candidates, "
-               << result.stats.graph_edges << " edges, "
-               << result.stats.partitions << " partitions, "
-               << result.stats.mappings << " mappings";
-  return result;
+  return UnwrapOrEmpty(session_->RunOnCandidates(candidates, pool),
+                       "SynthesisPipeline::RunOnCandidates");
 }
 
 }  // namespace ms

@@ -1,112 +1,41 @@
-// End-to-end synthesis pipeline (Figure 1): candidate extraction -> blocking
-// -> pair scoring -> divide-and-conquer greedy partitioning -> conflict
-// resolution -> curation filtering. This is the library's primary entry
-// point; all Figure 7/8/9 benchmarks drive it.
+// Legacy monolithic entry point to the synthesis pipeline (Figure 1). Since
+// the staged-API redesign, SynthesisPipeline is a thin wrapper over a
+// SynthesisSession (synth/session.h): Run() / RunOnCandidates() execute the
+// identical staged chain in one call and return identical mappings.
+//
+// New code — anything that re-synthesizes with tweaked options, serves
+// repeated queries, or needs error reporting — should hold a
+// SynthesisSession directly: the session returns Status/Result instead of
+// silently yielding empty results, and keeps warm state (thread pool,
+// matcher caches, synonym snapshot) across runs. SynthesisOptions,
+// PipelineStats, SynthesisResult, and BuildCompatibilityGraph now live in
+// synth/session.h and are re-exported here for source compatibility.
 #pragma once
 
-#include <memory>
-#include <vector>
-
-#include "common/thread_pool.h"
-#include "extract/candidate_extraction.h"
-#include "graph/weighted_graph.h"
-#include "synth/blocking.h"
-#include "synth/compatibility.h"
-#include "synth/conflict_resolution.h"
-#include "synth/mapping.h"
-#include "synth/partitioner.h"
-#include "table/corpus.h"
+#include "synth/session.h"
 
 namespace ms {
-
-struct SynthesisOptions {
-  ExtractionOptions extraction;
-  BlockingOptions blocking;
-  CompatibilityOptions compat;
-  PartitionerOptions partitioner;
-  ConflictResolutionOptions conflict;
-
-  /// Run Algorithm 4 after partitioning (Section 5.6 ablates this).
-  bool resolve_conflicts = true;
-  /// Use majority voting instead of Algorithm 4 (Section 5.6 comparison).
-  bool use_majority_voting = false;
-  /// Split the graph into positively-connected components first and
-  /// partition each independently (Appendix F). Off = one global run.
-  bool divide_and_conquer = true;
-
-  /// Curation filter (Section 4.3: the paper keeps mappings from >= 8
-  /// independent domains; defaults here suit laptop-scale corpora).
-  size_t min_domains = 2;
-  size_t min_pairs = 4;
-
-  /// Worker threads (0 = hardware concurrency).
-  size_t num_threads = 0;
-};
-
-/// Wall-clock and cardinality accounting for each pipeline step; feeds the
-/// runtime/scalability figures.
-struct PipelineStats {
-  double index_seconds = 0.0;
-  double extract_seconds = 0.0;
-  double blocking_seconds = 0.0;
-  double scoring_seconds = 0.0;
-  double partition_seconds = 0.0;
-  double resolve_seconds = 0.0;
-  double total_seconds = 0.0;
-
-  /// Blocking-internal phase breakdown (sums to ~blocking_seconds); makes
-  /// the sharded-blocking speedup observable per phase.
-  double blocking_map_shuffle_seconds = 0.0;  ///< map + hash partition
-  double blocking_count_seconds = 0.0;        ///< sort-group + shard counting
-  double blocking_reduce_seconds = 0.0;       ///< shard merge + threshold
-
-  /// Scoring-stage breakdown: bit-parallel kernel mix (Myers64 vs blocked
-  /// vs scalar fallback), pattern-mask cache effectiveness, and how many
-  /// pair merges / conflict scans the blocking-count reuse eliminated.
-  ScoringStats scoring;
-
-  size_t candidates = 0;
-  size_t candidate_pairs = 0;  ///< pairs surviving blocking
-  size_t blocking_keys = 0;    ///< distinct blocking keys
-  /// Postings dropped by BlockingOptions::max_posting truncation; non-zero
-  /// means high-id candidates silently lost potential pairs.
-  size_t blocking_dropped_postings = 0;
-  size_t graph_edges = 0;      ///< pairs with non-zero w+ or w-
-  size_t components = 0;
-  size_t partitions = 0;
-  size_t mappings = 0;         ///< after curation filter
-  ExtractionStats extraction;  ///< includes normalize-cache hit/miss counts
-};
-
-struct SynthesisResult {
-  std::vector<SynthesizedMapping> mappings;
-  PipelineStats stats;
-};
-
-/// Builds the full compatibility graph for a candidate set: blocking, then
-/// exact w+/w- scoring of every surviving pair (parallel). Exposed so the
-/// SchemaCC / Correlation baselines run on the identical graph.
-CompatibilityGraph BuildCompatibilityGraph(
-    const std::vector<BinaryTable>& candidates, const StringPool& pool,
-    const BlockingOptions& blocking, const CompatibilityOptions& compat,
-    ThreadPool* pool_threads = nullptr, PipelineStats* stats = nullptr);
 
 class SynthesisPipeline {
  public:
   explicit SynthesisPipeline(SynthesisOptions options = {});
 
-  /// Full run: extraction from a raw corpus, then synthesis.
+  /// Full run: extraction from a raw corpus, then synthesis. On failure
+  /// (invalid options) logs and returns an empty result — use the session
+  /// API for error propagation.
   SynthesisResult Run(const TableCorpus& corpus);
 
   /// Synthesis only, for pre-extracted candidates (ids must be dense 0..n-1).
   SynthesisResult RunOnCandidates(const std::vector<BinaryTable>& candidates,
                                   const StringPool& pool);
 
-  const SynthesisOptions& options() const { return options_; }
+  const SynthesisOptions& options() const { return session_->options(); }
+
+  /// The wrapped session, for callers migrating incrementally.
+  SynthesisSession& session() { return *session_; }
 
  private:
-  SynthesisOptions options_;
-  std::unique_ptr<ThreadPool> threads_;
+  std::unique_ptr<SynthesisSession> session_;
 };
 
 }  // namespace ms

@@ -1,0 +1,575 @@
+#include "synth/session.h"
+
+#include <algorithm>
+#include <atomic>
+#include <functional>
+#include <mutex>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "graph/connected_components.h"
+#include "stats/inverted_index.h"
+#include "table/tsv.h"
+
+namespace ms {
+
+Status SynthesisOptions::Validate() const {
+  MS_RETURN_IF_ERROR(extraction.Validate());
+  MS_RETURN_IF_ERROR(blocking.Validate());
+  MS_RETURN_IF_ERROR(compat.Validate());
+  MS_RETURN_IF_ERROR(partitioner.Validate());
+  if (min_pairs == 0) {
+    return Status::InvalidArgument(
+        "min_pairs must be >= 1: a zero-pair curation floor keeps empty "
+        "mappings whose popularity ratios divide by zero");
+  }
+  if (min_domains == 0) {
+    return Status::InvalidArgument(
+        "min_domains must be >= 1: every mapping is contributed by at "
+        "least one domain, so 0 expresses nothing and usually means an "
+        "uninitialized config");
+  }
+  // A count beyond any real machine is an overflow/typo (e.g. a size_t
+  // underflow producing 2^64 - 1), not a parallelism request; ThreadPool
+  // would try to spawn that many workers and take the process down.
+  constexpr size_t kMaxThreads = 4096;
+  if (num_threads > kMaxThreads) {
+    return Status::InvalidArgument(
+        "num_threads = " + std::to_string(num_threads) +
+        " exceeds the sanity cap of " + std::to_string(kMaxThreads) +
+        " (0 means hardware concurrency)");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// The shared scoring core: chunked scoring of `pairs` into a finalized
+/// graph. `worker_matcher` (optional) supplies a persistent per-worker
+/// matcher — the session's warm path; when absent, each chunk builds a
+/// short-lived matcher exactly like the pre-session pipeline, so both paths
+/// stay byte-identical by construction.
+CompatibilityGraph ScorePairsCore(
+    const std::vector<BinaryTable>& candidates, const StringPool& pool,
+    const std::vector<CandidateTablePair>& pairs,
+    const CompatibilityOptions& compat, ThreadPool* threads,
+    const std::function<BatchApproxMatcher*()>& worker_matcher,
+    ScoringStats* scoring_out) {
+  CompatibilityGraph graph(candidates.size());
+  std::vector<PairScores> scores(pairs.size());
+
+  // Pairs arrive sorted by (a, b), so consecutive pairs share table a and —
+  // more importantly — value strings. Scoring in chunks through a matcher
+  // lets every pattern bitmask build amortize across the chunk (and, for
+  // session-owned matchers, across the whole run and every later run),
+  // and the per-pair blocking hints let exactly-counted pairs skip the
+  // pair-list merge entirely.
+  constexpr size_t kScoringChunk = 256;
+  const size_t num_chunks = (pairs.size() + kScoringChunk - 1) / kScoringChunk;
+  std::vector<ScoringStats> chunk_stats(num_chunks);
+  auto score_chunk = [&](size_t c) {
+    const size_t begin = c * kScoringChunk;
+    const size_t end = std::min(begin + kScoringChunk, pairs.size());
+    BatchApproxMatcher* matcher =
+        worker_matcher ? worker_matcher() : nullptr;
+    std::unique_ptr<BatchApproxMatcher> local;
+    if (matcher == nullptr) {
+      local = std::make_unique<BatchApproxMatcher>(
+          pool, compat.edit, compat.approximate_matching, compat.synonyms,
+          compat.synonym_snapshot);
+      matcher = local.get();
+    }
+    ScoringStats& st = chunk_stats[c];
+    for (size_t i = begin; i < end; ++i) {
+      const BlockingHint hint{pairs[i].shared_pairs, pairs[i].shared_lefts,
+                              pairs[i].counts_exact};
+      scores[i] = ComputeCompatibility(candidates[pairs[i].a],
+                                       candidates[pairs[i].b], pool, compat,
+                                       matcher, &hint, &st);
+    }
+    // Short-lived matchers surrender their kernel counters here; persistent
+    // ones accumulate and are drained once per run by the session.
+    if (local) st.matcher.Add(local->stats());
+  };
+  if (threads) {
+    threads->ParallelFor(num_chunks, score_chunk);
+  } else {
+    for (size_t c = 0; c < num_chunks; ++c) score_chunk(c);
+  }
+  if (scoring_out) {
+    for (const auto& st : chunk_stats) scoring_out->Add(st);
+  }
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (scores[i].w_pos > 0.0 || scores[i].w_neg < 0.0) {
+      graph.AddEdge(pairs[i].a, pairs[i].b, scores[i].w_pos, scores[i].w_neg);
+    }
+  }
+  graph.Finalize();
+  return graph;
+}
+
+void FillBlockingStats(const BlockingStats& bstats, size_t num_pairs,
+                       double seconds, PipelineStats* stats) {
+  stats->blocking_seconds = seconds;
+  stats->candidate_pairs = num_pairs;
+  stats->blocking_map_shuffle_seconds = bstats.map_shuffle_seconds;
+  stats->blocking_count_seconds = bstats.count_seconds;
+  stats->blocking_reduce_seconds = bstats.reduce_seconds;
+  stats->blocking_keys = bstats.keys;
+  stats->blocking_dropped_postings = bstats.dropped_postings;
+  stats->blocking_tainted_candidates = bstats.tainted_candidates;
+}
+
+}  // namespace
+
+CompatibilityGraph BuildCompatibilityGraph(
+    const std::vector<BinaryTable>& candidates, const StringPool& pool,
+    const BlockingOptions& blocking, const CompatibilityOptions& compat,
+    ThreadPool* pool_threads, PipelineStats* stats) {
+  Timer timer;
+  BlockingStats bstats;
+  auto pairs =
+      GenerateCandidatePairs(candidates, blocking, pool_threads, &bstats);
+  if (stats) {
+    FillBlockingStats(bstats, pairs.size(), timer.ElapsedSeconds(), stats);
+  }
+
+  timer.Restart();
+  ScoringStats scoring;
+  CompatibilityGraph graph = ScorePairsCore(candidates, pool, pairs, compat,
+                                            pool_threads, nullptr, &scoring);
+  if (stats) {
+    stats->scoring.Add(scoring);
+    stats->scoring_seconds = timer.ElapsedSeconds();
+    stats->graph_edges = graph.num_edges();
+  }
+  return graph;
+}
+
+// ------------------------------------------------------------------ session
+
+/// Per-worker persistent matchers: slot i belongs to pool worker i, the
+/// extra last slot to the submitting thread (serial runs). Cache contents
+/// never affect scores, so reuse across runs changes speed only.
+struct SynthesisSession::MatcherSlots {
+  const StringPool* pool = nullptr;
+  double fractional = 0.0;
+  size_t cap = 0;
+  std::vector<std::unique_ptr<BatchApproxMatcher>> slots;
+};
+
+SynthesisSession::SynthesisSession(SynthesisOptions options)
+    : options_(std::move(options)) {
+  init_status_ = options_.Validate();
+  if (init_status_.ok()) {
+    threads_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+}
+
+SynthesisSession::~SynthesisSession() = default;
+
+Status SynthesisSession::UpdateOptions(SynthesisOptions options) {
+  MS_RETURN_IF_ERROR(options.Validate());
+  const bool threads_changed =
+      options.num_threads != options_.num_threads || threads_ == nullptr;
+  if (options.compat.synonyms != options_.compat.synonyms) {
+    snapshot_valid_ = false;
+  }
+  options_ = std::move(options);
+  init_status_ = Status::OK();
+  if (threads_changed) {
+    matchers_.reset();  // slots are sized to the pool
+    threads_ = std::make_unique<ThreadPool>(options_.num_threads);
+  }
+  return Status::OK();
+}
+
+Status SynthesisSession::ReadyToRun() const {
+  if (!init_status_.ok()) return init_status_;
+  return Status::OK();
+}
+
+Status SynthesisSession::CheckSameSession(const char* stage,
+                                          const void* session) const {
+  if (session != this) {
+    return Status::FailedPrecondition(
+        std::string(stage) +
+        ": artifact was produced by a different SynthesisSession");
+  }
+  return Status::OK();
+}
+
+Status SynthesisSession::CheckLineage(const char* stage, const void* session,
+                                      uint64_t got_candidates_id,
+                                      uint64_t want_candidates_id) const {
+  MS_RETURN_IF_ERROR(CheckSameSession(stage, session));
+  if (got_candidates_id != want_candidates_id) {
+    return Status::FailedPrecondition(
+        std::string(stage) +
+        ": artifact lineage mismatch — the artifacts come from different "
+        "candidate sets (ids " + std::to_string(got_candidates_id) + " vs " +
+        std::to_string(want_candidates_id) + ")");
+  }
+  return Status::OK();
+}
+
+const SynonymSnapshot* SynthesisSession::RefreshSnapshot(
+    const SynonymDictionary* dict) {
+  const uint64_t v = dict->version();
+  if (!snapshot_valid_ || synonym_snapshot_.source_version() != v) {
+    synonym_snapshot_ = dict->Snapshot();
+    snapshot_valid_ = true;
+    ++session_stats_.snapshot_rebuilds;
+  }
+  return &synonym_snapshot_;
+}
+
+CompatibilityOptions SynthesisSession::EffectiveCompat() {
+  CompatibilityOptions eff = options_.compat;
+  if (eff.synonyms != nullptr && eff.synonym_snapshot == nullptr) {
+    eff.synonym_snapshot = RefreshSnapshot(eff.synonyms);
+  }
+  return eff;
+}
+
+ConflictResolutionOptions SynthesisSession::EffectiveConflict() {
+  ConflictResolutionOptions eff = options_.conflict;
+  // Reuse the scoring snapshot when conflict resolution reads the same
+  // dictionary (the common wiring); a different dictionary keeps the locked
+  // path rather than risking a view of the wrong feed.
+  if (eff.synonyms != nullptr && eff.synonym_snapshot == nullptr &&
+      eff.synonyms == options_.compat.synonyms) {
+    eff.synonym_snapshot = RefreshSnapshot(eff.synonyms);
+  }
+  return eff;
+}
+
+Result<CandidateSet> SynthesisSession::ExtractCandidates(
+    const TableCorpus& corpus) {
+  MS_RETURN_IF_ERROR(ReadyToRun());
+  CandidateSet out;
+  Timer step;
+  ColumnInvertedIndex index;
+  index.Build(corpus, threads_.get());
+  out.stats.index_seconds = step.ElapsedSeconds();
+
+  step.Restart();
+  ExtractionResult extracted = ::ms::ExtractCandidates(
+      corpus, index, options_.extraction, threads_.get());
+  out.stats.extract_seconds = step.ElapsedSeconds();
+  out.stats.extraction = extracted.stats;
+  out.owned = std::move(extracted.candidates);
+  out.stats.candidates = out.owned.size();
+  out.pool = &corpus.pool();
+  out.artifact_id = NextArtifactId();
+  out.session = this;
+  ++session_stats_.extract_runs;
+  return out;
+}
+
+Result<CandidateSet> SynthesisSession::AdoptCandidates(
+    const std::vector<BinaryTable>& candidates, const StringPool& pool) {
+  MS_RETURN_IF_ERROR(ReadyToRun());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (candidates[i].id != static_cast<BinaryTableId>(i)) {
+      return Status::InvalidArgument(
+          "AdoptCandidates: candidate ids must be dense 0..n-1 (candidate " +
+          std::to_string(i) + " has id " + std::to_string(candidates[i].id) +
+          "); provenance and graph vertices index by id");
+    }
+  }
+  CandidateSet out;
+  out.borrowed = &candidates;
+  out.pool = &pool;
+  out.stats.candidates = candidates.size();
+  out.artifact_id = NextArtifactId();
+  out.session = this;
+  ++session_stats_.adopt_runs;
+  return out;
+}
+
+Result<BlockedPairs> SynthesisSession::BlockPairs(
+    const CandidateSet& candidates) {
+  MS_RETURN_IF_ERROR(ReadyToRun());
+  MS_RETURN_IF_ERROR(CheckSameSession("BlockPairs", candidates.session));
+  BlockedPairs out;
+  Timer timer;
+  out.pairs = GenerateCandidatePairs(candidates.tables(), options_.blocking,
+                                     threads_.get(), &out.blocking);
+  out.stats = candidates.stats;
+  FillBlockingStats(out.blocking, out.pairs.size(), timer.ElapsedSeconds(),
+                    &out.stats);
+  out.artifact_id = NextArtifactId();
+  out.candidates_id = candidates.artifact_id;
+  out.session = this;
+  ++session_stats_.blocking_runs;
+  return out;
+}
+
+Result<ScoredGraph> SynthesisSession::ScorePairs(
+    const CandidateSet& candidates, const BlockedPairs& blocked) {
+  MS_RETURN_IF_ERROR(ReadyToRun());
+  // Both artifacts must come from this session — artifact ids are only
+  // unique within one session's counter, so the id comparison below is
+  // meaningless across sessions.
+  MS_RETURN_IF_ERROR(CheckSameSession("ScorePairs", candidates.session));
+  MS_RETURN_IF_ERROR(CheckLineage("ScorePairs", blocked.session,
+                                  blocked.candidates_id,
+                                  candidates.artifact_id));
+  const CompatibilityOptions eff = EffectiveCompat();
+
+  // (Re)build or re-point the per-worker matchers. Everything cached in a
+  // matcher depends only on the pool contents and edit.fractional, so a
+  // re-score under tweaked thresholds starts with every mask it ever built.
+  const size_t num_slots = threads_->num_threads() + 1;
+  const bool warm = matchers_ != nullptr &&
+                    matchers_->pool == candidates.pool &&
+                    matchers_->slots.size() == num_slots &&
+                    matchers_->fractional == eff.edit.fractional &&
+                    matchers_->cap == options_.matcher_cache_cap;
+  if (!warm) {
+    matchers_ = std::make_unique<MatcherSlots>();
+    matchers_->pool = candidates.pool;
+    matchers_->fractional = eff.edit.fractional;
+    matchers_->cap = options_.matcher_cache_cap;
+    matchers_->slots.resize(num_slots);
+    for (auto& slot : matchers_->slots) {
+      slot = std::make_unique<BatchApproxMatcher>(
+          *candidates.pool, eff.edit, eff.approximate_matching, eff.synonyms,
+          eff.synonym_snapshot, options_.matcher_cache_cap);
+    }
+  } else {
+    ++session_stats_.warm_scoring_runs;
+    for (auto& slot : matchers_->slots) {
+      slot->Reconfigure(eff.edit, eff.approximate_matching, eff.synonyms,
+                        eff.synonym_snapshot);
+    }
+  }
+  for (auto& slot : matchers_->slots) slot->ResetStats();
+
+  auto worker_matcher = [this, num_slots]() -> BatchApproxMatcher* {
+    size_t wi = ThreadPool::CurrentWorkerIndex();
+    if (wi == ThreadPool::kNotAWorker || wi + 1 >= num_slots) {
+      wi = num_slots - 1;
+    }
+    return matchers_->slots[wi].get();
+  };
+
+  ScoredGraph out;
+  Timer timer;
+  ScoringStats scoring;
+  out.graph = ScorePairsCore(candidates.tables(), *candidates.pool,
+                             blocked.pairs, eff, threads_.get(),
+                             worker_matcher, &scoring);
+  for (const auto& slot : matchers_->slots) {
+    scoring.matcher.Add(slot->stats());
+  }
+  out.stats = blocked.stats;  // blocking never fills scoring, so this run's
+  out.stats.scoring.Add(scoring);  // counters land on a clean slate
+  out.stats.scoring_seconds = timer.ElapsedSeconds();
+  out.stats.graph_edges = out.graph.num_edges();
+  out.artifact_id = NextArtifactId();
+  out.candidates_id = candidates.artifact_id;
+  out.session = this;
+  ++session_stats_.scoring_runs;
+  return out;
+}
+
+Result<Partitions> SynthesisSession::Partition(const ScoredGraph& sg) {
+  MS_RETURN_IF_ERROR(ReadyToRun());
+  MS_RETURN_IF_ERROR(CheckSameSession("Partition", sg.session));
+  const CompatibilityGraph& graph = sg.graph;
+  Partitions out;
+  out.stats = sg.stats;
+
+  // Algorithm 3, optionally per positive component (Appendix F
+  // divide-and-conquer).
+  Timer step;
+  PartitionResult partition;
+  if (options_.divide_and_conquer) {
+    auto comp = ConnectedComponentsBfs(graph, options_.partitioner.theta_edge);
+    auto groups = GroupByComponent(comp);
+    out.stats.components = groups.size();
+
+    // One global vertex -> component-local-index table, filled in a single
+    // O(V) pass: component member lists are disjoint, so per-component
+    // O(V) scratch vectors (the previous shape) would cost O(V·C) total.
+    // Cross-component edges (positive weight below θ_edge) are filtered by
+    // comparing component ids, which local_of alone can no longer express.
+    std::vector<uint32_t> local_of(graph.num_vertices(), 0);
+    for (const auto& members : groups) {
+      for (uint32_t i = 0; i < members.size(); ++i) local_of[members[i]] = i;
+    }
+
+    partition.partition_of.assign(graph.num_vertices(), 0);
+    std::atomic<uint32_t> next_partition{0};
+    std::mutex mu;
+
+    auto run_component = [&](size_t gi) {
+      const auto& members = groups[gi];
+      if (members.size() == 1) {
+        uint32_t pid = next_partition.fetch_add(1);
+        partition.partition_of[members[0]] = pid;
+        return;
+      }
+      // Build the local subgraph.
+      CompatibilityGraph sub(members.size());
+      for (VertexId v : members) {
+        for (uint32_t e : graph.IncidentEdges(v)) {
+          const auto& edge = graph.edges()[e];
+          if (edge.u != v) continue;  // visit each edge once (u < v)
+          if (comp[edge.v] != comp[v]) continue;
+          sub.AddEdge(local_of[edge.u], local_of[edge.v], edge.w_pos,
+                      edge.w_neg);
+        }
+      }
+      sub.Finalize();
+      PartitionResult local = GreedyPartition(sub, options_.partitioner);
+      uint32_t base = next_partition.fetch_add(
+          static_cast<uint32_t>(local.num_partitions));
+      for (uint32_t i = 0; i < members.size(); ++i) {
+        partition.partition_of[members[i]] = base + local.partition_of[i];
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      partition.merges_performed += local.merges_performed;
+    };
+    threads_->ParallelFor(groups.size(), run_component);
+    partition.num_partitions = next_partition.load();
+  } else {
+    partition = GreedyPartition(graph, options_.partitioner);
+  }
+  out.stats.partition_seconds = step.ElapsedSeconds();
+  out.stats.partitions = partition.num_partitions;
+  out.partition = std::move(partition);
+  out.artifact_id = NextArtifactId();
+  out.candidates_id = sg.candidates_id;
+  out.graph_id = sg.artifact_id;
+  out.session = this;
+  ++session_stats_.partition_runs;
+  return out;
+}
+
+Result<SynthesisResult> SynthesisSession::Resolve(
+    const CandidateSet& candidates, const ScoredGraph& graph,
+    const Partitions& partitions) {
+  MS_RETURN_IF_ERROR(ReadyToRun());
+  MS_RETURN_IF_ERROR(CheckSameSession("Resolve", candidates.session));
+  MS_RETURN_IF_ERROR(CheckLineage("Resolve", graph.session,
+                                  graph.candidates_id,
+                                  candidates.artifact_id));
+  MS_RETURN_IF_ERROR(CheckLineage("Resolve", partitions.session,
+                                  partitions.candidates_id,
+                                  candidates.artifact_id));
+  // The partitions must come from *this* graph, not just the same
+  // candidate set: the same candidates scored under different options
+  // yield different graphs, and mixing them would pair one graph's stats
+  // with another's partitioning.
+  if (partitions.graph_id != graph.artifact_id) {
+    return Status::FailedPrecondition(
+        "Resolve: partitions were computed from a different ScoredGraph "
+        "(ids " + std::to_string(partitions.graph_id) + " vs " +
+        std::to_string(graph.artifact_id) + ")");
+  }
+  const std::vector<BinaryTable>& cands = candidates.tables();
+  const ConflictResolutionOptions conflict = EffectiveConflict();
+
+  SynthesisResult result;
+  result.stats = partitions.stats;
+
+  // Conflict resolution + mapping assembly.
+  Timer step;
+  auto groups = partitions.partition.Groups();
+  std::vector<SynthesizedMapping> mappings(groups.size());
+  auto resolve_one = [&](size_t gi) {
+    std::vector<const BinaryTable*> tables;
+    tables.reserve(groups[gi].size());
+    for (VertexId v : groups[gi]) tables.push_back(&cands[v]);
+
+    if (options_.use_majority_voting) {
+      std::vector<size_t> all(tables.size());
+      for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+      SynthesizedMapping m = BuildMapping(tables, all);
+      m.merged = BinaryTable::FromPairs(MajorityVotePairs(tables, conflict));
+      mappings[gi] = std::move(m);
+    } else if (options_.resolve_conflicts) {
+      auto resolved = ResolveConflicts(tables, conflict);
+      mappings[gi] = BuildMapping(tables, resolved.kept);
+    } else {
+      std::vector<size_t> all(tables.size());
+      for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+      mappings[gi] = BuildMapping(tables, all);
+    }
+  };
+  threads_->ParallelFor(groups.size(), resolve_one);
+  result.stats.resolve_seconds = step.ElapsedSeconds();
+
+  result.mappings = FilterByPopularity(std::move(mappings),
+                                       options_.min_domains,
+                                       options_.min_pairs);
+  result.stats.mappings = result.mappings.size();
+  result.stats.total_seconds =
+      result.stats.index_seconds + result.stats.extract_seconds +
+      result.stats.blocking_seconds + result.stats.scoring_seconds +
+      result.stats.partition_seconds + result.stats.resolve_seconds;
+  ++session_stats_.resolve_runs;
+  MS_LOG(Info) << "synthesis: " << result.stats.candidates << " candidates, "
+               << result.stats.graph_edges << " edges, "
+               << result.stats.partitions << " partitions, "
+               << result.stats.mappings << " mappings";
+  return result;
+}
+
+// ---------------------------------------------------------------- composites
+
+Result<SynthesisResult> SynthesisSession::Run(const TableCorpus& corpus) {
+  Timer total;
+  Result<CandidateSet> cands = ExtractCandidates(corpus);
+  if (!cands.ok()) return cands.status();
+  Result<SynthesisResult> r = FinishFromCandidates(cands.value());
+  if (!r.ok()) return r.status();
+  SynthesisResult out = std::move(r).value();
+  out.stats.total_seconds = total.ElapsedSeconds();
+  return out;
+}
+
+Result<SynthesisResult> SynthesisSession::RunOnCandidates(
+    const std::vector<BinaryTable>& candidates, const StringPool& pool) {
+  Timer total;
+  Result<CandidateSet> cands = AdoptCandidates(candidates, pool);
+  if (!cands.ok()) return cands.status();
+  Result<SynthesisResult> r = FinishFromCandidates(cands.value());
+  if (!r.ok()) return r.status();
+  SynthesisResult out = std::move(r).value();
+  out.stats.total_seconds = total.ElapsedSeconds();
+  return out;
+}
+
+Result<SynthesisResult> SynthesisSession::RunOnCorpusFile(
+    const std::string& path, TableCorpus* corpus) {
+  if (corpus == nullptr) {
+    return Status::InvalidArgument(
+        "RunOnCorpusFile: corpus out-parameter is null (the caller owns the "
+        "corpus because mappings reference its string pool)");
+  }
+  MS_RETURN_IF_ERROR(ReadyToRun());
+  MS_RETURN_IF_ERROR(LoadCorpus(path, corpus));
+  return Run(*corpus);
+}
+
+Result<SynthesisResult> SynthesisSession::FinishFromCandidates(
+    const CandidateSet& candidates) {
+  Result<BlockedPairs> blocked = BlockPairs(candidates);
+  if (!blocked.ok()) return blocked.status();
+  return FinishFromBlocked(candidates, blocked.value());
+}
+
+Result<SynthesisResult> SynthesisSession::FinishFromBlocked(
+    const CandidateSet& candidates, const BlockedPairs& blocked) {
+  Result<ScoredGraph> graph = ScorePairs(candidates, blocked);
+  if (!graph.ok()) return graph.status();
+  Result<Partitions> parts = Partition(graph.value());
+  if (!parts.ok()) return parts.status();
+  return Resolve(candidates, graph.value(), parts.value());
+}
+
+}  // namespace ms

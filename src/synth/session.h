@@ -1,0 +1,305 @@
+// Staged synthesis session: the production entry point to the paper's
+// pipeline (Figure 1), redesigned around explicit, individually-runnable
+// stages with materialized artifacts:
+//
+//   ExtractCandidates() -> CandidateSet
+//   BlockPairs()        -> BlockedPairs
+//   ScorePairs()        -> ScoredGraph
+//   Partition()         -> Partitions
+//   Resolve()           -> SynthesisResult
+//
+// Each stage takes the previous stage's artifact, so callers that
+// re-synthesize with tweaked thresholds only re-run the stages downstream
+// of the change: new CompatibilityOptions re-score the *same* BlockedPairs
+// verbatim; new PartitionerOptions re-partition the same ScoredGraph. The
+// session owns the warm state worth keeping across runs — the ThreadPool,
+// per-worker BatchApproxMatcher caches (pattern bitmasks survive re-scoring
+// runs), and an immutable SynonymSnapshot refreshed only when the
+// dictionary actually changed.
+//
+// All fallible entry points return Status / Result<T> (common/status.h):
+// malformed options are rejected with InvalidArgument by
+// SynthesisOptions::Validate() instead of silently misbehaving, artifacts
+// fed to the wrong stage or the wrong session fail with FailedPrecondition
+// instead of undefined behavior, and corpus-loading failures propagate.
+//
+// The legacy SynthesisPipeline (synth/pipeline.h) is a thin wrapper over a
+// session; staged and monolithic runs produce byte-identical mappings.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "extract/candidate_extraction.h"
+#include "graph/weighted_graph.h"
+#include "synth/blocking.h"
+#include "synth/compatibility.h"
+#include "synth/conflict_resolution.h"
+#include "synth/mapping.h"
+#include "synth/partitioner.h"
+#include "table/corpus.h"
+
+namespace ms {
+
+struct SynthesisOptions {
+  ExtractionOptions extraction;
+  BlockingOptions blocking;
+  CompatibilityOptions compat;
+  PartitionerOptions partitioner;
+  ConflictResolutionOptions conflict;
+
+  /// Run Algorithm 4 after partitioning (Section 5.6 ablates this).
+  bool resolve_conflicts = true;
+  /// Use majority voting instead of Algorithm 4 (Section 5.6 comparison).
+  bool use_majority_voting = false;
+  /// Split the graph into positively-connected components first and
+  /// partition each independently (Appendix F). Off = one global run.
+  bool divide_and_conquer = true;
+
+  /// Curation filter (Section 4.3: the paper keeps mappings from >= 8
+  /// independent domains; defaults here suit laptop-scale corpora).
+  size_t min_domains = 2;
+  size_t min_pairs = 4;
+
+  /// Worker threads (0 = hardware concurrency).
+  size_t num_threads = 0;
+
+  /// Per-worker cap on the session matchers' value caches (0 = unbounded).
+  /// Long-lived sessions re-score many corpora; the cap bounds mask-table
+  /// memory at a whole-cache flush per overflow (cache contents never
+  /// affect results).
+  size_t matcher_cache_cap = 1 << 20;
+
+  /// Rejects configurations that would silently misbehave — min_pairs == 0,
+  /// thresholds outside their domain, num_threads overflow — with
+  /// InvalidArgument, composing every sub-option's Validate().
+  Status Validate() const;
+};
+
+/// Wall-clock and cardinality accounting for each pipeline step; feeds the
+/// runtime/scalability figures. Stage artifacts carry the cumulative stats
+/// of their ancestry, so a staged run reports exactly what a monolithic one
+/// does.
+struct PipelineStats {
+  double index_seconds = 0.0;
+  double extract_seconds = 0.0;
+  double blocking_seconds = 0.0;
+  double scoring_seconds = 0.0;
+  double partition_seconds = 0.0;
+  double resolve_seconds = 0.0;
+  double total_seconds = 0.0;
+
+  /// Blocking-internal phase breakdown (sums to ~blocking_seconds); makes
+  /// the sharded-blocking speedup observable per phase.
+  double blocking_map_shuffle_seconds = 0.0;  ///< map + hash partition
+  double blocking_count_seconds = 0.0;        ///< sort-group + shard counting
+  double blocking_reduce_seconds = 0.0;       ///< shard merge + threshold
+
+  /// Scoring-stage breakdown: bit-parallel kernel mix (Myers64 vs blocked
+  /// vs scalar fallback), pattern-mask cache effectiveness, and how many
+  /// pair merges / conflict scans the blocking-count reuse eliminated.
+  ScoringStats scoring;
+
+  size_t candidates = 0;
+  size_t candidate_pairs = 0;  ///< pairs surviving blocking
+  size_t blocking_keys = 0;    ///< distinct blocking keys
+  /// Postings dropped by BlockingOptions::max_posting truncation; non-zero
+  /// means high-id candidates silently lost potential pairs.
+  size_t blocking_dropped_postings = 0;
+  /// Candidates touched by truncation (only their pairs lose count reuse).
+  size_t blocking_tainted_candidates = 0;
+  size_t graph_edges = 0;      ///< pairs with non-zero w+ or w-
+  size_t components = 0;
+  size_t partitions = 0;
+  size_t mappings = 0;         ///< after curation filter
+  ExtractionStats extraction;  ///< includes normalize-cache hit/miss counts
+};
+
+struct SynthesisResult {
+  std::vector<SynthesizedMapping> mappings;
+  PipelineStats stats;
+};
+
+/// Stage 1 artifact: extracted (or adopted) candidate binary tables plus
+/// the pool their ValueIds resolve against. The pool and any borrowed
+/// candidate vector must outlive the artifact.
+struct CandidateSet {
+  const std::vector<BinaryTable>& tables() const {
+    return borrowed ? *borrowed : owned;
+  }
+  const StringPool* pool = nullptr;
+  PipelineStats stats;  ///< cumulative: index + extraction
+
+  std::vector<BinaryTable> owned;              ///< ExtractCandidates fills
+  const std::vector<BinaryTable>* borrowed = nullptr;  ///< AdoptCandidates
+
+  uint64_t artifact_id = 0;   ///< session-unique; stages verify lineage
+  const void* session = nullptr;
+};
+
+/// Stage 2 artifact: the candidate pairs that survived blocking, with
+/// per-pair count-exactness for the scoring fast path.
+struct BlockedPairs {
+  std::vector<CandidateTablePair> pairs;
+  BlockingStats blocking;
+  PipelineStats stats;  ///< cumulative through blocking
+
+  uint64_t artifact_id = 0;
+  uint64_t candidates_id = 0;  ///< the CandidateSet this was blocked from
+  const void* session = nullptr;
+};
+
+/// Stage 3 artifact: the exact w+/w- compatibility graph.
+struct ScoredGraph {
+  CompatibilityGraph graph;
+  PipelineStats stats;  ///< cumulative through scoring
+
+  uint64_t artifact_id = 0;
+  uint64_t candidates_id = 0;
+  const void* session = nullptr;
+};
+
+/// Stage 4 artifact: the greedy partitioning (Algorithm 3).
+struct Partitions {
+  PartitionResult partition;
+  PipelineStats stats;  ///< cumulative through partitioning
+
+  uint64_t artifact_id = 0;
+  uint64_t candidates_id = 0;
+  uint64_t graph_id = 0;  ///< the ScoredGraph this was partitioned from
+  const void* session = nullptr;
+};
+
+/// Builds the full compatibility graph for a candidate set: blocking, then
+/// exact w+/w- scoring of every surviving pair (parallel). Exposed so the
+/// SchemaCC / Correlation baselines run on the identical graph; the session
+/// stages decompose the same computation.
+CompatibilityGraph BuildCompatibilityGraph(
+    const std::vector<BinaryTable>& candidates, const StringPool& pool,
+    const BlockingOptions& blocking, const CompatibilityOptions& compat,
+    ThreadPool* pool_threads = nullptr, PipelineStats* stats = nullptr);
+
+class SynthesisSession {
+ public:
+  /// Validates `options` into status(); every stage refuses to run while
+  /// status() is not OK, so a misconfigured session fails loudly instead
+  /// of synthesizing garbage.
+  explicit SynthesisSession(SynthesisOptions options = {});
+  ~SynthesisSession();
+
+  SynthesisSession(const SynthesisSession&) = delete;
+  SynthesisSession& operator=(const SynthesisSession&) = delete;
+
+  /// Construction-time (or last UpdateOptions) validation verdict.
+  Status status() const { return init_status_; }
+
+  /// Validates and swaps in a new configuration. Warm state survives where
+  /// validity allows (matcher caches keep their masks unless
+  /// edit.fractional changed; the thread pool is rebuilt only when
+  /// num_threads changed). Existing artifacts stay usable — feed them to
+  /// the stages downstream of what the new options changed.
+  Status UpdateOptions(SynthesisOptions options);
+
+  const SynthesisOptions& options() const { return options_; }
+  ThreadPool* threads() { return threads_.get(); }
+
+  /// Stage 1: inverted-index build + candidate extraction (Algorithm 1).
+  /// The corpus (and its pool) must outlive the returned artifact.
+  Result<CandidateSet> ExtractCandidates(const TableCorpus& corpus);
+
+  /// Stage 1 alternative: adopt pre-extracted candidates (ids must be dense
+  /// 0..n-1). Borrows `candidates`; both it and `pool` must outlive the
+  /// artifact.
+  Result<CandidateSet> AdoptCandidates(
+      const std::vector<BinaryTable>& candidates, const StringPool& pool);
+
+  /// Stage 2: inverted-index blocking (Section 4.1 "Efficiency").
+  Result<BlockedPairs> BlockPairs(const CandidateSet& candidates);
+
+  /// Stage 3: exact w+/w- scoring of every blocked pair through the
+  /// session's warm per-worker matchers. Re-running after a
+  /// CompatibilityOptions change reuses the BlockedPairs verbatim and every
+  /// still-valid cached pattern mask.
+  Result<ScoredGraph> ScorePairs(const CandidateSet& candidates,
+                                 const BlockedPairs& blocked);
+
+  /// Stage 4: greedy partitioning (Algorithm 3), divide-and-conquer per
+  /// positive component when options().divide_and_conquer.
+  Result<Partitions> Partition(const ScoredGraph& graph);
+
+  /// Stage 5: conflict resolution (Algorithm 4) + mapping assembly +
+  /// curation filter. `graph` is only consulted for stats lineage.
+  Result<SynthesisResult> Resolve(const CandidateSet& candidates,
+                                  const ScoredGraph& graph,
+                                  const Partitions& partitions);
+
+  // ------------------------------------------------------------ composites
+
+  /// Full chain from a raw corpus (what SynthesisPipeline::Run wraps).
+  Result<SynthesisResult> Run(const TableCorpus& corpus);
+
+  /// Full chain from pre-extracted candidates.
+  Result<SynthesisResult> RunOnCandidates(
+      const std::vector<BinaryTable>& candidates, const StringPool& pool);
+
+  /// Loads a TSV corpus into `*corpus` (caller-owned: mappings reference
+  /// its pool) and runs the full chain. IO and parse failures propagate —
+  /// previously a corrupt dump synthesized zero mappings indistinguishably
+  /// from an empty corpus.
+  Result<SynthesisResult> RunOnCorpusFile(const std::string& path,
+                                          TableCorpus* corpus);
+
+  /// Blocking onward from an existing candidate artifact (warm re-run after
+  /// extraction-irrelevant option changes).
+  Result<SynthesisResult> FinishFromCandidates(const CandidateSet& candidates);
+
+  /// Scoring onward from existing artifacts: the warm re-score path.
+  Result<SynthesisResult> FinishFromBlocked(const CandidateSet& candidates,
+                                            const BlockedPairs& blocked);
+
+  /// Per-stage run counters: lets callers (and tests) assert which stages a
+  /// warm re-run actually executed.
+  struct SessionStats {
+    size_t extract_runs = 0;
+    size_t adopt_runs = 0;
+    size_t blocking_runs = 0;
+    size_t scoring_runs = 0;
+    size_t partition_runs = 0;
+    size_t resolve_runs = 0;
+    /// Scoring runs whose per-worker matchers started warm (caches kept).
+    size_t warm_scoring_runs = 0;
+    /// Synonym snapshots (re)built because the dictionary version moved.
+    size_t snapshot_rebuilds = 0;
+  };
+  const SessionStats& session_stats() const { return session_stats_; }
+
+ private:
+  struct MatcherSlots;
+
+  Status ReadyToRun() const;
+  /// Re-takes the session snapshot iff `dict`'s version moved; returns it.
+  const SynonymSnapshot* RefreshSnapshot(const SynonymDictionary* dict);
+  /// Effective per-run options with the session snapshot wired in.
+  CompatibilityOptions EffectiveCompat();
+  ConflictResolutionOptions EffectiveConflict();
+  uint64_t NextArtifactId() { return next_artifact_id_++; }
+  Status CheckSameSession(const char* stage, const void* session) const;
+  Status CheckLineage(const char* stage, const void* session,
+                      uint64_t got_candidates_id,
+                      uint64_t want_candidates_id) const;
+
+  SynthesisOptions options_;
+  Status init_status_;
+  std::unique_ptr<ThreadPool> threads_;
+  std::unique_ptr<MatcherSlots> matchers_;
+  SynonymSnapshot synonym_snapshot_;
+  bool snapshot_valid_ = false;
+  uint64_t next_artifact_id_ = 1;
+  SessionStats session_stats_;
+};
+
+}  // namespace ms

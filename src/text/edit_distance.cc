@@ -8,6 +8,20 @@
 
 namespace ms {
 
+Status EditDistanceOptions::Validate() const {
+  if (!std::isfinite(fractional) || fractional < 0.0 || fractional >= 1.0) {
+    return Status::InvalidArgument(
+        "edit.fractional (f_ed) must be a finite value in [0, 1), got " +
+        std::to_string(fractional));
+  }
+  if (cap > 1u << 20) {
+    return Status::InvalidArgument(
+        "edit.cap (k_ed) of " + std::to_string(cap) +
+        " exceeds any plausible cell length; likely a config typo");
+  }
+  return Status::OK();
+}
+
 size_t EditDistanceFull(std::string_view a, std::string_view b) {
   const size_t n = a.size(), m = b.size();
   if (n == 0) return m;

@@ -11,6 +11,8 @@
 #include <cstddef>
 #include <string_view>
 
+#include "common/status.h"
+
 namespace ms {
 
 /// Paper defaults: f_ed = 0.2, k_ed = 10.
@@ -22,6 +24,14 @@ struct EditDistanceOptions {
   /// results — only speed. Off = the scalar banded DP below, kept as the
   /// oracle and fallback.
   bool use_bit_parallel = true;
+
+  /// InvalidArgument when f_ed is not a finite value in [0, 1) — f_ed >= 1
+  /// would declare every pair of equal-length strings a match — or the cap
+  /// is absurdly large (bands beyond any cell value length are a config
+  /// typo, not a threshold).
+  Status Validate() const;
+
+  bool operator==(const EditDistanceOptions&) const = default;
 };
 
 /// Full-matrix Levenshtein distance. O(|a|·|b|); reference implementation

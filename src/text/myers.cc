@@ -6,20 +6,21 @@
 namespace ms {
 namespace {
 
-/// Single-word Myers core over a prebuilt Peq table. `m` in [1, 64].
+/// Single-word Myers core over a Peq lookup (byte -> mask). `m` in [1, 64].
 /// Returns the exact distance if it is <= band, otherwise any value > band:
 /// a column abandons once score - (remaining text bytes) > band, since the
 /// score can drop by at most 1 per remaining byte. Pass band = SIZE_MAX for
 /// the unbounded (always exact) distance.
-size_t Myers64Core(const std::array<uint64_t, 256>& peq, size_t m,
-                   std::string_view text, size_t band) {
+template <typename PeqFn>
+size_t Myers64Core(PeqFn&& peq, size_t m, std::string_view text,
+                   size_t band) {
   uint64_t pv = ~0ull;
   uint64_t mv = 0;
   size_t score = m;
   const uint64_t last = 1ull << (m - 1);
   const size_t n = text.size();
   for (size_t j = 0; j < n; ++j) {
-    const uint64_t eq = peq[static_cast<uint8_t>(text[j])];
+    const uint64_t eq = peq(static_cast<uint8_t>(text[j]));
     const uint64_t xv = eq | mv;
     const uint64_t xh = (((eq & pv) + pv) ^ pv) | eq;
     uint64_t ph = mv | ~(xh | pv);
@@ -40,13 +41,15 @@ size_t Myers64Core(const std::array<uint64_t, 256>& peq, size_t m,
   return score;
 }
 
-/// Blocked Myers core (Hyyrö's AdvanceBlock): blocks stack bottom-up over
-/// the pattern, the horizontal delta `h` ∈ {-1, 0, +1} carries across block
+/// Blocked Myers core (Hyyrö's AdvanceBlock) over a Peq row lookup
+/// (byte -> `words` consecutive masks): blocks stack bottom-up over the
+/// pattern, the horizontal delta `h` ∈ {-1, 0, +1} carries across block
 /// boundaries, and the score is tracked at the pattern's true last row
 /// (bit (length-1) mod 64 of the top block). Unused high bits of the top
 /// block are harmless: the carry chain in Xh only propagates upward and
 /// their Peq bits are zero.
-size_t MyersBlockedCore(const uint64_t* peq_blocks, size_t m, size_t words,
+template <typename RowFn>
+size_t MyersBlockedCore(RowFn&& row, size_t m, size_t words,
                         std::string_view text, size_t band, uint64_t* pv,
                         uint64_t* mv) {
   for (size_t b = 0; b < words; ++b) {
@@ -57,7 +60,7 @@ size_t MyersBlockedCore(const uint64_t* peq_blocks, size_t m, size_t words,
   const uint64_t top_mask = 1ull << ((m - 1) & 63);
   const size_t n = text.size();
   for (size_t j = 0; j < n; ++j) {
-    const uint64_t* peq = peq_blocks + static_cast<uint8_t>(text[j]) * words;
+    const uint64_t* peq = row(static_cast<uint8_t>(text[j]));
     int h = 1;  // boundary row delta entering the bottom block
     for (size_t b = 0; b < words; ++b) {
       const uint64_t eq = peq[b];
@@ -98,23 +101,27 @@ constexpr size_t kStackWords = 8;  // patterns ≤ 512 bytes stay off the heap
 
 void BuildMyersPattern(std::string_view pattern, MyersPattern* out) {
   out->length = static_cast<uint32_t>(pattern.size());
+  out->slot.fill(0);
+  out->masks.clear();
   if (pattern.empty()) {
     out->words = 0;
-    out->peq_blocks.clear();
     return;
   }
   out->words = static_cast<uint32_t>((pattern.size() + 63) / 64);
-  if (out->single_word()) {
-    out->peq.fill(0);
-    out->peq_blocks.clear();
-    for (size_t i = 0; i < pattern.size(); ++i) {
-      out->peq[static_cast<uint8_t>(pattern[i])] |= 1ull << i;
-    }
-    return;
+  const size_t words = out->words;
+  // Row 0 is the shared all-zero row; every distinct pattern byte gets its
+  // own row, assigned in first-sight order. At most min(|pattern|, 256)
+  // rows, so uint16 row indices never overflow. Two passes so the mask
+  // array is allocated exactly once at its final size.
+  uint16_t next_row = 1;
+  for (const char ch : pattern) {
+    uint16_t& s = out->slot[static_cast<uint8_t>(ch)];
+    if (s == 0) s = next_row++;
   }
-  out->peq_blocks.assign(256 * static_cast<size_t>(out->words), 0);
+  out->masks.assign(static_cast<size_t>(next_row) * words, 0);
   for (size_t i = 0; i < pattern.size(); ++i) {
-    out->peq_blocks[static_cast<uint8_t>(pattern[i]) * out->words + i / 64] |=
+    const uint8_t c = static_cast<uint8_t>(pattern[i]);
+    out->masks[static_cast<size_t>(out->slot[c]) * words + i / 64] |=
         1ull << (i & 63);
   }
 }
@@ -126,16 +133,18 @@ size_t MyersDistanceImpl(const MyersPattern& pattern, std::string_view text,
   if (pattern.length == 0) return text.size();
   if (text.empty()) return pattern.length;
   if (pattern.single_word()) {
-    return Myers64Core(pattern.peq, pattern.length, text, band);
+    return Myers64Core([&](uint8_t c) { return pattern.Mask1(c); },
+                       pattern.length, text, band);
   }
+  auto row = [&](uint8_t c) { return pattern.Row(c); };
   uint64_t stack_pv[kStackWords], stack_mv[kStackWords];
   if (pattern.words <= kStackWords) {
-    return MyersBlockedCore(pattern.peq_blocks.data(), pattern.length,
-                            pattern.words, text, band, stack_pv, stack_mv);
+    return MyersBlockedCore(row, pattern.length, pattern.words, text, band,
+                            stack_pv, stack_mv);
   }
   std::vector<uint64_t> pv(pattern.words), mv(pattern.words);
-  return MyersBlockedCore(pattern.peq_blocks.data(), pattern.length,
-                          pattern.words, text, band, pv.data(), mv.data());
+  return MyersBlockedCore(row, pattern.length, pattern.words, text, band,
+                          pv.data(), mv.data());
 }
 
 }  // namespace
@@ -156,11 +165,13 @@ size_t MyersDistanceBounded(const MyersPattern& pattern,
 size_t Myers64(std::string_view pattern, std::string_view text) {
   if (pattern.empty()) return text.size();
   if (text.empty()) return pattern.size();
+  // One-shot path: a dense stack table beats building the sparse layout.
   std::array<uint64_t, 256> peq{};
   for (size_t i = 0; i < pattern.size(); ++i) {
     peq[static_cast<uint8_t>(pattern[i])] |= 1ull << i;
   }
-  return Myers64Core(peq, pattern.size(), text, static_cast<size_t>(-1));
+  return Myers64Core([&](uint8_t c) { return peq[c]; }, pattern.size(), text,
+                     static_cast<size_t>(-1));
 }
 
 size_t MyersBlocked(std::string_view pattern, std::string_view text) {
@@ -172,8 +183,13 @@ size_t MyersBlocked(std::string_view pattern, std::string_view text) {
 bool BatchApproxMatcher::Match(ValueId a, ValueId b) {
   ++stats_.match_calls;
   if (a == b) return true;
-  if (synonyms_ && synonyms_->AreSynonyms(a, b)) return true;
+  if (AreSynonymsVia(snapshot_, synonyms_, a, b)) return true;
   if (!approximate_) return false;
+  // Capacity check up front so a flush can never invalidate a ValueInfo
+  // reference mid-pair (InfoFor itself never flushes).
+  if (max_cached_values_ != 0 && infos_.size() + 2 > max_cached_values_) {
+    FlushCache();
+  }
   // Pattern side first so the MRU entry survives the text-side lookup.
   ValueInfo* ia;
   if (a == mru_pattern_id_) {
@@ -216,6 +232,29 @@ bool BatchApproxMatcher::Match(ValueId a, ValueId b) {
   return MyersDistanceBounded(p, sb, band) <= band;
 }
 
+void BatchApproxMatcher::Reconfigure(const EditDistanceOptions& edit,
+                                     bool approximate_matching,
+                                     const SynonymDictionary* synonyms,
+                                     const SynonymSnapshot* synonym_snapshot) {
+  // frac_floor is the only cached value-state derived from the
+  // configuration; everything else (text views, charmasks, pattern masks)
+  // depends solely on the pool contents, which are append-only.
+  if (edit.fractional != edit_.fractional) FlushCache();
+  edit_ = edit;
+  approximate_ = approximate_matching;
+  synonyms_ = synonyms;
+  snapshot_ = synonym_snapshot;
+}
+
+void BatchApproxMatcher::FlushCache() {
+  index_.Clear();
+  infos_.clear();
+  cache_bytes_ = 0;
+  mru_pattern_id_ = kInvalidValueId;
+  mru_pattern_ = nullptr;
+  ++stats_.cache_flushes;
+}
+
 BatchApproxMatcher::ValueInfo& BatchApproxMatcher::InfoFor(ValueId id) {
   uint32_t& slot = index_[static_cast<uint64_t>(id) + 1];
   if (slot != 0) return infos_[slot - 1];
@@ -227,6 +266,7 @@ BatchApproxMatcher::ValueInfo& BatchApproxMatcher::InfoFor(ValueId id) {
   for (const char c : vi.text) {
     vi.char_mask |= 1ull << (static_cast<uint8_t>(c) & 63);
   }
+  cache_bytes_ += sizeof(ValueInfo);
   slot = static_cast<uint32_t>(infos_.size());
   return vi;
 }
@@ -239,6 +279,7 @@ const MyersPattern& BatchApproxMatcher::PatternFor(ValueInfo& info) {
   ++stats_.pattern_cache_misses;
   info.pattern = std::make_unique<MyersPattern>();
   BuildMyersPattern(info.text, info.pattern.get());
+  cache_bytes_ += sizeof(MyersPattern) + info.pattern->MaskBytes();
   return *info.pattern;
 }
 

@@ -13,7 +13,12 @@
 //     and carries the horizontal delta across block boundaries
 //     (Hyyrö's AdvanceBlock formulation).
 //   - `MyersPattern` — the per-pattern bitmask table (Peq), precomputable
-//     once and reused across every comparison against that pattern.
+//     once and reused across every comparison against that pattern. Stored
+//     sparsely: a pattern touches at most |pattern| distinct byte values,
+//     so instead of a dense 256 × words mask table (2KB per cached single-
+//     word pattern) it keeps one mask row per distinct byte plus a 256-entry
+//     row index — ~4x smaller for typical short cell values, which is what
+//     long-lived session matchers hoard.
 //   - `BatchApproxMatcher` — the batch interface pair scoring uses: it
 //     caches `MyersPattern`s per interned ValueId so scoring one left value
 //     against many right values builds the mask table exactly once, and it
@@ -43,17 +48,29 @@
 
 namespace ms {
 
-/// Precomputed pattern state: the Peq bitmask table keyed by byte value.
-/// Patterns ≤ 64 bytes use the inline single-word table; longer patterns
-/// use the blocked layout `peq_blocks[c * words + b]` so one text character
-/// touches `words` consecutive entries.
+/// Precomputed pattern state: the Peq bitmask table keyed by byte value,
+/// stored sparsely. `slot[c]` indexes the mask row for byte c; row 0 is a
+/// shared all-zero row for bytes absent from the pattern, so lookups never
+/// branch. Row r occupies masks[r * words .. r * words + words).
 struct MyersPattern {
   uint32_t length = 0;
   uint32_t words = 0;  ///< ⌈length/64⌉ (0 for the empty pattern)
-  std::array<uint64_t, 256> peq{};  ///< single-word masks (length ≤ 64)
-  std::vector<uint64_t> peq_blocks; ///< blocked masks (length > 64)
+  std::array<uint16_t, 256> slot{};  ///< byte -> mask row (0 = absent)
+  std::vector<uint64_t> masks;       ///< (1 + distinct bytes) × words rows
 
   bool single_word() const { return length <= 64; }
+
+  /// Single-word mask for byte c (valid when words == 1).
+  uint64_t Mask1(uint8_t c) const { return masks[slot[c]]; }
+
+  /// Blocked mask row for byte c (`words` consecutive entries).
+  const uint64_t* Row(uint8_t c) const {
+    return masks.data() + static_cast<size_t>(slot[c]) * words;
+  }
+
+  /// Heap footprint of the mask table (the quantity the sparse layout
+  /// shrinks versus the former dense 256-entry table).
+  size_t MaskBytes() const { return masks.capacity() * sizeof(uint64_t); }
 };
 
 /// Builds (or rebuilds) the bitmask table for `pattern` into `*out`.
@@ -89,6 +106,7 @@ struct MatcherStats {
   size_t pattern_cache_hits = 0;   ///< mask tables reused
   size_t pattern_cache_misses = 0; ///< mask tables built
   size_t charmask_rejects = 0;     ///< pairs rejected before any kernel run
+  size_t cache_flushes = 0;        ///< value-cache resets (capacity cap hit)
 
   void Add(const MatcherStats& o) {
     match_calls += o.match_calls;
@@ -98,6 +116,7 @@ struct MatcherStats {
     pattern_cache_hits += o.pattern_cache_hits;
     pattern_cache_misses += o.pattern_cache_misses;
     charmask_rejects += o.charmask_rejects;
+    cache_flushes += o.cache_flushes;
   }
 };
 
@@ -105,33 +124,62 @@ struct MatcherStats {
 /// recomputing its bitmasks: `Match(a, b)` treats `a` as the (cached)
 /// pattern side and must return exactly what `ValuesMatch(a, b, pool, opts)`
 /// returns for the configuration it was built from. One matcher serves one
-/// scoring chunk (a run of candidate pairs); value strings repeat heavily
-/// across neighbouring tables, so the per-id cache amortizes mask builds
-/// across the whole candidate loop.
+/// scoring run; value strings repeat heavily across neighbouring tables, so
+/// the per-id cache amortizes mask builds across the whole candidate loop.
 ///
 /// Beyond the pattern masks, the matcher interns per-value state once per
 /// first sight: the pool string_view (stable — StringPool stores strings in
 /// a deque and never moves them — so this skips the pool's per-Get mutex)
 /// and the precomputed ⌊len · f_ed⌋ threshold component. A Match call after
 /// warm-up touches no locks and allocates nothing.
+///
+/// Long-lived matchers (SynthesisSession keeps one per worker across runs)
+/// can bound the cache with `max_cached_values`: when the cap is exceeded
+/// the whole cache is flushed (counted in MatcherStats::cache_flushes).
+/// Cache contents never affect results, only speed, so flushing is always
+/// safe.
 class BatchApproxMatcher {
  public:
   BatchApproxMatcher(const StringPool& pool, const EditDistanceOptions& edit,
                      bool approximate_matching,
-                     const SynonymDictionary* synonyms)
+                     const SynonymDictionary* synonyms,
+                     const SynonymSnapshot* synonym_snapshot = nullptr,
+                     size_t max_cached_values = 0)
       : pool_(pool),
         edit_(edit),
         approximate_(approximate_matching),
-        synonyms_(synonyms) {}
+        synonyms_(synonyms),
+        snapshot_(synonym_snapshot),
+        max_cached_values_(max_cached_values) {}
 
   BatchApproxMatcher(const BatchApproxMatcher&) = delete;
   BatchApproxMatcher& operator=(const BatchApproxMatcher&) = delete;
 
-  /// The ValuesMatch predicate: exact id equality, then synonyms, then the
-  /// fractional-threshold approximate match with `a` as the pattern side.
+  /// The ValuesMatch predicate: exact id equality, then synonyms (through
+  /// the snapshot when one is set — lock-free — otherwise the dictionary),
+  /// then the fractional-threshold approximate match with `a` as the
+  /// pattern side.
   bool Match(ValueId a, ValueId b);
 
+  /// Re-points the matcher at a new matching configuration while keeping
+  /// as much warm state as validity allows: the per-value cache (texts,
+  /// charmasks, ⌊len·f_ed⌋ floors, pattern masks) survives whenever
+  /// `edit.fractional` is unchanged — none of it depends on any other
+  /// option — and is flushed otherwise. This is what lets a session re-run
+  /// scoring under tweaked thresholds without rebuilding a single mask.
+  void Reconfigure(const EditDistanceOptions& edit, bool approximate_matching,
+                   const SynonymDictionary* synonyms,
+                   const SynonymSnapshot* synonym_snapshot);
+
   const MatcherStats& stats() const { return stats_; }
+
+  /// Clears the counters (not the cache); sessions call this per run so
+  /// per-run stats stay attributable.
+  void ResetStats() { stats_ = MatcherStats{}; }
+
+  /// Heap footprint of the value cache (mask rows dominate).
+  size_t cache_bytes() const { return cache_bytes_; }
+  size_t cached_values() const { return infos_.size(); }
 
   /// The pool this matcher resolves ids against; callers handing the
   /// matcher around assert it matches theirs.
@@ -153,13 +201,17 @@ class BatchApproxMatcher {
 
   ValueInfo& InfoFor(ValueId id);
   const MyersPattern& PatternFor(ValueInfo& info);
+  void FlushCache();
 
   const StringPool& pool_;
   EditDistanceOptions edit_;
   bool approximate_;
   const SynonymDictionary* synonyms_;
+  const SynonymSnapshot* snapshot_;
+  size_t max_cached_values_;
   FlatMap64<uint32_t> index_;  ///< id+1 -> infos_ slot + 1 (0 = absent)
   std::deque<ValueInfo> infos_;
+  size_t cache_bytes_ = 0;
   /// One-entry MRU for the pattern side: inner scoring loops hold one left
   /// value against many right values, so this usually skips even the flat
   /// hash probe.

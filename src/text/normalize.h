@@ -15,6 +15,8 @@ struct NormalizeOptions {
   bool strip_punctuation = true;      ///< drop ,.()'"!?: etc (keeps &-/)
   bool collapse_whitespace = true;    ///< runs of spaces -> one space
   bool strip_footnote_marks = true;   ///< remove trailing "[12]" / "(1)" marks
+
+  bool operator==(const NormalizeOptions&) const = default;
 };
 
 /// Returns the normalized form of a raw cell value.

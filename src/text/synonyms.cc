@@ -4,11 +4,11 @@
 
 namespace ms {
 
-ValueId SynonymDictionary::Find(ValueId v) const {
+ValueId SynonymDictionary::FindLocked(ValueId v) const {
   auto it = parent_.find(v);
   if (it == parent_.end() || it->second == v) return v;  // root
   // Path compression.
-  ValueId root = Find(it->second);
+  ValueId root = FindLocked(it->second);
   if (root != it->second) parent_[v] = root;
   return root;
 }
@@ -16,19 +16,22 @@ ValueId SynonymDictionary::Find(ValueId v) const {
 void SynonymDictionary::AddSynonym(std::string_view a, std::string_view b) {
   ValueId ia = pool_->Intern(a);
   ValueId ib = pool_->Intern(b);
-  ValueId ra = Find(ia);
-  ValueId rb = Find(ib);
+  std::lock_guard<std::mutex> lock(mu_);
+  ValueId ra = FindLocked(ia);
+  ValueId rb = FindLocked(ib);
   if (ra == rb) return;
   parent_[rb] = ra;
   // Ensure both leaves are present so ClassMembers can enumerate them.
   if (!parent_.count(ia)) parent_[ia] = ra;
   if (!parent_.count(ib)) parent_[ib] = ra;
   if (!parent_.count(ra)) parent_[ra] = ra;
+  ++version_;
 }
 
 bool SynonymDictionary::AreSynonyms(ValueId a, ValueId b) const {
   if (a == b) return true;
-  return Find(a) == Find(b);
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindLocked(a) == FindLocked(b);
 }
 
 bool SynonymDictionary::AreSynonyms(std::string_view a,
@@ -40,22 +43,43 @@ bool SynonymDictionary::AreSynonyms(std::string_view a,
   return AreSynonyms(ia, ib);
 }
 
-ValueId SynonymDictionary::ClassOf(ValueId v) const { return Find(v); }
+ValueId SynonymDictionary::ClassOf(ValueId v) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindLocked(v);
+}
 
 std::vector<ValueId> SynonymDictionary::ClassMembers(ValueId v) const {
-  ValueId root = Find(v);
+  std::lock_guard<std::mutex> lock(mu_);
+  ValueId root = FindLocked(v);
   std::vector<ValueId> out;
   for (const auto& [child, _] : parent_) {
-    if (Find(child) == root) out.push_back(child);
+    if (FindLocked(child) == root) out.push_back(child);
   }
   if (out.empty()) out.push_back(v);
   return out;
 }
 
 size_t SynonymDictionary::num_classes_with_synonyms() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::unordered_set<ValueId> roots;
-  for (const auto& [child, _] : parent_) roots.insert(Find(child));
+  for (const auto& [child, _] : parent_) roots.insert(FindLocked(child));
   return roots.size();
+}
+
+uint64_t SynonymDictionary::version() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return version_;
+}
+
+SynonymSnapshot SynonymDictionary::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  SynonymSnapshot snap;
+  snap.source_version_ = version_;
+  snap.class_of_.Reserve(parent_.size());
+  for (const auto& [child, _] : parent_) {
+    snap.class_of_[static_cast<uint64_t>(child) + 1] = FindLocked(child);
+  }
+  return snap;
 }
 
 }  // namespace ms
