@@ -1,0 +1,409 @@
+// PR 4 acceptance benchmark: the artifact persistence layer. A serving
+// deployment that restarts must not re-pay extraction, blocking, and cold
+// scoring; it restores the staged artifacts from a checksummed snapshot and
+// resumes at partitioning. Likewise a multi-GB corpus should open by mmap
+// instead of cell-by-cell TSV parsing. Results go to BENCH_PR4.json (or
+// argv[2]); scratch files (snapshot + converted corpus) land in argv[3]
+// (default: the build tree's persist/ directory, never the source tree):
+//
+//   ./bench/bench_pr4 [num_tables] [output.json] [scratch_dir]
+//
+// Correctness gates run before any speedup is reported and fail the binary
+// at every scale:
+//   1. restore + Partition + Resolve must produce string-identical mappings
+//      to an uninterrupted cold run under the same options,
+//   2. the mmap corpus store must reproduce the TSV-parsed corpus exactly
+//      (tables, pool, cells),
+//   3. corrupting the snapshot must fail the restore with DataLoss.
+// The >= 5x snapshot-restore and >= 2x mmap-open bars are enforced at
+// acceptance scale (100k candidates).
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "persist/corpus_store.h"
+#include "synth/session.h"
+#include "table/corpus.h"
+#include "table/tsv.h"
+
+#ifndef MS_PERSIST_SCRATCH_DIR
+#define MS_PERSIST_SCRATCH_DIR "."
+#endif
+
+namespace ms {
+namespace {
+
+constexpr int kRepeats = 3;
+constexpr int kColdRepeats = 2;
+
+/// Web-shaped vocabulary (same shape as bench_pr2/pr3): multi-word entity
+/// names with typo'd variants, short codes, a sprinkle of > 64-byte strings
+/// for the blocked kernel.
+struct Vocab {
+  std::vector<std::string> lefts;
+  std::vector<std::string> rights;
+
+  Vocab(size_t n_lefts, size_t n_rights, Rng& rng) {
+    const char* first[] = {"united", "republic", "southern", "new", "grand",
+                           "upper", "saint", "north", "royal", "east"};
+    const char* second[] = {"province", "island", "territory", "state",
+                            "district", "region", "county", "kingdom",
+                            "federation", "commonwealth"};
+    for (size_t i = 0; i < n_lefts; ++i) {
+      std::string s = std::string(first[rng.Uniform(10)]) + " " +
+                      second[rng.Uniform(10)] + " " +
+                      std::to_string(i / 7);
+      switch (rng.Uniform(8)) {
+        case 0:
+          s[rng.Uniform(s.size())] = static_cast<char>('a' + rng.Uniform(26));
+          break;
+        case 1:
+          s += static_cast<char>('a' + rng.Uniform(26));
+          break;
+        case 2:
+          s += " of the greater unified historical administrative division";
+          break;
+        default:
+          break;
+      }
+      lefts.push_back(std::move(s));
+    }
+    for (size_t i = 0; i < n_rights; ++i) {
+      rights.push_back("c" + std::to_string(i));
+    }
+  }
+};
+
+/// A corpus of n two-column tables sampling the vocabulary with popularity
+/// skew (a few hot values, a long thin tail); same construction as
+/// bench_pr3 so the two benches report on comparable workloads.
+TableCorpus BuildCorpus(size_t n, const Vocab& vocab, Rng& rng) {
+  const uint32_t nl = static_cast<uint32_t>(vocab.lefts.size());
+  const uint32_t nr = static_cast<uint32_t>(vocab.rights.size());
+  auto skewed = [&](uint32_t space) -> uint32_t {
+    const double r = rng.UniformDouble();
+    if (r < 0.10) return static_cast<uint32_t>(rng.Uniform(8));
+    const uint32_t warm = space / 100 + 1;
+    if (r < 0.40) return 8 + static_cast<uint32_t>(rng.Uniform(warm));
+    return 8 + warm + static_cast<uint32_t>(rng.Uniform(space - 8 - warm));
+  };
+  TableCorpus corpus;
+  std::vector<std::string> left_col, right_col;
+  std::set<uint32_t> seen;
+  for (size_t t = 0; t < n; ++t) {
+    left_col.clear();
+    right_col.clear();
+    seen.clear();
+    const size_t rows = 6 + rng.Uniform(8);
+    while (left_col.size() < rows) {
+      const uint32_t li = skewed(nl);
+      if (!seen.insert(li).second) continue;
+      left_col.push_back(vocab.lefts[li]);
+      right_col.push_back(vocab.rights[skewed(nr)]);
+    }
+    right_col[1] = right_col[0];
+    corpus.AddFromStrings("domain" + std::to_string(t % 64) + ".example",
+                          TableSource::kWeb, {"name", "code"},
+                          {left_col, right_col});
+  }
+  return corpus;
+}
+
+/// Pool-independent canonical multiset of mappings: mapping sets restored
+/// against a different StringPool must compare by strings, not ids.
+std::multiset<std::string> Canonical(const SynthesisResult& r,
+                                     const StringPool& pool) {
+  std::multiset<std::string> out;
+  for (const auto& m : r.mappings) {
+    std::string key = std::to_string(m.kept_tables.size()) + "|";
+    for (const auto& p : m.merged.pairs()) {
+      key += std::string(pool.Get(p.left)) + ":" +
+             std::string(pool.Get(p.right)) + ",";
+    }
+    out.insert(std::move(key));
+  }
+  return out;
+}
+
+SynthesisOptions BenchOptions() {
+  SynthesisOptions o;
+  o.min_domains = 1;
+  o.min_pairs = 1;
+  return o;
+}
+
+bool CorporaIdentical(const TableCorpus& a, const TableCorpus& b) {
+  if (a.size() != b.size() || a.pool().size() != b.pool().size()) return false;
+  for (size_t v = 0; v < a.pool().size(); ++v) {
+    if (a.pool().Get(static_cast<ValueId>(v)) !=
+        b.pool().Get(static_cast<ValueId>(v))) {
+      return false;
+    }
+  }
+  for (size_t t = 0; t < a.size(); ++t) {
+    const Table& ta = a.tables()[t];
+    const Table& tb = b.tables()[t];
+    if (ta.domain != tb.domain || ta.source != tb.source ||
+        ta.columns.size() != tb.columns.size()) {
+      return false;
+    }
+    for (size_t c = 0; c < ta.columns.size(); ++c) {
+      if (ta.columns[c].name != tb.columns[c].name ||
+          ta.columns[c].cells != tb.columns[c].cells) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+size_t FileSize(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  return in ? static_cast<size_t>(in.tellg()) : 0;
+}
+
+}  // namespace
+}  // namespace ms
+
+int main(int argc, char** argv) {
+  using namespace ms;
+  const size_t n_tables =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 118000;
+  const std::string out_path = argc > 2 ? argv[2] : "BENCH_PR4.json";
+  const std::string scratch = argc > 3 ? argv[3] : MS_PERSIST_SCRATCH_DIR;
+  const std::string snap_path = scratch + "/bench_pr4.mssnap";
+  const std::string tsv_path = scratch + "/bench_pr4_corpus.tsv";
+  const std::string store_path = scratch + "/bench_pr4_corpus.mscorp";
+
+  // Same seed as bench_pr3: the corpus yields >= 100k candidate tables at
+  // acceptance scale after extraction filtering.
+  Rng rng(4321);
+  std::cout << "building vocabulary + corpus of " << n_tables
+            << " two-column tables...\n"
+            << std::flush;
+  Vocab vocab(30000, 4000, rng);
+  TableCorpus corpus = BuildCorpus(n_tables, vocab, rng);
+
+  // ------------------------------------------------------ cold full runs
+  // The restart story before this PR: every process start re-pays index
+  // build, extraction, blocking, and cold scoring.
+  std::cout << "cold: full pipeline run per process start...\n" << std::flush;
+  std::multiset<std::string> cold_canonical;
+  PipelineStats cold_stats;
+  double cold_s = 1e100;
+  for (int r = 0; r < kColdRepeats; ++r) {
+    Timer t;
+    SynthesisSession session(BenchOptions());
+    auto res = session.Run(corpus);
+    if (!res.ok()) {
+      std::cerr << "FAIL: cold run error: " << res.status().ToString() << "\n";
+      return 1;
+    }
+    cold_s = std::min(cold_s, t.ElapsedSeconds());
+    cold_canonical = Canonical(res.value(), corpus.pool());
+    cold_stats = res.value().stats;
+  }
+
+  // ------------------------------------------------------- snapshot save
+  // One staged session materializes the artifacts and persists them — the
+  // offline half of the restart story.
+  std::cout << "saving snapshot of staged artifacts...\n" << std::flush;
+  double save_s = 0.0;
+  {
+    SynthesisSession session(BenchOptions());
+    auto cands = session.ExtractCandidates(corpus);
+    if (!cands.ok()) return 1;
+    auto blocked = session.BlockPairs(cands.value());
+    if (!blocked.ok()) return 1;
+    auto scored = session.ScorePairs(cands.value(), blocked.value());
+    if (!scored.ok()) return 1;
+    auto parts = session.Partition(scored.value());
+    if (!parts.ok()) return 1;
+    auto result =
+        session.Resolve(cands.value(), scored.value(), parts.value());
+    if (!result.ok()) return 1;
+    Timer t;
+    Status st = session.SaveSnapshot(snap_path, cands.value(),
+                                     &blocked.value(), &scored.value(),
+                                     &result.value());
+    save_s = t.ElapsedSeconds();
+    if (!st.ok()) {
+      std::cerr << "FAIL: SaveSnapshot: " << st.ToString() << "\n";
+      return 1;
+    }
+  }
+
+  // ---------------------------------------------------- corruption gate
+  {
+    std::ifstream in(snap_path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    bytes[bytes.size() / 2] ^= 0x04;
+    const std::string bad_path = scratch + "/bench_pr4_corrupt.mssnap";
+    std::ofstream out(bad_path, std::ios::binary);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    SynthesisSession session(BenchOptions());
+    auto restored = session.RestoreSnapshot(bad_path);
+    if (restored.ok() || restored.status().code() != StatusCode::kDataLoss) {
+      std::cerr << "FAIL: corrupted snapshot did not fail with DataLoss\n";
+      return 1;
+    }
+    std::remove(bad_path.c_str());
+  }
+
+  // ------------------------------------------------------- warm restores
+  // The restart story after this PR: a fresh process restores the snapshot
+  // and resumes at partitioning.
+  std::cout << "warm: restore snapshot + partition + resolve per process "
+               "start...\n"
+            << std::flush;
+  std::multiset<std::string> warm_canonical;
+  PipelineStats warm_stats;
+  double warm_s = 1e100;
+  size_t warm_candidates = 0;
+  for (int r = 0; r < kRepeats; ++r) {
+    Timer t;
+    SynthesisSession session(BenchOptions());
+    auto restored = session.RestoreSnapshot(snap_path);
+    if (!restored.ok()) {
+      std::cerr << "FAIL: RestoreSnapshot: " << restored.status().ToString()
+                << "\n";
+      return 1;
+    }
+    const SessionSnapshot& snap = restored.value();
+    auto parts = session.Partition(*snap.scored);
+    if (!parts.ok()) return 1;
+    auto res = session.Resolve(*snap.candidates, *snap.scored, parts.value());
+    if (!res.ok()) return 1;
+    warm_s = std::min(warm_s, t.ElapsedSeconds());
+    warm_canonical = Canonical(res.value(), *snap.pool);
+    warm_stats = res.value().stats;
+    warm_candidates = snap.candidates->stats.candidates;
+  }
+  const size_t divergence = cold_canonical == warm_canonical ? 0 : 1;
+  const double restore_speedup = cold_s / warm_s;
+
+  // ------------------------------------------- corpus store vs TSV parse
+  std::cout << "corpus: TSV parse vs mmap store open...\n" << std::flush;
+  if (!SaveCorpus(corpus, tsv_path).ok()) {
+    std::cerr << "FAIL: cannot write corpus TSV\n";
+    return 1;
+  }
+  Timer convert_timer;
+  if (!persist::ConvertTsvCorpusToStore(tsv_path, store_path).ok()) {
+    std::cerr << "FAIL: TSV -> store conversion failed\n";
+    return 1;
+  }
+  const double convert_s = convert_timer.ElapsedSeconds();
+
+  double tsv_s = 1e100;
+  double mmap_s = 1e100;
+  bool corpora_identical = true;
+  for (int r = 0; r < kRepeats; ++r) {
+    Timer t1;
+    TableCorpus from_tsv;
+    if (!LoadCorpus(tsv_path, &from_tsv).ok()) return 1;
+    tsv_s = std::min(tsv_s, t1.ElapsedSeconds());
+
+    Timer t2;
+    auto from_store = persist::OpenCorpusStore(store_path);
+    if (!from_store.ok()) {
+      std::cerr << "FAIL: OpenCorpusStore: "
+                << from_store.status().ToString() << "\n";
+      return 1;
+    }
+    mmap_s = std::min(mmap_s, t2.ElapsedSeconds());
+    corpora_identical =
+        corpora_identical && CorporaIdentical(from_tsv, from_store.value());
+  }
+  const double open_speedup = tsv_s / mmap_s;
+
+  std::cout << "  cold full run " << cold_s << "s, warm restore+resolve "
+            << warm_s << "s  => " << restore_speedup << "x\n"
+            << "  snapshot: " << FileSize(snap_path) / (1024.0 * 1024.0)
+            << " MiB, saved in " << save_s << "s; mapping divergence "
+            << divergence << "\n"
+            << "  corpus open: TSV parse " << tsv_s << "s, mmap store "
+            << mmap_s << "s  => " << open_speedup << "x (convert once: "
+            << convert_s << "s); identical " << corpora_identical << "\n"
+            << "  candidates " << warm_candidates << ", mappings "
+            << warm_stats.mappings << "\n";
+
+  // ----------------------------------------------------------------- JSON
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"pr\": 4,\n"
+      << "  \"bench\": \"bench_pr4 (snapshot restore vs cold run; mmap "
+         "corpus open vs TSV parse)\",\n"
+      << "  \"repeats\": " << kRepeats << ",\n"
+      << "  \"snapshot_restore\": {\n"
+      << "    \"corpus_tables\": " << corpus.size() << ",\n"
+      << "    \"candidates\": " << warm_candidates << ",\n"
+      << "    \"blocked_pairs\": " << warm_stats.candidate_pairs << ",\n"
+      << "    \"graph_edges\": " << warm_stats.graph_edges << ",\n"
+      << "    \"mappings\": " << warm_stats.mappings << ",\n"
+      << "    \"cold_seconds\": " << cold_s << ",\n"
+      << "    \"warm_seconds\": " << warm_s << ",\n"
+      << "    \"speedup\": " << restore_speedup << ",\n"
+      << "    \"mapping_divergence\": " << divergence << ",\n"
+      << "    \"snapshot_bytes\": " << FileSize(snap_path) << ",\n"
+      << "    \"save_seconds\": " << save_s << "\n"
+      << "  },\n"
+      << "  \"corpus_store\": {\n"
+      << "    \"tsv_bytes\": " << FileSize(tsv_path) << ",\n"
+      << "    \"store_bytes\": " << FileSize(store_path) << ",\n"
+      << "    \"tsv_parse_seconds\": " << tsv_s << ",\n"
+      << "    \"mmap_open_seconds\": " << mmap_s << ",\n"
+      << "    \"open_speedup\": " << open_speedup << ",\n"
+      << "    \"convert_seconds\": " << convert_s << ",\n"
+      << "    \"identical\": " << (corpora_identical ? "true" : "false")
+      << "\n"
+      << "  }\n"
+      << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  std::remove(snap_path.c_str());
+  std::remove(tsv_path.c_str());
+  std::remove(store_path.c_str());
+
+  // Correctness gates hold at every scale; the speedup bars only mean
+  // anything at acceptance scale (small runs are fixed-cost dominated).
+  if (divergence != 0) {
+    std::cerr << "FAIL: restored mappings diverge from the cold run\n";
+    return 1;
+  }
+  if (!corpora_identical) {
+    std::cerr << "FAIL: mmap corpus store does not reproduce the TSV "
+                 "corpus\n";
+    return 1;
+  }
+  constexpr size_t kAcceptanceScale = 100000;
+  if (n_tables >= kAcceptanceScale && warm_candidates < kAcceptanceScale) {
+    std::cerr << "FAIL: corpus yielded only " << warm_candidates
+              << " candidates at acceptance scale\n";
+    return 1;
+  }
+  if (n_tables >= kAcceptanceScale && restore_speedup < 5.0) {
+    std::cerr << "FAIL: snapshot-restore speedup below 5x at acceptance "
+                 "scale\n";
+    return 1;
+  }
+  if (n_tables >= kAcceptanceScale && open_speedup < 2.0) {
+    std::cerr << "FAIL: mmap corpus open speedup below 2x at acceptance "
+                 "scale\n";
+    return 1;
+  }
+  return 0;
+}

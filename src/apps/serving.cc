@@ -3,6 +3,8 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "persist/corpus_store.h"
+#include "persist/mapping_text.h"
 #include "table/tsv.h"
 
 namespace ms {
@@ -14,21 +16,28 @@ MappingService::~MappingService() = default;
 
 Status MappingService::Synthesize(const TableCorpus& corpus) {
   MS_RETURN_IF_ERROR(status());
-  corpus_ = &corpus;
-  owned_corpus_.reset();
-  pool_keepalive_ = corpus.shared_pool();
-  candidates_.reset();
-  blocked_.reset();
-  scored_.reset();
-  return RunChain(false, false, false);
+  return StartFreshRun(nullptr, &corpus);
 }
 
 Status MappingService::SynthesizeFromFile(const std::string& path) {
   MS_RETURN_IF_ERROR(status());
   auto corpus = std::make_unique<TableCorpus>();
   MS_RETURN_IF_ERROR(LoadCorpus(path, corpus.get()));
-  owned_corpus_ = std::move(corpus);
-  corpus_ = owned_corpus_.get();
+  return StartFreshRun(std::move(corpus), nullptr);
+}
+
+Status MappingService::SynthesizeFromCorpusStore(const std::string& path) {
+  MS_RETURN_IF_ERROR(status());
+  Result<TableCorpus> store = persist::OpenCorpusStore(path);
+  if (!store.ok()) return store.status();
+  return StartFreshRun(std::make_unique<TableCorpus>(std::move(store).value()),
+                       nullptr);
+}
+
+Status MappingService::StartFreshRun(std::unique_ptr<TableCorpus> owned,
+                                     const TableCorpus* external) {
+  owned_corpus_ = std::move(owned);
+  corpus_ = owned_corpus_ ? owned_corpus_.get() : external;
   pool_keepalive_ = corpus_->shared_pool();
   candidates_.reset();
   blocked_.reset();
@@ -36,11 +45,65 @@ Status MappingService::SynthesizeFromFile(const std::string& path) {
   return RunChain(false, false, false);
 }
 
-Status MappingService::Resynthesize(SynthesisOptions new_options) {
-  if (corpus_ == nullptr || candidates_ == nullptr) {
+Status MappingService::SaveSnapshot(const std::string& path) {
+  if (candidates_ == nullptr) {
     return Status::FailedPrecondition(
-        "Resynthesize: nothing synthesized yet — call Synthesize first so "
-        "there are stage artifacts to reuse");
+        "SaveSnapshot: nothing synthesized yet — there are no stage "
+        "artifacts to persist");
+  }
+  // The store is rebuilt exactly when a chain completed, so its presence
+  // marks last_result_ as valid.
+  return session_.SaveSnapshot(path, *candidates_, blocked_.get(),
+                               scored_.get(),
+                               store_ != nullptr ? &last_result_ : nullptr);
+}
+
+Status MappingService::OpenFromSnapshot(const std::string& path) {
+  MS_RETURN_IF_ERROR(status());
+  Result<SessionSnapshot> restored = session_.RestoreSnapshot(path);
+  if (!restored.ok()) return restored.status();
+  SessionSnapshot snap = std::move(restored).value();
+  // The snapshot fully loaded and verified; only now touch service state.
+  owned_corpus_.reset();
+  corpus_ = nullptr;
+  pool_keepalive_ = snap.pool;
+  candidates_ = std::move(snap.candidates);
+  blocked_ = std::move(snap.blocked);
+  scored_ = std::move(snap.scored);
+  const SynonymDictionary* dict = session_.options().compat.synonyms;
+  scored_synonym_version_ = dict ? dict->version() : 0;
+  if (snap.has_result) {
+    last_result_ = std::move(snap.result);
+    return RebuildStore();
+  }
+  // No saved result: finish the chain from the deepest restored artifact.
+  return RunChain(true, blocked_ != nullptr, scored_ != nullptr);
+}
+
+Status MappingService::OpenFromMappingsFile(const std::string& path) {
+  MS_RETURN_IF_ERROR(status());
+  // Fail-closed: load into scratch state first; the existing store keeps
+  // serving if anything about the file is wrong.
+  auto pool = std::make_shared<StringPool>();
+  std::vector<SynthesizedMapping> mappings;
+  MS_RETURN_IF_ERROR(persist::LoadMappingsTsv(path, pool.get(), &mappings));
+  owned_corpus_.reset();
+  corpus_ = nullptr;
+  candidates_.reset();
+  blocked_.reset();
+  scored_.reset();
+  pool_keepalive_ = std::move(pool);
+  last_result_ = SynthesisResult{};
+  last_result_.mappings = std::move(mappings);
+  last_result_.stats.mappings = last_result_.mappings.size();
+  return RebuildStore();
+}
+
+Status MappingService::Resynthesize(SynthesisOptions new_options) {
+  if (candidates_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Resynthesize: nothing synthesized yet — call Synthesize (or "
+        "OpenFromSnapshot) first so there are stage artifacts to reuse");
   }
   const SynthesisOptions old = session_.options();
   MS_RETURN_IF_ERROR(session_.UpdateOptions(std::move(new_options)));
@@ -54,6 +117,14 @@ Status MappingService::Resynthesize(SynthesisOptions new_options) {
   // dictionary's *contents*: the pointer compares equal after AddSynonym,
   // so reuse also requires the version the graph was scored at.
   const bool keep_candidates = old.extraction == now.extraction;
+  if (!keep_candidates && corpus_ == nullptr) {
+    // Snapshot-restored services carry artifacts but no raw corpus, so an
+    // extraction-invalidating change has nothing to re-extract from.
+    return Status::FailedPrecondition(
+        "Resynthesize: the extraction options changed but this service has "
+        "no corpus (opened from a snapshot) — re-synthesize from a corpus "
+        "or keep extraction options fixed");
+  }
   const bool keep_blocked = keep_candidates && old.blocking == now.blocking;
   const bool synonyms_unchanged =
       now.compat.synonyms == nullptr ||

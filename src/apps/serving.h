@@ -50,6 +50,35 @@ class MappingService {
   /// IO/parse failures propagate instead of yielding an empty store.
   Status SynthesizeFromFile(const std::string& path);
 
+  /// Opens an mmap-backed corpus store (persist/corpus_store.h — build one
+  /// with ConvertTsvCorpusToStore) and synthesizes from it. The store's
+  /// cell values stay zero-copy views into the mapping, which the corpus
+  /// pool pins for as long as any consumer holds it.
+  Status SynthesizeFromCorpusStore(const std::string& path);
+
+  // ------------------------------------------------------------ persistence
+
+  /// Writes the materialized stage artifacts and last result to a
+  /// checksummed snapshot (*.mssnap). FailedPrecondition when nothing was
+  /// synthesized yet.
+  Status SaveSnapshot(const std::string& path);
+
+  /// Restores a snapshot saved by SaveSnapshot (or by a SynthesisSession
+  /// directly) and serves from it immediately — the restart story: restore,
+  /// then AutoJoin/AutoFill/SuggestCorrections with zero re-synthesis.
+  /// Fail-closed: on any error (DataLoss corruption, FailedPrecondition
+  /// options-fingerprint mismatch) the service keeps its previous state.
+  /// The service has no corpus afterwards, so a later Resynthesize may only
+  /// change options downstream of extraction.
+  Status OpenFromSnapshot(const std::string& path);
+
+  /// Serving-only bootstrap from a curated mappings TSV
+  /// (persist/mapping_text.h): loads the file into a fresh store. Status
+  /// from the underlying file load propagates — an unreadable or malformed
+  /// file leaves the existing store untouched instead of silently serving
+  /// an empty one.
+  Status OpenFromMappingsFile(const std::string& path);
+
   /// Warm re-synthesis: diffs `new_options` against the current options and
   /// re-runs only the stages downstream of the first difference, reusing
   /// the materialized artifacts above it verbatim — changed
@@ -94,6 +123,11 @@ class MappingService {
                           const AutoJoinOptions& options = {}) const;
 
  private:
+  /// Installs the corpus (owned or caller-owned), drops every cached stage
+  /// artifact, and runs the full chain — the shared preamble of all three
+  /// Synthesize* entry points, so per-run state resets cannot drift apart.
+  Status StartFreshRun(std::unique_ptr<TableCorpus> owned,
+                       const TableCorpus* external);
   Status RunChain(bool have_candidates, bool have_blocked, bool have_scored);
   Status RebuildStore();
 

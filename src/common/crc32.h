@@ -1,0 +1,23 @@
+// CRC-32 (ISO-HDLC polynomial 0xEDB88320, the zlib/PNG variant) for the
+// persistence layer's per-section integrity checks. Table-driven, stable
+// across platforms and runs; not a cryptographic MAC — it detects the
+// accidental corruption (truncation, bit rot, partial writes) snapshots
+// care about, nothing adversarial.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace ms {
+
+/// CRC of `size` bytes at `data`, continuing from `seed` (pass the previous
+/// return value to checksum discontiguous spans as one stream; 0 starts a
+/// fresh checksum).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view bytes, uint32_t seed = 0) {
+  return Crc32(bytes.data(), bytes.size(), seed);
+}
+
+}  // namespace ms

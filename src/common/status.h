@@ -22,6 +22,10 @@ enum class StatusCode {
   kFailedPrecondition,
   kIOError,
   kInternal,
+  /// Persisted bytes are unreadable as written: truncated file, failed
+  /// checksum, bad magic. Distinct from kIOError (the OS refused the read)
+  /// and kFailedPrecondition (the file is intact but incompatible).
+  kDataLoss,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -54,6 +58,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,57 @@
+// Encoders/decoders between the session's stage artifacts and the
+// persist/snapshot.h container sections, plus the whole-file
+// Save/LoadSessionSnapshot entry points SynthesisSession wraps. The
+// section-level functions are exposed for the corpus store (which shares
+// the string-pool layout) and for the fuzz harness, which drives Load
+// directly against mutated bytes.
+//
+// String-pool section layout (shared by *.mssnap and *.mscorp):
+//   u64 count; u32 byte_len[count]; u8 blob[sum(byte_len)]
+// Decoding builds ids 0..count-1 as string_views straight into the blob —
+// the zero-copy read path. Everything else (tables, pairs, graph edges,
+// stats) is fixed-width fields; see the .cc for the exact field orders,
+// which are part of the format and only change with a version bump.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "synth/session.h"
+#include "table/string_pool.h"
+
+namespace ms::persist {
+
+// ----------------------------------------------------------- pool sections
+
+/// Appends the pool section payload for ids [0, pool.size()).
+std::string EncodeStringPool(const StringPool& pool);
+
+/// Decodes a pool section into per-string views aliasing `payload` (which
+/// must stay mapped — pin the container's MmapFile). DataLoss on any
+/// structural inconsistency.
+Status DecodeStringPoolViews(std::string_view payload,
+                             std::vector<std::string_view>* views);
+
+// ------------------------------------------------------- session snapshots
+
+/// Serializes `candidates` (+ optional downstream artifacts) with
+/// fingerprint `options_fingerprint` into the *.mssnap container at `path`.
+/// Lineage ids and cumulative PipelineStats are embedded verbatim.
+Status SaveSessionSnapshot(const std::string& path,
+                           uint64_t options_fingerprint,
+                           const CandidateSet& candidates,
+                           const BlockedPairs* blocked,
+                           const ScoredGraph* scored,
+                           const SynthesisResult* result);
+
+/// Loads `path`, verifying integrity (DataLoss on corruption) and the
+/// options fingerprint (FailedPrecondition on mismatch — pass the restoring
+/// session's OptionsFingerprint). The returned artifacts have null
+/// `session` pointers; SynthesisSession::RestoreSnapshot stamps them.
+Result<SessionSnapshot> LoadSessionSnapshot(const std::string& path,
+                                            uint64_t expected_fingerprint);
+
+}  // namespace ms::persist

@@ -1,0 +1,117 @@
+#include "persist/corpus_store.h"
+
+#include <utility>
+#include <vector>
+
+#include "persist/artifact_codec.h"
+#include "persist/snapshot.h"
+#include "persist/wire.h"
+#include "table/tsv.h"
+
+namespace ms::persist {
+namespace {
+
+std::string EncodeTables(const TableCorpus& corpus) {
+  WireWriter w;
+  w.U64(corpus.size());
+  for (const Table& t : corpus.tables()) {
+    w.U8(static_cast<uint8_t>(t.source));
+    w.Str(t.domain);
+    w.U32(static_cast<uint32_t>(t.columns.size()));
+    for (const Column& c : t.columns) {
+      w.Str(c.name);
+      w.U64(c.cells.size());
+      for (ValueId v : c.cells) w.U32(v);
+    }
+  }
+  return w.Take();
+}
+
+Status DecodeTables(std::string_view payload, size_t pool_size,
+                    TableCorpus* corpus) {
+  WireReader r(payload);
+  const uint64_t n = r.U64();
+  if (!r.ok() || n > UINT32_MAX) {
+    return Status::DataLoss("corpus store table section is malformed");
+  }
+  for (uint64_t i = 0; i < n; ++i) {
+    Table t;
+    const uint8_t source = r.U8();
+    if (source > static_cast<uint8_t>(TableSource::kTrusted)) {
+      return Status::DataLoss("corpus store has an invalid table source");
+    }
+    t.source = static_cast<TableSource>(source);
+    t.domain = std::string(r.Str());
+    const uint32_t num_columns = r.U32();
+    if (!r.ok() || num_columns > r.remaining()) {
+      return Status::DataLoss("corpus store has a malformed table");
+    }
+    t.columns.reserve(num_columns);
+    for (uint32_t c = 0; c < num_columns; ++c) {
+      Column col;
+      col.name = std::string(r.Str());
+      const uint64_t cells = r.U64();
+      if (!r.ok() || cells > r.remaining() / 4) {
+        return Status::DataLoss("corpus store has a malformed column");
+      }
+      col.cells.reserve(static_cast<size_t>(cells));
+      for (uint64_t k = 0; k < cells; ++k) {
+        const ValueId v = r.U32();
+        if (v >= pool_size) {
+          return Status::DataLoss(
+              "corpus store cell references a value outside the pool");
+        }
+        col.cells.push_back(v);
+      }
+      t.columns.push_back(std::move(col));
+    }
+    corpus->Add(std::move(t));
+  }
+  if (!r.AtEnd()) {
+    return Status::DataLoss("corpus store table section has trailing bytes");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveCorpusStore(const TableCorpus& corpus, const std::string& path) {
+  ContainerWriter writer(kCorpusStoreMagic, /*options_fingerprint=*/0);
+  writer.AddSection(kSectionCorpusPool, EncodeStringPool(corpus.pool()));
+  writer.AddSection(kSectionCorpusTables, EncodeTables(corpus));
+  return writer.WriteFile(path);
+}
+
+Status ConvertTsvCorpusToStore(const std::string& tsv_path,
+                               const std::string& store_path) {
+  TableCorpus corpus;
+  MS_RETURN_IF_ERROR(LoadCorpus(tsv_path, &corpus));
+  return SaveCorpusStore(corpus, store_path);
+}
+
+Result<TableCorpus> OpenCorpusStore(const std::string& path) {
+  Result<ContainerReader> opened =
+      ContainerReader::Open(path, kCorpusStoreMagic);
+  if (!opened.ok()) return opened.status();
+  const ContainerReader& reader = opened.value();
+  MS_RETURN_IF_ERROR(reader.RequireKnownSections(
+      {kSectionCorpusPool, kSectionCorpusTables}));
+  Result<std::string_view> pool_payload = reader.Section(kSectionCorpusPool);
+  Result<std::string_view> table_payload =
+      reader.Section(kSectionCorpusTables);
+  if (!pool_payload.ok() || !table_payload.ok()) {
+    return Status::DataLoss("corpus store is missing a required section: " +
+                            path);
+  }
+  std::vector<std::string_view> views;
+  MS_RETURN_IF_ERROR(DecodeStringPoolViews(pool_payload.value(), &views));
+
+  TableCorpus corpus;
+  corpus.pool().AdoptExternal(views);
+  corpus.pool().RetainBacking(reader.file());
+  MS_RETURN_IF_ERROR(
+      DecodeTables(table_payload.value(), views.size(), &corpus));
+  return corpus;
+}
+
+}  // namespace ms::persist

@@ -1,0 +1,42 @@
+// Mmap-backed corpus store (*.mscorp): the binary, load-optimized form of a
+// table corpus. The TSV reader (table/tsv.h) parses multi-GB dumps cell by
+// cell — split, normalize-free copy, per-string intern — while the store
+// reopens the same corpus by mapping the file and adopting every distinct
+// value as a zero-copy string_view over the mapping (StringPool::
+// AdoptExternal): no cell parsing, no byte copies of values, page cache
+// shared across processes. ROADMAP: "Corpus mmap loading".
+//
+// Container: persist/snapshot.h framing with kCorpusStoreMagic and two
+// sections — the shared string-pool layout (artifact_codec.h) and a table
+// section (per table: source kind, domain, per-column name + ValueId cells).
+// Value ids in the store are the pool ids at save time, so a save/open
+// round trip reproduces the exact TableCorpus: same ids, same tables, and
+// therefore byte-identical synthesis results.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "persist/mmap_file.h"
+#include "table/corpus.h"
+
+namespace ms::persist {
+
+/// Writes `corpus` to the binary store format at `path`.
+Status SaveCorpusStore(const TableCorpus& corpus, const std::string& path);
+
+/// One-shot ETL: parses a WriteCorpusTsv dump and writes the equivalent
+/// store — pay the cell-by-cell parse once, open via mmap forever after.
+Status ConvertTsvCorpusToStore(const std::string& tsv_path,
+                               const std::string& store_path);
+
+/// Opens a store: the returned corpus's pool holds zero-copy views into the
+/// mapping and pins it (RetainBacking), so the corpus — and anything
+/// sharing its pool handle — is safe to use and move freely. The pool stays
+/// writable: synthesis interns normalized values on top of the adopted
+/// ones. DataLoss on a truncated/corrupt store, FailedPrecondition on a
+/// format-version mismatch.
+Result<TableCorpus> OpenCorpusStore(const std::string& path);
+
+}  // namespace ms::persist

@@ -1,0 +1,113 @@
+#include "persist/mapping_text.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/string_util.h"
+
+namespace ms::persist {
+namespace {
+
+/// Digits-only bounded parse for the header counts. std::stoull throws on
+/// garbage and overflow — a malformed curation file must come back as
+/// InvalidArgument, not a process abort (the fail-closed contract of
+/// MappingService::OpenFromMappingsFile).
+bool ParseCount(const std::string& s, uint64_t cap, size_t* out) {
+  if (s.empty() || s.size() > 19) return false;
+  uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  if (v > cap) return false;
+  *out = static_cast<size_t>(v);
+  return true;
+}
+
+/// Provenance counts materialize as zero-filled id vectors; cap them so a
+/// corrupt header cannot demand a multi-GB allocation. (Real mappings have
+/// thousands of member tables; the binary snapshot carries full id lists.)
+constexpr uint64_t kMaxProvenanceCount = uint64_t{1} << 24;
+
+}  // namespace
+
+Status WriteMappingsTsv(const std::vector<SynthesizedMapping>& mappings,
+                        const StringPool& pool, std::ostream& out) {
+  for (const auto& m : mappings) {
+    // Labels may contain spaces; they are the last two space-separated
+    // fields' problem otherwise, so tab-separate the header fields.
+    out << "#mapping\t" << (m.left_label.empty() ? "-" : m.left_label)
+        << '\t' << (m.right_label.empty() ? "-" : m.right_label) << '\t'
+        << m.num_domains << '\t' << m.kept_tables.size() << '\t'
+        << m.member_tables.size() << '\n';
+    for (const auto& p : m.merged.pairs()) {
+      out << pool.Get(p.left) << '\t' << pool.Get(p.right) << '\n';
+    }
+    out << '\n';
+  }
+  if (!out.good()) return Status::IOError("stream write failed");
+  return Status::OK();
+}
+
+Status ReadMappingsTsv(std::istream& in, StringPool* pool,
+                       std::vector<SynthesizedMapping>* mappings) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto fields = Split(line, '\t');
+    if (fields.size() != 6 || fields[0] != "#mapping") {
+      return Status::InvalidArgument("expected '#mapping' header, got: " +
+                                     line);
+    }
+    SynthesizedMapping m;
+    m.left_label = fields[1] == "-" ? "" : fields[1];
+    m.right_label = fields[2] == "-" ? "" : fields[2];
+    size_t kept = 0;
+    size_t members = 0;
+    if (!ParseCount(fields[3], UINT64_MAX / 2, &m.num_domains) ||
+        !ParseCount(fields[4], kMaxProvenanceCount, &kept) ||
+        !ParseCount(fields[5], kMaxProvenanceCount, &members)) {
+      return Status::InvalidArgument("malformed '#mapping' header counts: " +
+                                     line);
+    }
+    // Table ids are provenance counts only once serialized.
+    m.kept_tables.resize(kept);
+    m.member_tables.resize(members);
+
+    std::vector<ValuePair> pairs;
+    while (std::getline(in, line) && !line.empty()) {
+      auto cells = Split(line, '\t');
+      if (cells.size() != 2) {
+        return Status::InvalidArgument("expected 2 cells, got: " + line);
+      }
+      const ValueId left = pool->Intern(cells[0]);
+      const ValueId right = pool->Intern(cells[1]);
+      if (left == kInvalidValueId || right == kInvalidValueId) {
+        return Status::FailedPrecondition(
+            "cannot load mappings into a read-only pool that lacks value: " +
+            line);
+      }
+      pairs.push_back({left, right});
+    }
+    m.merged = BinaryTable::FromPairs(std::move(pairs));
+    mappings->push_back(std::move(m));
+  }
+  if (in.bad()) return Status::IOError("stream read failed");
+  return Status::OK();
+}
+
+Status SaveMappingsTsv(const std::vector<SynthesizedMapping>& mappings,
+                       const StringPool& pool, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  return WriteMappingsTsv(mappings, pool, out);
+}
+
+Status LoadMappingsTsv(const std::string& path, StringPool* pool,
+                       std::vector<SynthesizedMapping>* mappings) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  return ReadMappingsTsv(in, pool, mappings);
+}
+
+}  // namespace ms::persist

@@ -1,0 +1,46 @@
+// Human-readable mapping persistence: the curation handoff format, now
+// owned by the persistence layer alongside the binary snapshot/store
+// formats. A mapping file is what a human curator reviews and what the
+// application layer ships with — the paper's "materialized as tables ...
+// easy to index" story. Line-oriented TSV:
+//
+//   #mapping <left_label> <right_label> <num_domains> <kept> <members>
+//   left<TAB>right
+//   ...
+//   (blank line)
+//
+// synth/mapping_io.h remains as a thin compatibility wrapper over these
+// functions; new code should include this header. For machine-to-machine
+// round trips (lineage ids, stats, checksums) use the binary snapshot
+// (persist/artifact_codec.h) instead — TSV is lossy by design (table
+// contents live in the corpus, not the mapping file).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "synth/mapping.h"
+#include "table/string_pool.h"
+
+namespace ms::persist {
+
+Status WriteMappingsTsv(const std::vector<SynthesizedMapping>& mappings,
+                        const StringPool& pool, std::ostream& out);
+
+/// Reads mappings written by WriteMappingsTsv, interning values into
+/// `pool`. Pair provenance ids are restored as counts only; table contents
+/// are not (they live in the corpus, not the mapping file). Fails with
+/// InvalidArgument on malformed lines, IOError when the stream cannot be
+/// read; `mappings` keeps whatever parsed before the failure, so fail-closed
+/// callers (MappingService::OpenFromMappingsFile) load into a scratch vector.
+Status ReadMappingsTsv(std::istream& in, StringPool* pool,
+                       std::vector<SynthesizedMapping>* mappings);
+
+Status SaveMappingsTsv(const std::vector<SynthesizedMapping>& mappings,
+                       const StringPool& pool, const std::string& path);
+Status LoadMappingsTsv(const std::string& path, StringPool* pool,
+                       std::vector<SynthesizedMapping>* mappings);
+
+}  // namespace ms::persist

@@ -1,0 +1,53 @@
+#include "persist/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ms {
+
+Result<std::shared_ptr<MmapFile>> MmapFile::Open(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    const int err = errno;
+    if (err == ENOENT) {
+      return Status::NotFound("mmap open: no such file: " + path);
+    }
+    return Status::IOError("mmap open failed for " + path + ": " +
+                           std::strerror(err));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IOError("fstat failed for " + path + ": " +
+                           std::strerror(err));
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  const uint8_t* data = nullptr;
+  if (size > 0) {
+    void* p = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (p == MAP_FAILED) {
+      const int err = errno;
+      ::close(fd);
+      return Status::IOError("mmap failed for " + path + ": " +
+                             std::strerror(err));
+    }
+    data = static_cast<const uint8_t*>(p);
+  }
+  // The mapping pins the file contents; the descriptor is no longer needed.
+  ::close(fd);
+  return std::shared_ptr<MmapFile>(new MmapFile(path, data, size));
+}
+
+MmapFile::~MmapFile() {
+  if (data_ != nullptr && size_ > 0) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+}
+
+}  // namespace ms

@@ -1,0 +1,51 @@
+// Read-only memory-mapped file: the zero-copy read path of the persistence
+// layer. A snapshot/corpus-store load maps the file once and hands out
+// string_views over the mapping instead of copying every cell value through
+// the parser — multi-GB corpora open at page-fault speed and share clean
+// pages across processes.
+//
+// Lifetime rule: every view into the mapping is invalidated when the
+// MmapFile is destroyed (the region is munmap'd). Consumers that re-expose
+// the bytes — StringPool via AdoptExternal() — must pin the file with
+// StringPool::RetainBacking(shared_ptr<MmapFile>), which the persist
+// loaders do automatically.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace ms {
+
+class MmapFile {
+ public:
+  /// Maps `path` read-only (PROT_READ, MAP_PRIVATE). NotFound when the file
+  /// does not exist, IOError on any other open/stat/map failure. An empty
+  /// file maps successfully with size() == 0.
+  static Result<std::shared_ptr<MmapFile>> Open(const std::string& path);
+
+  ~MmapFile();
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  std::string_view bytes() const {
+    return {reinterpret_cast<const char*>(data_), size_};
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  MmapFile(std::string path, const uint8_t* data, size_t size)
+      : path_(std::move(path)), data_(data), size_(size) {}
+
+  std::string path_;
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace ms

@@ -1,0 +1,148 @@
+#include "persist/snapshot.h"
+
+#include <fstream>
+
+#include "common/crc32.h"
+#include "persist/wire.h"
+
+namespace ms::persist {
+
+namespace {
+constexpr size_t kHeaderBytes = 28;       // magic+version+count+fingerprint+crc
+constexpr size_t kSectionHeaderBytes = 16;  // id+crc+size
+}  // namespace
+
+void ContainerWriter::AddSection(uint32_t id, std::string payload) {
+  sections_.push_back(Section{id, std::move(payload)});
+}
+
+Status ContainerWriter::WriteFile(const std::string& path) const {
+  WireWriter header;
+  header.U64(magic_);
+  header.U32(kFormatVersion);
+  header.U32(static_cast<uint32_t>(sections_.size()));
+  header.U64(fingerprint_);
+  header.U32(Crc32(header.bytes()));
+
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(header.bytes().data(),
+            static_cast<std::streamsize>(header.bytes().size()));
+  for (const Section& s : sections_) {
+    WireWriter sh;
+    sh.U32(s.id);
+    sh.U32(Crc32(s.payload));
+    sh.U64(s.payload.size());
+    out.write(sh.bytes().data(),
+              static_cast<std::streamsize>(sh.bytes().size()));
+    out.write(s.payload.data(), static_cast<std::streamsize>(s.payload.size()));
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("write failed: " + path);
+  return Status::OK();
+}
+
+Result<ContainerReader> ContainerReader::Open(const std::string& path,
+                                              uint64_t expected_magic) {
+  Result<std::shared_ptr<MmapFile>> mapped = MmapFile::Open(path);
+  if (!mapped.ok()) return mapped.status();
+  std::shared_ptr<MmapFile> file = std::move(mapped).value();
+
+  if (file->size() < kHeaderBytes) {
+    return Status::DataLoss("container truncated: " + path + " holds " +
+                            std::to_string(file->size()) +
+                            " bytes, header needs " +
+                            std::to_string(kHeaderBytes));
+  }
+  WireReader header(file->data(), kHeaderBytes);
+  const uint64_t magic = header.U64();
+  const uint32_t version = header.U32();
+  const uint32_t section_count = header.U32();
+  const uint64_t fingerprint = header.U64();
+  const uint32_t header_crc = header.U32();
+  const uint32_t computed_crc = Crc32(file->data(), kHeaderBytes - 4);
+  if (magic != expected_magic || header_crc != computed_crc) {
+    return Status::DataLoss(
+        "container header corrupt (bad magic or header checksum): " + path);
+  }
+  if (version != kFormatVersion) {
+    // The header checksum passed, so this really is a container written by
+    // a different format revision — incompatibility, not corruption.
+    return Status::FailedPrecondition(
+        "unsupported container format version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kFormatVersion) +
+        "): " + path);
+  }
+
+  ContainerReader reader;
+  reader.file_ = file;
+  reader.fingerprint_ = fingerprint;
+  reader.version_ = version;
+  size_t off = kHeaderBytes;
+  for (uint32_t i = 0; i < section_count; ++i) {
+    if (file->size() - off < kSectionHeaderBytes) {
+      return Status::DataLoss("container truncated inside section header " +
+                              std::to_string(i) + ": " + path);
+    }
+    WireReader sh(file->data() + off, kSectionHeaderBytes);
+    const uint32_t id = sh.U32();
+    const uint32_t payload_crc = sh.U32();
+    const uint64_t payload_size = sh.U64();
+    off += kSectionHeaderBytes;
+    if (payload_size > file->size() - off) {
+      return Status::DataLoss("container truncated inside section " +
+                              std::to_string(id) + " payload: " + path);
+    }
+    std::string_view payload(
+        reinterpret_cast<const char*>(file->data() + off),
+        static_cast<size_t>(payload_size));
+    if (Crc32(payload) != payload_crc) {
+      return Status::DataLoss("checksum mismatch in section " +
+                              std::to_string(id) + ": " + path);
+    }
+    for (const auto& [seen_id, unused] : reader.sections_) {
+      if (seen_id == id) {
+        return Status::DataLoss("duplicate section id " + std::to_string(id) +
+                                ": " + path);
+      }
+    }
+    reader.sections_.emplace_back(id, payload);
+    off += payload_size;
+  }
+  if (off != file->size()) {
+    return Status::DataLoss("container has " +
+                            std::to_string(file->size() - off) +
+                            " trailing bytes after the last section: " + path);
+  }
+  return reader;
+}
+
+Result<std::string_view> ContainerReader::Section(uint32_t id) const {
+  for (const auto& [sid, payload] : sections_) {
+    if (sid == id) return payload;
+  }
+  return Status::NotFound("container has no section with id " +
+                          std::to_string(id));
+}
+
+Status ContainerReader::RequireKnownSections(
+    std::initializer_list<uint32_t> allowed) const {
+  for (const auto& [sid, unused] : sections_) {
+    bool known = false;
+    for (uint32_t a : allowed) known = known || a == sid;
+    if (!known) {
+      return Status::DataLoss("unknown section id " + std::to_string(sid) +
+                              " in " + file_->path());
+    }
+  }
+  return Status::OK();
+}
+
+bool ContainerReader::HasSection(uint32_t id) const {
+  for (const auto& [sid, unused] : sections_) {
+    if (sid == id) return true;
+  }
+  return false;
+}
+
+}  // namespace ms::persist

@@ -1,0 +1,130 @@
+// Versioned binary container format shared by session snapshots (*.mssnap)
+// and corpus stores (*.mscorp). Layout (all integers little-endian):
+//
+//   FileHeader (28 bytes):
+//     u64 magic                 kSessionSnapshotMagic / kCorpusStoreMagic
+//     u32 format_version        kFormatVersion at write time
+//     u32 section_count
+//     u64 options_fingerprint   result-affecting options hash (0 = unused)
+//     u32 header_crc            CRC-32 of the 24 bytes above
+//   section_count x Section:
+//     u32 section_id
+//     u32 payload_crc           CRC-32 of the payload bytes
+//     u64 payload_size
+//     u8  payload[payload_size]
+//
+// Every byte of the file is covered by a checksum (the header by
+// header_crc, each payload by its section CRC, section headers implicitly
+// by the bounds/ids they must satisfy), so any truncation or bit flip
+// surfaces as Status::DataLoss at open — never a crash or a silently
+// different artifact. Integrity verification happens before any payload is
+// interpreted. Failure taxonomy:
+//   DataLoss            truncated/corrupt bytes, bad magic, CRC mismatch
+//   FailedPrecondition  intact file, incompatible: unsupported
+//                       format_version or (checked by the caller) an
+//                       options-fingerprint mismatch
+//   NotFound/IOError    the OS could not produce the bytes at all
+//
+// Readers hold the file mmap'd: section payloads are zero-copy views into
+// the mapping, which downstream consumers pin via the shared MmapFile
+// handle (see persist/mmap_file.h for the lifetime rule).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "persist/mmap_file.h"
+
+namespace ms::persist {
+
+inline constexpr uint32_t kFormatVersion = 1;
+
+/// "MSSNAP1\0" and "MSCORP1\0" as little-endian u64s.
+inline constexpr uint64_t kSessionSnapshotMagic = 0x003150414E53534DULL;
+inline constexpr uint64_t kCorpusStoreMagic = 0x003150524F43534DULL;
+
+/// Section ids of the session snapshot container.
+enum SnapshotSection : uint32_t {
+  kSectionStringPool = 1,
+  kSectionCandidates = 2,
+  kSectionBlockedPairs = 3,
+  kSectionScoredGraph = 4,
+  kSectionResult = 5,
+  kSectionLineage = 6,
+};
+
+/// Section ids of the corpus store container.
+enum CorpusSection : uint32_t {
+  kSectionCorpusPool = 1,
+  kSectionCorpusTables = 2,
+};
+
+/// Accumulates sections in memory and writes the whole container with one
+/// streaming pass. Section order is preserved; ids must be unique.
+class ContainerWriter {
+ public:
+  ContainerWriter(uint64_t magic, uint64_t options_fingerprint)
+      : magic_(magic), fingerprint_(options_fingerprint) {}
+
+  void AddSection(uint32_t id, std::string payload);
+
+  /// Writes header + sections to `path` (truncating). IOError on any write
+  /// failure; the file is left behind in an undefined state on error (its
+  /// checksums will refuse to load it).
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  struct Section {
+    uint32_t id;
+    std::string payload;
+  };
+  uint64_t magic_;
+  uint64_t fingerprint_;
+  std::vector<Section> sections_;
+};
+
+/// Opens and fully verifies a container: magic, format version, header CRC,
+/// section framing bounds, and every section's payload CRC. After a
+/// successful Open, payloads are structurally trustworthy views into the
+/// mapping (logical decoding errors beyond this point are codec bugs).
+class ContainerReader {
+ public:
+  /// `expected_magic` selects the container family; a file with the other
+  /// family's valid magic fails with DataLoss ("not a ... file") rather
+  /// than FailedPrecondition, since the caller asked for bytes this file
+  /// never contained.
+  static Result<ContainerReader> Open(const std::string& path,
+                                      uint64_t expected_magic);
+
+  uint64_t options_fingerprint() const { return fingerprint_; }
+  uint32_t format_version() const { return version_; }
+
+  /// Payload of the section with `id`, or NotFound if the container has no
+  /// such section.
+  Result<std::string_view> Section(uint32_t id) const;
+  bool HasSection(uint32_t id) const;
+
+  /// DataLoss unless every present section id is in `allowed`. Readers are
+  /// strict: format evolution happens via format_version bumps, not via
+  /// tolerated unknown sections — a bit-flipped section id must surface as
+  /// corruption, not silently drop an optional section.
+  Status RequireKnownSections(std::initializer_list<uint32_t> allowed) const;
+
+  /// The underlying mapping; pin it wherever payload views escape.
+  const std::shared_ptr<MmapFile>& file() const { return file_; }
+
+ private:
+  ContainerReader() = default;
+
+  std::shared_ptr<MmapFile> file_;
+  uint64_t fingerprint_ = 0;
+  uint32_t version_ = 0;
+  std::vector<std::pair<uint32_t, std::string_view>> sections_;
+};
+
+}  // namespace ms::persist

@@ -1,0 +1,123 @@
+// Byte-level encoding primitives for the persistence layer. Everything is
+// explicit little-endian via memcpy (no struct casting), so snapshots are
+// byte-stable across compilers and alignment-safe when read straight out of
+// an mmap'd region.
+//
+// WireWriter appends to an in-memory section buffer; WireReader walks a
+// section payload with hard bounds checks. A reader that runs off the end
+// flips into a sticky failed state and every subsequent read returns a
+// zero/empty value — callers check ok() once at the end instead of after
+// every field. Payloads are CRC-verified before a reader ever sees them
+// (persist/snapshot.h), so a failed reader means a codec bug, not silent
+// corruption.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace ms::persist {
+
+// memcpy of native integers IS the little-endian encoding on every target
+// this project builds for; a big-endian port would add byte swaps here.
+static_assert(std::endian::native == std::endian::little,
+              "persist wire format assumes a little-endian host");
+
+class WireWriter {
+ public:
+  void U8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    U64(bits);
+  }
+  void Bool(bool v) { U8(v ? 1 : 0); }
+  /// Length-prefixed (u32) byte string.
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  /// Raw bytes, no length prefix (caller encodes the framing).
+  void Raw(const void* data, size_t size) {
+    buf_.append(static_cast<const char*>(data), size);
+  }
+
+  const std::string& bytes() const { return buf_; }
+  std::string&& Take() { return std::move(buf_); }
+
+ private:
+  std::string buf_;
+};
+
+class WireReader {
+ public:
+  WireReader(const void* data, size_t size)
+      : p_(static_cast<const uint8_t*>(data)), end_(p_ + size) {}
+  explicit WireReader(std::string_view bytes)
+      : WireReader(bytes.data(), bytes.size()) {}
+
+  uint8_t U8() {
+    uint8_t v = 0;
+    Load(&v, sizeof(v));
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    Load(&v, sizeof(v));
+    return v;
+  }
+  uint64_t U64() {
+    uint64_t v = 0;
+    Load(&v, sizeof(v));
+    return v;
+  }
+  double F64() {
+    uint64_t bits = U64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  bool Bool() { return U8() != 0; }
+  /// Length-prefixed byte string; the view aliases the underlying buffer
+  /// (zero-copy — valid as long as the buffer, e.g. the mmap, lives).
+  std::string_view Str() {
+    uint32_t n = U32();
+    return View(n);
+  }
+  /// `size` raw bytes as a view into the underlying buffer.
+  std::string_view View(size_t size) {
+    if (!ok_ || size > static_cast<size_t>(end_ - p_)) {
+      ok_ = false;
+      return {};
+    }
+    std::string_view v(reinterpret_cast<const char*>(p_), size);
+    p_ += size;
+    return v;
+  }
+
+  /// True while every read so far stayed in bounds.
+  bool ok() const { return ok_; }
+  /// True when the payload was consumed exactly (no trailing garbage).
+  bool AtEnd() const { return ok_ && p_ == end_; }
+  size_t remaining() const { return static_cast<size_t>(end_ - p_); }
+
+ private:
+  void Load(void* out, size_t size) {
+    if (!ok_ || size > static_cast<size_t>(end_ - p_)) {
+      ok_ = false;
+      return;
+    }
+    std::memcpy(out, p_, size);
+    p_ += size;
+  }
+
+  const uint8_t* p_;
+  const uint8_t* end_;
+  bool ok_ = true;
+};
+
+}  // namespace ms::persist

@@ -1,77 +1,27 @@
 #include "synth/mapping_io.h"
 
-#include <fstream>
-#include <ostream>
-#include <sstream>
-
-#include "common/string_util.h"
+#include "persist/mapping_text.h"
 
 namespace ms {
 
 Status WriteMappingsTsv(const std::vector<SynthesizedMapping>& mappings,
                         const StringPool& pool, std::ostream& out) {
-  for (const auto& m : mappings) {
-    // Labels may contain spaces; they are the last two space-separated
-    // fields' problem otherwise, so tab-separate the header fields.
-    out << "#mapping\t" << (m.left_label.empty() ? "-" : m.left_label)
-        << '\t' << (m.right_label.empty() ? "-" : m.right_label) << '\t'
-        << m.num_domains << '\t' << m.kept_tables.size() << '\t'
-        << m.member_tables.size() << '\n';
-    for (const auto& p : m.merged.pairs()) {
-      out << pool.Get(p.left) << '\t' << pool.Get(p.right) << '\n';
-    }
-    out << '\n';
-  }
-  if (!out.good()) return Status::IOError("stream write failed");
-  return Status::OK();
+  return persist::WriteMappingsTsv(mappings, pool, out);
 }
 
 Status ReadMappingsTsv(std::istream& in, StringPool* pool,
                        std::vector<SynthesizedMapping>* mappings) {
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty()) continue;
-    auto fields = Split(line, '\t');
-    if (fields.size() != 6 || fields[0] != "#mapping") {
-      return Status::InvalidArgument("expected '#mapping' header, got: " +
-                                     line);
-    }
-    SynthesizedMapping m;
-    m.left_label = fields[1] == "-" ? "" : fields[1];
-    m.right_label = fields[2] == "-" ? "" : fields[2];
-    m.num_domains = static_cast<size_t>(std::stoull(fields[3]));
-    const size_t kept = static_cast<size_t>(std::stoull(fields[4]));
-    const size_t members = static_cast<size_t>(std::stoull(fields[5]));
-    // Table ids are provenance counts only once serialized.
-    m.kept_tables.resize(kept);
-    m.member_tables.resize(members);
-
-    std::vector<ValuePair> pairs;
-    while (std::getline(in, line) && !line.empty()) {
-      auto cells = Split(line, '\t');
-      if (cells.size() != 2) {
-        return Status::InvalidArgument("expected 2 cells, got: " + line);
-      }
-      pairs.push_back({pool->Intern(cells[0]), pool->Intern(cells[1])});
-    }
-    m.merged = BinaryTable::FromPairs(std::move(pairs));
-    mappings->push_back(std::move(m));
-  }
-  return Status::OK();
+  return persist::ReadMappingsTsv(in, pool, mappings);
 }
 
 Status SaveMappings(const std::vector<SynthesizedMapping>& mappings,
                     const StringPool& pool, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  return WriteMappingsTsv(mappings, pool, out);
+  return persist::SaveMappingsTsv(mappings, pool, path);
 }
 
 Status LoadMappings(const std::string& path, StringPool* pool,
                     std::vector<SynthesizedMapping>* mappings) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open for read: " + path);
-  return ReadMappingsTsv(in, pool, mappings);
+  return persist::LoadMappingsTsv(path, pool, mappings);
 }
 
 }  // namespace ms

@@ -1,12 +1,11 @@
-// Persistence for synthesized mappings: the curation handoff artifact. A
-// mapping file is what a human curator reviews and what the application
-// layer (MappingStore) ships with — the paper's "materialized as tables ...
-// easy to index" story. Line-oriented TSV:
-//
-//   #mapping <left_label> <right_label> <num_domains> <kept> <members>
-//   left<TAB>right
-//   ...
-//   (blank line)
+// Compatibility wrapper over persist/mapping_text.h, kept so existing
+// includes and call sites keep compiling. The persistence layer
+// (src/persist/) now owns all mapping I/O:
+//   - human-readable curation TSV     -> persist/mapping_text.h (this API)
+//   - binary checksummed snapshots    -> persist/artifact_codec.h
+//   - mmap-backed corpus store        -> persist/corpus_store.h
+// New code should include the persist headers directly; see docs/api.md
+// for the migration table.
 #pragma once
 
 #include <iosfwd>

@@ -5,9 +5,12 @@
 #include <functional>
 #include <mutex>
 
+#include "common/hashing.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "graph/connected_components.h"
+#include "persist/artifact_codec.h"
+#include "persist/wire.h"
 #include "stats/inverted_index.h"
 #include "table/tsv.h"
 
@@ -40,6 +43,47 @@ Status SynthesisOptions::Validate() const {
         " (0 means hardware concurrency)");
   }
   return Status::OK();
+}
+
+uint64_t OptionsFingerprint(const SynthesisOptions& o) {
+  // Serialize every result-affecting knob through the persist wire encoding
+  // (stable little-endian bytes) and FNV-hash the stream. Field order is
+  // part of snapshot compatibility: changing it orphans old snapshots with
+  // FailedPrecondition, which is exactly what a semantics change should do.
+  persist::WireWriter w;
+  w.F64(o.extraction.coherence_threshold);
+  w.F64(o.extraction.fd_theta);
+  w.U64(o.extraction.min_pairs);
+  w.U64(o.extraction.max_columns);
+  w.Bool(o.extraction.drop_numeric_left);
+  w.U64(o.extraction.coherence.max_sampled_values);
+  w.U64(o.extraction.coherence.sample_seed);
+  w.U64(o.extraction.coherence.min_value_support);
+  w.Bool(o.extraction.normalize.lowercase);
+  w.Bool(o.extraction.normalize.strip_punctuation);
+  w.Bool(o.extraction.normalize.collapse_whitespace);
+  w.Bool(o.extraction.normalize.strip_footnote_marks);
+  w.U64(o.blocking.theta_overlap);
+  w.U64(o.blocking.max_posting);
+  w.Bool(o.compat.approximate_matching);
+  w.F64(o.compat.edit.fractional);
+  w.U64(o.compat.edit.cap);
+  // Synonym feeds can't be persisted (caller-owned), but artifact contents
+  // depend on theirs: fingerprint presence + content version so a restart
+  // with a drifted dictionary refuses the stale graph.
+  w.Bool(o.compat.synonyms != nullptr);
+  w.U64(o.compat.synonyms ? o.compat.synonyms->version() : 0);
+  w.F64(o.partitioner.tau);
+  w.F64(o.partitioner.theta_edge);
+  w.Bool(o.partitioner.use_negative_signals);
+  w.Bool(o.conflict.synonyms != nullptr);
+  w.U64(o.conflict.synonyms ? o.conflict.synonyms->version() : 0);
+  w.Bool(o.resolve_conflicts);
+  w.Bool(o.use_majority_voting);
+  w.Bool(o.divide_and_conquer);
+  w.U64(o.min_domains);
+  w.U64(o.min_pairs);
+  return Fnv1a64(w.bytes());
 }
 
 namespace {
@@ -517,6 +561,72 @@ Result<SynthesisResult> SynthesisSession::Resolve(
                << result.stats.partitions << " partitions, "
                << result.stats.mappings << " mappings";
   return result;
+}
+
+// --------------------------------------------------------------- persistence
+
+Status SynthesisSession::SaveSnapshot(const std::string& path,
+                                      const CandidateSet& candidates,
+                                      const BlockedPairs* blocked,
+                                      const ScoredGraph* scored,
+                                      const SynthesisResult* result) {
+  MS_RETURN_IF_ERROR(ReadyToRun());
+  MS_RETURN_IF_ERROR(CheckSameSession("SaveSnapshot", candidates.session));
+  if (blocked != nullptr) {
+    MS_RETURN_IF_ERROR(CheckLineage("SaveSnapshot", blocked->session,
+                                    blocked->candidates_id,
+                                    candidates.artifact_id));
+  }
+  if (scored != nullptr) {
+    MS_RETURN_IF_ERROR(CheckLineage("SaveSnapshot", scored->session,
+                                    scored->candidates_id,
+                                    candidates.artifact_id));
+  }
+  MS_RETURN_IF_ERROR(persist::SaveSessionSnapshot(
+      path, OptionsFingerprint(options_), candidates, blocked, scored,
+      result));
+  ++session_stats_.snapshot_saves;
+  return Status::OK();
+}
+
+Result<SessionSnapshot> SynthesisSession::RestoreSnapshot(
+    const std::string& path) {
+  MS_RETURN_IF_ERROR(ReadyToRun());
+  Result<SessionSnapshot> loaded =
+      persist::LoadSessionSnapshot(path, OptionsFingerprint(options_));
+  if (!loaded.ok()) return loaded.status();
+  SessionSnapshot snap = std::move(loaded).value();
+
+  // Stamp the artifacts as this session's. Saved lineage ids are kept
+  // verbatim (they round-trip) unless they would collide with ids this
+  // session already issued — then the whole restored family is rebased by a
+  // constant offset, preserving every internal candidates/graph link.
+  uint64_t min_id = snap.candidates->artifact_id;
+  uint64_t max_id = snap.candidates->artifact_id;
+  auto track = [&](uint64_t id) {
+    min_id = std::min(min_id, id);
+    max_id = std::max(max_id, id);
+  };
+  if (snap.blocked) track(snap.blocked->artifact_id);
+  if (snap.scored) track(snap.scored->artifact_id);
+  const uint64_t shift = min_id < next_artifact_id_
+                             ? next_artifact_id_ - min_id
+                             : 0;
+  snap.candidates->session = this;
+  snap.candidates->artifact_id += shift;
+  if (snap.blocked) {
+    snap.blocked->session = this;
+    snap.blocked->artifact_id += shift;
+    snap.blocked->candidates_id += shift;
+  }
+  if (snap.scored) {
+    snap.scored->session = this;
+    snap.scored->artifact_id += shift;
+    snap.scored->candidates_id += shift;
+  }
+  next_artifact_id_ = std::max(next_artifact_id_, max_id + shift + 1);
+  ++session_stats_.snapshot_restores;
+  return snap;
 }
 
 // ---------------------------------------------------------------- composites

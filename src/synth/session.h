@@ -174,6 +174,33 @@ struct Partitions {
   const void* session = nullptr;
 };
 
+/// Stable 64-bit fingerprint of every option that affects artifact
+/// *contents* (extraction, blocking, scoring, partitioning, conflict and
+/// curation knobs, plus the synonym dictionary version when one is wired
+/// in). Pure-speed knobs — num_threads, matcher_cache_cap, the bit-parallel
+/// gate, blocking-count reuse — are excluded: results are identical across
+/// them by construction, so a snapshot saved under one machine's tuning
+/// restores under another's. Snapshots embed this fingerprint and
+/// RestoreSnapshot refuses (FailedPrecondition) when it does not match the
+/// restoring session's options.
+uint64_t OptionsFingerprint(const SynthesisOptions& options);
+
+/// A process-restart image restored from a snapshot file: the stage
+/// artifacts (and, when saved, the final result) of a previous session,
+/// rebuilt without re-running extraction, blocking, or scoring. The pool is
+/// zero-copy — its strings are string_views into the mmap'd snapshot, which
+/// the pool itself keeps alive (StringPool::RetainBacking) — so the
+/// snapshot holder can hand `pool` to long-lived consumers (MappingStore)
+/// and drop the rest. Artifacts reference `pool` and must not outlive it.
+struct SessionSnapshot {
+  std::shared_ptr<StringPool> pool;
+  std::unique_ptr<CandidateSet> candidates;
+  std::unique_ptr<BlockedPairs> blocked;  ///< null when not saved
+  std::unique_ptr<ScoredGraph> scored;    ///< null when not saved
+  bool has_result = false;
+  SynthesisResult result;
+};
+
 /// Builds the full compatibility graph for a candidate set: blocking, then
 /// exact w+/w- scoring of every surviving pair (parallel). Exposed so the
 /// SchemaCC / Correlation baselines run on the identical graph; the session
@@ -261,6 +288,31 @@ class SynthesisSession {
   Result<SynthesisResult> FinishFromBlocked(const CandidateSet& candidates,
                                             const BlockedPairs& blocked);
 
+  // ------------------------------------------------------------ persistence
+
+  /// Writes a versioned, checksummed snapshot (persist/snapshot.h) of the
+  /// given artifacts — and the string pool they resolve against — to
+  /// `path`. `candidates` is mandatory (every other artifact references
+  /// it); `blocked`/`scored`/`result` are optional and round-trip when
+  /// present. Artifacts must carry this session's lineage (same
+  /// FailedPrecondition discipline as the stages). The snapshot embeds
+  /// OptionsFingerprint(options()).
+  Status SaveSnapshot(const std::string& path, const CandidateSet& candidates,
+                      const BlockedPairs* blocked = nullptr,
+                      const ScoredGraph* scored = nullptr,
+                      const SynthesisResult* result = nullptr);
+
+  /// Restores a snapshot into this session: artifacts come back with their
+  /// saved lineage ids and cumulative PipelineStats, stamped as this
+  /// session's own (the artifact-id counter advances past them), ready to
+  /// feed straight into the downstream stages — RestoreSnapshot then
+  /// Partition+Resolve is the warm-restart path. Fails with
+  /// FailedPrecondition when the snapshot's options fingerprint does not
+  /// match OptionsFingerprint(options()) — call UpdateOptions with the
+  /// saving configuration first — and with DataLoss on a truncated or
+  /// corrupted file.
+  Result<SessionSnapshot> RestoreSnapshot(const std::string& path);
+
   /// Per-stage run counters: lets callers (and tests) assert which stages a
   /// warm re-run actually executed.
   struct SessionStats {
@@ -274,6 +326,9 @@ class SynthesisSession {
     size_t warm_scoring_runs = 0;
     /// Synonym snapshots (re)built because the dictionary version moved.
     size_t snapshot_rebuilds = 0;
+    /// Persistence round trips through Save/RestoreSnapshot.
+    size_t snapshot_saves = 0;
+    size_t snapshot_restores = 0;
   };
   const SessionStats& session_stats() const { return session_stats_; }
 

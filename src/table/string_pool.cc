@@ -8,9 +8,11 @@ ValueId StringPool::Intern(std::string_view s) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = index_.find(s);
   if (it != index_.end()) return it->second;
-  strings_.emplace_back(s);
-  ValueId id = static_cast<ValueId>(strings_.size() - 1);
-  index_.emplace(std::string_view(strings_.back()), id);
+  if (read_only_) return kInvalidValueId;
+  owned_.emplace_back(s);
+  views_.push_back(std::string_view(owned_.back()));
+  ValueId id = static_cast<ValueId>(views_.size() - 1);
+  index_.emplace(views_.back(), id);
   return id;
 }
 
@@ -24,11 +26,44 @@ void StringPool::InternBatch(const std::vector<std::string>& strs,
       ids->push_back(it->second);
       continue;
     }
-    strings_.emplace_back(s);
-    ValueId id = static_cast<ValueId>(strings_.size() - 1);
-    index_.emplace(std::string_view(strings_.back()), id);
+    if (read_only_) {
+      ids->push_back(kInvalidValueId);
+      continue;
+    }
+    owned_.emplace_back(s);
+    views_.push_back(std::string_view(owned_.back()));
+    ValueId id = static_cast<ValueId>(views_.size() - 1);
+    index_.emplace(views_.back(), id);
     ids->push_back(id);
   }
+}
+
+void StringPool::AdoptExternal(const std::vector<std::string_view>& views) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (read_only_) return;
+  views_.reserve(views_.size() + views.size());
+  index_.reserve(index_.size() + views.size());
+  for (std::string_view v : views) {
+    views_.push_back(v);
+    // Keep-first on duplicates, matching Intern(): ids stay dense either
+    // way, and persisted pools are deduplicated by construction.
+    index_.emplace(v, static_cast<ValueId>(views_.size() - 1));
+  }
+}
+
+void StringPool::RetainBacking(std::shared_ptr<const void> backing) {
+  std::lock_guard<std::mutex> lock(mu_);
+  backings_.push_back(std::move(backing));
+}
+
+void StringPool::MarkReadOnly() {
+  std::lock_guard<std::mutex> lock(mu_);
+  read_only_ = true;
+}
+
+bool StringPool::read_only() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return read_only_;
 }
 
 ValueId StringPool::Find(std::string_view s) const {
@@ -39,13 +74,13 @@ ValueId StringPool::Find(std::string_view s) const {
 
 std::string_view StringPool::Get(ValueId id) const {
   std::lock_guard<std::mutex> lock(mu_);
-  assert(id < strings_.size());
-  return strings_[id];
+  assert(id < views_.size());
+  return views_[id];
 }
 
 size_t StringPool::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return strings_.size();
+  return views_.size();
 }
 
 }  // namespace ms

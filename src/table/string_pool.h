@@ -2,10 +2,23 @@
 // once and referenced by a dense 32-bit ValueId everywhere else (tables,
 // binary relations, inverted indexes, graphs). This keeps the quadratic
 // compatibility computations id-based and cache-friendly.
+//
+// Two storage modes coexist in one pool:
+//   - Intern()'d strings are copied into pool-owned storage (deque: stored
+//     bytes never move), exactly as before.
+//   - AdoptExternal() appends string_views over caller-owned memory without
+//     copying — the zero-copy path the persistence layer uses to rebuild a
+//     pool over an mmap'd snapshot/corpus-store region. The backing mapping
+//     is pinned for the pool's lifetime with RetainBacking(), so views can
+//     never outlive their bytes no matter where the pool handle travels.
+// MarkReadOnly() freezes the pool for serving-only deployments: lookups
+// keep working, but interning an unseen string returns kInvalidValueId
+// instead of mutating the pool.
 #pragma once
 
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -20,15 +33,17 @@ using ValueId = uint32_t;
 inline constexpr ValueId kInvalidValueId = UINT32_MAX;
 
 /// Append-only interning pool. Intern() is thread-safe; Get() is safe to
-/// call concurrently with Intern() because stored strings never move (deque
-/// storage) and ids are handed out only after the string is in place.
+/// call concurrently with Intern() because stored bytes never move (deque
+/// storage for owned strings, caller-pinned memory for adopted ones) and
+/// ids are handed out only after the string is in place.
 class StringPool {
  public:
   StringPool() = default;
   StringPool(const StringPool&) = delete;
   StringPool& operator=(const StringPool&) = delete;
 
-  /// Returns the id for `s`, inserting it on first sight.
+  /// Returns the id for `s`, inserting it on first sight. On a read-only
+  /// pool, unseen strings return kInvalidValueId instead of inserting.
   ValueId Intern(std::string_view s);
 
   /// Interns every string in `strs` under a single lock acquisition and
@@ -37,6 +52,24 @@ class StringPool {
   /// worker on this pool's mutex.
   void InternBatch(const std::vector<std::string>& strs,
                    std::vector<ValueId>* ids);
+
+  /// Zero-copy bulk adoption: appends `views` verbatim as ids
+  /// size()..size()+n-1 WITHOUT copying the bytes. The caller guarantees
+  /// the backing memory outlives the pool — pin an mmap with
+  /// RetainBacking(). Views are indexed for Find()/Intern() like owned
+  /// strings. Ignored on a read-only pool.
+  void AdoptExternal(const std::vector<std::string_view>& views);
+
+  /// Pins `backing` (e.g. a persist::MmapFile) until the pool is destroyed,
+  /// making AdoptExternal()'d views safe wherever the pool handle is shared.
+  void RetainBacking(std::shared_ptr<const void> backing);
+
+  /// Freezes the pool: Find()/Get() keep working, Intern() of an already
+  /// interned string still returns its id, but unseen strings return
+  /// kInvalidValueId instead of inserting. Irreversible; used by
+  /// serving-only deployments restored from snapshots.
+  void MarkReadOnly();
+  bool read_only() const;
 
   /// Returns the id for `s` or kInvalidValueId if never interned.
   ValueId Find(std::string_view s) const;
@@ -48,8 +81,12 @@ class StringPool {
 
  private:
   mutable std::mutex mu_;
-  std::deque<std::string> strings_;
+  /// id -> bytes; views point into `owned_` or into retained backings.
+  std::vector<std::string_view> views_;
+  std::deque<std::string> owned_;
   std::unordered_map<std::string_view, ValueId> index_;
+  std::vector<std::shared_ptr<const void>> backings_;
+  bool read_only_ = false;
 };
 
 }  // namespace ms
