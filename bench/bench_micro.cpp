@@ -5,11 +5,13 @@
 // probes, and mapping-store lookups.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
 #include <memory>
 
 #include "apps/mapping_store.h"
 #include "common/bloom_filter.h"
 #include "common/random.h"
+#include "persist/corpus_store.h"
 #include "stats/npmi.h"
 #include "synth/blocking.h"
 #include "synth/compatibility.h"
@@ -17,6 +19,10 @@
 #include "synth/partitioner.h"
 #include "text/edit_distance.h"
 #include "text/myers.h"
+
+#ifndef MS_PERSIST_SCRATCH_DIR
+#define MS_PERSIST_SCRATCH_DIR "."
+#endif
 
 namespace ms {
 namespace {
@@ -368,6 +374,58 @@ void BM_CoOccurrenceSkewed(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CoOccurrenceSkewed);
+
+// Corpus-store open time: lazy pool indexing (PR 5) defers the string -> id
+// hash build, so id-only consumers (serving, snapshot-driven synthesis)
+// open without it. The Eager variant forces the build with one Find(), i.e.
+// the pre-PR-5 open cost shape.
+TableCorpus StoreBenchCorpus(size_t tables) {
+  TableCorpus corpus;
+  Rng rng(11);
+  for (size_t t = 0; t < tables; ++t) {
+    std::vector<std::string> left, right;
+    for (int r = 0; r < 10; ++r) {
+      left.push_back("entity value " + std::to_string(rng.Uniform(20000)));
+      right.push_back("c" + std::to_string(rng.Uniform(4000)));
+    }
+    corpus.AddFromStrings("d", TableSource::kWeb, {"a", "b"}, {left, right});
+  }
+  return corpus;
+}
+
+void BM_CorpusStoreOpenLazy(benchmark::State& state) {
+  const std::string path =
+      std::string(MS_PERSIST_SCRATCH_DIR) + "/bench_micro_open.mscorp";
+  TableCorpus corpus = StoreBenchCorpus(static_cast<size_t>(state.range(0)));
+  if (!persist::SaveCorpusStore(corpus, path).ok()) {
+    state.SkipWithError("cannot write corpus store scratch file");
+    return;
+  }
+  for (auto _ : state) {
+    auto opened = persist::OpenCorpusStore(path);
+    benchmark::DoNotOptimize(opened.value().pool().size());
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_CorpusStoreOpenLazy)->Arg(2000)->Arg(20000);
+
+void BM_CorpusStoreOpenEagerIndex(benchmark::State& state) {
+  const std::string path =
+      std::string(MS_PERSIST_SCRATCH_DIR) + "/bench_micro_open_eager.mscorp";
+  TableCorpus corpus = StoreBenchCorpus(static_cast<size_t>(state.range(0)));
+  if (!persist::SaveCorpusStore(corpus, path).ok()) {
+    state.SkipWithError("cannot write corpus store scratch file");
+    return;
+  }
+  for (auto _ : state) {
+    auto opened = persist::OpenCorpusStore(path);
+    // One string -> id lookup materializes the whole index: the old eager
+    // open cost, now paid only by paths that actually intern or Find.
+    benchmark::DoNotOptimize(opened.value().pool().Find("nope"));
+  }
+  std::remove(path.c_str());
+}
+BENCHMARK(BM_CorpusStoreOpenEagerIndex)->Arg(2000)->Arg(20000);
 
 void BM_Npmi(benchmark::State& state) {
   TableCorpus corpus;

@@ -42,6 +42,7 @@ Status MappingService::StartFreshRun(std::unique_ptr<TableCorpus> owned,
   candidates_.reset();
   blocked_.reset();
   scored_.reset();
+  partitions_.reset();
   return RunChain(false, false, false);
 }
 
@@ -70,6 +71,7 @@ Status MappingService::OpenFromSnapshot(const std::string& path) {
   candidates_ = std::move(snap.candidates);
   blocked_ = std::move(snap.blocked);
   scored_ = std::move(snap.scored);
+  partitions_.reset();  // snapshots do not persist the partition artifact
   const SynonymDictionary* dict = session_.options().compat.synonyms;
   scored_synonym_version_ = dict ? dict->version() : 0;
   if (snap.has_result) {
@@ -92,10 +94,113 @@ Status MappingService::OpenFromMappingsFile(const std::string& path) {
   candidates_.reset();
   blocked_.reset();
   scored_.reset();
+  partitions_.reset();
   pool_keepalive_ = std::move(pool);
   last_result_ = SynthesisResult{};
   last_result_.mappings = std::move(mappings);
   last_result_.stats.mappings = last_result_.mappings.size();
+  return RebuildStore();
+}
+
+Status MappingService::AttachCorpus(const TableCorpus& corpus) {
+  if (candidates_ == nullptr) {
+    return Status::FailedPrecondition(
+        "AttachCorpus: nothing synthesized yet — attach is for re-arming a "
+        "snapshot-restored service with its source corpus");
+  }
+  if (corpus.size() != candidates_->source_tables) {
+    return Status::InvalidArgument(
+        "AttachCorpus: corpus has " + std::to_string(corpus.size()) +
+        " tables but the restored artifacts were synthesized from " +
+        std::to_string(candidates_->source_tables) +
+        " — attach the exact corpus the snapshot came from before growing "
+        "it");
+  }
+  owned_corpus_.reset();
+  corpus_ = &corpus;
+  return Status::OK();
+}
+
+Status MappingService::AppendAndResynthesize(const TableCorpus& delta) {
+  return AppendChain(&delta);
+}
+
+Status MappingService::ResynthesizeAppended() { return AppendChain(nullptr); }
+
+Status MappingService::AppendChain(const TableCorpus* delta) {
+  if (candidates_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Append: nothing synthesized yet — call Synthesize (or "
+        "OpenFromSnapshot + AttachCorpus) first so there are artifacts to "
+        "grow");
+  }
+  if (corpus_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Append: this service has no corpus (opened from a snapshot) — "
+        "AttachCorpus the snapshot's source corpus first; incremental "
+        "extraction needs the corpus-global statistics");
+  }
+  // Cheap entry-point preconditions first: a call that is going to be
+  // rejected must not pay a re-score or partition materialization on its
+  // way to the error.
+  if (delta != nullptr) {
+    if (owned_corpus_ == nullptr) {
+      return Status::FailedPrecondition(
+          "AppendAndResynthesize: the service does not own its corpus — "
+          "grow the external corpus yourself and call "
+          "ResynthesizeAppended()");
+    }
+    if (owned_corpus_->size() != candidates_->source_tables) {
+      return Status::FailedPrecondition(
+          "AppendAndResynthesize: the corpus already grew past the "
+          "synthesized prefix — use ResynthesizeAppended() for externally "
+          "added tables");
+    }
+  } else if (corpus_->size() <= candidates_->source_tables) {
+    return Status::FailedPrecondition(
+        "ResynthesizeAppended: the corpus did not grow (still " +
+        std::to_string(corpus_->size()) + " tables)");
+  }
+  // The cached graph must reflect the current synonym dictionary contents:
+  // delta pairs would be scored under the new snapshot while base edges
+  // keep old-dictionary weights, merging a graph no cold run could produce.
+  // Re-score first (same guard Resynthesize applies), then append.
+  const SynonymDictionary* synonyms = session_.options().compat.synonyms;
+  if (synonyms != nullptr &&
+      synonyms->version() != scored_synonym_version_) {
+    MS_RETURN_IF_ERROR(RunChain(true, blocked_ != nullptr, false));
+  }
+  // A snapshot-restored family lacks the partition artifact; materialize
+  // only what is missing. When blocked/scored were restored, a single
+  // Partition() suffices — re-running the chain would redo conflict
+  // resolution and rebuild the store just to have the append discard both.
+  if (blocked_ == nullptr || scored_ == nullptr) {
+    MS_RETURN_IF_ERROR(
+        RunChain(true, blocked_ != nullptr, scored_ != nullptr));
+  } else if (partitions_ == nullptr) {
+    Result<Partitions> parts = session_.Partition(*scored_);
+    if (!parts.ok()) return parts.status();
+    partitions_ = std::make_unique<Partitions>(std::move(parts).value());
+  }
+  if (delta != nullptr) {
+    Result<size_t> merged = owned_corpus_->AppendFrom(*delta);
+    if (!merged.ok()) return merged.status();
+  }
+  Result<AppendedArtifacts> appended = session_.AppendTables(
+      *corpus_, candidates_->source_tables, *candidates_, *blocked_,
+      *scored_, *partitions_, last_result_);
+  if (!appended.ok()) return appended.status();
+  AppendedArtifacts family = std::move(appended).value();
+  candidates_ = std::make_unique<CandidateSet>(std::move(family.candidates));
+  blocked_ = std::make_unique<BlockedPairs>(std::move(family.blocked));
+  scored_ = std::make_unique<ScoredGraph>(std::move(family.scored));
+  partitions_ = std::make_unique<Partitions>(std::move(family.partitions));
+  const SynonymDictionary* dict = session_.options().compat.synonyms;
+  scored_synonym_version_ = dict ? dict->version() : 0;
+  last_result_ = std::move(family.result);
+  // The merged artifacts resolve against the (possibly different) corpus
+  // pool from here on.
+  pool_keepalive_ = corpus_->shared_pool();
   return RebuildStore();
 }
 
@@ -159,8 +264,9 @@ Status MappingService::RunChain(bool have_candidates, bool have_blocked,
   }
   Result<Partitions> parts = session_.Partition(*scored_);
   if (!parts.ok()) return parts.status();
+  partitions_ = std::make_unique<Partitions>(std::move(parts).value());
   Result<SynthesisResult> r =
-      session_.Resolve(*candidates_, *scored_, parts.value());
+      session_.Resolve(*candidates_, *scored_, *partitions_);
   if (!r.ok()) return r.status();
   last_result_ = std::move(r).value();
   return RebuildStore();

@@ -79,6 +79,31 @@ class MappingService {
   /// an empty one.
   Status OpenFromMappingsFile(const std::string& path);
 
+  // ------------------------------------------------- incremental growth
+
+  /// Incremental corpus growth without a cold rebuild: merges `delta`'s
+  /// tables into the service's corpus and runs
+  /// SynthesisSession::AppendTables over the cached artifacts — extraction,
+  /// blocking, and scoring run only over the delta (plus the corpus-global
+  /// coherence re-check), untouched components' mappings carry over, and
+  /// the store is rebuilt from the merged result. The service must own or
+  /// have an attached corpus (Synthesize*/AttachCorpus) — a purely
+  /// snapshot-restored service has nothing to extract from.
+  Status AppendAndResynthesize(const TableCorpus& delta);
+
+  /// Same append path for an externally-owned corpus the caller already
+  /// grew in place: picks up every table added since the last synthesis.
+  /// FailedPrecondition when the corpus did not grow.
+  Status ResynthesizeAppended();
+
+  /// Attaches a corpus to a snapshot-restored service, re-enabling
+  /// extraction-dependent operations (appends; extraction-option
+  /// Resynthesize). The corpus must be the one the snapshot was synthesized
+  /// from — same tables, and a pool id-compatible with the snapshot's (save
+  /// the corpus store from the same pool state as the snapshot; AppendTables
+  /// verifies the shared pool prefix). The corpus must outlive the service.
+  Status AttachCorpus(const TableCorpus& corpus);
+
   /// Warm re-synthesis: diffs `new_options` against the current options and
   /// re-runs only the stages downstream of the first difference, reusing
   /// the materialized artifacts above it verbatim — changed
@@ -129,6 +154,10 @@ class MappingService {
   Status StartFreshRun(std::unique_ptr<TableCorpus> owned,
                        const TableCorpus* external);
   Status RunChain(bool have_candidates, bool have_blocked, bool have_scored);
+  /// Shared core of the two append entry points: `delta` is merged into an
+  /// owned corpus first when non-null; then every table beyond the
+  /// synthesized prefix goes through the session's append path.
+  Status AppendChain(const TableCorpus* delta);
   Status RebuildStore();
 
   SynthesisSession session_;
@@ -140,6 +169,7 @@ class MappingService {
   std::unique_ptr<CandidateSet> candidates_;
   std::unique_ptr<BlockedPairs> blocked_;
   std::unique_ptr<ScoredGraph> scored_;
+  std::unique_ptr<Partitions> partitions_;
   /// Synonym-dictionary version the cached graph was scored at; mutations
   /// behind an unchanged pointer must invalidate the graph.
   uint64_t scored_synonym_version_ = 0;

@@ -1,6 +1,7 @@
 #include "extract/candidate_extraction.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "extract/normalization_cache.h"
@@ -14,6 +15,87 @@ bool MostlyNumeric(const StringPool& pool, const BinaryTable& b) {
     if (LooksNumeric(pool.Get(p.left))) ++numeric;
   }
   return numeric * 2 > b.size();
+}
+
+/// The coherence half of Algorithm 1 for one table: width gate + per-column
+/// PMI filter. Fills `kept` with the surviving column indices (left empty
+/// for width-skipped tables) and the per-table counters.
+void ComputeKeptColumns(const Table& t, const ColumnInvertedIndex& index,
+                        const ExtractionOptions& options, ExtractionStats* st,
+                        std::vector<uint32_t>* kept) {
+  st->tables_seen += 1;
+  st->columns_seen += t.num_columns();
+  if (t.num_columns() < 2 || t.num_columns() > options.max_columns) return;
+  for (size_t c = 0; c < t.columns.size(); ++c) {
+    if (ColumnPassesCoherence(index, t.columns[c], options)) {
+      kept->push_back(static_cast<uint32_t>(c));
+    }
+  }
+  st->columns_kept += kept->size();
+}
+
+/// The index-independent half of Algorithm 1 for one table: normalization
+/// plus the FD filter over the kept columns. Depends only on the table's
+/// own cells and the options, never on corpus-global statistics — the
+/// invariant incremental appends rely on.
+void ExtractFromKept(const Table& t, const std::vector<uint32_t>& kept,
+                     const StringPool& pool, ShardedNormalizationCache* norm,
+                     const ExtractionOptions& options, ExtractionStats* st,
+                     std::vector<BinaryTable>* out) {
+  if (kept.size() < 2) return;
+
+  // Normalize the kept columns once, one sharded-cache batch per column.
+  std::vector<std::vector<ValueId>> norm_cols(kept.size());
+  for (size_t k = 0; k < kept.size(); ++k) {
+    norm->NormalizeBatch(t.columns[kept[k]].cells, &norm_cols[k]);
+  }
+
+  // --- FD filter over all ordered pairs (Algorithm 1 lines 7-10).
+  for (size_t a = 0; a < kept.size(); ++a) {
+    for (size_t b = 0; b < kept.size(); ++b) {
+      if (a == b) continue;
+      ++st->pairs_considered;
+      std::vector<ValuePair> pairs;
+      const size_t rows = std::min(norm_cols[a].size(), norm_cols[b].size());
+      pairs.reserve(rows);
+      for (size_t r = 0; r < rows; ++r) {
+        ValueId l = norm_cols[a][r];
+        ValueId rv = norm_cols[b][r];
+        if (l == kInvalidValueId || rv == kInvalidValueId) continue;
+        if (l == rv) continue;  // self-mapping rows carry no signal
+        pairs.push_back({l, rv});
+      }
+      BinaryTable cand = BinaryTable::FromPairs(std::move(pairs));
+      if (cand.size() < options.min_pairs) continue;
+      if (!cand.IsApproximateMapping(options.fd_theta)) continue;
+      if (options.drop_numeric_left && MostlyNumeric(pool, cand)) {
+        continue;
+      }
+      cand.source_table = t.id;
+      cand.domain = t.domain;
+      cand.source = t.source;
+      cand.left_name = t.columns[kept[a]].name;
+      cand.right_name = t.columns[kept[b]].name;
+      ++st->pairs_kept;
+      out->push_back(std::move(cand));
+    }
+  }
+}
+
+void BuildKeptCsr(const std::vector<std::vector<uint32_t>>& per_kept,
+                  std::vector<uint32_t>* offsets,
+                  std::vector<uint32_t>* columns) {
+  offsets->clear();
+  columns->clear();
+  offsets->reserve(per_kept.size() + 1);
+  offsets->push_back(0);
+  size_t total = 0;
+  for (const auto& k : per_kept) total += k.size();
+  columns->reserve(total);
+  for (const auto& k : per_kept) {
+    columns->insert(columns->end(), k.begin(), k.end());
+    offsets->push_back(static_cast<uint32_t>(columns->size()));
+  }
 }
 
 }  // namespace
@@ -45,6 +127,13 @@ Status ExtractionOptions::Validate() const {
 bool ColumnPassesCoherence(const ColumnInvertedIndex& index,
                            const Column& column,
                            const ExtractionOptions& options) {
+  // Pairwise NPMI lives in [-1, 1] (and the empty/single-value columns
+  // score 0/1), so a threshold at or below the floor passes every column
+  // by definition — skip the sampled co-occurrence scoring entirely. This
+  // is the filter-disabled configuration; the short-circuit makes its cost
+  // actually zero, which is what lets incremental appends skip the
+  // corpus-global re-check tax (docs/performance.md).
+  if (options.coherence_threshold <= -1.0) return true;
   const double s = ColumnCoherence(index, column.cells, options.coherence);
   return s >= options.coherence_threshold;
 }
@@ -59,60 +148,15 @@ ExtractionResult ExtractCandidates(const TableCorpus& corpus,
 
   const auto& tables = corpus.tables();
   std::vector<std::vector<BinaryTable>> per_table(tables.size());
+  std::vector<std::vector<uint32_t>> per_kept(tables.size());
   std::vector<ExtractionStats> per_stats(tables.size());
 
   auto process = [&](size_t ti) {
     const Table& t = tables[ti];
     ExtractionStats& st = per_stats[ti];
-    st.tables_seen = 1;
-    st.columns_seen = t.num_columns();
-    if (t.num_columns() < 2 || t.num_columns() > options.max_columns) return;
-
-    // --- PMI coherence filter (Algorithm 1 lines 4-6).
-    std::vector<size_t> kept;
-    for (size_t c = 0; c < t.columns.size(); ++c) {
-      if (ColumnPassesCoherence(index, t.columns[c], options)) kept.push_back(c);
-    }
-    st.columns_kept = kept.size();
-    if (kept.size() < 2) return;
-
-    // Normalize the kept columns once, one sharded-cache batch per column.
-    std::vector<std::vector<ValueId>> norm_cols(kept.size());
-    for (size_t k = 0; k < kept.size(); ++k) {
-      norm.NormalizeBatch(t.columns[kept[k]].cells, &norm_cols[k]);
-    }
-
-    // --- FD filter over all ordered pairs (Algorithm 1 lines 7-10).
-    for (size_t a = 0; a < kept.size(); ++a) {
-      for (size_t b = 0; b < kept.size(); ++b) {
-        if (a == b) continue;
-        ++st.pairs_considered;
-        std::vector<ValuePair> pairs;
-        const size_t rows = std::min(norm_cols[a].size(), norm_cols[b].size());
-        pairs.reserve(rows);
-        for (size_t r = 0; r < rows; ++r) {
-          ValueId l = norm_cols[a][r];
-          ValueId rv = norm_cols[b][r];
-          if (l == kInvalidValueId || rv == kInvalidValueId) continue;
-          if (l == rv) continue;  // self-mapping rows carry no signal
-          pairs.push_back({l, rv});
-        }
-        BinaryTable cand = BinaryTable::FromPairs(std::move(pairs));
-        if (cand.size() < options.min_pairs) continue;
-        if (!cand.IsApproximateMapping(options.fd_theta)) continue;
-        if (options.drop_numeric_left &&
-            MostlyNumeric(corpus.pool(), cand)) {
-          continue;
-        }
-        cand.source_table = t.id;
-        cand.domain = t.domain;
-        cand.source = t.source;
-        cand.left_name = t.columns[kept[a]].name;
-        cand.right_name = t.columns[kept[b]].name;
-        ++st.pairs_kept;
-        per_table[ti].push_back(std::move(cand));
-      }
-    }
+    ComputeKeptColumns(t, index, options, &st, &per_kept[ti]);
+    ExtractFromKept(t, per_kept[ti], corpus.pool(), &norm, options, &st,
+                    &per_table[ti]);
   };
 
   if (pool) {
@@ -134,6 +178,71 @@ ExtractionResult ExtractCandidates(const TableCorpus& corpus,
       result.candidates.push_back(std::move(cand));
     }
   }
+  BuildKeptCsr(per_kept, &result.kept_offsets, &result.kept_columns);
+  return result;
+}
+
+DeltaExtractionResult ExtractCandidatesDelta(
+    const TableCorpus& corpus, const ColumnInvertedIndex& index,
+    size_t first_new_table, BinaryTableId first_new_id,
+    const std::vector<uint32_t>& base_kept_offsets,
+    const std::vector<uint32_t>& base_kept_columns,
+    const ExtractionOptions& options, ThreadPool* pool) {
+  DeltaExtractionResult result;
+  auto shared_pool = corpus.shared_pool();
+  ShardedNormalizationCache norm(shared_pool.get(), options.normalize);
+
+  const auto& tables = corpus.tables();
+  std::vector<std::vector<BinaryTable>> per_table(tables.size());
+  std::vector<std::vector<uint32_t>> per_kept(tables.size());
+  std::vector<ExtractionStats> per_stats(tables.size());
+  std::atomic<size_t> unstable{0};
+
+  auto process = [&](size_t ti) {
+    const Table& t = tables[ti];
+    ExtractionStats& st = per_stats[ti];
+    ComputeKeptColumns(t, index, options, &st, &per_kept[ti]);
+    if (ti < first_new_table) {
+      // Re-check only: the kept set under the grown index must match the
+      // base signature, or the old candidate list itself would differ from
+      // a cold rebuild's.
+      const uint32_t begin = base_kept_offsets[ti];
+      const uint32_t end = base_kept_offsets[ti + 1];
+      const auto& kept = per_kept[ti];
+      if (kept.size() != end - begin ||
+          !std::equal(kept.begin(), kept.end(),
+                      base_kept_columns.begin() + begin)) {
+        unstable.fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    ExtractFromKept(t, per_kept[ti], corpus.pool(), &norm, options, &st,
+                    &per_table[ti]);
+  };
+
+  if (pool) {
+    pool->ParallelFor(tables.size(), process);
+  } else {
+    for (size_t i = 0; i < tables.size(); ++i) process(i);
+  }
+
+  result.unstable_tables = unstable.load();
+  result.stable = result.unstable_tables == 0;
+  result.stats.normalize_cache_hits = norm.hits();
+  result.stats.normalize_cache_misses = norm.misses();
+  for (size_t i = first_new_table; i < tables.size(); ++i) {
+    result.stats.tables_seen += per_stats[i].tables_seen;
+    result.stats.columns_seen += per_stats[i].columns_seen;
+    result.stats.columns_kept += per_stats[i].columns_kept;
+    result.stats.pairs_considered += per_stats[i].pairs_considered;
+    result.stats.pairs_kept += per_stats[i].pairs_kept;
+    for (auto& cand : per_table[i]) {
+      cand.id = static_cast<BinaryTableId>(first_new_id +
+                                           result.new_candidates.size());
+      result.new_candidates.push_back(std::move(cand));
+    }
+  }
+  BuildKeptCsr(per_kept, &result.kept_offsets, &result.kept_columns);
   return result;
 }
 

@@ -67,6 +67,17 @@ struct ExtractionStats {
 struct ExtractionResult {
   std::vector<BinaryTable> candidates;  ///< ids assigned densely from 0
   ExtractionStats stats;
+  /// Per-table kept-column signatures, CSR over corpus table index:
+  /// kept_columns[kept_offsets[t] .. kept_offsets[t+1]) are the column
+  /// indices of table t that passed the PMI coherence filter (empty for
+  /// width-skipped tables). Column coherence is a corpus-global statistic
+  /// (it reads |C(u)| and N from the inverted index), so growing the corpus
+  /// can in principle flip a verdict; incremental appends re-check these
+  /// signatures under the grown index — everything *downstream* of the kept
+  /// set (normalization, the FD filter, candidate assembly) depends only on
+  /// the table's own cells and is append-invariant.
+  std::vector<uint32_t> kept_offsets;  ///< size tables + 1
+  std::vector<uint32_t> kept_columns;
 };
 
 /// Runs Algorithm 1 over the whole corpus. `index` must have been built on
@@ -76,6 +87,47 @@ ExtractionResult ExtractCandidates(const TableCorpus& corpus,
                                    const ColumnInvertedIndex& index,
                                    const ExtractionOptions& options = {},
                                    ThreadPool* pool = nullptr);
+
+/// Output of one incremental extraction pass (SynthesisSession::
+/// AppendTables): candidates for the appended tables plus the verdict on
+/// whether every pre-existing table's kept-column signature survived the
+/// index growth.
+struct DeltaExtractionResult {
+  /// Candidates extracted from tables [first_new_table, corpus.size()),
+  /// ids assigned densely from `first_new_id` in table order — exactly the
+  /// ids a cold run over the grown corpus would assign them, provided
+  /// `stable` holds.
+  std::vector<BinaryTable> new_candidates;
+  /// Counters for the appended tables only (add to the base run's to get
+  /// the union totals). Normalize-cache counters cover this pass alone.
+  ExtractionStats stats;
+  /// True iff every old table's kept-column set under the grown index
+  /// equals its base signature. When false the old candidate list itself
+  /// would change under a cold rebuild and the caller must fall back to
+  /// full re-extraction.
+  bool stable = false;
+  /// How many old tables' kept sets flipped (observability: a fleet whose
+  /// appends keep falling back wants to know whether one borderline column
+  /// or a corpus-wide drift is responsible).
+  size_t unstable_tables = 0;
+  /// Union signatures (old tables re-checked + appended tables), ready to
+  /// carry on the merged candidate artifact.
+  std::vector<uint32_t> kept_offsets;
+  std::vector<uint32_t> kept_columns;
+};
+
+/// Incremental Algorithm 1: `index` must have been built over the *grown*
+/// corpus. Re-checks coherence signatures of tables [0, first_new_table)
+/// against the base run's CSR (base_kept_*) and fully extracts tables
+/// [first_new_table, corpus.size()). The coherence re-check is the
+/// exactness tax of incremental extraction — it is sampled and
+/// FD-filter-free, a small fraction of full extraction.
+DeltaExtractionResult ExtractCandidatesDelta(
+    const TableCorpus& corpus, const ColumnInvertedIndex& index,
+    size_t first_new_table, BinaryTableId first_new_id,
+    const std::vector<uint32_t>& base_kept_offsets,
+    const std::vector<uint32_t>& base_kept_columns,
+    const ExtractionOptions& options = {}, ThreadPool* pool = nullptr);
 
 /// Exposed for tests: true when the column passes the coherence filter.
 bool ColumnPassesCoherence(const ColumnInvertedIndex& index,

@@ -9,7 +9,7 @@ namespace ms::persist {
 namespace {
 
 // Field orders below are the on-disk format; reorder only with a
-// kFormatVersion bump.
+// kSnapshotFormatVersion bump.
 
 void EncodeMatcherStats(const MatcherStats& m, WireWriter* w) {
   w->U64(m.match_calls);
@@ -147,6 +147,14 @@ std::string EncodeCandidates(const CandidateSet& candidates) {
     w.Str(t.right_name);
     EncodePairList(t.pairs(), &w);
   }
+  // Format v2: append provenance — the extraction signatures incremental
+  // corpus growth re-checks, so restore-then-append works.
+  w.U32(candidates.generation);
+  w.U64(candidates.source_tables);
+  w.U64(candidates.kept_offsets.size());
+  for (uint32_t o : candidates.kept_offsets) w.U32(o);
+  w.U64(candidates.kept_columns.size());
+  for (uint32_t c : candidates.kept_columns) w.U32(c);
   return w.Take();
 }
 
@@ -190,6 +198,44 @@ Status DecodeCandidates(std::string_view payload, size_t pool_size,
     out->owned.push_back(std::move(t));
     pairs.clear();
   }
+  out->generation = r.U32();
+  out->source_tables = r.U64();
+  const uint64_t num_offsets = r.U64();
+  if (!r.ok() || num_offsets > r.remaining() / 4) {
+    return Status::DataLoss("candidates section has malformed signatures");
+  }
+  out->kept_offsets.clear();
+  out->kept_offsets.reserve(static_cast<size_t>(num_offsets));
+  for (uint64_t i = 0; i < num_offsets; ++i) {
+    out->kept_offsets.push_back(r.U32());
+  }
+  const uint64_t num_kept = r.U64();
+  if (!r.ok() || num_kept > r.remaining() / 4) {
+    return Status::DataLoss("candidates section has malformed signatures");
+  }
+  out->kept_columns.clear();
+  out->kept_columns.reserve(static_cast<size_t>(num_kept));
+  for (uint64_t i = 0; i < num_kept; ++i) {
+    out->kept_columns.push_back(r.U32());
+  }
+  // Signature invariants: adopted candidate sets legitimately persist with
+  // no signatures (they cannot be appended to); extracted ones carry one
+  // monotone offset run per source table ending at the kept-column count.
+  const bool no_signatures =
+      num_offsets == 0 && num_kept == 0 && out->source_tables == 0;
+  if (!no_signatures) {
+    bool valid_csr = num_offsets == out->source_tables + 1 &&
+                     !out->kept_offsets.empty() &&
+                     out->kept_offsets.front() == 0 &&
+                     out->kept_offsets.back() == num_kept;
+    for (size_t i = 0; valid_csr && i + 1 < out->kept_offsets.size(); ++i) {
+      valid_csr = out->kept_offsets[i] <= out->kept_offsets[i + 1];
+    }
+    if (!valid_csr) {
+      return Status::DataLoss(
+          "candidates section has inconsistent extraction signatures");
+    }
+  }
   if (!r.AtEnd()) {
     return Status::DataLoss("candidates section has trailing bytes");
   }
@@ -213,6 +259,14 @@ std::string EncodeBlocked(const BlockedPairs& blocked) {
     w.U32(p.shared_pairs);
     w.U32(p.shared_lefts);
     w.Bool(p.counts_exact);
+  }
+  // Format v2: the taint bitmap as an id list — the state delta blocking
+  // needs to extend truncation bookkeeping across appends.
+  uint64_t num_tainted = 0;
+  for (uint8_t t : blocked.blocking.tainted) num_tainted += t;
+  w.U64(num_tainted);
+  for (size_t id = 0; id < blocked.blocking.tainted.size(); ++id) {
+    if (blocked.blocking.tainted[id]) w.U32(static_cast<uint32_t>(id));
   }
   return w.Take();
 }
@@ -246,6 +300,25 @@ Status DecodeBlocked(std::string_view payload, size_t num_candidates,
                               "outside the candidate set");
     }
     out->pairs.push_back(p);
+  }
+  const uint64_t num_tainted = r.U64();
+  if (!r.ok() || num_tainted > r.remaining() / 4 ||
+      num_tainted > num_candidates) {
+    return Status::DataLoss("blocked-pairs section has a malformed taint "
+                            "list");
+  }
+  out->blocking.tainted.clear();
+  if (num_tainted > 0) {
+    out->blocking.tainted.assign(num_candidates, 0);
+    for (uint64_t i = 0; i < num_tainted; ++i) {
+      const uint32_t id = r.U32();
+      if (id >= num_candidates) {
+        return Status::DataLoss(
+            "blocked-pairs taint list references candidates outside the "
+            "candidate set");
+      }
+      out->blocking.tainted[id] = 1;
+    }
   }
   if (!r.AtEnd()) {
     return Status::DataLoss("blocked-pairs section has trailing bytes");

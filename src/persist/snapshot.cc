@@ -1,5 +1,9 @@
 #include "persist/snapshot.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
 #include <fstream>
 
 #include "common/crc32.h"
@@ -16,30 +20,81 @@ void ContainerWriter::AddSection(uint32_t id, std::string payload) {
   sections_.push_back(Section{id, std::move(payload)});
 }
 
+namespace {
+
+/// fsyncs `path` (a file or a directory). The tmp file must be durable
+/// BEFORE the rename and the directory entry AFTER it, or a power loss can
+/// commit the rename while the data blocks are still only in page cache —
+/// leaving a torn file where the previous good snapshot used to be.
+Status FsyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open for fsync: " + path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return Status::IOError("fsync failed: " + path);
+  return Status::OK();
+}
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
 Status ContainerWriter::WriteFile(const std::string& path) const {
   WireWriter header;
   header.U64(magic_);
-  header.U32(kFormatVersion);
+  header.U32(FormatVersionFor(magic_));
   header.U32(static_cast<uint32_t>(sections_.size()));
   header.U64(fingerprint_);
   header.U32(Crc32(header.bytes()));
 
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  out.write(header.bytes().data(),
-            static_cast<std::streamsize>(header.bytes().size()));
-  for (const Section& s : sections_) {
-    WireWriter sh;
-    sh.U32(s.id);
-    sh.U32(Crc32(s.payload));
-    sh.U64(s.payload.size());
-    out.write(sh.bytes().data(),
-              static_cast<std::streamsize>(sh.bytes().size()));
-    out.write(s.payload.data(), static_cast<std::streamsize>(s.payload.size()));
+  // Write-new + fsync + atomic rename + directory fsync: a serving fleet
+  // overwrites its snapshot in place on a schedule, and neither a crash
+  // mid-write nor a power loss right after the rename may leave anything
+  // but the old-or-new complete file at `path`. The tmp suffix is fixed so
+  // a crashed writer's debris is reclaimed by the next successful save.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot open for write: " + tmp);
+    }
+    out.write(header.bytes().data(),
+              static_cast<std::streamsize>(header.bytes().size()));
+    for (const Section& s : sections_) {
+      WireWriter sh;
+      sh.U32(s.id);
+      sh.U32(Crc32(s.payload));
+      sh.U64(s.payload.size());
+      out.write(sh.bytes().data(),
+                static_cast<std::streamsize>(sh.bytes().size()));
+      out.write(s.payload.data(),
+                static_cast<std::streamsize>(s.payload.size()));
+    }
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      std::remove(tmp.c_str());
+      return Status::IOError("write failed: " + tmp);
+    }
   }
-  out.flush();
-  if (!out.good()) return Status::IOError("write failed: " + path);
-  return Status::OK();
+  Status synced = FsyncPath(tmp);
+  if (!synced.ok()) {
+    std::remove(tmp.c_str());
+    return synced;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " over " + path);
+  }
+  // Make the rename itself durable. Best-effort semantics would silently
+  // undo the atomicity story, so a failure here is a reported error even
+  // though the in-memory filesystem view already shows the new file.
+  return FsyncPath(ParentDir(path));
 }
 
 Result<ContainerReader> ContainerReader::Open(const std::string& path,
@@ -65,13 +120,15 @@ Result<ContainerReader> ContainerReader::Open(const std::string& path,
     return Status::DataLoss(
         "container header corrupt (bad magic or header checksum): " + path);
   }
-  if (version != kFormatVersion) {
+  if (version != FormatVersionFor(expected_magic)) {
     // The header checksum passed, so this really is a container written by
-    // a different format revision — incompatibility, not corruption.
+    // a different format revision — incompatibility, not corruption. Each
+    // family versions independently: bumping the snapshot layout does not
+    // orphan corpus stores whose bytes never changed.
     return Status::FailedPrecondition(
         "unsupported container format version " + std::to_string(version) +
-        " (this build reads version " + std::to_string(kFormatVersion) +
-        "): " + path);
+        " (this build reads version " +
+        std::to_string(FormatVersionFor(expected_magic)) + "): " + path);
   }
 
   ContainerReader reader;

@@ -3,7 +3,7 @@
 //
 //   FileHeader (28 bytes):
 //     u64 magic                 kSessionSnapshotMagic / kCorpusStoreMagic
-//     u32 format_version        kFormatVersion at write time
+//     u32 format_version        the writing family's format version
 //     u32 section_count
 //     u64 options_fingerprint   result-affecting options hash (0 = unused)
 //     u32 header_crc            CRC-32 of the 24 bytes above
@@ -42,11 +42,29 @@
 
 namespace ms::persist {
 
-inline constexpr uint32_t kFormatVersion = 1;
+/// Each container family versions independently — a snapshot layout change
+/// must not orphan corpus stores whose bytes never changed.
+///
+/// Snapshot version 2 (incremental corpus growth): the candidates section
+/// gained the append generation, source-table count, and per-table
+/// kept-column signatures; the blocked-pairs section gained the
+/// per-candidate taint id list. Version-1 snapshots fail with
+/// FailedPrecondition (re-synthesize and re-save), exactly as the
+/// versioning rules in docs/persistence.md prescribe for layout changes.
+/// Corpus stores are still the original layout: version 1, and every
+/// previously converted *.mscorp keeps opening.
+inline constexpr uint32_t kSnapshotFormatVersion = 2;
+inline constexpr uint32_t kCorpusStoreFormatVersion = 1;
 
 /// "MSSNAP1\0" and "MSCORP1\0" as little-endian u64s.
 inline constexpr uint64_t kSessionSnapshotMagic = 0x003150414E53534DULL;
 inline constexpr uint64_t kCorpusStoreMagic = 0x003150524F43534DULL;
+
+/// The current format version of the family `magic` selects.
+inline constexpr uint32_t FormatVersionFor(uint64_t magic) {
+  return magic == kCorpusStoreMagic ? kCorpusStoreFormatVersion
+                                    : kSnapshotFormatVersion;
+}
 
 /// Section ids of the session snapshot container.
 enum SnapshotSection : uint32_t {
@@ -73,9 +91,13 @@ class ContainerWriter {
 
   void AddSection(uint32_t id, std::string payload);
 
-  /// Writes header + sections to `path` (truncating). IOError on any write
-  /// failure; the file is left behind in an undefined state on error (its
-  /// checksums will refuse to load it).
+  /// Writes header + sections to `path` atomically: the bytes go to
+  /// `path + ".tmp"` first and are renamed over `path` only after a
+  /// successful flush, so a crash or write failure mid-save can never
+  /// clobber a previous good container — readers see either the old file
+  /// or the new one, never a torn hybrid. IOError on any failure (the tmp
+  /// file is cleaned up; `path` is untouched). Concurrent savers to the
+  /// same path are the caller's responsibility (they share the tmp name).
   Status WriteFile(const std::string& path) const;
 
  private:

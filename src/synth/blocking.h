@@ -76,6 +76,14 @@ struct BlockingStats {
   /// Kept as the whole-run summary; per-pair reuse is driven by
   /// CandidateTablePair::counts_exact.
   bool exact_counts = false;
+  /// Per-candidate taint bitmap (empty when no posting list was truncated):
+  /// tainted[id] == 1 iff candidate `id` was dropped from at least one
+  /// truncated posting list. This is the state incremental blocking needs:
+  /// appended candidates sort after every existing id, so truncation keeps
+  /// the same old-id prefix and an old candidate's taint can never change —
+  /// the union run's bitmap is this one plus whatever the delta pass taints.
+  /// Persisted with the BlockedPairs artifact so restore-then-append works.
+  std::vector<uint8_t> tainted;
 };
 
 /// Runs blocking over all candidates. Returned pairs satisfy
@@ -91,5 +99,39 @@ std::vector<CandidateTablePair> GenerateCandidatePairs(
 std::vector<CandidateTablePair> GenerateCandidatePairsReference(
     const std::vector<BinaryTable>& candidates,
     const BlockingOptions& options = {}, ThreadPool* pool = nullptr);
+
+/// Accounting for one delta-blocking pass (feeds the merged BlockingStats).
+struct DeltaBlockingStats {
+  /// Blocking keys introduced by the appended candidates (present in no
+  /// existing candidate); the union run's key count is base + this.
+  size_t new_keys = 0;
+  /// Additional postings dropped by max_posting truncation versus the base
+  /// run; the union run's dropped_postings is base + this.
+  size_t dropped_postings = 0;
+  /// Delta-relevant keys processed (keys any appended candidate holds).
+  size_t scanned_keys = 0;
+};
+
+/// Incremental blocking for appended candidates: returns exactly the pairs
+/// of a full GenerateCandidatePairs run over `candidates` that involve at
+/// least one id >= `first_new` — the only pairs the append created. Pairs
+/// between two existing candidates are untouched by appends (appended ids
+/// sort after all existing ids, so truncation keeps the identical old-id
+/// prefix of every posting list), which is what makes merging this output
+/// into a base run's pairs byte-equivalent to re-blocking from scratch.
+///
+/// Only keys held by an appended candidate are counted: existing candidates
+/// are scanned once (linear) to contribute their postings for those keys,
+/// and the quadratic counting runs over the delta-relevant keys alone.
+///
+/// `tainted` is the union-run taint bitmap, in/out: pass the base run's
+/// bitmap (resized to candidates.size(); empty stays empty until a
+/// truncation happens) and the delta pass adds the ids it drops. Returned
+/// pairs' counts_exact is computed against the updated bitmap.
+std::vector<CandidateTablePair> GenerateDeltaCandidatePairs(
+    const std::vector<BinaryTable>& candidates, uint32_t first_new,
+    const BlockingOptions& options = {}, ThreadPool* pool = nullptr,
+    std::vector<uint8_t>* tainted = nullptr,
+    DeltaBlockingStats* stats = nullptr);
 
 }  // namespace ms

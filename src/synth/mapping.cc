@@ -40,6 +40,14 @@ SynthesizedMapping BuildMapping(const std::vector<const BinaryTable*>& tables,
   return m;
 }
 
+bool PopularityGreater(const SynthesizedMapping& a,
+                       const SynthesizedMapping& b) {
+  if (a.num_domains != b.num_domains) {
+    return a.num_domains > b.num_domains;
+  }
+  return a.size() > b.size();
+}
+
 std::vector<SynthesizedMapping> FilterByPopularity(
     std::vector<SynthesizedMapping> mappings, size_t min_domains,
     size_t min_pairs) {
@@ -51,13 +59,7 @@ std::vector<SynthesizedMapping> FilterByPopularity(
     }
   }
   // Rank by popularity: domains desc, then size desc.
-  std::sort(out.begin(), out.end(),
-            [](const SynthesizedMapping& a, const SynthesizedMapping& b) {
-              if (a.num_domains != b.num_domains) {
-                return a.num_domains > b.num_domains;
-              }
-              return a.size() > b.size();
-            });
+  std::sort(out.begin(), out.end(), PopularityGreater);
   return out;
 }
 

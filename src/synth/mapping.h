@@ -50,6 +50,14 @@ struct SynthesizedMapping {
 SynthesizedMapping BuildMapping(const std::vector<const BinaryTable*>& tables,
                                 const std::vector<size_t>& kept);
 
+/// The curation ranking FilterByPopularity sorts by (domains desc, then
+/// size desc). Exposed as the single definition of the output order:
+/// incremental appends merge carried and freshly resolved mappings and
+/// must re-rank with exactly this comparator to stay equivalent to a cold
+/// rebuild.
+bool PopularityGreater(const SynthesizedMapping& a,
+                       const SynthesizedMapping& b);
+
 /// Curation-oriented filtering: keep mappings contributed by at least
 /// `min_domains` distinct domains and at least `min_pairs` value pairs
 /// (Section 4.3 uses >= 8 independent web domains).

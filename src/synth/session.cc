@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <atomic>
 #include <functional>
+#include <iterator>
 #include <mutex>
+#include <unordered_map>
 
 #include "common/hashing.h"
 #include "common/logging.h"
@@ -152,6 +154,77 @@ CompatibilityGraph ScorePairsCore(
   return graph;
 }
 
+/// Builds the component-local subgraph of `members` and runs Algorithm 3 on
+/// it. `local_of` maps global vertex -> component-local index; cross-
+/// component edges (positive weight below θ_edge) are filtered via `comp`.
+/// Shared by Partition() and the append path's dirty-component re-run so
+/// both produce identical partitions for identical components.
+PartitionResult PartitionComponentSubgraph(
+    const CompatibilityGraph& graph, const std::vector<uint32_t>& comp,
+    const std::vector<uint32_t>& local_of,
+    const std::vector<VertexId>& members, const PartitionerOptions& options) {
+  CompatibilityGraph sub(members.size());
+  for (VertexId v : members) {
+    for (uint32_t e : graph.IncidentEdges(v)) {
+      const auto& edge = graph.edges()[e];
+      if (edge.u != v) continue;  // visit each edge once (u < v)
+      if (comp[edge.v] != comp[v]) continue;
+      sub.AddEdge(local_of[edge.u], local_of[edge.v], edge.w_pos, edge.w_neg);
+    }
+  }
+  sub.Finalize();
+  return GreedyPartition(sub, options);
+}
+
+/// Conflict resolution + mapping assembly for a set of partition groups
+/// (pre-curation). Shared by Resolve() (all groups) and the append path
+/// (dirty groups only); both must build mappings identically.
+std::vector<SynthesizedMapping> ResolveGroups(
+    const std::vector<BinaryTable>& cands,
+    const std::vector<std::vector<VertexId>>& groups,
+    const SynthesisOptions& options, const ConflictResolutionOptions& conflict,
+    ThreadPool* threads) {
+  std::vector<SynthesizedMapping> mappings(groups.size());
+  auto resolve_one = [&](size_t gi) {
+    std::vector<const BinaryTable*> tables;
+    tables.reserve(groups[gi].size());
+    for (VertexId v : groups[gi]) tables.push_back(&cands[v]);
+
+    if (options.use_majority_voting) {
+      std::vector<size_t> all(tables.size());
+      for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+      SynthesizedMapping m = BuildMapping(tables, all);
+      m.merged = BinaryTable::FromPairs(MajorityVotePairs(tables, conflict));
+      mappings[gi] = std::move(m);
+    } else if (options.resolve_conflicts) {
+      auto resolved = ResolveConflicts(tables, conflict);
+      mappings[gi] = BuildMapping(tables, resolved.kept);
+    } else {
+      std::vector<size_t> all(tables.size());
+      for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+      mappings[gi] = BuildMapping(tables, all);
+    }
+  };
+  if (threads) {
+    threads->ParallelFor(groups.size(), resolve_one);
+  } else {
+    for (size_t gi = 0; gi < groups.size(); ++gi) resolve_one(gi);
+  }
+  return mappings;
+}
+
+/// Field-wise sum of extraction counters: append passes report delta-only
+/// counters that extend the base run's cumulative totals.
+void AddExtractionStats(ExtractionStats* dst, const ExtractionStats& s) {
+  dst->tables_seen += s.tables_seen;
+  dst->columns_seen += s.columns_seen;
+  dst->columns_kept += s.columns_kept;
+  dst->pairs_considered += s.pairs_considered;
+  dst->pairs_kept += s.pairs_kept;
+  dst->normalize_cache_hits += s.normalize_cache_hits;
+  dst->normalize_cache_misses += s.normalize_cache_misses;
+}
+
 void FillBlockingStats(const BlockingStats& bstats, size_t num_pairs,
                        double seconds, PipelineStats* stats) {
   stats->blocking_seconds = seconds;
@@ -293,8 +366,13 @@ Result<CandidateSet> SynthesisSession::ExtractCandidates(
   MS_RETURN_IF_ERROR(ReadyToRun());
   CandidateSet out;
   Timer step;
+  // With the coherence filter disabled (threshold at/below the score
+  // floor), ColumnPassesCoherence short-circuits and nothing reads the
+  // index — skip the full-corpus build.
   ColumnInvertedIndex index;
-  index.Build(corpus, threads_.get());
+  if (options_.extraction.coherence_threshold > -1.0) {
+    index.Build(corpus, threads_.get());
+  }
   out.stats.index_seconds = step.ElapsedSeconds();
 
   step.Restart();
@@ -305,6 +383,9 @@ Result<CandidateSet> SynthesisSession::ExtractCandidates(
   out.owned = std::move(extracted.candidates);
   out.stats.candidates = out.owned.size();
   out.pool = &corpus.pool();
+  out.source_tables = corpus.size();
+  out.kept_offsets = std::move(extracted.kept_offsets);
+  out.kept_columns = std::move(extracted.kept_columns);
   out.artifact_id = NextArtifactId();
   out.session = this;
   ++session_stats_.extract_runs;
@@ -350,36 +431,28 @@ Result<BlockedPairs> SynthesisSession::BlockPairs(
   return out;
 }
 
-Result<ScoredGraph> SynthesisSession::ScorePairs(
-    const CandidateSet& candidates, const BlockedPairs& blocked) {
-  MS_RETURN_IF_ERROR(ReadyToRun());
-  // Both artifacts must come from this session — artifact ids are only
-  // unique within one session's counter, so the id comparison below is
-  // meaningless across sessions.
-  MS_RETURN_IF_ERROR(CheckSameSession("ScorePairs", candidates.session));
-  MS_RETURN_IF_ERROR(CheckLineage("ScorePairs", blocked.session,
-                                  blocked.candidates_id,
-                                  candidates.artifact_id));
+CompatibilityGraph SynthesisSession::ScoreThroughSessionMatchers(
+    const std::vector<BinaryTable>& tables, const StringPool& pool,
+    const std::vector<CandidateTablePair>& pairs, ScoringStats* scoring) {
   const CompatibilityOptions eff = EffectiveCompat();
 
   // (Re)build or re-point the per-worker matchers. Everything cached in a
   // matcher depends only on the pool contents and edit.fractional, so a
   // re-score under tweaked thresholds starts with every mask it ever built.
   const size_t num_slots = threads_->num_threads() + 1;
-  const bool warm = matchers_ != nullptr &&
-                    matchers_->pool == candidates.pool &&
+  const bool warm = matchers_ != nullptr && matchers_->pool == &pool &&
                     matchers_->slots.size() == num_slots &&
                     matchers_->fractional == eff.edit.fractional &&
                     matchers_->cap == options_.matcher_cache_cap;
   if (!warm) {
     matchers_ = std::make_unique<MatcherSlots>();
-    matchers_->pool = candidates.pool;
+    matchers_->pool = &pool;
     matchers_->fractional = eff.edit.fractional;
     matchers_->cap = options_.matcher_cache_cap;
     matchers_->slots.resize(num_slots);
     for (auto& slot : matchers_->slots) {
       slot = std::make_unique<BatchApproxMatcher>(
-          *candidates.pool, eff.edit, eff.approximate_matching, eff.synonyms,
+          pool, eff.edit, eff.approximate_matching, eff.synonyms,
           eff.synonym_snapshot, options_.matcher_cache_cap);
     }
   } else {
@@ -399,15 +472,31 @@ Result<ScoredGraph> SynthesisSession::ScorePairs(
     return matchers_->slots[wi].get();
   };
 
+  CompatibilityGraph graph = ScorePairsCore(tables, pool, pairs, eff,
+                                            threads_.get(), worker_matcher,
+                                            scoring);
+  for (const auto& slot : matchers_->slots) {
+    scoring->matcher.Add(slot->stats());
+  }
+  return graph;
+}
+
+Result<ScoredGraph> SynthesisSession::ScorePairs(
+    const CandidateSet& candidates, const BlockedPairs& blocked) {
+  MS_RETURN_IF_ERROR(ReadyToRun());
+  // Both artifacts must come from this session — artifact ids are only
+  // unique within one session's counter, so the id comparison below is
+  // meaningless across sessions.
+  MS_RETURN_IF_ERROR(CheckSameSession("ScorePairs", candidates.session));
+  MS_RETURN_IF_ERROR(CheckLineage("ScorePairs", blocked.session,
+                                  blocked.candidates_id,
+                                  candidates.artifact_id));
   ScoredGraph out;
   Timer timer;
   ScoringStats scoring;
-  out.graph = ScorePairsCore(candidates.tables(), *candidates.pool,
-                             blocked.pairs, eff, threads_.get(),
-                             worker_matcher, &scoring);
-  for (const auto& slot : matchers_->slots) {
-    scoring.matcher.Add(slot->stats());
-  }
+  out.graph = ScoreThroughSessionMatchers(candidates.tables(),
+                                          *candidates.pool, blocked.pairs,
+                                          &scoring);
   out.stats = blocked.stats;  // blocking never fills scoring, so this run's
   out.stats.scoring.Add(scoring);  // counters land on a clean slate
   out.stats.scoring_seconds = timer.ElapsedSeconds();
@@ -456,19 +545,8 @@ Result<Partitions> SynthesisSession::Partition(const ScoredGraph& sg) {
         partition.partition_of[members[0]] = pid;
         return;
       }
-      // Build the local subgraph.
-      CompatibilityGraph sub(members.size());
-      for (VertexId v : members) {
-        for (uint32_t e : graph.IncidentEdges(v)) {
-          const auto& edge = graph.edges()[e];
-          if (edge.u != v) continue;  // visit each edge once (u < v)
-          if (comp[edge.v] != comp[v]) continue;
-          sub.AddEdge(local_of[edge.u], local_of[edge.v], edge.w_pos,
-                      edge.w_neg);
-        }
-      }
-      sub.Finalize();
-      PartitionResult local = GreedyPartition(sub, options_.partitioner);
+      PartitionResult local = PartitionComponentSubgraph(
+          graph, comp, local_of, members, options_.partitioner);
       uint32_t base = next_partition.fetch_add(
           static_cast<uint32_t>(local.num_partitions));
       for (uint32_t i = 0; i < members.size(); ++i) {
@@ -523,28 +601,8 @@ Result<SynthesisResult> SynthesisSession::Resolve(
   // Conflict resolution + mapping assembly.
   Timer step;
   auto groups = partitions.partition.Groups();
-  std::vector<SynthesizedMapping> mappings(groups.size());
-  auto resolve_one = [&](size_t gi) {
-    std::vector<const BinaryTable*> tables;
-    tables.reserve(groups[gi].size());
-    for (VertexId v : groups[gi]) tables.push_back(&cands[v]);
-
-    if (options_.use_majority_voting) {
-      std::vector<size_t> all(tables.size());
-      for (size_t i = 0; i < all.size(); ++i) all[i] = i;
-      SynthesizedMapping m = BuildMapping(tables, all);
-      m.merged = BinaryTable::FromPairs(MajorityVotePairs(tables, conflict));
-      mappings[gi] = std::move(m);
-    } else if (options_.resolve_conflicts) {
-      auto resolved = ResolveConflicts(tables, conflict);
-      mappings[gi] = BuildMapping(tables, resolved.kept);
-    } else {
-      std::vector<size_t> all(tables.size());
-      for (size_t i = 0; i < all.size(); ++i) all[i] = i;
-      mappings[gi] = BuildMapping(tables, all);
-    }
-  };
-  threads_->ParallelFor(groups.size(), resolve_one);
+  std::vector<SynthesizedMapping> mappings =
+      ResolveGroups(cands, groups, options_, conflict, threads_.get());
   result.stats.resolve_seconds = step.ElapsedSeconds();
 
   result.mappings = FilterByPopularity(std::move(mappings),
@@ -561,6 +619,446 @@ Result<SynthesisResult> SynthesisSession::Resolve(
                << result.stats.partitions << " partitions, "
                << result.stats.mappings << " mappings";
   return result;
+}
+
+// --------------------------------------------------------- incremental growth
+
+Status SynthesisSession::ValidateAppendFamily(
+    const CandidateSet& candidates, const BlockedPairs& blocked,
+    const ScoredGraph& scored, const Partitions& partitions,
+    const SynthesisResult& result) const {
+  MS_RETURN_IF_ERROR(ReadyToRun());
+  MS_RETURN_IF_ERROR(CheckSameSession("AppendTables", candidates.session));
+  MS_RETURN_IF_ERROR(CheckLineage("AppendTables", blocked.session,
+                                  blocked.candidates_id,
+                                  candidates.artifact_id));
+  MS_RETURN_IF_ERROR(CheckLineage("AppendTables", scored.session,
+                                  scored.candidates_id,
+                                  candidates.artifact_id));
+  MS_RETURN_IF_ERROR(CheckLineage("AppendTables", partitions.session,
+                                  partitions.candidates_id,
+                                  candidates.artifact_id));
+  if (partitions.graph_id != scored.artifact_id) {
+    return Status::FailedPrecondition(
+        "AppendTables: partitions were computed from a different ScoredGraph "
+        "(ids " + std::to_string(partitions.graph_id) + " vs " +
+        std::to_string(scored.artifact_id) + ")");
+  }
+  if (candidates.kept_offsets.size() != candidates.source_tables + 1) {
+    return Status::FailedPrecondition(
+        "AppendTables: the candidate set carries no extraction signatures "
+        "(adopted candidates or a pre-append-format snapshot) — incremental "
+        "growth needs the per-table kept-column provenance ExtractCandidates "
+        "records to re-check coherence under the grown corpus");
+  }
+  // SynthesisResult carries no lineage ids of its own; the member-table
+  // bounds check catches a result from a different (larger) family before
+  // the carry-over path would index component arrays with it.
+  for (const SynthesizedMapping& m : result.mappings) {
+    for (BinaryTableId id : m.member_tables) {
+      if (id >= candidates.tables().size()) {
+        return Status::FailedPrecondition(
+            "AppendTables: result references candidate " +
+            std::to_string(id) + " outside the candidate set (" +
+            std::to_string(candidates.tables().size()) +
+            " candidates) — it is not this artifact family's result");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Result<AppendedArtifacts> SynthesisSession::AppendTables(
+    const TableCorpus& corpus, size_t first_new_table,
+    const CandidateSet& candidates, const BlockedPairs& blocked,
+    const ScoredGraph& scored, const Partitions& partitions,
+    const SynthesisResult& result) {
+  MS_RETURN_IF_ERROR(
+      ValidateAppendFamily(candidates, blocked, scored, partitions, result));
+  if (first_new_table != candidates.source_tables) {
+    return Status::InvalidArgument(
+        "AppendTables: first_new_table (" + std::to_string(first_new_table) +
+        ") must equal the table count the candidate set was extracted from (" +
+        std::to_string(candidates.source_tables) +
+        "); the corpus prefix must be exactly the synthesized tables");
+  }
+  if (corpus.size() < first_new_table) {
+    return Status::InvalidArgument(
+        "AppendTables: corpus has " + std::to_string(corpus.size()) +
+        " tables but the artifacts were synthesized from " +
+        std::to_string(first_new_table) + " — corpora only grow");
+  }
+  // The corpus pool may be a different object than the artifacts' pool
+  // (restore-then-append: artifacts resolve against the mmap'd snapshot
+  // pool, the corpus against a reopened store). Ids must agree wherever
+  // both pools define them, or artifact ValueIds would silently change
+  // meaning; verify the shared prefix outright.
+  const StringPool* pool = &corpus.pool();
+  if (candidates.pool == nullptr) {
+    return Status::FailedPrecondition(
+        "AppendTables: candidate set has no string pool");
+  }
+  if (candidates.pool != pool) {
+    const size_t n = candidates.pool->size();
+    if (pool->size() < n) {
+      return Status::FailedPrecondition(
+          "AppendTables: the corpus pool holds " +
+          std::to_string(pool->size()) + " strings but the artifacts "
+          "reference " + std::to_string(n) +
+          " — persist the corpus store from the same pool state as the "
+          "snapshot (after synthesis) so normalized values share ids");
+    }
+    for (size_t i = 0; i < n; ++i) {
+      if (pool->Get(static_cast<ValueId>(i)) !=
+          candidates.pool->Get(static_cast<ValueId>(i))) {
+        return Status::FailedPrecondition(
+            "AppendTables: the corpus pool diverges from the artifacts' "
+            "pool at id " + std::to_string(i) +
+            " — these artifacts were not synthesized from this corpus");
+      }
+    }
+  }
+
+  Timer append_timer;
+  AppendedArtifacts out;
+  out.append.appended_tables = corpus.size() - first_new_table;
+  ++session_stats_.append_runs;
+
+  const std::vector<BinaryTable>& base_tables = candidates.tables();
+  const auto restamp = [&](uint32_t generation) {
+    out.candidates.artifact_id = NextArtifactId();
+    out.candidates.session = this;
+    out.candidates.generation = generation;
+    out.blocked.artifact_id = NextArtifactId();
+    out.blocked.candidates_id = out.candidates.artifact_id;
+    out.blocked.session = this;
+    out.scored.artifact_id = NextArtifactId();
+    out.scored.candidates_id = out.candidates.artifact_id;
+    out.scored.session = this;
+    out.partitions.artifact_id = NextArtifactId();
+    out.partitions.candidates_id = out.candidates.artifact_id;
+    out.partitions.graph_id = out.scored.artifact_id;
+    out.partitions.session = this;
+  };
+
+  // Empty delta: nothing can change — hand back copies of the inputs under
+  // a fresh lineage generation.
+  if (corpus.size() == first_new_table) {
+    out.candidates = candidates;
+    out.blocked = blocked;
+    out.scored = scored;
+    out.partitions = partitions;
+    out.result = result;
+    restamp(candidates.generation + 1);
+    out.append.extraction_stable = true;
+    out.append.carried_mappings = result.mappings.size();
+    out.append.append_seconds = append_timer.ElapsedSeconds();
+    return out;
+  }
+
+  // --- Union index + incremental extraction. Rebuilding the index and
+  // re-checking every old table's coherence signature is the exactness tax:
+  // coherence is corpus-global (p(u) = |C(u)|/N moves for every value when
+  // N grows), so verdicts must be re-validated — but the expensive half of
+  // extraction (normalize + FD filter + candidate assembly) runs only over
+  // the appended tables.
+  Timer step;
+  ColumnInvertedIndex index;
+  if (options_.extraction.coherence_threshold > -1.0) {
+    index.Build(corpus, threads_.get());
+  }
+  const double index_s = step.ElapsedSeconds();
+
+  step.Restart();
+  const BinaryTableId first_new_id =
+      static_cast<BinaryTableId>(base_tables.size());
+  DeltaExtractionResult delta = ExtractCandidatesDelta(
+      corpus, index, first_new_table, first_new_id, candidates.kept_offsets,
+      candidates.kept_columns, options_.extraction, threads_.get());
+  const double extract_s = step.ElapsedSeconds();
+  out.append.extraction_stable = delta.stable;
+  out.append.unstable_tables = delta.unstable_tables;
+  out.append.new_candidates = delta.new_candidates.size();
+
+  if (!delta.stable) {
+    // A coherence verdict flipped: the old candidate list itself would
+    // differ under a cold rebuild, shifting every downstream id. Exactness
+    // wins over speed — run the full chain internally.
+    ++session_stats_.append_full_rebuilds;
+    out.append.full_rebuild = true;
+    Result<CandidateSet> c = ExtractCandidates(corpus);
+    if (!c.ok()) return c.status();
+    Result<BlockedPairs> b = BlockPairs(c.value());
+    if (!b.ok()) return b.status();
+    Result<ScoredGraph> g = ScorePairs(c.value(), b.value());
+    if (!g.ok()) return g.status();
+    Result<Partitions> p = Partition(g.value());
+    if (!p.ok()) return p.status();
+    Result<SynthesisResult> r = Resolve(c.value(), g.value(), p.value());
+    if (!r.ok()) return r.status();
+    out.candidates = std::move(c).value();
+    out.candidates.generation = candidates.generation + 1;
+    out.blocked = std::move(b).value();
+    out.scored = std::move(g).value();
+    out.partitions = std::move(p).value();
+    out.result = std::move(r).value();
+    out.append.new_candidates =
+        out.candidates.owned.size() -
+        std::min(out.candidates.owned.size(), base_tables.size());
+    out.append.append_seconds = append_timer.ElapsedSeconds();
+    MS_LOG(Info) << "append: coherence verdicts shifted; fell back to a "
+                    "full rebuild (" << out.candidates.owned.size()
+                 << " candidates)";
+    return out;
+  }
+
+  // --- Merge candidates: base ids are untouched, appended candidates take
+  // the next dense ids in table order — exactly a cold run's assignment.
+  out.candidates.owned = base_tables;
+  out.candidates.owned.reserve(base_tables.size() +
+                               delta.new_candidates.size());
+  for (auto& c : delta.new_candidates) {
+    out.candidates.owned.push_back(std::move(c));
+  }
+  out.candidates.pool = pool;
+  out.candidates.source_tables = corpus.size();
+  out.candidates.kept_offsets = std::move(delta.kept_offsets);
+  out.candidates.kept_columns = std::move(delta.kept_columns);
+  out.candidates.stats = candidates.stats;
+  out.candidates.stats.index_seconds += index_s;
+  out.candidates.stats.extract_seconds += extract_s;
+  AddExtractionStats(&out.candidates.stats.extraction, delta.stats);
+  out.candidates.stats.candidates = out.candidates.owned.size();
+
+  // --- Delta blocking: only keys the new candidates touch are counted,
+  // only (new x all) pairs can emerge. Old pairs' counts and old-candidate
+  // taint are append-invariant (appended ids sort last, so truncation keeps
+  // the identical old-id prefix of every posting list) and merge verbatim.
+  step.Restart();
+  std::vector<uint8_t> tainted = blocked.blocking.tainted;
+  if (!tainted.empty()) tainted.resize(out.candidates.owned.size(), 0);
+  DeltaBlockingStats dstats;
+  std::vector<CandidateTablePair> delta_pairs = GenerateDeltaCandidatePairs(
+      out.candidates.owned, first_new_id, options_.blocking, threads_.get(),
+      &tainted, &dstats);
+  out.append.delta_pairs = delta_pairs.size();
+  out.blocked.pairs.reserve(blocked.pairs.size() + delta_pairs.size());
+  std::merge(blocked.pairs.begin(), blocked.pairs.end(), delta_pairs.begin(),
+             delta_pairs.end(), std::back_inserter(out.blocked.pairs),
+             [](const CandidateTablePair& x, const CandidateTablePair& y) {
+               return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+             });
+  out.blocked.blocking = blocked.blocking;
+  out.blocked.blocking.keys += dstats.new_keys;
+  out.blocked.blocking.dropped_postings += dstats.dropped_postings;
+  size_t num_tainted = 0;
+  for (uint8_t t : tainted) num_tainted += t;
+  out.blocked.blocking.tainted_candidates = num_tainted;
+  out.blocked.blocking.exact_counts =
+      out.blocked.blocking.dropped_postings == 0;
+  out.blocked.blocking.tainted = std::move(tainted);
+  out.blocked.stats = out.candidates.stats;
+  FillBlockingStats(out.blocked.blocking, out.blocked.pairs.size(),
+                    blocked.stats.blocking_seconds + step.ElapsedSeconds(),
+                    &out.blocked.stats);
+
+  // --- Delta scoring through the warm per-worker matchers, then splice:
+  // both edge lists are sorted by (u, v) — blocking emits pairs sorted and
+  // scoring adds edges in pair order — so the merged list is exactly what
+  // one cold scoring pass over the merged pairs would have built.
+  step.Restart();
+  ScoringStats scoring;
+  CompatibilityGraph delta_graph = ScoreThroughSessionMatchers(
+      out.candidates.owned, *pool, delta_pairs, &scoring);
+  out.append.delta_edges = delta_graph.num_edges();
+  CompatibilityGraph merged(out.candidates.owned.size());
+  {
+    const auto& be = scored.graph.edges();
+    const auto& de = delta_graph.edges();
+    size_t bi = 0, di = 0;
+    while (bi < be.size() || di < de.size()) {
+      const bool take_base =
+          di >= de.size() ||
+          (bi < be.size() &&
+           std::tie(be[bi].u, be[bi].v) < std::tie(de[di].u, de[di].v));
+      const CompatEdge& e = take_base ? be[bi++] : de[di++];
+      merged.AddEdge(e.u, e.v, e.w_pos, e.w_neg);
+    }
+  }
+  merged.Finalize();
+  out.scored.graph = std::move(merged);
+  out.scored.stats = out.blocked.stats;
+  out.scored.stats.scoring = scored.stats.scoring;
+  out.scored.stats.scoring.Add(scoring);
+  out.scored.stats.scoring_seconds =
+      scored.stats.scoring_seconds + step.ElapsedSeconds();
+  out.scored.stats.graph_edges = out.scored.graph.num_edges();
+
+  // --- Component-restricted partition: a component without any appended
+  // candidate cannot contain a delta edge (every delta pair touches a new
+  // id), so its induced subgraph — and therefore its greedy partition — is
+  // provably identical to the base run's; carry it. Components touched by
+  // the delta are re-partitioned from scratch.
+  step.Restart();
+  PartitionResult partition;
+  std::vector<std::vector<VertexId>> dirty_groups;
+  std::vector<uint32_t> comp;
+  std::vector<char> comp_dirty;
+  size_t num_components = 0;
+  if (options_.divide_and_conquer) {
+    comp = ConnectedComponentsBfs(out.scored.graph,
+                                  options_.partitioner.theta_edge);
+    auto groups = GroupByComponent(comp);
+    num_components = groups.size();
+    comp_dirty.assign(groups.size(), 0);
+    for (size_t g = 0; g < groups.size(); ++g) {
+      for (VertexId v : groups[g]) {
+        if (v >= first_new_id) {
+          comp_dirty[g] = 1;
+          break;
+        }
+      }
+    }
+
+    partition.partition_of.assign(out.scored.graph.num_vertices(), 0);
+    // Clean components: carry the base partitioning, renumbered densely.
+    uint32_t next_pid = 0;
+    {
+      std::unordered_map<uint32_t, uint32_t> remap;
+      for (size_t g = 0; g < groups.size(); ++g) {
+        if (comp_dirty[g]) continue;
+        for (VertexId v : groups[g]) {
+          const uint32_t base_pid = partitions.partition.partition_of[v];
+          auto [it, inserted] = remap.emplace(base_pid, next_pid);
+          if (inserted) ++next_pid;
+          partition.partition_of[v] = it->second;
+        }
+      }
+    }
+
+    std::vector<uint32_t> local_of(out.scored.graph.num_vertices(), 0);
+    std::vector<size_t> dirty_idx;
+    for (size_t g = 0; g < groups.size(); ++g) {
+      if (!comp_dirty[g]) continue;
+      dirty_idx.push_back(g);
+      for (uint32_t i = 0; i < groups[g].size(); ++i) {
+        local_of[groups[g][i]] = i;
+      }
+    }
+    std::atomic<uint32_t> next_partition{next_pid};
+    std::mutex mu;
+    auto run_dirty = [&](size_t k) {
+      const auto& members = groups[dirty_idx[k]];
+      if (members.size() == 1) {
+        partition.partition_of[members[0]] = next_partition.fetch_add(1);
+        std::lock_guard<std::mutex> lock(mu);
+        dirty_groups.push_back({members[0]});
+        return;
+      }
+      PartitionResult local = PartitionComponentSubgraph(
+          out.scored.graph, comp, local_of, members, options_.partitioner);
+      const uint32_t base = next_partition.fetch_add(
+          static_cast<uint32_t>(local.num_partitions));
+      std::vector<std::vector<VertexId>> local_groups(local.num_partitions);
+      for (uint32_t i = 0; i < members.size(); ++i) {
+        partition.partition_of[members[i]] = base + local.partition_of[i];
+        local_groups[local.partition_of[i]].push_back(members[i]);
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      // merges_performed covers only re-partitioned components: the base
+      // artifact stores a whole-run total that cannot be decomposed per
+      // clean component, so this informational counter intentionally
+      // reports the append's own work, not the cold-equivalent total.
+      partition.merges_performed += local.merges_performed;
+      for (auto& gvec : local_groups) dirty_groups.push_back(std::move(gvec));
+    };
+    threads_->ParallelFor(dirty_idx.size(), run_dirty);
+    partition.num_partitions = next_partition.load();
+    out.append.dirty_components = dirty_idx.size();
+    out.append.clean_components = num_components - dirty_idx.size();
+  } else {
+    // Without divide-and-conquer the greedy runs globally; no component
+    // boundary protects any prior partition, so everything is re-run.
+    partition = GreedyPartition(out.scored.graph, options_.partitioner);
+    dirty_groups = partition.Groups();
+    out.append.dirty_components = dirty_groups.size();
+  }
+  out.partitions.partition = std::move(partition);
+  out.partitions.stats = out.scored.stats;
+  if (options_.divide_and_conquer) {
+    out.partitions.stats.components = num_components;
+  }
+  out.partitions.stats.partition_seconds =
+      partitions.stats.partition_seconds + step.ElapsedSeconds();
+  out.partitions.stats.partitions = out.partitions.partition.num_partitions;
+
+  // --- Resolve only the dirty groups; mappings of clean components carry
+  // over verbatim (their partitions, members, and conflict sets are
+  // untouched, and the curation filter is per-mapping).
+  step.Restart();
+  const ConflictResolutionOptions conflict = EffectiveConflict();
+  std::vector<SynthesizedMapping> resolved = ResolveGroups(
+      out.candidates.owned, dirty_groups, options_, conflict, threads_.get());
+  std::vector<SynthesizedMapping> merged_mappings = FilterByPopularity(
+      std::move(resolved), options_.min_domains, options_.min_pairs);
+  size_t carried = 0;
+  if (options_.divide_and_conquer) {
+    for (const auto& m : result.mappings) {
+      if (m.member_tables.empty()) continue;
+      if (!comp_dirty[comp[m.member_tables[0]]]) {
+        merged_mappings.push_back(m);
+        ++carried;
+      }
+    }
+  }
+  std::sort(merged_mappings.begin(), merged_mappings.end(),
+            PopularityGreater);
+  out.append.carried_mappings = carried;
+  out.result.mappings = std::move(merged_mappings);
+  out.result.stats = out.partitions.stats;
+  out.result.stats.resolve_seconds =
+      result.stats.resolve_seconds + step.ElapsedSeconds();
+  out.result.stats.mappings = out.result.mappings.size();
+  out.result.stats.total_seconds =
+      out.result.stats.index_seconds + out.result.stats.extract_seconds +
+      out.result.stats.blocking_seconds + out.result.stats.scoring_seconds +
+      out.result.stats.partition_seconds + out.result.stats.resolve_seconds;
+
+  restamp(candidates.generation + 1);
+  out.append.append_seconds = append_timer.ElapsedSeconds();
+  MS_LOG(Info) << "append: +" << out.append.appended_tables << " tables, +"
+               << out.append.new_candidates << " candidates, "
+               << out.append.delta_pairs << " delta pairs, "
+               << out.append.dirty_components << "/" << num_components
+               << " dirty components, " << out.append.carried_mappings
+               << " mappings carried";
+  return out;
+}
+
+Result<AppendedArtifacts> SynthesisSession::AppendCorpus(
+    TableCorpus* corpus, const TableCorpus& delta,
+    const CandidateSet& candidates, const BlockedPairs& blocked,
+    const ScoredGraph& scored, const Partitions& partitions,
+    const SynthesisResult& result) {
+  if (corpus == nullptr) {
+    return Status::InvalidArgument("AppendCorpus: corpus is null");
+  }
+  // Validate BEFORE mutating: merging the delta and then failing a lineage
+  // check would leave the corpus permanently grown past the artifacts, a
+  // stuck state every retry would re-reject.
+  MS_RETURN_IF_ERROR(
+      ValidateAppendFamily(candidates, blocked, scored, partitions, result));
+  if (corpus->size() != candidates.source_tables) {
+    return Status::InvalidArgument(
+        "AppendCorpus: the corpus already has " +
+        std::to_string(corpus->size()) + " tables but the artifacts cover " +
+        std::to_string(candidates.source_tables) +
+        " — pass the un-grown corpus and let AppendCorpus merge the delta");
+  }
+  Result<size_t> first_new = corpus->AppendFrom(delta);
+  if (!first_new.ok()) return first_new.status();
+  return AppendTables(*corpus, first_new.value(), candidates, blocked,
+                      scored, partitions, result);
 }
 
 // --------------------------------------------------------------- persistence

@@ -139,6 +139,21 @@ struct CandidateSet {
 
   uint64_t artifact_id = 0;   ///< session-unique; stages verify lineage
   const void* session = nullptr;
+
+  /// Append generation: 0 for a cold extraction, +1 per AppendTables merge.
+  /// Persists through snapshots, so lineage records how a restored artifact
+  /// family was grown.
+  uint32_t generation = 0;
+  /// Number of corpus tables this candidate set was extracted from; the
+  /// required `first_new_table` of the next append.
+  uint64_t source_tables = 0;
+  /// Per-table kept-column signatures from extraction (see
+  /// ExtractionResult); empty for adopted candidate sets, which therefore
+  /// cannot be appended to. AppendTables re-checks these under the grown
+  /// corpus index — coherence is corpus-global — and falls back to a full
+  /// re-extraction when any verdict flipped.
+  std::vector<uint32_t> kept_offsets;
+  std::vector<uint32_t> kept_columns;
 };
 
 /// Stage 2 artifact: the candidate pairs that survived blocking, with
@@ -172,6 +187,52 @@ struct Partitions {
   uint64_t candidates_id = 0;
   uint64_t graph_id = 0;  ///< the ScoredGraph this was partitioned from
   const void* session = nullptr;
+};
+
+/// What one AppendTables call did, for observability and tests. The
+/// append's contract is byte-equivalence with a cold rebuild over the
+/// grown corpus; these counters expose how much work the delta restriction
+/// actually saved.
+struct AppendStats {
+  size_t appended_tables = 0;
+  size_t new_candidates = 0;
+  /// Blocked pairs created by the append (every one touches a new
+  /// candidate); the only pairs that were scored.
+  size_t delta_pairs = 0;
+  /// Graph edges spliced in from the delta pairs.
+  size_t delta_edges = 0;
+  /// Positive components containing at least one new candidate — the only
+  /// ones re-partitioned and re-resolved (divide-and-conquer mode).
+  size_t dirty_components = 0;
+  size_t clean_components = 0;
+  /// Mappings carried over verbatim from the previous result (their
+  /// components have no new candidate and no delta edge, so their greedy
+  /// partition and conflict resolution are provably unchanged).
+  size_t carried_mappings = 0;
+  /// False iff some pre-existing table's coherence verdict flipped under
+  /// the grown corpus statistics.
+  bool extraction_stable = false;
+  /// How many old tables flipped (0 when extraction_stable). A fleet whose
+  /// appends keep falling back reads this to tell one borderline column
+  /// from corpus-wide drift; thresholds sitting on a score's decision
+  /// boundary make appends degrade to cold-rebuild cost.
+  size_t unstable_tables = 0;
+  /// True when instability forced an internal cold re-run (results are
+  /// still exact; only the speed win is lost).
+  bool full_rebuild = false;
+  double append_seconds = 0.0;
+};
+
+/// The merged artifact family one AppendTables call produces: a complete,
+/// self-consistent replacement for the inputs, byte-equivalent to running
+/// the full chain cold over the grown corpus.
+struct AppendedArtifacts {
+  CandidateSet candidates;
+  BlockedPairs blocked;
+  ScoredGraph scored;
+  Partitions partitions;
+  SynthesisResult result;
+  AppendStats append;
 };
 
 /// Stable 64-bit fingerprint of every option that affects artifact
@@ -288,6 +349,52 @@ class SynthesisSession {
   Result<SynthesisResult> FinishFromBlocked(const CandidateSet& candidates,
                                             const BlockedPairs& blocked);
 
+  // ------------------------------------------------------- incremental growth
+
+  /// Incremental corpus growth: `corpus` is the *grown* corpus — the same
+  /// tables the input artifacts were synthesized from at indices
+  /// [0, first_new_table) plus the appended tables after them — and the
+  /// returned artifact family is byte-equivalent to a cold full run over
+  /// it, at delta cost:
+  ///   - the inverted index is rebuilt and every old table's kept-column
+  ///     signature re-checked (coherence is corpus-global; this is the
+  ///     exactness tax), but extraction's normalize + FD work runs only
+  ///     over the appended tables;
+  ///   - blocking counts only keys the new candidates touch and emits only
+  ///     (new x all) pairs — old-pair counts and taint provably cannot
+  ///     change under appends;
+  ///   - only the delta pairs are scored (through the warm per-worker
+  ///     matchers) and spliced into the existing graph;
+  ///   - only components containing a new candidate are re-partitioned and
+  ///     re-resolved; untouched components' mappings carry over verbatim
+  ///     (divide-and-conquer mode).
+  /// If a coherence verdict flipped, falls back to a full internal re-run
+  /// (AppendStats::full_rebuild) — exactness is never traded for speed.
+  ///
+  /// `first_new_table` must equal candidates.source_tables. All artifacts
+  /// must share lineage. `candidates` must carry extraction signatures
+  /// (adopted candidate sets fail with FailedPrecondition). The corpus pool
+  /// may be a different object than the artifacts' pool (the
+  /// restore-then-append path) as long as it is id-compatible — verified.
+  Result<AppendedArtifacts> AppendTables(const TableCorpus& corpus,
+                                         size_t first_new_table,
+                                         const CandidateSet& candidates,
+                                         const BlockedPairs& blocked,
+                                         const ScoredGraph& scored,
+                                         const Partitions& partitions,
+                                         const SynthesisResult& result);
+
+  /// Convenience: merges `delta`'s tables into `*corpus` (re-interning into
+  /// its pool) and appends them. The ingestion shape of a serving fleet:
+  /// batches arrive as independently-loaded corpora.
+  Result<AppendedArtifacts> AppendCorpus(TableCorpus* corpus,
+                                         const TableCorpus& delta,
+                                         const CandidateSet& candidates,
+                                         const BlockedPairs& blocked,
+                                         const ScoredGraph& scored,
+                                         const Partitions& partitions,
+                                         const SynthesisResult& result);
+
   // ------------------------------------------------------------ persistence
 
   /// Writes a versioned, checksummed snapshot (persist/snapshot.h) of the
@@ -329,6 +436,10 @@ class SynthesisSession {
     /// Persistence round trips through Save/RestoreSnapshot.
     size_t snapshot_saves = 0;
     size_t snapshot_restores = 0;
+    /// Incremental corpus growth: AppendTables calls, and how many of them
+    /// lost the delta fast path to a coherence-verdict flip.
+    size_t append_runs = 0;
+    size_t append_full_rebuilds = 0;
   };
   const SessionStats& session_stats() const { return session_stats_; }
 
@@ -342,10 +453,24 @@ class SynthesisSession {
   CompatibilityOptions EffectiveCompat();
   ConflictResolutionOptions EffectiveConflict();
   uint64_t NextArtifactId() { return next_artifact_id_++; }
+  /// Scores `pairs` over `tables` through the session's persistent
+  /// per-worker matchers (building/warming them as needed); shared by
+  /// ScorePairs and the append delta-scoring path.
+  CompatibilityGraph ScoreThroughSessionMatchers(
+      const std::vector<BinaryTable>& tables, const StringPool& pool,
+      const std::vector<CandidateTablePair>& pairs, ScoringStats* scoring);
   Status CheckSameSession(const char* stage, const void* session) const;
   Status CheckLineage(const char* stage, const void* session,
                       uint64_t got_candidates_id,
                       uint64_t want_candidates_id) const;
+  /// All artifact-side preconditions of an append (lineage, extraction
+  /// signatures, result consistency) — everything that can be checked
+  /// before touching a corpus, so AppendCorpus validates BEFORE mutating.
+  Status ValidateAppendFamily(const CandidateSet& candidates,
+                              const BlockedPairs& blocked,
+                              const ScoredGraph& scored,
+                              const Partitions& partitions,
+                              const SynthesisResult& result) const;
 
   SynthesisOptions options_;
   Status init_status_;

@@ -30,6 +30,41 @@ TableId TableCorpus::AddFromStrings(
   return Add(std::move(t));
 }
 
+Result<size_t> TableCorpus::AppendFrom(const TableCorpus& other) {
+  const size_t first_new = tables_.size();
+  const bool same_pool = other.pool_ == pool_;
+  // Stage into a scratch list first: a mid-append failure (read-only pool
+  // refusing an unseen string) must leave this corpus untouched.
+  std::vector<Table> staged;
+  staged.reserve(other.tables_.size());
+  for (const Table& src : other.tables_) {
+    Table t;
+    t.domain = src.domain;
+    t.source = src.source;
+    t.columns.reserve(src.columns.size());
+    for (const Column& sc : src.columns) {
+      Column col;
+      col.name = sc.name;
+      col.cells.reserve(sc.cells.size());
+      for (ValueId v : sc.cells) {
+        const ValueId id =
+            same_pool ? v : pool_->Intern(other.pool().Get(v));
+        if (id == kInvalidValueId) {
+          return Status::FailedPrecondition(
+              "AppendFrom: this corpus's pool is read-only and the delta "
+              "holds an unseen value — a frozen serving pool cannot absorb "
+              "new tables");
+        }
+        col.cells.push_back(id);
+      }
+      t.columns.push_back(std::move(col));
+    }
+    staged.push_back(std::move(t));
+  }
+  for (Table& t : staged) Add(std::move(t));
+  return first_new;
+}
+
 size_t TableCorpus::TotalColumns() const {
   size_t n = 0;
   for (const auto& t : tables_) n += t.num_columns();

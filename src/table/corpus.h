@@ -37,6 +37,18 @@ class TableCorpus {
                          const std::vector<std::string>& column_names,
                          const std::vector<std::vector<std::string>>& columns);
 
+  /// Appends copies of `other`'s tables, re-interning every cell value into
+  /// this corpus's pool (the two corpora may use different pools). Returns
+  /// the index of the first appended table — the `first_new_table` argument
+  /// SynthesisSession::AppendTables expects. This is the ingestion path for
+  /// incremental corpus growth: batches arrive as independently-loaded
+  /// corpora and are merged into the live one. FailedPrecondition when this
+  /// corpus's pool is read-only and `other` holds an unseen string (the
+  /// corpus is left untouched): a frozen serving pool cannot absorb new
+  /// values, and storing kInvalidValueId cells would silently corrupt every
+  /// downstream extraction.
+  Result<size_t> AppendFrom(const TableCorpus& other);
+
   const std::vector<Table>& tables() const { return tables_; }
   const Table& table(TableId id) const { return tables_[id]; }
   size_t size() const { return tables_.size(); }

@@ -4,8 +4,19 @@
 
 namespace ms {
 
+void StringPool::EnsureIndexLocked() const {
+  if (indexed_ == views_.size()) return;
+  index_.reserve(views_.size());
+  for (; indexed_ < views_.size(); ++indexed_) {
+    // Keep-first on duplicates, matching Intern(): ids stay dense either
+    // way, and persisted pools are deduplicated by construction.
+    index_.emplace(views_[indexed_], static_cast<ValueId>(indexed_));
+  }
+}
+
 ValueId StringPool::Intern(std::string_view s) {
   std::lock_guard<std::mutex> lock(mu_);
+  EnsureIndexLocked();
   auto it = index_.find(s);
   if (it != index_.end()) return it->second;
   if (read_only_) return kInvalidValueId;
@@ -13,12 +24,14 @@ ValueId StringPool::Intern(std::string_view s) {
   views_.push_back(std::string_view(owned_.back()));
   ValueId id = static_cast<ValueId>(views_.size() - 1);
   index_.emplace(views_.back(), id);
+  indexed_ = views_.size();
   return id;
 }
 
 void StringPool::InternBatch(const std::vector<std::string>& strs,
                              std::vector<ValueId>* ids) {
   std::lock_guard<std::mutex> lock(mu_);
+  EnsureIndexLocked();
   ids->reserve(ids->size() + strs.size());
   for (const std::string& s : strs) {
     auto it = index_.find(s);
@@ -34,6 +47,7 @@ void StringPool::InternBatch(const std::vector<std::string>& strs,
     views_.push_back(std::string_view(owned_.back()));
     ValueId id = static_cast<ValueId>(views_.size() - 1);
     index_.emplace(views_.back(), id);
+    indexed_ = views_.size();
     ids->push_back(id);
   }
 }
@@ -42,12 +56,11 @@ void StringPool::AdoptExternal(const std::vector<std::string_view>& views) {
   std::lock_guard<std::mutex> lock(mu_);
   if (read_only_) return;
   views_.reserve(views_.size() + views.size());
-  index_.reserve(index_.size() + views.size());
+  // Deliberately no index_ update: the hash build is deferred until the
+  // first string -> id lookup (EnsureIndexLocked), so id-only consumers
+  // (serving from a restored snapshot) never pay it.
   for (std::string_view v : views) {
     views_.push_back(v);
-    // Keep-first on duplicates, matching Intern(): ids stay dense either
-    // way, and persisted pools are deduplicated by construction.
-    index_.emplace(v, static_cast<ValueId>(views_.size() - 1));
   }
 }
 
@@ -68,6 +81,7 @@ bool StringPool::read_only() const {
 
 ValueId StringPool::Find(std::string_view s) const {
   std::lock_guard<std::mutex> lock(mu_);
+  EnsureIndexLocked();
   auto it = index_.find(s);
   return it == index_.end() ? kInvalidValueId : it->second;
 }
@@ -81,6 +95,11 @@ std::string_view StringPool::Get(ValueId id) const {
 size_t StringPool::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return views_.size();
+}
+
+size_t StringPool::indexed_strings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return indexed_;
 }
 
 }  // namespace ms

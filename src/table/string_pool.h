@@ -11,6 +11,15 @@
 //     pool over an mmap'd snapshot/corpus-store region. The backing mapping
 //     is pinned for the pool's lifetime with RetainBacking(), so views can
 //     never outlive their bytes no matter where the pool handle travels.
+//
+// The string -> id hash over adopted views is built lazily: AdoptExternal()
+// only appends the views, and the index over them is materialized on the
+// first operation that needs it (Intern / InternBatch / Find). Serving
+// paths that only resolve ids (Get) — a MappingStore answering lookups from
+// a restored snapshot — never pay the hash build, which dominates the
+// corpus-store open time. Laziness is invisible to callers: results are
+// identical either way.
+//
 // MarkReadOnly() freezes the pool for serving-only deployments: lookups
 // keep working, but interning an unseen string returns kInvalidValueId
 // instead of mutating the pool.
@@ -56,8 +65,9 @@ class StringPool {
   /// Zero-copy bulk adoption: appends `views` verbatim as ids
   /// size()..size()+n-1 WITHOUT copying the bytes. The caller guarantees
   /// the backing memory outlives the pool — pin an mmap with
-  /// RetainBacking(). Views are indexed for Find()/Intern() like owned
-  /// strings. Ignored on a read-only pool.
+  /// RetainBacking(). The string -> id index over adopted views is built
+  /// lazily on the first Find()/Intern(); id-based lookups (Get) never
+  /// trigger it. Ignored on a read-only pool.
   void AdoptExternal(const std::vector<std::string_view>& views);
 
   /// Pins `backing` (e.g. a persist::MmapFile) until the pool is destroyed,
@@ -71,7 +81,8 @@ class StringPool {
   void MarkReadOnly();
   bool read_only() const;
 
-  /// Returns the id for `s` or kInvalidValueId if never interned.
+  /// Returns the id for `s` or kInvalidValueId if never interned. Builds
+  /// the deferred index over adopted views if necessary.
   ValueId Find(std::string_view s) const;
 
   /// The interned string for a valid id.
@@ -79,12 +90,24 @@ class StringPool {
 
   size_t size() const;
 
+  /// Observability for the lazy index: how many strings are currently
+  /// covered by the string -> id hash. Stays 0 after AdoptExternal() until
+  /// a Find()/Intern() forces the build; tests and bench_micro use this to
+  /// prove serving-only paths never pay it.
+  size_t indexed_strings() const;
+
  private:
+  /// Indexes views_[indexed_..views_.size()) into index_. Caller holds mu_.
+  void EnsureIndexLocked() const;
+
   mutable std::mutex mu_;
   /// id -> bytes; views point into `owned_` or into retained backings.
   std::vector<std::string_view> views_;
   std::deque<std::string> owned_;
-  std::unordered_map<std::string_view, ValueId> index_;
+  /// Lazily covers views_[0..indexed_); adopted views are indexed on the
+  /// first string -> id operation, never on adoption.
+  mutable std::unordered_map<std::string_view, ValueId> index_;
+  mutable size_t indexed_ = 0;
   std::vector<std::shared_ptr<const void>> backings_;
   bool read_only_ = false;
 };

@@ -1,0 +1,739 @@
+// Lockdown suite for incremental corpus growth (SynthesisSession::
+// AppendTables / AppendCorpus, MappingService append entry points).
+//
+// The core property: for ANY schedule that splits a corpus into k append
+// batches (k in 1..5, empty and single-table batches included), growing the
+// corpus batch by batch must produce results byte-equivalent to one cold
+// rebuild over the whole corpus — same mappings (compared pool-
+// independently), same blocked pairs including per-pair count-exactness,
+// same graph edges bit-for-bit, same deterministic pipeline counters
+// (candidates, pairs, keys, truncation taint, edges, partitions, mappings).
+// The randomized differential runs under the ASan+UBSan CI leg like every
+// other suite; MS_FUZZ_ITERS deepens it in CI (see .github/workflows/ci.yml).
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/serving.h"
+#include "common/random.h"
+#include "persist/corpus_store.h"
+#include "synth/blocking.h"
+#include "synth/session.h"
+#include "table/corpus.h"
+#include "table/tsv.h"
+
+namespace ms {
+namespace {
+
+size_t FuzzIters(size_t fallback) {
+  // MS_FUZZ_ITERS lets CI run the randomized schedules much deeper than a
+  // local edit-compile-test loop wants to pay for.
+  const char* env = std::getenv("MS_FUZZ_ITERS");
+  if (env == nullptr || *env == '\0') return fallback;
+  const long v = std::strtol(env, nullptr, 10);
+  return v > 0 ? static_cast<size_t>(v) : fallback;
+}
+
+std::string ScratchPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr && *dir ? dir : "/tmp") + "/" + name;
+}
+
+// ------------------------------------------------------ corpus construction
+
+/// One corpus table as raw strings, so the identical table sequence can be
+/// materialized into several independent TableCorpus objects (cold-rebuild
+/// corpora must not share the incremental run's warm pool).
+struct TableSpec {
+  std::string domain;
+  std::vector<std::string> names;
+  std::vector<std::vector<std::string>> cols;
+};
+
+/// Random web-shaped tables over a small shared vocabulary: a ground
+/// mapping name_i -> code_(i mod 16) sampled with noise, typos, occasional
+/// junk third columns (coherence-filter food), and occasional conflicting
+/// rights (conflict-resolution food). Small vocabulary => heavy value
+/// co-occurrence => non-trivial blocking, components, and partitions.
+std::vector<TableSpec> RandomCorpusSpec(Rng& rng, size_t n_tables) {
+  std::vector<std::string> lefts, rights;
+  for (size_t i = 0; i < 48; ++i) {
+    lefts.push_back("entity name " + std::to_string(i));
+    rights.push_back("code" + std::to_string(i % 16));
+  }
+  std::vector<TableSpec> specs;
+  specs.reserve(n_tables);
+  for (size_t t = 0; t < n_tables; ++t) {
+    TableSpec spec;
+    spec.domain = "domain" + std::to_string(rng.Uniform(6)) + ".example";
+    const size_t rows = 4 + rng.Uniform(7);
+    std::vector<std::string> lcol, rcol;
+    std::set<uint64_t> seen;
+    while (lcol.size() < rows) {
+      const uint64_t li = rng.Uniform(lefts.size());
+      if (!seen.insert(li).second) continue;
+      std::string l = lefts[li];
+      if (rng.Bernoulli(0.15)) {
+        l[rng.Uniform(l.size())] =
+            static_cast<char>('a' + rng.Uniform(26));  // typo
+      }
+      std::string r = rights[li];
+      if (rng.Bernoulli(0.08)) r = "code" + std::to_string(rng.Uniform(16));
+      lcol.push_back(std::move(l));
+      rcol.push_back(std::move(r));
+    }
+    spec.names = {"name", "code"};
+    spec.cols = {lcol, rcol};
+    if (rng.Bernoulli(0.3)) {
+      // Junk column: unique-ish values with low corpus coherence.
+      std::vector<std::string> junk;
+      for (size_t r = 0; r < rows; ++r) {
+        junk.push_back("junk " + std::to_string(t) + "_" +
+                       std::to_string(rng.Uniform(1000)));
+      }
+      spec.names.push_back("notes");
+      spec.cols.push_back(std::move(junk));
+    }
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+void AddSpecs(TableCorpus* corpus, const std::vector<TableSpec>& specs,
+              size_t begin, size_t end) {
+  for (size_t i = begin; i < end; ++i) {
+    corpus->AddFromStrings(specs[i].domain, TableSource::kWeb, specs[i].names,
+                           specs[i].cols);
+  }
+}
+
+// -------------------------------------------------------------- comparison
+
+/// Pool-independent, order-independent view of a mapping set. Normalized
+/// values are interned concurrently, so two pools built by different runs
+/// may order ids differently: pair strings are sorted within each mapping
+/// and mappings compared as a multiset.
+std::multiset<std::string> Canonical(const SynthesisResult& r,
+                                     const StringPool& pool) {
+  std::multiset<std::string> out;
+  for (const auto& m : r.mappings) {
+    std::multiset<std::string> pairs;
+    for (const auto& p : m.merged.pairs()) {
+      pairs.insert(std::string(pool.Get(p.left)) + "\x1e" +
+                   std::string(pool.Get(p.right)));
+    }
+    std::string key = m.left_label + "\x1f" + m.right_label + "\x1f" +
+                      std::to_string(m.member_tables.size()) + "\x1f" +
+                      std::to_string(m.kept_tables.size()) + "\x1f" +
+                      std::to_string(m.num_domains) + "\x1f";
+    for (const auto& p : pairs) key += p + "\x1f";
+    out.insert(std::move(key));
+  }
+  return out;
+}
+
+void ExpectPairsIdentical(const std::vector<CandidateTablePair>& cold,
+                          const std::vector<CandidateTablePair>& inc) {
+  ASSERT_EQ(cold.size(), inc.size());
+  for (size_t i = 0; i < cold.size(); ++i) {
+    EXPECT_EQ(cold[i].a, inc[i].a) << "pair " << i;
+    EXPECT_EQ(cold[i].b, inc[i].b) << "pair " << i;
+    EXPECT_EQ(cold[i].shared_pairs, inc[i].shared_pairs) << "pair " << i;
+    EXPECT_EQ(cold[i].shared_lefts, inc[i].shared_lefts) << "pair " << i;
+    EXPECT_EQ(cold[i].counts_exact, inc[i].counts_exact) << "pair " << i;
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+void ExpectEdgesIdentical(const CompatibilityGraph& cold,
+                          const CompatibilityGraph& inc) {
+  ASSERT_EQ(cold.num_vertices(), inc.num_vertices());
+  ASSERT_EQ(cold.num_edges(), inc.num_edges());
+  for (size_t e = 0; e < cold.edges().size(); ++e) {
+    const auto& ce = cold.edges()[e];
+    const auto& ie = inc.edges()[e];
+    EXPECT_EQ(ce.u, ie.u) << "edge " << e;
+    EXPECT_EQ(ce.v, ie.v) << "edge " << e;
+    EXPECT_EQ(ce.w_pos, ie.w_pos) << "edge " << e;  // bitwise: same strings
+    EXPECT_EQ(ce.w_neg, ie.w_neg) << "edge " << e;
+    if (::testing::Test::HasFailure()) return;
+  }
+}
+
+/// The deterministic counters a cold rebuild and an append schedule must
+/// agree on (timings and cache counters legitimately differ).
+void ExpectCountersIdentical(const PipelineStats& cold,
+                             const PipelineStats& inc) {
+  EXPECT_EQ(cold.candidates, inc.candidates);
+  EXPECT_EQ(cold.candidate_pairs, inc.candidate_pairs);
+  EXPECT_EQ(cold.blocking_keys, inc.blocking_keys);
+  EXPECT_EQ(cold.blocking_dropped_postings, inc.blocking_dropped_postings);
+  EXPECT_EQ(cold.blocking_tainted_candidates,
+            inc.blocking_tainted_candidates);
+  EXPECT_EQ(cold.graph_edges, inc.graph_edges);
+  EXPECT_EQ(cold.components, inc.components);
+  EXPECT_EQ(cold.partitions, inc.partitions);
+  EXPECT_EQ(cold.mappings, inc.mappings);
+  EXPECT_EQ(cold.extraction.tables_seen, inc.extraction.tables_seen);
+  EXPECT_EQ(cold.extraction.columns_seen, inc.extraction.columns_seen);
+  EXPECT_EQ(cold.extraction.columns_kept, inc.extraction.columns_kept);
+  EXPECT_EQ(cold.extraction.pairs_considered,
+            inc.extraction.pairs_considered);
+  EXPECT_EQ(cold.extraction.pairs_kept, inc.extraction.pairs_kept);
+}
+
+/// One fully materialized artifact family, chained cold.
+struct Family {
+  CandidateSet candidates;
+  BlockedPairs blocked;
+  ScoredGraph scored;
+  Partitions partitions;
+  SynthesisResult result;
+};
+
+Family ColdChain(SynthesisSession* session, const TableCorpus& corpus) {
+  Family f;
+  auto c = session->ExtractCandidates(corpus);
+  EXPECT_TRUE(c.ok()) << c.status().ToString();
+  f.candidates = std::move(c).value();
+  auto b = session->BlockPairs(f.candidates);
+  EXPECT_TRUE(b.ok()) << b.status().ToString();
+  f.blocked = std::move(b).value();
+  auto g = session->ScorePairs(f.candidates, f.blocked);
+  EXPECT_TRUE(g.ok()) << g.status().ToString();
+  f.scored = std::move(g).value();
+  auto p = session->Partition(f.scored);
+  EXPECT_TRUE(p.ok()) << p.status().ToString();
+  f.partitions = std::move(p).value();
+  auto r = session->Resolve(f.candidates, f.scored, f.partitions);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  f.result = std::move(r).value();
+  return f;
+}
+
+SynthesisOptions BaseOptions() {
+  SynthesisOptions o;
+  o.num_threads = 4;
+  o.min_domains = 1;
+  o.min_pairs = 1;
+  return o;
+}
+
+// ------------------------------------------- randomized append schedules
+
+TEST(IncrementalDifferentialTest, RandomAppendSchedulesMatchColdRebuild) {
+  const size_t iters = FuzzIters(6);
+  Rng rng(20260729);
+  size_t stable_appends = 0, fallback_appends = 0, total_appends = 0;
+  for (size_t iter = 0; iter < iters; ++iter) {
+    const size_t n_tables = 30 + rng.Uniform(50);
+    auto specs = RandomCorpusSpec(rng, n_tables);
+
+    // Random schedule: k batches, boundaries sorted, empties allowed.
+    const size_t k = 1 + rng.Uniform(5);
+    std::vector<size_t> bounds = {0, n_tables};
+    for (size_t i = 1; i < k; ++i) {
+      bounds.push_back(rng.Uniform(n_tables + 1));
+    }
+    std::sort(bounds.begin(), bounds.end());
+    // Occasionally make one batch a single table.
+    if (k > 1 && rng.Bernoulli(0.3) && bounds[1] < n_tables) {
+      bounds[1] = bounds[0] + 1 <= n_tables ? bounds[0] + 1 : bounds[1];
+      std::sort(bounds.begin(), bounds.end());
+    }
+
+    // Random result-affecting knobs, chosen to exercise truncation taint,
+    // both partitioning modes, and both coherence regimes (threshold -1
+    // passes every column => appends provably stable; positive thresholds
+    // may flip verdicts and exercise the full-rebuild fallback).
+    SynthesisOptions o = BaseOptions();
+    const double coh[] = {-1.0, 0.05, 0.15};
+    o.extraction.coherence_threshold = coh[rng.Uniform(3)];
+    const size_t postings[] = {2, 4, 8, 256};
+    o.blocking.max_posting = postings[rng.Uniform(4)];
+    o.blocking.theta_overlap = 1 + rng.Uniform(2);
+    o.divide_and_conquer = rng.Bernoulli(0.8);
+    o.min_domains = 1 + rng.Uniform(2);
+
+    SCOPED_TRACE("iter " + std::to_string(iter) + " tables " +
+                 std::to_string(n_tables) + " k " + std::to_string(k) +
+                 " coh " + std::to_string(o.extraction.coherence_threshold) +
+                 " max_posting " + std::to_string(o.blocking.max_posting) +
+                 " dnc " + std::to_string(o.divide_and_conquer));
+
+    // Cold rebuild over the whole corpus.
+    TableCorpus cold_corpus;
+    AddSpecs(&cold_corpus, specs, 0, n_tables);
+    SynthesisSession cold_session(o);
+    ASSERT_TRUE(cold_session.status().ok());
+    Family cold = ColdChain(&cold_session, cold_corpus);
+    ASSERT_FALSE(HasFailure());
+
+    // Incremental: batch 0 cold, every further batch appended.
+    TableCorpus inc_corpus;
+    AddSpecs(&inc_corpus, specs, 0, bounds[1]);
+    SynthesisSession inc_session(o);
+    ASSERT_TRUE(inc_session.status().ok());
+    Family inc = ColdChain(&inc_session, inc_corpus);
+    ASSERT_FALSE(HasFailure());
+    size_t appends = 0;
+    for (size_t b = 1; b + 1 < bounds.size(); ++b) {
+      Result<AppendedArtifacts> grown = [&] {
+        if (rng.Bernoulli(0.5)) {
+          // Ingestion shape: the batch arrives as its own corpus.
+          TableCorpus delta;
+          AddSpecs(&delta, specs, bounds[b], bounds[b + 1]);
+          return inc_session.AppendCorpus(&inc_corpus, delta, inc.candidates,
+                                          inc.blocked, inc.scored,
+                                          inc.partitions, inc.result);
+        }
+        AddSpecs(&inc_corpus, specs, bounds[b], bounds[b + 1]);
+        return inc_session.AppendTables(inc_corpus, bounds[b], inc.candidates,
+                                        inc.blocked, inc.scored,
+                                        inc.partitions, inc.result);
+      }();
+      ASSERT_TRUE(grown.ok()) << grown.status().ToString();
+      AppendedArtifacts family = std::move(grown).value();
+      ++appends;
+      ++total_appends;
+      if (family.append.full_rebuild) {
+        ++fallback_appends;
+      } else {
+        ++stable_appends;
+      }
+      // Coherence threshold -1 passes every column: the kept sets cannot
+      // flip, so the delta fast path must have been taken.
+      if (o.extraction.coherence_threshold == -1.0) {
+        EXPECT_TRUE(family.append.extraction_stable);
+        EXPECT_FALSE(family.append.full_rebuild);
+      }
+      EXPECT_EQ(family.candidates.generation, appends);
+      EXPECT_EQ(family.blocked.candidates_id, family.candidates.artifact_id);
+      EXPECT_EQ(family.scored.candidates_id, family.candidates.artifact_id);
+      EXPECT_EQ(family.partitions.graph_id, family.scored.artifact_id);
+      EXPECT_EQ(family.candidates.source_tables, inc_corpus.size());
+      inc.candidates = std::move(family.candidates);
+      inc.blocked = std::move(family.blocked);
+      inc.scored = std::move(family.scored);
+      inc.partitions = std::move(family.partitions);
+      inc.result = std::move(family.result);
+    }
+
+    // --- The differential: every deterministic artifact must agree.
+    ExpectPairsIdentical(cold.blocked.pairs, inc.blocked.pairs);
+    ExpectEdgesIdentical(cold.scored.graph, inc.scored.graph);
+    EXPECT_EQ(cold.blocked.blocking.tainted, inc.blocked.blocking.tainted);
+    EXPECT_EQ(cold.partitions.partition.num_partitions,
+              inc.partitions.partition.num_partitions);
+    ExpectCountersIdentical(cold.result.stats, inc.result.stats);
+    EXPECT_EQ(Canonical(cold.result, cold_corpus.pool()),
+              Canonical(inc.result, inc_corpus.pool()));
+    ASSERT_FALSE(HasFailure());
+  }
+  // The suite must exercise the delta fast path, not just the fallback.
+  EXPECT_GT(stable_appends, 0u)
+      << "no append took the fast path across " << total_appends << " appends";
+  std::printf("append schedules: %zu appends, %zu fast-path, %zu fallback\n",
+              total_appends, stable_appends, fallback_appends);
+}
+
+TEST(IncrementalDifferentialTest, DeltaBlockingMatchesFullReblocking) {
+  // Sharp blocking-level differential: merging a base run's pairs with the
+  // delta pass must reproduce full re-blocking exactly — counts, per-pair
+  // exactness, taint bitmap, key and truncation accounting.
+  const size_t iters = FuzzIters(8);
+  Rng rng(77);
+  ThreadPool pool(4);
+  for (size_t iter = 0; iter < iters; ++iter) {
+    const size_t n = 20 + rng.Uniform(60);
+    std::vector<BinaryTable> candidates;
+    for (size_t i = 0; i < n; ++i) {
+      std::vector<ValuePair> pairs;
+      const size_t rows = 2 + rng.Uniform(8);
+      for (size_t r = 0; r < rows; ++r) {
+        pairs.push_back({static_cast<ValueId>(rng.Uniform(24)),
+                         static_cast<ValueId>(24 + rng.Uniform(12))});
+      }
+      BinaryTable t = BinaryTable::FromPairs(std::move(pairs));
+      t.id = static_cast<BinaryTableId>(i);
+      candidates.push_back(std::move(t));
+    }
+    BlockingOptions options;
+    options.theta_overlap = 1 + rng.Uniform(2);
+    const size_t postings[] = {2, 3, 5, 256};
+    options.max_posting = postings[rng.Uniform(4)];
+    const uint32_t first_new = static_cast<uint32_t>(rng.Uniform(n + 1));
+    SCOPED_TRACE("iter " + std::to_string(iter) + " n " + std::to_string(n) +
+                 " first_new " + std::to_string(first_new) + " max_posting " +
+                 std::to_string(options.max_posting));
+
+    BlockingStats full_stats;
+    auto full = GenerateCandidatePairs(candidates, options, &pool,
+                                       &full_stats);
+
+    std::vector<BinaryTable> base(candidates.begin(),
+                                  candidates.begin() + first_new);
+    BlockingStats base_stats;
+    auto base_pairs = GenerateCandidatePairs(base, options, &pool,
+                                             &base_stats);
+    std::vector<uint8_t> tainted = base_stats.tainted;
+    if (!tainted.empty()) tainted.resize(n, 0);
+    DeltaBlockingStats dstats;
+    auto delta = GenerateDeltaCandidatePairs(candidates, first_new, options,
+                                             &pool, &tainted, &dstats);
+    std::vector<CandidateTablePair> merged;
+    merged.reserve(base_pairs.size() + delta.size());
+    std::merge(base_pairs.begin(), base_pairs.end(), delta.begin(),
+               delta.end(), std::back_inserter(merged),
+               [](const CandidateTablePair& x, const CandidateTablePair& y) {
+                 return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+               });
+
+    ExpectPairsIdentical(full, merged);
+    if (!full_stats.tainted.empty() || !tainted.empty()) {
+      std::vector<uint8_t> full_bitmap = full_stats.tainted;
+      full_bitmap.resize(n, 0);
+      tainted.resize(n, 0);
+      EXPECT_EQ(full_bitmap, tainted);
+    }
+    EXPECT_EQ(full_stats.keys, base_stats.keys + dstats.new_keys);
+    EXPECT_EQ(full_stats.dropped_postings,
+              base_stats.dropped_postings + dstats.dropped_postings);
+    ASSERT_FALSE(HasFailure());
+  }
+}
+
+// ------------------------------------------------------------- edge cases
+
+TEST(IncrementalApiTest, EmptyAppendIsIdentityWithFreshGeneration) {
+  Rng rng(5);
+  auto specs = RandomCorpusSpec(rng, 24);
+  TableCorpus corpus;
+  AddSpecs(&corpus, specs, 0, specs.size());
+  SynthesisSession session(BaseOptions());
+  Family f = ColdChain(&session, corpus);
+  ASSERT_FALSE(HasFailure());
+
+  auto grown = session.AppendTables(corpus, corpus.size(), f.candidates,
+                                    f.blocked, f.scored, f.partitions,
+                                    f.result);
+  ASSERT_TRUE(grown.ok()) << grown.status().ToString();
+  const AppendedArtifacts& a = grown.value();
+  EXPECT_EQ(a.candidates.generation, 1u);
+  EXPECT_EQ(a.append.appended_tables, 0u);
+  EXPECT_EQ(a.append.carried_mappings, f.result.mappings.size());
+  ExpectPairsIdentical(f.blocked.pairs, a.blocked.pairs);
+  EXPECT_EQ(Canonical(f.result, corpus.pool()),
+            Canonical(a.result, corpus.pool()));
+  // Fresh lineage: the copies feed downstream stages like any artifact.
+  auto parts = session.Partition(a.scored);
+  EXPECT_TRUE(parts.ok()) << parts.status().ToString();
+}
+
+TEST(IncrementalApiTest, AppendRejectsMisuse) {
+  Rng rng(9);
+  auto specs = RandomCorpusSpec(rng, 20);
+  TableCorpus corpus;
+  AddSpecs(&corpus, specs, 0, 16);
+  SynthesisSession session(BaseOptions());
+  Family f = ColdChain(&session, corpus);
+  ASSERT_FALSE(HasFailure());
+  AddSpecs(&corpus, specs, 16, 20);
+
+  // Wrong first_new_table.
+  auto wrong = session.AppendTables(corpus, 12, f.candidates, f.blocked,
+                                    f.scored, f.partitions, f.result);
+  EXPECT_EQ(wrong.status().code(), StatusCode::kInvalidArgument);
+
+  // Foreign session artifacts.
+  SynthesisSession other(BaseOptions());
+  auto foreign = other.AppendTables(corpus, 16, f.candidates, f.blocked,
+                                    f.scored, f.partitions, f.result);
+  EXPECT_EQ(foreign.status().code(), StatusCode::kFailedPrecondition);
+
+  // Adopted candidate sets carry no extraction signatures.
+  auto adopted = session.AdoptCandidates(f.candidates.tables(),
+                                         corpus.pool());
+  ASSERT_TRUE(adopted.ok());
+  auto blocked2 = session.BlockPairs(adopted.value());
+  ASSERT_TRUE(blocked2.ok());
+  auto scored2 = session.ScorePairs(adopted.value(), blocked2.value());
+  ASSERT_TRUE(scored2.ok());
+  auto parts2 = session.Partition(scored2.value());
+  ASSERT_TRUE(parts2.ok());
+  auto res2 = session.Resolve(adopted.value(), scored2.value(),
+                              parts2.value());
+  ASSERT_TRUE(res2.ok());
+  auto no_sig = session.AppendTables(corpus, 0, adopted.value(),
+                                     blocked2.value(), scored2.value(),
+                                     parts2.value(), res2.value());
+  EXPECT_EQ(no_sig.status().code(), StatusCode::kFailedPrecondition);
+
+  // A shrunk corpus is not an append.
+  TableCorpus small;
+  AddSpecs(&small, specs, 0, 8);
+  auto shrunk = session.AppendTables(small, 16, f.candidates, f.blocked,
+                                     f.scored, f.partitions, f.result);
+  EXPECT_EQ(shrunk.status().code(), StatusCode::kInvalidArgument);
+
+  // A result from a different (larger) family is rejected before any
+  // component array could be indexed with its out-of-range member ids.
+  SynthesisResult fake = f.result;
+  SynthesizedMapping oversized;
+  oversized.member_tables = {
+      static_cast<BinaryTableId>(f.candidates.tables().size() + 5)};
+  fake.mappings.push_back(oversized);
+  auto bad_result = session.AppendTables(corpus, 16, f.candidates, f.blocked,
+                                         f.scored, f.partitions, fake);
+  EXPECT_EQ(bad_result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(IncrementalApiTest, AppendCorpusValidatesBeforeMutating) {
+  // A failed AppendCorpus must not leave the corpus grown past the
+  // artifacts — that would be a stuck state every retry re-rejects.
+  Rng rng(11);
+  auto specs = RandomCorpusSpec(rng, 20);
+  TableCorpus corpus;
+  AddSpecs(&corpus, specs, 0, 16);
+  SynthesisSession session(BaseOptions());
+  Family f = ColdChain(&session, corpus);
+  ASSERT_FALSE(HasFailure());
+
+  TableCorpus delta;
+  AddSpecs(&delta, specs, 16, 20);
+  SynthesisSession other(BaseOptions());
+  auto foreign = other.AppendCorpus(&corpus, delta, f.candidates, f.blocked,
+                                    f.scored, f.partitions, f.result);
+  EXPECT_EQ(foreign.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(corpus.size(), 16u);  // untouched
+
+  // The same call against the owning session then succeeds.
+  auto ok = session.AppendCorpus(&corpus, delta, f.candidates, f.blocked,
+                                 f.scored, f.partitions, f.result);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(corpus.size(), 20u);
+}
+
+TEST(IncrementalApiTest, AppendFromGrowingCorpusStartsEmpty) {
+  // Degenerate but legal schedule: base corpus is empty, everything arrives
+  // as appends.
+  Rng rng(13);
+  auto specs = RandomCorpusSpec(rng, 24);
+  SynthesisOptions o = BaseOptions();
+  o.extraction.coherence_threshold = -1.0;  // provably stable appends
+
+  TableCorpus cold_corpus;
+  AddSpecs(&cold_corpus, specs, 0, specs.size());
+  SynthesisSession cold_session(o);
+  Family cold = ColdChain(&cold_session, cold_corpus);
+
+  TableCorpus inc_corpus;
+  SynthesisSession session(o);
+  Family inc = ColdChain(&session, inc_corpus);  // empty cold chain
+  ASSERT_FALSE(HasFailure());
+  AddSpecs(&inc_corpus, specs, 0, specs.size());
+  auto grown = session.AppendTables(inc_corpus, 0, inc.candidates,
+                                    inc.blocked, inc.scored, inc.partitions,
+                                    inc.result);
+  ASSERT_TRUE(grown.ok()) << grown.status().ToString();
+  EXPECT_FALSE(grown.value().append.full_rebuild);
+  EXPECT_EQ(Canonical(cold.result, cold_corpus.pool()),
+            Canonical(grown.value().result, inc_corpus.pool()));
+  ExpectCountersIdentical(cold.result.stats, grown.value().result.stats);
+}
+
+// --------------------------------------------- snapshot round trips (PR 4)
+
+TEST(IncrementalSnapshotTest, RestoreAppendSnapshotRoundTrip) {
+  Rng rng(31);
+  auto specs = RandomCorpusSpec(rng, 40);
+  const size_t base_n = 28;
+  SynthesisOptions o = BaseOptions();
+  const std::string snap1 = ScratchPath("incremental_rt1.mssnap");
+  const std::string snap2 = ScratchPath("incremental_rt2.mssnap");
+  const std::string store = ScratchPath("incremental_rt.mscorp");
+
+  // Offline: synthesize the base corpus, persist snapshot AND corpus store
+  // from the same pool state (so normalized values share ids — the contract
+  // restore-then-append verifies).
+  {
+    TableCorpus corpus;
+    AddSpecs(&corpus, specs, 0, base_n);
+    SynthesisSession session(o);
+    Family f = ColdChain(&session, corpus);
+    ASSERT_FALSE(HasFailure());
+    ASSERT_TRUE(session
+                    .SaveSnapshot(snap1, f.candidates, &f.blocked, &f.scored,
+                                  &f.result)
+                    .ok());
+    ASSERT_TRUE(persist::SaveCorpusStore(corpus, store).ok());
+  }
+
+  // Restart: restore the snapshot, reopen the corpus (different pool
+  // object, id-compatible), grow it, append, persist the merged artifacts.
+  std::multiset<std::string> appended_canonical;
+  {
+    SynthesisSession session(o);
+    auto restored = session.RestoreSnapshot(snap1);
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    const SessionSnapshot& snap = restored.value();
+    EXPECT_EQ(snap.candidates->generation, 0u);
+    EXPECT_EQ(snap.candidates->source_tables, base_n);
+    ASSERT_EQ(snap.candidates->kept_offsets.size(), base_n + 1);
+
+    auto reopened = persist::OpenCorpusStore(store);
+    ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+    TableCorpus corpus = std::move(reopened).value();
+    AddSpecs(&corpus, specs, base_n, specs.size());
+
+    auto parts = session.Partition(*snap.scored);
+    ASSERT_TRUE(parts.ok());
+    ASSERT_TRUE(snap.has_result);
+    auto grown = session.AppendTables(corpus, base_n, *snap.candidates,
+                                      *snap.blocked, *snap.scored,
+                                      parts.value(), snap.result);
+    ASSERT_TRUE(grown.ok()) << grown.status().ToString();
+    const AppendedArtifacts& a = grown.value();
+    EXPECT_EQ(a.candidates.generation, 1u);
+    EXPECT_EQ(a.candidates.source_tables, specs.size());
+    appended_canonical = Canonical(a.result, corpus.pool());
+
+    ASSERT_TRUE(session
+                    .SaveSnapshot(snap2, a.candidates, &a.blocked, &a.scored,
+                                  &a.result)
+                    .ok());
+  }
+
+  // The merged snapshot restores with its append lineage and matches a
+  // cold rebuild over the grown corpus.
+  {
+    SynthesisSession session(o);
+    auto restored = session.RestoreSnapshot(snap2);
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    EXPECT_EQ(restored.value().candidates->generation, 1u);
+    EXPECT_EQ(restored.value().candidates->source_tables, specs.size());
+    ASSERT_TRUE(restored.value().has_result);
+    EXPECT_EQ(Canonical(restored.value().result, *restored.value().pool),
+              appended_canonical);
+
+    TableCorpus cold_corpus;
+    AddSpecs(&cold_corpus, specs, 0, specs.size());
+    SynthesisSession cold_session(o);
+    Family cold = ColdChain(&cold_session, cold_corpus);
+    EXPECT_EQ(Canonical(cold.result, cold_corpus.pool()),
+              appended_canonical);
+  }
+
+  // Fingerprint compatibility rules survive the append: a session with
+  // different result-affecting options refuses the merged snapshot.
+  {
+    SynthesisOptions other = o;
+    other.partitioner.tau = -0.4;
+    SynthesisSession session(other);
+    auto refused = session.RestoreSnapshot(snap2);
+    EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+  }
+
+  // Corruption of the merged file is DataLoss, never a silent divergence.
+  {
+    std::ifstream in(snap2, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    ASSERT_GT(bytes.size(), 64u);
+    bytes[bytes.size() / 2] ^= 0x10;
+    std::ofstream out(snap2, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+    SynthesisSession session(o);
+    auto corrupt = session.RestoreSnapshot(snap2);
+    EXPECT_EQ(corrupt.status().code(), StatusCode::kDataLoss);
+  }
+
+  std::remove(snap1.c_str());
+  std::remove(snap2.c_str());
+  std::remove(store.c_str());
+}
+
+// ------------------------------------------------------------ service layer
+
+TEST(IncrementalServiceTest, AppendAndResynthesizeServesWithoutColdRebuild) {
+  Rng rng(41);
+  auto specs = RandomCorpusSpec(rng, 40);
+  const size_t base_n = 30;
+  SynthesisOptions o = BaseOptions();
+
+  // Owned-corpus service (loaded from a TSV dump).
+  const std::string tsv = ScratchPath("incremental_service.tsv");
+  {
+    TableCorpus base;
+    AddSpecs(&base, specs, 0, base_n);
+    ASSERT_TRUE(SaveCorpus(base, tsv).ok());
+  }
+  MappingService service(o);
+  ASSERT_TRUE(service.SynthesizeFromFile(tsv).ok());
+  const size_t extract_runs_before = service.session_stats().extract_runs;
+
+  TableCorpus delta;
+  AddSpecs(&delta, specs, base_n, specs.size());
+  Status st = service.AppendAndResynthesize(delta);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(service.session_stats().append_runs, 1u);
+  // No cold rebuild: the session-level extract stage never re-ran (the
+  // append path extracts the delta internally, not via ExtractCandidates,
+  // unless it had to fall back).
+  if (service.session_stats().append_full_rebuilds == 0) {
+    EXPECT_EQ(service.session_stats().extract_runs, extract_runs_before);
+  }
+
+  // Served mappings match a cold service over the grown corpus.
+  TableCorpus full;
+  AddSpecs(&full, specs, 0, specs.size());
+  MappingService cold(o);
+  ASSERT_TRUE(cold.Synthesize(full).ok());
+  ASSERT_EQ(cold.num_mappings(), service.num_mappings());
+
+  // External-corpus service: grow in place, then ResynthesizeAppended.
+  TableCorpus external;
+  AddSpecs(&external, specs, 0, base_n);
+  MappingService ext_service(o);
+  ASSERT_TRUE(ext_service.Synthesize(external).ok());
+  // The corpus has not grown yet: fail-closed.
+  EXPECT_EQ(ext_service.ResynthesizeAppended().code(),
+            StatusCode::kFailedPrecondition);
+  AddSpecs(&external, specs, base_n, specs.size());
+  ASSERT_TRUE(ext_service.ResynthesizeAppended().ok());
+  EXPECT_EQ(ext_service.num_mappings(), cold.num_mappings());
+
+  std::remove(tsv.c_str());
+}
+
+TEST(IncrementalServiceTest, AppendRequiresACorpus) {
+  Rng rng(47);
+  auto specs = RandomCorpusSpec(rng, 24);
+  SynthesisOptions o = BaseOptions();
+  const std::string snap = ScratchPath("incremental_service.mssnap");
+  {
+    TableCorpus corpus;
+    AddSpecs(&corpus, specs, 0, specs.size());
+    MappingService service(o);
+    ASSERT_TRUE(service.Synthesize(corpus).ok());
+    ASSERT_TRUE(service.SaveSnapshot(snap).ok());
+  }
+  MappingService restored(o);
+  ASSERT_TRUE(restored.OpenFromSnapshot(snap).ok());
+  TableCorpus delta;
+  AddSpecs(&delta, specs, 0, 2);
+  // Snapshot-restored service without a corpus: fail-closed with guidance.
+  EXPECT_EQ(restored.AppendAndResynthesize(delta).code(),
+            StatusCode::kFailedPrecondition);
+  std::remove(snap.c_str());
+}
+
+}  // namespace
+}  // namespace ms

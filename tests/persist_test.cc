@@ -6,6 +6,9 @@
 // must surface as Status::DataLoss, never a crash or a silently different
 // artifact. Options-fingerprint mismatches are FailedPrecondition (the file
 // is intact, the configuration is not compatible).
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
@@ -107,9 +110,77 @@ TEST(StringPoolPersistTest, AdoptExternalIsZeroCopyAndIndexed) {
   EXPECT_EQ(pool.Get(3), "gamma");
   // Zero-copy: the returned view aliases the backing buffer.
   EXPECT_EQ(pool.Get(1).data(), backing->data());
-  // Adopted strings are indexed like interned ones.
+  // The string -> id index over adopted views is deferred: id-based reads
+  // leave it unbuilt...
+  EXPECT_EQ(pool.indexed_strings(), 1u);  // only the Intern()'d "zero"
+  // ...and the first string -> id operation materializes it transparently.
   EXPECT_EQ(pool.Find("beta"), 2u);
+  EXPECT_EQ(pool.indexed_strings(), 4u);
   EXPECT_EQ(pool.Intern("beta"), 2u);
+}
+
+TEST(StringPoolPersistTest, CorpusStoreOpenDefersPoolIndexing) {
+  GeneratedWorld world = SmallWorld(17);
+  const std::string store = TempPath("lazy_index.mscorp");
+  ASSERT_TRUE(persist::SaveCorpusStore(world.corpus, store).ok());
+
+  auto opened = persist::OpenCorpusStore(store);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  TableCorpus corpus = std::move(opened).value();
+  // Opening adopts every value zero-copy WITHOUT building the string -> id
+  // hash — the dominant open cost for id-only consumers.
+  EXPECT_GT(corpus.pool().size(), 0u);
+  EXPECT_EQ(corpus.pool().indexed_strings(), 0u);
+  // Id-based reads (what serving lookups and synthesis scoring do) never
+  // trigger the build.
+  for (ValueId v = 0; v < 16 && v < corpus.pool().size(); ++v) {
+    corpus.pool().Get(v);
+  }
+  EXPECT_EQ(corpus.pool().indexed_strings(), 0u);
+  // The first intern (e.g. extraction normalizing on top) builds it once.
+  corpus.pool().Intern("a brand new value");
+  EXPECT_EQ(corpus.pool().indexed_strings(), corpus.pool().size());
+  std::remove(store.c_str());
+}
+
+TEST(StringPoolPersistTest, ReadOnlyServingNeverBuildsPoolIndex) {
+  // The restore-and-serve path: snapshot -> MappingStore -> lookups. The
+  // store normalizes probes itself and maps strings through its own hashes,
+  // so the snapshot pool's lazy index must never materialize.
+  GeneratedWorld world = SmallWorld(19);
+  SynthesisOptions options = FastOptions();
+  const std::string path = TempPath("lazy_serving.mssnap");
+  {
+    SynthesisSession session(options);
+    auto cands = session.ExtractCandidates(world.corpus);
+    ASSERT_TRUE(cands.ok());
+    auto result = session.FinishFromCandidates(cands.value());
+    ASSERT_TRUE(result.ok());
+    ASSERT_TRUE(session
+                    .SaveSnapshot(path, cands.value(), nullptr, nullptr,
+                                  &result.value())
+                    .ok());
+  }
+  SynthesisSession session(options);
+  auto restored = session.RestoreSnapshot(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const SessionSnapshot& snap = restored.value();
+  snap.pool->MarkReadOnly();
+  EXPECT_EQ(snap.pool->indexed_strings(), 0u);
+
+  MappingStore store(snap.pool, options.extraction.normalize);
+  ASSERT_TRUE(snap.has_result);
+  for (const auto& m : snap.result.mappings) {
+    store.Add(m, m.left_label + "->" + m.right_label);
+  }
+  if (store.size() > 0) {
+    store.Probe(0, "washington");
+    store.LookupRight(0, "oregon");
+    store.FindByContainment({"california", "texas"}, 1);
+  }
+  // Serving built its own indexes; the pool's stayed lazy.
+  EXPECT_EQ(snap.pool->indexed_strings(), 0u);
+  std::remove(path.c_str());
 }
 
 TEST(StringPoolPersistTest, ReadOnlyModeRefusesNewStrings) {
@@ -491,6 +562,93 @@ TEST(SnapshotCorruptionTest, MissingFileIsNotFound) {
 }
 
 // --------------------------------------------------------- serving restart
+
+// ------------------------------------------------------------- atomic saves
+
+/// A minimal valid container with one distinguishing payload byte.
+persist::ContainerWriter TinyContainer(char marker) {
+  persist::ContainerWriter writer(persist::kSessionSnapshotMagic, 42);
+  writer.AddSection(persist::kSectionLineage, std::string(8, marker));
+  return writer;
+}
+
+std::string SectionPayload(const std::string& path) {
+  auto reader =
+      persist::ContainerReader::Open(path, persist::kSessionSnapshotMagic);
+  EXPECT_TRUE(reader.ok()) << reader.status().ToString();
+  auto payload = reader.value().Section(persist::kSectionLineage);
+  EXPECT_TRUE(payload.ok());
+  return std::string(payload.value());
+}
+
+TEST(AtomicSavePersistTest, ContainerFamiliesVersionIndependently) {
+  // The PR 5 snapshot layout bump must not orphan corpus stores whose
+  // bytes never changed: snapshots write v2, corpus stores still v1.
+  GeneratedWorld world = SmallWorld(23);
+  const std::string store = TempPath("family_version.mscorp");
+  ASSERT_TRUE(persist::SaveCorpusStore(world.corpus, store).ok());
+  auto reader =
+      persist::ContainerReader::Open(store, persist::kCorpusStoreMagic);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader.value().format_version(),
+            persist::kCorpusStoreFormatVersion);
+  EXPECT_EQ(persist::kCorpusStoreFormatVersion, 1u);
+  EXPECT_EQ(persist::kSnapshotFormatVersion, 2u);
+  std::remove(store.c_str());
+}
+
+TEST(AtomicSavePersistTest, SaveLeavesNoTmpDebris) {
+  const std::string path = TempPath("atomic_basic.mssnap");
+  ASSERT_TRUE(TinyContainer('a').WriteFile(path).ok());
+  EXPECT_EQ(SectionPayload(path), std::string(8, 'a'));
+  // The write went through a tmp file that must be gone after the rename.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+TEST(AtomicSavePersistTest, FailedSaveNeverClobbersPreviousGoodFile) {
+  const std::string path = TempPath("atomic_fail.mssnap");
+  ASSERT_TRUE(TinyContainer('a').WriteFile(path).ok());
+
+  // Force the tmp-file open to fail: occupy its name with a directory.
+  const std::string tmp = path + ".tmp";
+  std::remove(tmp.c_str());
+  ASSERT_EQ(::mkdir(tmp.c_str(), 0700), 0);
+  Status failed = TinyContainer('b').WriteFile(path);
+  EXPECT_EQ(failed.code(), StatusCode::kIOError);
+  // The previous snapshot is untouched and still loads as 'a'.
+  EXPECT_EQ(SectionPayload(path), std::string(8, 'a'));
+  ASSERT_EQ(::rmdir(tmp.c_str()), 0);
+
+  // With the obstruction gone, the next save atomically replaces it.
+  ASSERT_TRUE(TinyContainer('b').WriteFile(path).ok());
+  EXPECT_EQ(SectionPayload(path), std::string(8, 'b'));
+  std::remove(path.c_str());
+}
+
+TEST(AtomicSavePersistTest, CrashedPartialTmpWriteNeverClobbers) {
+  // Simulate a writer that died mid-save: a torn, half-written tmp file
+  // next to a good snapshot. The good file must be unaffected (the rename
+  // never happened), and the next successful save must reclaim the debris.
+  const std::string path = TempPath("atomic_crash.mssnap");
+  ASSERT_TRUE(TinyContainer('a').WriteFile(path).ok());
+  const std::string good_bytes = ReadFileBytes(path);
+
+  WriteFileBytes(path + ".tmp", good_bytes.substr(0, good_bytes.size() / 2));
+  EXPECT_EQ(SectionPayload(path), std::string(8, 'a'));
+  EXPECT_EQ(ReadFileBytes(path), good_bytes);
+  // And the torn tmp itself would be refused as DataLoss if ever opened.
+  auto torn = persist::ContainerReader::Open(path + ".tmp",
+                                             persist::kSessionSnapshotMagic);
+  EXPECT_EQ(torn.status().code(), StatusCode::kDataLoss);
+
+  ASSERT_TRUE(TinyContainer('c').WriteFile(path).ok());
+  EXPECT_EQ(SectionPayload(path), std::string(8, 'c'));
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
 
 TEST(ServiceSnapshotTest, OpenFromSnapshotServesImmediately) {
   GeneratedWorld world = SmallWorld(41);
