@@ -4,8 +4,13 @@
 // — no extraction, no blocking, no scoring on the restart path. Also
 // demonstrates the failure taxonomy: a corrupted snapshot refuses to load
 // with DataLoss, and a snapshot saved under different options refuses with
-// FailedPrecondition.
+// FailedPrecondition. The final act is the production shape: generational
+// rotation (SaveSnapshotRotating) and last-good fallback serving
+// (OpenLatestSnapshot) — the newest generation is corrupted on disk, yet
+// the service comes back up on the previous one, quarantining the bad
+// file and reporting the degradation through health().
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -14,6 +19,7 @@
 
 #include "apps/serving.h"
 #include "corpusgen/generator.h"
+#include "persist/rotation.h"
 #include "synth/session.h"
 
 #ifndef MS_PERSIST_SCRATCH_DIR
@@ -111,6 +117,66 @@ int main() {
     MappingService service(different);
     Status st = service.OpenFromSnapshot(path);
     std::cout << "mismatched options: " << st.ToString() << "\n";
+  }
+
+  // --- Production shape: generational rotation + last-good fallback.
+  const std::string rotation_dir =
+      std::string(MS_PERSIST_SCRATCH_DIR) + "/snapshot_serving_rotation";
+  {
+    std::error_code ec;
+    std::filesystem::remove_all(rotation_dir, ec);
+
+    // A writer commits two generations (a real deployment would rotate on
+    // an ingest cadence; retention keeps the newest 3 by default).
+    MappingService writer(options);
+    Status st = writer.Synthesize(world.corpus);
+    if (!st.ok()) {
+      std::cerr << "synthesize failed: " << st.ToString() << "\n";
+      return 1;
+    }
+    for (int gen = 1; gen <= 2; ++gen) {
+      st = writer.SaveSnapshotRotating(rotation_dir);
+      if (!st.ok()) {
+        std::cerr << "rotating save failed: " << st.ToString() << "\n";
+        return 1;
+      }
+    }
+    std::cout << "\ncommitted generation "
+              << writer.health().generation_served << " under "
+              << rotation_dir << "\n";
+
+    // Disaster strikes the newest generation on disk.
+    const std::string newest =
+        rotation_dir + "/" + persist::SnapshotFileName(2);
+    std::ifstream in(newest, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    in.close();
+    bytes[bytes.size() / 2] ^= 0x10;
+    std::ofstream out(newest, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    out.close();
+
+    // The restarted service still comes up: the recovery walk verifies
+    // generation 2, finds DataLoss, quarantines it to *.corrupt (the bytes
+    // are kept for post-mortem, the file never rejoins the rotation), and
+    // serves generation 1.
+    MappingService survivor(options);
+    st = survivor.OpenLatestSnapshot(rotation_dir);
+    if (!st.ok()) {
+      std::cerr << "fallback open failed: " << st.ToString() << "\n";
+      return 1;
+    }
+    const ServiceHealth health = survivor.health();
+    std::cout << "recovered after corruption: serving generation "
+              << health.generation_served << " with "
+              << survivor.num_mappings() << " mappings ("
+              << health.generations_skipped << " generation(s) skipped, "
+              << (health.degraded() ? "degraded" : "healthy") << ")\n";
+    for (const std::string& name : health.quarantined_files) {
+      std::cout << "quarantined for post-mortem: " << name << "\n";
+    }
+    std::filesystem::remove_all(rotation_dir, ec);
   }
 
   std::remove(path.c_str());

@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "persist/corpus_store.h"
 #include "persist/mapping_text.h"
+#include "persist/rotation.h"
 #include "table/tsv.h"
 
 namespace ms {
@@ -22,13 +23,13 @@ Status MappingService::Synthesize(const TableCorpus& corpus) {
 Status MappingService::SynthesizeFromFile(const std::string& path) {
   MS_RETURN_IF_ERROR(status());
   auto corpus = std::make_unique<TableCorpus>();
-  MS_RETURN_IF_ERROR(LoadCorpus(path, corpus.get()));
+  MS_RETURN_IF_ERROR(LoadCorpus(path, corpus.get(), env_));
   return StartFreshRun(std::move(corpus), nullptr);
 }
 
 Status MappingService::SynthesizeFromCorpusStore(const std::string& path) {
   MS_RETURN_IF_ERROR(status());
-  Result<TableCorpus> store = persist::OpenCorpusStore(path);
+  Result<TableCorpus> store = persist::OpenCorpusStore(path, env_);
   if (!store.ok()) return store.status();
   return StartFreshRun(std::make_unique<TableCorpus>(std::move(store).value()),
                        nullptr);
@@ -82,13 +83,92 @@ Status MappingService::OpenFromSnapshot(const std::string& path) {
   return RunChain(true, blocked_ != nullptr, scored_ != nullptr);
 }
 
+Status MappingService::SaveSnapshotRotating(const std::string& dir, int keep) {
+  if (candidates_ == nullptr) {
+    return Status::FailedPrecondition(
+        "SaveSnapshotRotating: nothing synthesized yet — there are no stage "
+        "artifacts to persist");
+  }
+  MS_RETURN_IF_ERROR(env_->CreateDirIfMissing(dir));
+  // Next generation: one past everything discoverable — live files AND the
+  // CURRENT pointer. A crash that deleted files but kept CURRENT (or the
+  // reverse) must still never reuse a committed generation number.
+  uint64_t next = 1;
+  Result<std::vector<persist::GenerationEntry>> listed =
+      persist::ListGenerations(*env_, dir);
+  if (!listed.ok()) return listed.status();
+  if (!listed.value().empty()) next = listed.value().back().generation + 1;
+  Result<uint64_t> current = persist::ReadCurrentGeneration(*env_, dir);
+  if (current.ok() && current.value() >= next) next = current.value() + 1;
+  // NotFound/DataLoss CURRENT: the commit below rewrites it atomically.
+
+  MS_RETURN_IF_ERROR(
+      SaveSnapshot(dir + "/" + persist::SnapshotFileName(next)));
+  MS_RETURN_IF_ERROR(persist::WriteCurrentFile(*env_, dir, next));
+  generation_served_ = next;
+  // Retention is best-effort: the generation is committed at this point,
+  // and failing the save over old-file debris would invert the contract.
+  (void)persist::PruneSnapshots(*env_, dir, keep);
+  return Status::OK();
+}
+
+Status MappingService::OpenLatestSnapshot(const std::string& dir) {
+  MS_RETURN_IF_ERROR(status());
+  Result<std::vector<persist::GenerationEntry>> listed =
+      persist::ListGenerations(*env_, dir);
+  if (!listed.ok()) return listed.status();
+  std::vector<persist::GenerationEntry> gens = std::move(listed).value();
+  if (gens.empty()) {
+    return Status::NotFound("no snapshot generations in directory: " + dir);
+  }
+  uint64_t skipped = 0;
+  std::vector<std::string> quarantined;
+  Status last;
+  for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+    const Status st = OpenFromSnapshot(dir + "/" + it->name);
+    if (st.ok()) {
+      generation_served_ = it->generation;
+      generations_skipped_ = skipped;
+      quarantined_files_ = std::move(quarantined);
+      return Status::OK();
+    }
+    // OpenFromSnapshot is fail-closed, so the walk can keep probing older
+    // generations with the previous serving state intact.
+    last = st;
+    ++skipped;
+    if (st.code() == StatusCode::kDataLoss) {
+      // Verified-corrupt bytes: fence the file from every future walk but
+      // keep it for post-mortem. Quarantine is best-effort — on a
+      // read-only dir the rename fails and the file is merely skipped.
+      if (persist::QuarantineSnapshot(*env_, dir, it->name).ok()) {
+        quarantined.push_back(it->name + persist::kCorruptSuffix);
+      }
+    }
+  }
+  // Nothing intact: report the walk (operators need the quarantine record
+  // even — especially — when recovery failed) and surface the last error.
+  generations_skipped_ = skipped;
+  quarantined_files_ = std::move(quarantined);
+  return last;
+}
+
+ServiceHealth MappingService::health() const {
+  ServiceHealth h;
+  h.generation_served = generation_served_;
+  h.generations_skipped = generations_skipped_;
+  h.quarantined_files = quarantined_files_;
+  h.retries_performed = env_->retries_performed();
+  return h;
+}
+
 Status MappingService::OpenFromMappingsFile(const std::string& path) {
   MS_RETURN_IF_ERROR(status());
   // Fail-closed: load into scratch state first; the existing store keeps
   // serving if anything about the file is wrong.
   auto pool = std::make_shared<StringPool>();
   std::vector<SynthesizedMapping> mappings;
-  MS_RETURN_IF_ERROR(persist::LoadMappingsTsv(path, pool.get(), &mappings));
+  MS_RETURN_IF_ERROR(
+      persist::LoadMappingsTsv(path, pool.get(), &mappings, env_));
   owned_corpus_.reset();
   corpus_ = nullptr;
   candidates_.reset();

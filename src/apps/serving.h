@@ -26,9 +26,35 @@
 #include "apps/auto_fill.h"
 #include "apps/auto_join.h"
 #include "apps/mapping_store.h"
+#include "common/env.h"
+#include "persist/rotation.h"
 #include "synth/session.h"
 
 namespace ms {
+
+/// Operator-facing account of how the service got to its current serving
+/// state. Populated by the rotation-aware entry points; a plain
+/// OpenFromSnapshot/SaveSnapshot run leaves it at its defaults.
+struct ServiceHealth {
+  /// Generation currently served (0 until a rotating open/save succeeds).
+  uint64_t generation_served = 0;
+  /// Generations OpenLatestSnapshot walked past before finding an intact
+  /// one (torn, corrupt, unreadable, or options-incompatible files).
+  uint64_t generations_skipped = 0;
+  /// Basenames quarantined (renamed to *.corrupt) by the last recovery
+  /// walk. Checksum-failing files only — never deleted, kept for
+  /// post-mortem.
+  std::vector<std::string> quarantined_files;
+  /// Cumulative transient-IO retries the service's env absorbed (short
+  /// writes, EINTR stalls) across all operations so far.
+  uint64_t retries_performed = 0;
+
+  /// True when serving required falling back past the newest generation —
+  /// the data served is valid but older than what a writer tried to commit.
+  bool degraded() const {
+    return generations_skipped > 0 || !quarantined_files.empty();
+  }
+};
 
 class MappingService {
  public:
@@ -40,6 +66,17 @@ class MappingService {
 
   /// Construction-time options validation verdict (mirrors the session's).
   Status status() const { return session_.status(); }
+
+  /// Routes every filesystem operation the service performs (corpus loads,
+  /// snapshot save/restore, rotation bookkeeping) through `env`. nullptr
+  /// restores the process-wide PosixEnv. The env must outlive the service;
+  /// it is not part of the options fingerprint, so snapshots interoperate
+  /// across envs.
+  void set_env(Env* env) {
+    env_ = env != nullptr ? env : Env::Default();
+    session_.set_env(env_);
+  }
+  Env* env() const { return env_; }
 
   /// Runs the full staged chain on `corpus` and rebuilds the store. The
   /// corpus must outlive the service (stage artifacts borrow its tables;
@@ -71,6 +108,30 @@ class MappingService {
   /// The service has no corpus afterwards, so a later Resynthesize may only
   /// change options downstream of extraction.
   Status OpenFromSnapshot(const std::string& path);
+
+  /// Generational save (persist/rotation.h): writes the next generation as
+  /// `dir/snap-<gen>.mssnap` (atomic tmp+fsync+rename), commits the
+  /// durable CURRENT pointer only after the snapshot is on disk, then
+  /// prunes live generations beyond `keep` (quarantined *.corrupt files
+  /// are never touched). A failure at any step leaves every previously
+  /// committed generation intact — the tmp file is the only possible
+  /// debris, and the next save reclaims it.
+  Status SaveSnapshotRotating(const std::string& dir,
+                              int keep = persist::kDefaultRetainedGenerations);
+
+  /// Last-good recovery: walks `dir`'s generations newest → oldest and
+  /// serves the first one that fully verifies. Checksum-failing (DataLoss)
+  /// generations are quarantined to *.corrupt on the way down; torn,
+  /// unreadable, or options-incompatible ones are skipped. The walk is
+  /// recorded in health(). Fail-closed like OpenFromSnapshot: when no
+  /// generation is intact the previous serving state survives and the last
+  /// (oldest) failure is returned — NotFound when the directory holds no
+  /// generations at all.
+  Status OpenLatestSnapshot(const std::string& dir);
+
+  /// How the service got to its serving state: generation served,
+  /// fallbacks taken, files quarantined, transient retries absorbed.
+  ServiceHealth health() const;
 
   /// Serving-only bootstrap from a curated mappings TSV
   /// (persist/mapping_text.h): loads the file into a fresh store. Status
@@ -125,6 +186,13 @@ class MappingService {
   /// last_result().mappings can clear it.
   const SynthesisResult& last_result() const { return last_result_; }
 
+  /// The string pool serving state resolves against (snapshot pool after a
+  /// restore, corpus pool otherwise). Lets callers compare mapping content
+  /// across services without assuming id compatibility.
+  const std::shared_ptr<StringPool>& shared_pool() const {
+    return pool_keepalive_;
+  }
+
   /// Stage-run counters of the underlying session; lets operators verify a
   /// Resynthesize actually skipped the upstream stages.
   const SynthesisSession::SessionStats& session_stats() const {
@@ -161,6 +229,7 @@ class MappingService {
   Status RebuildStore();
 
   SynthesisSession session_;
+  Env* env_ = Env::Default();
   std::unique_ptr<TableCorpus> owned_corpus_;     ///< SynthesizeFromFile
   const TableCorpus* corpus_ = nullptr;           ///< source of artifacts
   std::shared_ptr<StringPool> pool_keepalive_;
@@ -176,6 +245,12 @@ class MappingService {
 
   SynthesisResult last_result_;
   std::unique_ptr<MappingStore> store_;
+
+  /// Rotation bookkeeping behind health(); retries_performed is read live
+  /// from the env so plain-path retries count too.
+  uint64_t generation_served_ = 0;
+  uint64_t generations_skipped_ = 0;
+  std::vector<std::string> quarantined_files_;
 };
 
 }  // namespace ms

@@ -1,0 +1,259 @@
+#include "common/env.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "persist/mmap_file.h"
+
+namespace ms {
+
+namespace {
+
+/// "<op> failed for <path>: <strerror>" — the one message shape every IO
+/// failure uses, so operators (and the message-audit test) can count on the
+/// path and errno text being present.
+Status ErrnoError(const char* op, const std::string& path, int err) {
+  std::string msg = std::string(op) + " failed for " + path + ": " +
+                    std::strerror(err);
+  if (err == ENOENT) return Status::NotFound(std::move(msg));
+  return Status::IOError(std::move(msg));
+}
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(std::string path, int fd)
+      : path_(std::move(path)), fd_(fd) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<size_t> AppendSome(std::string_view data) override {
+    if (fd_ < 0) {
+      return Status::IOError("write failed for " + path_ + ": file is closed");
+    }
+    if (data.empty()) return size_t{0};
+    const ssize_t n = ::write(fd_, data.data(), data.size());
+    if (n < 0) {
+      const int err = errno;
+      // EINTR means nothing was written; report zero progress and let
+      // AppendFully's bounded retry absorb it.
+      if (err == EINTR) return size_t{0};
+      return ErrnoError("write", path_, err);
+    }
+    return static_cast<size_t>(n);
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) {
+      return Status::IOError("fsync failed for " + path_ + ": file is closed");
+    }
+    if (::fsync(fd_) != 0) return ErrnoError("fsync", path_, errno);
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) return ErrnoError("close", path_, errno);
+    return Status::OK();
+  }
+
+  const std::string& path() const override { return path_; }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv final : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) override {
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) return ErrnoError("open for write", path, errno);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(path, fd));
+  }
+
+  Result<std::shared_ptr<MmapFile>> MapReadOnly(
+      const std::string& path) override {
+    return MmapFile::Open(path);
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return ErrnoError("open for read", path, errno);
+    std::string out;
+    struct stat st;
+    if (::fstat(fd, &st) == 0 && st.st_size > 0) {
+      out.reserve(static_cast<size_t>(st.st_size));
+    }
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(fd, buf, sizeof buf);
+      if (n < 0) {
+        const int err = errno;
+        if (err == EINTR) continue;
+        ::close(fd);
+        return ErrnoError("read", path, err);
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return ErrnoError("rename", from + " -> " + to, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) return ErrnoError("unlink", path, errno);
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& dir) override {
+    const int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return ErrnoError("open for fsync", dir, errno);
+    const int rc = ::fsync(fd);
+    const int err = errno;
+    ::close(fd);
+    if (rc != 0) return ErrnoError("fsync", dir, err);
+    return Status::OK();
+  }
+
+  Result<std::vector<std::string>> ListDir(const std::string& dir) override {
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return ErrnoError("opendir", dir, errno);
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(d)) {
+      const std::string_view name = entry->d_name;
+      if (name == "." || name == "..") continue;
+      names.emplace_back(name);
+    }
+    ::closedir(d);
+    return names;
+  }
+
+  Status CreateDirIfMissing(const std::string& dir) override {
+    if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+      return ErrnoError("mkdir", dir, errno);
+    }
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  void SleepForMs(int ms) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv* posix_env = new PosixEnv();
+  return posix_env;
+}
+
+Status AppendFully(Env& env, WritableFile& file, std::string_view data,
+                   const RetryPolicy& policy) {
+  int stalls = 0;
+  int backoff_ms = policy.initial_backoff_ms;
+  while (!data.empty()) {
+    Result<size_t> wrote = file.AppendSome(data);
+    if (!wrote.ok()) return wrote.status();
+    const size_t n = wrote.value();
+    if (n >= data.size()) return Status::OK();
+    // Incomplete attempt: a short write retries immediately (the kernel
+    // accepted bytes, the next attempt usually completes), a zero-progress
+    // stall (EINTR) backs off through the injectable clock. Both are
+    // counted as absorbed retries for the health report.
+    env.NoteRetry();
+    data.remove_prefix(n);
+    if (n > 0) {
+      stalls = 0;
+      backoff_ms = policy.initial_backoff_ms;
+      continue;
+    }
+    if (++stalls > policy.max_zero_progress_retries) {
+      return Status::IOError(
+          "write failed for " + file.path() + ": no progress after " +
+          std::to_string(policy.max_zero_progress_retries) +
+          " retries (interrupted writes)");
+    }
+    env.SleepForMs(backoff_ms);
+    backoff_ms = std::min(backoff_ms * 2, policy.max_backoff_ms);
+  }
+  return Status::OK();
+}
+
+Status AtomicWriteFile(Env& env, const std::string& path,
+                       const std::vector<std::string_view>& chunks,
+                       const RetryPolicy& policy) {
+  const std::string tmp = path + ".tmp";
+  Result<std::unique_ptr<WritableFile>> opened = env.NewWritableFile(tmp);
+  if (!opened.ok()) return opened.status();
+  std::unique_ptr<WritableFile> file = std::move(opened).value();
+  Status st;
+  for (std::string_view chunk : chunks) {
+    st = AppendFully(env, *file, chunk, policy);
+    if (!st.ok()) break;
+  }
+  // The tmp file must be durable BEFORE the rename, or a power loss can
+  // commit the rename while the data blocks are still only in page cache —
+  // leaving a torn file where the previous good container used to be.
+  if (st.ok()) st = file->Sync();
+  const Status closed = file->Close();
+  if (st.ok()) st = closed;
+  if (!st.ok()) {
+    env.RemoveFile(tmp);  // best-effort; debris is reclaimed by the next save
+    return st;
+  }
+  st = env.RenameFile(tmp, path);
+  if (!st.ok()) {
+    env.RemoveFile(tmp);
+    return st;
+  }
+  // Make the rename itself durable. Best-effort semantics would silently
+  // undo the atomicity story, so a failure here is a reported error even
+  // though the in-memory filesystem view already shows the new file.
+  return env.SyncDir(ParentDir(path));
+}
+
+Status WriteStringToFile(Env& env, const std::string& path,
+                         std::string_view contents,
+                         const RetryPolicy& policy) {
+  Result<std::unique_ptr<WritableFile>> opened = env.NewWritableFile(path);
+  if (!opened.ok()) return opened.status();
+  std::unique_ptr<WritableFile> file = std::move(opened).value();
+  Status st = AppendFully(env, *file, contents, policy);
+  const Status closed = file->Close();
+  return st.ok() ? closed : st;
+}
+
+std::string ParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace ms

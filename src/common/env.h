@@ -1,0 +1,145 @@
+// Injectable IO environment: every syscall the persistence layer performs
+// goes through an ms::Env, so the exact failure modes the durability story
+// claims to survive — ENOSPC mid-section, EIO on fsync, a short write, an
+// interrupt, a crash between rename and directory sync — can be injected
+// deterministically in tests (common/fault_env.h) while production code
+// runs on the real-syscall PosixEnv returned by Env::Default().
+//
+// The write model is deliberately low-level: WritableFile::AppendSome is a
+// SINGLE write attempt that may make partial progress (a short write) or no
+// progress at all (EINTR returns 0 bytes). Transient stalls are absorbed by
+// AppendFully, the bounded retry-with-backoff loop every persistence write
+// routes through; terminal failures (ENOSPC, EIO, EACCES) surface as Status
+// with the path and errno text in the message. Backoff sleeps go through
+// Env::SleepForMs — the injectable clock — so fault tests never actually
+// sleep, and absorbed retries are counted on the Env for the serving tier's
+// ServiceHealth report.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ms {
+
+class MmapFile;
+
+/// A file opened for (over)writing. One instance is single-writer; the
+/// persistence layer never appends to a file from two threads.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// ONE write attempt. Returns the number of bytes actually written, which
+  /// may be less than data.size() (short write — e.g. a nearly-full disk or
+  /// an injected fault) or 0 (nothing written: EINTR). Terminal failures
+  /// return a Status whose message carries the path and errno text. Callers
+  /// that need the whole buffer written use AppendFully.
+  virtual Result<size_t> AppendSome(std::string_view data) = 0;
+
+  /// fsync: the file's bytes are durable after an OK return.
+  virtual Status Sync() = 0;
+
+  /// Closes the descriptor. Further Append/Sync calls are invalid.
+  virtual Status Close() = 0;
+
+  /// The path the file was opened with (for error messages).
+  virtual const std::string& path() const = 0;
+};
+
+/// Bounded retry policy for transient write stalls. Partial progress
+/// (a short write) retries immediately; zero progress (EINTR) backs off
+/// exponentially through Env::SleepForMs up to `max_zero_progress_retries`
+/// consecutive stalls before giving up with IOError.
+struct RetryPolicy {
+  int max_zero_progress_retries = 8;
+  int initial_backoff_ms = 1;
+  int max_backoff_ms = 100;
+};
+
+/// The IO environment. All methods are thread-safe on PosixEnv; fault
+/// injection envs serialize internally.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide real-syscall environment (PosixEnv).
+  static Env* Default();
+
+  /// Creates (or truncates) `path` for writing.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path) = 0;
+
+  /// Maps `path` read-only (MmapFile::Open) — the container read path.
+  virtual Result<std::shared_ptr<MmapFile>> MapReadOnly(
+      const std::string& path) = 0;
+
+  /// Reads the whole file into a string — the text (TSV) read path.
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// fsyncs the directory itself, making renames/unlinks inside it durable.
+  virtual Status SyncDir(const std::string& dir) = 0;
+
+  /// Entry names in `dir` (no "."/".."), unsorted. NotFound when the
+  /// directory does not exist.
+  virtual Result<std::vector<std::string>> ListDir(const std::string& dir) = 0;
+
+  virtual Status CreateDirIfMissing(const std::string& dir) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// The injectable clock used for retry backoff. PosixEnv sleeps;
+  /// FaultInjectionEnv only counts, so fault sweeps run at full speed.
+  virtual void SleepForMs(int ms) = 0;
+
+  // ------------------------------------------------- retry observability
+  // Absorbed transient-write retries (short writes, EINTR stalls) are
+  // counted here by AppendFully so the serving tier can report them
+  // (ServiceHealth::retries_performed) — a disk that needs retries to
+  // accept a snapshot is a disk an operator wants to know about.
+
+  void NoteRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t retries_performed() const {
+    return retries_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> retries_{0};
+};
+
+/// Writes all of `data`, absorbing short writes and EINTR stalls with the
+/// bounded backoff in `policy`. IOError (path + errno in the message) on a
+/// terminal failure or when the stall budget is exhausted.
+Status AppendFully(Env& env, WritableFile& file, std::string_view data,
+                   const RetryPolicy& policy = {});
+
+/// The atomic-save protocol shared by every container and pointer file:
+/// write `chunks` to `path + ".tmp"`, fsync the file, rename over `path`,
+/// fsync the parent directory. A crash or failure at any point leaves
+/// either the old complete file or the new complete file at `path`, never a
+/// torn hybrid; the fixed tmp name means a crashed writer's debris is
+/// reclaimed (truncated) by the next successful save. On failure the tmp
+/// file is removed best-effort and `path` is untouched.
+Status AtomicWriteFile(Env& env, const std::string& path,
+                       const std::vector<std::string_view>& chunks,
+                       const RetryPolicy& policy = {});
+
+/// Plain (non-atomic) whole-file write through the env with retry
+/// absorption — the text-format save path.
+Status WriteStringToFile(Env& env, const std::string& path,
+                         std::string_view contents,
+                         const RetryPolicy& policy = {});
+
+/// "/a/b/c" -> "/a/b"; "name" -> "."; "/name" -> "/".
+std::string ParentDir(const std::string& path);
+
+}  // namespace ms

@@ -498,7 +498,7 @@ Status SaveSessionSnapshot(const std::string& path,
                            const CandidateSet& candidates,
                            const BlockedPairs* blocked,
                            const ScoredGraph* scored,
-                           const SynthesisResult* result) {
+                           const SynthesisResult* result, Env* env) {
   if (candidates.pool == nullptr) {
     return Status::InvalidArgument(
         "SaveSessionSnapshot: candidate set has no string pool");
@@ -525,13 +525,14 @@ Status SaveSessionSnapshot(const std::string& path,
     writer.AddSection(kSectionResult, EncodeResult(*result));
   }
   writer.AddSection(kSectionLineage, EncodeLineage(lineage));
-  return writer.WriteFile(path);
+  return writer.WriteFile(path, env);
 }
 
 Result<SessionSnapshot> LoadSessionSnapshot(const std::string& path,
-                                            uint64_t expected_fingerprint) {
+                                            uint64_t expected_fingerprint,
+                                            Env* env) {
   Result<ContainerReader> opened =
-      ContainerReader::Open(path, kSessionSnapshotMagic);
+      ContainerReader::Open(path, kSessionSnapshotMagic, env);
   if (!opened.ok()) return opened.status();
   const ContainerReader& reader = opened.value();
   MS_RETURN_IF_ERROR(reader.RequireKnownSections(

@@ -18,6 +18,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "synth/session.h"
 #include "table/string_pool.h"
@@ -39,19 +40,22 @@ Status DecodeStringPoolViews(std::string_view payload,
 
 /// Serializes `candidates` (+ optional downstream artifacts) with
 /// fingerprint `options_fingerprint` into the *.mssnap container at `path`.
-/// Lineage ids and cumulative PipelineStats are embedded verbatim.
+/// Lineage ids and cumulative PipelineStats are embedded verbatim. All IO
+/// goes through `env` (nullptr = Env::Default()).
 Status SaveSessionSnapshot(const std::string& path,
                            uint64_t options_fingerprint,
                            const CandidateSet& candidates,
                            const BlockedPairs* blocked,
                            const ScoredGraph* scored,
-                           const SynthesisResult* result);
+                           const SynthesisResult* result,
+                           Env* env = nullptr);
 
 /// Loads `path`, verifying integrity (DataLoss on corruption) and the
 /// options fingerprint (FailedPrecondition on mismatch — pass the restoring
 /// session's OptionsFingerprint). The returned artifacts have null
 /// `session` pointers; SynthesisSession::RestoreSnapshot stamps them.
 Result<SessionSnapshot> LoadSessionSnapshot(const std::string& path,
-                                            uint64_t expected_fingerprint);
+                                            uint64_t expected_fingerprint,
+                                            Env* env = nullptr);
 
 }  // namespace ms::persist

@@ -75,23 +75,24 @@ Status DecodeTables(std::string_view payload, size_t pool_size,
 
 }  // namespace
 
-Status SaveCorpusStore(const TableCorpus& corpus, const std::string& path) {
+Status SaveCorpusStore(const TableCorpus& corpus, const std::string& path,
+                       Env* env) {
   ContainerWriter writer(kCorpusStoreMagic, /*options_fingerprint=*/0);
   writer.AddSection(kSectionCorpusPool, EncodeStringPool(corpus.pool()));
   writer.AddSection(kSectionCorpusTables, EncodeTables(corpus));
-  return writer.WriteFile(path);
+  return writer.WriteFile(path, env);
 }
 
 Status ConvertTsvCorpusToStore(const std::string& tsv_path,
-                               const std::string& store_path) {
+                               const std::string& store_path, Env* env) {
   TableCorpus corpus;
-  MS_RETURN_IF_ERROR(LoadCorpus(tsv_path, &corpus));
-  return SaveCorpusStore(corpus, store_path);
+  MS_RETURN_IF_ERROR(LoadCorpus(tsv_path, &corpus, env));
+  return SaveCorpusStore(corpus, store_path, env);
 }
 
-Result<TableCorpus> OpenCorpusStore(const std::string& path) {
+Result<TableCorpus> OpenCorpusStore(const std::string& path, Env* env) {
   Result<ContainerReader> opened =
-      ContainerReader::Open(path, kCorpusStoreMagic);
+      ContainerReader::Open(path, kCorpusStoreMagic, env);
   if (!opened.ok()) return opened.status();
   const ContainerReader& reader = opened.value();
   MS_RETURN_IF_ERROR(reader.RequireKnownSections(

@@ -17,19 +17,23 @@
 #include <memory>
 #include <string>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "persist/mmap_file.h"
 #include "table/corpus.h"
 
 namespace ms::persist {
 
-/// Writes `corpus` to the binary store format at `path`.
-Status SaveCorpusStore(const TableCorpus& corpus, const std::string& path);
+/// Writes `corpus` to the binary store format at `path` (atomically,
+/// through `env`; nullptr = Env::Default()).
+Status SaveCorpusStore(const TableCorpus& corpus, const std::string& path,
+                       Env* env = nullptr);
 
 /// One-shot ETL: parses a WriteCorpusTsv dump and writes the equivalent
 /// store — pay the cell-by-cell parse once, open via mmap forever after.
 Status ConvertTsvCorpusToStore(const std::string& tsv_path,
-                               const std::string& store_path);
+                               const std::string& store_path,
+                               Env* env = nullptr);
 
 /// Opens a store: the returned corpus's pool holds zero-copy views into the
 /// mapping and pins it (RetainBacking), so the corpus — and anything
@@ -37,6 +41,7 @@ Status ConvertTsvCorpusToStore(const std::string& tsv_path,
 /// writable: synthesis interns normalized values on top of the adopted
 /// ones. DataLoss on a truncated/corrupt store, FailedPrecondition on a
 /// format-version mismatch.
-Result<TableCorpus> OpenCorpusStore(const std::string& path);
+Result<TableCorpus> OpenCorpusStore(const std::string& path,
+                                    Env* env = nullptr);
 
 }  // namespace ms::persist

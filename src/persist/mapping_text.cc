@@ -1,7 +1,8 @@
 #include "persist/mapping_text.h"
 
-#include <fstream>
 #include <ostream>
+#include <sstream>
+#include <utility>
 
 #include "common/string_util.h"
 
@@ -97,16 +98,23 @@ Status ReadMappingsTsv(std::istream& in, StringPool* pool,
 }
 
 Status SaveMappingsTsv(const std::vector<SynthesizedMapping>& mappings,
-                       const StringPool& pool, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  return WriteMappingsTsv(mappings, pool, out);
+                       const StringPool& pool, const std::string& path,
+                       Env* env) {
+  if (env == nullptr) env = Env::Default();
+  // Serialize in memory, then write through the env: the stream API stays
+  // path-agnostic while the file API gets retry absorption and path+errno
+  // failure messages from the env layer.
+  std::ostringstream out;
+  MS_RETURN_IF_ERROR(WriteMappingsTsv(mappings, pool, out));
+  return WriteStringToFile(*env, path, out.str());
 }
 
 Status LoadMappingsTsv(const std::string& path, StringPool* pool,
-                       std::vector<SynthesizedMapping>* mappings) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open for read: " + path);
+                       std::vector<SynthesizedMapping>* mappings, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  Result<std::string> contents = env->ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  std::istringstream in(std::move(contents).value());
   return ReadMappingsTsv(in, pool, mappings);
 }
 

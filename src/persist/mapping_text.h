@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "synth/mapping.h"
 #include "table/string_pool.h"
@@ -38,9 +39,13 @@ Status WriteMappingsTsv(const std::vector<SynthesizedMapping>& mappings,
 Status ReadMappingsTsv(std::istream& in, StringPool* pool,
                        std::vector<SynthesizedMapping>* mappings);
 
+/// File-path conveniences: IO goes through `env` (nullptr = Env::Default())
+/// so failures are injectable; IOError messages carry the path and errno.
 Status SaveMappingsTsv(const std::vector<SynthesizedMapping>& mappings,
-                       const StringPool& pool, const std::string& path);
+                       const StringPool& pool, const std::string& path,
+                       Env* env = nullptr);
 Status LoadMappingsTsv(const std::string& path, StringPool* pool,
-                       std::vector<SynthesizedMapping>* mappings);
+                       std::vector<SynthesizedMapping>* mappings,
+                       Env* env = nullptr);
 
 }  // namespace ms::persist

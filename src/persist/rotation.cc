@@ -1,0 +1,108 @@
+#include "persist/rotation.h"
+
+#include <algorithm>
+
+namespace ms::persist {
+
+namespace {
+constexpr char kSnapPrefix[] = "snap-";
+constexpr char kSnapSuffix[] = ".mssnap";
+constexpr size_t kGenDigits = 10;
+}  // namespace
+
+std::string SnapshotFileName(uint64_t generation) {
+  std::string digits = std::to_string(generation);
+  if (digits.size() < kGenDigits) {
+    digits.insert(0, kGenDigits - digits.size(), '0');
+  }
+  return kSnapPrefix + digits + kSnapSuffix;
+}
+
+bool ParseSnapshotFileName(std::string_view name, uint64_t* generation) {
+  const std::string_view prefix = kSnapPrefix;
+  const std::string_view suffix = kSnapSuffix;
+  if (name.size() <= prefix.size() + suffix.size()) return false;
+  if (name.substr(0, prefix.size()) != prefix) return false;
+  if (name.substr(name.size() - suffix.size()) != suffix) return false;
+  const std::string_view digits =
+      name.substr(prefix.size(), name.size() - prefix.size() - suffix.size());
+  if (digits.empty() || digits.size() > 19) return false;
+  uint64_t v = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *generation = v;
+  return true;
+}
+
+Result<std::vector<GenerationEntry>> ListGenerations(Env& env,
+                                                     const std::string& dir) {
+  Result<std::vector<std::string>> names = env.ListDir(dir);
+  if (!names.ok()) return names.status();
+  std::vector<GenerationEntry> entries;
+  for (std::string& name : names.value()) {
+    uint64_t gen = 0;
+    // ParseSnapshotFileName rejects *.corrupt and *.tmp by shape, so a
+    // quarantined or half-written file can never rejoin the rotation.
+    if (!ParseSnapshotFileName(name, &gen)) continue;
+    entries.push_back(GenerationEntry{gen, std::move(name)});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const GenerationEntry& a, const GenerationEntry& b) {
+              return a.generation < b.generation;
+            });
+  return entries;
+}
+
+Result<uint64_t> ReadCurrentGeneration(Env& env, const std::string& dir) {
+  const std::string path = dir + "/" + kCurrentFileName;
+  Result<std::string> contents = env.ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  std::string_view line = contents.value();
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.remove_suffix(1);
+  }
+  uint64_t gen = 0;
+  if (!ParseSnapshotFileName(line, &gen)) {
+    return Status::DataLoss("CURRENT does not name a snapshot file: " + path);
+  }
+  return gen;
+}
+
+Status WriteCurrentFile(Env& env, const std::string& dir,
+                        uint64_t generation) {
+  const std::string contents = SnapshotFileName(generation) + "\n";
+  return AtomicWriteFile(env, dir + "/" + kCurrentFileName,
+                         {std::string_view(contents)});
+}
+
+Status QuarantineSnapshot(Env& env, const std::string& dir,
+                          const std::string& name) {
+  const std::string from = dir + "/" + name;
+  MS_RETURN_IF_ERROR(env.RenameFile(from, from + kCorruptSuffix));
+  // Make the fence durable: a quarantined generation that reappears after
+  // a reboot would be re-verified (and re-fail) forever.
+  return env.SyncDir(dir);
+}
+
+Status PruneSnapshots(Env& env, const std::string& dir, int keep) {
+  if (keep < 1) keep = 1;
+  Result<std::vector<GenerationEntry>> listed = ListGenerations(env, dir);
+  if (!listed.ok()) return listed.status();
+  const std::vector<GenerationEntry>& entries = listed.value();
+  Status first_error;
+  bool removed = false;
+  for (size_t i = 0; i + static_cast<size_t>(keep) < entries.size(); ++i) {
+    const Status st = env.RemoveFile(dir + "/" + entries[i].name);
+    if (!st.ok() && first_error.ok()) first_error = st;
+    removed = removed || st.ok();
+  }
+  if (removed) {
+    const Status st = env.SyncDir(dir);
+    if (!st.ok() && first_error.ok()) first_error = st;
+  }
+  return first_error;
+}
+
+}  // namespace ms::persist

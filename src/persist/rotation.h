@@ -1,0 +1,80 @@
+// Generational snapshot rotation: the on-disk layout and protocol that
+// turns "a snapshot file" into "a directory a service can always recover
+// from". A rotation directory holds:
+//
+//   snap-<gen>.mssnap      one complete container per generation (the
+//                          10-digit zero-padded generation number makes
+//                          lexicographic order numeric order)
+//   CURRENT                a one-line pointer file naming the latest
+//                          committed generation's file, written atomically
+//                          (tmp+fsync+rename+dirsync) AFTER its snapshot
+//                          is durable
+//   snap-<gen>.mssnap.corrupt   quarantined generations: files that failed
+//                          verification at open are renamed aside — never
+//                          deleted, an operator may want the evidence —
+//                          and never considered for serving again
+//
+// Save protocol: write snap-<next> (atomic), commit CURRENT (atomic), then
+// prune generations older than the retention window. A crash between the
+// snapshot write and the CURRENT commit leaves a complete newer snapshot
+// that readers may legitimately serve — CURRENT is the durable commit
+// marker and the pruning fence, not the only discovery mechanism.
+//
+// Recovery protocol (MappingService::OpenLatestSnapshot): list generations,
+// walk newest → oldest, serve the first one that fully verifies; a
+// generation that fails with DataLoss is quarantined and the walk falls
+// back to the previous one. The walk degrades, it never crashes and never
+// serves partially-verified bytes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "common/status.h"
+
+namespace ms::persist {
+
+inline constexpr char kCurrentFileName[] = "CURRENT";
+inline constexpr char kCorruptSuffix[] = ".corrupt";
+inline constexpr int kDefaultRetainedGenerations = 3;
+
+/// "snap-0000000042.mssnap" for generation 42.
+std::string SnapshotFileName(uint64_t generation);
+
+/// Parses a SnapshotFileName-shaped basename; false for anything else
+/// (CURRENT, *.tmp, *.corrupt, foreign files).
+bool ParseSnapshotFileName(std::string_view name, uint64_t* generation);
+
+struct GenerationEntry {
+  uint64_t generation = 0;
+  std::string name;  ///< basename inside the rotation dir
+};
+
+/// The live (non-quarantined) generations in `dir`, sorted ascending.
+/// NotFound when the directory itself does not exist.
+Result<std::vector<GenerationEntry>> ListGenerations(Env& env,
+                                                     const std::string& dir);
+
+/// The generation CURRENT points at. NotFound when no CURRENT exists,
+/// DataLoss when it exists but does not parse (a torn pointer is treated
+/// exactly like a torn snapshot: fall back, don't trust it).
+Result<uint64_t> ReadCurrentGeneration(Env& env, const std::string& dir);
+
+/// Atomically commits CURRENT -> SnapshotFileName(generation).
+Status WriteCurrentFile(Env& env, const std::string& dir,
+                        uint64_t generation);
+
+/// Renames `name` (a basename in `dir`) to `name + ".corrupt"`, fencing it
+/// from every future recovery walk while preserving the bytes for
+/// post-mortem. The directory entry change is fsynced.
+Status QuarantineSnapshot(Env& env, const std::string& dir,
+                          const std::string& name);
+
+/// Removes live generations older than the newest `keep` (quarantined
+/// files are never touched). Returns the first error but keeps going —
+/// retention is best-effort by design; debris is reclaimed next save.
+Status PruneSnapshots(Env& env, const std::string& dir, int keep);
+
+}  // namespace ms::persist

@@ -1,11 +1,5 @@
 #include "persist/snapshot.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cstdio>
-#include <fstream>
-
 #include "common/crc32.h"
 #include "persist/wire.h"
 
@@ -20,31 +14,8 @@ void ContainerWriter::AddSection(uint32_t id, std::string payload) {
   sections_.push_back(Section{id, std::move(payload)});
 }
 
-namespace {
-
-/// fsyncs `path` (a file or a directory). The tmp file must be durable
-/// BEFORE the rename and the directory entry AFTER it, or a power loss can
-/// commit the rename while the data blocks are still only in page cache —
-/// leaving a torn file where the previous good snapshot used to be.
-Status FsyncPath(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return Status::IOError("cannot open for fsync: " + path);
-  const int rc = ::fsync(fd);
-  ::close(fd);
-  if (rc != 0) return Status::IOError("fsync failed: " + path);
-  return Status::OK();
-}
-
-std::string ParentDir(const std::string& path) {
-  const size_t slash = path.find_last_of('/');
-  if (slash == std::string::npos) return ".";
-  if (slash == 0) return "/";
-  return path.substr(0, slash);
-}
-
-}  // namespace
-
-Status ContainerWriter::WriteFile(const std::string& path) const {
+Status ContainerWriter::WriteFile(const std::string& path, Env* env) const {
+  if (env == nullptr) env = Env::Default();
   WireWriter header;
   header.U64(magic_);
   header.U32(FormatVersionFor(magic_));
@@ -52,54 +23,34 @@ Status ContainerWriter::WriteFile(const std::string& path) const {
   header.U64(fingerprint_);
   header.U32(Crc32(header.bytes()));
 
-  // Write-new + fsync + atomic rename + directory fsync: a serving fleet
-  // overwrites its snapshot in place on a schedule, and neither a crash
-  // mid-write nor a power loss right after the rename may leave anything
-  // but the old-or-new complete file at `path`. The tmp suffix is fixed so
-  // a crashed writer's debris is reclaimed by the next successful save.
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) {
-      return Status::IOError("cannot open for write: " + tmp);
-    }
-    out.write(header.bytes().data(),
-              static_cast<std::streamsize>(header.bytes().size()));
-    for (const Section& s : sections_) {
-      WireWriter sh;
-      sh.U32(s.id);
-      sh.U32(Crc32(s.payload));
-      sh.U64(s.payload.size());
-      out.write(sh.bytes().data(),
-                static_cast<std::streamsize>(sh.bytes().size()));
-      out.write(s.payload.data(),
-                static_cast<std::streamsize>(s.payload.size()));
-    }
-    out.flush();
-    if (!out.good()) {
-      out.close();
-      std::remove(tmp.c_str());
-      return Status::IOError("write failed: " + tmp);
-    }
+  // One chunk list, one atomic-save protocol (AtomicWriteFile): write-new +
+  // fsync + rename + directory fsync. A serving fleet overwrites its
+  // snapshot in place on a schedule, and neither a crash mid-write nor a
+  // power loss right after the rename may leave anything but the
+  // old-or-new complete file at `path`. The tmp suffix is fixed so a
+  // crashed writer's debris is reclaimed by the next successful save.
+  std::vector<std::string> section_headers;
+  section_headers.reserve(sections_.size());
+  std::vector<std::string_view> chunks;
+  chunks.reserve(1 + 2 * sections_.size());
+  chunks.emplace_back(header.bytes());
+  for (const Section& s : sections_) {
+    WireWriter sh;
+    sh.U32(s.id);
+    sh.U32(Crc32(s.payload));
+    sh.U64(s.payload.size());
+    section_headers.push_back(sh.Take());
+    chunks.emplace_back(section_headers.back());
+    chunks.emplace_back(s.payload);
   }
-  Status synced = FsyncPath(tmp);
-  if (!synced.ok()) {
-    std::remove(tmp.c_str());
-    return synced;
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    return Status::IOError("cannot rename " + tmp + " over " + path);
-  }
-  // Make the rename itself durable. Best-effort semantics would silently
-  // undo the atomicity story, so a failure here is a reported error even
-  // though the in-memory filesystem view already shows the new file.
-  return FsyncPath(ParentDir(path));
+  return AtomicWriteFile(*env, path, chunks);
 }
 
 Result<ContainerReader> ContainerReader::Open(const std::string& path,
-                                              uint64_t expected_magic) {
-  Result<std::shared_ptr<MmapFile>> mapped = MmapFile::Open(path);
+                                              uint64_t expected_magic,
+                                              Env* env) {
+  if (env == nullptr) env = Env::Default();
+  Result<std::shared_ptr<MmapFile>> mapped = env->MapReadOnly(path);
   if (!mapped.ok()) return mapped.status();
   std::shared_ptr<MmapFile> file = std::move(mapped).value();
 

@@ -37,6 +37,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "persist/mmap_file.h"
 
@@ -91,14 +92,18 @@ class ContainerWriter {
 
   void AddSection(uint32_t id, std::string payload);
 
-  /// Writes header + sections to `path` atomically: the bytes go to
-  /// `path + ".tmp"` first and are renamed over `path` only after a
-  /// successful flush, so a crash or write failure mid-save can never
-  /// clobber a previous good container — readers see either the old file
-  /// or the new one, never a torn hybrid. IOError on any failure (the tmp
-  /// file is cleaned up; `path` is untouched). Concurrent savers to the
-  /// same path are the caller's responsibility (they share the tmp name).
-  Status WriteFile(const std::string& path) const;
+  /// Writes header + sections to `path` atomically (AtomicWriteFile): the
+  /// bytes go to `path + ".tmp"` first and are renamed over `path` only
+  /// after a successful fsync, so a crash or write failure mid-save can
+  /// never clobber a previous good container — readers see either the old
+  /// file or the new one, never a torn hybrid. Transient short writes and
+  /// EINTR are absorbed by the env retry loop; terminal failures return
+  /// IOError carrying the path and errno (the tmp file is cleaned up;
+  /// `path` is untouched). All IO goes through `env` (nullptr =
+  /// Env::Default()) so every failure mode is injectable. Concurrent savers
+  /// to the same path are the caller's responsibility (they share the tmp
+  /// name).
+  Status WriteFile(const std::string& path, Env* env = nullptr) const;
 
  private:
   struct Section {
@@ -119,9 +124,11 @@ class ContainerReader {
   /// `expected_magic` selects the container family; a file with the other
   /// family's valid magic fails with DataLoss ("not a ... file") rather
   /// than FailedPrecondition, since the caller asked for bytes this file
-  /// never contained.
+  /// never contained. The mmap open goes through `env` (nullptr =
+  /// Env::Default()) so read-side faults are injectable too.
   static Result<ContainerReader> Open(const std::string& path,
-                                      uint64_t expected_magic);
+                                      uint64_t expected_magic,
+                                      Env* env = nullptr);
 
   uint64_t options_fingerprint() const { return fingerprint_; }
   uint32_t format_version() const { return version_; }

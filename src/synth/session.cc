@@ -1082,7 +1082,7 @@ Status SynthesisSession::SaveSnapshot(const std::string& path,
   }
   MS_RETURN_IF_ERROR(persist::SaveSessionSnapshot(
       path, OptionsFingerprint(options_), candidates, blocked, scored,
-      result));
+      result, env_));
   ++session_stats_.snapshot_saves;
   return Status::OK();
 }
@@ -1091,7 +1091,7 @@ Result<SessionSnapshot> SynthesisSession::RestoreSnapshot(
     const std::string& path) {
   MS_RETURN_IF_ERROR(ReadyToRun());
   Result<SessionSnapshot> loaded =
-      persist::LoadSessionSnapshot(path, OptionsFingerprint(options_));
+      persist::LoadSessionSnapshot(path, OptionsFingerprint(options_), env_);
   if (!loaded.ok()) return loaded.status();
   SessionSnapshot snap = std::move(loaded).value();
 

@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "common/thread_pool.h"
 #include "extract/candidate_extraction.h"
@@ -295,6 +296,13 @@ class SynthesisSession {
   const SynthesisOptions& options() const { return options_; }
   ThreadPool* threads() { return threads_.get(); }
 
+  /// The IO environment Save/RestoreSnapshot route through. Defaults to
+  /// Env::Default() (real syscalls); tests install a FaultInjectionEnv to
+  /// exercise the failure paths deterministically. Not part of the options
+  /// fingerprint — the env changes how bytes reach disk, never the bytes.
+  void set_env(Env* env) { env_ = env != nullptr ? env : Env::Default(); }
+  Env* env() const { return env_; }
+
   /// Stage 1: inverted-index build + candidate extraction (Algorithm 1).
   /// The corpus (and its pool) must outlive the returned artifact.
   Result<CandidateSet> ExtractCandidates(const TableCorpus& corpus);
@@ -480,6 +488,7 @@ class SynthesisSession {
   bool snapshot_valid_ = false;
   uint64_t next_artifact_id_ = 1;
   SessionStats session_stats_;
+  Env* env_ = Env::Default();
 };
 
 }  // namespace ms

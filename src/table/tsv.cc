@@ -1,8 +1,8 @@
 #include "table/tsv.h"
 
-#include <fstream>
 #include <ostream>
 #include <sstream>
+#include <utility>
 
 #include "common/string_util.h"
 
@@ -73,15 +73,22 @@ Status ReadCorpusTsv(std::istream& in, TableCorpus* corpus) {
   return Status::OK();
 }
 
-Status SaveCorpus(const TableCorpus& corpus, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IOError("cannot open for write: " + path);
-  return WriteCorpusTsv(corpus, out);
+Status SaveCorpus(const TableCorpus& corpus, const std::string& path,
+                  Env* env) {
+  if (env == nullptr) env = Env::Default();
+  // Serialize in memory, then write through the env: the stream API stays
+  // path-agnostic while the file API gets retry absorption (short writes,
+  // EINTR) and path+errno failure messages from the env layer.
+  std::ostringstream out;
+  MS_RETURN_IF_ERROR(WriteCorpusTsv(corpus, out));
+  return WriteStringToFile(*env, path, out.str());
 }
 
-Status LoadCorpus(const std::string& path, TableCorpus* corpus) {
-  std::ifstream in(path);
-  if (!in) return Status::IOError("cannot open for read: " + path);
+Status LoadCorpus(const std::string& path, TableCorpus* corpus, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  Result<std::string> contents = env->ReadFileToString(path);
+  if (!contents.ok()) return contents.status();
+  std::istringstream in(std::move(contents).value());
   return ReadCorpusTsv(in, corpus);
 }
 

@@ -7,6 +7,7 @@
 #include <iosfwd>
 #include <string>
 
+#include "common/env.h"
 #include "common/status.h"
 #include "table/corpus.h"
 
@@ -23,8 +24,11 @@ Status WriteCorpusTsv(const TableCorpus& corpus, std::ostream& out);
 /// Parses a corpus from a stream in the format produced by WriteCorpusTsv.
 Status ReadCorpusTsv(std::istream& in, TableCorpus* corpus);
 
-/// File-path conveniences.
-Status SaveCorpus(const TableCorpus& corpus, const std::string& path);
-Status LoadCorpus(const std::string& path, TableCorpus* corpus);
+/// File-path conveniences. IO goes through `env` (nullptr = Env::Default())
+/// so failures are injectable; IOError messages carry the path and errno.
+Status SaveCorpus(const TableCorpus& corpus, const std::string& path,
+                  Env* env = nullptr);
+Status LoadCorpus(const std::string& path, TableCorpus* corpus,
+                  Env* env = nullptr);
 
 }  // namespace ms

@@ -713,10 +713,12 @@ TEST(ServiceSnapshotTest, OpenFromMappingsFilePropagatesStatusFailClosed) {
   const size_t before = service.num_mappings();
 
   // Unreadable input: Status propagates, the store is untouched (previously
-  // this class of load yielded a silently empty store).
+  // this class of load yielded a silently empty store). A missing file is
+  // NotFound since the env refactor; IO failures on existing files stay
+  // IOError.
   Status st = service.OpenFromMappingsFile("/tmp/ms_no_such_mappings.tsv");
   ASSERT_FALSE(st.ok());
-  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
   EXPECT_EQ(service.num_mappings(), before);
 
   // Malformed input: same discipline.

@@ -375,12 +375,17 @@ TEST(SessionCorpusFileTest, CorruptTsvPropagatesStatus) {
   std::remove(path.c_str());
 }
 
-TEST(SessionCorpusFileTest, MissingFileIsIOError) {
+TEST(SessionCorpusFileTest, MissingFileIsNotFound) {
   SynthesisSession session(FastOptions());
   TableCorpus corpus;
   auto r = session.RunOnCorpusFile("/tmp/ms_no_such_corpus.tsv", &corpus);
   EXPECT_FALSE(r.ok());
-  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  // The env layer distinguishes a missing file (NotFound) from an IO
+  // failure on an existing one (IOError) — recovery walks rely on it.
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(r.status().message().find("/tmp/ms_no_such_corpus.tsv"),
+            std::string::npos)
+      << r.status().ToString();
 }
 
 TEST(SessionCorpusFileTest, ValidFileRoundTrips) {

@@ -281,7 +281,12 @@ TEST(TsvTest, LoadMissingFileFails) {
   TableCorpus corpus;
   Status s = LoadCorpus("/nonexistent/path/corpus.tsv", &corpus);
   EXPECT_FALSE(s.ok());
-  EXPECT_EQ(s.code(), StatusCode::kIOError);
+  // NotFound (not IOError) since the env refactor: missing input is a
+  // distinct, recoverable condition, and the message names the path.
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_NE(s.message().find("/nonexistent/path/corpus.tsv"),
+            std::string::npos)
+      << s.ToString();
 }
 
 TEST(TsvTest, RoundTripEnterpriseAndTrustedSources) {
