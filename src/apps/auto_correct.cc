@@ -15,11 +15,11 @@ AutoCorrectResult SuggestCorrections(const MappingStore& store,
         options.min_coverage * static_cast<double>(column.size())) {
       continue;
     }
-    // Count per-row sides.
-    std::vector<ValueSide> sides(column.size());
+    // Count per-row sides; one batched probe normalizes each distinct
+    // column value once instead of once per row.
+    const std::vector<ValueSide> sides = store.ProbeBatch(m.index, column);
     size_t lefts = 0, rights = 0;
     for (size_t r = 0; r < column.size(); ++r) {
-      sides[r] = store.Probe(m.index, column[r]);
       if (sides[r] == ValueSide::kLeft) ++lefts;
       if (sides[r] == ValueSide::kRight) ++rights;
     }

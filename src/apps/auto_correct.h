@@ -32,7 +32,12 @@ struct AutoCorrectOptions {
 };
 
 /// Scans the store for a mapping explaining `column` and proposes
-/// corrections for minority-representation values.
+/// corrections for minority-representation values. Pure read over `store`:
+/// safe to call from any number of threads against an immutable store
+/// (serving calls go through MappingService, which binds each call to one
+/// atomically-published ServingSnapshot — see docs/serving.md). Per-row
+/// probes run through the store's batched lookups, so repeated column
+/// values normalize and hash once.
 AutoCorrectResult SuggestCorrections(const MappingStore& store,
                                      const std::vector<std::string>& column,
                                      const AutoCorrectOptions& options = {});

@@ -13,15 +13,15 @@ AutoFillResult AutoFill(
 
   auto matches = store.FindByContainment(keys, /*min_hits=*/2);
   for (const auto& m : matches) {
+    // One batched lookup serves both the example-consistency check and the
+    // fill loop: each distinct key is normalized and probed once.
+    const std::vector<std::optional<std::string>> fills =
+        store.LookupRightBatch(m.index, keys);
     // The mapping must reproduce every example (left -> right).
     bool consistent = true;
     for (const auto& [row, expected] : examples) {
-      if (row >= keys.size()) {
-        consistent = false;
-        break;
-      }
-      auto got = store.LookupRight(m.index, keys[row]);
-      if (!got || *got != NormalizeCell(expected)) {
+      if (row >= keys.size() || !fills[row] ||
+          *fills[row] != NormalizeCell(expected)) {
         consistent = false;
         break;
       }
@@ -38,9 +38,8 @@ AutoFillResult AutoFill(
     }
     for (size_t r = 0; r < keys.size(); ++r) {
       if (is_example[r]) continue;
-      auto got = store.LookupRight(m.index, keys[r]);
-      if (got) {
-        result.values[r] = *got;
+      if (fills[r]) {
+        result.values[r] = *fills[r];
         result.filled[r] = true;
         ++result.num_filled;
       }

@@ -25,7 +25,11 @@ struct AutoFillOptions {
   size_t min_examples = 1;
 };
 
-/// `examples` are (row index, expected value) pairs inside `keys`.
+/// `examples` are (row index, expected value) pairs inside `keys`. Pure
+/// read over `store`: thread-safe against an immutable store (the
+/// MappingService serving path binds each call to one published
+/// ServingSnapshot). Key lookups are batched — each distinct key
+/// normalizes and probes once across the consistency check and the fill.
 AutoFillResult AutoFill(
     const MappingStore& store, const std::vector<std::string>& keys,
     const std::vector<std::pair<size_t, std::string>>& examples,

@@ -18,12 +18,15 @@ std::vector<JoinedRowPair> TryJoin(const MappingStore& store, size_t mi,
   for (size_t r = 0; r < right_keys.size(); ++r) {
     right_index[NormalizeCell(right_keys[r])].push_back(r);
   }
+  // Bridge every left key in one batched lookup (distinct keys normalize
+  // and probe once), then resolve against the right index.
+  const std::vector<std::optional<std::string>> bridged =
+      use_left_side ? store.LookupRightBatch(mi, left_keys)
+                    : store.LookupLeftBatch(mi, left_keys);
   std::vector<JoinedRowPair> out;
   for (size_t l = 0; l < left_keys.size(); ++l) {
-    auto bridged = use_left_side ? store.LookupRight(mi, left_keys[l])
-                                 : store.LookupLeft(mi, left_keys[l]);
-    if (!bridged) continue;
-    auto it = right_index.find(*bridged);
+    if (!bridged[l]) continue;
+    auto it = right_index.find(*bridged[l]);
     if (it == right_index.end()) continue;
     for (size_t r : it->second) out.push_back({l, r});
   }

@@ -29,6 +29,10 @@ struct AutoJoinOptions {
 };
 
 /// Finds the bridging mapping and the joined row pairs between key columns.
+/// Pure read over `store`: thread-safe against an immutable store (the
+/// MappingService serving path binds each call to one published
+/// ServingSnapshot). Left keys bridge through one batched lookup per
+/// direction instead of a per-row probe.
 AutoJoinResult AutoJoin(const MappingStore& store,
                         const std::vector<std::string>& left_keys,
                         const std::vector<std::string>& right_keys,

@@ -4,9 +4,17 @@
 
 namespace ms {
 
+namespace {
+constexpr uint8_t kSideLeft = 1;
+constexpr uint8_t kSideRight = 2;
+}  // namespace
+
 MappingStore::MappingStore(std::shared_ptr<StringPool> pool,
-                           NormalizeOptions normalize)
-    : pool_(std::move(pool)), normalize_(normalize) {}
+                           NormalizeOptions normalize,
+                           size_t containment_index_shards)
+    : pool_(std::move(pool)), normalize_(normalize) {
+  shards_.resize(containment_index_shards);
+}
 
 size_t MappingStore::Add(SynthesizedMapping mapping, std::string name) {
   const size_t n = std::max<size_t>(mapping.size(), 1);
@@ -20,8 +28,26 @@ size_t MappingStore::Add(SynthesizedMapping mapping, std::string name) {
     e.left_to_right.emplace(left, right);
     e.right_to_left.emplace(std::move(right), std::move(left));
   }
+  const uint32_t index = static_cast<uint32_t>(entries_.size());
+  if (!shards_.empty()) IndexEntryValues(index, e);
   entries_.push_back(std::move(e));
   return entries_.size() - 1;
+}
+
+void MappingStore::IndexEntryValues(uint32_t entry_index, const Entry& e) {
+  // One posting per (value, entry): merge the side bits so a value sitting
+  // on both sides of the same mapping costs one posting, and containment
+  // accumulation sees exactly what the scan's two map probes see.
+  auto post = [&](const std::string& normed, uint8_t side) {
+    auto& postings = shards_[ShardOf(normed)][normed];
+    if (!postings.empty() && postings.back().entry == entry_index) {
+      postings.back().sides |= side;
+      return;
+    }
+    postings.push_back(Posting{entry_index, side});
+  };
+  for (const auto& [left, right] : e.left_to_right) post(left, kSideLeft);
+  for (const auto& [right, left] : e.right_to_left) post(right, kSideRight);
 }
 
 ValueSide MappingStore::Probe(size_t i, const std::string& raw_value) const {
@@ -35,6 +61,43 @@ ValueSide MappingStore::Probe(size_t i, const std::string& raw_value) const {
   return ValueSide::kNone;
 }
 
+std::vector<size_t> MappingStore::DedupNormalized(
+    const std::vector<std::string>& raw_values,
+    std::vector<std::string>* distinct) const {
+  std::vector<size_t> slot_of;
+  slot_of.reserve(raw_values.size());
+  std::unordered_map<std::string, size_t> slots;
+  slots.reserve(raw_values.size());
+  for (const auto& raw : raw_values) {
+    std::string normed = Norm(raw);
+    auto [it, inserted] = slots.emplace(std::move(normed), distinct->size());
+    if (inserted) distinct->push_back(it->first);
+    slot_of.push_back(it->second);
+  }
+  return slot_of;
+}
+
+std::vector<ValueSide> MappingStore::ProbeBatch(
+    size_t i, const std::vector<std::string>& raw_values) const {
+  const Entry& e = entries_[i];
+  std::vector<std::string> distinct;
+  const std::vector<size_t> slot_of = DedupNormalized(raw_values, &distinct);
+  std::vector<ValueSide> per_slot(distinct.size());
+  for (size_t s = 0; s < distinct.size(); ++s) {
+    const std::string& v = distinct[s];
+    bool left = e.left_bloom.MayContain(v) && e.left_to_right.count(v) > 0;
+    bool right = e.right_bloom.MayContain(v) && e.right_to_left.count(v) > 0;
+    per_slot[s] = left && right ? ValueSide::kBoth
+                  : left        ? ValueSide::kLeft
+                  : right       ? ValueSide::kRight
+                                : ValueSide::kNone;
+  }
+  std::vector<ValueSide> out;
+  out.reserve(raw_values.size());
+  for (size_t slot : slot_of) out.push_back(per_slot[slot]);
+  return out;
+}
+
 std::vector<MappingStore::ContainmentMatch> MappingStore::FindByContainment(
     const std::vector<std::string>& values, size_t min_hits) const {
   std::vector<std::string> normed;
@@ -42,23 +105,63 @@ std::vector<MappingStore::ContainmentMatch> MappingStore::FindByContainment(
   for (const auto& v : values) normed.push_back(Norm(v));
 
   std::vector<ContainmentMatch> out;
-  for (size_t i = 0; i < entries_.size(); ++i) {
-    const Entry& e = entries_[i];
-    ContainmentMatch m;
-    m.index = i;
+  if (!shards_.empty()) {
+    // Sharded-index path: one posting probe per value, hits accumulated per
+    // entry. Each input occurrence counts (duplicates in `values` score
+    // like the scan's per-value map probes).
+    std::vector<size_t> left_hits(entries_.size(), 0);
+    std::vector<size_t> right_hits(entries_.size(), 0);
+    std::vector<uint32_t> touched;
     for (const auto& v : normed) {
-      if (e.left_bloom.MayContain(v) && e.left_to_right.count(v)) {
-        ++m.left_hits;
-      }
-      if (e.right_bloom.MayContain(v) && e.right_to_left.count(v)) {
-        ++m.right_hits;
+      const auto& shard = shards_[ShardOf(v)];
+      auto it = shard.find(v);
+      if (it == shard.end()) continue;
+      for (const Posting& p : it->second) {
+        if (left_hits[p.entry] == 0 && right_hits[p.entry] == 0) {
+          touched.push_back(p.entry);
+        }
+        if (p.sides & kSideLeft) ++left_hits[p.entry];
+        if (p.sides & kSideRight) ++right_hits[p.entry];
       }
     }
-    if (m.total() >= min_hits) out.push_back(m);
+    if (min_hits == 0) {
+      // Degenerate request: the scan returns every entry (0 hits >= 0), so
+      // the index path must too.
+      touched.resize(entries_.size());
+      for (uint32_t i = 0; i < touched.size(); ++i) touched[i] = i;
+    } else {
+      std::sort(touched.begin(), touched.end());
+    }
+    for (uint32_t entry : touched) {
+      ContainmentMatch m;
+      m.index = entry;
+      m.left_hits = left_hits[entry];
+      m.right_hits = right_hits[entry];
+      if (m.total() >= min_hits) out.push_back(m);
+    }
+  } else {
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      ContainmentMatch m;
+      m.index = i;
+      for (const auto& v : normed) {
+        if (e.left_bloom.MayContain(v) && e.left_to_right.count(v)) {
+          ++m.left_hits;
+        }
+        if (e.right_bloom.MayContain(v) && e.right_to_left.count(v)) {
+          ++m.right_hits;
+        }
+      }
+      if (m.total() >= min_hits) out.push_back(m);
+    }
   }
+  // Deterministic rank: hits descending, then mapping index ascending. The
+  // explicit tie-break makes the scan and index paths byte-identical (and
+  // app results stable across store layouts).
   std::sort(out.begin(), out.end(),
             [](const ContainmentMatch& a, const ContainmentMatch& b) {
-              return a.total() > b.total();
+              if (a.total() != b.total()) return a.total() > b.total();
+              return a.index < b.index;
             });
   return out;
 }
@@ -77,6 +180,50 @@ std::optional<std::string> MappingStore::LookupLeft(
   auto it = e.right_to_left.find(Norm(raw_right));
   if (it == e.right_to_left.end()) return std::nullopt;
   return it->second;
+}
+
+std::vector<std::optional<std::string>> MappingStore::LookupRightBatch(
+    size_t i, const std::vector<std::string>& raw_lefts) const {
+  const Entry& e = entries_[i];
+  std::vector<std::string> distinct;
+  const std::vector<size_t> slot_of = DedupNormalized(raw_lefts, &distinct);
+  std::vector<const std::string*> per_slot(distinct.size(), nullptr);
+  for (size_t s = 0; s < distinct.size(); ++s) {
+    auto it = e.left_to_right.find(distinct[s]);
+    if (it != e.left_to_right.end()) per_slot[s] = &it->second;
+  }
+  std::vector<std::optional<std::string>> out;
+  out.reserve(raw_lefts.size());
+  for (size_t slot : slot_of) {
+    if (per_slot[slot] != nullptr) {
+      out.emplace_back(*per_slot[slot]);
+    } else {
+      out.emplace_back(std::nullopt);
+    }
+  }
+  return out;
+}
+
+std::vector<std::optional<std::string>> MappingStore::LookupLeftBatch(
+    size_t i, const std::vector<std::string>& raw_rights) const {
+  const Entry& e = entries_[i];
+  std::vector<std::string> distinct;
+  const std::vector<size_t> slot_of = DedupNormalized(raw_rights, &distinct);
+  std::vector<const std::string*> per_slot(distinct.size(), nullptr);
+  for (size_t s = 0; s < distinct.size(); ++s) {
+    auto it = e.right_to_left.find(distinct[s]);
+    if (it != e.right_to_left.end()) per_slot[s] = &it->second;
+  }
+  std::vector<std::optional<std::string>> out;
+  out.reserve(raw_rights.size());
+  for (size_t slot : slot_of) {
+    if (per_slot[slot] != nullptr) {
+      out.emplace_back(*per_slot[slot]);
+    } else {
+      out.emplace_back(std::nullopt);
+    }
+  }
+  return out;
 }
 
 }  // namespace ms

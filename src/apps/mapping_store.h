@@ -6,8 +6,15 @@
 //
 // All lookups normalize their inputs with the same rules the synthesis
 // pipeline used, so raw user values ("CA ", "California[1]") hit.
+//
+// Thread contract: a store is built single-threaded (Add) and immutable
+// afterwards — every const method is safe to call from any number of
+// threads concurrently provided no Add runs. MappingService enforces this
+// by only ever publishing fully-built stores inside an immutable
+// ServingSnapshot (apps/serving.h).
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -26,11 +33,20 @@ enum class ValueSide { kNone = 0, kLeft, kRight, kBoth };
 
 class MappingStore {
  public:
+  /// `containment_index_shards` > 0 builds a hash-sharded value→posting
+  /// index maintained by Add, turning FindByContainment from an
+  /// O(entries × values) scan into O(values) posting probes — the
+  /// domain-sharded layout for many-mapping stores (shards bound the size
+  /// of any one probe table; results are identical to the scan by
+  /// construction and locked down by a differential test). 0 keeps the
+  /// bloom-screened scan.
   explicit MappingStore(std::shared_ptr<StringPool> pool,
-                        NormalizeOptions normalize = {});
+                        NormalizeOptions normalize = {},
+                        size_t containment_index_shards = 0);
 
   /// Registers a curated mapping under a human-readable name. Returns its
-  /// index.
+  /// index. Not thread-safe against any concurrent method — build first,
+  /// serve after.
   size_t Add(SynthesizedMapping mapping, std::string name);
 
   size_t size() const { return entries_.size(); }
@@ -38,13 +54,23 @@ class MappingStore {
     return entries_[i].mapping;
   }
   const std::string& name(size_t i) const { return entries_[i].name; }
+  size_t containment_index_shards() const { return shards_.size(); }
 
   /// Which side(s) of mapping `i` contain the (raw) value.
   ValueSide Probe(size_t i, const std::string& raw_value) const;
 
+  /// Batched Probe over a request vector: normalizes once per input and
+  /// probes once per *distinct* normalized value (serving columns are full
+  /// of repeats), the way InternBatch amortized extraction. Element k of
+  /// the result is exactly Probe(i, raw_values[k]).
+  std::vector<ValueSide> ProbeBatch(
+      size_t i, const std::vector<std::string>& raw_values) const;
+
   /// Containment search: mappings ranked by how many of `values` they
-  /// contain on either side. Bloom filters screen out non-candidates before
-  /// exact hash probes. Only mappings with >= min_hits matches return.
+  /// contain on either side (ties broken by ascending mapping index, so
+  /// scan and sharded-index paths rank identically). Bloom filters screen
+  /// out non-candidates before exact hash probes on the scan path. Only
+  /// mappings with >= min_hits matches return.
   struct ContainmentMatch {
     size_t index = 0;
     size_t left_hits = 0;
@@ -62,6 +88,13 @@ class MappingStore {
   std::optional<std::string> LookupLeft(size_t i,
                                         const std::string& raw_right) const;
 
+  /// Batched LookupRight/LookupLeft with the same amortization as
+  /// ProbeBatch. Element k is exactly the scalar lookup of raw value k.
+  std::vector<std::optional<std::string>> LookupRightBatch(
+      size_t i, const std::vector<std::string>& raw_lefts) const;
+  std::vector<std::optional<std::string>> LookupLeftBatch(
+      size_t i, const std::vector<std::string>& raw_rights) const;
+
  private:
   struct Entry {
     std::string name;
@@ -72,13 +105,31 @@ class MappingStore {
     std::unordered_map<std::string, std::string> right_to_left;
   };
 
+  /// Sharded-index posting: which entry contains a value, on which sides.
+  struct Posting {
+    uint32_t entry = 0;
+    uint8_t sides = 0;  ///< bit 0 = left, bit 1 = right
+  };
+
   std::string Norm(const std::string& raw) const {
     return NormalizeCell(raw, normalize_);
   }
+  size_t ShardOf(const std::string& normed) const {
+    return std::hash<std::string>{}(normed) % shards_.size();
+  }
+  void IndexEntryValues(uint32_t entry_index, const Entry& e);
+  /// Shared batch plumbing: fills `distinct` with one slot per distinct
+  /// normalized value and returns, per input, the index of its slot.
+  std::vector<size_t> DedupNormalized(
+      const std::vector<std::string>& raw_values,
+      std::vector<std::string>* distinct) const;
 
   std::shared_ptr<StringPool> pool_;
   NormalizeOptions normalize_;
   std::vector<Entry> entries_;
+  /// Containment index, empty when disabled: shard -> normalized value ->
+  /// postings (at most one left + one right bit per entry per value).
+  std::vector<std::unordered_map<std::string, std::vector<Posting>>> shards_;
 };
 
 }  // namespace ms

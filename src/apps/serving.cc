@@ -15,39 +15,72 @@ MappingService::MappingService(SynthesisOptions options)
 
 MappingService::~MappingService() = default;
 
+void MappingService::set_env(Env* env) {
+  const std::lock_guard<std::mutex> lock(writer_mu_);
+  env_ = env != nullptr ? env : Env::Default();
+  session_.set_env(env_);
+}
+
+void MappingService::set_containment_index_shards(size_t shards) {
+  const std::lock_guard<std::mutex> lock(writer_mu_);
+  containment_index_shards_ = shards;
+}
+
+void MappingService::InjectFaultForTests(ServingFault point) {
+  const std::lock_guard<std::mutex> lock(writer_mu_);
+  injected_fault_ = point;
+}
+
+Status MappingService::ConsumeFault(ServingFault point) {
+  if (injected_fault_ != point) return Status::OK();
+  injected_fault_ = ServingFault::kNone;
+  return Status::Internal("serving fault injected for tests (point " +
+                          std::to_string(static_cast<int>(point)) + ")");
+}
+
 Status MappingService::Synthesize(const TableCorpus& corpus) {
   MS_RETURN_IF_ERROR(status());
-  return StartFreshRun(nullptr, &corpus);
+  const std::lock_guard<std::mutex> lock(writer_mu_);
+  return StartFreshRunLocked(nullptr, &corpus);
 }
 
 Status MappingService::SynthesizeFromFile(const std::string& path) {
   MS_RETURN_IF_ERROR(status());
+  const std::lock_guard<std::mutex> lock(writer_mu_);
   auto corpus = std::make_unique<TableCorpus>();
   MS_RETURN_IF_ERROR(LoadCorpus(path, corpus.get(), env_));
-  return StartFreshRun(std::move(corpus), nullptr);
+  return StartFreshRunLocked(std::move(corpus), nullptr);
 }
 
 Status MappingService::SynthesizeFromCorpusStore(const std::string& path) {
   MS_RETURN_IF_ERROR(status());
+  const std::lock_guard<std::mutex> lock(writer_mu_);
   Result<TableCorpus> store = persist::OpenCorpusStore(path, env_);
   if (!store.ok()) return store.status();
-  return StartFreshRun(std::make_unique<TableCorpus>(std::move(store).value()),
-                       nullptr);
+  return StartFreshRunLocked(
+      std::make_unique<TableCorpus>(std::move(store).value()), nullptr);
 }
 
-Status MappingService::StartFreshRun(std::unique_ptr<TableCorpus> owned,
-                                     const TableCorpus* external) {
-  owned_corpus_ = std::move(owned);
-  corpus_ = owned_corpus_ ? owned_corpus_.get() : external;
-  pool_keepalive_ = corpus_->shared_pool();
-  candidates_.reset();
-  blocked_.reset();
-  scored_.reset();
-  partitions_.reset();
-  return RunChain(false, false, false);
+Status MappingService::StartFreshRunLocked(std::unique_ptr<TableCorpus> owned,
+                                           const TableCorpus* external) {
+  // Fail-closed: the new corpus, pool, and artifacts live only in the
+  // BuildState until the chain completes — a mid-chain failure leaves the
+  // previous generation (and its corpus) serving untouched.
+  BuildState s;
+  s.replace_corpus = true;
+  s.owned_corpus = std::move(owned);
+  s.corpus = s.owned_corpus ? s.owned_corpus.get() : external;
+  s.pool = s.corpus->shared_pool();
+  MS_RETURN_IF_ERROR(RunChain(&s, false, false, false));
+  return CommitAndPublish(std::move(s));
 }
 
 Status MappingService::SaveSnapshot(const std::string& path) {
+  const std::lock_guard<std::mutex> lock(writer_mu_);
+  return SaveSnapshotLocked(path);
+}
+
+Status MappingService::SaveSnapshotLocked(const std::string& path) {
   if (candidates_ == nullptr) {
     return Status::FailedPrecondition(
         "SaveSnapshot: nothing synthesized yet — there are no stage "
@@ -57,33 +90,43 @@ Status MappingService::SaveSnapshot(const std::string& path) {
   // marks last_result_ as valid.
   return session_.SaveSnapshot(path, *candidates_, blocked_.get(),
                                scored_.get(),
-                               store_ != nullptr ? &last_result_ : nullptr);
+                               store_ != nullptr ? last_result_.get()
+                                                 : nullptr);
 }
 
 Status MappingService::OpenFromSnapshot(const std::string& path) {
   MS_RETURN_IF_ERROR(status());
+  const std::lock_guard<std::mutex> lock(writer_mu_);
+  return OpenFromSnapshotLocked(path);
+}
+
+Status MappingService::OpenFromSnapshotLocked(const std::string& path) {
   Result<SessionSnapshot> restored = session_.RestoreSnapshot(path);
   if (!restored.ok()) return restored.status();
   SessionSnapshot snap = std::move(restored).value();
-  // The snapshot fully loaded and verified; only now touch service state.
-  owned_corpus_.reset();
-  corpus_ = nullptr;
-  pool_keepalive_ = snap.pool;
-  candidates_ = std::move(snap.candidates);
-  blocked_ = std::move(snap.blocked);
-  scored_ = std::move(snap.scored);
-  partitions_.reset();  // snapshots do not persist the partition artifact
+  // The snapshot fully loaded and verified; stage everything (including
+  // the possible chain completion below) before any serving state moves.
+  BuildState s;
+  s.replace_corpus = true;  // a restored service has no corpus
+  s.pool = snap.pool;
+  s.candidates = std::move(snap.candidates);
+  s.blocked = std::move(snap.blocked);
+  s.scored = std::move(snap.scored);
+  // Snapshots do not persist the partition artifact.
   const SynonymDictionary* dict = session_.options().compat.synonyms;
-  scored_synonym_version_ = dict ? dict->version() : 0;
+  s.scored_synonym_version = dict ? dict->version() : 0;
   if (snap.has_result) {
-    last_result_ = std::move(snap.result);
-    return RebuildStore();
+    s.result = std::make_shared<const SynthesisResult>(std::move(snap.result));
+  } else {
+    // No saved result: finish the chain from the deepest restored artifact.
+    MS_RETURN_IF_ERROR(
+        RunChain(&s, true, s.blocked != nullptr, s.scored != nullptr));
   }
-  // No saved result: finish the chain from the deepest restored artifact.
-  return RunChain(true, blocked_ != nullptr, scored_ != nullptr);
+  return CommitAndPublish(std::move(s));
 }
 
 Status MappingService::SaveSnapshotRotating(const std::string& dir, int keep) {
+  const std::lock_guard<std::mutex> lock(writer_mu_);
   if (candidates_ == nullptr) {
     return Status::FailedPrecondition(
         "SaveSnapshotRotating: nothing synthesized yet — there are no stage "
@@ -103,9 +146,17 @@ Status MappingService::SaveSnapshotRotating(const std::string& dir, int keep) {
   // NotFound/DataLoss CURRENT: the commit below rewrites it atomically.
 
   MS_RETURN_IF_ERROR(
-      SaveSnapshot(dir + "/" + persist::SnapshotFileName(next)));
+      SaveSnapshotLocked(dir + "/" + persist::SnapshotFileName(next)));
   MS_RETURN_IF_ERROR(persist::WriteCurrentFile(*env_, dir, next));
-  generation_served_ = next;
+  {
+    // The new generation is durably committed: the service serves it, and
+    // any degradation recorded by an earlier recovery walk is now behind a
+    // successful write — clear the skip/quarantine record.
+    const std::lock_guard<std::mutex> h(health_mu_);
+    generation_served_ = next;
+    generations_skipped_ = 0;
+    quarantined_files_.clear();
+  }
   // Retention is best-effort: the generation is committed at this point,
   // and failing the save over old-file debris would invert the contract.
   (void)persist::PruneSnapshots(*env_, dir, keep);
@@ -114,6 +165,7 @@ Status MappingService::SaveSnapshotRotating(const std::string& dir, int keep) {
 
 Status MappingService::OpenLatestSnapshot(const std::string& dir) {
   MS_RETURN_IF_ERROR(status());
+  const std::lock_guard<std::mutex> lock(writer_mu_);
   Result<std::vector<persist::GenerationEntry>> listed =
       persist::ListGenerations(*env_, dir);
   if (!listed.ok()) return listed.status();
@@ -125,8 +177,11 @@ Status MappingService::OpenLatestSnapshot(const std::string& dir) {
   std::vector<std::string> quarantined;
   Status last;
   for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
-    const Status st = OpenFromSnapshot(dir + "/" + it->name);
+    const Status st = OpenFromSnapshotLocked(dir + "/" + it->name);
     if (st.ok()) {
+      // The successful open's publish reset the bookkeeping; record the
+      // walk that got us here on top of it.
+      const std::lock_guard<std::mutex> h(health_mu_);
       generation_served_ = it->generation;
       generations_skipped_ = skipped;
       quarantined_files_ = std::move(quarantined);
@@ -147,42 +202,47 @@ Status MappingService::OpenLatestSnapshot(const std::string& dir) {
   }
   // Nothing intact: report the walk (operators need the quarantine record
   // even — especially — when recovery failed) and surface the last error.
-  generations_skipped_ = skipped;
-  quarantined_files_ = std::move(quarantined);
+  {
+    const std::lock_guard<std::mutex> h(health_mu_);
+    generations_skipped_ = skipped;
+    quarantined_files_ = std::move(quarantined);
+  }
   return last;
 }
 
 ServiceHealth MappingService::health() const {
   ServiceHealth h;
-  h.generation_served = generation_served_;
-  h.generations_skipped = generations_skipped_;
-  h.quarantined_files = quarantined_files_;
+  {
+    const std::lock_guard<std::mutex> lock(health_mu_);
+    h.generation_served = generation_served_;
+    h.generations_skipped = generations_skipped_;
+    h.quarantined_files = quarantined_files_;
+  }
   h.retries_performed = env_->retries_performed();
   return h;
 }
 
 Status MappingService::OpenFromMappingsFile(const std::string& path) {
   MS_RETURN_IF_ERROR(status());
-  // Fail-closed: load into scratch state first; the existing store keeps
+  const std::lock_guard<std::mutex> lock(writer_mu_);
+  // Fail-closed: load into the staged state first; the existing store keeps
   // serving if anything about the file is wrong.
   auto pool = std::make_shared<StringPool>();
   std::vector<SynthesizedMapping> mappings;
   MS_RETURN_IF_ERROR(
       persist::LoadMappingsTsv(path, pool.get(), &mappings, env_));
-  owned_corpus_.reset();
-  corpus_ = nullptr;
-  candidates_.reset();
-  blocked_.reset();
-  scored_.reset();
-  partitions_.reset();
-  pool_keepalive_ = std::move(pool);
-  last_result_ = SynthesisResult{};
-  last_result_.mappings = std::move(mappings);
-  last_result_.stats.mappings = last_result_.mappings.size();
-  return RebuildStore();
+  BuildState s;
+  s.replace_corpus = true;  // serving-only bootstrap: no corpus
+  s.pool = std::move(pool);
+  auto result = std::make_shared<SynthesisResult>();
+  result->mappings = std::move(mappings);
+  result->stats.mappings = result->mappings.size();
+  s.result = std::move(result);
+  return CommitAndPublish(std::move(s));
 }
 
 Status MappingService::AttachCorpus(const TableCorpus& corpus) {
+  const std::lock_guard<std::mutex> lock(writer_mu_);
   if (candidates_ == nullptr) {
     return Status::FailedPrecondition(
         "AttachCorpus: nothing synthesized yet — attach is for re-arming a "
@@ -202,12 +262,16 @@ Status MappingService::AttachCorpus(const TableCorpus& corpus) {
 }
 
 Status MappingService::AppendAndResynthesize(const TableCorpus& delta) {
-  return AppendChain(&delta);
+  const std::lock_guard<std::mutex> lock(writer_mu_);
+  return AppendChainLocked(&delta);
 }
 
-Status MappingService::ResynthesizeAppended() { return AppendChain(nullptr); }
+Status MappingService::ResynthesizeAppended() {
+  const std::lock_guard<std::mutex> lock(writer_mu_);
+  return AppendChainLocked(nullptr);
+}
 
-Status MappingService::AppendChain(const TableCorpus* delta) {
+Status MappingService::AppendChainLocked(const TableCorpus* delta) {
   if (candidates_ == nullptr) {
     return Status::FailedPrecondition(
         "Append: nothing synthesized yet — call Synthesize (or "
@@ -233,58 +297,92 @@ Status MappingService::AppendChain(const TableCorpus* delta) {
     if (owned_corpus_->size() != candidates_->source_tables) {
       return Status::FailedPrecondition(
           "AppendAndResynthesize: the corpus already grew past the "
-          "synthesized prefix — use ResynthesizeAppended() for externally "
-          "added tables");
+          "synthesized prefix (" +
+          std::to_string(owned_corpus_->size()) + " tables vs " +
+          std::to_string(candidates_->source_tables) +
+          " synthesized) — recover with ResynthesizeAppended(), which "
+          "synthesizes every externally added table; delta appends work "
+          "again once it succeeds");
     }
   } else if (corpus_->size() <= candidates_->source_tables) {
     return Status::FailedPrecondition(
         "ResynthesizeAppended: the corpus did not grow (still " +
         std::to_string(corpus_->size()) + " tables)");
   }
+  BuildState s = StageFromCurrent();
   // The cached graph must reflect the current synonym dictionary contents:
   // delta pairs would be scored under the new snapshot while base edges
   // keep old-dictionary weights, merging a graph no cold run could produce.
-  // Re-score first (same guard Resynthesize applies), then append.
+  // Re-score first (same guard Resynthesize applies), then append. The
+  // re-scored family lives only in the BuildState — a failure below
+  // publishes nothing.
   const SynonymDictionary* synonyms = session_.options().compat.synonyms;
   if (synonyms != nullptr &&
       synonyms->version() != scored_synonym_version_) {
-    MS_RETURN_IF_ERROR(RunChain(true, blocked_ != nullptr, false));
+    MS_RETURN_IF_ERROR(RunChain(&s, true, s.blocked != nullptr, false));
   }
   // A snapshot-restored family lacks the partition artifact; materialize
   // only what is missing. When blocked/scored were restored, a single
   // Partition() suffices — re-running the chain would redo conflict
-  // resolution and rebuild the store just to have the append discard both.
-  if (blocked_ == nullptr || scored_ == nullptr) {
+  // resolution just to have the append discard it.
+  if (s.blocked == nullptr || s.scored == nullptr) {
     MS_RETURN_IF_ERROR(
-        RunChain(true, blocked_ != nullptr, scored_ != nullptr));
-  } else if (partitions_ == nullptr) {
-    Result<Partitions> parts = session_.Partition(*scored_);
+        RunChain(&s, true, s.blocked != nullptr, s.scored != nullptr));
+  } else if (s.partitions == nullptr) {
+    Result<Partitions> parts = session_.Partition(*s.scored);
     if (!parts.ok()) return parts.status();
-    partitions_ = std::make_unique<Partitions>(std::move(parts).value());
+    s.partitions = std::make_shared<const Partitions>(std::move(parts).value());
   }
+  // The append protocol: remember the synthesized prefix, merge, append,
+  // and roll the merge back on ANY failure past it — a failed append must
+  // leave the corpus at the prefix the served artifacts describe, so the
+  // same delta can simply be retried (previously the grown corpus made
+  // every retry fail FailedPrecondition until ResynthesizeAppended).
+  const size_t prev_tables = corpus_->size();
   if (delta != nullptr) {
     Result<size_t> merged = owned_corpus_->AppendFrom(*delta);
     if (!merged.ok()) return merged.status();
   }
+  auto rollback_merge = [&] {
+    if (delta != nullptr && owned_corpus_ != nullptr &&
+        owned_corpus_->size() > prev_tables) {
+      owned_corpus_->Truncate(prev_tables);
+    }
+  };
   Result<AppendedArtifacts> appended = session_.AppendTables(
-      *corpus_, candidates_->source_tables, *candidates_, *blocked_,
-      *scored_, *partitions_, last_result_);
-  if (!appended.ok()) return appended.status();
+      *corpus_, s.candidates->source_tables, *s.candidates, *s.blocked,
+      *s.scored, *s.partitions, *s.result);
+  Status append_status =
+      appended.ok() ? ConsumeFault(ServingFault::kAppendCommit)
+                    : appended.status();
+  if (!append_status.ok()) {
+    rollback_merge();
+    return append_status;
+  }
   AppendedArtifacts family = std::move(appended).value();
-  candidates_ = std::make_unique<CandidateSet>(std::move(family.candidates));
-  blocked_ = std::make_unique<BlockedPairs>(std::move(family.blocked));
-  scored_ = std::make_unique<ScoredGraph>(std::move(family.scored));
-  partitions_ = std::make_unique<Partitions>(std::move(family.partitions));
+  s.candidates =
+      std::make_shared<const CandidateSet>(std::move(family.candidates));
+  s.blocked = std::make_shared<const BlockedPairs>(std::move(family.blocked));
+  s.scored = std::make_shared<const ScoredGraph>(std::move(family.scored));
+  s.partitions =
+      std::make_shared<const Partitions>(std::move(family.partitions));
   const SynonymDictionary* dict = session_.options().compat.synonyms;
-  scored_synonym_version_ = dict ? dict->version() : 0;
-  last_result_ = std::move(family.result);
+  s.scored_synonym_version = dict ? dict->version() : 0;
+  s.result = std::make_shared<const SynthesisResult>(std::move(family.result));
   // The merged artifacts resolve against the (possibly different) corpus
   // pool from here on.
-  pool_keepalive_ = corpus_->shared_pool();
-  return RebuildStore();
+  s.pool = corpus_->shared_pool();
+  const Status st = CommitAndPublish(std::move(s));
+  if (!st.ok()) rollback_merge();
+  return st;
 }
 
 Status MappingService::Resynthesize(SynthesisOptions new_options) {
+  const std::lock_guard<std::mutex> lock(writer_mu_);
+  return ResynthesizeLocked(std::move(new_options));
+}
+
+Status MappingService::ResynthesizeLocked(SynthesisOptions new_options) {
   if (candidates_ == nullptr) {
     return Status::FailedPrecondition(
         "Resynthesize: nothing synthesized yet — call Synthesize (or "
@@ -305,6 +403,9 @@ Status MappingService::Resynthesize(SynthesisOptions new_options) {
   if (!keep_candidates && corpus_ == nullptr) {
     // Snapshot-restored services carry artifacts but no raw corpus, so an
     // extraction-invalidating change has nothing to re-extract from.
+    // Fail-closed: the options roll back too (artifacts and configuration
+    // must describe the same generation).
+    (void)session_.UpdateOptions(old);
     return Status::FailedPrecondition(
         "Resynthesize: the extraction options changed but this service has "
         "no corpus (opened from a snapshot) — re-synthesize from a corpus "
@@ -316,78 +417,154 @@ Status MappingService::Resynthesize(SynthesisOptions new_options) {
       now.compat.synonyms->version() == scored_synonym_version_;
   const bool keep_scored =
       keep_blocked && old.compat == now.compat && synonyms_unchanged;
-  return RunChain(keep_candidates, keep_blocked && blocked_ != nullptr,
-                  keep_scored && scored_ != nullptr);
+  BuildState s = StageFromCurrent();
+  Status st = RunChain(&s, keep_candidates,
+                       keep_blocked && s.blocked != nullptr,
+                       keep_scored && s.scored != nullptr);
+  if (st.ok()) st = CommitAndPublish(std::move(s));
+  if (!st.ok()) {
+    // Fail-closed includes the session configuration: the served artifacts
+    // were built under `old`, so a failed transition must not leave `now`
+    // active (a later no-op-diff Resynthesize would serve stale artifacts
+    // as if rebuilt). `old` validated when it was first applied.
+    (void)session_.UpdateOptions(old);
+  }
+  return st;
 }
 
-Status MappingService::RunChain(bool have_candidates, bool have_blocked,
-                                bool have_scored) {
+MappingService::BuildState MappingService::StageFromCurrent() const {
+  BuildState s;
+  s.corpus = corpus_;
+  s.pool = pool_keepalive_;
+  s.candidates = candidates_;
+  s.blocked = blocked_;
+  s.scored = scored_;
+  s.partitions = partitions_;
+  s.result = last_result_;
+  s.scored_synonym_version = scored_synonym_version_;
+  return s;
+}
+
+Status MappingService::RunChain(BuildState* s, bool have_candidates,
+                                bool have_blocked, bool have_scored) {
   if (!have_candidates) {
-    Result<CandidateSet> c = session_.ExtractCandidates(*corpus_);
+    MS_RETURN_IF_ERROR(ConsumeFault(ServingFault::kExtract));
+    Result<CandidateSet> c = session_.ExtractCandidates(*s->corpus);
     if (!c.ok()) return c.status();
-    candidates_ = std::make_unique<CandidateSet>(std::move(c).value());
+    s->candidates = std::make_shared<const CandidateSet>(std::move(c).value());
     have_blocked = false;
     have_scored = false;
   }
   if (!have_blocked) {
-    Result<BlockedPairs> b = session_.BlockPairs(*candidates_);
+    MS_RETURN_IF_ERROR(ConsumeFault(ServingFault::kBlock));
+    Result<BlockedPairs> b = session_.BlockPairs(*s->candidates);
     if (!b.ok()) return b.status();
-    blocked_ = std::make_unique<BlockedPairs>(std::move(b).value());
+    s->blocked = std::make_shared<const BlockedPairs>(std::move(b).value());
     have_scored = false;
   }
   if (!have_scored) {
-    Result<ScoredGraph> g = session_.ScorePairs(*candidates_, *blocked_);
+    MS_RETURN_IF_ERROR(ConsumeFault(ServingFault::kScore));
+    Result<ScoredGraph> g = session_.ScorePairs(*s->candidates, *s->blocked);
     if (!g.ok()) return g.status();
-    scored_ = std::make_unique<ScoredGraph>(std::move(g).value());
+    s->scored = std::make_shared<const ScoredGraph>(std::move(g).value());
     const SynonymDictionary* dict = session_.options().compat.synonyms;
-    scored_synonym_version_ = dict ? dict->version() : 0;
+    s->scored_synonym_version = dict ? dict->version() : 0;
   }
-  Result<Partitions> parts = session_.Partition(*scored_);
+  MS_RETURN_IF_ERROR(ConsumeFault(ServingFault::kPartition));
+  Result<Partitions> parts = session_.Partition(*s->scored);
   if (!parts.ok()) return parts.status();
-  partitions_ = std::make_unique<Partitions>(std::move(parts).value());
+  s->partitions = std::make_shared<const Partitions>(std::move(parts).value());
+  MS_RETURN_IF_ERROR(ConsumeFault(ServingFault::kResolve));
   Result<SynthesisResult> r =
-      session_.Resolve(*candidates_, *scored_, *partitions_);
+      session_.Resolve(*s->candidates, *s->scored, *s->partitions);
   if (!r.ok()) return r.status();
-  last_result_ = std::move(r).value();
-  return RebuildStore();
+  s->result = std::make_shared<const SynthesisResult>(std::move(r).value());
+  return Status::OK();
 }
 
-Status MappingService::RebuildStore() {
-  if (pool_keepalive_ == nullptr) {
-    return Status::Internal("RebuildStore: no string pool handle");
+Status MappingService::CommitAndPublish(BuildState&& s) {
+  MS_RETURN_IF_ERROR(ConsumeFault(ServingFault::kPublish));
+  if (s.pool == nullptr) {
+    return Status::Internal("CommitAndPublish: no string pool handle");
   }
-  // Store lookups must normalize exactly like the pipeline did, or raw user
-  // probes ("CA ", "California[1]") miss values the pipeline matched.
-  auto store = std::make_unique<MappingStore>(
-      pool_keepalive_, session_.options().extraction.normalize);
-  for (const auto& m : last_result_.mappings) {
+  if (s.result == nullptr) {
+    return Status::Internal("CommitAndPublish: no synthesis result");
+  }
+  // Build the next generation's store off to the side. Store lookups must
+  // normalize exactly like the pipeline did, or raw user probes ("CA ",
+  // "California[1]") miss values the pipeline matched.
+  auto store = std::make_shared<MappingStore>(
+      s.pool, session_.options().extraction.normalize,
+      containment_index_shards_);
+  for (const auto& m : s.result->mappings) {
     store->Add(m, m.left_label + "->" + m.right_label);
   }
+  // Point of no return: from here on everything is noexcept pointer moves,
+  // finished by one atomic release-store. Readers either see the complete
+  // previous generation or the complete new one — never a mix.
+  if (s.replace_corpus) {
+    owned_corpus_ = std::move(s.owned_corpus);
+    corpus_ = owned_corpus_ != nullptr ? owned_corpus_.get() : s.corpus;
+  }
+  pool_keepalive_ = std::move(s.pool);
+  candidates_ = std::move(s.candidates);
+  blocked_ = std::move(s.blocked);
+  scored_ = std::move(s.scored);
+  partitions_ = std::move(s.partitions);
+  scored_synonym_version_ = s.scored_synonym_version;
+  last_result_ = std::move(s.result);
   store_ = std::move(store);
+  auto snap = std::make_shared<const ServingSnapshot>(ServingSnapshot{
+      store_, pool_keepalive_, last_result_, ++versions_published_});
+  serving_.store(std::move(snap), std::memory_order_release);
+  {
+    // Every successful transition serves fresh state: the rotation walk
+    // that degraded an *earlier* generation says nothing about this one.
+    // The rotation-aware entry points re-record their walk right after.
+    const std::lock_guard<std::mutex> h(health_mu_);
+    generation_served_ = 0;
+    generations_skipped_ = 0;
+    quarantined_files_.clear();
+  }
   return Status::OK();
+}
+
+std::vector<std::optional<std::string>> MappingService::LookupBatch(
+    size_t mapping_index, const std::vector<std::string>& values,
+    LookupDirection direction) const {
+  const auto snap = AcquireSnapshot();
+  if (snap == nullptr || mapping_index >= snap->store->size()) {
+    return std::vector<std::optional<std::string>>(values.size());
+  }
+  return direction == LookupDirection::kLeftToRight
+             ? snap->store->LookupRightBatch(mapping_index, values)
+             : snap->store->LookupLeftBatch(mapping_index, values);
 }
 
 AutoCorrectResult MappingService::SuggestCorrections(
     const std::vector<std::string>& column,
     const AutoCorrectOptions& options) const {
-  if (!store_) return AutoCorrectResult{};
-  return ::ms::SuggestCorrections(*store_, column, options);
+  const auto snap = AcquireSnapshot();
+  if (snap == nullptr) return AutoCorrectResult{};
+  return ::ms::SuggestCorrections(*snap->store, column, options);
 }
 
 AutoFillResult MappingService::AutoFill(
     const std::vector<std::string>& keys,
     const std::vector<std::pair<size_t, std::string>>& examples,
     const AutoFillOptions& options) const {
-  if (!store_) return AutoFillResult{};
-  return ::ms::AutoFill(*store_, keys, examples, options);
+  const auto snap = AcquireSnapshot();
+  if (snap == nullptr) return AutoFillResult{};
+  return ::ms::AutoFill(*snap->store, keys, examples, options);
 }
 
 AutoJoinResult MappingService::AutoJoin(
     const std::vector<std::string>& left_keys,
     const std::vector<std::string>& right_keys,
     const AutoJoinOptions& options) const {
-  if (!store_) return AutoJoinResult{};
-  return ::ms::AutoJoin(*store_, left_keys, right_keys, options);
+  const auto snap = AcquireSnapshot();
+  if (snap == nullptr) return AutoJoinResult{};
+  return ::ms::AutoJoin(*snap->store, left_keys, right_keys, options);
 }
 
 }  // namespace ms

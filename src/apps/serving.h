@@ -14,11 +14,32 @@
 //   svc.Resynthesize(opts);                  // warm: re-scores the cached
 //                                            // BlockedPairs, nothing above
 //
-// Every fallible entry point returns Status; a service never silently
-// serves from a store that failed to build.
+// Concurrency model (docs/serving.md has the full contract): the service
+// separates wait-free readers from serialized writers RCU-style.
+//
+//   - Readers (SuggestCorrections / AutoFill / AutoJoin / LookupBatch /
+//     AcquireSnapshot / has_store / num_mappings / health) never touch
+//     mutable session state: each call acquire-loads the current immutable
+//     ServingSnapshot from one atomic pointer and runs entirely against it.
+//     No locks, no waiting on writers, any number of threads.
+//   - Writers (Synthesize* / Resynthesize / AppendAndResynthesize /
+//     ResynthesizeAppended / Open* / Save* / AttachCorpus / set_env)
+//     serialize on an internal mutex, build the next generation's
+//     artifacts and store off to the side, and publish them with a single
+//     atomic store. A reader holding the old snapshot keeps serving it —
+//     shared_ptr ownership keeps the old store and pool alive until the
+//     last in-flight call drops its handle.
+//
+// Every fallible entry point returns Status and is fail-closed: a failed
+// transition leaves the previous serving state — store, pool, artifacts,
+// corpus, options, and health() — exactly as it was.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -33,8 +54,10 @@
 namespace ms {
 
 /// Operator-facing account of how the service got to its current serving
-/// state. Populated by the rotation-aware entry points; a plain
-/// OpenFromSnapshot/SaveSnapshot run leaves it at its defaults.
+/// state. Rotation fields are populated by the rotation-aware entry points
+/// and reset by every successful serving-state transition (a freshly
+/// synthesized or plainly opened service is healthy by definition — see
+/// docs/serving.md for the exact reset semantics).
 struct ServiceHealth {
   /// Generation currently served (0 until a rotating open/save succeeds).
   uint64_t generation_served = 0;
@@ -56,6 +79,66 @@ struct ServiceHealth {
   }
 };
 
+/// One immutable serving generation: everything a lookup needs, published
+/// atomically as a unit. Acquire a handle once per request (or batch of
+/// requests that must agree) and every probe against it is consistent —
+/// the store was built from exactly `result`'s mappings against exactly
+/// `pool`. Handles are plain shared_ptrs: safe to hold across writer
+/// transitions (the generation stays alive until the last handle drops)
+/// and safe to pass between threads.
+struct ServingSnapshot {
+  std::shared_ptr<const MappingStore> store;   ///< never null when published
+  std::shared_ptr<StringPool> pool;            ///< pins store's value strings
+  std::shared_ptr<const SynthesisResult> result;  ///< never null; has stats
+  /// Monotonic publication counter (1 = first successful transition).
+  /// Readers can assert they never observe it moving backwards.
+  uint64_t version = 0;
+};
+
+namespace internal {
+
+#if !defined(MS_TSAN_BUILD) && defined(__SANITIZE_THREAD__)
+#define MS_TSAN_BUILD 1
+#endif
+#if !defined(MS_TSAN_BUILD) && defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MS_TSAN_BUILD 1
+#endif
+#endif
+
+#if defined(MS_TSAN_BUILD)
+/// TSan builds publish through a mutex instead of std::atomic<shared_ptr>.
+/// GCC 12's _Sp_atomic::load releases its internal spin-bit with
+/// memory_order_relaxed after reading _M_ptr (bits/shared_ptr_atomic.h), so
+/// the writer's later lock acquisition never formally synchronizes with a
+/// reader's unlock — ThreadSanitizer reports the _M_ptr swap racing reader
+/// loads inside the standard library. Substituting a mutex here (identical
+/// semantics: one publication point, immutable snapshots) lets TSan verify
+/// OUR protocol instead of libstdc++'s internals. Production builds keep
+/// the wait-free atomic below.
+class ServingSnapshotCell {
+ public:
+  std::shared_ptr<const ServingSnapshot> load(std::memory_order) const {
+    const std::lock_guard<std::mutex> lk(mu_);
+    return ptr_;
+  }
+  void store(std::shared_ptr<const ServingSnapshot> next, std::memory_order) {
+    const std::lock_guard<std::mutex> lk(mu_);
+    ptr_ = std::move(next);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ServingSnapshot> ptr_;
+};
+#else
+/// The RCU publication slot: readers acquire-load a handle wait-free,
+/// writers release-store the next finished generation.
+using ServingSnapshotCell = std::atomic<std::shared_ptr<const ServingSnapshot>>;
+#endif
+
+}  // namespace internal
+
 class MappingService {
  public:
   explicit MappingService(SynthesisOptions options = {});
@@ -71,11 +154,8 @@ class MappingService {
   /// snapshot save/restore, rotation bookkeeping) through `env`. nullptr
   /// restores the process-wide PosixEnv. The env must outlive the service;
   /// it is not part of the options fingerprint, so snapshots interoperate
-  /// across envs.
-  void set_env(Env* env) {
-    env_ = env != nullptr ? env : Env::Default();
-    session_.set_env(env_);
-  }
+  /// across envs. Writer-serialized.
+  void set_env(Env* env);
   Env* env() const { return env_; }
 
   /// Runs the full staged chain on `corpus` and rebuilds the store. The
@@ -115,7 +195,10 @@ class MappingService {
   /// prunes live generations beyond `keep` (quarantined *.corrupt files
   /// are never touched). A failure at any step leaves every previously
   /// committed generation intact — the tmp file is the only possible
-  /// debris, and the next save reclaims it.
+  /// debris, and the next save reclaims it. On success health() serves the
+  /// new generation with a cleared skip/quarantine record: the committed
+  /// write proves the degradation recorded by an earlier recovery walk is
+  /// behind us.
   Status SaveSnapshotRotating(const std::string& dir,
                               int keep = persist::kDefaultRetainedGenerations);
 
@@ -131,6 +214,8 @@ class MappingService {
 
   /// How the service got to its serving state: generation served,
   /// fallbacks taken, files quarantined, transient retries absorbed.
+  /// Wait-free for readers (internal bookkeeping mutex, never held across
+  /// a chain run).
   ServiceHealth health() const;
 
   /// Serving-only bootstrap from a curated mappings TSV
@@ -149,7 +234,9 @@ class MappingService {
   /// coherence re-check), untouched components' mappings carry over, and
   /// the store is rebuilt from the merged result. The service must own or
   /// have an attached corpus (Synthesize*/AttachCorpus) — a purely
-  /// snapshot-restored service has nothing to extract from.
+  /// snapshot-restored service has nothing to extract from. Fail-closed
+  /// AND recoverable: a failed append rolls the corpus merge back, so the
+  /// same delta can simply be retried.
   Status AppendAndResynthesize(const TableCorpus& delta);
 
   /// Same append path for an externally-owned corpus the caller already
@@ -171,36 +258,83 @@ class MappingService {
   /// CompatibilityOptions re-score the cached BlockedPairs; changed
   /// partitioner/conflict/curation options re-partition the cached
   /// ScoredGraph. FailedPrecondition when nothing was synthesized yet.
+  /// Fail-closed including the options themselves: a failed re-run restores
+  /// the previous options, so the served artifacts and the session
+  /// configuration never drift apart.
   Status Resynthesize(SynthesisOptions new_options);
 
-  /// The indexed store applications query. Valid after a successful
-  /// Synthesize*/Resynthesize.
-  const MappingStore& store() const { return *store_; }
-  bool has_store() const { return store_ != nullptr; }
-  size_t num_mappings() const { return store_ ? store_->size() : 0; }
+  // --------------------------------------------------- snapshot readers
 
-  /// Full result (stats included) of the last successful synthesis. Note
-  /// the store holds its own copy of every mapping (it normalizes and
-  /// indexes them independently), so the service keeps two copies of the
-  /// mapping set; callers that only serve lookups and never read
-  /// last_result().mappings can clear it.
-  const SynthesisResult& last_result() const { return last_result_; }
+  /// The current serving generation, or nullptr before the first
+  /// successful transition. One acquire-load; hold the handle for as many
+  /// lookups as must agree with each other (a single app call does this
+  /// internally). See ServingSnapshot for lifetime rules.
+  std::shared_ptr<const ServingSnapshot> AcquireSnapshot() const {
+    return serving_.load(std::memory_order_acquire);
+  }
+
+  /// Lookup direction for LookupBatch.
+  enum class LookupDirection { kLeftToRight, kRightToLeft };
+
+  /// Batched functional lookup against the current snapshot: element k is
+  /// mapping `mapping_index`'s (normalized) image of values[k], or nullopt
+  /// when absent. Amortizes normalization and hash probes over the batch
+  /// (distinct values probe once — see MappingStore::LookupRightBatch).
+  /// All-nullopt when nothing is served yet or the index is out of range.
+  /// Wait-free reader.
+  std::vector<std::optional<std::string>> LookupBatch(
+      size_t mapping_index, const std::vector<std::string>& values,
+      LookupDirection direction = LookupDirection::kLeftToRight) const;
+
+  /// True when a serving snapshot is published. Wait-free reader.
+  bool has_store() const { return AcquireSnapshot() != nullptr; }
+  /// Mappings in the current snapshot's store (0 before the first
+  /// transition). Wait-free reader.
+  size_t num_mappings() const {
+    const auto snap = AcquireSnapshot();
+    return snap ? snap->store->size() : 0;
+  }
+
+  /// The indexed store applications query. Valid after a successful
+  /// Synthesize*/Resynthesize. NOT a wait-free reader: the reference is
+  /// only stable while no writer runs — single-threaded callers and tests
+  /// use this; concurrent readers must AcquireSnapshot() and use
+  /// snapshot->store.
+  const MappingStore& store() const { return *store_; }
+
+  /// Full result (stats included) of the last successful synthesis. Same
+  /// writer-synchronization caveat as store(); concurrent readers use
+  /// AcquireSnapshot()->result. Note the store holds its own copy of every
+  /// mapping (it normalizes and indexes them independently), so the
+  /// service keeps two copies of the mapping set.
+  const SynthesisResult& last_result() const {
+    static const SynthesisResult kEmpty;
+    return last_result_ ? *last_result_ : kEmpty;
+  }
 
   /// The string pool serving state resolves against (snapshot pool after a
   /// restore, corpus pool otherwise). Lets callers compare mapping content
-  /// across services without assuming id compatibility.
+  /// across services without assuming id compatibility. Same
+  /// writer-synchronization caveat as store().
   const std::shared_ptr<StringPool>& shared_pool() const {
     return pool_keepalive_;
   }
 
   /// Stage-run counters of the underlying session; lets operators verify a
-  /// Resynthesize actually skipped the upstream stages.
+  /// Resynthesize actually skipped the upstream stages. Writer-side
+  /// observability (same caveat as store()).
   const SynthesisSession::SessionStats& session_stats() const {
     return session_.session_stats();
   }
 
+  /// Shards for the store's containment index, applied at the next
+  /// successful transition's store build (0 = bloom-screened scan; see
+  /// MappingStore). Writer-serialized.
+  void set_containment_index_shards(size_t shards);
+
   // ------------------------------------------------- serving entry points
-  // Thin forwards to the paper's three applications, bound to the store.
+  // Thin forwards to the paper's three applications, each bound to one
+  // acquired snapshot for its whole run. Wait-free readers.
 
   AutoCorrectResult SuggestCorrections(
       const std::vector<std::string>& column,
@@ -215,39 +349,104 @@ class MappingService {
                           const std::vector<std::string>& right_keys,
                           const AutoJoinOptions& options = {}) const;
 
+  // --------------------------------------------------- test-only faults
+
+  /// Deterministic chain-failure points for the fail-closed regression
+  /// tests — the CPU-side analog of the persistence layer's
+  /// FaultInjectionEnv (tests/fault_test.cc). The next time any entry
+  /// point reaches the armed point it fails once with Internal. Not a
+  /// production surface.
+  enum class ServingFault {
+    kNone = 0,
+    kExtract,        ///< before stage 1 of a chain run
+    kBlock,          ///< before stage 2
+    kScore,          ///< before stage 3
+    kPartition,      ///< before stage 4
+    kResolve,        ///< before stage 5
+    kAppendCommit,   ///< after the session append succeeded, before commit
+    kPublish,        ///< at the head of commit, before any state mutates
+  };
+  void InjectFaultForTests(ServingFault point);
+
  private:
-  /// Installs the corpus (owned or caller-owned), drops every cached stage
-  /// artifact, and runs the full chain — the shared preamble of all three
-  /// Synthesize* entry points, so per-run state resets cannot drift apart.
-  Status StartFreshRun(std::unique_ptr<TableCorpus> owned,
-                       const TableCorpus* external);
-  Status RunChain(bool have_candidates, bool have_blocked, bool have_scored);
-  /// Shared core of the two append entry points: `delta` is merged into an
-  /// owned corpus first when non-null; then every table beyond the
-  /// synthesized prefix goes through the session's append path.
-  Status AppendChain(const TableCorpus* delta);
-  Status RebuildStore();
+  /// The next generation under construction: every transition stages its
+  /// entire outcome here (cheap shared_ptr aliases of whatever it reuses)
+  /// and only CommitAndPublish moves it into the served members — mid-chain
+  /// failures cannot leave mixed-generation state by construction.
+  struct BuildState {
+    /// When true the commit replaces the service's corpus with
+    /// owned_corpus/corpus below (fresh runs and snapshot opens); when
+    /// false the current corpus pointers are kept (resynthesis, appends).
+    bool replace_corpus = false;
+    std::unique_ptr<TableCorpus> owned_corpus;
+    const TableCorpus* corpus = nullptr;  ///< extraction source for the build
+    std::shared_ptr<StringPool> pool;
+    std::shared_ptr<const CandidateSet> candidates;
+    std::shared_ptr<const BlockedPairs> blocked;
+    std::shared_ptr<const ScoredGraph> scored;
+    std::shared_ptr<const Partitions> partitions;
+    std::shared_ptr<const SynthesisResult> result;
+    uint64_t scored_synonym_version = 0;
+  };
+
+  /// Stages the current family (shared aliases, current corpus) as the
+  /// starting point of an incremental transition.
+  BuildState StageFromCurrent() const;
+  /// Runs the staged chain into `s` from the deepest present artifact.
+  Status RunChain(BuildState* s, bool have_candidates, bool have_blocked,
+                  bool have_scored);
+  /// Builds the next store from `s` and atomically publishes the new
+  /// generation; on success also resets the rotation bookkeeping (every
+  /// successful transition serves fresh, healthy state). The only method
+  /// that mutates served members, and it never fails after the first
+  /// member assignment.
+  Status CommitAndPublish(BuildState&& s);
+  Status ConsumeFault(ServingFault point);
+
+  // Writer implementations; writer_mu_ must be held.
+  Status StartFreshRunLocked(std::unique_ptr<TableCorpus> owned,
+                             const TableCorpus* external);
+  Status OpenFromSnapshotLocked(const std::string& path);
+  Status SaveSnapshotLocked(const std::string& path);
+  Status AppendChainLocked(const TableCorpus* delta);
+  Status ResynthesizeLocked(SynthesisOptions new_options);
 
   SynthesisSession session_;
   Env* env_ = Env::Default();
+
+  /// Serializes every mutating entry point; never held by readers.
+  mutable std::mutex writer_mu_;
+
   std::unique_ptr<TableCorpus> owned_corpus_;     ///< SynthesizeFromFile
   const TableCorpus* corpus_ = nullptr;           ///< source of artifacts
   std::shared_ptr<StringPool> pool_keepalive_;
 
-  // Materialized stage artifacts of the last chain (resume points).
-  std::unique_ptr<CandidateSet> candidates_;
-  std::unique_ptr<BlockedPairs> blocked_;
-  std::unique_ptr<ScoredGraph> scored_;
-  std::unique_ptr<Partitions> partitions_;
+  // Materialized stage artifacts of the last chain (resume points). Shared
+  // const handles so staging a transition aliases them for free and a
+  // commit swaps the whole family at once.
+  std::shared_ptr<const CandidateSet> candidates_;
+  std::shared_ptr<const BlockedPairs> blocked_;
+  std::shared_ptr<const ScoredGraph> scored_;
+  std::shared_ptr<const Partitions> partitions_;
   /// Synonym-dictionary version the cached graph was scored at; mutations
   /// behind an unchanged pointer must invalidate the graph.
   uint64_t scored_synonym_version_ = 0;
 
-  SynthesisResult last_result_;
-  std::unique_ptr<MappingStore> store_;
+  std::shared_ptr<const SynthesisResult> last_result_;
+  std::shared_ptr<const MappingStore> store_;
+  size_t containment_index_shards_ = 0;
+  uint64_t versions_published_ = 0;
+  ServingFault injected_fault_ = ServingFault::kNone;
 
-  /// Rotation bookkeeping behind health(); retries_performed is read live
-  /// from the env so plain-path retries count too.
+  /// The RCU publication point: readers acquire-load, CommitAndPublish
+  /// release-stores. Never null after the first successful transition.
+  /// (Mutex-guarded under TSan — see internal::ServingSnapshotCell.)
+  internal::ServingSnapshotCell serving_;
+
+  /// Rotation bookkeeping behind health(); its own mutex so readers polling
+  /// health never contend with a chain run (writer_mu_ is held across
+  /// whole transitions). Lock order: writer_mu_ before health_mu_.
+  mutable std::mutex health_mu_;
   uint64_t generation_served_ = 0;
   uint64_t generations_skipped_ = 0;
   std::vector<std::string> quarantined_files_;

@@ -286,6 +286,7 @@ SynthesisSession::SynthesisSession(SynthesisOptions options)
 SynthesisSession::~SynthesisSession() = default;
 
 Status SynthesisSession::UpdateOptions(SynthesisOptions options) {
+  const std::lock_guard<std::recursive_mutex> lock(run_mu_);
   MS_RETURN_IF_ERROR(options.Validate());
   const bool threads_changed =
       options.num_threads != options_.num_threads || threads_ == nullptr;
@@ -363,6 +364,7 @@ ConflictResolutionOptions SynthesisSession::EffectiveConflict() {
 
 Result<CandidateSet> SynthesisSession::ExtractCandidates(
     const TableCorpus& corpus) {
+  const std::lock_guard<std::recursive_mutex> lock(run_mu_);
   MS_RETURN_IF_ERROR(ReadyToRun());
   CandidateSet out;
   Timer step;
@@ -394,6 +396,7 @@ Result<CandidateSet> SynthesisSession::ExtractCandidates(
 
 Result<CandidateSet> SynthesisSession::AdoptCandidates(
     const std::vector<BinaryTable>& candidates, const StringPool& pool) {
+  const std::lock_guard<std::recursive_mutex> lock(run_mu_);
   MS_RETURN_IF_ERROR(ReadyToRun());
   for (size_t i = 0; i < candidates.size(); ++i) {
     if (candidates[i].id != static_cast<BinaryTableId>(i)) {
@@ -415,6 +418,7 @@ Result<CandidateSet> SynthesisSession::AdoptCandidates(
 
 Result<BlockedPairs> SynthesisSession::BlockPairs(
     const CandidateSet& candidates) {
+  const std::lock_guard<std::recursive_mutex> lock(run_mu_);
   MS_RETURN_IF_ERROR(ReadyToRun());
   MS_RETURN_IF_ERROR(CheckSameSession("BlockPairs", candidates.session));
   BlockedPairs out;
@@ -483,6 +487,7 @@ CompatibilityGraph SynthesisSession::ScoreThroughSessionMatchers(
 
 Result<ScoredGraph> SynthesisSession::ScorePairs(
     const CandidateSet& candidates, const BlockedPairs& blocked) {
+  const std::lock_guard<std::recursive_mutex> lock(run_mu_);
   MS_RETURN_IF_ERROR(ReadyToRun());
   // Both artifacts must come from this session — artifact ids are only
   // unique within one session's counter, so the id comparison below is
@@ -509,6 +514,7 @@ Result<ScoredGraph> SynthesisSession::ScorePairs(
 }
 
 Result<Partitions> SynthesisSession::Partition(const ScoredGraph& sg) {
+  const std::lock_guard<std::recursive_mutex> lock(run_mu_);
   MS_RETURN_IF_ERROR(ReadyToRun());
   MS_RETURN_IF_ERROR(CheckSameSession("Partition", sg.session));
   const CompatibilityGraph& graph = sg.graph;
@@ -574,6 +580,7 @@ Result<Partitions> SynthesisSession::Partition(const ScoredGraph& sg) {
 Result<SynthesisResult> SynthesisSession::Resolve(
     const CandidateSet& candidates, const ScoredGraph& graph,
     const Partitions& partitions) {
+  const std::lock_guard<std::recursive_mutex> lock(run_mu_);
   MS_RETURN_IF_ERROR(ReadyToRun());
   MS_RETURN_IF_ERROR(CheckSameSession("Resolve", candidates.session));
   MS_RETURN_IF_ERROR(CheckLineage("Resolve", graph.session,
@@ -673,6 +680,7 @@ Result<AppendedArtifacts> SynthesisSession::AppendTables(
     const CandidateSet& candidates, const BlockedPairs& blocked,
     const ScoredGraph& scored, const Partitions& partitions,
     const SynthesisResult& result) {
+  const std::lock_guard<std::recursive_mutex> lock(run_mu_);
   MS_RETURN_IF_ERROR(
       ValidateAppendFamily(candidates, blocked, scored, partitions, result));
   if (first_new_table != candidates.source_tables) {
@@ -1040,6 +1048,7 @@ Result<AppendedArtifacts> SynthesisSession::AppendCorpus(
     const CandidateSet& candidates, const BlockedPairs& blocked,
     const ScoredGraph& scored, const Partitions& partitions,
     const SynthesisResult& result) {
+  const std::lock_guard<std::recursive_mutex> lock(run_mu_);
   if (corpus == nullptr) {
     return Status::InvalidArgument("AppendCorpus: corpus is null");
   }
@@ -1068,6 +1077,7 @@ Status SynthesisSession::SaveSnapshot(const std::string& path,
                                       const BlockedPairs* blocked,
                                       const ScoredGraph* scored,
                                       const SynthesisResult* result) {
+  const std::lock_guard<std::recursive_mutex> lock(run_mu_);
   MS_RETURN_IF_ERROR(ReadyToRun());
   MS_RETURN_IF_ERROR(CheckSameSession("SaveSnapshot", candidates.session));
   if (blocked != nullptr) {
@@ -1089,6 +1099,7 @@ Status SynthesisSession::SaveSnapshot(const std::string& path,
 
 Result<SessionSnapshot> SynthesisSession::RestoreSnapshot(
     const std::string& path) {
+  const std::lock_guard<std::recursive_mutex> lock(run_mu_);
   MS_RETURN_IF_ERROR(ReadyToRun());
   Result<SessionSnapshot> loaded =
       persist::LoadSessionSnapshot(path, OptionsFingerprint(options_), env_);
@@ -1130,6 +1141,7 @@ Result<SessionSnapshot> SynthesisSession::RestoreSnapshot(
 // ---------------------------------------------------------------- composites
 
 Result<SynthesisResult> SynthesisSession::Run(const TableCorpus& corpus) {
+  const std::lock_guard<std::recursive_mutex> lock(run_mu_);
   Timer total;
   Result<CandidateSet> cands = ExtractCandidates(corpus);
   if (!cands.ok()) return cands.status();
@@ -1142,6 +1154,7 @@ Result<SynthesisResult> SynthesisSession::Run(const TableCorpus& corpus) {
 
 Result<SynthesisResult> SynthesisSession::RunOnCandidates(
     const std::vector<BinaryTable>& candidates, const StringPool& pool) {
+  const std::lock_guard<std::recursive_mutex> lock(run_mu_);
   Timer total;
   Result<CandidateSet> cands = AdoptCandidates(candidates, pool);
   if (!cands.ok()) return cands.status();
@@ -1154,6 +1167,7 @@ Result<SynthesisResult> SynthesisSession::RunOnCandidates(
 
 Result<SynthesisResult> SynthesisSession::RunOnCorpusFile(
     const std::string& path, TableCorpus* corpus) {
+  const std::lock_guard<std::recursive_mutex> lock(run_mu_);
   if (corpus == nullptr) {
     return Status::InvalidArgument(
         "RunOnCorpusFile: corpus out-parameter is null (the caller owns the "
@@ -1166,6 +1180,7 @@ Result<SynthesisResult> SynthesisSession::RunOnCorpusFile(
 
 Result<SynthesisResult> SynthesisSession::FinishFromCandidates(
     const CandidateSet& candidates) {
+  const std::lock_guard<std::recursive_mutex> lock(run_mu_);
   Result<BlockedPairs> blocked = BlockPairs(candidates);
   if (!blocked.ok()) return blocked.status();
   return FinishFromBlocked(candidates, blocked.value());
@@ -1173,6 +1188,7 @@ Result<SynthesisResult> SynthesisSession::FinishFromCandidates(
 
 Result<SynthesisResult> SynthesisSession::FinishFromBlocked(
     const CandidateSet& candidates, const BlockedPairs& blocked) {
+  const std::lock_guard<std::recursive_mutex> lock(run_mu_);
   Result<ScoredGraph> graph = ScorePairs(candidates, blocked);
   if (!graph.ok()) return graph.status();
   Result<Partitions> parts = Partition(graph.value());

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -479,6 +480,16 @@ class SynthesisSession {
                               const ScoredGraph& scored,
                               const Partitions& partitions,
                               const SynthesisResult& result) const;
+
+  /// Writer-side mutual exclusion: every public stage/composite/persistence
+  /// entry point locks this, so two threads driving the same session
+  /// serialize instead of corrupting the warm state (matcher caches,
+  /// synonym snapshot, artifact-id counter, stage counters). Recursive
+  /// because composites (Run, AppendCorpus, …) re-enter the stage entry
+  /// points. This makes concurrent *writes* safe, not cheap — the serving
+  /// tier (MappingService) keeps reads off the session entirely via
+  /// immutable ServingSnapshots; see docs/serving.md.
+  mutable std::recursive_mutex run_mu_;
 
   SynthesisOptions options_;
   Status init_status_;

@@ -65,6 +65,11 @@ Result<size_t> TableCorpus::AppendFrom(const TableCorpus& other) {
   return first_new;
 }
 
+void TableCorpus::Truncate(size_t num_tables) {
+  if (num_tables >= tables_.size()) return;
+  tables_.resize(num_tables);
+}
+
 size_t TableCorpus::TotalColumns() const {
   size_t n = 0;
   for (const auto& t : tables_) n += t.num_columns();

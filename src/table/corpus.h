@@ -49,6 +49,14 @@ class TableCorpus {
   /// downstream extraction.
   Result<size_t> AppendFrom(const TableCorpus& other);
 
+  /// Drops every table at index >= `num_tables` (no-op when the corpus is
+  /// already that small or smaller). The rollback half of the append
+  /// protocol: a failed append undoes its AppendFrom merge so retries see
+  /// the exact pre-append corpus. Pool entries interned by the dropped
+  /// tables remain — ids are append-only by design — which is harmless:
+  /// unreferenced ids cost memory, never correctness.
+  void Truncate(size_t num_tables);
+
   const std::vector<Table>& tables() const { return tables_; }
   const Table& table(TableId id) const { return tables_[id]; }
   size_t size() const { return tables_.size(); }
