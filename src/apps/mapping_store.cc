@@ -182,21 +182,41 @@ std::optional<std::string> MappingStore::LookupLeft(
   return it->second;
 }
 
-std::vector<std::optional<std::string>> MappingStore::LookupRightBatch(
-    size_t i, const std::vector<std::string>& raw_lefts) const {
-  const Entry& e = entries_[i];
-  std::vector<std::string> distinct;
-  const std::vector<size_t> slot_of = DedupNormalized(raw_lefts, &distinct);
-  std::vector<const std::string*> per_slot(distinct.size(), nullptr);
-  for (size_t s = 0; s < distinct.size(); ++s) {
-    auto it = e.left_to_right.find(distinct[s]);
-    if (it != e.left_to_right.end()) per_slot[s] = &it->second;
+void MappingStore::DedupNormalized(const std::vector<std::string>& raw_values,
+                                   BatchScratch* scratch) const {
+  // clear() keeps the slot map's buckets and the vectors' capacity, so a
+  // long-lived scratch (one per serving connection) pays the map/vector
+  // allocations once instead of per request.
+  scratch->distinct.clear();
+  scratch->slot_of.clear();
+  scratch->slots.clear();
+  scratch->slot_of.reserve(raw_values.size());
+  if (scratch->slots.bucket_count() < raw_values.size()) {
+    scratch->slots.reserve(raw_values.size());
+  }
+  for (const auto& raw : raw_values) {
+    std::string normed = Norm(raw);
+    auto [it, inserted] =
+        scratch->slots.emplace(std::move(normed), scratch->distinct.size());
+    if (inserted) scratch->distinct.push_back(it->first);
+    scratch->slot_of.push_back(it->second);
+  }
+}
+
+std::vector<std::optional<std::string>> MappingStore::LookupBatchImpl(
+    const std::unordered_map<std::string, std::string>& map,
+    const std::vector<std::string>& raw_values, BatchScratch* scratch) const {
+  DedupNormalized(raw_values, scratch);
+  scratch->per_slot.assign(scratch->distinct.size(), nullptr);
+  for (size_t s = 0; s < scratch->distinct.size(); ++s) {
+    auto it = map.find(scratch->distinct[s]);
+    if (it != map.end()) scratch->per_slot[s] = &it->second;
   }
   std::vector<std::optional<std::string>> out;
-  out.reserve(raw_lefts.size());
-  for (size_t slot : slot_of) {
-    if (per_slot[slot] != nullptr) {
-      out.emplace_back(*per_slot[slot]);
+  out.reserve(raw_values.size());
+  for (size_t slot : scratch->slot_of) {
+    if (scratch->per_slot[slot] != nullptr) {
+      out.emplace_back(*scratch->per_slot[slot]);
     } else {
       out.emplace_back(std::nullopt);
     }
@@ -204,26 +224,28 @@ std::vector<std::optional<std::string>> MappingStore::LookupRightBatch(
   return out;
 }
 
+std::vector<std::optional<std::string>> MappingStore::LookupRightBatch(
+    size_t i, const std::vector<std::string>& raw_lefts) const {
+  BatchScratch scratch;
+  return LookupRightBatch(i, raw_lefts, &scratch);
+}
+
 std::vector<std::optional<std::string>> MappingStore::LookupLeftBatch(
     size_t i, const std::vector<std::string>& raw_rights) const {
-  const Entry& e = entries_[i];
-  std::vector<std::string> distinct;
-  const std::vector<size_t> slot_of = DedupNormalized(raw_rights, &distinct);
-  std::vector<const std::string*> per_slot(distinct.size(), nullptr);
-  for (size_t s = 0; s < distinct.size(); ++s) {
-    auto it = e.right_to_left.find(distinct[s]);
-    if (it != e.right_to_left.end()) per_slot[s] = &it->second;
-  }
-  std::vector<std::optional<std::string>> out;
-  out.reserve(raw_rights.size());
-  for (size_t slot : slot_of) {
-    if (per_slot[slot] != nullptr) {
-      out.emplace_back(*per_slot[slot]);
-    } else {
-      out.emplace_back(std::nullopt);
-    }
-  }
-  return out;
+  BatchScratch scratch;
+  return LookupLeftBatch(i, raw_rights, &scratch);
+}
+
+std::vector<std::optional<std::string>> MappingStore::LookupRightBatch(
+    size_t i, const std::vector<std::string>& raw_lefts,
+    BatchScratch* scratch) const {
+  return LookupBatchImpl(entries_[i].left_to_right, raw_lefts, scratch);
+}
+
+std::vector<std::optional<std::string>> MappingStore::LookupLeftBatch(
+    size_t i, const std::vector<std::string>& raw_rights,
+    BatchScratch* scratch) const {
+  return LookupBatchImpl(entries_[i].right_to_left, raw_rights, scratch);
 }
 
 }  // namespace ms

@@ -88,12 +88,35 @@ class MappingStore {
   std::optional<std::string> LookupLeft(size_t i,
                                         const std::string& raw_right) const;
 
+  /// Reusable normalize/dedup working set for the batched lookups. A
+  /// caller serving many batches (one network connection, a bench loop)
+  /// keeps one of these alive and hands it to every call: the distinct
+  /// table, slot map, and per-slot result vectors then reuse their grown
+  /// capacity instead of re-allocating per request. Contents are
+  /// call-scoped scratch — never read them between calls. Not shareable
+  /// across threads.
+  struct BatchScratch {
+    std::vector<std::string> distinct;
+    std::vector<size_t> slot_of;
+    std::unordered_map<std::string, size_t> slots;
+    std::vector<const std::string*> per_slot;
+  };
+
   /// Batched LookupRight/LookupLeft with the same amortization as
   /// ProbeBatch. Element k is exactly the scalar lookup of raw value k.
+  /// The scratch-taking overloads are byte-identical to the plain ones
+  /// (differential-tested); pass the same scratch across calls to skip the
+  /// per-request allocations.
   std::vector<std::optional<std::string>> LookupRightBatch(
       size_t i, const std::vector<std::string>& raw_lefts) const;
   std::vector<std::optional<std::string>> LookupLeftBatch(
       size_t i, const std::vector<std::string>& raw_rights) const;
+  std::vector<std::optional<std::string>> LookupRightBatch(
+      size_t i, const std::vector<std::string>& raw_lefts,
+      BatchScratch* scratch) const;
+  std::vector<std::optional<std::string>> LookupLeftBatch(
+      size_t i, const std::vector<std::string>& raw_rights,
+      BatchScratch* scratch) const;
 
  private:
   struct Entry {
@@ -123,6 +146,13 @@ class MappingStore {
   std::vector<size_t> DedupNormalized(
       const std::vector<std::string>& raw_values,
       std::vector<std::string>* distinct) const;
+  /// Scratch-reusing variant: fills scratch->distinct / slot_of in place,
+  /// reusing the slot map's buckets and the vectors' capacity.
+  void DedupNormalized(const std::vector<std::string>& raw_values,
+                       BatchScratch* scratch) const;
+  std::vector<std::optional<std::string>> LookupBatchImpl(
+      const std::unordered_map<std::string, std::string>& map,
+      const std::vector<std::string>& raw_values, BatchScratch* scratch) const;
 
   std::shared_ptr<StringPool> pool_;
   NormalizeOptions normalize_;

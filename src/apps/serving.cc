@@ -217,9 +217,16 @@ ServiceHealth MappingService::health() const {
     h.generation_served = generation_served_;
     h.generations_skipped = generations_skipped_;
     h.quarantined_files = quarantined_files_;
+    if (remote_stats_source_) h.remote = remote_stats_source_();
   }
   h.retries_performed = env_->retries_performed();
   return h;
+}
+
+void MappingService::SetRemoteStatsSource(
+    std::function<RemoteServingStats()> source) {
+  const std::lock_guard<std::mutex> lock(health_mu_);
+  remote_stats_source_ = std::move(source);
 }
 
 Status MappingService::OpenFromMappingsFile(const std::string& path) {

@@ -37,6 +37,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -52,6 +53,20 @@
 #include "synth/session.h"
 
 namespace ms {
+
+/// Remote-serving load counters, reported by a MappingServer (net/server.h)
+/// attached to this service and folded into ServiceHealth so one health
+/// probe covers both the storage story and the network story. All zeros
+/// when no server is attached.
+struct RemoteServingStats {
+  uint64_t requests = 0;
+  uint64_t errors = 0;
+  uint64_t malformed_frames = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t connections_opened = 0;
+  uint64_t connections_active = 0;
+};
 
 /// Operator-facing account of how the service got to its current serving
 /// state. Rotation fields are populated by the rotation-aware entry points
@@ -71,6 +86,8 @@ struct ServiceHealth {
   /// Cumulative transient-IO retries the service's env absorbed (short
   /// writes, EINTR stalls) across all operations so far.
   uint64_t retries_performed = 0;
+  /// Load counters of the attached remote server (zeros without one).
+  RemoteServingStats remote;
 
   /// True when serving required falling back past the newest generation —
   /// the data served is valid but older than what a writer tried to commit.
@@ -213,10 +230,18 @@ class MappingService {
   Status OpenLatestSnapshot(const std::string& dir);
 
   /// How the service got to its serving state: generation served,
-  /// fallbacks taken, files quarantined, transient retries absorbed.
+  /// fallbacks taken, files quarantined, transient retries absorbed, and —
+  /// when a remote server is attached — network load counters.
   /// Wait-free for readers (internal bookkeeping mutex, never held across
   /// a chain run).
   ServiceHealth health() const;
+
+  /// Registers the source of ServiceHealth::remote — a MappingServer
+  /// (net/server.h) installs its own counter aggregation on Start and
+  /// clears it (nullptr) on Stop. The callback runs under the health
+  /// bookkeeping mutex, so it must be lock-free and cheap (the server's is
+  /// a relaxed-atomic sweep). Not a general-purpose surface.
+  void SetRemoteStatsSource(std::function<RemoteServingStats()> source);
 
   /// Serving-only bootstrap from a curated mappings TSV
   /// (persist/mapping_text.h): loads the file into a fresh store. Status
@@ -450,6 +475,8 @@ class MappingService {
   uint64_t generation_served_ = 0;
   uint64_t generations_skipped_ = 0;
   std::vector<std::string> quarantined_files_;
+  /// Set by an attached MappingServer; consulted by health().
+  std::function<RemoteServingStats()> remote_stats_source_;
 };
 
 }  // namespace ms

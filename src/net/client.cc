@@ -1,0 +1,299 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace ms::net {
+
+namespace {
+std::string ErrnoText(const char* op) {
+  return std::string(op) + " failed: " + std::strerror(errno);
+}
+}  // namespace
+
+Result<MappingClient> MappingClient::Connect(const std::string& host,
+                                             uint16_t port,
+                                             ClientOptions options) {
+  MappingClient c;
+  c.options_ = options;
+  c.fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (c.fd_ < 0) return Status::IOError(ErrnoText("socket"));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("unparseable host address: " + host);
+  }
+  if (options.io_timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = options.io_timeout_ms / 1000;
+    tv.tv_usec = (options.io_timeout_ms % 1000) * 1000;
+    (void)::setsockopt(c.fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    (void)::setsockopt(c.fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
+  if (::connect(c.fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IOError("connect to " + host + ":" + std::to_string(port) +
+                           " failed: " + std::strerror(errno));
+  }
+  const int one = 1;
+  (void)::setsockopt(c.fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return c;
+}
+
+MappingClient::MappingClient(MappingClient&& other) noexcept {
+  *this = std::move(other);
+}
+
+MappingClient& MappingClient::operator=(MappingClient&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    options_ = other.options_;
+    next_request_id_ = other.next_request_id_;
+    recv_buf_ = std::move(other.recv_buf_);
+    last_header_ = std::move(other.last_header_);
+    last_body_ = std::move(other.last_body_);
+    max_snapshot_version_ = other.max_snapshot_version_;
+    version_regressed_ = other.version_regressed_;
+  }
+  return *this;
+}
+
+MappingClient::~MappingClient() { Close(); }
+
+void MappingClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status MappingClient::SendAll(const char* data, size_t size) {
+  size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd_, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status::IOError("send timed out");
+    }
+    return Status::IOError(ErrnoText("send"));
+  }
+  return Status::OK();
+}
+
+Status MappingClient::RecvSome() {
+  char buf[65536];
+  while (true) {
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      recv_buf_.append(buf, static_cast<size_t>(n));
+      return Status::OK();
+    }
+    if (n == 0) {
+      return Status::IOError("connection closed by server");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::IOError("receive timed out");
+    }
+    return Status::IOError(ErrnoText("recv"));
+  }
+}
+
+Status MappingClient::Call(MsgType request_type,
+                           const std::string& request_body,
+                           std::string_view* response_body) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  const uint64_t request_id = next_request_id_++;
+  std::string frame;
+  AppendFrame(request_type, request_id, request_body, &frame);
+  MS_RETURN_IF_ERROR(SendAll(frame.data(), frame.size()));
+
+  // One request in flight per connection, so the next complete frame is
+  // our response (request ids are still verified — a server bug that
+  // desequenced them must surface, not silently mismatch).
+  while (true) {
+    FrameHeader header;
+    std::string_view body;
+    size_t consumed = 0;
+    std::string error;
+    const FrameDecodeStatus st =
+        TryDecodeFrame(recv_buf_, options_.max_frame_body, &header, &body,
+                       &consumed, &error);
+    if (st == FrameDecodeStatus::kBadFrame) {
+      Close();  // a corrupt stream has no frame boundaries left to trust
+      return Status::DataLoss("unparseable response frame: " + error);
+    }
+    if (st == FrameDecodeStatus::kNeedMoreData) {
+      const Status rs = RecvSome();
+      if (!rs.ok()) {
+        Close();
+        return rs;
+      }
+      continue;
+    }
+    last_body_.assign(body.data(), body.size());
+    recv_buf_.erase(0, consumed);
+    if (header.request_id != request_id) {
+      Close();
+      return Status::DataLoss(
+          "response for request " + std::to_string(header.request_id) +
+          " while awaiting " + std::to_string(request_id));
+    }
+    const bool is_error =
+        header.msg_type == static_cast<uint8_t>(MsgType::kErrorResp);
+    const bool is_expected =
+        header.msg_type ==
+        static_cast<uint8_t>(ResponseTypeFor(request_type));
+    if (!is_error && !is_expected) {
+      Close();
+      return Status::DataLoss("unexpected response type " +
+                              std::to_string(header.msg_type));
+    }
+    // Both paths decode the common header; error responses have no payload.
+    if (is_error) {
+      if (!DecodeErrorResponse(last_body_, &last_header_)) {
+        Close();
+        return Status::DataLoss("malformed error response body");
+      }
+    } else {
+      *response_body = last_body_;
+    }
+    return Status::OK();
+  }
+}
+
+void MappingClient::TrackVersion() {
+  const uint64_t v = last_header_.health.snapshot_version;
+  if (v < max_snapshot_version_) version_regressed_ = true;
+  if (v > max_snapshot_version_) max_snapshot_version_ = v;
+}
+
+Result<AutoCorrectResult> MappingClient::SuggestCorrections(
+    const std::vector<std::string>& column, const AutoCorrectOptions& options) {
+  SuggestCorrectionsRequest req;
+  req.column = column;
+  req.options = options;
+  std::string_view body;
+  MS_RETURN_IF_ERROR(Call(MsgType::kSuggestCorrectionsReq,
+                          EncodeSuggestCorrectionsRequest(req), &body));
+  AutoCorrectResult result;
+  if (last_header_.ok() || !body.empty()) {
+    if (!DecodeSuggestCorrectionsResponse(body, &last_header_, &result)) {
+      return Status::DataLoss("malformed SuggestCorrections response body");
+    }
+  }
+  TrackVersion();
+  MS_RETURN_IF_ERROR(last_header_.ToStatus());
+  return result;
+}
+
+Result<AutoFillResult> MappingClient::AutoFill(
+    const std::vector<std::string>& keys,
+    const std::vector<std::pair<size_t, std::string>>& examples,
+    const AutoFillOptions& options) {
+  AutoFillRequest req;
+  req.keys = keys;
+  req.examples.reserve(examples.size());
+  for (const auto& [row, value] : examples) {
+    req.examples.emplace_back(static_cast<uint64_t>(row), value);
+  }
+  req.options = options;
+  std::string_view body;
+  MS_RETURN_IF_ERROR(
+      Call(MsgType::kAutoFillReq, EncodeAutoFillRequest(req), &body));
+  AutoFillResult result;
+  if (last_header_.ok() || !body.empty()) {
+    if (!DecodeAutoFillResponse(body, &last_header_, &result)) {
+      return Status::DataLoss("malformed AutoFill response body");
+    }
+  }
+  TrackVersion();
+  MS_RETURN_IF_ERROR(last_header_.ToStatus());
+  return result;
+}
+
+Result<AutoJoinResult> MappingClient::AutoJoin(
+    const std::vector<std::string>& left_keys,
+    const std::vector<std::string>& right_keys,
+    const AutoJoinOptions& options) {
+  AutoJoinRequest req;
+  req.left_keys = left_keys;
+  req.right_keys = right_keys;
+  req.options = options;
+  std::string_view body;
+  MS_RETURN_IF_ERROR(
+      Call(MsgType::kAutoJoinReq, EncodeAutoJoinRequest(req), &body));
+  AutoJoinResult result;
+  if (last_header_.ok() || !body.empty()) {
+    if (!DecodeAutoJoinResponse(body, &last_header_, &result)) {
+      return Status::DataLoss("malformed AutoJoin response body");
+    }
+  }
+  TrackVersion();
+  MS_RETURN_IF_ERROR(last_header_.ToStatus());
+  return result;
+}
+
+Result<std::vector<std::optional<std::string>>> MappingClient::LookupBatch(
+    uint64_t mapping_index, const std::vector<std::string>& values,
+    uint8_t direction) {
+  LookupBatchRequest req;
+  req.mapping_index = mapping_index;
+  req.direction = direction;
+  req.values = values;
+  std::string_view body;
+  MS_RETURN_IF_ERROR(
+      Call(MsgType::kLookupBatchReq, EncodeLookupBatchRequest(req), &body));
+  LookupBatchResponse result;
+  if (last_header_.ok() || !body.empty()) {
+    if (!DecodeLookupBatchResponse(body, &last_header_, &result)) {
+      return Status::DataLoss("malformed LookupBatch response body");
+    }
+  }
+  TrackVersion();
+  MS_RETURN_IF_ERROR(last_header_.ToStatus());
+  return std::move(result.values);
+}
+
+Result<HealthResponse> MappingClient::Health() {
+  std::string_view body;
+  MS_RETURN_IF_ERROR(Call(MsgType::kHealthReq, std::string(), &body));
+  HealthResponse result;
+  if (last_header_.ok() || !body.empty()) {
+    if (!DecodeHealthResponse(body, &last_header_, &result)) {
+      return Status::DataLoss("malformed Health response body");
+    }
+  }
+  TrackVersion();
+  MS_RETURN_IF_ERROR(last_header_.ToStatus());
+  return result;
+}
+
+Result<StatsResponse> MappingClient::Stats() {
+  std::string_view body;
+  MS_RETURN_IF_ERROR(Call(MsgType::kStatsReq, std::string(), &body));
+  StatsResponse result;
+  if (last_header_.ok() || !body.empty()) {
+    if (!DecodeStatsResponse(body, &last_header_, &result)) {
+      return Status::DataLoss("malformed Stats response body");
+    }
+  }
+  TrackVersion();
+  MS_RETURN_IF_ERROR(last_header_.ToStatus());
+  return result;
+}
+
+}  // namespace ms::net

@@ -1,0 +1,116 @@
+// Blocking client for the net/ wire protocol: one TCP connection, one
+// request in flight at a time, Status-based errors. This is the reference
+// consumer of the protocol — tests, bench_net, and examples/remote_serving
+// all talk to MappingServer through it, and its decode path doubles as the
+// specification a non-C++ client would implement.
+//
+// Every response carries a HealthAndVersion header taken from the server
+// snapshot that answered it (wire.h); the client records it in
+// last_header() and tracks the highest snapshot version seen, so a caller
+// can both detect generation changes and assert per-connection version
+// monotonicity (the concurrency tests do exactly that via
+// version_regressed()).
+//
+// Not thread-safe: one MappingClient per thread (connections are cheap).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace ms::net {
+
+struct ClientOptions {
+  /// SO_RCVTIMEO/SO_SNDTIMEO on the socket; an elapsed timeout surfaces as
+  /// IOError. <= 0 waits forever.
+  int io_timeout_ms = 30'000;
+  size_t max_frame_body = kMaxFrameBody;
+};
+
+class MappingClient {
+ public:
+  /// Connects to `host:port` (IPv4 dotted quad, e.g. "127.0.0.1").
+  static Result<MappingClient> Connect(const std::string& host, uint16_t port,
+                                       ClientOptions options = {});
+
+  MappingClient(MappingClient&& other) noexcept;
+  MappingClient& operator=(MappingClient&& other) noexcept;
+  MappingClient(const MappingClient&) = delete;
+  MappingClient& operator=(const MappingClient&) = delete;
+  ~MappingClient();
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  // ---------------------------------------------------- the five requests
+  // Results are exactly what the equivalent in-process MappingService call
+  // returns (the loopback differential test enforces byte identity).
+  // Server-side errors come back as the error response's Status.
+
+  Result<AutoCorrectResult> SuggestCorrections(
+      const std::vector<std::string>& column,
+      const AutoCorrectOptions& options = {});
+
+  Result<AutoFillResult> AutoFill(
+      const std::vector<std::string>& keys,
+      const std::vector<std::pair<size_t, std::string>>& examples,
+      const AutoFillOptions& options = {});
+
+  Result<AutoJoinResult> AutoJoin(const std::vector<std::string>& left_keys,
+                                  const std::vector<std::string>& right_keys,
+                                  const AutoJoinOptions& options = {});
+
+  /// direction: 0 = left→right, 1 = right→left
+  /// (MappingService::LookupDirection order).
+  Result<std::vector<std::optional<std::string>>> LookupBatch(
+      uint64_t mapping_index, const std::vector<std::string>& values,
+      uint8_t direction = 0);
+
+  Result<HealthResponse> Health();
+  Result<StatsResponse> Stats();
+
+  // ------------------------------------------------------- response state
+
+  /// Header of the last successfully decoded response (including error
+  /// responses): server status plus the snapshot-bound HealthAndVersion.
+  const ResponseHeader& last_header() const { return last_header_; }
+  /// Raw body bytes of the last response frame — the tests' byte-identity
+  /// oracle.
+  const std::string& last_response_body() const { return last_body_; }
+  /// Highest snapshot version any response on this connection reported.
+  uint64_t max_snapshot_version() const { return max_snapshot_version_; }
+  /// True if any response ever reported a snapshot version LOWER than one
+  /// previously seen on this connection — must never happen against a
+  /// single server (RCU publication is monotone).
+  bool version_regressed() const { return version_regressed_; }
+
+ private:
+  MappingClient() = default;
+
+  /// Sends one framed request and blocks for its response frame. Fills
+  /// last_header_/last_body_; returns the error response's Status when the
+  /// server answered with kErrorResp, IOError on transport problems, and
+  /// DataLoss on an unparseable response stream.
+  Status Call(MsgType request_type, const std::string& request_body,
+              std::string_view* response_body);
+
+  Status SendAll(const char* data, size_t size);
+  Status RecvSome();
+  /// Folds last_header_'s snapshot version into the monotonicity tracking.
+  void TrackVersion();
+
+  int fd_ = -1;
+  ClientOptions options_;
+  uint64_t next_request_id_ = 1;
+  std::string recv_buf_;
+  ResponseHeader last_header_;
+  std::string last_body_;
+  uint64_t max_snapshot_version_ = 0;
+  bool version_regressed_ = false;
+};
+
+}  // namespace ms::net

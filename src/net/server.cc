@@ -1,0 +1,699 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+
+#include "apps/auto_correct.h"
+#include "apps/auto_fill.h"
+#include "apps/auto_join.h"
+
+namespace ms::net {
+
+namespace {
+
+/// Power-of-two microsecond latency buckets: bucket bit_width(us) holds
+/// [2^(b-1), 2^b). 40 buckets cover ~17 minutes, far past any timeout.
+constexpr size_t kLatBuckets = 40;
+
+int64_t NowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string ErrnoText(const char* op) {
+  return std::string(op) + " failed: " + std::strerror(errno);
+}
+
+/// Upper bound of the histogram bucket where the cumulative count crosses
+/// rank `q * total` — a quantile estimate with ~2x relative error.
+double BucketQuantile(const uint64_t (&buckets)[kLatBuckets], double q) {
+  uint64_t total = 0;
+  for (uint64_t b : buckets) total += b;
+  if (total == 0) return 0.0;
+  const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kLatBuckets; ++b) {
+    seen += buckets[b];
+    if (seen > rank) {
+      return b == 0 ? 0.0 : static_cast<double>((uint64_t{1} << b) - 1);
+    }
+  }
+  return static_cast<double>((uint64_t{1} << (kLatBuckets - 1)));
+}
+
+}  // namespace
+
+struct MappingServer::Connection {
+  int fd = -1;
+  std::string read_buf;
+  size_t read_pos = 0;
+  std::string write_buf;
+  size_t write_pos = 0;
+  /// Cumulative byte counters; response_ends holds the queued_total value
+  /// at which each pending response finishes flushing, so in-flight =
+  /// response_ends.size() without caring about buffer compaction.
+  uint64_t queued_total = 0;
+  uint64_t flushed_total = 0;
+  std::deque<uint64_t> response_ends;
+  bool want_read = true;
+  bool close_after_flush = false;
+  int64_t last_active_ms = 0;
+  uint32_t armed_events = 0;
+  /// Per-connection reuse (satellite: per-request arena, scoped to the
+  /// server): the LookupBatch decode target and the store's normalize/dedup
+  /// scratch keep their grown capacity across requests on this connection.
+  LookupBatchRequest lookup_req;
+  MappingStore::BatchScratch scratch;
+};
+
+struct MappingServer::Worker {
+  struct TypeMetrics {
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> errors{0};
+    std::atomic<uint64_t> lat[kLatBuckets] = {};
+  };
+
+  int index = 0;
+  int epoll_fd = -1;
+  int event_fd = -1;
+  std::thread thread;
+  std::mutex inbox_mu;
+  std::vector<int> inbox;
+  std::unordered_map<int, std::unique_ptr<Connection>> conns;
+  TypeMetrics metrics[kNumRequestTypes];
+  /// Errors not attributable to a known request type (bad frames, unknown
+  /// types, protocol-version mismatches).
+  std::atomic<uint64_t> other_errors{0};
+  int64_t last_sweep_ms = 0;
+};
+
+MappingServer::MappingServer(MappingService& service, ServerOptions options)
+    : service_(service), options_(std::move(options)) {}
+
+MappingServer::~MappingServer() { Stop(); }
+
+Status MappingServer::Start() {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("server already running");
+  }
+  if (options_.num_workers < 1) {
+    return Status::InvalidArgument("num_workers must be >= 1");
+  }
+  if (options_.max_in_flight_per_connection < 1) {
+    return Status::InvalidArgument(
+        "max_in_flight_per_connection must be >= 1");
+  }
+  if (options_.max_frame_body > kMaxFrameBody) {
+    return Status::InvalidArgument("max_frame_body exceeds the protocol cap");
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::IOError(ErrnoText("socket"));
+  auto cleanup = [this] {
+    for (auto& w : workers_) {
+      if (w->epoll_fd >= 0) ::close(w->epoll_fd);
+      if (w->event_fd >= 0) ::close(w->event_fd);
+    }
+    workers_.clear();
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  };
+  const int one = 1;
+  (void)::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    cleanup();
+    return Status::InvalidArgument("unparseable bind address: " +
+                                   options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const Status st = Status::IOError(ErrnoText("bind"));
+    cleanup();
+    return st;
+  }
+  if (::listen(listen_fd_, 128) != 0) {
+    const Status st = Status::IOError(ErrnoText("listen"));
+    cleanup();
+    return st;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    const Status st = Status::IOError(ErrnoText("getsockname"));
+    cleanup();
+    return st;
+  }
+  port_ = ntohs(addr.sin_port);
+
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->index = i;
+    w->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    w->event_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (w->epoll_fd < 0 || w->event_fd < 0) {
+      workers_.push_back(std::move(w));
+      cleanup();
+      return Status::IOError(ErrnoText("epoll_create1/eventfd"));
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = w->event_fd;
+    ::epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, w->event_fd, &ev);
+    if (i == 0) {
+      epoll_event lev{};
+      lev.events = EPOLLIN;
+      lev.data.fd = listen_fd_;
+      ::epoll_ctl(w->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &lev);
+    }
+    workers_.push_back(std::move(w));
+  }
+
+  running_.store(true, std::memory_order_release);
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_[static_cast<size_t>(i)]->thread =
+        std::thread([this, i] { WorkerLoop(i); });
+  }
+  service_.SetRemoteStatsSource([this] { return AggregateRemoteStats(); });
+  return Status::OK();
+}
+
+void MappingServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  service_.SetRemoteStatsSource(nullptr);
+  for (auto& w : workers_) {
+    const uint64_t one = 1;
+    (void)!::write(w->event_fd, &one, sizeof(one));
+  }
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  for (auto& w : workers_) {
+    for (auto& [fd, conn] : w->conns) {
+      ::close(fd);
+      connections_active_.fetch_sub(1, std::memory_order_relaxed);
+    }
+    w->conns.clear();
+    ::close(w->epoll_fd);
+    ::close(w->event_fd);
+  }
+  workers_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void MappingServer::WorkerLoop(int index) {
+  Worker& w = *workers_[static_cast<size_t>(index)];
+  const int sweep_interval_ms =
+      options_.idle_timeout_ms > 0
+          ? std::max(10, options_.idle_timeout_ms / 4)
+          : 250;
+  const int wait_ms = std::min(250, sweep_interval_ms);
+  epoll_event events[64];
+  while (running_.load(std::memory_order_acquire)) {
+    const int n = ::epoll_wait(w.epoll_fd, events, 64, wait_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    const int64_t now = NowMs();
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == w.event_fd) {
+        uint64_t drained = 0;
+        (void)!::read(w.event_fd, &drained, sizeof(drained));
+        continue;  // inbox is adopted below, every iteration
+      }
+      if (fd == listen_fd_) {
+        AcceptPending(w);
+        continue;
+      }
+      auto it = w.conns.find(fd);
+      if (it == w.conns.end()) continue;
+      Connection& c = *it->second;
+      c.last_active_ms = now;
+      if (events[i].events & (EPOLLHUP | EPOLLERR)) {
+        CloseConnection(w, fd);
+        continue;
+      }
+      if (events[i].events & EPOLLOUT) {
+        FlushWrites(w, c);
+        if (w.conns.find(fd) == w.conns.end()) continue;
+      }
+      if ((events[i].events & EPOLLIN) && c.want_read) {
+        HandleReadable(w, c);
+      }
+    }
+    // Adopt connections routed here by the acceptor.
+    std::vector<int> adopted;
+    {
+      const std::lock_guard<std::mutex> lk(w.inbox_mu);
+      adopted.swap(w.inbox);
+    }
+    for (const int fd : adopted) {
+      auto conn = std::make_unique<Connection>();
+      conn->fd = fd;
+      conn->last_active_ms = now;
+      conn->armed_events = EPOLLIN;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      if (::epoll_ctl(w.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        ::close(fd);
+        connections_active_.fetch_sub(1, std::memory_order_relaxed);
+        continue;
+      }
+      w.conns.emplace(fd, std::move(conn));
+    }
+    if (now - w.last_sweep_ms >= sweep_interval_ms) {
+      SweepIdle(w, now);
+      w.last_sweep_ms = now;
+    }
+  }
+}
+
+void MappingServer::AcceptPending(Worker& w) {
+  while (true) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // EAGAIN, or transient accept failure — the loop retries later
+    }
+    connections_opened_.fetch_add(1, std::memory_order_relaxed);
+    if (connections_active_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    connections_active_.fetch_add(1, std::memory_order_relaxed);
+    const int one = 1;
+    (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    const size_t target = next_worker_.fetch_add(1, std::memory_order_relaxed) %
+                          workers_.size();
+    Worker& tw = *workers_[target];
+    {
+      const std::lock_guard<std::mutex> lk(tw.inbox_mu);
+      tw.inbox.push_back(fd);
+    }
+    if (target != static_cast<size_t>(w.index)) {
+      const uint64_t v = 1;
+      (void)!::write(tw.event_fd, &v, sizeof(v));
+    }
+  }
+}
+
+void MappingServer::HandleReadable(Worker& w, Connection& c) {
+  const int fd = c.fd;
+  while (c.want_read) {
+    char buf[65536];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      bytes_in_.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+      c.read_buf.append(buf, static_cast<size_t>(n));
+      if (static_cast<size_t>(n) < sizeof(buf)) break;
+      continue;
+    }
+    if (n == 0) {
+      CloseConnection(w, fd);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(w, fd);
+    return;
+  }
+  ParseFrames(w, c);
+  FlushWrites(w, c);  // closes on error / close_after_flush; re-arms epoll
+}
+
+void MappingServer::ParseFrames(Worker& w, Connection& c) {
+  while (!c.close_after_flush &&
+         c.response_ends.size() < options_.max_in_flight_per_connection) {
+    const std::string_view pending(c.read_buf.data() + c.read_pos,
+                                   c.read_buf.size() - c.read_pos);
+    FrameHeader header;
+    std::string_view body;
+    size_t consumed = 0;
+    std::string error;
+    const FrameDecodeStatus st = TryDecodeFrame(
+        pending, options_.max_frame_body, &header, &body, &consumed, &error);
+    if (st == FrameDecodeStatus::kNeedMoreData) break;
+    if (st == FrameDecodeStatus::kBadFrame) {
+      // A corrupt byte stream cannot be resynchronized: best-effort error
+      // response (request id may be a garbage echo), then close.
+      malformed_frames_.fetch_add(1, std::memory_order_relaxed);
+      w.other_errors.fetch_add(1, std::memory_order_relaxed);
+      ResponseHeader rh;
+      const auto snap = service_.AcquireSnapshot();
+      rh.health.snapshot_version = snap ? snap->version : 0;
+      rh.health.num_mappings = snap ? snap->store->size() : 0;
+      rh.status_code = static_cast<uint8_t>(StatusCode::kInvalidArgument);
+      rh.message = "malformed frame: " + error;
+      const std::string resp_body = EncodeErrorResponse(rh);
+      const size_t before = c.write_buf.size();
+      AppendFrame(MsgType::kErrorResp, header.request_id, resp_body,
+                  &c.write_buf);
+      c.queued_total += c.write_buf.size() - before;
+      c.response_ends.push_back(c.queued_total);
+      c.close_after_flush = true;
+      c.read_pos = c.read_buf.size();
+      break;
+    }
+    HandleFrame(w, c, header, body);
+    c.read_pos += consumed;
+  }
+  if (c.read_pos == c.read_buf.size()) {
+    c.read_buf.clear();
+    c.read_pos = 0;
+  } else if (c.read_pos >= 65536) {
+    c.read_buf.erase(0, c.read_pos);
+    c.read_pos = 0;
+  }
+  // Backpressure: at the in-flight cap (or on the way out) stop reading —
+  // the client's unread bytes stay in the kernel and its TCP window
+  // closes. FlushWrites re-opens the tap as responses drain.
+  c.want_read =
+      !c.close_after_flush &&
+      c.response_ends.size() < options_.max_in_flight_per_connection;
+}
+
+void MappingServer::HandleFrame(Worker& w, Connection& c,
+                                const FrameHeader& header,
+                                std::string_view body) {
+  const auto t0 = std::chrono::steady_clock::now();
+  // Everything this request sees comes from ONE acquired snapshot: the
+  // lookups below, the response header's version, and its mapping count.
+  const auto snap = service_.AcquireSnapshot();
+  const bool is_health = header.msg_type ==
+                         static_cast<uint8_t>(MsgType::kHealthReq);
+  RefreshCachedHealth(NowMs(), /*force=*/is_health);
+  ResponseHeader rh;
+  rh.health.snapshot_version = snap ? snap->version : 0;
+  rh.health.num_mappings = snap ? snap->store->size() : 0;
+  {
+    const std::lock_guard<std::mutex> lk(cached_health_mu_);
+    rh.health.generation_served = cached_generation_served_;
+    rh.health.degraded = cached_degraded_;
+  }
+
+  const int type_index = IsRequestType(header.msg_type)
+                             ? static_cast<int>(header.msg_type) - 1
+                             : -1;
+  auto respond = [&](MsgType type, const std::string& resp_body) {
+    const size_t before = c.write_buf.size();
+    AppendFrame(type, header.request_id, resp_body, &c.write_buf);
+    c.queued_total += c.write_buf.size() - before;
+    c.response_ends.push_back(c.queued_total);
+    const uint64_t us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count());
+    const size_t bucket = std::min<size_t>(std::bit_width(us), kLatBuckets - 1);
+    if (type_index >= 0) {
+      auto& m = w.metrics[type_index];
+      m.count.fetch_add(1, std::memory_order_relaxed);
+      m.lat[bucket].fetch_add(1, std::memory_order_relaxed);
+      if (type == MsgType::kErrorResp) {
+        m.errors.fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      w.other_errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  };
+  auto fail = [&](StatusCode code, std::string message) {
+    rh.status_code = static_cast<uint8_t>(code);
+    rh.message = std::move(message);
+    respond(MsgType::kErrorResp, EncodeErrorResponse(rh));
+  };
+
+  if (header.protocol_version != kProtocolVersion) {
+    fail(StatusCode::kFailedPrecondition,
+         "unsupported protocol version " +
+             std::to_string(header.protocol_version) + " (server speaks " +
+             std::to_string(kProtocolVersion) + ")");
+    return;
+  }
+
+  switch (static_cast<MsgType>(header.msg_type)) {
+    case MsgType::kSuggestCorrectionsReq: {
+      SuggestCorrectionsRequest req;
+      if (!DecodeSuggestCorrectionsRequest(body, &req)) {
+        fail(StatusCode::kInvalidArgument,
+             "malformed SuggestCorrections request body");
+        return;
+      }
+      const AutoCorrectResult result =
+          snap ? ::ms::SuggestCorrections(*snap->store, req.column,
+                                          req.options)
+               : AutoCorrectResult{};
+      respond(MsgType::kSuggestCorrectionsResp,
+              EncodeSuggestCorrectionsResponse(rh, result));
+      return;
+    }
+    case MsgType::kAutoFillReq: {
+      AutoFillRequest req;
+      if (!DecodeAutoFillRequest(body, &req)) {
+        fail(StatusCode::kInvalidArgument, "malformed AutoFill request body");
+        return;
+      }
+      AutoFillResult result;
+      if (snap) {
+        std::vector<std::pair<size_t, std::string>> examples;
+        examples.reserve(req.examples.size());
+        for (auto& [row, value] : req.examples) {
+          examples.emplace_back(static_cast<size_t>(row), std::move(value));
+        }
+        result = ::ms::AutoFill(*snap->store, req.keys, examples, req.options);
+      }
+      respond(MsgType::kAutoFillResp, EncodeAutoFillResponse(rh, result));
+      return;
+    }
+    case MsgType::kAutoJoinReq: {
+      AutoJoinRequest req;
+      if (!DecodeAutoJoinRequest(body, &req)) {
+        fail(StatusCode::kInvalidArgument, "malformed AutoJoin request body");
+        return;
+      }
+      const AutoJoinResult result =
+          snap ? ::ms::AutoJoin(*snap->store, req.left_keys, req.right_keys,
+                                req.options)
+               : AutoJoinResult{};
+      respond(MsgType::kAutoJoinResp, EncodeAutoJoinResponse(rh, result));
+      return;
+    }
+    case MsgType::kLookupBatchReq: {
+      // Decode target and normalize/dedup scratch are per-connection
+      // state: request k+1 reuses the capacity request k grew.
+      LookupBatchRequest& req = c.lookup_req;
+      if (!DecodeLookupBatchRequest(body, &req)) {
+        fail(StatusCode::kInvalidArgument,
+             "malformed LookupBatch request body");
+        return;
+      }
+      LookupBatchResponse result;
+      if (snap == nullptr ||
+          req.mapping_index >= snap->store->size()) {
+        // Mirror MappingService::LookupBatch: all-nullopt, not an error.
+        result.values.assign(req.values.size(), std::nullopt);
+      } else if (req.direction == 0) {
+        result.values = snap->store->LookupRightBatch(
+            static_cast<size_t>(req.mapping_index), req.values, &c.scratch);
+      } else {
+        result.values = snap->store->LookupLeftBatch(
+            static_cast<size_t>(req.mapping_index), req.values, &c.scratch);
+      }
+      respond(MsgType::kLookupBatchResp,
+              EncodeLookupBatchResponse(rh, result));
+      return;
+    }
+    case MsgType::kHealthReq: {
+      const ServiceHealth h = service_.health();
+      // One coherent health view: the snapshot-bound pair stays from the
+      // acquisition above; the rotation fields come from the forced
+      // refresh this request just performed.
+      HealthResponse result;
+      result.generations_skipped = h.generations_skipped;
+      result.quarantined_files = h.quarantined_files;
+      result.retries_performed = h.retries_performed;
+      rh.health.generation_served = h.generation_served;
+      rh.health.degraded = h.degraded();
+      respond(MsgType::kHealthResp, EncodeHealthResponse(rh, result));
+      return;
+    }
+    case MsgType::kStatsReq: {
+      respond(MsgType::kStatsResp, EncodeStatsResponse(rh, GetStats()));
+      return;
+    }
+    default:
+      fail(StatusCode::kInvalidArgument,
+           "unknown message type " + std::to_string(header.msg_type));
+      return;
+  }
+}
+
+void MappingServer::FlushWrites(Worker& w, Connection& c) {
+  const int fd = c.fd;
+  while (c.write_pos < c.write_buf.size()) {
+    const ssize_t n =
+        ::send(fd, c.write_buf.data() + c.write_pos,
+               c.write_buf.size() - c.write_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      bytes_out_.fetch_add(static_cast<uint64_t>(n),
+                           std::memory_order_relaxed);
+      c.write_pos += static_cast<size_t>(n);
+      c.flushed_total += static_cast<uint64_t>(n);
+      while (!c.response_ends.empty() &&
+             c.response_ends.front() <= c.flushed_total) {
+        c.response_ends.pop_front();
+      }
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConnection(w, fd);
+    return;
+  }
+  if (c.write_pos == c.write_buf.size()) {
+    c.write_buf.clear();
+    c.write_pos = 0;
+    if (c.close_after_flush) {
+      CloseConnection(w, fd);
+      return;
+    }
+  }
+  // Responses drained below the in-flight cap: parse any frames the client
+  // already pipelined into our buffer (reads were paused, not the parses'
+  // input), then re-arm EPOLLIN via want_read.
+  if (!c.close_after_flush &&
+      c.response_ends.size() < options_.max_in_flight_per_connection &&
+      c.read_pos < c.read_buf.size()) {
+    ParseFrames(w, c);
+  }
+  UpdateEpoll(w, c);
+}
+
+void MappingServer::UpdateEpoll(Worker& w, Connection& c) {
+  uint32_t want = 0;
+  if (c.want_read) want |= EPOLLIN;
+  if (c.write_pos < c.write_buf.size()) want |= EPOLLOUT;
+  if (want == c.armed_events) return;
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.fd = c.fd;
+  if (::epoll_ctl(w.epoll_fd, EPOLL_CTL_MOD, c.fd, &ev) == 0) {
+    c.armed_events = want;
+  }
+}
+
+void MappingServer::CloseConnection(Worker& w, int fd) {
+  auto it = w.conns.find(fd);
+  if (it == w.conns.end()) return;
+  ::epoll_ctl(w.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  w.conns.erase(it);
+  connections_active_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void MappingServer::SweepIdle(Worker& w, int64_t now_ms) {
+  if (options_.idle_timeout_ms <= 0) return;
+  std::vector<int> idle;
+  for (const auto& [fd, conn] : w.conns) {
+    if (now_ms - conn->last_active_ms > options_.idle_timeout_ms) {
+      idle.push_back(fd);
+    }
+  }
+  for (const int fd : idle) CloseConnection(w, fd);
+}
+
+void MappingServer::RefreshCachedHealth(int64_t now_ms, bool force) {
+  {
+    const std::lock_guard<std::mutex> lk(cached_health_mu_);
+    if (!force && cached_health_at_ms_ >= 0 &&
+        now_ms - cached_health_at_ms_ < options_.health_refresh_ms) {
+      return;
+    }
+  }
+  // service_.health() takes the service's health mutex (and consults our
+  // stats source) — called outside cached_health_mu_ so a slow health read
+  // never blocks other workers' header fills.
+  const ServiceHealth h = service_.health();
+  const std::lock_guard<std::mutex> lk(cached_health_mu_);
+  cached_health_at_ms_ = now_ms;
+  cached_generation_served_ = h.generation_served;
+  cached_degraded_ = h.degraded();
+}
+
+StatsResponse MappingServer::GetStats() const {
+  StatsResponse out;
+  out.malformed_frames = malformed_frames_.load(std::memory_order_relaxed);
+  out.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  out.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  out.connections_opened =
+      connections_opened_.load(std::memory_order_relaxed);
+  out.connections_active =
+      connections_active_.load(std::memory_order_relaxed);
+  for (size_t t = 0; t < kNumRequestTypes; ++t) {
+    RequestTypeStats s;
+    uint64_t merged[kLatBuckets] = {};
+    for (const auto& w : workers_) {
+      s.count += w->metrics[t].count.load(std::memory_order_relaxed);
+      s.errors += w->metrics[t].errors.load(std::memory_order_relaxed);
+      for (size_t b = 0; b < kLatBuckets; ++b) {
+        merged[b] += w->metrics[t].lat[b].load(std::memory_order_relaxed);
+      }
+    }
+    s.p50_us = BucketQuantile(merged, 0.50);
+    s.p99_us = BucketQuantile(merged, 0.99);
+    out.total_requests += s.count;
+    out.total_errors += s.errors;
+    out.per_type.emplace_back(static_cast<uint8_t>(t + 1), s);
+  }
+  for (const auto& w : workers_) {
+    out.total_errors += w->other_errors.load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+RemoteServingStats MappingServer::AggregateRemoteStats() const {
+  RemoteServingStats r;
+  r.malformed_frames = malformed_frames_.load(std::memory_order_relaxed);
+  r.bytes_in = bytes_in_.load(std::memory_order_relaxed);
+  r.bytes_out = bytes_out_.load(std::memory_order_relaxed);
+  r.connections_opened =
+      connections_opened_.load(std::memory_order_relaxed);
+  r.connections_active =
+      connections_active_.load(std::memory_order_relaxed);
+  for (size_t t = 0; t < kNumRequestTypes; ++t) {
+    for (const auto& w : workers_) {
+      r.requests += w->metrics[t].count.load(std::memory_order_relaxed);
+      r.errors += w->metrics[t].errors.load(std::memory_order_relaxed);
+    }
+  }
+  for (const auto& w : workers_) {
+    r.errors += w->other_errors.load(std::memory_order_relaxed);
+  }
+  return r;
+}
+
+}  // namespace ms::net

@@ -1,0 +1,141 @@
+// Non-blocking epoll TCP server exposing a MappingService over the net/
+// wire protocol — the remote serving subsystem in front of PR 7's RCU core.
+//
+// Architecture: one listening socket plus N worker threads, each running
+// its own epoll event loop over the connections assigned to it round-robin
+// (worker 0 additionally owns the acceptor). Request handling is
+// synchronous inside the owning worker: a decoded frame is dispatched
+// against ONE acquired ServingSnapshot, the response is encoded into the
+// connection's write buffer, and the loop moves on — writers
+// (AppendAndResynthesize / Resynthesize / rotation) keep running under the
+// service exactly as in-process readers allow, and no request ever
+// observes two generations.
+//
+// Flow control and robustness:
+//   - Bounded in-flight requests per connection: a request counts as
+//     in-flight from frame decode until its response bytes are fully
+//     flushed to the socket. At the limit the worker stops parsing AND
+//     stops reading that connection (EPOLLIN disarmed) — backpressure
+//     propagates to the client's TCP window instead of growing our
+//     buffers.
+//   - Idle timeout: connections with no traffic for idle_timeout_ms are
+//     closed by a periodic sweep.
+//   - Malformed frames (bad magic, bad CRC, oversized length, nonzero
+//     reserved bytes) get a best-effort error response and a connection
+//     close after flush; malformed BODIES of well-framed requests get an
+//     error response and the connection lives on. A truncated frame
+//     simply waits for more bytes until the idle timeout reaps it. None
+//     of these can crash or hang the server (tests/net_test.cc fuzzes
+//     exactly this contract).
+//
+// Metrics: per-request counts, error counts, and a bucketed latency
+// histogram per request type, plus byte/connection counters — served over
+// the wire as a Stats response, returned locally by GetStats(), and folded
+// into the service's ServiceHealth::remote via SetRemoteStatsSource.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apps/serving.h"
+#include "common/status.h"
+#include "net/wire.h"
+
+namespace ms::net {
+
+struct ServerOptions {
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port; read the real one back via port().
+  uint16_t port = 0;
+  /// Worker event loops (>= 1). Worker 0 also runs the acceptor.
+  int num_workers = 2;
+  /// Requests decoded but not yet fully flushed, per connection, before
+  /// the server stops reading that connection.
+  size_t max_in_flight_per_connection = 64;
+  /// Frames with a larger body are malformed (connection-fatal).
+  size_t max_frame_body = kMaxFrameBody;
+  /// Connections idle longer than this are closed. <= 0 disables.
+  int idle_timeout_ms = 60'000;
+  /// Accepted connections beyond this are immediately closed.
+  size_t max_connections = 1024;
+  /// How stale the rotation fields (generation_served / degraded) on a
+  /// non-Health response header may be. The snapshot_version/num_mappings
+  /// pair is always exact — taken from the request's own acquired
+  /// snapshot. 0 = refresh on every request (tests).
+  int health_refresh_ms = 50;
+};
+
+class MappingServer {
+ public:
+  /// The service must outlive the server. Start() installs the server as
+  /// the service's remote-stats source; Stop() removes it.
+  explicit MappingServer(MappingService& service, ServerOptions options = {});
+  ~MappingServer();
+
+  MappingServer(const MappingServer&) = delete;
+  MappingServer& operator=(const MappingServer&) = delete;
+
+  /// Binds, listens, and spawns the worker threads. InvalidArgument on bad
+  /// options, IOError (with errno text) on any socket failure. A failed
+  /// Start leaves nothing running and can be retried.
+  Status Start();
+
+  /// Stops accepting, closes every connection, joins the workers, and
+  /// unregisters the stats source. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+  /// The bound port (resolves ephemeral binds). 0 before Start.
+  uint16_t port() const { return port_; }
+
+  /// Aggregated server metrics; the same numbers a Stats wire request
+  /// returns. Safe from any thread while the server runs.
+  StatsResponse GetStats() const;
+
+ private:
+  struct Connection;
+  struct Worker;
+
+  void AcceptPending(Worker& w);
+  void WorkerLoop(int index);
+  void HandleReadable(Worker& w, Connection& c);
+  void ParseFrames(Worker& w, Connection& c);
+  void HandleFrame(Worker& w, Connection& c, const FrameHeader& header,
+                   std::string_view body);
+  void FlushWrites(Worker& w, Connection& c);
+  void UpdateEpoll(Worker& w, Connection& c);
+  void CloseConnection(Worker& w, int fd);
+  void SweepIdle(Worker& w, int64_t now_ms);
+  /// Rotation fields for response headers, refreshed at most every
+  /// health_refresh_ms.
+  void RefreshCachedHealth(int64_t now_ms, bool force);
+  RemoteServingStats AggregateRemoteStats() const;
+
+  MappingService& service_;
+  ServerOptions options_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::atomic<uint64_t> next_worker_{0};
+
+  // Cross-worker counters (relaxed; read by GetStats).
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<uint64_t> connections_opened_{0};
+  std::atomic<uint64_t> connections_active_{0};
+  std::atomic<uint64_t> malformed_frames_{0};
+
+  // Cached rotation health for response headers.
+  mutable std::mutex cached_health_mu_;
+  int64_t cached_health_at_ms_ = -1;
+  uint64_t cached_generation_served_ = 0;
+  bool cached_degraded_ = false;
+};
+
+}  // namespace ms::net

@@ -1,0 +1,433 @@
+#include "net/wire.h"
+
+#include "common/crc32.h"
+#include "persist/wire.h"
+
+namespace ms::net {
+
+namespace {
+
+using persist::WireReader;
+using persist::WireWriter;
+
+void PutHealth(WireWriter* w, const HealthAndVersion& h) {
+  w->U64(h.snapshot_version);
+  w->U64(h.num_mappings);
+  w->U64(h.generation_served);
+  w->Bool(h.degraded);
+}
+
+void GetHealth(WireReader* r, HealthAndVersion* h) {
+  h->snapshot_version = r->U64();
+  h->num_mappings = r->U64();
+  h->generation_served = r->U64();
+  h->degraded = r->Bool();
+}
+
+void PutResponseHeader(WireWriter* w, const ResponseHeader& h) {
+  w->U8(h.status_code);
+  w->Str(h.message);
+  PutHealth(w, h.health);
+}
+
+void GetResponseHeader(WireReader* r, ResponseHeader* h) {
+  h->status_code = r->U8();
+  h->message = std::string(r->Str());
+  GetHealth(r, &h->health);
+}
+
+void PutStrings(WireWriter* w, const std::vector<std::string>& v) {
+  w->U32(static_cast<uint32_t>(v.size()));
+  for (const auto& s : v) w->Str(s);
+}
+
+bool GetStrings(WireReader* r, std::vector<std::string>* v) {
+  const uint32_t n = r->U32();
+  // An attacker-controlled count must not reserve unbounded memory before
+  // the bounds checks catch it: each element consumes at least a 4-byte
+  // length, so any count beyond remaining/4 is provably malformed.
+  if (static_cast<size_t>(n) > r->remaining() / 4 + 1) return false;
+  v->clear();
+  v->reserve(n);
+  for (uint32_t i = 0; i < n; ++i) v->emplace_back(r->Str());
+  return r->ok();
+}
+
+/// Requests must consume the body exactly; a response decode tolerates
+/// trailing bytes (additive fields of a newer same-version peer).
+bool RequestOk(const WireReader& r) { return r.ok() && r.AtEnd(); }
+
+}  // namespace
+
+Status ResponseHeader::ToStatus() const {
+  switch (static_cast<StatusCode>(status_code)) {
+    case StatusCode::kOk:
+      return Status::OK();
+    case StatusCode::kInvalidArgument:
+      return Status::InvalidArgument(message);
+    case StatusCode::kNotFound:
+      return Status::NotFound(message);
+    case StatusCode::kAlreadyExists:
+      return Status::AlreadyExists(message);
+    case StatusCode::kOutOfRange:
+      return Status::OutOfRange(message);
+    case StatusCode::kFailedPrecondition:
+      return Status::FailedPrecondition(message);
+    case StatusCode::kIOError:
+      return Status::IOError(message);
+    case StatusCode::kDataLoss:
+      return Status::DataLoss(message);
+    case StatusCode::kInternal:
+    default:
+      return Status::Internal(message);
+  }
+}
+
+// --------------------------------------------------------------- framing
+
+void AppendFrame(MsgType type, uint64_t request_id, std::string_view body,
+                 std::string* out) {
+  WireWriter w;
+  w.U32(kFrameMagic);
+  w.U8(kProtocolVersion);
+  w.U8(static_cast<uint8_t>(type));
+  w.U8(0);  // reserved
+  w.U8(0);  // reserved
+  w.U64(request_id);
+  w.U32(static_cast<uint32_t>(body.size()));
+  w.U32(Crc32(body));
+  out->append(w.bytes());
+  out->append(body.data(), body.size());
+}
+
+FrameDecodeStatus TryDecodeFrame(std::string_view buf, size_t max_body,
+                                 FrameHeader* header, std::string_view* body,
+                                 size_t* consumed, std::string* error) {
+  if (buf.size() < kFrameHeaderSize) return FrameDecodeStatus::kNeedMoreData;
+  WireReader r(buf.data(), kFrameHeaderSize);
+  const uint32_t magic = r.U32();
+  if (magic != kFrameMagic) {
+    *error = "bad frame magic";
+    return FrameDecodeStatus::kBadFrame;
+  }
+  header->protocol_version = r.U8();
+  header->msg_type = r.U8();
+  const uint8_t reserved0 = r.U8();
+  const uint8_t reserved1 = r.U8();
+  if (reserved0 != 0 || reserved1 != 0) {
+    *error = "nonzero reserved header bytes";
+    return FrameDecodeStatus::kBadFrame;
+  }
+  header->request_id = r.U64();
+  header->body_len = r.U32();
+  header->body_crc = r.U32();
+  if (header->body_len > max_body) {
+    *error = "frame body of " + std::to_string(header->body_len) +
+             " bytes exceeds the " + std::to_string(max_body) + "-byte limit";
+    return FrameDecodeStatus::kBadFrame;
+  }
+  if (buf.size() < kFrameHeaderSize + header->body_len) {
+    return FrameDecodeStatus::kNeedMoreData;
+  }
+  *body = buf.substr(kFrameHeaderSize, header->body_len);
+  if (Crc32(*body) != header->body_crc) {
+    *error = "frame body CRC mismatch";
+    return FrameDecodeStatus::kBadFrame;
+  }
+  *consumed = kFrameHeaderSize + header->body_len;
+  return FrameDecodeStatus::kFrame;
+}
+
+// -------------------------------------------------------------- requests
+
+std::string EncodeSuggestCorrectionsRequest(
+    const SuggestCorrectionsRequest& req) {
+  WireWriter w;
+  PutStrings(&w, req.column);
+  w.F64(req.options.min_coverage);
+  w.U64(req.options.min_minority);
+  return std::move(w).Take();
+}
+
+bool DecodeSuggestCorrectionsRequest(std::string_view body,
+                                     SuggestCorrectionsRequest* req) {
+  WireReader r(body);
+  if (!GetStrings(&r, &req->column)) return false;
+  req->options.min_coverage = r.F64();
+  req->options.min_minority = r.U64();
+  return RequestOk(r);
+}
+
+std::string EncodeAutoFillRequest(const AutoFillRequest& req) {
+  WireWriter w;
+  PutStrings(&w, req.keys);
+  w.U32(static_cast<uint32_t>(req.examples.size()));
+  for (const auto& [row, value] : req.examples) {
+    w.U64(row);
+    w.Str(value);
+  }
+  w.U64(req.options.min_examples);
+  return std::move(w).Take();
+}
+
+bool DecodeAutoFillRequest(std::string_view body, AutoFillRequest* req) {
+  WireReader r(body);
+  if (!GetStrings(&r, &req->keys)) return false;
+  const uint32_t n = r.U32();
+  if (static_cast<size_t>(n) > r.remaining() / 12 + 1) return false;
+  req->examples.clear();
+  req->examples.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint64_t row = r.U64();
+    req->examples.emplace_back(row, std::string(r.Str()));
+  }
+  req->options.min_examples = r.U64();
+  return RequestOk(r);
+}
+
+std::string EncodeAutoJoinRequest(const AutoJoinRequest& req) {
+  WireWriter w;
+  PutStrings(&w, req.left_keys);
+  PutStrings(&w, req.right_keys);
+  w.F64(req.options.min_join_rate);
+  return std::move(w).Take();
+}
+
+bool DecodeAutoJoinRequest(std::string_view body, AutoJoinRequest* req) {
+  WireReader r(body);
+  if (!GetStrings(&r, &req->left_keys)) return false;
+  if (!GetStrings(&r, &req->right_keys)) return false;
+  req->options.min_join_rate = r.F64();
+  return RequestOk(r);
+}
+
+std::string EncodeLookupBatchRequest(const LookupBatchRequest& req) {
+  WireWriter w;
+  w.U64(req.mapping_index);
+  w.U8(req.direction);
+  PutStrings(&w, req.values);
+  return std::move(w).Take();
+}
+
+bool DecodeLookupBatchRequest(std::string_view body, LookupBatchRequest* req) {
+  WireReader r(body);
+  req->mapping_index = r.U64();
+  req->direction = r.U8();
+  if (req->direction > 1) return false;
+  if (!GetStrings(&r, &req->values)) return false;
+  return RequestOk(r);
+}
+
+// ------------------------------------------------------------- responses
+
+std::string EncodeSuggestCorrectionsResponse(const ResponseHeader& header,
+                                             const AutoCorrectResult& result) {
+  WireWriter w;
+  PutResponseHeader(&w, header);
+  w.U64(static_cast<uint64_t>(static_cast<int64_t>(result.mapping_index)));
+  w.Bool(result.inconsistency_detected);
+  w.U32(static_cast<uint32_t>(result.suggestions.size()));
+  for (const auto& s : result.suggestions) {
+    w.U64(s.row);
+    w.Str(s.original);
+    w.Str(s.suggestion);
+  }
+  return std::move(w).Take();
+}
+
+bool DecodeSuggestCorrectionsResponse(std::string_view body,
+                                      ResponseHeader* header,
+                                      AutoCorrectResult* result) {
+  WireReader r(body);
+  GetResponseHeader(&r, header);
+  result->mapping_index =
+      static_cast<int>(static_cast<int64_t>(r.U64()));
+  result->inconsistency_detected = r.Bool();
+  const uint32_t n = r.U32();
+  if (static_cast<size_t>(n) > r.remaining() / 16 + 1) return false;
+  result->suggestions.clear();
+  result->suggestions.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    CorrectionSuggestion s;
+    s.row = r.U64();
+    s.original = std::string(r.Str());
+    s.suggestion = std::string(r.Str());
+    result->suggestions.push_back(std::move(s));
+  }
+  return r.ok();
+}
+
+std::string EncodeAutoFillResponse(const ResponseHeader& header,
+                                   const AutoFillResult& result) {
+  WireWriter w;
+  PutResponseHeader(&w, header);
+  w.U64(static_cast<uint64_t>(static_cast<int64_t>(result.mapping_index)));
+  PutStrings(&w, result.values);
+  w.U32(static_cast<uint32_t>(result.filled.size()));
+  for (const bool f : result.filled) w.Bool(f);
+  w.U64(result.num_filled);
+  return std::move(w).Take();
+}
+
+bool DecodeAutoFillResponse(std::string_view body, ResponseHeader* header,
+                            AutoFillResult* result) {
+  WireReader r(body);
+  GetResponseHeader(&r, header);
+  result->mapping_index = static_cast<int>(static_cast<int64_t>(r.U64()));
+  if (!GetStrings(&r, &result->values)) return false;
+  const uint32_t n = r.U32();
+  if (static_cast<size_t>(n) > r.remaining()) return false;
+  result->filled.clear();
+  result->filled.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) result->filled.push_back(r.Bool());
+  result->num_filled = r.U64();
+  return r.ok();
+}
+
+std::string EncodeAutoJoinResponse(const ResponseHeader& header,
+                                   const AutoJoinResult& result) {
+  WireWriter w;
+  PutResponseHeader(&w, header);
+  w.U64(static_cast<uint64_t>(static_cast<int64_t>(result.mapping_index)));
+  w.Bool(result.left_keys_are_left_side);
+  w.U32(static_cast<uint32_t>(result.pairs.size()));
+  for (const auto& p : result.pairs) {
+    w.U64(p.left_row);
+    w.U64(p.right_row);
+  }
+  return std::move(w).Take();
+}
+
+bool DecodeAutoJoinResponse(std::string_view body, ResponseHeader* header,
+                            AutoJoinResult* result) {
+  WireReader r(body);
+  GetResponseHeader(&r, header);
+  result->mapping_index = static_cast<int>(static_cast<int64_t>(r.U64()));
+  result->left_keys_are_left_side = r.Bool();
+  const uint32_t n = r.U32();
+  if (static_cast<size_t>(n) > r.remaining() / 16 + 1) return false;
+  result->pairs.clear();
+  result->pairs.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    JoinedRowPair p;
+    p.left_row = r.U64();
+    p.right_row = r.U64();
+    result->pairs.push_back(p);
+  }
+  return r.ok();
+}
+
+std::string EncodeLookupBatchResponse(const ResponseHeader& header,
+                                      const LookupBatchResponse& result) {
+  WireWriter w;
+  PutResponseHeader(&w, header);
+  w.U32(static_cast<uint32_t>(result.values.size()));
+  for (const auto& v : result.values) {
+    w.Bool(v.has_value());
+    w.Str(v.has_value() ? std::string_view(*v) : std::string_view());
+  }
+  return std::move(w).Take();
+}
+
+bool DecodeLookupBatchResponse(std::string_view body, ResponseHeader* header,
+                               LookupBatchResponse* result) {
+  WireReader r(body);
+  GetResponseHeader(&r, header);
+  const uint32_t n = r.U32();
+  if (static_cast<size_t>(n) > r.remaining() / 5 + 1) return false;
+  result->values.clear();
+  result->values.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const bool present = r.Bool();
+    std::string_view s = r.Str();
+    if (present) {
+      result->values.emplace_back(std::string(s));
+    } else {
+      result->values.emplace_back(std::nullopt);
+    }
+  }
+  return r.ok();
+}
+
+std::string EncodeHealthResponse(const ResponseHeader& header,
+                                 const HealthResponse& result) {
+  WireWriter w;
+  PutResponseHeader(&w, header);
+  w.U64(result.generations_skipped);
+  PutStrings(&w, result.quarantined_files);
+  w.U64(result.retries_performed);
+  return std::move(w).Take();
+}
+
+bool DecodeHealthResponse(std::string_view body, ResponseHeader* header,
+                          HealthResponse* result) {
+  WireReader r(body);
+  GetResponseHeader(&r, header);
+  result->generations_skipped = r.U64();
+  if (!GetStrings(&r, &result->quarantined_files)) return false;
+  result->retries_performed = r.U64();
+  return r.ok();
+}
+
+std::string EncodeStatsResponse(const ResponseHeader& header,
+                                const StatsResponse& result) {
+  WireWriter w;
+  PutResponseHeader(&w, header);
+  w.U64(result.total_requests);
+  w.U64(result.total_errors);
+  w.U64(result.malformed_frames);
+  w.U64(result.bytes_in);
+  w.U64(result.bytes_out);
+  w.U64(result.connections_opened);
+  w.U64(result.connections_active);
+  w.U32(static_cast<uint32_t>(result.per_type.size()));
+  for (const auto& [type, s] : result.per_type) {
+    w.U8(type);
+    w.U64(s.count);
+    w.U64(s.errors);
+    w.F64(s.p50_us);
+    w.F64(s.p99_us);
+  }
+  return std::move(w).Take();
+}
+
+bool DecodeStatsResponse(std::string_view body, ResponseHeader* header,
+                         StatsResponse* result) {
+  WireReader r(body);
+  GetResponseHeader(&r, header);
+  result->total_requests = r.U64();
+  result->total_errors = r.U64();
+  result->malformed_frames = r.U64();
+  result->bytes_in = r.U64();
+  result->bytes_out = r.U64();
+  result->connections_opened = r.U64();
+  result->connections_active = r.U64();
+  const uint32_t n = r.U32();
+  if (static_cast<size_t>(n) > r.remaining() / 33 + 1) return false;
+  result->per_type.clear();
+  result->per_type.reserve(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const uint8_t type = r.U8();
+    RequestTypeStats s;
+    s.count = r.U64();
+    s.errors = r.U64();
+    s.p50_us = r.F64();
+    s.p99_us = r.F64();
+    result->per_type.emplace_back(type, s);
+  }
+  return r.ok();
+}
+
+std::string EncodeErrorResponse(const ResponseHeader& header) {
+  WireWriter w;
+  PutResponseHeader(&w, header);
+  return std::move(w).Take();
+}
+
+bool DecodeErrorResponse(std::string_view body, ResponseHeader* header) {
+  WireReader r(body);
+  GetResponseHeader(&r, header);
+  return r.ok();
+}
+
+}  // namespace ms::net

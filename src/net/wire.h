@@ -1,0 +1,279 @@
+// Remote-serving wire protocol (net/): a versioned, length-prefixed binary
+// framing plus the request/response messages for the paper's three
+// applications, batched lookups, health, and server metrics. This is the
+// network boundary ROADMAP item 1 calls for — non-C++ clients talk to a
+// MappingService through these bytes instead of linking the library.
+//
+// Frame layout (fixed 24-byte header, little-endian via persist/wire.h):
+//
+//   offset size field
+//   0      4    magic "MSN1"
+//   4      1    protocol_version (kProtocolVersion)
+//   5      1    msg_type (MsgType)
+//   6      2    reserved, must be zero
+//   8      8    request_id (echoed verbatim in the response)
+//   16     4    body_len (bounded by max_frame_body)
+//   20     4    body_crc (common/crc32 over the body bytes)
+//   24     …    body
+//
+// Every response body begins with a ResponseHeader: a Status code/message
+// plus HealthAndVersion — the serving snapshot version, mapping count, and
+// health bits taken from the SAME acquired ServingSnapshot that answered
+// the request, so a client can detect generation changes on any call
+// without a second (possibly differently-timed) Health round trip.
+//
+// Versioning rules (docs/serving.md "Remote serving"): the header layout is
+// frozen; additive body fields append to the end of an existing message
+// under the same protocol_version (readers must tolerate trailing bytes
+// they do not understand — DecodeX helpers therefore check ok(), not
+// AtEnd(), on responses); any incompatible change bumps kProtocolVersion
+// and the server rejects other versions with kFailedPrecondition.
+//
+// Malformed-input contract: TryDecodeFrame never reads past the buffer,
+// classifies bad magic / reserved bits / oversized length / CRC mismatch
+// as kBadFrame (connection-fatal: resynchronizing a corrupt byte stream is
+// guesswork), and an incomplete header or body as kNeedMoreData. Body
+// decode failures of a well-framed message are NOT connection-fatal — the
+// server answers them with an error response.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "apps/auto_correct.h"
+#include "apps/auto_fill.h"
+#include "apps/auto_join.h"
+#include "common/status.h"
+
+namespace ms::net {
+
+/// "MSN1" as a little-endian u32.
+inline constexpr uint32_t kFrameMagic = 0x314E534Du;
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 24;
+/// Default upper bound on a frame body; ServerOptions/ClientOptions can
+/// lower it. Anything larger is a malformed frame, never an allocation.
+inline constexpr uint32_t kMaxFrameBody = 16u << 20;
+
+/// Request types occupy [1, 0x7F); responses echo the request type with the
+/// high bit set. kErrorResp answers any request the server could frame but
+/// not serve (unknown type, malformed body, version mismatch).
+enum class MsgType : uint8_t {
+  kSuggestCorrectionsReq = 1,
+  kAutoFillReq = 2,
+  kAutoJoinReq = 3,
+  kLookupBatchReq = 4,
+  kHealthReq = 5,
+  kStatsReq = 6,
+  kSuggestCorrectionsResp = 0x81,
+  kAutoFillResp = 0x82,
+  kAutoJoinResp = 0x83,
+  kLookupBatchResp = 0x84,
+  kHealthResp = 0x85,
+  kStatsResp = 0x86,
+  kErrorResp = 0xFF,
+};
+
+/// Number of distinct request types (dense 1..kNumRequestTypes) — sizes the
+/// server's per-type metrics arrays.
+inline constexpr size_t kNumRequestTypes = 6;
+
+inline constexpr MsgType ResponseTypeFor(MsgType req) {
+  return static_cast<MsgType>(static_cast<uint8_t>(req) | 0x80u);
+}
+inline constexpr bool IsRequestType(uint8_t t) {
+  return t >= 1 && t <= kNumRequestTypes;
+}
+
+struct FrameHeader {
+  uint8_t protocol_version = kProtocolVersion;
+  uint8_t msg_type = 0;
+  uint64_t request_id = 0;
+  uint32_t body_len = 0;
+  uint32_t body_crc = 0;
+};
+
+/// Serving state of the snapshot that answered a request, carried on every
+/// response header. `snapshot_version` is ServingSnapshot::version (0 when
+/// nothing is published yet) and `num_mappings` is the size of that same
+/// snapshot's store — never a second, later acquisition, so the two can
+/// never describe different generations.
+struct HealthAndVersion {
+  uint64_t snapshot_version = 0;
+  uint64_t num_mappings = 0;
+  uint64_t generation_served = 0;
+  bool degraded = false;
+
+  bool operator==(const HealthAndVersion&) const = default;
+};
+
+/// Common prefix of every response body.
+struct ResponseHeader {
+  uint8_t status_code = 0;  ///< StatusCode; 0 = ok
+  std::string message;      ///< empty when ok
+  HealthAndVersion health;
+
+  bool ok() const { return status_code == 0; }
+  Status ToStatus() const;
+
+  bool operator==(const ResponseHeader&) const = default;
+};
+
+// ------------------------------------------------------------- requests
+
+struct SuggestCorrectionsRequest {
+  std::vector<std::string> column;
+  AutoCorrectOptions options;
+};
+
+struct AutoFillRequest {
+  std::vector<std::string> keys;
+  /// (row index, expected value) pairs, as in apps/auto_fill.h.
+  std::vector<std::pair<uint64_t, std::string>> examples;
+  AutoFillOptions options;
+};
+
+struct AutoJoinRequest {
+  std::vector<std::string> left_keys;
+  std::vector<std::string> right_keys;
+  AutoJoinOptions options;
+};
+
+struct LookupBatchRequest {
+  uint64_t mapping_index = 0;
+  /// 0 = left→right, 1 = right→left (MappingService::LookupDirection).
+  uint8_t direction = 0;
+  std::vector<std::string> values;
+};
+
+// Health and Stats requests have empty bodies.
+
+// ------------------------------------------------------------ responses
+
+struct LookupBatchResponse {
+  std::vector<std::optional<std::string>> values;
+
+  bool operator==(const LookupBatchResponse&) const = default;
+};
+
+/// ServiceHealth over the wire (the snapshot-bound fields ride on the
+/// ResponseHeader; these are the service-side rotation records).
+struct HealthResponse {
+  uint64_t generations_skipped = 0;
+  std::vector<std::string> quarantined_files;
+  uint64_t retries_performed = 0;
+
+  bool operator==(const HealthResponse&) const = default;
+};
+
+/// Per-request-type server metrics. Latency quantiles come from a bucketed
+/// histogram (net/server.h), so they are estimates with bounded relative
+/// error, not exact order statistics.
+struct RequestTypeStats {
+  uint64_t count = 0;
+  uint64_t errors = 0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+
+  bool operator==(const RequestTypeStats&) const = default;
+};
+
+struct StatsResponse {
+  uint64_t total_requests = 0;
+  uint64_t total_errors = 0;
+  uint64_t malformed_frames = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t connections_opened = 0;
+  uint64_t connections_active = 0;
+  /// One entry per request type, keyed by the MsgType request byte,
+  /// ascending.
+  std::vector<std::pair<uint8_t, RequestTypeStats>> per_type;
+
+  bool operator==(const StatsResponse&) const = default;
+};
+
+// ------------------------------------------------------------- framing
+
+/// Appends one complete frame (header + body) for `body` to `out`.
+void AppendFrame(MsgType type, uint64_t request_id, std::string_view body,
+                 std::string* out);
+
+enum class FrameDecodeStatus {
+  kNeedMoreData,  ///< buffer holds a valid prefix of a frame
+  kFrame,         ///< one complete, CRC-verified frame decoded
+  kBadFrame,      ///< unrecoverable framing error; close the connection
+};
+
+/// Attempts to decode one frame from the front of `buf`. On kFrame, fills
+/// `header`, points `body` into `buf` (valid until the buffer mutates), and
+/// sets `consumed` to the frame's total size so the caller can pop it. On
+/// kBadFrame, `error` names the failure (bad magic, reserved bits, body
+/// over `max_body`, CRC mismatch). Protocol-version mismatches decode as
+/// kFrame — the server must answer them, not cut the connection.
+FrameDecodeStatus TryDecodeFrame(std::string_view buf, size_t max_body,
+                                 FrameHeader* header, std::string_view* body,
+                                 size_t* consumed, std::string* error);
+
+// ------------------------------------------------ body encode / decode
+//
+// EncodeX functions are deterministic: the loopback differential tests
+// assert the server's bytes equal a local encode of the in-process result.
+// DecodeX functions return false on a malformed body (out-of-bounds read or
+// leftover trailing bytes on requests; responses tolerate trailing bytes —
+// see the versioning rules above).
+
+std::string EncodeSuggestCorrectionsRequest(
+    const SuggestCorrectionsRequest& req);
+bool DecodeSuggestCorrectionsRequest(std::string_view body,
+                                     SuggestCorrectionsRequest* req);
+
+std::string EncodeAutoFillRequest(const AutoFillRequest& req);
+bool DecodeAutoFillRequest(std::string_view body, AutoFillRequest* req);
+
+std::string EncodeAutoJoinRequest(const AutoJoinRequest& req);
+bool DecodeAutoJoinRequest(std::string_view body, AutoJoinRequest* req);
+
+std::string EncodeLookupBatchRequest(const LookupBatchRequest& req);
+bool DecodeLookupBatchRequest(std::string_view body, LookupBatchRequest* req);
+
+std::string EncodeSuggestCorrectionsResponse(const ResponseHeader& header,
+                                             const AutoCorrectResult& result);
+bool DecodeSuggestCorrectionsResponse(std::string_view body,
+                                      ResponseHeader* header,
+                                      AutoCorrectResult* result);
+
+std::string EncodeAutoFillResponse(const ResponseHeader& header,
+                                   const AutoFillResult& result);
+bool DecodeAutoFillResponse(std::string_view body, ResponseHeader* header,
+                            AutoFillResult* result);
+
+std::string EncodeAutoJoinResponse(const ResponseHeader& header,
+                                   const AutoJoinResult& result);
+bool DecodeAutoJoinResponse(std::string_view body, ResponseHeader* header,
+                            AutoJoinResult* result);
+
+std::string EncodeLookupBatchResponse(const ResponseHeader& header,
+                                      const LookupBatchResponse& result);
+bool DecodeLookupBatchResponse(std::string_view body, ResponseHeader* header,
+                               LookupBatchResponse* result);
+
+std::string EncodeHealthResponse(const ResponseHeader& header,
+                                 const HealthResponse& result);
+bool DecodeHealthResponse(std::string_view body, ResponseHeader* header,
+                          HealthResponse* result);
+
+std::string EncodeStatsResponse(const ResponseHeader& header,
+                                const StatsResponse& result);
+bool DecodeStatsResponse(std::string_view body, ResponseHeader* header,
+                         StatsResponse* result);
+
+/// Error responses carry only the ResponseHeader (status + health).
+std::string EncodeErrorResponse(const ResponseHeader& header);
+bool DecodeErrorResponse(std::string_view body, ResponseHeader* header);
+
+}  // namespace ms::net

@@ -1,0 +1,1095 @@
+// Lockdown suite for the remote serving subsystem (net/wire.{h,cc},
+// net/server.{h,cc}, net/client.{h,cc}):
+//
+//   - wire round trips: every request/response message survives
+//     encode→decode, requests reject trailing bytes, responses tolerate
+//     them (the additive-fields versioning rule), and the framing layer
+//     classifies every corruption class correctly;
+//   - loopback differential: each of the five request types served over a
+//     real TCP connection is BYTE-IDENTICAL to a local encode of the
+//     in-process MappingService result — the server adds no semantics;
+//   - protocol robustness: unknown types, malformed bodies, version
+//     mismatches, bad magic/CRC/oversized frames each produce the
+//     documented error-response-or-close outcome and never wedge the
+//     server (NetFuzzTest hammers this with random mutations);
+//   - flow control: bounded in-flight with pipelined clients, idle-timeout
+//     reaping;
+//   - the scratch-reusing MappingStore batch overloads match the plain
+//     ones exactly.
+//
+// The multi-threaded half (remote readers during live appends, per-
+// connection version monotonicity) is NetServingConcurrencyTest — the name
+// matches the `concurrency` ctest label's *ServingConcurrency* filter.
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "apps/auto_correct.h"
+#include "apps/auto_fill.h"
+#include "apps/auto_join.h"
+#include "apps/serving.h"
+#include "common/random.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "net/wire.h"
+#include "synth/session.h"
+#include "table/corpus.h"
+
+namespace ms {
+namespace {
+
+using net::AppendFrame;
+using net::FrameDecodeStatus;
+using net::FrameHeader;
+using net::MappingClient;
+using net::MappingServer;
+using net::MsgType;
+using net::ResponseHeader;
+using net::ServerOptions;
+using net::TryDecodeFrame;
+
+// ------------------------------------------------------ corpus construction
+
+struct TableSpec {
+  std::string domain;
+  std::vector<std::string> names;
+  std::vector<std::vector<std::string>> cols;
+};
+
+/// Same web-shaped generator family as the serving suites: a ground mapping
+/// name_i -> code_(i mod 8) sampled with typo and conflict noise.
+std::vector<TableSpec> SmallCorpusSpec(Rng& rng, size_t n_tables) {
+  std::vector<std::string> lefts, rights;
+  for (size_t i = 0; i < 24; ++i) {
+    lefts.push_back("entity name " + std::to_string(i));
+    rights.push_back("code" + std::to_string(i % 8));
+  }
+  std::vector<TableSpec> specs;
+  specs.reserve(n_tables);
+  for (size_t t = 0; t < n_tables; ++t) {
+    TableSpec spec;
+    spec.domain = "domain" + std::to_string(rng.Uniform(4)) + ".example";
+    const size_t rows = 4 + rng.Uniform(5);
+    std::vector<std::string> lcol, rcol;
+    std::set<uint64_t> seen;
+    while (lcol.size() < rows) {
+      const uint64_t li = rng.Uniform(lefts.size());
+      if (!seen.insert(li).second) continue;
+      std::string l = lefts[li];
+      if (rng.Bernoulli(0.1)) {
+        l[rng.Uniform(l.size())] = static_cast<char>('a' + rng.Uniform(26));
+      }
+      std::string r = rights[li];
+      if (rng.Bernoulli(0.05)) r = "code" + std::to_string(rng.Uniform(8));
+      lcol.push_back(std::move(l));
+      rcol.push_back(std::move(r));
+    }
+    spec.names = {"name", "code"};
+    spec.cols = {std::move(lcol), std::move(rcol)};
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+void AddSpecs(TableCorpus* corpus, const std::vector<TableSpec>& specs,
+              size_t begin, size_t end) {
+  for (size_t i = begin; i < end; ++i) {
+    corpus->AddFromStrings(specs[i].domain, TableSource::kWeb, specs[i].names,
+                           specs[i].cols);
+  }
+}
+
+SynthesisOptions ServingOptions() {
+  SynthesisOptions o;
+  o.num_threads = 2;
+  o.min_domains = 1;
+  o.min_pairs = 1;
+  o.extraction.coherence_threshold = -1.0;
+  return o;
+}
+
+std::vector<std::string> QueryKeys() {
+  std::vector<std::string> keys;
+  for (size_t i = 0; i < 24; ++i) {
+    keys.push_back("entity name " + std::to_string(i));
+  }
+  keys.push_back("no such entity");
+  keys.push_back("entity name 3");  // duplicate: exercises dedup
+  return keys;
+}
+
+std::vector<std::string> QueryCodes() {
+  std::vector<std::string> codes;
+  for (size_t i = 0; i < 8; ++i) codes.push_back("code" + std::to_string(i));
+  codes.push_back("code999");
+  return codes;
+}
+
+/// A service synthesized from the standard corpus plus a running server,
+/// torn down in reverse order. health_refresh_ms = 0 so response headers
+/// carry exact (not cached) rotation fields.
+struct ServedFixture {
+  std::vector<TableSpec> specs;
+  TableCorpus corpus;
+  MappingService service;
+  MappingServer server;
+
+  explicit ServedFixture(ServerOptions opts = ExactHealthOptions(),
+                         size_t n_tables = 20)
+      : specs(MakeSpecs(n_tables)), service(ServingOptions()),
+        server(service, opts) {
+    AddSpecs(&corpus, specs, 0, specs.size());
+    EXPECT_TRUE(service.Synthesize(corpus).ok());
+    EXPECT_GT(service.num_mappings(), 0u);
+    EXPECT_TRUE(server.Start().ok());
+    EXPECT_NE(server.port(), 0);
+  }
+
+  static ServerOptions ExactHealthOptions() {
+    ServerOptions o;
+    o.health_refresh_ms = 0;
+    return o;
+  }
+
+  static std::vector<TableSpec> MakeSpecs(size_t n_tables) {
+    Rng rng(0x5EC7A11u);
+    return SmallCorpusSpec(rng, n_tables);
+  }
+
+  MappingClient Connect(net::ClientOptions copts = {}) {
+    auto c = MappingClient::Connect("127.0.0.1", server.port(), copts);
+    EXPECT_TRUE(c.ok()) << c.status().message();
+    return std::move(c.value());
+  }
+};
+
+/// Frame-level test access: a raw TCP connection speaking hand-built bytes.
+class RawConn {
+ public:
+  explicit RawConn(uint16_t port, int timeout_ms = 2000) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd_ < 0) return;
+    timeval tv{};
+    tv.tv_sec = timeout_ms / 1000;
+    tv.tv_usec = (timeout_ms % 1000) * 1000;
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    (void)::setsockopt(fd_, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    const int one = 1;
+    (void)::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  ~RawConn() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  RawConn(const RawConn&) = delete;
+  RawConn& operator=(const RawConn&) = delete;
+
+  bool connected() const { return fd_ >= 0; }
+
+  bool Send(std::string_view bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    return true;
+  }
+
+  enum class Recv { kFrame, kClosed, kTimeout };
+
+  /// Blocks for the next complete frame. kClosed = orderly EOF (and any
+  /// trailing partial bytes discarded), kTimeout = nothing arrived.
+  Recv RecvFrame(FrameHeader* header, std::string* body) {
+    while (true) {
+      std::string_view view;
+      size_t consumed = 0;
+      std::string error;
+      const FrameDecodeStatus st = TryDecodeFrame(
+          buf_, net::kMaxFrameBody, header, &view, &consumed, &error);
+      if (st == FrameDecodeStatus::kFrame) {
+        body->assign(view.data(), view.size());
+        buf_.erase(0, consumed);
+        return Recv::kFrame;
+      }
+      if (st == FrameDecodeStatus::kBadFrame) {
+        ADD_FAILURE() << "server sent an unparseable frame: " << error;
+        return Recv::kClosed;
+      }
+      char chunk[16384];
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buf_.append(chunk, static_cast<size_t>(n));
+        continue;
+      }
+      if (n == 0) return Recv::kClosed;
+      if (errno == EINTR) continue;
+      return Recv::kTimeout;
+    }
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buf_;
+};
+
+// ------------------------------------------------------------ wire layer
+
+TEST(NetWireTest, FrameRoundTripAndIncrementalFeed) {
+  const std::string body = "hello frame body";
+  std::string frame;
+  AppendFrame(MsgType::kHealthReq, 42, body, &frame);
+  ASSERT_EQ(frame.size(), net::kFrameHeaderSize + body.size());
+
+  // Every strict prefix is kNeedMoreData — never a misclassification.
+  for (size_t cut = 0; cut < frame.size(); ++cut) {
+    FrameHeader h;
+    std::string_view b;
+    size_t consumed = 0;
+    std::string error;
+    EXPECT_EQ(TryDecodeFrame(std::string_view(frame).substr(0, cut),
+                             net::kMaxFrameBody, &h, &b, &consumed, &error),
+              FrameDecodeStatus::kNeedMoreData)
+        << "prefix length " << cut;
+  }
+
+  FrameHeader h;
+  std::string_view b;
+  size_t consumed = 0;
+  std::string error;
+  ASSERT_EQ(TryDecodeFrame(frame, net::kMaxFrameBody, &h, &b, &consumed,
+                           &error),
+            FrameDecodeStatus::kFrame);
+  EXPECT_EQ(h.protocol_version, net::kProtocolVersion);
+  EXPECT_EQ(h.msg_type, static_cast<uint8_t>(MsgType::kHealthReq));
+  EXPECT_EQ(h.request_id, 42u);
+  EXPECT_EQ(b, body);
+  EXPECT_EQ(consumed, frame.size());
+}
+
+TEST(NetWireTest, FrameCorruptionClasses) {
+  std::string frame;
+  AppendFrame(MsgType::kLookupBatchReq, 7, "payload", &frame);
+  FrameHeader h;
+  std::string_view b;
+  size_t consumed = 0;
+  std::string error;
+
+  auto classify = [&](std::string f, size_t max_body = net::kMaxFrameBody) {
+    return TryDecodeFrame(f, max_body, &h, &b, &consumed, &error);
+  };
+
+  {
+    std::string f = frame;
+    f[0] ^= 0x01;  // magic
+    EXPECT_EQ(classify(f), FrameDecodeStatus::kBadFrame);
+  }
+  {
+    std::string f = frame;
+    f[6] = 1;  // reserved byte
+    EXPECT_EQ(classify(f), FrameDecodeStatus::kBadFrame);
+  }
+  {
+    std::string f = frame;
+    f[net::kFrameHeaderSize] ^= 0x40;  // body → CRC mismatch
+    EXPECT_EQ(classify(f), FrameDecodeStatus::kBadFrame);
+  }
+  // Oversized body length against a lowered cap.
+  EXPECT_EQ(classify(frame, /*max_body=*/3), FrameDecodeStatus::kBadFrame);
+  // Protocol-version mismatch still decodes — the server must answer it.
+  {
+    std::string f = frame;
+    f[4] = net::kProtocolVersion + 1;
+    EXPECT_EQ(classify(f), FrameDecodeStatus::kFrame);
+    EXPECT_EQ(h.protocol_version, net::kProtocolVersion + 1);
+  }
+}
+
+TEST(NetWireTest, RequestRoundTripsAndExactConsumption) {
+  net::SuggestCorrectionsRequest sc;
+  sc.column = {"a", "", "b b"};
+  sc.options.min_coverage = 0.25;
+  sc.options.min_minority = 3;
+  {
+    const std::string body = EncodeSuggestCorrectionsRequest(sc);
+    net::SuggestCorrectionsRequest out;
+    ASSERT_TRUE(DecodeSuggestCorrectionsRequest(body, &out));
+    EXPECT_EQ(out.column, sc.column);
+    EXPECT_EQ(out.options.min_coverage, sc.options.min_coverage);
+    EXPECT_EQ(out.options.min_minority, sc.options.min_minority);
+    // Requests must consume exactly: trailing bytes are malformed.
+    EXPECT_FALSE(DecodeSuggestCorrectionsRequest(body + "x", &out));
+    // And truncation is malformed.
+    EXPECT_FALSE(DecodeSuggestCorrectionsRequest(
+        std::string_view(body).substr(0, body.size() - 1), &out));
+  }
+
+  net::AutoFillRequest af;
+  af.keys = {"k1", "k2", "k3"};
+  af.examples = {{0, "v1"}, {2, "v3"}};
+  af.options.min_examples = 2;
+  {
+    const std::string body = EncodeAutoFillRequest(af);
+    net::AutoFillRequest out;
+    ASSERT_TRUE(DecodeAutoFillRequest(body, &out));
+    EXPECT_EQ(out.keys, af.keys);
+    EXPECT_EQ(out.examples, af.examples);
+    EXPECT_EQ(out.options.min_examples, af.options.min_examples);
+    EXPECT_FALSE(DecodeAutoFillRequest(body + "x", &out));
+  }
+
+  net::AutoJoinRequest aj;
+  aj.left_keys = {"l1", "l2"};
+  aj.right_keys = {"r1"};
+  aj.options.min_join_rate = 0.5;
+  {
+    const std::string body = EncodeAutoJoinRequest(aj);
+    net::AutoJoinRequest out;
+    ASSERT_TRUE(DecodeAutoJoinRequest(body, &out));
+    EXPECT_EQ(out.left_keys, aj.left_keys);
+    EXPECT_EQ(out.right_keys, aj.right_keys);
+    EXPECT_EQ(out.options.min_join_rate, aj.options.min_join_rate);
+    EXPECT_FALSE(DecodeAutoJoinRequest(body + "x", &out));
+  }
+
+  net::LookupBatchRequest lb;
+  lb.mapping_index = 3;
+  lb.direction = 1;
+  lb.values = {"x", "y", "x"};
+  {
+    const std::string body = EncodeLookupBatchRequest(lb);
+    net::LookupBatchRequest out;
+    ASSERT_TRUE(DecodeLookupBatchRequest(body, &out));
+    EXPECT_EQ(out.mapping_index, lb.mapping_index);
+    EXPECT_EQ(out.direction, lb.direction);
+    EXPECT_EQ(out.values, lb.values);
+    EXPECT_FALSE(DecodeLookupBatchRequest(body + "x", &out));
+    // direction > 1 is malformed.
+    net::LookupBatchRequest bad = lb;
+    bad.direction = 9;
+    EXPECT_FALSE(
+        DecodeLookupBatchRequest(EncodeLookupBatchRequest(bad), &out));
+  }
+}
+
+TEST(NetWireTest, ResponsesTolerateTrailingBytes) {
+  ResponseHeader rh;
+  rh.status_code = 0;
+  rh.health.snapshot_version = 9;
+  rh.health.num_mappings = 4;
+  rh.health.generation_served = 2;
+  rh.health.degraded = true;
+
+  net::LookupBatchResponse lb;
+  lb.values = {std::optional<std::string>("v"), std::nullopt};
+  const std::string body = EncodeLookupBatchResponse(rh, lb);
+
+  ResponseHeader out_h;
+  net::LookupBatchResponse out;
+  // A same-version peer may append fields we do not know: decode succeeds.
+  ASSERT_TRUE(DecodeLookupBatchResponse(body + "future-field", &out_h, &out));
+  EXPECT_EQ(out_h, rh);
+  EXPECT_EQ(out, lb);
+  // Truncation is still malformed.
+  EXPECT_FALSE(DecodeLookupBatchResponse(
+      std::string_view(body).substr(0, body.size() - 1), &out_h, &out));
+}
+
+TEST(NetWireTest, StatsAndHealthAndErrorResponsesRoundTrip) {
+  ResponseHeader rh;
+  rh.status_code = static_cast<uint8_t>(StatusCode::kFailedPrecondition);
+  rh.message = "bad version";
+  rh.health.snapshot_version = 1;
+
+  {
+    const std::string body = EncodeErrorResponse(rh);
+    ResponseHeader out;
+    ASSERT_TRUE(DecodeErrorResponse(body, &out));
+    EXPECT_EQ(out, rh);
+    EXPECT_EQ(out.ToStatus().code(), StatusCode::kFailedPrecondition);
+    EXPECT_EQ(out.ToStatus().message(), "bad version");
+  }
+
+  rh.status_code = 0;
+  rh.message.clear();
+  net::HealthResponse hr;
+  hr.generations_skipped = 2;
+  hr.quarantined_files = {"snap-3.mssnap.corrupt"};
+  hr.retries_performed = 5;
+  {
+    const std::string body = EncodeHealthResponse(rh, hr);
+    ResponseHeader out_h;
+    net::HealthResponse out;
+    ASSERT_TRUE(DecodeHealthResponse(body, &out_h, &out));
+    EXPECT_EQ(out, hr);
+  }
+
+  net::StatsResponse sr;
+  sr.total_requests = 100;
+  sr.total_errors = 3;
+  sr.malformed_frames = 1;
+  sr.bytes_in = 1000;
+  sr.bytes_out = 2000;
+  sr.connections_opened = 7;
+  sr.connections_active = 2;
+  net::RequestTypeStats ts;
+  ts.count = 50;
+  ts.errors = 1;
+  ts.p50_us = 127.0;
+  ts.p99_us = 1023.0;
+  sr.per_type.emplace_back(4, ts);
+  {
+    const std::string body = EncodeStatsResponse(rh, sr);
+    ResponseHeader out_h;
+    net::StatsResponse out;
+    ASSERT_TRUE(DecodeStatsResponse(body, &out_h, &out));
+    EXPECT_EQ(out, sr);
+  }
+}
+
+// ---------------------------------------------------- loopback differential
+
+TEST(NetServerTest, LoopbackDifferentialAllFiveRequestTypes) {
+  ServedFixture fx;
+  MappingClient client = fx.Connect();
+  const auto snap = fx.service.AcquireSnapshot();
+  ASSERT_NE(snap, nullptr);
+
+  // SuggestCorrections: remote result == in-process result, and the
+  // response bytes == a local re-encode of the in-process result under the
+  // response's own header. That second check is the strong one: it pins
+  // every field the server serialized, not just the ones we compare.
+  {
+    std::vector<std::string> column = QueryCodes();
+    column.push_back("entity name 1");  // minority → suggestion material
+    AutoCorrectOptions opts;
+    opts.min_coverage = 0.3;
+    auto remote = client.SuggestCorrections(column, opts);
+    ASSERT_TRUE(remote.ok()) << remote.status().message();
+    const AutoCorrectResult local =
+        fx.service.SuggestCorrections(column, opts);
+    EXPECT_EQ(remote.value().mapping_index, local.mapping_index);
+    EXPECT_EQ(remote.value().suggestions.size(), local.suggestions.size());
+    EXPECT_EQ(client.last_response_body(),
+              EncodeSuggestCorrectionsResponse(client.last_header(), local));
+  }
+
+  // AutoFill.
+  {
+    const std::vector<std::string> keys = QueryKeys();
+    const std::vector<std::pair<size_t, std::string>> examples = {
+        {0, "code0"}, {1, "code1"}};
+    auto remote = client.AutoFill(keys, examples);
+    ASSERT_TRUE(remote.ok()) << remote.status().message();
+    const AutoFillResult local = fx.service.AutoFill(keys, examples);
+    EXPECT_EQ(remote.value().mapping_index, local.mapping_index);
+    EXPECT_EQ(remote.value().values, local.values);
+    EXPECT_EQ(remote.value().num_filled, local.num_filled);
+    EXPECT_EQ(client.last_response_body(),
+              EncodeAutoFillResponse(client.last_header(), local));
+  }
+
+  // AutoJoin.
+  {
+    const std::vector<std::string> lefts = QueryKeys();
+    const std::vector<std::string> rights = QueryCodes();
+    auto remote = client.AutoJoin(lefts, rights);
+    ASSERT_TRUE(remote.ok()) << remote.status().message();
+    const AutoJoinResult local = fx.service.AutoJoin(lefts, rights);
+    EXPECT_EQ(remote.value().mapping_index, local.mapping_index);
+    EXPECT_EQ(remote.value().pairs.size(), local.pairs.size());
+    EXPECT_EQ(client.last_response_body(),
+              EncodeAutoJoinResponse(client.last_header(), local));
+  }
+
+  // LookupBatch, both directions.
+  for (uint8_t direction = 0; direction <= 1; ++direction) {
+    const std::vector<std::string> values =
+        direction == 0 ? QueryKeys() : QueryCodes();
+    auto remote = client.LookupBatch(0, values, direction);
+    ASSERT_TRUE(remote.ok()) << remote.status().message();
+    const auto local = fx.service.LookupBatch(
+        0, values,
+        direction == 0 ? MappingService::LookupDirection::kLeftToRight
+                       : MappingService::LookupDirection::kRightToLeft);
+    EXPECT_EQ(remote.value(), local);
+    net::LookupBatchResponse local_resp;
+    local_resp.values = local;
+    EXPECT_EQ(client.last_response_body(),
+              EncodeLookupBatchResponse(client.last_header(), local_resp));
+  }
+
+  // Health.
+  {
+    auto remote = client.Health();
+    ASSERT_TRUE(remote.ok()) << remote.status().message();
+    const ServiceHealth local = fx.service.health();
+    EXPECT_EQ(remote.value().generations_skipped, local.generations_skipped);
+    EXPECT_EQ(remote.value().quarantined_files, local.quarantined_files);
+    EXPECT_EQ(remote.value().retries_performed, local.retries_performed);
+    net::HealthResponse local_resp;
+    local_resp.generations_skipped = local.generations_skipped;
+    local_resp.quarantined_files = local.quarantined_files;
+    local_resp.retries_performed = local.retries_performed;
+    EXPECT_EQ(client.last_response_body(),
+              EncodeHealthResponse(client.last_header(), local_resp));
+  }
+
+  EXPECT_FALSE(client.version_regressed());
+  EXPECT_EQ(client.max_snapshot_version(), snap->version);
+}
+
+TEST(NetServerTest, EveryResponseCarriesSnapshotBoundHealth) {
+  ServedFixture fx;
+  MappingClient client = fx.Connect();
+
+  auto check_header = [&](const char* what) {
+    const net::HealthAndVersion& h = client.last_header().health;
+    EXPECT_EQ(h.snapshot_version, fx.service.AcquireSnapshot()->version)
+        << what;
+    EXPECT_EQ(h.num_mappings, fx.service.num_mappings()) << what;
+    EXPECT_EQ(h.generation_served, fx.service.health().generation_served)
+        << what;
+    EXPECT_EQ(h.degraded, fx.service.health().degraded()) << what;
+  };
+
+  ASSERT_TRUE(client.LookupBatch(0, {"entity name 1"}).ok());
+  check_header("LookupBatch");
+  ASSERT_TRUE(client.Health().ok());
+  check_header("Health");
+  ASSERT_TRUE(client.Stats().ok());
+  check_header("Stats");
+
+  // A version-bumping transition is visible on the very next response.
+  const uint64_t before = client.last_header().health.snapshot_version;
+  ASSERT_TRUE(fx.service.Resynthesize(ServingOptions()).ok());
+  ASSERT_TRUE(client.Health().ok());
+  EXPECT_EQ(client.last_header().health.snapshot_version, before + 1);
+  EXPECT_FALSE(client.version_regressed());
+}
+
+TEST(NetServerTest, OutOfRangeMappingIndexMirrorsInProcessSemantics) {
+  ServedFixture fx;
+  MappingClient client = fx.Connect();
+  // In-process LookupBatch answers all-nullopt for a bad index, not an
+  // error; the server must mirror that, not invent a failure mode.
+  auto remote = client.LookupBatch(1'000'000, {"a", "b"});
+  ASSERT_TRUE(remote.ok()) << remote.status().message();
+  EXPECT_EQ(remote.value(),
+            fx.service.LookupBatch(1'000'000, {"a", "b"}));
+  EXPECT_EQ(remote.value().size(), 2u);
+  EXPECT_FALSE(remote.value()[0].has_value());
+}
+
+TEST(NetServerTest, StatsCountRequestsAndFoldIntoServiceHealth) {
+  ServedFixture fx;
+  MappingClient client = fx.Connect();
+  ASSERT_TRUE(client.LookupBatch(0, {"entity name 1"}).ok());
+  ASSERT_TRUE(client.Health().ok());
+
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().message();
+  // LookupBatch + Health + this Stats request (counted when it responds).
+  EXPECT_GE(stats.value().total_requests, 2u);
+  EXPECT_GT(stats.value().bytes_in, 0u);
+  EXPECT_GT(stats.value().bytes_out, 0u);
+  EXPECT_GE(stats.value().connections_opened, 1u);
+  EXPECT_GE(stats.value().connections_active, 1u);
+  ASSERT_EQ(stats.value().per_type.size(), net::kNumRequestTypes);
+  const auto& lookup_stats =
+      stats.value().per_type[static_cast<size_t>(MsgType::kLookupBatchReq) - 1];
+  EXPECT_EQ(lookup_stats.first,
+            static_cast<uint8_t>(MsgType::kLookupBatchReq));
+  EXPECT_GE(lookup_stats.second.count, 1u);
+
+  // The same counters surface through ServiceHealth::remote — one health
+  // probe covers the storage story and the network story.
+  const ServiceHealth h = fx.service.health();
+  EXPECT_GE(h.remote.requests, 3u);
+  EXPECT_GT(h.remote.bytes_in, 0u);
+  EXPECT_GT(h.remote.bytes_out, 0u);
+  EXPECT_GE(h.remote.connections_active, 1u);
+
+  // After Stop the source is unregistered: remote goes back to zeros.
+  fx.server.Stop();
+  EXPECT_EQ(fx.service.health().remote.requests, 0u);
+  EXPECT_EQ(fx.service.health().remote.connections_active, 0u);
+}
+
+// ------------------------------------------------------- protocol errors
+
+TEST(NetServerTest, UnknownTypeAndMalformedBodyKeepConnectionAlive) {
+  ServedFixture fx;
+  RawConn raw(fx.server.port());
+  ASSERT_TRUE(raw.connected());
+
+  // Unknown request type: error response, connection survives.
+  {
+    std::string frame;
+    AppendFrame(static_cast<MsgType>(0x50), 1, "", &frame);
+    ASSERT_TRUE(raw.Send(frame));
+    FrameHeader h;
+    std::string body;
+    ASSERT_EQ(raw.RecvFrame(&h, &body), RawConn::Recv::kFrame);
+    EXPECT_EQ(h.msg_type, static_cast<uint8_t>(MsgType::kErrorResp));
+    EXPECT_EQ(h.request_id, 1u);
+    ResponseHeader rh;
+    ASSERT_TRUE(DecodeErrorResponse(body, &rh));
+    EXPECT_EQ(rh.ToStatus().code(), StatusCode::kInvalidArgument);
+  }
+
+  // Malformed body of a well-framed request: error response, survives.
+  {
+    net::LookupBatchRequest req;
+    req.direction = 9;  // decoder rejects
+    std::string frame;
+    AppendFrame(MsgType::kLookupBatchReq, 2, EncodeLookupBatchRequest(req),
+                &frame);
+    ASSERT_TRUE(raw.Send(frame));
+    FrameHeader h;
+    std::string body;
+    ASSERT_EQ(raw.RecvFrame(&h, &body), RawConn::Recv::kFrame);
+    EXPECT_EQ(h.msg_type, static_cast<uint8_t>(MsgType::kErrorResp));
+    EXPECT_EQ(h.request_id, 2u);
+  }
+
+  // The same connection still serves real requests.
+  {
+    std::string frame;
+    AppendFrame(MsgType::kHealthReq, 3, "", &frame);
+    ASSERT_TRUE(raw.Send(frame));
+    FrameHeader h;
+    std::string body;
+    ASSERT_EQ(raw.RecvFrame(&h, &body), RawConn::Recv::kFrame);
+    EXPECT_EQ(h.msg_type, static_cast<uint8_t>(MsgType::kHealthResp));
+    EXPECT_EQ(h.request_id, 3u);
+  }
+}
+
+TEST(NetServerTest, ProtocolVersionMismatchIsRejectedCleanly) {
+  ServedFixture fx;
+  RawConn raw(fx.server.port());
+  ASSERT_TRUE(raw.connected());
+  std::string frame;
+  AppendFrame(MsgType::kHealthReq, 5, "", &frame);
+  frame[4] = net::kProtocolVersion + 1;  // header byte, not CRC-covered
+  ASSERT_TRUE(raw.Send(frame));
+  FrameHeader h;
+  std::string body;
+  ASSERT_EQ(raw.RecvFrame(&h, &body), RawConn::Recv::kFrame);
+  EXPECT_EQ(h.msg_type, static_cast<uint8_t>(MsgType::kErrorResp));
+  ResponseHeader rh;
+  ASSERT_TRUE(DecodeErrorResponse(body, &rh));
+  EXPECT_EQ(rh.ToStatus().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(NetServerTest, FramingCorruptionClosesConnectionAfterErrorResponse) {
+  ServedFixture fx;
+
+  // Bad magic.
+  {
+    RawConn raw(fx.server.port());
+    ASSERT_TRUE(raw.connected());
+    std::string frame;
+    AppendFrame(MsgType::kHealthReq, 6, "", &frame);
+    frame[0] ^= 0x01;
+    ASSERT_TRUE(raw.Send(frame));
+    FrameHeader h;
+    std::string body;
+    // Best-effort error response, then close.
+    const auto first = raw.RecvFrame(&h, &body);
+    if (first == RawConn::Recv::kFrame) {
+      EXPECT_EQ(h.msg_type, static_cast<uint8_t>(MsgType::kErrorResp));
+      EXPECT_EQ(raw.RecvFrame(&h, &body), RawConn::Recv::kClosed);
+    } else {
+      EXPECT_EQ(first, RawConn::Recv::kClosed);
+    }
+  }
+
+  // Body CRC mismatch.
+  {
+    RawConn raw(fx.server.port());
+    ASSERT_TRUE(raw.connected());
+    std::string frame;
+    AppendFrame(MsgType::kLookupBatchReq, 7,
+                EncodeLookupBatchRequest(net::LookupBatchRequest{}), &frame);
+    frame[net::kFrameHeaderSize] ^= 0x40;
+    ASSERT_TRUE(raw.Send(frame));
+    FrameHeader h;
+    std::string body;
+    const auto first = raw.RecvFrame(&h, &body);
+    if (first == RawConn::Recv::kFrame) {
+      EXPECT_EQ(h.msg_type, static_cast<uint8_t>(MsgType::kErrorResp));
+      EXPECT_EQ(raw.RecvFrame(&h, &body), RawConn::Recv::kClosed);
+    } else {
+      EXPECT_EQ(first, RawConn::Recv::kClosed);
+    }
+  }
+
+  // The server is still fully serviceable afterwards.
+  MappingClient client = fx.Connect();
+  EXPECT_TRUE(client.Health().ok());
+}
+
+TEST(NetServerTest, OversizedFrameIsConnectionFatal) {
+  ServerOptions opts = ServedFixture::ExactHealthOptions();
+  opts.max_frame_body = 64;
+  ServedFixture fx(opts);
+  RawConn raw(fx.server.port());
+  ASSERT_TRUE(raw.connected());
+
+  net::LookupBatchRequest req;
+  req.values.assign(16, std::string(32, 'x'));  // body far beyond 64 bytes
+  std::string frame;
+  AppendFrame(MsgType::kLookupBatchReq, 8, EncodeLookupBatchRequest(req),
+              &frame);
+  ASSERT_TRUE(raw.Send(frame));
+  FrameHeader h;
+  std::string body;
+  const auto first = raw.RecvFrame(&h, &body);
+  if (first == RawConn::Recv::kFrame) {
+    EXPECT_EQ(h.msg_type, static_cast<uint8_t>(MsgType::kErrorResp));
+    EXPECT_EQ(raw.RecvFrame(&h, &body), RawConn::Recv::kClosed);
+  } else {
+    EXPECT_EQ(first, RawConn::Recv::kClosed);
+  }
+}
+
+// ----------------------------------------------------------- flow control
+
+TEST(NetServerTest, PipelinedRequestsDrainInOrderUnderTightInFlightCap) {
+  ServerOptions opts = ServedFixture::ExactHealthOptions();
+  opts.max_in_flight_per_connection = 1;  // hardest setting
+  ServedFixture fx(opts);
+  RawConn raw(fx.server.port(), /*timeout_ms=*/10'000);
+  ASSERT_TRUE(raw.connected());
+
+  // Fire a pipeline burst far beyond the cap in one write, then collect.
+  // With the cap at 1 the server must alternate parse → respond → flush —
+  // any accounting slip deadlocks or reorders this, and the per-id echo
+  // catches both.
+  constexpr int kBurst = 48;
+  std::string burst;
+  for (int i = 0; i < kBurst; ++i) {
+    net::LookupBatchRequest req;
+    req.mapping_index = 0;
+    req.values = {"entity name " + std::to_string(i % 24)};
+    AppendFrame(MsgType::kLookupBatchReq, 100 + static_cast<uint64_t>(i),
+                EncodeLookupBatchRequest(req), &burst);
+  }
+  ASSERT_TRUE(raw.Send(burst));
+  for (int i = 0; i < kBurst; ++i) {
+    FrameHeader h;
+    std::string body;
+    ASSERT_EQ(raw.RecvFrame(&h, &body), RawConn::Recv::kFrame)
+        << "response " << i;
+    EXPECT_EQ(h.request_id, 100 + static_cast<uint64_t>(i));
+    EXPECT_EQ(h.msg_type, static_cast<uint8_t>(MsgType::kLookupBatchResp));
+  }
+}
+
+TEST(NetServerTest, IdleConnectionsAreReaped) {
+  ServerOptions opts = ServedFixture::ExactHealthOptions();
+  opts.idle_timeout_ms = 50;
+  ServedFixture fx(opts);
+  RawConn raw(fx.server.port(), /*timeout_ms=*/5'000);
+  ASSERT_TRUE(raw.connected());
+  // Half a frame parks in the server's read buffer; the sweep must still
+  // reap the connection (a stalled sender cannot pin memory forever).
+  std::string frame;
+  AppendFrame(MsgType::kHealthReq, 9, "", &frame);
+  ASSERT_TRUE(raw.Send(std::string_view(frame).substr(0, 10)));
+  FrameHeader h;
+  std::string body;
+  EXPECT_EQ(raw.RecvFrame(&h, &body), RawConn::Recv::kClosed);
+}
+
+TEST(NetServerTest, StopIsIdempotentAndRestartable) {
+  ServedFixture fx;
+  {
+    MappingClient client = fx.Connect();
+    ASSERT_TRUE(client.Health().ok());
+  }
+  fx.server.Stop();
+  fx.server.Stop();  // idempotent
+  EXPECT_FALSE(fx.server.running());
+  ASSERT_TRUE(fx.server.Start().ok());
+  MappingClient client = fx.Connect();
+  EXPECT_TRUE(client.Health().ok());
+  EXPECT_TRUE(client.LookupBatch(0, {"entity name 1"}).ok());
+}
+
+// ------------------------------------------------------------------ fuzz
+
+TEST(NetFuzzTest, MutatedFramesNeverCrashOrWedgeTheServer) {
+  ServedFixture fx;
+  Rng rng(0xF0220F0Fu);
+
+  // Seed pool: one valid frame per request type.
+  std::vector<std::string> seeds;
+  {
+    std::string f;
+    net::SuggestCorrectionsRequest sc;
+    sc.column = QueryCodes();
+    AppendFrame(MsgType::kSuggestCorrectionsReq, 1,
+                EncodeSuggestCorrectionsRequest(sc), &f);
+    seeds.push_back(f);
+    f.clear();
+    net::AutoFillRequest af;
+    af.keys = QueryKeys();
+    af.examples = {{0, "code0"}};
+    AppendFrame(MsgType::kAutoFillReq, 2, EncodeAutoFillRequest(af), &f);
+    seeds.push_back(f);
+    f.clear();
+    net::AutoJoinRequest aj;
+    aj.left_keys = QueryKeys();
+    aj.right_keys = QueryCodes();
+    AppendFrame(MsgType::kAutoJoinReq, 3, EncodeAutoJoinRequest(aj), &f);
+    seeds.push_back(f);
+    f.clear();
+    net::LookupBatchRequest lb;
+    lb.values = QueryKeys();
+    AppendFrame(MsgType::kLookupBatchReq, 4, EncodeLookupBatchRequest(lb),
+                &f);
+    seeds.push_back(f);
+    f.clear();
+    AppendFrame(MsgType::kHealthReq, 5, "", &f);
+    seeds.push_back(f);
+    f.clear();
+    AppendFrame(MsgType::kStatsReq, 6, "", &f);
+    seeds.push_back(f);
+  }
+
+  for (int iter = 0; iter < 120; ++iter) {
+    std::string bytes = seeds[rng.Uniform(seeds.size())];
+    switch (rng.Uniform(5)) {
+      case 0:  // bit flips anywhere (header or body)
+        for (uint64_t flips = 1 + rng.Uniform(4); flips > 0; --flips) {
+          bytes[rng.Uniform(bytes.size())] ^=
+              static_cast<char>(1 << rng.Uniform(8));
+        }
+        break;
+      case 1:  // truncation
+        bytes.resize(rng.Uniform(bytes.size()));
+        break;
+      case 2:  // pure garbage
+        bytes.assign(1 + rng.Uniform(128), '\0');
+        for (auto& b : bytes) b = static_cast<char>(rng.Uniform(256));
+        break;
+      case 3:  // garbage prefix before a valid frame
+        bytes.insert(0, std::string(1 + rng.Uniform(8),
+                                    static_cast<char>(rng.Uniform(256))));
+        break;
+      default:  // valid frame, unmodified
+        break;
+    }
+    RawConn raw(fx.server.port(), /*timeout_ms=*/100);
+    ASSERT_TRUE(raw.connected()) << "iteration " << iter;
+    ASSERT_TRUE(raw.Send(bytes)) << "iteration " << iter;
+    FrameHeader h;
+    std::string body;
+    // Any outcome is acceptable except a test-side hang: a response frame,
+    // a close, or silence (kNeedMoreData waiting on the rest of a
+    // truncated frame). The RecvFrame timeout bounds the iteration.
+    (void)raw.RecvFrame(&h, &body);
+  }
+
+  // The server survived 120 hostile connections and still serves.
+  ASSERT_TRUE(fx.server.running());
+  MappingClient client = fx.Connect();
+  auto health = client.Health();
+  ASSERT_TRUE(health.ok()) << health.status().message();
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats.value().malformed_frames, 0u);
+}
+
+// ------------------------------------------------- scratch-reuse overloads
+
+TEST(MappingStoreScratchTest, ScratchOverloadsMatchPlainOverloadsExactly) {
+  Rng rng(0xB47C4u);
+  const auto specs = SmallCorpusSpec(rng, 20);
+  TableCorpus corpus;
+  AddSpecs(&corpus, specs, 0, specs.size());
+  MappingService service(ServingOptions());
+  ASSERT_TRUE(service.Synthesize(corpus).ok());
+  const MappingStore& store = service.store();
+  ASSERT_GT(store.size(), 0u);
+
+  MappingStore::BatchScratch scratch;  // ONE scratch reused across all calls
+  Rng qrng(0x9E3779B9u);
+  for (size_t i = 0; i < store.size(); ++i) {
+    for (int round = 0; round < 3; ++round) {
+      std::vector<std::string> values;
+      const size_t n = 1 + qrng.Uniform(40);
+      for (size_t k = 0; k < n; ++k) {
+        switch (qrng.Uniform(3)) {
+          case 0:
+            values.push_back("entity name " +
+                             std::to_string(qrng.Uniform(24)));
+            break;
+          case 1:
+            values.push_back("code" + std::to_string(qrng.Uniform(10)));
+            break;
+          default:
+            values.push_back("  Entity NAME " +
+                             std::to_string(qrng.Uniform(24)) + "  ");
+            break;
+        }
+      }
+      EXPECT_EQ(store.LookupRightBatch(i, values),
+                store.LookupRightBatch(i, values, &scratch))
+          << "mapping " << i << " round " << round;
+      EXPECT_EQ(store.LookupLeftBatch(i, values),
+                store.LookupLeftBatch(i, values, &scratch))
+          << "mapping " << i << " round " << round;
+    }
+  }
+}
+
+// ------------------------------------------------------------ concurrency
+
+/// Remote readers during live writer transitions: N client threads hammer
+/// the server while the service appends and resynthesizes. Every response
+/// must be coherent (ok status, version never regressing per connection)
+/// and the final state must agree with in-process queries — the remote
+/// path adds no torn reads on top of the RCU snapshot contract.
+TEST(NetServingConcurrencyTest, RemoteReadersDuringLiveAppends) {
+  Rng rng(0xC0FFEEu);
+  const auto specs = SmallCorpusSpec(rng, 28);
+  constexpr size_t kInitial = 12;
+
+  MappingService service(ServingOptions());
+  TableCorpus corpus;
+  AddSpecs(&corpus, specs, 0, kInitial);
+  ASSERT_TRUE(service.Synthesize(corpus).ok());
+
+  ServerOptions opts;
+  opts.num_workers = 2;
+  opts.health_refresh_ms = 0;
+  MappingServer server(service, opts);
+  ASSERT_TRUE(server.Start().ok());
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> remote_reads{0};
+  constexpr int kReaders = 4;
+
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      auto cr = MappingClient::Connect("127.0.0.1", server.port());
+      if (!cr.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      MappingClient client = std::move(cr.value());
+      Rng trng(0xAB5u + static_cast<uint64_t>(t));
+      const std::vector<std::string> keys = QueryKeys();
+      while (!writer_done.load(std::memory_order_acquire)) {
+        Status st = Status::OK();
+        switch (trng.Uniform(3)) {
+          case 0:
+            st = client.LookupBatch(trng.Uniform(4), keys).status();
+            break;
+          case 1:
+            st = client.Health().status();
+            break;
+          default:
+            st = client.SuggestCorrections(QueryCodes()).status();
+            break;
+        }
+        if (!st.ok() || client.version_regressed()) {
+          ADD_FAILURE() << "reader " << t << ": " << st.message()
+                        << (client.version_regressed()
+                                ? " (version regressed)"
+                                : "");
+          failures.fetch_add(1);
+          return;
+        }
+        remote_reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  std::thread writer([&] {
+    // The corpus is externally owned, so the append path is: grow it in
+    // place, then ResynthesizeAppended picks up the new tables.
+    size_t next = kInitial;
+    while (next < specs.size()) {
+      const size_t end = std::min(next + 4, specs.size());
+      AddSpecs(&corpus, specs, next, end);
+      const Status st = service.ResynthesizeAppended();
+      if (!st.ok()) {
+        ADD_FAILURE() << "writer append: " << st.message();
+        failures.fetch_add(1);
+        break;
+      }
+      next = end;
+    }
+    // Keep publishing generations until every reader has served plenty of
+    // requests across live transitions (mirrors the in-process torture
+    // test's pacing) — a too-fast writer would otherwise end the test
+    // before the remote path ever raced a publication.
+    while (remote_reads.load(std::memory_order_relaxed) < 2'000 &&
+           failures.load() == 0) {
+      const Status st = service.Resynthesize(ServingOptions());
+      if (!st.ok()) {
+        ADD_FAILURE() << "writer resynthesize: " << st.message();
+        failures.fetch_add(1);
+        break;
+      }
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  writer.join();
+  for (auto& r : readers) r.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // Quiesced: the remote view must agree with the in-process view exactly.
+  auto cr = MappingClient::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(cr.ok());
+  MappingClient client = std::move(cr.value());
+  const std::vector<std::string> keys = QueryKeys();
+  for (size_t i = 0; i < std::min<size_t>(service.num_mappings(), 4); ++i) {
+    auto remote = client.LookupBatch(i, keys);
+    ASSERT_TRUE(remote.ok());
+    EXPECT_EQ(remote.value(), service.LookupBatch(i, keys)) << "mapping " << i;
+  }
+  ASSERT_TRUE(client.Health().ok());
+  EXPECT_EQ(client.last_header().health.snapshot_version,
+            service.AcquireSnapshot()->version);
+  EXPECT_FALSE(client.version_regressed());
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace ms
