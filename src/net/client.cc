@@ -118,7 +118,12 @@ Status MappingClient::Call(MsgType request_type,
   if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
   const uint64_t request_id = next_request_id_++;
   std::string frame;
-  AppendFrame(request_type, request_id, request_body, &frame);
+  if (!AppendFrame(request_type, request_id, request_body, &frame)) {
+    return Status::InvalidArgument(
+        "request body of " + std::to_string(request_body.size()) +
+        " bytes exceeds the " + std::to_string(kMaxFrameBody) +
+        "-byte frame limit");
+  }
   MS_RETURN_IF_ERROR(SendAll(frame.data(), frame.size()));
 
   // One request in flight per connection, so the next complete frame is

@@ -122,6 +122,7 @@ Status MappingServer::Start() {
   if (options_.max_frame_body > kMaxFrameBody) {
     return Status::InvalidArgument("max_frame_body exceeds the protocol cap");
   }
+  workers_.clear();  // drop joined workers kept alive for GetStats by Stop()
 
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) return Status::IOError(ErrnoText("socket"));
@@ -208,6 +209,9 @@ void MappingServer::Stop() {
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
+  // The joined workers stay in workers_ (fds closed, counters intact) so
+  // GetStats() racing or following Stop() reads final metrics instead of
+  // freed memory; the next Start() discards them.
   for (auto& w : workers_) {
     for (auto& [fd, conn] : w->conns) {
       ::close(fd);
@@ -216,8 +220,9 @@ void MappingServer::Stop() {
     w->conns.clear();
     ::close(w->epoll_fd);
     ::close(w->event_fd);
+    w->epoll_fd = -1;
+    w->event_fd = -1;
   }
-  workers_.clear();
   ::close(listen_fd_);
   listen_fd_ = -1;
 }
@@ -368,12 +373,18 @@ void MappingServer::ParseFrames(Worker& w, Connection& c) {
       const auto snap = service_.AcquireSnapshot();
       rh.health.snapshot_version = snap ? snap->version : 0;
       rh.health.num_mappings = snap ? snap->store->size() : 0;
+      RefreshCachedHealth(NowMs(), /*force=*/false);
+      {
+        const std::lock_guard<std::mutex> lk(cached_health_mu_);
+        rh.health.generation_served = cached_generation_served_;
+        rh.health.degraded = cached_degraded_;
+      }
       rh.status_code = static_cast<uint8_t>(StatusCode::kInvalidArgument);
       rh.message = "malformed frame: " + error;
       const std::string resp_body = EncodeErrorResponse(rh);
       const size_t before = c.write_buf.size();
-      AppendFrame(MsgType::kErrorResp, header.request_id, resp_body,
-                  &c.write_buf);
+      (void)AppendFrame(MsgType::kErrorResp, header.request_id, resp_body,
+                        &c.write_buf);
       c.queued_total += c.write_buf.size() - before;
       c.response_ends.push_back(c.queued_total);
       c.close_after_flush = true;
@@ -422,7 +433,17 @@ void MappingServer::HandleFrame(Worker& w, Connection& c,
                              : -1;
   auto respond = [&](MsgType type, const std::string& resp_body) {
     const size_t before = c.write_buf.size();
-    AppendFrame(type, header.request_id, resp_body, &c.write_buf);
+    if (!AppendFrame(type, header.request_id, resp_body, &c.write_buf)) {
+      // Response body over the protocol's frame cap: answer with a small
+      // error response instead of desyncing the stream.
+      rh.status_code = static_cast<uint8_t>(StatusCode::kOutOfRange);
+      rh.message = "response of " + std::to_string(resp_body.size()) +
+                   " bytes exceeds the " + std::to_string(kMaxFrameBody) +
+                   "-byte frame limit";
+      type = MsgType::kErrorResp;
+      (void)AppendFrame(type, header.request_id, EncodeErrorResponse(rh),
+                        &c.write_buf);
+    }
     c.queued_total += c.write_buf.size() - before;
     c.response_ends.push_back(c.queued_total);
     const uint64_t us = static_cast<uint64_t>(
@@ -582,13 +603,18 @@ void MappingServer::FlushWrites(Worker& w, Connection& c) {
       return;
     }
   }
-  // Responses drained below the in-flight cap: parse any frames the client
-  // already pipelined into our buffer (reads were paused, not the parses'
-  // input), then re-arm EPOLLIN via want_read.
-  if (!c.close_after_flush &&
-      c.response_ends.size() < options_.max_in_flight_per_connection &&
-      c.read_pos < c.read_buf.size()) {
+  // Responses drained: parse any frames the client already pipelined into
+  // our buffer (reads were paused, not the parses' input). ParseFrames
+  // recomputes want_read; when the read buffer is empty we must recompute
+  // it HERE, or a connection whose buffer drained exactly at a frame
+  // boundary while at the in-flight cap stays deaf forever (want_read
+  // false, nothing armed) — the tap must re-open as responses drain.
+  if (!c.close_after_flush && c.read_pos < c.read_buf.size()) {
     ParseFrames(w, c);
+  } else {
+    c.want_read =
+        !c.close_after_flush &&
+        c.response_ends.size() < options_.max_in_flight_per_connection;
   }
   UpdateEpoll(w, c);
 }

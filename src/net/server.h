@@ -94,7 +94,9 @@ class MappingServer {
   uint16_t port() const { return port_; }
 
   /// Aggregated server metrics; the same numbers a Stats wire request
-  /// returns. Safe from any thread while the server runs.
+  /// returns. Safe from any thread while the server runs AND concurrently
+  /// with / after Stop() — the metric storage outlives the workers until
+  /// the next Start(), which resets it (do not race GetStats with Start).
   StatsResponse GetStats() const;
 
  private:

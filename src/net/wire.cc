@@ -85,8 +85,9 @@ Status ResponseHeader::ToStatus() const {
 
 // --------------------------------------------------------------- framing
 
-void AppendFrame(MsgType type, uint64_t request_id, std::string_view body,
+bool AppendFrame(MsgType type, uint64_t request_id, std::string_view body,
                  std::string* out) {
+  if (body.size() > kMaxFrameBody) return false;
   WireWriter w;
   w.U32(kFrameMagic);
   w.U8(kProtocolVersion);
@@ -98,6 +99,7 @@ void AppendFrame(MsgType type, uint64_t request_id, std::string_view body,
   w.U32(Crc32(body));
   out->append(w.bytes());
   out->append(body.data(), body.size());
+  return true;
 }
 
 FrameDecodeStatus TryDecodeFrame(std::string_view buf, size_t max_body,

@@ -199,8 +199,12 @@ struct StatsResponse {
 
 // ------------------------------------------------------------- framing
 
-/// Appends one complete frame (header + body) for `body` to `out`.
-void AppendFrame(MsgType type, uint64_t request_id, std::string_view body,
+/// Appends one complete frame (header + body) for `body` to `out`. Returns
+/// false — appending nothing — when the body exceeds kMaxFrameBody: framing
+/// it anyway would truncate body_len to u32 and desync the stream, so
+/// oversized payloads must fail cleanly at the producer (the server answers
+/// with an error response instead).
+bool AppendFrame(MsgType type, uint64_t request_id, std::string_view body,
                  std::string* out);
 
 enum class FrameDecodeStatus {

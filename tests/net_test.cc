@@ -331,6 +331,19 @@ TEST(NetWireTest, FrameCorruptionClasses) {
   }
 }
 
+TEST(NetWireTest, OversizedBodyRefusesToFrame) {
+  // A body past the protocol cap must be refused outright: truncating its
+  // length to u32 would emit a frame whose body_len/crc disagree with the
+  // appended bytes and desync the stream.
+  std::string out = "sentinel";
+  const std::string oversized(static_cast<size_t>(net::kMaxFrameBody) + 1,
+                              'x');
+  EXPECT_FALSE(AppendFrame(MsgType::kLookupBatchResp, 1, oversized, &out));
+  EXPECT_EQ(out, "sentinel");  // nothing appended on failure
+  EXPECT_TRUE(AppendFrame(MsgType::kHealthReq, 2, "small", &out));
+  EXPECT_EQ(out.size(), 8 + net::kFrameHeaderSize + 5);
+}
+
 TEST(NetWireTest, RequestRoundTripsAndExactConsumption) {
   net::SuggestCorrectionsRequest sc;
   sc.column = {"a", "", "b b"};
@@ -726,6 +739,16 @@ TEST(NetServerTest, FramingCorruptionClosesConnectionAfterErrorResponse) {
     const auto first = raw.RecvFrame(&h, &body);
     if (first == RawConn::Recv::kFrame) {
       EXPECT_EQ(h.msg_type, static_cast<uint8_t>(MsgType::kErrorResp));
+      // Even the bad-frame error response carries the full rotation
+      // health, same as any served response — clients sampling health
+      // from error responses must not see zeroed fields.
+      ResponseHeader rh;
+      ASSERT_TRUE(DecodeErrorResponse(body, &rh));
+      const ServiceHealth sh = fx.service.health();
+      EXPECT_EQ(rh.health.generation_served, sh.generation_served);
+      EXPECT_EQ(rh.health.degraded, sh.degraded());
+      EXPECT_EQ(rh.health.snapshot_version,
+                fx.service.AcquireSnapshot()->version);
       EXPECT_EQ(raw.RecvFrame(&h, &body), RawConn::Recv::kClosed);
     } else {
       EXPECT_EQ(first, RawConn::Recv::kClosed);
@@ -814,6 +837,31 @@ TEST(NetServerTest, PipelinedRequestsDrainInOrderUnderTightInFlightCap) {
   }
 }
 
+TEST(NetServerTest, ConnectionStaysReadableAfterInFlightCapDrains) {
+  // Regression: with the read buffer drained exactly at a frame boundary
+  // while at the in-flight cap, FlushWrites used to skip the want_read
+  // recompute (it lived only in ParseFrames) — after the response flushed
+  // the connection had zero epoll events armed and went permanently deaf.
+  // Sequential round trips at cap=1 hit that state after EVERY response.
+  ServerOptions opts = ServedFixture::ExactHealthOptions();
+  opts.max_in_flight_per_connection = 1;
+  opts.idle_timeout_ms = 60'000;  // the sweep must not mask a deadlock
+  ServedFixture fx(opts);
+  RawConn raw(fx.server.port(), /*timeout_ms=*/5'000);
+  ASSERT_TRUE(raw.connected());
+  for (uint64_t id = 1; id <= 3; ++id) {
+    std::string frame;
+    AppendFrame(MsgType::kHealthReq, id, "", &frame);
+    ASSERT_TRUE(raw.Send(frame));
+    FrameHeader h;
+    std::string body;
+    ASSERT_EQ(raw.RecvFrame(&h, &body), RawConn::Recv::kFrame)
+        << "round trip " << id << " (connection went deaf after the cap)";
+    EXPECT_EQ(h.request_id, id);
+    EXPECT_EQ(h.msg_type, static_cast<uint8_t>(MsgType::kHealthResp));
+  }
+}
+
 TEST(NetServerTest, IdleConnectionsAreReaped) {
   ServerOptions opts = ServedFixture::ExactHealthOptions();
   opts.idle_timeout_ms = 50;
@@ -839,6 +887,9 @@ TEST(NetServerTest, StopIsIdempotentAndRestartable) {
   fx.server.Stop();
   fx.server.Stop();  // idempotent
   EXPECT_FALSE(fx.server.running());
+  // Metric storage outlives the workers: GetStats after Stop returns the
+  // final counters instead of touching freed memory.
+  EXPECT_GE(fx.server.GetStats().total_requests, 1u);
   ASSERT_TRUE(fx.server.Start().ok());
   MappingClient client = fx.Connect();
   EXPECT_TRUE(client.Health().ok());
