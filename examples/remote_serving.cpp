@@ -11,7 +11,10 @@
 //     operators, and ServiceHealth::remote for whoever already monitors
 //     the service in-process;
 //   - a malformed frame is answered with a clean error and a connection
-//     close — the serving loop shrugs it off.
+//     close — the serving loop shrugs it off;
+//   - the MetricsText scrape exposes the full observability surface
+//     (docs/observability.md) mid-traffic, including the snapshot-version
+//     gauge bumping across a live transition.
 #include <iostream>
 #include <string>
 #include <utility>
@@ -22,6 +25,21 @@
 #include "net/client.h"
 #include "net/server.h"
 #include "synth/session.h"
+
+namespace {
+
+/// Pulls one `name value` / `name{...} value` sample out of an exposition
+/// scrape ("?" if absent) — what a real scraper's parser does, minus the
+/// parser.
+std::string SeriesValue(const std::string& text, const std::string& name) {
+  const size_t pos = text.find(name);
+  if (pos == std::string::npos) return "?";
+  const size_t eol = text.find('\n', pos);
+  const std::string line = text.substr(pos, eol - pos);
+  return line.substr(line.rfind(' ') + 1);
+}
+
+}  // namespace
 
 int main() {
   using namespace ms;
@@ -129,6 +147,33 @@ int main() {
               << ", retries=" << r.value().retries_performed << "\n";
   }
 
+  // --- Scrape live metrics mid-traffic: everything the process recorded
+  // (synthesis stages, serving latencies, env IO counters) plus this
+  // server's per-type request series, as Prometheus-style text.
+  std::string scrape_before;
+  {
+    auto r = client.MetricsText();
+    if (!r.ok()) {
+      std::cerr << "MetricsText failed: " << r.status().ToString() << "\n";
+      return 1;
+    }
+    scrape_before = std::move(r.value());
+    std::cout << "MetricsText: " << scrape_before.size()
+              << " bytes scraped mid-traffic, e.g.\n"
+              << "  ms_synth_stage_us_count{stage=\"extract\"} = "
+              << SeriesValue(scrape_before,
+                             "ms_synth_stage_us_count{stage=\"extract\"}")
+              << "\n  ms_serving_publish_us_count = "
+              << SeriesValue(scrape_before, "ms_serving_publish_us_count ")
+              << "\n  ms_net_requests_total{type=\"lookup_batch\"} = "
+              << SeriesValue(scrape_before,
+                             "ms_net_requests_total{type=\"lookup_batch\"}")
+              << "\n  ms_net_request_us_count{type=\"auto_join\"} = "
+              << SeriesValue(scrape_before,
+                             "ms_net_request_us_count{type=\"auto_join\"}")
+              << "\n";
+  }
+
   // --- A live transition is visible on the very next response: the writer
   // re-publishes, and the client's next header carries the new version.
   const uint64_t v_before = client.last_header().health.snapshot_version;
@@ -145,6 +190,20 @@ int main() {
             << client.last_header().health.snapshot_version
             << " observed on the same connection (monotone: "
             << (client.version_regressed() ? "VIOLATED" : "yes") << ")\n";
+
+  // The same transition shows up in the next scrape: the snapshot-version
+  // gauge bumps and the transition counter ticks.
+  if (auto r = client.MetricsText(); r.ok()) {
+    std::cout << "scrape across the transition: ms_serving_snapshot_version "
+              << SeriesValue(scrape_before, "ms_serving_snapshot_version ")
+              << " -> "
+              << SeriesValue(r.value(), "ms_serving_snapshot_version ")
+              << ", ms_serving_transitions_total "
+              << SeriesValue(scrape_before, "ms_serving_transitions_total ")
+              << " -> "
+              << SeriesValue(r.value(), "ms_serving_transitions_total ")
+              << "\n";
+  }
 
   // --- Metrics, both ways: over the wire and folded into ServiceHealth.
   if (auto r = client.Stats(); r.ok()) {

@@ -3,12 +3,32 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "persist/corpus_store.h"
 #include "persist/mapping_text.h"
 #include "persist/rotation.h"
 #include "table/tsv.h"
 
 namespace ms {
+
+namespace {
+
+// Serving-tier metric families. Request/transition histograms are labelled
+// by operation; call sites cache the pointer in a function-local static so
+// the read hot path costs two relaxed fetch_adds, never the registry mutex.
+obs::Histogram* RequestHistogram(const char* op) {
+  return obs::MetricsRegistry::Global().GetHistogram("ms_serving_request_us",
+                                                     {{"op", op}});
+}
+
+obs::Histogram* TransitionHistogram(const char* op) {
+  return obs::MetricsRegistry::Global().GetHistogram(
+      "ms_serving_transition_us", {{"op", op}});
+}
+
+}  // namespace
 
 MappingService::MappingService(SynthesisOptions options)
     : session_(std::move(options)) {}
@@ -63,6 +83,9 @@ Status MappingService::SynthesizeFromCorpusStore(const std::string& path) {
 
 Status MappingService::StartFreshRunLocked(std::unique_ptr<TableCorpus> owned,
                                            const TableCorpus* external) {
+  static obs::Histogram* const transition_us =
+      TransitionHistogram("synthesize");
+  obs::TraceSpan span("serving.synthesize", transition_us);
   // Fail-closed: the new corpus, pool, and artifacts live only in the
   // BuildState until the chain completes — a mid-chain failure leaves the
   // previous generation (and its corpus) serving untouched.
@@ -220,6 +243,7 @@ ServiceHealth MappingService::health() const {
     if (remote_stats_source_) h.remote = remote_stats_source_();
   }
   h.retries_performed = env_->retries_performed();
+  h.io_failures = env_->io_failures();
   return h;
 }
 
@@ -279,6 +303,8 @@ Status MappingService::ResynthesizeAppended() {
 }
 
 Status MappingService::AppendChainLocked(const TableCorpus* delta) {
+  static obs::Histogram* const transition_us = TransitionHistogram("append");
+  obs::TraceSpan span("serving.append", transition_us);
   if (candidates_ == nullptr) {
     return Status::FailedPrecondition(
         "Append: nothing synthesized yet — call Synthesize (or "
@@ -390,6 +416,9 @@ Status MappingService::Resynthesize(SynthesisOptions new_options) {
 }
 
 Status MappingService::ResynthesizeLocked(SynthesisOptions new_options) {
+  static obs::Histogram* const transition_us =
+      TransitionHistogram("resynthesize");
+  obs::TraceSpan span("serving.resynthesize", transition_us);
   if (candidates_ == nullptr) {
     return Status::FailedPrecondition(
         "Resynthesize: nothing synthesized yet — call Synthesize (or "
@@ -490,6 +519,18 @@ Status MappingService::RunChain(BuildState* s, bool have_candidates,
 }
 
 Status MappingService::CommitAndPublish(BuildState&& s) {
+  static obs::Histogram* const publish_us =
+      obs::MetricsRegistry::Global().GetHistogram("ms_serving_publish_us");
+  static obs::Histogram* const rebuild_us =
+      obs::MetricsRegistry::Global().GetHistogram(
+          "ms_serving_store_rebuild_us");
+  static obs::Counter* const transitions = obs::MetricsRegistry::Global()
+      .GetCounter("ms_serving_transitions_total");
+  static obs::Gauge* const version_gauge = obs::MetricsRegistry::Global()
+      .GetGauge("ms_serving_snapshot_version");
+  static obs::Gauge* const mappings_gauge = obs::MetricsRegistry::Global()
+      .GetGauge("ms_serving_num_mappings");
+  obs::TraceSpan span("serving.publish", publish_us);
   MS_RETURN_IF_ERROR(ConsumeFault(ServingFault::kPublish));
   if (s.pool == nullptr) {
     return Status::Internal("CommitAndPublish: no string pool handle");
@@ -500,12 +541,15 @@ Status MappingService::CommitAndPublish(BuildState&& s) {
   // Build the next generation's store off to the side. Store lookups must
   // normalize exactly like the pipeline did, or raw user probes ("CA ",
   // "California[1]") miss values the pipeline matched.
+  Timer rebuild_timer;
   auto store = std::make_shared<MappingStore>(
       s.pool, session_.options().extraction.normalize,
       containment_index_shards_);
   for (const auto& m : s.result->mappings) {
     store->Add(m, m.left_label + "->" + m.right_label);
   }
+  rebuild_us->Record(
+      static_cast<uint64_t>(rebuild_timer.ElapsedSeconds() * 1e6));
   // Point of no return: from here on everything is noexcept pointer moves,
   // finished by one atomic release-store. Readers either see the complete
   // previous generation or the complete new one — never a mix.
@@ -524,6 +568,11 @@ Status MappingService::CommitAndPublish(BuildState&& s) {
   auto snap = std::make_shared<const ServingSnapshot>(ServingSnapshot{
       store_, pool_keepalive_, last_result_, ++versions_published_});
   serving_.store(std::move(snap), std::memory_order_release);
+  transitions->Increment();
+  // Process-global gauges: with several services in one process the last
+  // publisher wins — documented in docs/observability.md.
+  version_gauge->Set(static_cast<int64_t>(versions_published_));
+  mappings_gauge->Set(static_cast<int64_t>(store_->size()));
   {
     // Every successful transition serves fresh state: the rotation walk
     // that degraded an *earlier* generation says nothing about this one.
@@ -539,6 +588,8 @@ Status MappingService::CommitAndPublish(BuildState&& s) {
 std::vector<std::optional<std::string>> MappingService::LookupBatch(
     size_t mapping_index, const std::vector<std::string>& values,
     LookupDirection direction) const {
+  static obs::Histogram* const request_us = RequestHistogram("lookup_batch");
+  obs::TraceSpan span("serving.lookup_batch", request_us);
   const auto snap = AcquireSnapshot();
   if (snap == nullptr || mapping_index >= snap->store->size()) {
     return std::vector<std::optional<std::string>>(values.size());
@@ -551,6 +602,9 @@ std::vector<std::optional<std::string>> MappingService::LookupBatch(
 AutoCorrectResult MappingService::SuggestCorrections(
     const std::vector<std::string>& column,
     const AutoCorrectOptions& options) const {
+  static obs::Histogram* const request_us =
+      RequestHistogram("suggest_corrections");
+  obs::TraceSpan span("serving.suggest_corrections", request_us);
   const auto snap = AcquireSnapshot();
   if (snap == nullptr) return AutoCorrectResult{};
   return ::ms::SuggestCorrections(*snap->store, column, options);
@@ -560,6 +614,8 @@ AutoFillResult MappingService::AutoFill(
     const std::vector<std::string>& keys,
     const std::vector<std::pair<size_t, std::string>>& examples,
     const AutoFillOptions& options) const {
+  static obs::Histogram* const request_us = RequestHistogram("auto_fill");
+  obs::TraceSpan span("serving.auto_fill", request_us);
   const auto snap = AcquireSnapshot();
   if (snap == nullptr) return AutoFillResult{};
   return ::ms::AutoFill(*snap->store, keys, examples, options);
@@ -569,6 +625,8 @@ AutoJoinResult MappingService::AutoJoin(
     const std::vector<std::string>& left_keys,
     const std::vector<std::string>& right_keys,
     const AutoJoinOptions& options) const {
+  static obs::Histogram* const request_us = RequestHistogram("auto_join");
+  obs::TraceSpan span("serving.auto_join", request_us);
   const auto snap = AcquireSnapshot();
   if (snap == nullptr) return AutoJoinResult{};
   return ::ms::AutoJoin(*snap->store, left_keys, right_keys, options);

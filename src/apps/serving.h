@@ -86,6 +86,9 @@ struct ServiceHealth {
   /// Cumulative transient-IO retries the service's env absorbed (short
   /// writes, EINTR stalls) across all operations so far.
   uint64_t retries_performed = 0;
+  /// Cumulative terminal IO failures the service's env reported (injected
+  /// faults included; expected NotFound probes excluded).
+  uint64_t io_failures = 0;
   /// Load counters of the attached remote server (zeros without one).
   RemoteServingStats remote;
 

@@ -11,11 +11,35 @@
 #include <cstring>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "persist/mmap_file.h"
 
 namespace ms {
 
 namespace {
+
+// Process-global fold of every env's retry/failure counts — registered at
+// load time so a MetricsText scrape reports them (as zeros) even before the
+// first IO operation. Global() is a function-local static, so this is safe
+// across translation units.
+obs::Counter* RetriesCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("ms_env_retries_total");
+  return counter;
+}
+
+obs::Counter* IoFailuresCounter() {
+  static obs::Counter* const counter =
+      obs::MetricsRegistry::Global().GetCounter("ms_env_io_failures_total");
+  return counter;
+}
+
+const struct EnvMetricsRegistrar {
+  EnvMetricsRegistrar() {
+    RetriesCounter();
+    IoFailuresCounter();
+  }
+} g_env_metrics_registrar;
 
 /// "<op> failed for <path>: <strerror>" — the one message shape every IO
 /// failure uses, so operators (and the message-audit test) can count on the
@@ -81,19 +105,21 @@ class PosixEnv final : public Env {
       const std::string& path) override {
     const int fd =
         ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
-    if (fd < 0) return ErrnoError("open for write", path, errno);
+    if (fd < 0) return NotedFailure(ErrnoError("open for write", path, errno));
     return std::unique_ptr<WritableFile>(
         std::make_unique<PosixWritableFile>(path, fd));
   }
 
   Result<std::shared_ptr<MmapFile>> MapReadOnly(
       const std::string& path) override {
-    return MmapFile::Open(path);
+    Result<std::shared_ptr<MmapFile>> mapped = MmapFile::Open(path);
+    if (!mapped.ok()) return NotedFailure(mapped.status());
+    return mapped;
   }
 
   Result<std::string> ReadFileToString(const std::string& path) override {
     const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
-    if (fd < 0) return ErrnoError("open for read", path, errno);
+    if (fd < 0) return NotedFailure(ErrnoError("open for read", path, errno));
     std::string out;
     struct stat st;
     if (::fstat(fd, &st) == 0 && st.st_size > 0) {
@@ -106,7 +132,7 @@ class PosixEnv final : public Env {
         const int err = errno;
         if (err == EINTR) continue;
         ::close(fd);
-        return ErrnoError("read", path, err);
+        return NotedFailure(ErrnoError("read", path, err));
       }
       if (n == 0) break;
       out.append(buf, static_cast<size_t>(n));
@@ -117,29 +143,31 @@ class PosixEnv final : public Env {
 
   Status RenameFile(const std::string& from, const std::string& to) override {
     if (::rename(from.c_str(), to.c_str()) != 0) {
-      return ErrnoError("rename", from + " -> " + to, errno);
+      return NotedFailure(ErrnoError("rename", from + " -> " + to, errno));
     }
     return Status::OK();
   }
 
   Status RemoveFile(const std::string& path) override {
-    if (::unlink(path.c_str()) != 0) return ErrnoError("unlink", path, errno);
+    if (::unlink(path.c_str()) != 0) {
+      return NotedFailure(ErrnoError("unlink", path, errno));
+    }
     return Status::OK();
   }
 
   Status SyncDir(const std::string& dir) override {
     const int fd = ::open(dir.c_str(), O_RDONLY | O_CLOEXEC);
-    if (fd < 0) return ErrnoError("open for fsync", dir, errno);
+    if (fd < 0) return NotedFailure(ErrnoError("open for fsync", dir, errno));
     const int rc = ::fsync(fd);
     const int err = errno;
     ::close(fd);
-    if (rc != 0) return ErrnoError("fsync", dir, err);
+    if (rc != 0) return NotedFailure(ErrnoError("fsync", dir, err));
     return Status::OK();
   }
 
   Result<std::vector<std::string>> ListDir(const std::string& dir) override {
     DIR* d = ::opendir(dir.c_str());
-    if (d == nullptr) return ErrnoError("opendir", dir, errno);
+    if (d == nullptr) return NotedFailure(ErrnoError("opendir", dir, errno));
     std::vector<std::string> names;
     while (struct dirent* entry = ::readdir(d)) {
       const std::string_view name = entry->d_name;
@@ -152,7 +180,7 @@ class PosixEnv final : public Env {
 
   Status CreateDirIfMissing(const std::string& dir) override {
     if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
-      return ErrnoError("mkdir", dir, errno);
+      return NotedFailure(ErrnoError("mkdir", dir, errno));
     }
     return Status::OK();
   }
@@ -173,13 +201,33 @@ Env* Env::Default() {
   return posix_env;
 }
 
+uint64_t Env::NowMicros() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void Env::NoteRetry() {
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  RetriesCounter()->Increment();
+}
+
+void Env::NoteIoFailure() {
+  io_failures_.fetch_add(1, std::memory_order_relaxed);
+  IoFailuresCounter()->Increment();
+}
+
 Status AppendFully(Env& env, WritableFile& file, std::string_view data,
                    const RetryPolicy& policy) {
   int stalls = 0;
   int backoff_ms = policy.initial_backoff_ms;
   while (!data.empty()) {
     Result<size_t> wrote = file.AppendSome(data);
-    if (!wrote.ok()) return wrote.status();
+    // WritableFiles carry no env pointer, so their terminal failures are
+    // counted here at the retry loop — the one choke point every
+    // persistence write routes through.
+    if (!wrote.ok()) return env.NotedFailure(wrote.status());
     const size_t n = wrote.value();
     if (n >= data.size()) return Status::OK();
     // Incomplete attempt: a short write retries immediately (the kernel
@@ -194,10 +242,10 @@ Status AppendFully(Env& env, WritableFile& file, std::string_view data,
       continue;
     }
     if (++stalls > policy.max_zero_progress_retries) {
-      return Status::IOError(
+      return env.NotedFailure(Status::IOError(
           "write failed for " + file.path() + ": no progress after " +
           std::to_string(policy.max_zero_progress_retries) +
-          " retries (interrupted writes)");
+          " retries (interrupted writes)"));
     }
     env.SleepForMs(backoff_ms);
     backoff_ms = std::min(backoff_ms * 2, policy.max_backoff_ms);
@@ -220,8 +268,8 @@ Status AtomicWriteFile(Env& env, const std::string& path,
   // The tmp file must be durable BEFORE the rename, or a power loss can
   // commit the rename while the data blocks are still only in page cache —
   // leaving a torn file where the previous good container used to be.
-  if (st.ok()) st = file->Sync();
-  const Status closed = file->Close();
+  if (st.ok()) st = env.NotedFailure(file->Sync());
+  const Status closed = env.NotedFailure(file->Close());
   if (st.ok()) st = closed;
   if (!st.ok()) {
     env.RemoveFile(tmp);  // best-effort; debris is reclaimed by the next save
@@ -245,7 +293,7 @@ Status WriteStringToFile(Env& env, const std::string& path,
   if (!opened.ok()) return opened.status();
   std::unique_ptr<WritableFile> file = std::move(opened).value();
   Status st = AppendFully(env, *file, contents, policy);
-  const Status closed = file->Close();
+  const Status closed = env.NotedFailure(file->Close());
   return st.ok() ? closed : st;
 }
 

@@ -101,19 +101,44 @@ class Env {
   /// FaultInjectionEnv only counts, so fault sweeps run at full speed.
   virtual void SleepForMs(int ms) = 0;
 
-  // ------------------------------------------------- retry observability
+  /// Monotonic microsecond clock — the injectable time source the tracing
+  /// layer (obs/trace.h) stamps spans with. The default implementation
+  /// reads std::chrono::steady_clock; fake-clock test envs override it for
+  /// deterministic durations.
+  virtual uint64_t NowMicros();
+
+  // ---------------------------------------------- IO-fault observability
   // Absorbed transient-write retries (short writes, EINTR stalls) are
   // counted here by AppendFully so the serving tier can report them
   // (ServiceHealth::retries_performed) — a disk that needs retries to
-  // accept a snapshot is a disk an operator wants to know about.
+  // accept a snapshot is a disk an operator wants to know about. Terminal
+  // IO failures (everything except expected NotFound probes) are counted
+  // alongside. Both feed the per-env counters read by ServiceHealth AND
+  // the process-global metrics registry (ms_env_retries_total /
+  // ms_env_io_failures_total), so a MetricsText scrape reports them
+  // without any per-service plumbing.
 
-  void NoteRetry() { retries_.fetch_add(1, std::memory_order_relaxed); }
+  void NoteRetry();
+  void NoteIoFailure();
   uint64_t retries_performed() const {
     return retries_.load(std::memory_order_relaxed);
+  }
+  uint64_t io_failures() const {
+    return io_failures_.load(std::memory_order_relaxed);
+  }
+
+  /// Counts a terminal failure status on its way out (NotFound is an
+  /// expected probe result, not a failure) — `return NotedFailure(...)` is
+  /// the one-line error path used by env implementations and the retrying
+  /// helpers below.
+  Status NotedFailure(Status st) {
+    if (!st.ok() && st.code() != StatusCode::kNotFound) NoteIoFailure();
+    return st;
   }
 
  private:
   std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> io_failures_{0};
 };
 
 /// Writes all of `data`, absorbing short writes and EINTR stalls with the

@@ -151,6 +151,9 @@ FaultInjectionEnv::Decision FaultInjectionEnv::NextOp(const char* op,
   Decision d;
   if (crash_after_.has_value() && index > *crash_after_ && write_class) {
     crashed_ = true;
+    // Frozen ops count as IO failures on this env — the registry fold sees
+    // injected faults exactly as it would real ones.
+    NoteIoFailure();
     d.failure = Status::IOError(
         std::string(op) + " failed for " + path +
         ": writes frozen [simulated crash]");
@@ -167,6 +170,7 @@ FaultInjectionEnv::Decision FaultInjectionEnv::NextOp(const char* op,
       d.eintr = true;
       return d;
     }
+    NoteIoFailure();
     d.failure = InjectedError(op, path, TerminalErrno(kind));
     return d;
   }

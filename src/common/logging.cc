@@ -1,7 +1,9 @@
 #include "common/logging.h"
 
+#include <unistd.h>
+
 #include <atomic>
-#include <cstdio>
+#include <cerrno>
 #include <mutex>
 
 namespace ms {
@@ -24,10 +26,78 @@ const char* LevelName(LogLevel l) {
   return "?";
 }
 
+bool NeedsQuoting(std::string_view v) {
+  if (v.empty()) return true;
+  for (const char c : v) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' || c == '\n' ||
+        c == '\t') {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string KvPrefix(std::string_view key) {
+  std::string out;
+  out.reserve(key.size() + 2);
+  out.push_back(' ');
+  out.append(key);
+  out.push_back('=');
+  return out;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level = static_cast<int>(level); }
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+std::string LogKv(std::string_view key, std::string_view value) {
+  std::string out = KvPrefix(key);
+  if (!NeedsQuoting(value)) {
+    out.append(value);
+    return out;
+  }
+  out.push_back('"');
+  for (const char c : value) {
+    switch (c) {
+      case '\\':
+        out.append("\\\\");
+        break;
+      case '"':
+        out.append("\\\"");
+        break;
+      case '\n':
+        out.append("\\n");
+        break;
+      case '\t':
+        out.append("\\t");
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string LogKv(std::string_view key, const char* value) {
+  return LogKv(key, std::string_view(value));
+}
+std::string LogKv(std::string_view key, uint64_t value) {
+  return KvPrefix(key) + std::to_string(value);
+}
+std::string LogKv(std::string_view key, int64_t value) {
+  return KvPrefix(key) + std::to_string(value);
+}
+std::string LogKv(std::string_view key, int value) {
+  return KvPrefix(key) + std::to_string(value);
+}
+std::string LogKv(std::string_view key, double value) {
+  return KvPrefix(key) + std::to_string(value);
+}
+std::string LogKv(std::string_view key, bool value) {
+  return KvPrefix(key) + (value ? "true" : "false");
+}
 
 namespace internal {
 
@@ -39,8 +109,29 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (static_cast<int>(level_) < g_level.load()) return;
-  std::lock_guard<std::mutex> lock(g_mu);
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level_), stream_.str().c_str());
+  // One write(2) per line: assembling the full line first and holding the
+  // mutex across the (possibly partial-write-resuming) flush guarantees
+  // lines from concurrent threads never interleave mid-line.
+  std::string line;
+  const std::string body = stream_.str();
+  line.reserve(body.size() + 16);
+  line.push_back('[');
+  line.append(LevelName(level_));
+  line.append("] ");
+  line.append(body);
+  line.push_back('\n');
+  const std::lock_guard<std::mutex> lock(g_mu);
+  size_t off = 0;
+  while (off < line.size()) {
+    const ssize_t n = ::write(STDERR_FILENO, line.data() + off,
+                              line.size() - off);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;  // stderr gone — drop the rest rather than spin
+  }
 }
 
 }  // namespace internal

@@ -1,9 +1,24 @@
 // Minimal leveled logging. Benchmarks and the pipeline use INFO-level
 // progress lines; tests run with logging suppressed by default.
+//
+// Emission is thread-safe and atomic per line: the whole formatted line
+// (prefix, message, newline) is flushed with a single write(2) under a
+// process-wide mutex, so concurrent workers can never interleave fragments
+// of their lines — not even with other writers sharing the stderr fd, for
+// lines within PIPE_BUF.
+//
+// Structured suffixes: LogKv renders one " key=value" pair (values with
+// spaces/quotes/'=' get quoted), the convention the observability layer's
+// slow-span log uses so lines stay machine-splittable:
+//
+//   MS_LOG(Warning) << "slow span" << LogKv("span", name)
+//                   << LogKv("duration_us", us);
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace ms {
 
@@ -12,6 +27,17 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Global threshold; messages below it are dropped.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// " key=value" — a structured log-line suffix. Values containing spaces,
+/// quotes, or '=' are double-quoted with internal quotes/backslashes
+/// escaped; empty values always quote ("key=\"\"" stays parseable).
+std::string LogKv(std::string_view key, std::string_view value);
+std::string LogKv(std::string_view key, const char* value);
+std::string LogKv(std::string_view key, uint64_t value);
+std::string LogKv(std::string_view key, int64_t value);
+std::string LogKv(std::string_view key, int value);
+std::string LogKv(std::string_view key, double value);
+std::string LogKv(std::string_view key, bool value);
 
 namespace internal {
 

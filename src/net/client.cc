@@ -301,4 +301,18 @@ Result<StatsResponse> MappingClient::Stats() {
   return result;
 }
 
+Result<std::string> MappingClient::MetricsText() {
+  std::string_view body;
+  MS_RETURN_IF_ERROR(Call(MsgType::kMetricsTextReq, std::string(), &body));
+  MetricsTextResponse result;
+  if (last_header_.ok() || !body.empty()) {
+    if (!DecodeMetricsTextResponse(body, &last_header_, &result)) {
+      return Status::DataLoss("malformed MetricsText response body");
+    }
+  }
+  TrackVersion();
+  MS_RETURN_IF_ERROR(last_header_.ToStatus());
+  return std::move(result.text);
+}
+
 }  // namespace ms::net

@@ -72,6 +72,9 @@ class MappingClient {
 
   Result<HealthResponse> Health();
   Result<StatsResponse> Stats();
+  /// Scrapes the server's metrics exposition (process registry + ms_net_*
+  /// series) as Prometheus-style text.
+  Result<std::string> MetricsText();
 
   // ------------------------------------------------------- response state
 

@@ -21,14 +21,12 @@
 #include "apps/auto_correct.h"
 #include "apps/auto_fill.h"
 #include "apps/auto_join.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ms::net {
 
 namespace {
-
-/// Power-of-two microsecond latency buckets: bucket bit_width(us) holds
-/// [2^(b-1), 2^b). 40 buckets cover ~17 minutes, far past any timeout.
-constexpr size_t kLatBuckets = 40;
 
 int64_t NowMs() {
   return std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -38,23 +36,6 @@ int64_t NowMs() {
 
 std::string ErrnoText(const char* op) {
   return std::string(op) + " failed: " + std::strerror(errno);
-}
-
-/// Upper bound of the histogram bucket where the cumulative count crosses
-/// rank `q * total` — a quantile estimate with ~2x relative error.
-double BucketQuantile(const uint64_t (&buckets)[kLatBuckets], double q) {
-  uint64_t total = 0;
-  for (uint64_t b : buckets) total += b;
-  if (total == 0) return 0.0;
-  const uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(total));
-  uint64_t seen = 0;
-  for (size_t b = 0; b < kLatBuckets; ++b) {
-    seen += buckets[b];
-    if (seen > rank) {
-      return b == 0 ? 0.0 : static_cast<double>((uint64_t{1} << b) - 1);
-    }
-  }
-  return static_cast<double>((uint64_t{1} << (kLatBuckets - 1)));
 }
 
 }  // namespace
@@ -83,10 +64,13 @@ struct MappingServer::Connection {
 };
 
 struct MappingServer::Worker {
+  /// Per-worker shard of the request metrics — the sharding pattern
+  /// obs/metrics.h documents: each worker records into its own histogram
+  /// with relaxed atomics, GetStats/BuildMetricsText merge the snapshots.
   struct TypeMetrics {
     std::atomic<uint64_t> count{0};
     std::atomic<uint64_t> errors{0};
-    std::atomic<uint64_t> lat[kLatBuckets] = {};
+    obs::Histogram lat;
   };
 
   int index = 0;
@@ -413,6 +397,11 @@ void MappingServer::HandleFrame(Worker& w, Connection& c,
                                 const FrameHeader& header,
                                 std::string_view body) {
   const auto t0 = std::chrono::steady_clock::now();
+  // The wire request id IS the trace id: a slow-span log line or trace-ring
+  // entry for this request carries the id the client chose, so client and
+  // server records correlate without any extra protocol field.
+  obs::TraceScope trace(header.request_id);
+  obs::TraceSpan span("net.handle_frame");
   // Everything this request sees comes from ONE acquired snapshot: the
   // lookups below, the response header's version, and its mapping count.
   const auto snap = service_.AcquireSnapshot();
@@ -450,11 +439,10 @@ void MappingServer::HandleFrame(Worker& w, Connection& c,
         std::chrono::duration_cast<std::chrono::microseconds>(
             std::chrono::steady_clock::now() - t0)
             .count());
-    const size_t bucket = std::min<size_t>(std::bit_width(us), kLatBuckets - 1);
     if (type_index >= 0) {
       auto& m = w.metrics[type_index];
       m.count.fetch_add(1, std::memory_order_relaxed);
-      m.lat[bucket].fetch_add(1, std::memory_order_relaxed);
+      m.lat.Record(us);
       if (type == MsgType::kErrorResp) {
         m.errors.fetch_add(1, std::memory_order_relaxed);
       }
@@ -557,6 +545,7 @@ void MappingServer::HandleFrame(Worker& w, Connection& c,
       result.generations_skipped = h.generations_skipped;
       result.quarantined_files = h.quarantined_files;
       result.retries_performed = h.retries_performed;
+      result.io_failures = h.io_failures;
       rh.health.generation_served = h.generation_served;
       rh.health.degraded = h.degraded();
       respond(MsgType::kHealthResp, EncodeHealthResponse(rh, result));
@@ -564,6 +553,13 @@ void MappingServer::HandleFrame(Worker& w, Connection& c,
     }
     case MsgType::kStatsReq: {
       respond(MsgType::kStatsResp, EncodeStatsResponse(rh, GetStats()));
+      return;
+    }
+    case MsgType::kMetricsTextReq: {
+      MetricsTextResponse result;
+      result.text = BuildMetricsText();
+      respond(MsgType::kMetricsTextResp,
+              EncodeMetricsTextResponse(rh, result));
       return;
     }
     default:
@@ -681,16 +677,14 @@ StatsResponse MappingServer::GetStats() const {
       connections_active_.load(std::memory_order_relaxed);
   for (size_t t = 0; t < kNumRequestTypes; ++t) {
     RequestTypeStats s;
-    uint64_t merged[kLatBuckets] = {};
+    obs::HistogramSnapshot merged;
     for (const auto& w : workers_) {
       s.count += w->metrics[t].count.load(std::memory_order_relaxed);
       s.errors += w->metrics[t].errors.load(std::memory_order_relaxed);
-      for (size_t b = 0; b < kLatBuckets; ++b) {
-        merged[b] += w->metrics[t].lat[b].load(std::memory_order_relaxed);
-      }
+      merged.Merge(w->metrics[t].lat.Snapshot());
     }
-    s.p50_us = BucketQuantile(merged, 0.50);
-    s.p99_us = BucketQuantile(merged, 0.99);
+    s.p50_us = merged.Quantile(0.50);
+    s.p99_us = merged.Quantile(0.99);
     out.total_requests += s.count;
     out.total_errors += s.errors;
     out.per_type.emplace_back(static_cast<uint8_t>(t + 1), s);
@@ -698,6 +692,49 @@ StatsResponse MappingServer::GetStats() const {
   for (const auto& w : workers_) {
     out.total_errors += w->other_errors.load(std::memory_order_relaxed);
   }
+  out.env_retries = service_.env()->retries_performed();
+  out.env_io_failures = service_.env()->io_failures();
+  return out;
+}
+
+std::string MappingServer::BuildMetricsText() const {
+  // Registry first (pipeline, serving, persistence, env series), then the
+  // server's own request metrics — per-worker shards merged here rather
+  // than registered globally, so two servers in one process never mix
+  // request counts.
+  std::string out = obs::MetricsRegistry::Global().ExpositionText();
+  obs::ExpositionBuilder net;
+  uint64_t other_errors = 0;
+  for (size_t t = 0; t < kNumRequestTypes; ++t) {
+    const obs::ExpositionBuilder::Labels labels = {
+        {"type", RequestTypeName(static_cast<uint8_t>(t + 1))}};
+    uint64_t count = 0;
+    uint64_t errors = 0;
+    obs::HistogramSnapshot merged;
+    for (const auto& w : workers_) {
+      count += w->metrics[t].count.load(std::memory_order_relaxed);
+      errors += w->metrics[t].errors.load(std::memory_order_relaxed);
+      merged.Merge(w->metrics[t].lat.Snapshot());
+    }
+    net.Value("ms_net_requests_total", labels, count);
+    net.Value("ms_net_request_errors_total", labels, errors);
+    net.Histo("ms_net_request_us", labels, merged);
+  }
+  for (const auto& w : workers_) {
+    other_errors += w->other_errors.load(std::memory_order_relaxed);
+  }
+  net.Value("ms_net_other_errors_total", {}, other_errors);
+  net.Value("ms_net_malformed_frames_total", {},
+            malformed_frames_.load(std::memory_order_relaxed));
+  net.Value("ms_net_bytes_in_total", {},
+            bytes_in_.load(std::memory_order_relaxed));
+  net.Value("ms_net_bytes_out_total", {},
+            bytes_out_.load(std::memory_order_relaxed));
+  net.Value("ms_net_connections_opened_total", {},
+            connections_opened_.load(std::memory_order_relaxed));
+  net.Value("ms_net_connections_active", {},
+            connections_active_.load(std::memory_order_relaxed));
+  out += std::move(net).Take();
   return out;
 }
 

@@ -99,6 +99,12 @@ class MappingServer {
   /// the next Start(), which resets it (do not race GetStats with Start).
   StatsResponse GetStats() const;
 
+  /// The MetricsText scrape payload: the process metrics registry's text
+  /// exposition followed by this server's request metrics (ms_net_*
+  /// series), rendered per worker-merged histograms. Same thread-safety as
+  /// GetStats.
+  std::string BuildMetricsText() const;
+
  private:
   struct Connection;
   struct Worker;

@@ -83,6 +83,27 @@ Status ResponseHeader::ToStatus() const {
   }
 }
 
+const char* RequestTypeName(uint8_t type) {
+  switch (static_cast<MsgType>(type)) {
+    case MsgType::kSuggestCorrectionsReq:
+      return "suggest_corrections";
+    case MsgType::kAutoFillReq:
+      return "auto_fill";
+    case MsgType::kAutoJoinReq:
+      return "auto_join";
+    case MsgType::kLookupBatchReq:
+      return "lookup_batch";
+    case MsgType::kHealthReq:
+      return "health";
+    case MsgType::kStatsReq:
+      return "stats";
+    case MsgType::kMetricsTextReq:
+      return "metrics_text";
+    default:
+      return "unknown";
+  }
+}
+
 // --------------------------------------------------------------- framing
 
 bool AppendFrame(MsgType type, uint64_t request_id, std::string_view body,
@@ -358,6 +379,7 @@ std::string EncodeHealthResponse(const ResponseHeader& header,
   w.U64(result.generations_skipped);
   PutStrings(&w, result.quarantined_files);
   w.U64(result.retries_performed);
+  w.U64(result.io_failures);
   return std::move(w).Take();
 }
 
@@ -368,6 +390,9 @@ bool DecodeHealthResponse(std::string_view body, ResponseHeader* header,
   result->generations_skipped = r.U64();
   if (!GetStrings(&r, &result->quarantined_files)) return false;
   result->retries_performed = r.U64();
+  // Additive trailing field: absent from pre-observability servers, so its
+  // default (0) stands when the body ends here.
+  result->io_failures = r.ok() && r.remaining() >= 8 ? r.U64() : 0;
   return r.ok();
 }
 
@@ -390,6 +415,8 @@ std::string EncodeStatsResponse(const ResponseHeader& header,
     w.F64(s.p50_us);
     w.F64(s.p99_us);
   }
+  w.U64(result.env_retries);
+  w.U64(result.env_io_failures);
   return std::move(w).Take();
 }
 
@@ -417,6 +444,25 @@ bool DecodeStatsResponse(std::string_view body, ResponseHeader* header,
     s.p99_us = r.F64();
     result->per_type.emplace_back(type, s);
   }
+  // Additive trailing fields (see DecodeHealthResponse).
+  result->env_retries = r.ok() && r.remaining() >= 8 ? r.U64() : 0;
+  result->env_io_failures = r.ok() && r.remaining() >= 8 ? r.U64() : 0;
+  return r.ok();
+}
+
+std::string EncodeMetricsTextResponse(const ResponseHeader& header,
+                                      const MetricsTextResponse& result) {
+  WireWriter w;
+  PutResponseHeader(&w, header);
+  w.Str(result.text);
+  return std::move(w).Take();
+}
+
+bool DecodeMetricsTextResponse(std::string_view body, ResponseHeader* header,
+                               MetricsTextResponse* result) {
+  WireReader r(body);
+  GetResponseHeader(&r, header);
+  result->text = std::string(r.Str());
   return r.ok();
 }
 

@@ -69,18 +69,24 @@ enum class MsgType : uint8_t {
   kLookupBatchReq = 4,
   kHealthReq = 5,
   kStatsReq = 6,
+  kMetricsTextReq = 7,
   kSuggestCorrectionsResp = 0x81,
   kAutoFillResp = 0x82,
   kAutoJoinResp = 0x83,
   kLookupBatchResp = 0x84,
   kHealthResp = 0x85,
   kStatsResp = 0x86,
+  kMetricsTextResp = 0x87,
   kErrorResp = 0xFF,
 };
 
 /// Number of distinct request types (dense 1..kNumRequestTypes) — sizes the
 /// server's per-type metrics arrays.
-inline constexpr size_t kNumRequestTypes = 6;
+inline constexpr size_t kNumRequestTypes = 7;
+
+/// Stable label for a request type byte in [1, kNumRequestTypes] — the
+/// `type` label value of the server's per-type metric series.
+const char* RequestTypeName(uint8_t type);
 
 inline constexpr MsgType ResponseTypeFor(MsgType req) {
   return static_cast<MsgType>(static_cast<uint8_t>(req) | 0x80u);
@@ -166,6 +172,9 @@ struct HealthResponse {
   uint64_t generations_skipped = 0;
   std::vector<std::string> quarantined_files;
   uint64_t retries_performed = 0;
+  /// Terminal IO failures on the service's env (additive trailing field —
+  /// absent on the wire from pre-observability servers, decoded as 0).
+  uint64_t io_failures = 0;
 
   bool operator==(const HealthResponse&) const = default;
 };
@@ -193,8 +202,20 @@ struct StatsResponse {
   /// One entry per request type, keyed by the MsgType request byte,
   /// ascending.
   std::vector<std::pair<uint8_t, RequestTypeStats>> per_type;
+  /// Env-level IO observability (additive trailing fields — decoded as 0
+  /// from pre-observability servers).
+  uint64_t env_retries = 0;
+  uint64_t env_io_failures = 0;
 
   bool operator==(const StatsResponse&) const = default;
+};
+
+/// Prometheus-style text exposition of the process metrics registry plus
+/// the server's own request metrics — the scrape payload.
+struct MetricsTextResponse {
+  std::string text;
+
+  bool operator==(const MetricsTextResponse&) const = default;
 };
 
 // ------------------------------------------------------------- framing
@@ -275,6 +296,11 @@ std::string EncodeStatsResponse(const ResponseHeader& header,
                                 const StatsResponse& result);
 bool DecodeStatsResponse(std::string_view body, ResponseHeader* header,
                          StatsResponse* result);
+
+std::string EncodeMetricsTextResponse(const ResponseHeader& header,
+                                      const MetricsTextResponse& result);
+bool DecodeMetricsTextResponse(std::string_view body, ResponseHeader* header,
+                               MetricsTextResponse* result);
 
 /// Error responses carry only the ResponseHeader (status + health).
 std::string EncodeErrorResponse(const ResponseHeader& header);

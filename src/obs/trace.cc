@@ -1,0 +1,135 @@
+#include "obs/trace.h"
+
+#include "common/logging.h"
+
+namespace ms::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{true};
+std::atomic<uint64_t> g_slow_us{0};
+std::atomic<Env*> g_clock{nullptr};
+std::atomic<uint64_t> g_next_trace_id{1};
+std::atomic<uint64_t> g_next_span_id{1};
+
+struct ThreadTraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;  ///< innermost open span (0 = none)
+};
+
+thread_local ThreadTraceContext t_ctx;
+
+uint64_t Now() {
+  Env* env = g_clock.load(std::memory_order_acquire);
+  return (env != nullptr ? env : Env::Default())->NowMicros();
+}
+
+}  // namespace
+
+void SetTracingEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+bool TracingEnabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetSlowSpanThresholdUs(uint64_t us) {
+  g_slow_us.store(us, std::memory_order_relaxed);
+}
+uint64_t SlowSpanThresholdUs() {
+  return g_slow_us.load(std::memory_order_relaxed);
+}
+
+void SetTraceClockForTests(Env* env) {
+  g_clock.store(env, std::memory_order_release);
+}
+
+TraceRing& GlobalTraceRing() {
+  static TraceRing* ring = new TraceRing();
+  return *ring;
+}
+
+uint64_t CurrentTraceId() { return t_ctx.trace_id; }
+
+void TraceRing::Record(const SpanRecord& span) {
+  total_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_lock<std::mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    // Never block a serving thread on trace bookkeeping: a contended ring
+    // loses the record, not the request's latency budget.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  ring_[next_] = span;
+  next_ = (next_ + 1) % kCapacity;
+  if (size_ < kCapacity) ++size_;
+}
+
+std::vector<SpanRecord> TraceRing::Snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(size_);
+  const size_t start = (next_ + kCapacity - size_) % kCapacity;
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % kCapacity]);
+  }
+  return out;
+}
+
+void TraceRing::Clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  next_ = 0;
+  size_ = 0;
+}
+
+TraceScope::TraceScope(uint64_t trace_id)
+    : prev_trace_id_(t_ctx.trace_id), prev_span_id_(t_ctx.span_id) {
+  t_ctx.trace_id = trace_id;
+  t_ctx.span_id = 0;
+}
+
+TraceScope::~TraceScope() {
+  t_ctx.trace_id = prev_trace_id_;
+  t_ctx.span_id = prev_span_id_;
+}
+
+TraceSpan::TraceSpan(const char* name, Histogram* latency)
+    : name_(name), latency_(latency), enabled_(TracingEnabled()) {
+  if (!enabled_) return;
+  if (t_ctx.trace_id == 0) {
+    t_ctx.trace_id =
+        g_next_trace_id.fetch_add(1, std::memory_order_relaxed);
+    owns_trace_ = true;
+  }
+  trace_id_ = t_ctx.trace_id;
+  parent_span_id_ = t_ctx.span_id;
+  span_id_ = g_next_span_id.fetch_add(1, std::memory_order_relaxed);
+  t_ctx.span_id = span_id_;
+  start_us_ = Now();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!enabled_) return;
+  const uint64_t end_us = Now();
+  const uint64_t duration = end_us >= start_us_ ? end_us - start_us_ : 0;
+  t_ctx.span_id = parent_span_id_;
+  // A span that allocated its trace id ends the trace; spans under a
+  // TraceScope (or an enclosing span) leave the id for its owner to close.
+  if (owns_trace_) t_ctx.trace_id = 0;
+  if (latency_ != nullptr) latency_->Record(duration);
+  SpanRecord record;
+  record.trace_id = trace_id_;
+  record.span_id = span_id_;
+  record.parent_span_id = parent_span_id_;
+  record.name = name_;
+  record.start_us = start_us_;
+  record.duration_us = duration;
+  GlobalTraceRing().Record(record);
+  const uint64_t slow = SlowSpanThresholdUs();
+  if (slow != 0 && duration >= slow) {
+    MS_LOG(Warning) << "slow span" << LogKv("span", name_)
+                    << LogKv("trace_id", trace_id_)
+                    << LogKv("duration_us", duration)
+                    << LogKv("threshold_us", slow);
+  }
+}
+
+}  // namespace ms::obs

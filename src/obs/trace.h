@@ -1,0 +1,127 @@
+// Lightweight request tracing: TraceSpan RAII scopes stamped through the
+// injectable Env::NowMicros clock, per-request trace IDs threaded through
+// a thread-local context (so MappingService reader calls and every
+// SynthesisSession stage share one trace without widening any public
+// signature), a bounded in-memory ring of recently completed spans for
+// post-hoc inspection, and a threshold-configurable slow-request log line
+// through common/logging.
+//
+// Cost model: when tracing is disabled (SetTracingEnabled(false)) a span is
+// one relaxed atomic load and a branch — no clock reads, no ring traffic,
+// no histogram record. When enabled it is two NowMicros calls, two relaxed
+// histogram adds (if a histogram is attached), and a try_lock ring push
+// that DROPS the record under contention rather than waiting — the hot
+// path never blocks on the ring (dropped spans are counted).
+//
+// Span names must be string literals (static storage): records keep the
+// pointer, not a copy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/env.h"
+#include "obs/metrics.h"
+
+namespace ms::obs {
+
+/// One completed span. `name` points at the literal the span was opened
+/// with; parent_span_id is 0 for root spans.
+struct SpanRecord {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_span_id = 0;
+  const char* name = "";
+  uint64_t start_us = 0;
+  uint64_t duration_us = 0;
+};
+
+/// Global tracing switch (default ON — the standing bench gates run with
+/// instrumentation live, and bench_obs bounds the overhead at <2%).
+void SetTracingEnabled(bool enabled);
+bool TracingEnabled();
+
+/// Spans with duration >= this threshold emit one WARN line through
+/// common/logging (LogKv-structured). 0 (default) disables the log.
+void SetSlowSpanThresholdUs(uint64_t us);
+uint64_t SlowSpanThresholdUs();
+
+/// Overrides the clock spans are stamped with (nullptr restores
+/// Env::Default()). The env must outlive every span opened under it;
+/// test-only — production spans read the posix steady clock.
+void SetTraceClockForTests(Env* env);
+
+/// Bounded ring of the most recently completed spans.
+class TraceRing {
+ public:
+  static constexpr size_t kCapacity = 256;
+
+  /// try_lock push: drops (and counts) the record when the ring is busy.
+  void Record(const SpanRecord& span);
+  /// Completed spans, oldest first, up to kCapacity.
+  std::vector<SpanRecord> Snapshot() const;
+  void Clear();
+  uint64_t dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  uint64_t total_recorded() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  mutable std::mutex mu_;
+  SpanRecord ring_[kCapacity];
+  size_t next_ = 0;
+  size_t size_ = 0;
+  std::atomic<uint64_t> dropped_{0};
+  std::atomic<uint64_t> total_{0};
+};
+
+TraceRing& GlobalTraceRing();
+
+/// Trace id active on the current thread (0 = none).
+uint64_t CurrentTraceId();
+
+/// Pins an externally supplied trace id (e.g. the wire request_id) on the
+/// current thread for the scope's lifetime; spans opened inside inherit it.
+/// Restores the previous context on destruction, so scopes nest.
+class TraceScope {
+ public:
+  explicit TraceScope(uint64_t trace_id);
+  ~TraceScope();
+
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+
+ private:
+  uint64_t prev_trace_id_;
+  uint64_t prev_span_id_;
+};
+
+/// RAII span: opens on construction, records on destruction. Inherits the
+/// thread's active trace (allocating a fresh trace id for roots) and makes
+/// itself the parent of spans opened inside it. When `latency` is given,
+/// the duration (µs) is also recorded there — the one-liner that gives a
+/// code path both a trace span and a registry histogram.
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name, Histogram* latency = nullptr);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  uint64_t trace_id() const { return trace_id_; }
+
+ private:
+  const char* name_;
+  Histogram* latency_;
+  bool enabled_;
+  /// True when this span allocated the thread's trace id (no TraceScope or
+  /// enclosing span was active) — it then clears the id on close.
+  bool owns_trace_ = false;
+  uint64_t trace_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_id_ = 0;
+  uint64_t start_us_ = 0;
+};
+
+}  // namespace ms::obs

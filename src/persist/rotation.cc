@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace ms::persist {
 
 namespace {
@@ -79,14 +81,19 @@ Status WriteCurrentFile(Env& env, const std::string& dir,
 
 Status QuarantineSnapshot(Env& env, const std::string& dir,
                           const std::string& name) {
+  static obs::Counter* const quarantined = obs::MetricsRegistry::Global()
+      .GetCounter("ms_persist_quarantined_total");
   const std::string from = dir + "/" + name;
   MS_RETURN_IF_ERROR(env.RenameFile(from, from + kCorruptSuffix));
+  quarantined->Increment();
   // Make the fence durable: a quarantined generation that reappears after
   // a reboot would be re-verified (and re-fail) forever.
   return env.SyncDir(dir);
 }
 
 Status PruneSnapshots(Env& env, const std::string& dir, int keep) {
+  static obs::Counter* const pruned = obs::MetricsRegistry::Global()
+      .GetCounter("ms_persist_pruned_total");
   if (keep < 1) keep = 1;
   Result<std::vector<GenerationEntry>> listed = ListGenerations(env, dir);
   if (!listed.ok()) return listed.status();
@@ -96,6 +103,7 @@ Status PruneSnapshots(Env& env, const std::string& dir, int keep) {
   for (size_t i = 0; i + static_cast<size_t>(keep) < entries.size(); ++i) {
     const Status st = env.RemoveFile(dir + "/" + entries[i].name);
     if (!st.ok() && first_error.ok()) first_error = st;
+    if (st.ok()) pruned->Increment();
     removed = removed || st.ok();
   }
   if (removed) {

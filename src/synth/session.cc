@@ -11,6 +11,8 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "graph/connected_components.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "persist/artifact_codec.h"
 #include "persist/wire.h"
 #include "stats/inverted_index.h"
@@ -225,6 +227,14 @@ void AddExtractionStats(ExtractionStats* dst, const ExtractionStats& s) {
   dst->normalize_cache_misses += s.normalize_cache_misses;
 }
 
+/// One histogram per pipeline stage, labelled `ms_synth_stage_us{stage=...}`.
+/// `stage` must be a string literal; call sites cache the pointer in a
+/// function-local static so the hot path never touches the registry mutex.
+obs::Histogram* StageHistogram(const char* stage) {
+  return obs::MetricsRegistry::Global().GetHistogram("ms_synth_stage_us",
+                                                     {{"stage", stage}});
+}
+
 void FillBlockingStats(const BlockingStats& bstats, size_t num_pairs,
                        double seconds, PipelineStats* stats) {
   stats->blocking_seconds = seconds;
@@ -366,6 +376,8 @@ Result<CandidateSet> SynthesisSession::ExtractCandidates(
     const TableCorpus& corpus) {
   const std::lock_guard<std::recursive_mutex> lock(run_mu_);
   MS_RETURN_IF_ERROR(ReadyToRun());
+  static obs::Histogram* const stage_us = StageHistogram("extract");
+  obs::TraceSpan span("synth.extract", stage_us);
   CandidateSet out;
   Timer step;
   // With the coherence filter disabled (threshold at/below the score
@@ -421,6 +433,8 @@ Result<BlockedPairs> SynthesisSession::BlockPairs(
   const std::lock_guard<std::recursive_mutex> lock(run_mu_);
   MS_RETURN_IF_ERROR(ReadyToRun());
   MS_RETURN_IF_ERROR(CheckSameSession("BlockPairs", candidates.session));
+  static obs::Histogram* const stage_us = StageHistogram("block");
+  obs::TraceSpan span("synth.block", stage_us);
   BlockedPairs out;
   Timer timer;
   out.pairs = GenerateCandidatePairs(candidates.tables(), options_.blocking,
@@ -496,6 +510,8 @@ Result<ScoredGraph> SynthesisSession::ScorePairs(
   MS_RETURN_IF_ERROR(CheckLineage("ScorePairs", blocked.session,
                                   blocked.candidates_id,
                                   candidates.artifact_id));
+  static obs::Histogram* const stage_us = StageHistogram("score");
+  obs::TraceSpan span("synth.score", stage_us);
   ScoredGraph out;
   Timer timer;
   ScoringStats scoring;
@@ -517,6 +533,8 @@ Result<Partitions> SynthesisSession::Partition(const ScoredGraph& sg) {
   const std::lock_guard<std::recursive_mutex> lock(run_mu_);
   MS_RETURN_IF_ERROR(ReadyToRun());
   MS_RETURN_IF_ERROR(CheckSameSession("Partition", sg.session));
+  static obs::Histogram* const stage_us = StageHistogram("partition");
+  obs::TraceSpan span("synth.partition", stage_us);
   const CompatibilityGraph& graph = sg.graph;
   Partitions out;
   out.stats = sg.stats;
@@ -599,6 +617,8 @@ Result<SynthesisResult> SynthesisSession::Resolve(
         "(ids " + std::to_string(partitions.graph_id) + " vs " +
         std::to_string(graph.artifact_id) + ")");
   }
+  static obs::Histogram* const stage_us = StageHistogram("resolve");
+  obs::TraceSpan span("synth.resolve", stage_us);
   const std::vector<BinaryTable>& cands = candidates.tables();
   const ConflictResolutionOptions conflict = EffectiveConflict();
 
@@ -727,6 +747,8 @@ Result<AppendedArtifacts> SynthesisSession::AppendTables(
     }
   }
 
+  static obs::Histogram* const stage_us = StageHistogram("append");
+  obs::TraceSpan span("synth.append", stage_us);
   Timer append_timer;
   AppendedArtifacts out;
   out.append.appended_tables = corpus.size() - first_new_table;
@@ -1090,6 +1112,9 @@ Status SynthesisSession::SaveSnapshot(const std::string& path,
                                     scored->candidates_id,
                                     candidates.artifact_id));
   }
+  static obs::Histogram* const save_us =
+      obs::MetricsRegistry::Global().GetHistogram("ms_persist_save_us");
+  obs::TraceSpan span("persist.save_snapshot", save_us);
   MS_RETURN_IF_ERROR(persist::SaveSessionSnapshot(
       path, OptionsFingerprint(options_), candidates, blocked, scored,
       result, env_));
@@ -1101,6 +1126,9 @@ Result<SessionSnapshot> SynthesisSession::RestoreSnapshot(
     const std::string& path) {
   const std::lock_guard<std::recursive_mutex> lock(run_mu_);
   MS_RETURN_IF_ERROR(ReadyToRun());
+  static obs::Histogram* const restore_us =
+      obs::MetricsRegistry::Global().GetHistogram("ms_persist_restore_us");
+  obs::TraceSpan span("persist.restore_snapshot", restore_us);
   Result<SessionSnapshot> loaded =
       persist::LoadSessionSnapshot(path, OptionsFingerprint(options_), env_);
   if (!loaded.ok()) return loaded.status();
@@ -1142,6 +1170,7 @@ Result<SessionSnapshot> SynthesisSession::RestoreSnapshot(
 
 Result<SynthesisResult> SynthesisSession::Run(const TableCorpus& corpus) {
   const std::lock_guard<std::recursive_mutex> lock(run_mu_);
+  obs::TraceSpan span("synth.run");
   Timer total;
   Result<CandidateSet> cands = ExtractCandidates(corpus);
   if (!cands.ok()) return cands.status();

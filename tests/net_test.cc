@@ -26,7 +26,9 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cctype>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
 #include <optional>
 #include <set>
@@ -455,12 +457,20 @@ TEST(NetWireTest, StatsAndHealthAndErrorResponsesRoundTrip) {
   hr.generations_skipped = 2;
   hr.quarantined_files = {"snap-3.mssnap.corrupt"};
   hr.retries_performed = 5;
+  hr.io_failures = 3;
   {
     const std::string body = EncodeHealthResponse(rh, hr);
     ResponseHeader out_h;
     net::HealthResponse out;
     ASSERT_TRUE(DecodeHealthResponse(body, &out_h, &out));
     EXPECT_EQ(out, hr);
+    // A pre-io_failures peer's body is the same encoding minus the trailing
+    // u64: it must still decode, with the new field defaulting to zero.
+    net::HealthResponse old_out;
+    ASSERT_TRUE(DecodeHealthResponse(
+        std::string_view(body).substr(0, body.size() - 8), &out_h, &old_out));
+    EXPECT_EQ(old_out.retries_performed, hr.retries_performed);
+    EXPECT_EQ(old_out.io_failures, 0u);
   }
 
   net::StatsResponse sr;
@@ -477,13 +487,54 @@ TEST(NetWireTest, StatsAndHealthAndErrorResponsesRoundTrip) {
   ts.p50_us = 127.0;
   ts.p99_us = 1023.0;
   sr.per_type.emplace_back(4, ts);
+  sr.env_retries = 11;
+  sr.env_io_failures = 2;
   {
     const std::string body = EncodeStatsResponse(rh, sr);
     ResponseHeader out_h;
     net::StatsResponse out;
     ASSERT_TRUE(DecodeStatsResponse(body, &out_h, &out));
     EXPECT_EQ(out, sr);
+    // Pre-env-counters peers end the body before the two trailing u64s.
+    net::StatsResponse old_out;
+    ASSERT_TRUE(DecodeStatsResponse(
+        std::string_view(body).substr(0, body.size() - 16), &out_h, &old_out));
+    EXPECT_EQ(old_out.total_requests, sr.total_requests);
+    EXPECT_EQ(old_out.env_retries, 0u);
+    EXPECT_EQ(old_out.env_io_failures, 0u);
   }
+}
+
+TEST(NetWireTest, MetricsTextResponseRoundTripAndByteStability) {
+  ResponseHeader rh;
+  rh.status_code = 0;
+  rh.health.snapshot_version = 12;
+  rh.health.num_mappings = 3;
+
+  net::MetricsTextResponse mt;
+  mt.text =
+      "ms_demo_total 4\n"
+      "ms_demo_us_bucket{le=\"1\"} 2\n";
+  const std::string body = EncodeMetricsTextResponse(rh, mt);
+  // Encoding is deterministic: the same response encodes to the same bytes.
+  EXPECT_EQ(body, EncodeMetricsTextResponse(rh, mt));
+
+  ResponseHeader out_h;
+  net::MetricsTextResponse out;
+  ASSERT_TRUE(DecodeMetricsTextResponse(body, &out_h, &out));
+  EXPECT_EQ(out_h, rh);
+  EXPECT_EQ(out, mt);
+  // Additive-evolution rules hold for the new message too: trailing bytes
+  // tolerated, truncation rejected.
+  ASSERT_TRUE(DecodeMetricsTextResponse(body + "future", &out_h, &out));
+  EXPECT_EQ(out, mt);
+  EXPECT_FALSE(DecodeMetricsTextResponse(
+      std::string_view(body).substr(0, body.size() - 1), &out_h, &out));
+
+  net::MetricsTextResponse empty;
+  const std::string empty_body = EncodeMetricsTextResponse(rh, empty);
+  ASSERT_TRUE(DecodeMetricsTextResponse(empty_body, &out_h, &out));
+  EXPECT_EQ(out.text, "");
 }
 
 // ---------------------------------------------------- loopback differential
@@ -566,10 +617,12 @@ TEST(NetServerTest, LoopbackDifferentialAllFiveRequestTypes) {
     EXPECT_EQ(remote.value().generations_skipped, local.generations_skipped);
     EXPECT_EQ(remote.value().quarantined_files, local.quarantined_files);
     EXPECT_EQ(remote.value().retries_performed, local.retries_performed);
+    EXPECT_EQ(remote.value().io_failures, local.io_failures);
     net::HealthResponse local_resp;
     local_resp.generations_skipped = local.generations_skipped;
     local_resp.quarantined_files = local.quarantined_files;
     local_resp.retries_performed = local.retries_performed;
+    local_resp.io_failures = local.io_failures;
     EXPECT_EQ(client.last_response_body(),
               EncodeHealthResponse(client.last_header(), local_resp));
   }
@@ -653,6 +706,70 @@ TEST(NetServerTest, StatsCountRequestsAndFoldIntoServiceHealth) {
   fx.server.Stop();
   EXPECT_EQ(fx.service.health().remote.requests, 0u);
   EXPECT_EQ(fx.service.health().remote.connections_active, 0u);
+}
+
+TEST(NetServerTest, MetricsTextScrapesRegistryAndNetSeries) {
+  ServedFixture fx;
+  MappingClient client = fx.Connect();
+  ASSERT_TRUE(client.LookupBatch(0, {"entity name 1"}).ok());
+  ASSERT_TRUE(client.Health().ok());
+
+  auto scrape = client.MetricsText();
+  ASSERT_TRUE(scrape.ok()) << scrape.status().message();
+  const std::string& text = scrape.value();
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+
+  // Every line is `name value` or `name{labels} value` with a numeric value
+  // — the shape a Prometheus-style scraper expects.
+  size_t lines = 0;
+  for (size_t pos = 0; pos < text.size();) {
+    size_t eol = text.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos) << "unterminated final line";
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    ++lines;
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name_part = line.substr(0, space);
+    const std::string value_part = line.substr(space + 1);
+    ASSERT_FALSE(name_part.empty()) << line;
+    EXPECT_TRUE(std::isalpha(static_cast<unsigned char>(name_part[0])) ||
+                name_part[0] == '_')
+        << line;
+    if (name_part.back() == '}') {
+      EXPECT_NE(name_part.find('{'), std::string::npos) << line;
+    }
+    char* end = nullptr;
+    (void)std::strtod(value_part.c_str(), &end);
+    EXPECT_TRUE(end != nullptr && *end == '\0' && end != value_part.c_str())
+        << line;
+  }
+  EXPECT_GT(lines, 10u);
+
+  // The one scrape covers all three stories: synthesis stage timings
+  // (ServedFixture ran a full synthesis), serving publication state, env IO
+  // counters, and the server's own per-type request series.
+  EXPECT_NE(text.find("ms_synth_stage_us_bucket{stage=\"extract\""),
+            std::string::npos);
+  EXPECT_NE(text.find("ms_serving_publish_us_"), std::string::npos);
+  EXPECT_NE(text.find("ms_serving_snapshot_version "), std::string::npos);
+  EXPECT_NE(text.find("ms_serving_transitions_total "), std::string::npos);
+  EXPECT_NE(text.find("ms_env_retries_total "), std::string::npos);
+  EXPECT_NE(text.find("ms_env_io_failures_total "), std::string::npos);
+  EXPECT_NE(text.find("ms_net_requests_total{type=\"lookup_batch\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("ms_net_request_us_count{type=\"health\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("ms_net_connections_active "), std::string::npos);
+
+  // Counters only move forward between scrapes, and the scrape itself is
+  // counted: the metrics_text series shows up by the second scrape.
+  auto scrape2 = client.MetricsText();
+  ASSERT_TRUE(scrape2.ok()) << scrape2.status().message();
+  EXPECT_NE(
+      scrape2.value().find("ms_net_requests_total{type=\"metrics_text\"}"),
+      std::string::npos);
 }
 
 // ------------------------------------------------------- protocol errors
