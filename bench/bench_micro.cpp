@@ -17,6 +17,7 @@
 #include "synth/compatibility.h"
 #include "synth/conflict_resolution.h"
 #include "synth/partitioner.h"
+#include "table/corpus.h"
 #include "text/edit_distance.h"
 #include "text/myers.h"
 
@@ -230,6 +231,30 @@ void BM_Blocking(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Blocking)->Arg(1024)->Arg(8192)->Arg(32768);
+
+// Subset() guards its documented cost contract: O(kept cells) with the
+// string pool shared, never a deep copy of the pool's bytes (see
+// table/corpus.h). Ablation sweeps call it once per corpus-fraction point.
+void BM_CorpusSubset(benchmark::State& state) {
+  TableCorpus corpus;
+  Rng rng(11);
+  for (size_t t = 0; t < static_cast<size_t>(state.range(0)); ++t) {
+    std::vector<std::string> lcol, rcol;
+    for (size_t r = 0; r < 12; ++r) {
+      lcol.push_back("name " + std::to_string(rng.Uniform(4000)));
+      rcol.push_back("code" + std::to_string(rng.Uniform(500)));
+    }
+    corpus.AddFromStrings("d" + std::to_string(t % 32), TableSource::kWeb,
+                          {"name", "code"}, {lcol, rcol});
+  }
+  for (auto _ : state) {
+    TableCorpus half = corpus.Subset(0.5);
+    benchmark::DoNotOptimize(half.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(corpus.size() / 2));
+}
+BENCHMARK(BM_CorpusSubset)->Arg(1024)->Arg(8192);
 
 // Seed emit-then-count blocking, kept for speedup tracking against
 // BM_Blocking (same worlds, same options).

@@ -1,0 +1,449 @@
+// PR 10 acceptance benchmark: incremental corpus churn with the coherence
+// filter ACTIVE. A serving fleet does not only grow — tables get retracted
+// (takedowns, crawler de-listings) and re-crawled (replacements). This
+// bench drives all three mutations through one warm SynthesisSession:
+//
+//   phase 1  append  the last 10% of the corpus   (AppendTables)
+//   phase 2  remove  10% of the surviving tables  (RemoveTables)
+//   phase 3  replace 10% with re-crawled variants (ReplaceTables)
+//
+// and times each against what a fleet pays today: a cold full-pipeline run
+// over the same post-mutation corpus. Unlike bench_pr5 (which disables the
+// coherence filter to isolate the delta path), every phase here runs with a
+// positive coherence threshold, so the corpus-global re-check sweep is part
+// of every measured mutation — the margin cache (CoherenceProfile +
+// CoherenceVerdictStable) is exactly what keeps that sweep from touching
+// the inverted index for stable columns, and the JSON reports how many
+// columns it proved stable (margin_skips) vs re-evaluated (margin_rechecks).
+//
+// Results go to BENCH_PR10.json (or argv[2]):
+//
+//   ./bench/bench_pr10 [num_tables] [output.json]
+//
+// Correctness gates run at every scale:
+//   1. every phase's mappings must be string-identical to a cold full run
+//      over the post-mutation corpus (zero divergence, three times over);
+//   2. a removed-then-cold-rebuilt corpus must see the tombstoned tables
+//      contribute nothing (checked implicitly by gate 1: the cold oracle
+//      runs over the mutated corpus itself).
+// Speedup bars are enforced at acceptance scale (100k+ candidates) only:
+// append >= 5x cold, remove >= 3x, replace >= 3x.
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/timer.h"
+#include "synth/session.h"
+#include "table/corpus.h"
+
+namespace ms {
+namespace {
+
+/// Consecutive tables sharing one vocabulary shard. Real corpora have value
+/// locality — a crawler ingests (and de-lists) whole sites whose tables
+/// talk about the same entities. Locality is what makes the margin cache
+/// meaningful: a mutation only changes value counts inside the shards it
+/// touches, so every other shard's columns satisfy the fixed-counts
+/// precondition and can be ruled stable from their cached profiles alone.
+/// A corpus-wide flat vocabulary (bench_pr5's shape) defeats the cache by
+/// construction: every append bumps warm values everywhere.
+constexpr size_t kShards = 64;
+/// Set in main() to n_tables / kShards so the id space walks the shards
+/// once: any contiguous 10% span of ids (the append tail, a takedown span,
+/// a re-crawl span) touches ~7 of the 64 shards.
+size_t g_shard_block = 256;
+
+/// Web-shaped vocabulary (same generator as bench_pr2..pr5): multi-word
+/// entity names with typo'd variants, short codes, a sprinkle of > 64-byte
+/// strings for the blocked kernel. Sliced into kShards disjoint shards.
+struct Vocab {
+  std::vector<std::string> lefts;
+  std::vector<std::string> rights;
+
+  Vocab(size_t n_lefts, size_t n_rights, Rng& rng) {
+    const char* first[] = {"united", "republic", "southern", "new", "grand",
+                           "upper", "saint", "north", "royal", "east"};
+    const char* second[] = {"province", "island", "territory", "state",
+                            "district", "region", "county", "kingdom",
+                            "federation", "commonwealth"};
+    for (size_t i = 0; i < n_lefts; ++i) {
+      std::string s = std::string(first[rng.Uniform(10)]) + " " +
+                      second[rng.Uniform(10)] + " " + std::to_string(i / 7);
+      switch (rng.Uniform(8)) {
+        case 0:
+          s[rng.Uniform(s.size())] = static_cast<char>('a' + rng.Uniform(26));
+          break;
+        case 1:
+          s += static_cast<char>('a' + rng.Uniform(26));
+          break;
+        case 2:
+          s += " of the greater unified historical administrative division";
+          break;
+        default:
+          break;
+      }
+      lefts.push_back(std::move(s));
+    }
+    for (size_t i = 0; i < n_rights; ++i) {
+      rights.push_back("c" + std::to_string(i));
+    }
+  }
+};
+
+/// Appends `count` tables to `corpus`, continuing `rng`'s stream. Table id
+/// selects the vocabulary shard ((id / g_shard_block) % kShards), so
+/// blocks of consecutive tables draw values from the same disjoint slice —
+/// the locality the margin cache exploits.
+void GrowCorpus(TableCorpus* corpus, size_t count, const Vocab& vocab,
+                Rng& rng) {
+  const uint32_t shard_l =
+      static_cast<uint32_t>(vocab.lefts.size() / kShards);
+  const uint32_t shard_r =
+      static_cast<uint32_t>(vocab.rights.size() / kShards);
+  auto skewed = [&](uint32_t space) -> uint32_t {
+    const double r = rng.UniformDouble();
+    if (r < 0.10) return static_cast<uint32_t>(rng.Uniform(8));
+    const uint32_t warm = space / 100 + 1;
+    if (r < 0.40) return 8 + static_cast<uint32_t>(rng.Uniform(warm));
+    return 8 + warm + static_cast<uint32_t>(rng.Uniform(space - 8 - warm));
+  };
+  std::vector<std::string> left_col, right_col;
+  std::set<uint32_t> seen;
+  for (size_t t = 0; t < count; ++t) {
+    const size_t id = corpus->size();
+    const uint32_t shard =
+        static_cast<uint32_t>((id / g_shard_block) % kShards);
+    left_col.clear();
+    right_col.clear();
+    seen.clear();
+    const size_t rows = 6 + rng.Uniform(8);
+    while (left_col.size() < rows) {
+      const uint32_t li = skewed(shard_l);
+      if (!seen.insert(li).second) continue;
+      left_col.push_back(vocab.lefts[shard * shard_l + li]);
+      right_col.push_back(vocab.rights[shard * shard_r + skewed(shard_r)]);
+    }
+    right_col[1] = right_col[0];
+    corpus->AddFromStrings("domain" + std::to_string(id % 64) + ".example",
+                           TableSource::kWeb, {"name", "code"},
+                           {left_col, right_col});
+  }
+}
+
+/// Pool-independent, order-independent canonical multiset of mappings.
+std::multiset<std::string> Canonical(const SynthesisResult& r,
+                                     const StringPool& pool) {
+  std::multiset<std::string> out;
+  for (const auto& m : r.mappings) {
+    std::multiset<std::string> pairs;
+    for (const auto& p : m.merged.pairs()) {
+      pairs.insert(std::string(pool.Get(p.left)) + ":" +
+                   std::string(pool.Get(p.right)));
+    }
+    std::string key = std::to_string(m.kept_tables.size()) + "|";
+    for (const auto& p : pairs) key += p + ",";
+    out.insert(std::move(key));
+  }
+  return out;
+}
+
+SynthesisOptions BenchOptions() {
+  SynthesisOptions o;
+  o.min_domains = 1;
+  o.min_pairs = 1;
+  // Coherence ON — the point of this bench. Shard-local vocabularies make
+  // every name/code column strongly coherent, so scores sit well above
+  // this threshold and verdicts are kept everywhere; the corpus-global
+  // re-check sweep still runs inside every measured phase, and the margin
+  // cache is what keeps it off the inverted index. A threshold inside the
+  // score distribution would flip verdicts on every mutation and measure
+  // the full-rebuild fallback instead (that regime is locked down by
+  // tests/incremental_test.cc).
+  o.extraction.coherence_threshold = 0.05;
+  return o;
+}
+
+struct Family {
+  CandidateSet candidates;
+  BlockedPairs blocked;
+  ScoredGraph scored;
+  Partitions partitions;
+  SynthesisResult result;
+};
+
+bool ColdChain(SynthesisSession* session, const TableCorpus& corpus,
+               Family* f) {
+  auto c = session->ExtractCandidates(corpus);
+  if (!c.ok()) return false;
+  f->candidates = std::move(c).value();
+  auto b = session->BlockPairs(f->candidates);
+  if (!b.ok()) return false;
+  f->blocked = std::move(b).value();
+  auto g = session->ScorePairs(f->candidates, f->blocked);
+  if (!g.ok()) return false;
+  f->scored = std::move(g).value();
+  auto p = session->Partition(f->scored);
+  if (!p.ok()) return false;
+  f->partitions = std::move(p).value();
+  auto r = session->Resolve(f->candidates, f->scored, f->partitions);
+  if (!r.ok()) return false;
+  f->result = std::move(r).value();
+  return true;
+}
+
+void Adopt(Family* f, AppendedArtifacts&& a) {
+  f->candidates = std::move(a.candidates);
+  f->blocked = std::move(a.blocked);
+  f->scored = std::move(a.scored);
+  f->partitions = std::move(a.partitions);
+  f->result = std::move(a.result);
+}
+
+/// Cold full-pipeline run over `corpus` exactly as a fleet would pay for it
+/// today. Tombstoned shells contribute zero columns, so this is the oracle
+/// for every phase: the mutated corpus IS the surviving corpus.
+bool ColdOracle(const TableCorpus& corpus, double* seconds,
+                std::multiset<std::string>* canonical) {
+  Timer t;
+  SynthesisSession session(BenchOptions());
+  auto res = session.Run(corpus);
+  if (!res.ok()) {
+    std::cerr << "FAIL: cold oracle run error: " << res.status().ToString()
+              << "\n";
+    return false;
+  }
+  *seconds = t.ElapsedSeconds();
+  *canonical = Canonical(res.value(), corpus.pool());
+  return true;
+}
+
+}  // namespace
+}  // namespace ms
+
+int main(int argc, char** argv) {
+  using namespace ms;
+  const size_t n_tables =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 118000;
+  const std::string out_path = argc > 2 ? argv[2] : "BENCH_PR10.json";
+  const size_t n_delta = n_tables / 10;
+  const size_t n_base = n_tables - n_delta;
+
+  g_shard_block = n_tables / kShards > 0 ? n_tables / kShards : 1;
+
+  Rng vocab_rng(4321);
+  std::cout << "building vocabulary + corpus of " << n_tables
+            << " two-column tables (" << n_base << " base + " << n_delta
+            << " appended)...\n"
+            << std::flush;
+  Vocab vocab(30000, 4000, vocab_rng);
+
+  Rng inc_rng = vocab_rng;
+  TableCorpus corpus;
+  GrowCorpus(&corpus, n_base, vocab, inc_rng);
+
+  // Warm base chain over the 90% prefix.
+  std::cout << "base: staged chain over the " << n_base
+            << "-table prefix (coherence ON)...\n"
+            << std::flush;
+  SynthesisSession session(BenchOptions());
+  Family fam;
+  if (!ColdChain(&session, corpus, &fam)) {
+    std::cerr << "FAIL: base chain error\n";
+    return 1;
+  }
+
+  // ------------------------------------------------------ phase 1: append
+  std::cout << "phase 1: append " << n_delta << " tables...\n" << std::flush;
+  GrowCorpus(&corpus, n_delta, vocab, inc_rng);
+  AppendStats append_info;
+  double append_s;
+  {
+    Timer t;
+    auto grown = session.AppendTables(corpus, n_base, fam.candidates,
+                                      fam.blocked, fam.scored, fam.partitions,
+                                      fam.result);
+    if (!grown.ok()) {
+      std::cerr << "FAIL: AppendTables: " << grown.status().ToString() << "\n";
+      return 1;
+    }
+    append_s = t.ElapsedSeconds();
+    append_info = grown.value().append;
+    Adopt(&fam, std::move(grown).value());
+  }
+  double cold_append_s;
+  std::multiset<std::string> cold_canonical;
+  if (!ColdOracle(corpus, &cold_append_s, &cold_canonical)) return 1;
+  const size_t append_divergence =
+      Canonical(fam.result, corpus.pool()) == cold_canonical ? 0 : 1;
+  const double append_speedup = cold_append_s / append_s;
+  std::cout << "  append " << append_s << "s vs cold " << cold_append_s
+            << "s => " << append_speedup << "x, divergence "
+            << append_divergence << ", margin skips "
+            << append_info.margin_skips << " / rechecks "
+            << append_info.margin_rechecks << ", fast path "
+            << (append_info.full_rebuild ? "NO (fallback)" : "yes") << "\n";
+
+  // ------------------------------------------------------ phase 2: remove
+  // Retract a contiguous 10% span — takedowns arrive site-clustered, and
+  // the span's value locality is what lets the margin cache rule the other
+  // shards' columns stable without touching the index.
+  std::vector<uint32_t> removed;
+  const size_t remove_begin = g_shard_block * 10;
+  for (size_t id = remove_begin;
+       id < corpus.size() && removed.size() < n_tables / 10; ++id) {
+    removed.push_back(static_cast<uint32_t>(id));
+  }
+  std::cout << "phase 2: remove " << removed.size() << " tables...\n"
+            << std::flush;
+  AppendStats remove_info;
+  double remove_s;
+  {
+    Timer t;
+    auto shrunk =
+        session.RemoveTables(&corpus, removed, fam.candidates, fam.blocked,
+                             fam.scored, fam.partitions, fam.result);
+    if (!shrunk.ok()) {
+      std::cerr << "FAIL: RemoveTables: " << shrunk.status().ToString()
+                << "\n";
+      return 1;
+    }
+    remove_s = t.ElapsedSeconds();
+    remove_info = shrunk.value().append;
+    Adopt(&fam, std::move(shrunk).value());
+  }
+  double cold_remove_s;
+  if (!ColdOracle(corpus, &cold_remove_s, &cold_canonical)) return 1;
+  const size_t remove_divergence =
+      Canonical(fam.result, corpus.pool()) == cold_canonical ? 0 : 1;
+  const double remove_speedup = cold_remove_s / remove_s;
+  std::cout << "  remove " << remove_s << "s vs cold " << cold_remove_s
+            << "s => " << remove_speedup << "x, divergence "
+            << remove_divergence << ", margin skips "
+            << remove_info.margin_skips << " / rechecks "
+            << remove_info.margin_rechecks << "\n";
+
+  // ----------------------------------------------------- phase 3: replace
+  // Re-crawl another contiguous 10%: fresh variants replace a disjoint
+  // span of surviving tables in one atomic mutation.
+  std::vector<uint32_t> replaced;
+  const size_t replace_begin = g_shard_block * 30;
+  for (size_t id = replace_begin;
+       id < corpus.size() && replaced.size() < n_tables / 10; ++id) {
+    replaced.push_back(static_cast<uint32_t>(id));
+  }
+  TableCorpus delta;
+  GrowCorpus(&delta, replaced.size(), vocab, inc_rng);
+  std::cout << "phase 3: replace " << replaced.size() << " tables...\n"
+            << std::flush;
+  AppendStats replace_info;
+  double replace_s;
+  {
+    Timer t;
+    auto churned = session.ReplaceTables(&corpus, replaced, delta,
+                                         fam.candidates, fam.blocked,
+                                         fam.scored, fam.partitions,
+                                         fam.result);
+    if (!churned.ok()) {
+      std::cerr << "FAIL: ReplaceTables: " << churned.status().ToString()
+                << "\n";
+      return 1;
+    }
+    replace_s = t.ElapsedSeconds();
+    replace_info = churned.value().append;
+    Adopt(&fam, std::move(churned).value());
+  }
+  double cold_replace_s;
+  if (!ColdOracle(corpus, &cold_replace_s, &cold_canonical)) return 1;
+  const size_t replace_divergence =
+      Canonical(fam.result, corpus.pool()) == cold_canonical ? 0 : 1;
+  const double replace_speedup = cold_replace_s / replace_s;
+  std::cout << "  replace " << replace_s << "s vs cold " << cold_replace_s
+            << "s => " << replace_speedup << "x, divergence "
+            << replace_divergence << ", margin skips "
+            << replace_info.margin_skips << " / rechecks "
+            << replace_info.margin_rechecks << "\n";
+
+  const size_t candidates = fam.candidates.num_live();
+
+  // ----------------------------------------------------------------- JSON
+  std::ofstream out(out_path);
+  if (!out) {
+    std::cerr << "error: cannot open " << out_path << " for writing\n";
+    return 1;
+  }
+  out << "{\n"
+      << "  \"pr\": 10,\n"
+      << "  \"bench\": \"bench_pr10 (incremental churn with coherence ON: "
+         "10% append / remove / replace vs cold full runs)\",\n"
+      << "  \"corpus_tables\": " << n_tables << ",\n"
+      << "  \"coherence_threshold\": 0.05,\n"
+      << "  \"live_candidates\": " << candidates << ",\n"
+      << "  \"append_seconds\": " << append_s << ",\n"
+      << "  \"append_cold_seconds\": " << cold_append_s << ",\n"
+      << "  \"append_speedup\": " << append_speedup << ",\n"
+      << "  \"append_divergence\": " << append_divergence << ",\n"
+      << "  \"append_margin_skips\": " << append_info.margin_skips << ",\n"
+      << "  \"append_margin_rechecks\": " << append_info.margin_rechecks
+      << ",\n"
+      << "  \"append_unstable_tables\": " << append_info.unstable_tables
+      << ",\n"
+      << "  \"append_full_rebuild\": "
+      << (append_info.full_rebuild ? "true" : "false") << ",\n"
+      << "  \"removed_tables\": " << removed.size() << ",\n"
+      << "  \"remove_seconds\": " << remove_s << ",\n"
+      << "  \"remove_cold_seconds\": " << cold_remove_s << ",\n"
+      << "  \"remove_speedup\": " << remove_speedup << ",\n"
+      << "  \"remove_divergence\": " << remove_divergence << ",\n"
+      << "  \"remove_margin_skips\": " << remove_info.margin_skips << ",\n"
+      << "  \"remove_margin_rechecks\": " << remove_info.margin_rechecks
+      << ",\n"
+      << "  \"replaced_tables\": " << replaced.size() << ",\n"
+      << "  \"replace_seconds\": " << replace_s << ",\n"
+      << "  \"replace_cold_seconds\": " << cold_replace_s << ",\n"
+      << "  \"replace_speedup\": " << replace_speedup << ",\n"
+      << "  \"replace_divergence\": " << replace_divergence << ",\n"
+      << "  \"replace_margin_skips\": " << replace_info.margin_skips << ",\n"
+      << "  \"replace_margin_rechecks\": " << replace_info.margin_rechecks
+      << "\n"
+      << "}\n";
+  std::cout << "wrote " << out_path << "\n";
+
+  // Zero divergence holds at every scale; the speedup bars only mean
+  // anything at acceptance scale (small runs are fixed-cost dominated).
+  if (append_divergence + remove_divergence + replace_divergence != 0) {
+    std::cerr << "FAIL: a mutation diverged from its cold-rebuild oracle\n";
+    return 1;
+  }
+  constexpr size_t kAcceptanceScale = 100000;
+  if (n_tables >= kAcceptanceScale && candidates < kAcceptanceScale) {
+    std::cerr << "FAIL: corpus yielded only " << candidates
+              << " live candidates at acceptance scale\n";
+    return 1;
+  }
+  if (n_tables >= kAcceptanceScale && append_info.full_rebuild) {
+    std::cerr << "FAIL: append fell back to a full rebuild at acceptance "
+                 "scale — the delta fast path was not measured\n";
+    return 1;
+  }
+  if (n_tables >= kAcceptanceScale && append_speedup < 5.0) {
+    std::cerr << "FAIL: append speedup " << append_speedup
+              << "x below the 5x acceptance bar (coherence ON)\n";
+    return 1;
+  }
+  if (n_tables >= kAcceptanceScale && remove_speedup < 3.0) {
+    std::cerr << "FAIL: remove speedup " << remove_speedup
+              << "x below the 3x acceptance bar\n";
+    return 1;
+  }
+  if (n_tables >= kAcceptanceScale && replace_speedup < 3.0) {
+    std::cerr << "FAIL: replace speedup " << replace_speedup
+              << "x below the 3x acceptance bar\n";
+    return 1;
+  }
+  return 0;
+}

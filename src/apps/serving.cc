@@ -343,35 +343,17 @@ Status MappingService::AppendChainLocked(const TableCorpus* delta) {
         std::to_string(corpus_->size()) + " tables)");
   }
   BuildState s = StageFromCurrent();
-  // The cached graph must reflect the current synonym dictionary contents:
-  // delta pairs would be scored under the new snapshot while base edges
-  // keep old-dictionary weights, merging a graph no cold run could produce.
-  // Re-score first (same guard Resynthesize applies), then append. The
-  // re-scored family lives only in the BuildState — a failure below
-  // publishes nothing.
-  const SynonymDictionary* synonyms = session_.options().compat.synonyms;
-  if (synonyms != nullptr &&
-      synonyms->version() != scored_synonym_version_) {
-    MS_RETURN_IF_ERROR(RunChain(&s, true, s.blocked != nullptr, false));
-  }
-  // A snapshot-restored family lacks the partition artifact; materialize
-  // only what is missing. When blocked/scored were restored, a single
-  // Partition() suffices — re-running the chain would redo conflict
-  // resolution just to have the append discard it.
-  if (s.blocked == nullptr || s.scored == nullptr) {
-    MS_RETURN_IF_ERROR(
-        RunChain(&s, true, s.blocked != nullptr, s.scored != nullptr));
-  } else if (s.partitions == nullptr) {
-    Result<Partitions> parts = session_.Partition(*s.scored);
-    if (!parts.ok()) return parts.status();
-    s.partitions = std::make_shared<const Partitions>(std::move(parts).value());
-  }
-  // The append protocol: remember the synthesized prefix, merge, append,
-  // and roll the merge back on ANY failure past it — a failed append must
-  // leave the corpus at the prefix the served artifacts describe, so the
-  // same delta can simply be retried (previously the grown corpus made
-  // every retry fail FailedPrecondition until ResynthesizeAppended).
+  MS_RETURN_IF_ERROR(PrepareIncrementalFamilyLocked(&s));
+  // The append protocol: remember the synthesized prefix (tables AND pool),
+  // merge, append, and roll the merge back on ANY failure past it — a
+  // failed append must leave the corpus at the prefix the served artifacts
+  // describe, so the same delta can simply be retried (previously the
+  // grown corpus made every retry fail FailedPrecondition until
+  // ResynthesizeAppended). The pool truncation matters under retries:
+  // Truncate() alone leaves the dead delta's interned strings behind, so N
+  // failed attempts would pin N copies' worth of orphaned values.
   const size_t prev_tables = corpus_->size();
+  const size_t prev_pool_size = corpus_->shared_pool()->size();
   if (delta != nullptr) {
     Result<size_t> merged = owned_corpus_->AppendFrom(*delta);
     if (!merged.ok()) return merged.status();
@@ -380,6 +362,7 @@ Status MappingService::AppendChainLocked(const TableCorpus* delta) {
     if (delta != nullptr && owned_corpus_ != nullptr &&
         owned_corpus_->size() > prev_tables) {
       owned_corpus_->Truncate(prev_tables);
+      owned_corpus_->pool().TruncateTo(prev_pool_size);
     }
   };
   Result<AppendedArtifacts> appended = session_.AppendTables(
@@ -392,7 +375,129 @@ Status MappingService::AppendChainLocked(const TableCorpus* delta) {
     rollback_merge();
     return append_status;
   }
-  AppendedArtifacts family = std::move(appended).value();
+  const Status st = CommitFamilyLocked(std::move(s),
+                                       std::move(appended).value());
+  if (!st.ok()) rollback_merge();
+  return st;
+}
+
+Status MappingService::RemoveAndResynthesize(
+    const std::vector<uint32_t>& removed) {
+  const std::lock_guard<std::mutex> lock(writer_mu_);
+  return MutateChainLocked(removed, nullptr);
+}
+
+Status MappingService::ReplaceAndResynthesize(
+    const std::vector<uint32_t>& removed, const TableCorpus& delta) {
+  const std::lock_guard<std::mutex> lock(writer_mu_);
+  return MutateChainLocked(removed, &delta);
+}
+
+Status MappingService::MutateChainLocked(std::vector<uint32_t> removed,
+                                         const TableCorpus* delta) {
+  static obs::Histogram* const remove_us = TransitionHistogram("remove");
+  static obs::Histogram* const replace_us = TransitionHistogram("replace");
+  obs::TraceSpan span(delta != nullptr ? "serving.replace" : "serving.remove",
+                      delta != nullptr ? replace_us : remove_us);
+  const char* op = delta != nullptr ? "ReplaceAndResynthesize"
+                                    : "RemoveAndResynthesize";
+  if (candidates_ == nullptr) {
+    return Status::FailedPrecondition(
+        std::string(op) + ": nothing synthesized yet — call Synthesize "
+        "first so there are artifacts to maintain");
+  }
+  if (owned_corpus_ == nullptr) {
+    return Status::FailedPrecondition(
+        std::string(op) + ": the service does not own its corpus — "
+        "removals tombstone tables in place, which the service must not do "
+        "to an external or snapshot-restored corpus");
+  }
+  if (owned_corpus_->size() != candidates_->source_tables) {
+    return Status::FailedPrecondition(
+        std::string(op) + ": the corpus grew past the synthesized prefix (" +
+        std::to_string(owned_corpus_->size()) + " tables vs " +
+        std::to_string(candidates_->source_tables) +
+        " synthesized) — recover with ResynthesizeAppended() first");
+  }
+  BuildState s = StageFromCurrent();
+  MS_RETURN_IF_ERROR(PrepareIncrementalFamilyLocked(&s));
+  // The session rolls the corpus back itself when ITS mutation fails; the
+  // service only needs to undo a mutation that SUCCEEDED but whose publish
+  // did not (injected commit fault, store-build failure). Capture enough to
+  // do that here: the prefix sizes plus copies of the columns the session
+  // is about to tombstone — the copies reference only pre-mutation pool
+  // ids, so they stay valid across the pool-tail truncation below.
+  const size_t prev_tables = owned_corpus_->size();
+  const size_t prev_pool_size = owned_corpus_->pool().size();
+  std::vector<std::pair<uint32_t, std::vector<Column>>> saved;
+  saved.reserve(removed.size());
+  for (uint32_t id : removed) {
+    if (id < owned_corpus_->size()) {
+      saved.emplace_back(id, owned_corpus_->table(id).columns);
+    }
+  }
+  auto rollback_mutation = [&] {
+    if (owned_corpus_->size() > prev_tables) {
+      owned_corpus_->Truncate(prev_tables);
+    }
+    owned_corpus_->pool().TruncateTo(prev_pool_size);
+    for (auto& [id, cols] : saved) {
+      if (!cols.empty() && owned_corpus_->table(id).num_columns() == 0) {
+        owned_corpus_->RestoreColumns(id, std::move(cols));
+      }
+    }
+  };
+  Result<AppendedArtifacts> mutated =
+      delta != nullptr
+          ? session_.ReplaceTables(owned_corpus_.get(), std::move(removed),
+                                   *delta, *s.candidates, *s.blocked,
+                                   *s.scored, *s.partitions, *s.result)
+          : session_.RemoveTables(owned_corpus_.get(), std::move(removed),
+                                  *s.candidates, *s.blocked, *s.scored,
+                                  *s.partitions, *s.result);
+  Status mutate_status =
+      mutated.ok() ? ConsumeFault(ServingFault::kAppendCommit)
+                   : mutated.status();
+  if (!mutate_status.ok()) {
+    if (mutated.ok()) rollback_mutation();
+    return mutate_status;
+  }
+  const Status st = CommitFamilyLocked(std::move(s),
+                                       std::move(mutated).value());
+  if (!st.ok()) rollback_mutation();
+  return st;
+}
+
+Status MappingService::PrepareIncrementalFamilyLocked(BuildState* s) {
+  // The cached graph must reflect the current synonym dictionary contents:
+  // delta pairs would be scored under the new snapshot while base edges
+  // keep old-dictionary weights, merging a graph no cold run could produce.
+  // Re-score first (same guard Resynthesize applies), then mutate. The
+  // re-scored family lives only in the BuildState — a failure below
+  // publishes nothing.
+  const SynonymDictionary* synonyms = session_.options().compat.synonyms;
+  if (synonyms != nullptr &&
+      synonyms->version() != scored_synonym_version_) {
+    MS_RETURN_IF_ERROR(RunChain(s, true, s->blocked != nullptr, false));
+  }
+  // A snapshot-restored family lacks the partition artifact; materialize
+  // only what is missing. When blocked/scored were restored, a single
+  // Partition() suffices — re-running the chain would redo conflict
+  // resolution just to have the mutation discard it.
+  if (s->blocked == nullptr || s->scored == nullptr) {
+    MS_RETURN_IF_ERROR(
+        RunChain(s, true, s->blocked != nullptr, s->scored != nullptr));
+  } else if (s->partitions == nullptr) {
+    Result<Partitions> parts = session_.Partition(*s->scored);
+    if (!parts.ok()) return parts.status();
+    s->partitions =
+        std::make_shared<const Partitions>(std::move(parts).value());
+  }
+  return Status::OK();
+}
+
+Status MappingService::CommitFamilyLocked(BuildState&& s,
+                                          AppendedArtifacts family) {
   s.candidates =
       std::make_shared<const CandidateSet>(std::move(family.candidates));
   s.blocked = std::make_shared<const BlockedPairs>(std::move(family.blocked));
@@ -405,9 +510,7 @@ Status MappingService::AppendChainLocked(const TableCorpus* delta) {
   // The merged artifacts resolve against the (possibly different) corpus
   // pool from here on.
   s.pool = corpus_->shared_pool();
-  const Status st = CommitAndPublish(std::move(s));
-  if (!st.ok()) rollback_merge();
-  return st;
+  return CommitAndPublish(std::move(s));
 }
 
 Status MappingService::Resynthesize(SynthesisOptions new_options) {

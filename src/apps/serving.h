@@ -23,7 +23,8 @@
 //     ServingSnapshot from one atomic pointer and runs entirely against it.
 //     No locks, no waiting on writers, any number of threads.
 //   - Writers (Synthesize* / Resynthesize / AppendAndResynthesize /
-//     ResynthesizeAppended / Open* / Save* / AttachCorpus / set_env)
+//     ResynthesizeAppended / RemoveAndResynthesize / ReplaceAndResynthesize /
+//     Open* / Save* / AttachCorpus / set_env)
 //     serialize on an internal mutex, build the next generation's
 //     artifacts and store off to the side, and publish them with a single
 //     atomic store. A reader holding the old snapshot keeps serving it —
@@ -272,6 +273,27 @@ class MappingService {
   /// FailedPrecondition when the corpus did not grow.
   Status ResynthesizeAppended();
 
+  /// Incremental removal without a cold rebuild: tombstones `removed`
+  /// tables in the service's corpus (slots and ids stay stable) and runs
+  /// SynthesisSession::RemoveTables over the cached artifacts — only graph
+  /// components that lost a candidate are re-partitioned and re-resolved,
+  /// and the store is rebuilt from the surviving mappings. Requires an
+  /// owned corpus (Synthesize/SynthesizeFromFile/...): removal mutates the
+  /// corpus in place, which the service must not do to a caller-owned one.
+  /// Fail-closed AND recoverable like appends: a failure at any point —
+  /// inside the session or between the session mutation and the publish —
+  /// restores the corpus (columns, tables, and pool tail), so the same
+  /// removal can simply be retried.
+  Status RemoveAndResynthesize(const std::vector<uint32_t>& removed);
+
+  /// Atomic remove + append in one maintenance pass
+  /// (SynthesisSession::ReplaceTables): tombstones `removed`, merges
+  /// `delta`'s tables at the tail, reconciles the artifact family once, and
+  /// rebuilds the store. Same owned-corpus requirement and retryable
+  /// rollback contract as RemoveAndResynthesize.
+  Status ReplaceAndResynthesize(const std::vector<uint32_t>& removed,
+                                const TableCorpus& delta);
+
   /// Attaches a corpus to a snapshot-restored service, re-enabling
   /// extraction-dependent operations (appends; extraction-option
   /// Resynthesize). The corpus must be the one the snapshot was synthesized
@@ -437,6 +459,15 @@ class MappingService {
   Status OpenFromSnapshotLocked(const std::string& path);
   Status SaveSnapshotLocked(const std::string& path);
   Status AppendChainLocked(const TableCorpus* delta);
+  Status MutateChainLocked(std::vector<uint32_t> removed,
+                           const TableCorpus* delta);
+  /// Shared incremental-transition preamble: re-scores the staged graph if
+  /// the synonym dictionary moved past the version it was scored at, then
+  /// materializes whatever family members a snapshot restore left out.
+  Status PrepareIncrementalFamilyLocked(BuildState* s);
+  /// Shared incremental-transition tail: moves a session-produced artifact
+  /// family into the staged state and publishes it.
+  Status CommitFamilyLocked(BuildState&& s, AppendedArtifacts family);
   Status ResynthesizeLocked(SynthesisOptions new_options);
 
   SynthesisSession session_;

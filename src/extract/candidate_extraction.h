@@ -78,6 +78,15 @@ struct ExtractionResult {
   /// the table's own cells and is append-invariant.
   std::vector<uint32_t> kept_offsets;  ///< size tables + 1
   std::vector<uint32_t> kept_columns;
+  /// Margin cache: one CoherenceProfile per column of every width-passed
+  /// table (CSR over corpus table index, same shape discipline as kept_*;
+  /// empty slices for width-skipped tables). Incremental maintenance uses
+  /// these to prove a column's verdict cannot flip under the mutated index
+  /// without re-touching the posting lists (CoherenceVerdictStable). Both
+  /// vectors stay empty when the coherence filter is disabled
+  /// (coherence_threshold <= -1), where verdicts are index-independent.
+  std::vector<uint32_t> margin_offsets;  ///< size tables + 1, or empty
+  std::vector<CoherenceProfile> margins;
 };
 
 /// Runs Algorithm 1 over the whole corpus. `index` must have been built on
@@ -88,50 +97,92 @@ ExtractionResult ExtractCandidates(const TableCorpus& corpus,
                                    const ExtractionOptions& options = {},
                                    ThreadPool* pool = nullptr);
 
+/// Inputs for one incremental extraction pass over a mutated corpus
+/// (appended and/or tombstoned tables). The base signatures come from the
+/// previous artifact generation; the margin cache is optional (snapshots
+/// from before format v3 restore without one — every column then pays an
+/// exact re-check once and the cache repopulates).
+struct DeltaExtractionRequest {
+  /// Tables [first_new_table, corpus.size()) are the appended delta.
+  size_t first_new_table = 0;
+  /// New candidates (appended tables' and flipped tables' re-extractions)
+  /// get ids assigned densely from here, in corpus-table order.
+  BinaryTableId first_new_id = 0;
+  const std::vector<uint32_t>* base_kept_offsets = nullptr;
+  const std::vector<uint32_t>* base_kept_columns = nullptr;
+  const std::vector<uint32_t>* base_margin_offsets = nullptr;  ///< optional
+  const std::vector<CoherenceProfile>* base_margins = nullptr; ///< optional
+  /// Tables tombstoned by this mutation (sorted ids, already cleared in the
+  /// corpus). Their signatures are reset to empty without counting as
+  /// flips — the caller tombstones their candidates wholesale.
+  std::vector<TableId> removed_tables;
+  /// Every distinct cell value the removed tables held, captured before
+  /// the tombstoning cleared them. Together with the appended tables'
+  /// values this is the "touched" set: an old column containing none of
+  /// these provably kept all its value counts, which is what lets the
+  /// margin cache skip its coherence re-check.
+  std::vector<ValueId> removed_values;
+};
+
 /// Output of one incremental extraction pass (SynthesisSession::
-/// AppendTables): candidates for the appended tables plus the verdict on
-/// whether every pre-existing table's kept-column signature survived the
-/// index growth.
+/// AppendTables / RemoveTables / ReplaceTables): candidates for the
+/// appended tables — plus re-extractions for any old table whose
+/// kept-column signature flipped under the mutated index — and the union
+/// signatures for the merged artifact.
 struct DeltaExtractionResult {
-  /// Candidates extracted from tables [first_new_table, corpus.size()),
-  /// ids assigned densely from `first_new_id` in table order — exactly the
-  /// ids a cold run over the grown corpus would assign them, provided
-  /// `stable` holds.
+  /// Candidates of appended tables and of flipped old tables, ids assigned
+  /// densely from `first_new_id` in corpus-table order (flipped tables
+  /// sort before appended ones). When `stable` holds these are exactly the
+  /// ids a cold run over the grown corpus would assign the appended
+  /// tables' candidates.
   std::vector<BinaryTable> new_candidates;
   /// Counters for the appended tables only (add to the base run's to get
-  /// the union totals). Normalize-cache counters cover this pass alone.
+  /// the union totals; flipped re-extractions are deliberately excluded so
+  /// the stable path stays byte-identical to a cold rebuild's counters).
+  /// Normalize-cache counters cover this pass alone.
   ExtractionStats stats;
-  /// True iff every old table's kept-column set under the grown index
-  /// equals its base signature. When false the old candidate list itself
-  /// would change under a cold rebuild and the caller must fall back to
-  /// full re-extraction.
+  /// True iff no live old table's kept-column set changed under the
+  /// mutated index. When false, `flipped_tables` lists the tables whose
+  /// base candidates the caller must tombstone in favor of the
+  /// re-extractions included in `new_candidates`.
   bool stable = false;
   /// How many old tables' kept sets flipped (observability: a fleet whose
-  /// appends keep falling back wants to know whether one borderline column
-  /// or a corpus-wide drift is responsible).
+  /// appends keep re-extracting wants to know whether one borderline
+  /// column or a corpus-wide drift is responsible).
   size_t unstable_tables = 0;
+  std::vector<TableId> flipped_tables;  ///< sorted
+  /// Margin-cache effectiveness: columns whose verdict the cached bound
+  /// settled without touching the index vs columns that paid the exact
+  /// sampled re-check.
+  size_t margin_skips = 0;
+  size_t margin_rechecks = 0;
   /// Union signatures (old tables re-checked + appended tables), ready to
   /// carry on the merged candidate artifact.
   std::vector<uint32_t> kept_offsets;
   std::vector<uint32_t> kept_columns;
+  std::vector<uint32_t> margin_offsets;
+  std::vector<CoherenceProfile> margins;
 };
 
-/// Incremental Algorithm 1: `index` must have been built over the *grown*
-/// corpus. Re-checks coherence signatures of tables [0, first_new_table)
-/// against the base run's CSR (base_kept_*) and fully extracts tables
-/// [first_new_table, corpus.size()). The coherence re-check is the
-/// exactness tax of incremental extraction — it is sampled and
-/// FD-filter-free, a small fraction of full extraction.
+/// Incremental Algorithm 1: `index` must reflect the *mutated* corpus
+/// (appended tables indexed, removed tables' columns dropped). Re-checks
+/// coherence signatures of live tables [0, first_new_table) against the
+/// base run's CSR — through the margin cache when the bound applies, via
+/// exact sampled re-scoring when it does not — fully extracts tables
+/// [first_new_table, corpus.size()), and re-extracts any old table whose
+/// kept set flipped. The re-check tax is what the margin cache amortizes:
+/// an untouched column with a comfortable margin never re-reads the index.
 DeltaExtractionResult ExtractCandidatesDelta(
     const TableCorpus& corpus, const ColumnInvertedIndex& index,
-    size_t first_new_table, BinaryTableId first_new_id,
-    const std::vector<uint32_t>& base_kept_offsets,
-    const std::vector<uint32_t>& base_kept_columns,
+    const DeltaExtractionRequest& request,
     const ExtractionOptions& options = {}, ThreadPool* pool = nullptr);
 
 /// Exposed for tests: true when the column passes the coherence filter.
+/// Fills `profile` (when given and the filter is enabled) with the margin
+/// cache for the evaluation.
 bool ColumnPassesCoherence(const ColumnInvertedIndex& index,
                            const Column& column,
-                           const ExtractionOptions& options);
+                           const ExtractionOptions& options,
+                           CoherenceProfile* profile = nullptr);
 
 }  // namespace ms

@@ -242,6 +242,123 @@ Status DecodeCandidates(std::string_view payload, size_t pool_size,
   return Status::OK();
 }
 
+/// Format v3 maintenance section: the state RemoveTables/ReplaceTables
+/// accumulate, without which a restored session would see tombstoned
+/// tables as live and would pay a full coherence re-check on the first
+/// mutation. Additive — none of the v2 sections changed layout.
+std::string EncodeMaintenance(const CandidateSet& candidates) {
+  WireWriter w;
+  w.U64(candidates.tombstoned_tables.size());
+  for (uint32_t t : candidates.tombstoned_tables) w.U32(t);
+  // The dead bitmap as an id list, like the taint bitmap: removals are
+  // sparse relative to the candidate count.
+  uint64_t num_dead = 0;
+  for (uint8_t d : candidates.dead) num_dead += d;
+  w.U64(num_dead);
+  for (size_t id = 0; id < candidates.dead.size(); ++id) {
+    if (candidates.dead[id]) w.U32(static_cast<uint32_t>(id));
+  }
+  w.U64(candidates.margin_offsets.size());
+  for (uint32_t o : candidates.margin_offsets) w.U32(o);
+  w.U64(candidates.margins.size());
+  for (const CoherenceProfile& p : candidates.margins) {
+    w.F64(p.score);
+    w.F64(p.sum_pos);
+    w.U32(p.pairs);
+    w.U32(p.sup_pos);
+    w.U32(p.sup_zero);
+    w.U32(p.b_max);
+    w.U32(p.n_eval);
+  }
+  return w.Take();
+}
+
+Status DecodeMaintenance(std::string_view payload, size_t num_candidates,
+                         uint64_t source_tables, CandidateSet* out) {
+  WireReader r(payload);
+  const uint64_t num_tombstoned = r.U64();
+  if (!r.ok() || num_tombstoned > r.remaining() / 4 ||
+      num_tombstoned > source_tables) {
+    return Status::DataLoss("maintenance section is malformed");
+  }
+  out->tombstoned_tables.clear();
+  out->tombstoned_tables.reserve(static_cast<size_t>(num_tombstoned));
+  for (uint64_t i = 0; i < num_tombstoned; ++i) {
+    const uint32_t t = r.U32();
+    // Sorted-unique is the in-memory invariant every consumer relies on.
+    if (t >= source_tables ||
+        (!out->tombstoned_tables.empty() && t <= out->tombstoned_tables.back())) {
+      return Status::DataLoss(
+          "maintenance section has an invalid tombstoned-table list");
+    }
+    out->tombstoned_tables.push_back(t);
+  }
+  const uint64_t num_dead = r.U64();
+  if (!r.ok() || num_dead > r.remaining() / 4 || num_dead > num_candidates) {
+    return Status::DataLoss("maintenance section has a malformed dead list");
+  }
+  out->dead.clear();
+  if (num_dead > 0) {
+    out->dead.assign(num_candidates, 0);
+    for (uint64_t i = 0; i < num_dead; ++i) {
+      const uint32_t id = r.U32();
+      if (id >= num_candidates || out->dead[id] != 0) {
+        return Status::DataLoss(
+            "maintenance dead list references candidates outside the "
+            "candidate set");
+      }
+      out->dead[id] = 1;
+    }
+  }
+  const uint64_t num_offsets = r.U64();
+  if (!r.ok() || num_offsets > r.remaining() / 4) {
+    return Status::DataLoss("maintenance section has a malformed margin CSR");
+  }
+  out->margin_offsets.clear();
+  out->margin_offsets.reserve(static_cast<size_t>(num_offsets));
+  for (uint64_t i = 0; i < num_offsets; ++i) {
+    out->margin_offsets.push_back(r.U32());
+  }
+  const uint64_t num_margins = r.U64();
+  if (!r.ok() || num_margins > r.remaining() / 36) {  // 36 bytes per profile
+    return Status::DataLoss("maintenance section has a malformed margin "
+                            "cache");
+  }
+  out->margins.clear();
+  out->margins.reserve(static_cast<size_t>(num_margins));
+  for (uint64_t i = 0; i < num_margins; ++i) {
+    CoherenceProfile p;
+    p.score = r.F64();
+    p.sum_pos = r.F64();
+    p.pairs = r.U32();
+    p.sup_pos = r.U32();
+    p.sup_zero = r.U32();
+    p.b_max = r.U32();
+    p.n_eval = r.U32();
+    out->margins.push_back(p);
+  }
+  // The margin cache is either absent or a CSR over every source table.
+  if (!out->margin_offsets.empty()) {
+    bool valid_csr = num_offsets == source_tables + 1 &&
+                     out->margin_offsets.front() == 0 &&
+                     out->margin_offsets.back() == num_margins;
+    for (size_t i = 0; valid_csr && i + 1 < out->margin_offsets.size(); ++i) {
+      valid_csr = out->margin_offsets[i] <= out->margin_offsets[i + 1];
+    }
+    if (!valid_csr) {
+      return Status::DataLoss(
+          "maintenance section has an inconsistent margin CSR");
+    }
+  } else if (num_margins != 0) {
+    return Status::DataLoss(
+        "maintenance section has margins without a margin CSR");
+  }
+  if (!r.AtEnd()) {
+    return Status::DataLoss("maintenance section has trailing bytes");
+  }
+  return Status::OK();
+}
+
 std::string EncodeBlocked(const BlockedPairs& blocked) {
   WireWriter w;
   EncodePipelineStats(blocked.stats, &w);
@@ -506,6 +623,7 @@ Status SaveSessionSnapshot(const std::string& path,
   ContainerWriter writer(kSessionSnapshotMagic, options_fingerprint);
   writer.AddSection(kSectionStringPool, EncodeStringPool(*candidates.pool));
   writer.AddSection(kSectionCandidates, EncodeCandidates(candidates));
+  writer.AddSection(kSectionMaintenance, EncodeMaintenance(candidates));
   Lineage lineage;
   lineage.candidates_id = candidates.artifact_id;
   if (blocked != nullptr) {
@@ -537,7 +655,8 @@ Result<SessionSnapshot> LoadSessionSnapshot(const std::string& path,
   const ContainerReader& reader = opened.value();
   MS_RETURN_IF_ERROR(reader.RequireKnownSections(
       {kSectionStringPool, kSectionCandidates, kSectionBlockedPairs,
-       kSectionScoredGraph, kSectionResult, kSectionLineage}));
+       kSectionScoredGraph, kSectionResult, kSectionLineage,
+       kSectionMaintenance}));
   if (reader.options_fingerprint() != expected_fingerprint) {
     return Status::FailedPrecondition(
         "snapshot options fingerprint mismatch: the snapshot was saved "
@@ -575,6 +694,16 @@ Result<SessionSnapshot> LoadSessionSnapshot(const std::string& path,
   out.candidates->pool = out.pool.get();
   out.candidates->artifact_id = lineage.candidates_id;
   const size_t num_candidates = out.candidates->owned.size();
+
+  // v2 snapshots have no maintenance section; they restore with empty
+  // maintenance state — no tombstones, no dead candidates, no margin cache
+  // (the first mutation pays full coherence re-checks, exactly as a v2
+  // build would have).
+  if (reader.HasSection(kSectionMaintenance)) {
+    MS_RETURN_IF_ERROR(DecodeMaintenance(
+        reader.Section(kSectionMaintenance).value(), num_candidates,
+        out.candidates->source_tables, out.candidates.get()));
+  }
 
   if (lineage.has_blocked) {
     out.blocked = std::make_unique<BlockedPairs>();

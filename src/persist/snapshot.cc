@@ -71,14 +71,17 @@ Result<ContainerReader> ContainerReader::Open(const std::string& path,
     return Status::DataLoss(
         "container header corrupt (bad magic or header checksum): " + path);
   }
-  if (version != FormatVersionFor(expected_magic)) {
+  if (version < MinFormatVersionFor(expected_magic) ||
+      version > FormatVersionFor(expected_magic)) {
     // The header checksum passed, so this really is a container written by
     // a different format revision — incompatibility, not corruption. Each
-    // family versions independently: bumping the snapshot layout does not
-    // orphan corpus stores whose bytes never changed.
+    // family versions independently, and each accepts a contiguous range:
+    // additive bumps (e.g. snapshot v3's optional maintenance section)
+    // keep older files readable, while files from the future fail loudly.
     return Status::FailedPrecondition(
         "unsupported container format version " + std::to_string(version) +
-        " (this build reads version " +
+        " (this build reads versions " +
+        std::to_string(MinFormatVersionFor(expected_magic)) + ".." +
         std::to_string(FormatVersionFor(expected_magic)) + "): " + path);
   }
 

@@ -52,9 +52,22 @@ namespace ms::persist {
 /// per-candidate taint id list. Version-1 snapshots fail with
 /// FailedPrecondition (re-synthesize and re-save), exactly as the
 /// versioning rules in docs/persistence.md prescribe for layout changes.
+///
+/// Snapshot version 3 (remove/replace maintenance state): adds the
+/// OPTIONAL kSectionMaintenance section — tombstoned corpus table ids,
+/// dead candidate ids, and the coherence margin cache. This bump is
+/// additive: no existing section changed layout, so v2 snapshots still
+/// load (kMinSnapshotFormatVersion) — they simply restore with empty
+/// maintenance state, exactly the state a v2 writer had. A v2 READER
+/// given a v3 file correctly refuses it (it only accepts its own
+/// version), so downgrades fail loudly instead of silently dropping
+/// tombstones.
+///
 /// Corpus stores are still the original layout: version 1, and every
 /// previously converted *.mscorp keeps opening.
-inline constexpr uint32_t kSnapshotFormatVersion = 2;
+inline constexpr uint32_t kSnapshotFormatVersion = 3;
+/// Oldest snapshot version this build still reads.
+inline constexpr uint32_t kMinSnapshotFormatVersion = 2;
 inline constexpr uint32_t kCorpusStoreFormatVersion = 1;
 
 /// "MSSNAP1\0" and "MSCORP1\0" as little-endian u64s.
@@ -67,6 +80,12 @@ inline constexpr uint32_t FormatVersionFor(uint64_t magic) {
                                     : kSnapshotFormatVersion;
 }
 
+/// The oldest readable format version of the family `magic` selects.
+inline constexpr uint32_t MinFormatVersionFor(uint64_t magic) {
+  return magic == kCorpusStoreMagic ? kCorpusStoreFormatVersion
+                                    : kMinSnapshotFormatVersion;
+}
+
 /// Section ids of the session snapshot container.
 enum SnapshotSection : uint32_t {
   kSectionStringPool = 1,
@@ -75,6 +94,11 @@ enum SnapshotSection : uint32_t {
   kSectionScoredGraph = 4,
   kSectionResult = 5,
   kSectionLineage = 6,
+  /// Format v3: incremental-maintenance state — tombstoned corpus table
+  /// ids, dead candidate ids, and the coherence margin cache. Optional:
+  /// absent from v2 files (and decodes to empty state), present in every
+  /// v3 save.
+  kSectionMaintenance = 7,
 };
 
 /// Section ids of the corpus store container.

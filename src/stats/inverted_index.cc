@@ -70,6 +70,12 @@ void ColumnInvertedIndex::Build(const TableCorpus& corpus, ThreadPool* pool) {
   coords_.assign(num_columns_, {});
   offsets_.assign(1, 0);
   postings_.clear();
+  table_cols_.clear();
+  table_cols_.reserve(tables.size());
+  for (size_t i = 0; i < tables.size(); ++i) {
+    table_cols_.emplace_back(col_base[i], col_base[i + 1] - col_base[i]);
+  }
+  next_column_id_ = col_base.back();
   if (tables.empty()) return;
 
   // --- Pass 1 (parallel over table ranges): per-column distinct values into
@@ -148,6 +154,104 @@ void ColumnInvertedIndex::Build(const TableCorpus& corpus, ThreadPool* pool) {
       ++col;
     }
   }
+}
+
+void ColumnInvertedIndex::AppendTables(const TableCorpus& corpus,
+                                       size_t first_new_table) {
+  const auto& tables = corpus.tables();
+  // Distinct values of the new columns, column-major, in increasing
+  // ColumnId order (ids are handed out past every existing one, so each
+  // value's additions land at the sorted tail of its list).
+  std::vector<ValueId> values;
+  std::vector<size_t> col_ends;
+  std::vector<ValueId> distinct;
+  ValueId max_v =
+      offsets_.size() > 1 ? static_cast<ValueId>(offsets_.size() - 2) : 0;
+  for (size_t ti = first_new_table; ti < tables.size(); ++ti) {
+    const Table& t = tables[ti];
+    const ColumnId base = next_column_id_;
+    for (uint32_t c = 0; c < t.columns.size(); ++c) {
+      distinct.assign(t.columns[c].cells.begin(), t.columns[c].cells.end());
+      std::sort(distinct.begin(), distinct.end());
+      distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                     distinct.end());
+      for (ValueId v : distinct) max_v = std::max(max_v, v);
+      values.insert(values.end(), distinct.begin(), distinct.end());
+      col_ends.push_back(values.size());
+      coords_.emplace_back(t.id, c);
+      ++next_column_id_;
+    }
+    table_cols_.emplace_back(base,
+                             static_cast<uint32_t>(t.columns.size()));
+    num_columns_ += t.columns.size();
+  }
+  if (values.empty()) return;
+
+  const size_t total = postings_.size() + values.size();
+  if (total > std::numeric_limits<uint32_t>::max()) {
+    MS_LOG(Error) << "inverted index: " << total
+                  << " postings exceed the 2^32 CSR offset limit";
+    std::abort();
+  }
+
+  // Per-value addition counts, then one rewrite pass that interleaves each
+  // old list with its (already id-sorted) new tail.
+  std::vector<uint32_t> adds(static_cast<size_t>(max_v) + 1, 0);
+  for (ValueId v : values) ++adds[v];
+  std::vector<uint32_t> new_offsets(static_cast<size_t>(max_v) + 2, 0);
+  for (size_t v = 0; v <= max_v; ++v) {
+    const uint32_t old_len =
+        static_cast<uint32_t>(ColumnFrequency(static_cast<ValueId>(v)));
+    new_offsets[v + 1] = new_offsets[v] + old_len + adds[v];
+  }
+  std::vector<ColumnId> new_postings(total);
+  std::vector<uint32_t> cursor(new_offsets.begin(), new_offsets.end() - 1);
+  for (size_t v = 0; v <= max_v; ++v) {
+    const PostingsView old = Postings(static_cast<ValueId>(v));
+    std::copy(old.begin(), old.end(), new_postings.begin() + cursor[v]);
+    cursor[v] += static_cast<uint32_t>(old.size);
+  }
+  ColumnId col = next_column_id_ - static_cast<ColumnId>(col_ends.size());
+  size_t begin = 0;
+  for (size_t end : col_ends) {
+    for (size_t i = begin; i < end; ++i) {
+      new_postings[cursor[values[i]]++] = col;
+    }
+    begin = end;
+    ++col;
+  }
+  offsets_ = std::move(new_offsets);
+  postings_ = std::move(new_postings);
+}
+
+void ColumnInvertedIndex::RemoveTables(const std::vector<TableId>& tables) {
+  std::vector<uint8_t> dead(coords_.size(), 0);
+  size_t removed = 0;
+  for (TableId t : tables) {
+    if (t >= table_cols_.size()) continue;
+    auto& [start, count] = table_cols_[t];
+    for (uint32_t i = 0; i < count; ++i) dead[start + i] = 1;
+    removed += count;
+    count = 0;  // idempotent: a second removal of t is a no-op
+  }
+  if (removed == 0) return;
+  num_columns_ -= removed;
+
+  // One compaction sweep: drop dead ids, rewrite offsets in place. The
+  // write cursor never passes the read cursor, and surviving ids keep
+  // their relative order, so every list stays sorted.
+  size_t w = 0;
+  uint32_t begin = 0;
+  for (size_t v = 0; v + 1 < offsets_.size(); ++v) {
+    const uint32_t end = offsets_[v + 1];
+    offsets_[v] = static_cast<uint32_t>(w);
+    for (uint32_t i = begin; i < end; ++i) {
+      if (!dead[postings_[i]]) postings_[w++] = postings_[i];
+    }
+    begin = end;
+  }
+  offsets_.back() = static_cast<uint32_t>(w);
+  postings_.resize(w);
 }
 
 size_t ColumnInvertedIndex::CoOccurrence(ValueId u, ValueId v) const {

@@ -32,8 +32,17 @@ struct PostingsView {
   bool empty() const { return size == 0; }
 };
 
-/// Immutable after Build(). Posting lists are sorted, so co-occurrence
-/// counts are merges (with galloping for skewed list lengths).
+/// Built once, then maintainable in place: AppendTables/RemoveTables patch
+/// the CSR directly instead of re-indexing the corpus, the backbone of
+/// incremental synthesis maintenance. Posting lists are sorted, so
+/// co-occurrence counts are merges (with galloping for skewed list lengths).
+///
+/// ColumnIds are assigned monotonically and never reused: appended columns
+/// get ids past every existing one (so each value's posting list grows at
+/// its sorted tail), and removed columns' ids simply vanish from the lists.
+/// Ids are therefore NOT dense after maintenance — only the counts
+/// (num_columns, ColumnFrequency, CoOccurrence) are meaningful across
+/// mutations, and those match a cold Build over the mutated corpus exactly.
 class ColumnInvertedIndex {
  public:
   /// Indexes every column of every table. Values are indexed by their
@@ -42,6 +51,19 @@ class ColumnInvertedIndex {
   /// With a thread pool the two CSR passes run over table ranges in
   /// parallel; results are identical to the serial build.
   void Build(const TableCorpus& corpus, ThreadPool* pool = nullptr);
+
+  /// Appends the columns of tables [first_new_table, corpus.size()) in
+  /// place: one counting pass over the new columns plus one linear rewrite
+  /// of the postings array — O(existing postings + new postings), no
+  /// re-sort, no rescan of pre-existing tables. Tables before
+  /// `first_new_table` must be the ones this index already covers.
+  void AppendTables(const TableCorpus& corpus, size_t first_new_table);
+
+  /// Removes every posting of the given tables' columns in place (one
+  /// compaction sweep over the postings array). Idempotent per table. The
+  /// caller typically tombstones the corpus tables in tandem; the index
+  /// only needs the ids, not the (possibly already cleared) contents.
+  void RemoveTables(const std::vector<TableId>& tables);
 
   /// Number of columns indexed (the N in p(u) = |C(u)| / N).
   size_t num_columns() const { return num_columns_; }
@@ -67,10 +89,15 @@ class ColumnInvertedIndex {
   std::pair<TableId, uint32_t> ColumnCoords(ColumnId c) const;
 
  private:
-  size_t num_columns_ = 0;
+  size_t num_columns_ = 0;           // LIVE columns (the N in p(u))
   std::vector<uint32_t> offsets_;    // size = max ValueId + 2
   std::vector<ColumnId> postings_;   // flat, grouped by ValueId
-  std::vector<std::pair<TableId, uint32_t>> coords_;
+  std::vector<std::pair<TableId, uint32_t>> coords_;  // by ever-assigned id
+  /// Per table id: {first ColumnId, live column count}. Each table's
+  /// columns occupy one contiguous id range assigned at Build/Append time;
+  /// RemoveTables zeroes the count so removal is idempotent.
+  std::vector<std::pair<ColumnId, uint32_t>> table_cols_;
+  ColumnId next_column_id_ = 0;      // ids handed out so far (never reused)
 };
 
 /// The seed vector<vector> implementation, kept as the equivalence oracle

@@ -67,6 +67,22 @@ size_t CountPairOverlap(const BinaryTable& a, const BinaryTable& b,
   if (exact_only) return exact;
   if (rest_a.empty() || rest_b.empty()) return exact;
 
+  // The greedy matching below is order-sensitive when a residue value
+  // could pair with several counterparts, and pair lists arrive sorted by
+  // ValueId — i.e. by string-pool *interning order*, which is a corpus
+  // construction history, not a property of the tables. Canonicalize to
+  // value content so two corpora holding the same tables score
+  // identically no matter how their pools were grown (the incremental
+  // path's pool retains removed tables' values; a cold rebuild's does
+  // not).
+  const StringPool& cpool = matcher.pool();
+  const auto by_content = [&](const ValuePair& x, const ValuePair& y) {
+    return std::make_pair(cpool.Get(x.left), cpool.Get(x.right)) <
+           std::make_pair(cpool.Get(y.left), cpool.Get(y.right));
+  };
+  std::sort(rest_a.begin(), rest_a.end(), by_content);
+  std::sort(rest_b.begin(), rest_b.end(), by_content);
+
   // Approximate residue matching (greedy, each b-pair used once).
   static thread_local std::vector<bool> used;
   used.assign(rest_b.size(), false);
@@ -235,6 +251,15 @@ size_t ReferenceCountPairOverlap(const BinaryTable& a, const BinaryTable& b,
 
   if (!opts.approximate_matching && !opts.synonyms) return exact;
   if (rest_a.empty() || rest_b.empty()) return exact;
+
+  // Mirror the fast path: canonicalize residue order by value content so
+  // the greedy matching is independent of pool interning history.
+  const auto by_content = [&](const ValuePair& x, const ValuePair& y) {
+    return std::make_pair(pool.Get(x.left), pool.Get(x.right)) <
+           std::make_pair(pool.Get(y.left), pool.Get(y.right));
+  };
+  std::sort(rest_a.begin(), rest_a.end(), by_content);
+  std::sort(rest_b.begin(), rest_b.end(), by_content);
 
   std::vector<bool> used(rest_b.size(), false);
   size_t approx = 0;

@@ -131,9 +131,24 @@ CompatibilityGraph ScorePairsCore(
     for (size_t i = begin; i < end; ++i) {
       const BlockingHint hint{pairs[i].shared_pairs, pairs[i].shared_lefts,
                               pairs[i].counts_exact};
-      scores[i] = ComputeCompatibility(candidates[pairs[i].a],
-                                       candidates[pairs[i].b], pool, compat,
-                                       matcher, &hint, &st);
+      // ComputeCompatibility is orientation-sensitive: conflicts count the
+      // FIRST table's conflicting left-runs, and the approximate-overlap
+      // greedy matches the first table's residue against the second's. A
+      // cold run orders operands by candidate id, which equals table order
+      // under dense assignment — so score in (source table, id) order
+      // explicitly. For cold runs this is the identical orientation; for
+      // incremental families where a re-extracted table sits at tail ids it
+      // is what keeps every edge weight bit-identical to the cold oracle's.
+      const BinaryTable& ta = candidates[pairs[i].a];
+      const BinaryTable& tb = candidates[pairs[i].b];
+      const bool cold_swapped =
+          std::tie(tb.source_table, pairs[i].b) <
+          std::tie(ta.source_table, pairs[i].a);
+      scores[i] = cold_swapped
+                      ? ComputeCompatibility(tb, ta, pool, compat, matcher,
+                                             &hint, &st)
+                      : ComputeCompatibility(ta, tb, pool, compat, matcher,
+                                             &hint, &st);
     }
     // Short-lived matchers surrender their kernel counters here; persistent
     // ones accumulate and are drained once per run by the session.
@@ -400,6 +415,18 @@ Result<CandidateSet> SynthesisSession::ExtractCandidates(
   out.source_tables = corpus.size();
   out.kept_offsets = std::move(extracted.kept_offsets);
   out.kept_columns = std::move(extracted.kept_columns);
+  out.margin_offsets = std::move(extracted.margin_offsets);
+  out.margins = std::move(extracted.margins);
+  if (options_.extraction.coherence_threshold > -1.0) {
+    // Seed the maintained-index cache: the first incremental mutation on
+    // this corpus patches these postings in place instead of paying a
+    // full rebuild (cold extraction is generation 0 of the family).
+    index_cache_ = std::move(index);
+    index_corpus_ = &corpus;
+    index_tables_ = corpus.size();
+    index_columns_ = index_cache_.num_columns();
+    index_generation_ = 0;
+  }
   out.artifact_id = NextArtifactId();
   out.session = this;
   ++session_stats_.extract_runs;
@@ -716,6 +743,50 @@ Result<AppendedArtifacts> SynthesisSession::AppendTables(
         " tables but the artifacts were synthesized from " +
         std::to_string(first_new_table) + " — corpora only grow");
   }
+  ++session_stats_.append_runs;
+  return ApplyCorpusDeltaLocked(corpus, first_new_table, {}, {},
+                                /*removed_columns=*/0, candidates, blocked,
+                                scored, partitions, result);
+}
+
+const ColumnInvertedIndex& SynthesisSession::MaintainedIndexLocked(
+    const TableCorpus& corpus, size_t first_new_table,
+    const std::vector<uint32_t>& removed_tables, size_t removed_columns,
+    uint32_t base_generation) {
+  // Reconstruct the pre-mutation fingerprint: the corpus is already
+  // mutated, so the pre-state is its current live columns minus the
+  // appended tables' plus what the tombstoning cleared.
+  size_t appended_columns = 0;
+  for (size_t t = first_new_table; t < corpus.size(); ++t) {
+    appended_columns += corpus.table(t).num_columns();
+  }
+  const size_t pre_columns =
+      corpus.TotalColumns() - appended_columns + removed_columns;
+  const bool patchable = index_corpus_ == &corpus &&
+                         index_tables_ == first_new_table &&
+                         index_columns_ == pre_columns &&
+                         index_generation_ == base_generation;
+  if (patchable) {
+    if (!removed_tables.empty()) index_cache_.RemoveTables(removed_tables);
+    if (corpus.size() > first_new_table) {
+      index_cache_.AppendTables(corpus, first_new_table);
+    }
+  } else {
+    index_cache_.Build(corpus, threads_.get());
+  }
+  index_corpus_ = &corpus;
+  index_tables_ = corpus.size();
+  index_columns_ = index_cache_.num_columns();
+  index_generation_ = base_generation + 1;
+  return index_cache_;
+}
+
+Result<AppendedArtifacts> SynthesisSession::ApplyCorpusDeltaLocked(
+    const TableCorpus& corpus, size_t first_new_table,
+    std::vector<uint32_t> removed_tables, std::vector<ValueId> removed_values,
+    size_t removed_columns, const CandidateSet& candidates,
+    const BlockedPairs& blocked, const ScoredGraph& scored,
+    const Partitions& partitions, const SynthesisResult& result) {
   // The corpus pool may be a different object than the artifacts' pool
   // (restore-then-append: artifacts resolve against the mmap'd snapshot
   // pool, the corpus against a reopened store). Ids must agree wherever
@@ -749,10 +820,22 @@ Result<AppendedArtifacts> SynthesisSession::AppendTables(
 
   static obs::Histogram* const stage_us = StageHistogram("append");
   obs::TraceSpan span("synth.append", stage_us);
+  static obs::Counter* const unstable_total =
+      obs::MetricsRegistry::Global().GetCounter(
+          "ms_synth_append_unstable_total");
+  static obs::Counter* const full_rebuilds_total =
+      obs::MetricsRegistry::Global().GetCounter(
+          "ms_synth_append_full_rebuilds_total");
+  static obs::Counter* const margin_skips_total =
+      obs::MetricsRegistry::Global().GetCounter(
+          "ms_synth_coherence_margin_skips_total");
+  static obs::Counter* const margin_rechecks_total =
+      obs::MetricsRegistry::Global().GetCounter(
+          "ms_synth_coherence_margin_rechecks_total");
   Timer append_timer;
   AppendedArtifacts out;
   out.append.appended_tables = corpus.size() - first_new_table;
-  ++session_stats_.append_runs;
+  out.append.removed_tables = removed_tables.size();
 
   const std::vector<BinaryTable>& base_tables = candidates.tables();
   const auto restamp = [&](uint32_t generation) {
@@ -771,9 +854,9 @@ Result<AppendedArtifacts> SynthesisSession::AppendTables(
     out.partitions.session = this;
   };
 
-  // Empty delta: nothing can change — hand back copies of the inputs under
-  // a fresh lineage generation.
-  if (corpus.size() == first_new_table) {
+  // Empty mutation: nothing can change — hand back copies of the inputs
+  // under a fresh lineage generation.
+  if (corpus.size() == first_new_table && removed_tables.empty()) {
     out.candidates = candidates;
     out.blocked = blocked;
     out.scored = scored;
@@ -786,35 +869,69 @@ Result<AppendedArtifacts> SynthesisSession::AppendTables(
     return out;
   }
 
-  // --- Union index + incremental extraction. Rebuilding the index and
-  // re-checking every old table's coherence signature is the exactness tax:
-  // coherence is corpus-global (p(u) = |C(u)|/N moves for every value when
-  // N grows), so verdicts must be re-validated — but the expensive half of
-  // extraction (normalize + FD filter + candidate assembly) runs only over
-  // the appended tables.
-  Timer step;
-  ColumnInvertedIndex index;
-  if (options_.extraction.coherence_threshold > -1.0) {
-    index.Build(corpus, threads_.get());
+  // Candidates retired by the removal itself (flipped tables add theirs
+  // after extraction below).
+  std::vector<uint8_t> newly_dead(base_tables.size(), 0);
+  size_t newly_dead_count = 0;
+  for (size_t i = 0; !removed_tables.empty() && i < base_tables.size(); ++i) {
+    if (candidates.is_dead(static_cast<BinaryTableId>(i))) continue;
+    if (std::binary_search(removed_tables.begin(), removed_tables.end(),
+                           base_tables[i].source_table)) {
+      newly_dead[i] = 1;
+      ++newly_dead_count;
+    }
   }
+
+  // --- Maintained index + incremental extraction. Re-checking every live
+  // old table's coherence signature is the exactness tax: coherence is
+  // corpus-global (p(u) = |C(u)|/N moves for every value when the corpus
+  // changes) — but the maintained index patches postings in place instead
+  // of rebuilding, the margin cache proves most verdicts stable without
+  // touching a posting list, and the expensive half of extraction
+  // (normalize + FD filter + candidate assembly) runs only over the
+  // appended and flipped tables.
+  Timer step;
+  ColumnInvertedIndex no_index;
+  const ColumnInvertedIndex& index =
+      options_.extraction.coherence_threshold > -1.0
+          ? MaintainedIndexLocked(corpus, first_new_table, removed_tables,
+                                  removed_columns, candidates.generation)
+          : no_index;
   const double index_s = step.ElapsedSeconds();
 
   step.Restart();
   const BinaryTableId first_new_id =
       static_cast<BinaryTableId>(base_tables.size());
+  DeltaExtractionRequest request;
+  request.first_new_table = first_new_table;
+  request.first_new_id = first_new_id;
+  request.base_kept_offsets = &candidates.kept_offsets;
+  request.base_kept_columns = &candidates.kept_columns;
+  if (candidates.margin_offsets.size() == first_new_table + 1) {
+    request.base_margin_offsets = &candidates.margin_offsets;
+    request.base_margins = &candidates.margins;
+  }
+  request.removed_tables = removed_tables;
+  request.removed_values = std::move(removed_values);
   DeltaExtractionResult delta = ExtractCandidatesDelta(
-      corpus, index, first_new_table, first_new_id, candidates.kept_offsets,
-      candidates.kept_columns, options_.extraction, threads_.get());
+      corpus, index, request, options_.extraction, threads_.get());
   const double extract_s = step.ElapsedSeconds();
   out.append.extraction_stable = delta.stable;
   out.append.unstable_tables = delta.unstable_tables;
+  out.append.margin_skips = delta.margin_skips;
+  out.append.margin_rechecks = delta.margin_rechecks;
   out.append.new_candidates = delta.new_candidates.size();
+  unstable_total->Add(delta.unstable_tables);
+  margin_skips_total->Add(delta.margin_skips);
+  margin_rechecks_total->Add(delta.margin_rechecks);
 
-  if (!delta.stable) {
-    // A coherence verdict flipped: the old candidate list itself would
-    // differ under a cold rebuild, shifting every downstream id. Exactness
-    // wins over speed — run the full chain internally.
+  const size_t live_old_tables = first_new_table -
+                                 candidates.tombstoned_tables.size() -
+                                 removed_tables.size();
+  const auto full_rebuild =
+      [&](const std::string& why) -> Result<AppendedArtifacts> {
     ++session_stats_.append_full_rebuilds;
+    full_rebuilds_total->Increment();
     out.append.full_rebuild = true;
     Result<CandidateSet> c = ExtractCandidates(corpus);
     if (!c.ok()) return c.status();
@@ -828,65 +945,232 @@ Result<AppendedArtifacts> SynthesisSession::AppendTables(
     if (!r.ok()) return r.status();
     out.candidates = std::move(c).value();
     out.candidates.generation = candidates.generation + 1;
+    // The internal cold extraction reseeded the index cache at generation
+    // 0; the family continues at the next generation.
+    index_generation_ = candidates.generation + 1;
+    // The corpus slots stay shells; record them so observers (and the
+    // snapshot) keep the provenance even though the fresh extraction has
+    // no dead candidates to carry.
+    out.candidates.tombstoned_tables = candidates.tombstoned_tables;
+    out.candidates.tombstoned_tables.insert(
+        out.candidates.tombstoned_tables.end(), removed_tables.begin(),
+        removed_tables.end());
+    std::sort(out.candidates.tombstoned_tables.begin(),
+              out.candidates.tombstoned_tables.end());
     out.blocked = std::move(b).value();
     out.scored = std::move(g).value();
     out.partitions = std::move(p).value();
     out.result = std::move(r).value();
+    out.append.removed_candidates = newly_dead_count;
     out.append.new_candidates =
         out.candidates.owned.size() -
         std::min(out.candidates.owned.size(), base_tables.size());
     out.append.append_seconds = append_timer.ElapsedSeconds();
-    MS_LOG(Info) << "append: coherence verdicts shifted; fell back to a "
-                    "full rebuild (" << out.candidates.owned.size()
-                 << " candidates)";
+    MS_LOG(Info) << "append: " << why << "; fell back to a full rebuild ("
+                 << out.candidates.owned.size() << " candidates)";
     return out;
+  };
+  if (!delta.stable && delta.unstable_tables * 2 > live_old_tables) {
+    // A majority of the surviving tables flipped their coherence verdict:
+    // partial re-extraction would churn most candidate ids anyway, so an
+    // internal cold re-run is both cheaper and re-densifies ids (results
+    // are still exact — exactness is never traded for speed).
+    return full_rebuild(std::to_string(delta.unstable_tables) + "/" +
+                        std::to_string(live_old_tables) +
+                        " coherence verdicts shifted");
   }
+  // Flipped tables: their base candidates are superseded by the
+  // re-extractions riding along in delta.new_candidates.
+  for (size_t i = 0;
+       !delta.flipped_tables.empty() && i < base_tables.size(); ++i) {
+    if (newly_dead[i] || candidates.is_dead(static_cast<BinaryTableId>(i))) {
+      continue;
+    }
+    if (std::binary_search(delta.flipped_tables.begin(),
+                           delta.flipped_tables.end(),
+                           base_tables[i].source_table)) {
+      newly_dead[i] = 1;
+      ++newly_dead_count;
+    }
+  }
+  out.append.removed_candidates = newly_dead_count;
+  const bool have_dead = newly_dead_count > 0;
 
-  // --- Merge candidates: base ids are untouched, appended candidates take
-  // the next dense ids in table order — exactly a cold run's assignment.
+  // --- Merge candidates: base ids are untouched, new candidates (appended
+  // tables' and flipped tables' re-extractions) take the next dense ids in
+  // table order. Retired candidates keep their id and provenance but lose
+  // their pairs — downstream they have the footprint of a candidate that
+  // was never extracted.
   out.candidates.owned = base_tables;
   out.candidates.owned.reserve(base_tables.size() +
                                delta.new_candidates.size());
   for (auto& c : delta.new_candidates) {
     out.candidates.owned.push_back(std::move(c));
   }
+  if (have_dead) {
+    for (size_t i = 0; i < newly_dead.size(); ++i) {
+      if (!newly_dead[i]) continue;
+      BinaryTable& t = out.candidates.owned[i];
+      BinaryTable cleared = BinaryTable::FromPairs({});
+      cleared.id = t.id;
+      cleared.source_table = t.source_table;
+      cleared.domain = std::move(t.domain);
+      cleared.source = t.source;
+      cleared.left_name = std::move(t.left_name);
+      cleared.right_name = std::move(t.right_name);
+      t = std::move(cleared);
+    }
+  }
+  out.candidates.dead = candidates.dead;
+  if (have_dead || !out.candidates.dead.empty()) {
+    out.candidates.dead.resize(out.candidates.owned.size(), 0);
+    for (size_t i = 0; i < newly_dead.size(); ++i) {
+      if (newly_dead[i]) out.candidates.dead[i] = 1;
+    }
+  }
+  out.candidates.tombstoned_tables = candidates.tombstoned_tables;
+  if (!removed_tables.empty()) {
+    out.candidates.tombstoned_tables.insert(
+        out.candidates.tombstoned_tables.end(), removed_tables.begin(),
+        removed_tables.end());
+    std::sort(out.candidates.tombstoned_tables.begin(),
+              out.candidates.tombstoned_tables.end());
+  }
+  const size_t total_dead = out.candidates.num_dead();
   out.candidates.pool = pool;
   out.candidates.source_tables = corpus.size();
   out.candidates.kept_offsets = std::move(delta.kept_offsets);
   out.candidates.kept_columns = std::move(delta.kept_columns);
+  out.candidates.margin_offsets = std::move(delta.margin_offsets);
+  out.candidates.margins = std::move(delta.margins);
   out.candidates.stats = candidates.stats;
   out.candidates.stats.index_seconds += index_s;
   out.candidates.stats.extract_seconds += extract_s;
   AddExtractionStats(&out.candidates.stats.extraction, delta.stats);
-  out.candidates.stats.candidates = out.candidates.owned.size();
+  out.candidates.stats.candidates = out.candidates.owned.size() - total_dead;
 
-  // --- Delta blocking: only keys the new candidates touch are counted,
-  // only (new x all) pairs can emerge. Old pairs' counts and old-candidate
-  // taint are append-invariant (appended ids sort last, so truncation keeps
-  // the identical old-id prefix of every posting list) and merge verbatim.
+  // Appends and removals only ever *relabel* live candidate ids — they
+  // never reorder them, so the live sequence stays sorted by source table
+  // exactly like a cold run's dense assignment. A flipped table's
+  // re-extraction is the one mutation that can break this (it takes tail
+  // ids where a cold run would slot it in table order), and the break
+  // persists across later mutations until the table is removed or a
+  // rebuild re-densifies ids. Every downstream step that is
+  // id-ORDER-dependent — posting-list truncation keeps the lowest ids, the
+  // global greedy partition tie-breaks on vertex ids — is cold-exact iff
+  // this ordering holds, so the order, not the presence of flips, is what
+  // gates the shortcuts below.
+  bool order_ok = true;
+  {
+    uint32_t prev_table = 0;
+    for (size_t i = 0; i < out.candidates.owned.size(); ++i) {
+      if (i < out.candidates.dead.size() && out.candidates.dead[i]) continue;
+      const uint32_t t = out.candidates.owned[i].source_table;
+      if (t < prev_table) {
+        order_ok = false;
+        break;
+      }
+      prev_table = t;
+    }
+  }
+  if (!order_ok && !options_.divide_and_conquer) {
+    // Without divide-and-conquer the greedy partition runs over the whole
+    // graph on raw vertex ids; its tie-breaks cannot be re-sorted into
+    // cold order the way per-component subgraphs can, so a broken id
+    // order forces a rebuild to keep the cold-oracle equivalence exact.
+    return full_rebuild(std::to_string(delta.unstable_tables) +
+                        " coherence verdicts shifted without "
+                        "divide-and-conquer");
+  }
+  if (!order_ok && blocked.blocking.dropped_postings != 0) {
+    // Posting-list truncation keeps the lowest candidate ids, so which
+    // pairs survive a hot key depends on id order. The base run already
+    // truncated, and this family's live ids are no longer in cold order:
+    // only a rebuild keeps the cold-oracle equivalence exact.
+    return full_rebuild(std::to_string(delta.unstable_tables) +
+                        " coherence verdicts shifted with truncated "
+                        "posting lists");
+  }
+
+  // --- Delta blocking. Appends: only keys the new candidates touch are
+  // counted, only (new x all) pairs can emerge — old pairs' counts and
+  // old-candidate taint are append-invariant (appended ids sort last, so
+  // truncation keeps the identical old-id prefix of every posting list)
+  // and merge verbatim. Removals additionally drop every base pair that
+  // touches a retired candidate; that filter stays exact as long as the
+  // base run never truncated a posting list (dropped_postings == 0 —
+  // surviving pairs' key sets are untouched). When the base run DID
+  // truncate, deleting ids can pull previously-dropped postings back under
+  // the cap and resurrect pairs between old candidates, so blocking re-runs
+  // from scratch — but scoring below still reuses every base edge whose
+  // pair survived (edge weights depend only on the candidates' contents).
   step.Restart();
-  std::vector<uint8_t> tainted = blocked.blocking.tainted;
-  if (!tainted.empty()) tainted.resize(out.candidates.owned.size(), 0);
-  DeltaBlockingStats dstats;
-  std::vector<CandidateTablePair> delta_pairs = GenerateDeltaCandidatePairs(
-      out.candidates.owned, first_new_id, options_.blocking, threads_.get(),
-      &tainted, &dstats);
+  std::vector<CandidateTablePair> delta_pairs;
+  if (!have_dead || blocked.blocking.dropped_postings == 0) {
+    std::vector<uint8_t> tainted = blocked.blocking.tainted;
+    if (!tainted.empty()) tainted.resize(out.candidates.owned.size(), 0);
+    DeltaBlockingStats dstats;
+    if (first_new_id < out.candidates.owned.size()) {
+      delta_pairs = GenerateDeltaCandidatePairs(
+          out.candidates.owned, first_new_id, options_.blocking,
+          threads_.get(), &tainted, &dstats);
+    }
+    if (!order_ok && dstats.dropped_postings != 0) {
+      // The union posting lists truncated for the first time during this
+      // mutation (possibly a pure append — the id-order break can stem
+      // from a flip several generations back). Same reasoning as the
+      // pre-blocking check: truncation keeps the lowest ids, and the live
+      // ids are not in cold order, so only a rebuild preserves exact cold
+      // equivalence.
+      return full_rebuild(std::to_string(delta.unstable_tables) +
+                          " coherence verdicts shifted and the delta "
+                          "blocking pass truncated posting lists");
+    }
+    std::vector<CandidateTablePair> base_kept;
+    const std::vector<CandidateTablePair>* base_src = &blocked.pairs;
+    if (have_dead) {
+      base_kept.reserve(blocked.pairs.size());
+      for (const auto& p : blocked.pairs) {
+        if (newly_dead[p.a] || newly_dead[p.b]) continue;
+        base_kept.push_back(p);
+      }
+      base_src = &base_kept;
+    }
+    out.blocked.pairs.reserve(base_src->size() + delta_pairs.size());
+    std::merge(base_src->begin(), base_src->end(), delta_pairs.begin(),
+               delta_pairs.end(), std::back_inserter(out.blocked.pairs),
+               [](const CandidateTablePair& x, const CandidateTablePair& y) {
+                 return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+               });
+    out.blocked.blocking = blocked.blocking;
+    out.blocked.blocking.keys += dstats.new_keys;
+    out.blocked.blocking.dropped_postings += dstats.dropped_postings;
+    size_t num_tainted = 0;
+    for (uint8_t t : tainted) num_tainted += t;
+    out.blocked.blocking.tainted_candidates = num_tainted;
+    out.blocked.blocking.exact_counts =
+        out.blocked.blocking.dropped_postings == 0;
+    out.blocked.blocking.tainted = std::move(tainted);
+  } else {
+    BlockingStats bstats;
+    std::vector<CandidateTablePair> full_pairs = GenerateCandidatePairs(
+        out.candidates.owned, options_.blocking, threads_.get(), &bstats);
+    const auto less_ab = [](const CandidateTablePair& x,
+                            const CandidateTablePair& y) {
+      return std::tie(x.a, x.b) < std::tie(y.a, y.b);
+    };
+    // Pairs the base run never scored (new candidates' and resurrected
+    // old-old pairs) are the only ones that need scoring.
+    for (const auto& p : full_pairs) {
+      if (!std::binary_search(blocked.pairs.begin(), blocked.pairs.end(), p,
+                              less_ab)) {
+        delta_pairs.push_back(p);
+      }
+    }
+    out.blocked.pairs = std::move(full_pairs);
+    out.blocked.blocking = std::move(bstats);
+  }
   out.append.delta_pairs = delta_pairs.size();
-  out.blocked.pairs.reserve(blocked.pairs.size() + delta_pairs.size());
-  std::merge(blocked.pairs.begin(), blocked.pairs.end(), delta_pairs.begin(),
-             delta_pairs.end(), std::back_inserter(out.blocked.pairs),
-             [](const CandidateTablePair& x, const CandidateTablePair& y) {
-               return std::tie(x.a, x.b) < std::tie(y.a, y.b);
-             });
-  out.blocked.blocking = blocked.blocking;
-  out.blocked.blocking.keys += dstats.new_keys;
-  out.blocked.blocking.dropped_postings += dstats.dropped_postings;
-  size_t num_tainted = 0;
-  for (uint8_t t : tainted) num_tainted += t;
-  out.blocked.blocking.tainted_candidates = num_tainted;
-  out.blocked.blocking.exact_counts =
-      out.blocked.blocking.dropped_postings == 0;
-  out.blocked.blocking.tainted = std::move(tainted);
   out.blocked.stats = out.candidates.stats;
   FillBlockingStats(out.blocked.blocking, out.blocked.pairs.size(),
                     blocked.stats.blocking_seconds + step.ElapsedSeconds(),
@@ -895,7 +1179,10 @@ Result<AppendedArtifacts> SynthesisSession::AppendTables(
   // --- Delta scoring through the warm per-worker matchers, then splice:
   // both edge lists are sorted by (u, v) — blocking emits pairs sorted and
   // scoring adds edges in pair order — so the merged list is exactly what
-  // one cold scoring pass over the merged pairs would have built.
+  // one cold scoring pass over the merged pairs would have built. Base
+  // edges incident to a retired candidate vanish with it; every other base
+  // edge is reused verbatim (weights depend only on the two candidates'
+  // contents, which are unchanged).
   step.Restart();
   ScoringStats scoring;
   CompatibilityGraph delta_graph = ScoreThroughSessionMatchers(
@@ -907,6 +1194,11 @@ Result<AppendedArtifacts> SynthesisSession::AppendTables(
     const auto& de = delta_graph.edges();
     size_t bi = 0, di = 0;
     while (bi < be.size() || di < de.size()) {
+      if (bi < be.size() && have_dead &&
+          (newly_dead[be[bi].u] || newly_dead[be[bi].v])) {
+        ++bi;
+        continue;
+      }
       const bool take_base =
           di >= de.size() ||
           (bi < be.size() &&
@@ -924,26 +1216,55 @@ Result<AppendedArtifacts> SynthesisSession::AppendTables(
       scored.stats.scoring_seconds + step.ElapsedSeconds();
   out.scored.stats.graph_edges = out.scored.graph.num_edges();
 
-  // --- Component-restricted partition: a component without any appended
-  // candidate cannot contain a delta edge (every delta pair touches a new
-  // id), so its induced subgraph — and therefore its greedy partition — is
-  // provably identical to the base run's; carry it. Components touched by
-  // the delta are re-partitioned from scratch.
+  // --- Component-restricted partition: a component is re-partitioned only
+  // when its induced subgraph could differ from the base run's — it holds
+  // a new candidate (delta pairs all touch one on pure appends), a
+  // candidate this mutation retired, a base-graph neighbor of a retired
+  // candidate (it lost an incident edge), or an endpoint of a delta-scored
+  // edge (covers old-old pairs resurfacing out of truncation). Every other
+  // component's subgraph — and therefore its greedy partition — is
+  // provably identical to the base run's; carry it. (If removal split a
+  // base component, every resulting piece contains a former neighbor of a
+  // retired vertex, so all pieces are re-partitioned — membership of clean
+  // components is exactly their base membership.)
   step.Restart();
   PartitionResult partition;
   std::vector<std::vector<VertexId>> dirty_groups;
   std::vector<uint32_t> comp;
   std::vector<char> comp_dirty;
   size_t num_components = 0;
+  const std::vector<uint8_t>& dead_bitmap = out.candidates.dead;
+  const auto vertex_dead = [&](VertexId v) {
+    return v < dead_bitmap.size() && dead_bitmap[v] != 0;
+  };
   if (options_.divide_and_conquer) {
     comp = ConnectedComponentsBfs(out.scored.graph,
                                   options_.partitioner.theta_edge);
     auto groups = GroupByComponent(comp);
     num_components = groups.size();
+    std::vector<uint8_t> dirty_vertex(out.scored.graph.num_vertices(), 0);
+    for (size_t v = first_new_id; v < dirty_vertex.size(); ++v) {
+      dirty_vertex[v] = 1;
+    }
+    if (have_dead) {
+      for (size_t v = 0; v < newly_dead.size(); ++v) {
+        if (newly_dead[v]) dirty_vertex[v] = 1;
+      }
+      for (const auto& e : scored.graph.edges()) {
+        if (newly_dead[e.u] || newly_dead[e.v]) {
+          dirty_vertex[e.u] = 1;
+          dirty_vertex[e.v] = 1;
+        }
+      }
+      for (const auto& e : delta_graph.edges()) {
+        dirty_vertex[e.u] = 1;
+        dirty_vertex[e.v] = 1;
+      }
+    }
     comp_dirty.assign(groups.size(), 0);
     for (size_t g = 0; g < groups.size(); ++g) {
       for (VertexId v : groups[g]) {
-        if (v >= first_new_id) {
+        if (dirty_vertex[v]) {
           comp_dirty[g] = 1;
           break;
         }
@@ -971,6 +1292,20 @@ Result<AppendedArtifacts> SynthesisSession::AppendTables(
     for (size_t g = 0; g < groups.size(); ++g) {
       if (!comp_dirty[g]) continue;
       dirty_idx.push_back(g);
+      // The greedy partitioner tie-breaks on vertex ids, so hand each
+      // dirty component its members in the relative order a cold run's
+      // dense ids would impose: by source table, then by id (within one
+      // table, id order is extraction order for base candidates and
+      // re-extractions alike). For append/removal-only families this is a
+      // no-op — live ids are already table-ordered — but it makes the
+      // local subgraph bit-identical to the cold run's even when a
+      // flipped table's re-extraction sits at tail ids, and it feeds
+      // conflict resolution its members in cold order too.
+      std::sort(groups[g].begin(), groups[g].end(),
+                [&](VertexId x, VertexId y) {
+                  return std::tie(out.candidates.owned[x].source_table, x) <
+                         std::tie(out.candidates.owned[y].source_table, y);
+                });
       for (uint32_t i = 0; i < groups[g].size(); ++i) {
         local_of[groups[g][i]] = i;
       }
@@ -981,6 +1316,9 @@ Result<AppendedArtifacts> SynthesisSession::AppendTables(
       const auto& members = groups[dirty_idx[k]];
       if (members.size() == 1) {
         partition.partition_of[members[0]] = next_partition.fetch_add(1);
+        // Retired candidates are isolated singleton components: they keep
+        // a partition slot (vertex ids stay stable) but resolve nothing.
+        if (vertex_dead(members[0])) return;
         std::lock_guard<std::mutex> lock(mu);
         dirty_groups.push_back({members[0]});
         return;
@@ -1011,16 +1349,25 @@ Result<AppendedArtifacts> SynthesisSession::AppendTables(
     // boundary protects any prior partition, so everything is re-run.
     partition = GreedyPartition(out.scored.graph, options_.partitioner);
     dirty_groups = partition.Groups();
+    if (total_dead > 0) {
+      std::erase_if(dirty_groups, [&](const std::vector<VertexId>& g) {
+        return g.size() == 1 && vertex_dead(g[0]);
+      });
+    }
     out.append.dirty_components = dirty_groups.size();
   }
   out.partitions.partition = std::move(partition);
   out.partitions.stats = out.scored.stats;
   if (options_.divide_and_conquer) {
-    out.partitions.stats.components = num_components;
+    // Retired candidates sit in singleton components holding a reserved
+    // partition slot each; the reported counts cover live structure only,
+    // matching what a cold rebuild over the surviving tables sees.
+    out.partitions.stats.components = num_components - total_dead;
   }
   out.partitions.stats.partition_seconds =
       partitions.stats.partition_seconds + step.ElapsedSeconds();
-  out.partitions.stats.partitions = out.partitions.partition.num_partitions;
+  out.partitions.stats.partitions =
+      out.partitions.partition.num_partitions - total_dead;
 
   // --- Resolve only the dirty groups; mappings of clean components carry
   // over verbatim (their partitions, members, and conflict sets are
@@ -1056,9 +1403,13 @@ Result<AppendedArtifacts> SynthesisSession::AppendTables(
 
   restamp(candidates.generation + 1);
   out.append.append_seconds = append_timer.ElapsedSeconds();
-  MS_LOG(Info) << "append: +" << out.append.appended_tables << " tables, +"
-               << out.append.new_candidates << " candidates, "
+  MS_LOG(Info) << "append: +" << out.append.appended_tables << "/-"
+               << out.append.removed_tables << " tables, +"
+               << out.append.new_candidates << "/-"
+               << out.append.removed_candidates << " candidates, "
                << out.append.delta_pairs << " delta pairs, "
+               << out.append.margin_skips << " margin skips / "
+               << out.append.margin_rechecks << " rechecks, "
                << out.append.dirty_components << "/" << num_components
                << " dirty components, " << out.append.carried_mappings
                << " mappings carried";
@@ -1090,6 +1441,144 @@ Result<AppendedArtifacts> SynthesisSession::AppendCorpus(
   if (!first_new.ok()) return first_new.status();
   return AppendTables(*corpus, first_new.value(), candidates, blocked,
                       scored, partitions, result);
+}
+
+namespace {
+
+/// Shared removal-id validation for RemoveTables/ReplaceTables: sorts
+/// `removed` in place, rejects duplicates and out-of-range ids with
+/// InvalidArgument BEFORE any corpus mutation, then drops no-op entries
+/// (tables already tombstoned, or degenerate zero-column tables — their
+/// removal cannot change any artifact).
+Status PrepareRemovalIds(const char* stage, const TableCorpus& corpus,
+                         std::vector<uint32_t>* removed) {
+  std::sort(removed->begin(), removed->end());
+  for (size_t i = 0; i < removed->size(); ++i) {
+    if ((*removed)[i] >= corpus.size()) {
+      return Status::InvalidArgument(
+          std::string(stage) + ": table id " +
+          std::to_string((*removed)[i]) + " is out of range (corpus has " +
+          std::to_string(corpus.size()) + " tables)");
+    }
+    if (i > 0 && (*removed)[i] == (*removed)[i - 1]) {
+      return Status::InvalidArgument(
+          std::string(stage) + ": duplicate table id " +
+          std::to_string((*removed)[i]) + " in the removal set");
+    }
+  }
+  std::erase_if(*removed, [&](uint32_t id) {
+    return corpus.table(id).num_columns() == 0;
+  });
+  return Status::OK();
+}
+
+/// Captures the removal footprint (distinct cell values + column count)
+/// and tombstones each table, returning the moved-out columns so a failed
+/// mutation can restore them.
+struct RemovalCapture {
+  std::vector<ValueId> values;
+  size_t columns = 0;
+  std::vector<std::pair<uint32_t, std::vector<Column>>> saved;
+};
+
+RemovalCapture TombstoneAll(TableCorpus* corpus,
+                            const std::vector<uint32_t>& removed) {
+  RemovalCapture cap;
+  cap.saved.reserve(removed.size());
+  for (uint32_t id : removed) {
+    const Table& t = corpus->table(id);
+    cap.columns += t.num_columns();
+    for (const Column& c : t.columns) {
+      cap.values.insert(cap.values.end(), c.cells.begin(), c.cells.end());
+    }
+    cap.saved.emplace_back(id, corpus->Tombstone(id));
+  }
+  std::sort(cap.values.begin(), cap.values.end());
+  cap.values.erase(std::unique(cap.values.begin(), cap.values.end()),
+                   cap.values.end());
+  return cap;
+}
+
+void RestoreAll(TableCorpus* corpus, RemovalCapture* cap) {
+  for (auto& [id, cols] : cap->saved) {
+    corpus->RestoreColumns(id, std::move(cols));
+  }
+}
+
+}  // namespace
+
+Result<AppendedArtifacts> SynthesisSession::RemoveTables(
+    TableCorpus* corpus, std::vector<uint32_t> removed,
+    const CandidateSet& candidates, const BlockedPairs& blocked,
+    const ScoredGraph& scored, const Partitions& partitions,
+    const SynthesisResult& result) {
+  const std::lock_guard<std::recursive_mutex> lock(run_mu_);
+  if (corpus == nullptr) {
+    return Status::InvalidArgument("RemoveTables: corpus is null");
+  }
+  // Validate BEFORE mutating — same discipline as AppendCorpus.
+  MS_RETURN_IF_ERROR(
+      ValidateAppendFamily(candidates, blocked, scored, partitions, result));
+  if (corpus->size() != candidates.source_tables) {
+    return Status::InvalidArgument(
+        "RemoveTables: the corpus has " + std::to_string(corpus->size()) +
+        " tables but the artifacts cover " +
+        std::to_string(candidates.source_tables) +
+        " — removals operate on the exact synthesized corpus");
+  }
+  MS_RETURN_IF_ERROR(PrepareRemovalIds("RemoveTables", *corpus, &removed));
+  RemovalCapture cap = TombstoneAll(corpus, removed);
+  Result<AppendedArtifacts> out = ApplyCorpusDeltaLocked(
+      *corpus, corpus->size(), std::move(removed), std::move(cap.values),
+      cap.columns, candidates, blocked, scored, partitions, result);
+  if (!out.ok()) {
+    RestoreAll(corpus, &cap);
+    return out.status();
+  }
+  ++session_stats_.remove_runs;
+  return out;
+}
+
+Result<AppendedArtifacts> SynthesisSession::ReplaceTables(
+    TableCorpus* corpus, std::vector<uint32_t> removed,
+    const TableCorpus& delta, const CandidateSet& candidates,
+    const BlockedPairs& blocked, const ScoredGraph& scored,
+    const Partitions& partitions, const SynthesisResult& result) {
+  const std::lock_guard<std::recursive_mutex> lock(run_mu_);
+  if (corpus == nullptr) {
+    return Status::InvalidArgument("ReplaceTables: corpus is null");
+  }
+  MS_RETURN_IF_ERROR(
+      ValidateAppendFamily(candidates, blocked, scored, partitions, result));
+  if (corpus->size() != candidates.source_tables) {
+    return Status::InvalidArgument(
+        "ReplaceTables: the corpus has " + std::to_string(corpus->size()) +
+        " tables but the artifacts cover " +
+        std::to_string(candidates.source_tables) +
+        " — replacements operate on the exact synthesized corpus");
+  }
+  MS_RETURN_IF_ERROR(PrepareRemovalIds("ReplaceTables", *corpus, &removed));
+  // One atomic remove + append: tombstone, merge the delta at the tail,
+  // reconcile in a single maintenance pass. A failure at any point rolls
+  // the corpus back — tables, columns, and pool tail.
+  const size_t prev_pool_size = corpus->pool().size();
+  RemovalCapture cap = TombstoneAll(corpus, removed);
+  Result<size_t> first_new = corpus->AppendFrom(delta);
+  if (!first_new.ok()) {
+    RestoreAll(corpus, &cap);
+    return first_new.status();
+  }
+  Result<AppendedArtifacts> out = ApplyCorpusDeltaLocked(
+      *corpus, first_new.value(), std::move(removed), std::move(cap.values),
+      cap.columns, candidates, blocked, scored, partitions, result);
+  if (!out.ok()) {
+    corpus->Truncate(first_new.value());
+    corpus->pool().TruncateTo(prev_pool_size);
+    RestoreAll(corpus, &cap);
+    return out.status();
+  }
+  ++session_stats_.replace_runs;
+  return out;
 }
 
 // --------------------------------------------------------------- persistence

@@ -151,11 +151,38 @@ struct CandidateSet {
   uint64_t source_tables = 0;
   /// Per-table kept-column signatures from extraction (see
   /// ExtractionResult); empty for adopted candidate sets, which therefore
-  /// cannot be appended to. AppendTables re-checks these under the grown
-  /// corpus index — coherence is corpus-global — and falls back to a full
-  /// re-extraction when any verdict flipped.
+  /// cannot be appended to. Incremental mutations re-check these under the
+  /// mutated corpus index — coherence is corpus-global — re-extracting
+  /// just the tables whose verdict flipped.
   std::vector<uint32_t> kept_offsets;
   std::vector<uint32_t> kept_columns;
+  /// Margin cache mirroring ExtractionResult::margins: one profile per
+  /// column of each width-passed source table, CSR over table index. Lets
+  /// the next mutation skip coherence re-checks whose verdict provably
+  /// cannot flip. Empty when the filter is disabled or the set was adopted
+  /// or restored from a pre-v3 snapshot.
+  std::vector<uint32_t> margin_offsets;
+  std::vector<CoherenceProfile> margins;
+  /// Corpus table ids tombstoned by RemoveTables/ReplaceTables, sorted.
+  /// Tombstoned tables keep their corpus slots (ids stay stable); their
+  /// candidates are marked dead below.
+  std::vector<uint32_t> tombstoned_tables;
+  /// Per-candidate tombstone bitmap; empty means all live. Dead candidates
+  /// keep their ids (graph-vertex stability) but their pair contents are
+  /// cleared, so every downstream stage sees them as empty vertices with
+  /// no pairs, no blocking keys, and no edges — exactly the footprint of a
+  /// candidate that was never extracted.
+  std::vector<uint8_t> dead;
+
+  bool is_dead(BinaryTableId id) const {
+    return id < dead.size() && dead[id] != 0;
+  }
+  size_t num_dead() const {
+    size_t n = 0;
+    for (uint8_t d : dead) n += d;
+    return n;
+  }
+  size_t num_live() const { return tables().size() - num_dead(); }
 };
 
 /// Stage 2 artifact: the candidate pairs that survived blocking, with
@@ -191,13 +218,19 @@ struct Partitions {
   const void* session = nullptr;
 };
 
-/// What one AppendTables call did, for observability and tests. The
-/// append's contract is byte-equivalence with a cold rebuild over the
-/// grown corpus; these counters expose how much work the delta restriction
-/// actually saved.
+/// What one incremental mutation (AppendTables / RemoveTables /
+/// ReplaceTables) did, for observability and tests. The contract is
+/// equivalence with a cold rebuild over the mutated corpus — byte-level
+/// when no coherence verdict flips, mapping-level (same mappings, stable
+/// candidate ids, dead slots ignored) otherwise; these counters expose how
+/// much work the delta restriction actually saved.
 struct AppendStats {
   size_t appended_tables = 0;
+  size_t removed_tables = 0;
   size_t new_candidates = 0;
+  /// Candidates tombstoned by this mutation (removed tables' plus flipped
+  /// tables' superseded extractions).
+  size_t removed_candidates = 0;
   /// Blocked pairs created by the append (every one touches a new
   /// candidate); the only pairs that were scored.
   size_t delta_pairs = 0;
@@ -212,15 +245,21 @@ struct AppendStats {
   /// partition and conflict resolution are provably unchanged).
   size_t carried_mappings = 0;
   /// False iff some pre-existing table's coherence verdict flipped under
-  /// the grown corpus statistics.
+  /// the mutated corpus statistics.
   bool extraction_stable = false;
-  /// How many old tables flipped (0 when extraction_stable). A fleet whose
-  /// appends keep falling back reads this to tell one borderline column
-  /// from corpus-wide drift; thresholds sitting on a score's decision
-  /// boundary make appends degrade to cold-rebuild cost.
+  /// How many old tables flipped (0 when extraction_stable). Flipped
+  /// tables are re-extracted in place (their old candidates tombstoned,
+  /// fresh ones appended); only a majority flip degrades to a full
+  /// rebuild. Thresholds sitting on a score's decision boundary drive
+  /// this up.
   size_t unstable_tables = 0;
-  /// True when instability forced an internal cold re-run (results are
-  /// still exact; only the speed win is lost).
+  /// Margin-cache effectiveness for this mutation: coherence verdicts
+  /// settled by the cached monotonicity bound vs exact re-checks paid.
+  size_t margin_skips = 0;
+  size_t margin_rechecks = 0;
+  /// True when instability spanned most of the corpus and an internal cold
+  /// re-run was cheaper than partial re-extraction (results are still
+  /// exact; ids re-densify and tombstones compact away).
   bool full_rebuild = false;
   double append_seconds = 0.0;
 };
@@ -404,6 +443,42 @@ class SynthesisSession {
                                          const Partitions& partitions,
                                          const SynthesisResult& result);
 
+  /// Incremental removal: tombstones `removed` tables in `*corpus` (their
+  /// columns are cleared in place — slots and ids stay stable, which is
+  /// what keeps every retained candidate id, mapping member list, and
+  /// snapshot reference valid) and returns an artifact family whose
+  /// mappings match a cold rebuild over the surviving tables. Costs scale
+  /// with the removed tables' footprint: their postings are deleted from
+  /// the maintained index in place, their candidates tombstoned, and only
+  /// graph components that lost a candidate (or sat next to one) are
+  /// re-partitioned and re-resolved — clean components carry their
+  /// mappings verbatim. Coherence re-checks of surviving tables go
+  /// through the margin cache like appends. Duplicate or out-of-range ids
+  /// in `removed` fail with InvalidArgument before any mutation; removing
+  /// an already tombstoned table is a no-op contribution.
+  Result<AppendedArtifacts> RemoveTables(TableCorpus* corpus,
+                                         std::vector<uint32_t> removed,
+                                         const CandidateSet& candidates,
+                                         const BlockedPairs& blocked,
+                                         const ScoredGraph& scored,
+                                         const Partitions& partitions,
+                                         const SynthesisResult& result);
+
+  /// Incremental replace: one atomic remove + append — tombstones
+  /// `removed` in `*corpus`, merges `delta`'s tables at the tail
+  /// (re-interning into the corpus pool), and reconciles the artifact
+  /// family in a single maintenance pass (one index patch, one coherence
+  /// re-check sweep, one dirty-component resolve). Equivalent to
+  /// RemoveTables followed by AppendCorpus but at single-mutation cost.
+  Result<AppendedArtifacts> ReplaceTables(TableCorpus* corpus,
+                                          std::vector<uint32_t> removed,
+                                          const TableCorpus& delta,
+                                          const CandidateSet& candidates,
+                                          const BlockedPairs& blocked,
+                                          const ScoredGraph& scored,
+                                          const Partitions& partitions,
+                                          const SynthesisResult& result);
+
   // ------------------------------------------------------------ persistence
 
   /// Writes a versioned, checksummed snapshot (persist/snapshot.h) of the
@@ -445,10 +520,14 @@ class SynthesisSession {
     /// Persistence round trips through Save/RestoreSnapshot.
     size_t snapshot_saves = 0;
     size_t snapshot_restores = 0;
-    /// Incremental corpus growth: AppendTables calls, and how many of them
-    /// lost the delta fast path to a coherence-verdict flip.
+    /// Incremental corpus growth: AppendTables calls, and how many
+    /// incremental mutations lost the delta fast path to a majority
+    /// coherence-verdict flip (the internal cold re-run).
     size_t append_runs = 0;
     size_t append_full_rebuilds = 0;
+    /// Incremental shrink/churn: RemoveTables / ReplaceTables calls.
+    size_t remove_runs = 0;
+    size_t replace_runs = 0;
   };
   const SessionStats& session_stats() const { return session_stats_; }
 
@@ -480,6 +559,27 @@ class SynthesisSession {
                               const ScoredGraph& scored,
                               const Partitions& partitions,
                               const SynthesisResult& result) const;
+  /// The unified incremental-maintenance core behind AppendTables,
+  /// RemoveTables, and ReplaceTables: `corpus` is already mutated (removed
+  /// tables tombstoned, appended tables merged at the tail);
+  /// `removed_tables` (sorted), `removed_values`, and `removed_columns`
+  /// describe the tombstoned footprint. Caller holds run_mu_.
+  Result<AppendedArtifacts> ApplyCorpusDeltaLocked(
+      const TableCorpus& corpus, size_t first_new_table,
+      std::vector<uint32_t> removed_tables,
+      std::vector<ValueId> removed_values, size_t removed_columns,
+      const CandidateSet& candidates, const BlockedPairs& blocked,
+      const ScoredGraph& scored, const Partitions& partitions,
+      const SynthesisResult& result);
+  /// Returns the maintained corpus index, patched in place (posting
+  /// deletes for `removed_tables`, appends for tables past
+  /// `first_new_table`) when the cache matches the pre-mutation corpus
+  /// state — object identity, table/column counts, and the input family's
+  /// generation — rebuilt from scratch otherwise. Caller holds run_mu_.
+  const ColumnInvertedIndex& MaintainedIndexLocked(
+      const TableCorpus& corpus, size_t first_new_table,
+      const std::vector<uint32_t>& removed_tables, size_t removed_columns,
+      uint32_t base_generation);
 
   /// Writer-side mutual exclusion: every public stage/composite/persistence
   /// entry point locks this, so two threads driving the same session
@@ -500,6 +600,21 @@ class SynthesisSession {
   uint64_t next_artifact_id_ = 1;
   SessionStats session_stats_;
   Env* env_ = Env::Default();
+
+  /// Cached maintained inverted index for incremental mutations. Valid
+  /// only while the identified corpus object mutates exclusively through
+  /// this session's append/remove/replace entry points; the fingerprint
+  /// (object identity + table count + live column count) catches every
+  /// legal staleness and any mismatch falls back to a full rebuild.
+  ColumnInvertedIndex index_cache_;
+  const TableCorpus* index_corpus_ = nullptr;
+  size_t index_tables_ = 0;
+  size_t index_columns_ = 0;
+  /// Artifact generation the cache corresponds to: a mutation may patch
+  /// only when its input family's generation matches (a cold extraction
+  /// seeds the cache at the family's generation), so a recycled corpus
+  /// address with coincidentally matching counts cannot alias.
+  uint32_t index_generation_ = 0;
 };
 
 }  // namespace ms

@@ -70,6 +70,18 @@ void TableCorpus::Truncate(size_t num_tables) {
   tables_.resize(num_tables);
 }
 
+std::vector<Column> TableCorpus::Tombstone(TableId id) {
+  assert(id < tables_.size());
+  std::vector<Column> out = std::move(tables_[id].columns);
+  tables_[id].columns.clear();
+  return out;
+}
+
+void TableCorpus::RestoreColumns(TableId id, std::vector<Column> columns) {
+  assert(id < tables_.size());
+  tables_[id].columns = std::move(columns);
+}
+
 size_t TableCorpus::TotalColumns() const {
   size_t n = 0;
   for (const auto& t : tables_) n += t.num_columns();
@@ -82,10 +94,10 @@ TableCorpus TableCorpus::Subset(double fraction) const {
   out.pool_ = pool_;  // share interning
   const size_t keep = static_cast<size_t>(
       static_cast<double>(tables_.size()) * fraction);
-  for (size_t i = 0; i < keep; ++i) {
-    Table t = tables_[i];
-    out.Add(std::move(t));
-  }
+  // One copy straight into place: ids are already dense 0..keep-1, so the
+  // per-table Add() round-trip (copy into a temporary, move, re-assign the
+  // id it already had) was pure overhead on corpusgen setup.
+  out.tables_.assign(tables_.begin(), tables_.begin() + keep);
   return out;
 }
 

@@ -53,9 +53,24 @@ class TableCorpus {
   /// already that small or smaller). The rollback half of the append
   /// protocol: a failed append undoes its AppendFrom merge so retries see
   /// the exact pre-append corpus. Pool entries interned by the dropped
-  /// tables remain — ids are append-only by design — which is harmless:
-  /// unreferenced ids cost memory, never correctness.
+  /// tables remain — callers that must reclaim them (the serving rollback
+  /// path) record pool().size() before the append and call
+  /// StringPool::TruncateTo alongside this.
   void Truncate(size_t num_tables);
+
+  /// Tombstones table `id` in place: its columns are moved out and
+  /// returned, leaving an empty shell that keeps its slot, id, domain, and
+  /// source. Table ids therefore stay stable across removals — the
+  /// invariant incremental maintenance (SynthesisSession::RemoveTables)
+  /// and snapshot provenance rely on. A cold rebuild over the mutated
+  /// corpus sees the shell contribute zero columns, exactly as if the
+  /// table had never existed. The returned columns let the caller restore
+  /// the table on a failed mutation (RestoreColumns).
+  std::vector<Column> Tombstone(TableId id);
+
+  /// Puts back the columns Tombstone() moved out — the rollback half of a
+  /// failed remove/replace.
+  void RestoreColumns(TableId id, std::vector<Column> columns);
 
   const std::vector<Table>& tables() const { return tables_; }
   const Table& table(TableId id) const { return tables_[id]; }
@@ -66,7 +81,10 @@ class TableCorpus {
 
   /// Keeps only the first `fraction` (by insertion order after a seeded
   /// shuffle would be done by the caller) — used by the scalability sweep.
-  /// Returns a new corpus sharing the same pool.
+  /// Returns a new corpus sharing the same pool. Cell storage is still
+  /// copied (tables hold their ValueId vectors by value; only the string
+  /// bytes are shared through the pool), so this is O(kept cells) — see
+  /// the bench_micro corpus/subset entry guarding that cost.
   TableCorpus Subset(double fraction) const;
 
  private:

@@ -79,6 +79,26 @@ bool StringPool::read_only() const {
   return read_only_;
 }
 
+void StringPool::TruncateTo(size_t new_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (new_size >= views_.size()) return;
+  for (size_t i = views_.size(); i-- > new_size;) {
+    // Keep-first duplicate semantics: only drop the index entry if this id
+    // owns it (a tail duplicate of an earlier string must not unmap it).
+    auto it = index_.find(views_[i]);
+    if (it != index_.end() && it->second == static_cast<ValueId>(i)) {
+      index_.erase(it);
+    }
+    // Owned strings are appended to owned_ in id order, so the tail of
+    // views_ that points into owned_ is exactly the tail of owned_.
+    if (!owned_.empty() && views_[i].data() == owned_.back().data()) {
+      owned_.pop_back();
+    }
+  }
+  views_.resize(new_size);
+  if (indexed_ > new_size) indexed_ = new_size;
+}
+
 ValueId StringPool::Find(std::string_view s) const {
   std::lock_guard<std::mutex> lock(mu_);
   EnsureIndexLocked();

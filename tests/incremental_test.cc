@@ -8,6 +8,16 @@
 // independently), same blocked pairs including per-pair count-exactness,
 // same graph edges bit-for-bit, same deterministic pipeline counters
 // (candidates, pairs, keys, truncation taint, edges, partitions, mappings).
+// One carve-out (PR 10): an append that flips a minority of old coherence
+// verdicts re-extracts only the flipped tables, keeping every other
+// candidate id stable and parking the re-extractions at tail ids. Ids then
+// legitimately differ from a cold run's table-order assignment, so those
+// schedules assert the mapping-level contract (identical canonical
+// mappings) instead of byte identity — which still holds because the
+// shortcut is only taken when no posting list ever truncated (truncation
+// keeps the lowest ids, so it is the one id-order-dependent stage; with
+// truncation in play a flip falls back to the internal cold rebuild, which
+// restores byte identity).
 // The randomized differential runs under the ASan+UBSan CI leg like every
 // other suite; MS_FUZZ_ITERS deepens it in CI (see .github/workflows/ci.yml).
 #include <cstdio>
@@ -230,6 +240,7 @@ TEST(IncrementalDifferentialTest, RandomAppendSchedulesMatchColdRebuild) {
   const size_t iters = FuzzIters(6);
   Rng rng(20260729);
   size_t stable_appends = 0, fallback_appends = 0, total_appends = 0;
+  size_t flip_schedules = 0;
   for (size_t iter = 0; iter < iters; ++iter) {
     const size_t n_tables = 30 + rng.Uniform(50);
     auto specs = RandomCorpusSpec(rng, n_tables);
@@ -282,6 +293,7 @@ TEST(IncrementalDifferentialTest, RandomAppendSchedulesMatchColdRebuild) {
     Family inc = ColdChain(&inc_session, inc_corpus);
     ASSERT_FALSE(HasFailure());
     size_t appends = 0;
+    bool byte_exact = true;
     for (size_t b = 1; b + 1 < bounds.size(); ++b) {
       Result<AppendedArtifacts> grown = [&] {
         if (rng.Bernoulli(0.5)) {
@@ -306,6 +318,12 @@ TEST(IncrementalDifferentialTest, RandomAppendSchedulesMatchColdRebuild) {
       } else {
         ++stable_appends;
       }
+      // A minority flip served by partial re-extraction keeps old ids
+      // stable but parks re-extractions at tail ids: byte identity with a
+      // cold run's table-order id assignment is forfeit for the rest of
+      // the schedule (the mapping-level contract below still holds).
+      byte_exact = byte_exact && (family.append.extraction_stable ||
+                                  family.append.full_rebuild);
       // Coherence threshold -1 passes every column: the kept sets cannot
       // flip, so the delta fast path must have been taken.
       if (o.extraction.coherence_threshold == -1.0) {
@@ -324,13 +342,30 @@ TEST(IncrementalDifferentialTest, RandomAppendSchedulesMatchColdRebuild) {
       inc.result = std::move(family.result);
     }
 
-    // --- The differential: every deterministic artifact must agree.
-    ExpectPairsIdentical(cold.blocked.pairs, inc.blocked.pairs);
-    ExpectEdgesIdentical(cold.scored.graph, inc.scored.graph);
-    EXPECT_EQ(cold.blocked.blocking.tainted, inc.blocked.blocking.tainted);
-    EXPECT_EQ(cold.partitions.partition.num_partitions,
-              inc.partitions.partition.num_partitions);
-    ExpectCountersIdentical(cold.result.stats, inc.result.stats);
+    // --- The differential. Byte identity when every append was stable or
+    // internally rebuilt cold; after a partial-flip append only ids moved,
+    // so the content-level counters and the canonical mappings carry the
+    // oracle comparison.
+    if (byte_exact) {
+      ExpectPairsIdentical(cold.blocked.pairs, inc.blocked.pairs);
+      ExpectEdgesIdentical(cold.scored.graph, inc.scored.graph);
+      EXPECT_EQ(cold.blocked.blocking.tainted, inc.blocked.blocking.tainted);
+      EXPECT_EQ(cold.partitions.partition.num_partitions,
+                inc.partitions.partition.num_partitions);
+      ExpectCountersIdentical(cold.result.stats, inc.result.stats);
+    } else {
+      ++flip_schedules;
+      // The flip shortcut is only taken while live ids stay in cold
+      // relative order, so everything id-order-dependent — including
+      // posting-list truncation — behaves exactly as the cold run's, and
+      // the content-level counters stay exact even though ids moved.
+      EXPECT_EQ(cold.blocked.pairs.size(), inc.blocked.pairs.size());
+      EXPECT_EQ(cold.result.stats.candidates, inc.result.stats.candidates);
+      EXPECT_EQ(cold.result.stats.graph_edges, inc.result.stats.graph_edges);
+      EXPECT_EQ(cold.result.stats.mappings, inc.result.stats.mappings);
+      EXPECT_EQ(cold.blocked.blocking.dropped_postings,
+                inc.blocked.blocking.dropped_postings);
+    }
     EXPECT_EQ(Canonical(cold.result, cold_corpus.pool()),
               Canonical(inc.result, inc_corpus.pool()));
     ASSERT_FALSE(HasFailure());
@@ -338,8 +373,10 @@ TEST(IncrementalDifferentialTest, RandomAppendSchedulesMatchColdRebuild) {
   // The suite must exercise the delta fast path, not just the fallback.
   EXPECT_GT(stable_appends, 0u)
       << "no append took the fast path across " << total_appends << " appends";
-  std::printf("append schedules: %zu appends, %zu fast-path, %zu fallback\n",
-              total_appends, stable_appends, fallback_appends);
+  std::printf(
+      "append schedules: %zu appends, %zu fast-path, %zu fallback, "
+      "%zu flip schedules\n",
+      total_appends, stable_appends, fallback_appends, flip_schedules);
 }
 
 TEST(IncrementalDifferentialTest, DeltaBlockingMatchesFullReblocking) {
@@ -406,6 +443,171 @@ TEST(IncrementalDifferentialTest, DeltaBlockingMatchesFullReblocking) {
               base_stats.dropped_postings + dstats.dropped_postings);
     ASSERT_FALSE(HasFailure());
   }
+}
+
+// ------------------------------------------- randomized mutation schedules
+
+TEST(IncrementalDifferentialTest, RandomMutationSchedulesMatchColdRebuild) {
+  // PR 10 tentpole lockdown: arbitrary schedules mixing appends, removals,
+  // and replacements (empty batches, empty removal sets, and full-corpus
+  // wipes included) must end up serving exactly the mappings a cold
+  // rebuild over the surviving tables serves. Removals tombstone corpus
+  // slots in place — ids stay stable by design — so candidate ids can
+  // never match a cold run's dense table-order assignment; the oracle
+  // comparison is content-level: canonical mappings plus the
+  // content-determined counters (candidates, pairs, edges, mappings).
+  // Configs keep max_posting high enough that no posting list truncates:
+  // truncation keeps the lowest candidate ids, which makes its effect
+  // id-assignment-dependent by design, so no exact oracle statement exists
+  // for truncated mutation schedules (the counts_exact/tainted machinery
+  // is how blocking already owns that approximation).
+  const size_t iters = FuzzIters(6);
+  Rng rng(20260808);
+  size_t appends = 0, removes = 0, replaces = 0, wipes = 0;
+  for (size_t iter = 0; iter < iters; ++iter) {
+    const size_t n_specs = 30 + rng.Uniform(40);
+    auto specs = RandomCorpusSpec(rng, n_specs);
+    SynthesisOptions o = BaseOptions();
+    const double coh[] = {-1.0, 0.05, 0.15};
+    o.extraction.coherence_threshold = coh[rng.Uniform(3)];
+    o.blocking.max_posting = 256;
+    o.blocking.theta_overlap = 1 + rng.Uniform(2);
+    o.divide_and_conquer = rng.Bernoulli(0.8);
+    o.min_domains = 1 + rng.Uniform(2);
+
+    const size_t base_n = 1 + rng.Uniform(n_specs / 2);
+    SCOPED_TRACE("iter " + std::to_string(iter) + " specs " +
+                 std::to_string(n_specs) + " base " + std::to_string(base_n) +
+                 " coh " + std::to_string(o.extraction.coherence_threshold) +
+                 " theta " + std::to_string(o.blocking.theta_overlap) +
+                 " dnc " + std::to_string(o.divide_and_conquer));
+
+    // Incremental run state: which spec occupies which corpus slot, and
+    // which slots still hold a live table.
+    TableCorpus inc_corpus;
+    AddSpecs(&inc_corpus, specs, 0, base_n);
+    std::vector<size_t> slot_spec;
+    std::vector<uint8_t> live;
+    for (size_t i = 0; i < base_n; ++i) {
+      slot_spec.push_back(i);
+      live.push_back(1);
+    }
+    size_t next_spec = base_n;
+
+    SynthesisSession inc_session(o);
+    ASSERT_TRUE(inc_session.status().ok());
+    Family inc = ColdChain(&inc_session, inc_corpus);
+    ASSERT_FALSE(HasFailure());
+
+    const size_t steps = 2 + rng.Uniform(4);
+    size_t gen = 0;
+    size_t total_removed = 0;
+    for (size_t s = 0; s < steps; ++s) {
+      const uint64_t op = rng.Uniform(3);  // 0 append, 1 remove, 2 replace
+      std::vector<uint32_t> removed;
+      if (op != 0) {
+        const bool wipe = rng.Bernoulli(0.1);
+        if (wipe) ++wipes;
+        for (size_t slot = 0; slot < live.size(); ++slot) {
+          if (live[slot] && (wipe || rng.Bernoulli(0.3))) {
+            removed.push_back(static_cast<uint32_t>(slot));
+          }
+        }
+      }
+      size_t batch = 0;
+      if (op != 1 && next_spec < n_specs) {
+        batch = std::min<size_t>(rng.Uniform(9), n_specs - next_spec);
+      }
+      Result<AppendedArtifacts> grown = [&] {
+        if (op == 0) {
+          ++appends;
+          const size_t first_new = inc_corpus.size();
+          AddSpecs(&inc_corpus, specs, next_spec, next_spec + batch);
+          return inc_session.AppendTables(inc_corpus, first_new,
+                                          inc.candidates, inc.blocked,
+                                          inc.scored, inc.partitions,
+                                          inc.result);
+        }
+        if (op == 1) {
+          ++removes;
+          return inc_session.RemoveTables(&inc_corpus, removed,
+                                          inc.candidates, inc.blocked,
+                                          inc.scored, inc.partitions,
+                                          inc.result);
+        }
+        ++replaces;
+        TableCorpus delta;
+        AddSpecs(&delta, specs, next_spec, next_spec + batch);
+        return inc_session.ReplaceTables(&inc_corpus, removed, delta,
+                                         inc.candidates, inc.blocked,
+                                         inc.scored, inc.partitions,
+                                         inc.result);
+      }();
+      ASSERT_TRUE(grown.ok()) << grown.status().ToString();
+      AppendedArtifacts family = std::move(grown).value();
+      for (uint32_t slot : removed) live[slot] = 0;
+      for (size_t i = 0; i < batch; ++i) {
+        slot_spec.push_back(next_spec + i);
+        live.push_back(1);
+      }
+      if (op != 1) next_spec += batch;
+      total_removed += removed.size();
+      ++gen;
+      EXPECT_EQ(family.candidates.generation, gen);
+      EXPECT_EQ(family.candidates.source_tables, inc_corpus.size());
+      // Tombstone provenance accumulates exactly the removed slots (the
+      // schedule never re-removes a dead slot, so no dedup is in play).
+      EXPECT_EQ(family.candidates.tombstoned_tables.size(), total_removed);
+      EXPECT_EQ(family.append.appended_tables, batch);
+      EXPECT_EQ(family.append.removed_tables, removed.size());
+      EXPECT_EQ(family.blocked.candidates_id, family.candidates.artifact_id);
+      EXPECT_EQ(family.scored.candidates_id, family.candidates.artifact_id);
+      EXPECT_EQ(family.partitions.graph_id, family.scored.artifact_id);
+      inc.candidates = std::move(family.candidates);
+      inc.blocked = std::move(family.blocked);
+      inc.scored = std::move(family.scored);
+      inc.partitions = std::move(family.partitions);
+      inc.result = std::move(family.result);
+      ASSERT_FALSE(HasFailure());
+
+      // Cold oracle after EVERY step — only the surviving tables, in slot
+      // order. Checking per step rather than once at the end pins any
+      // divergence to the exact mutation that introduced it (the
+      // incremental family is an induction: each step's output must equal
+      // that step's cold rebuild or every later step inherits the drift).
+      SCOPED_TRACE("step " + std::to_string(s) + " op " + std::to_string(op) +
+                   " batch " + std::to_string(batch) + " removed " +
+                   std::to_string(removed.size()));
+      TableCorpus cold_corpus;
+      for (size_t slot = 0; slot < slot_spec.size(); ++slot) {
+        if (live[slot]) {
+          AddSpecs(&cold_corpus, specs, slot_spec[slot], slot_spec[slot] + 1);
+        }
+      }
+      SynthesisSession cold_session(o);
+      ASSERT_TRUE(cold_session.status().ok());
+      Family cold = ColdChain(&cold_session, cold_corpus);
+      ASSERT_FALSE(HasFailure());
+
+      // Config sanity: the oracle statement assumes truncation never fired.
+      ASSERT_EQ(cold.blocked.blocking.dropped_postings, 0u);
+      ASSERT_EQ(inc.blocked.blocking.dropped_postings, 0u);
+
+      EXPECT_EQ(cold.result.stats.candidates, inc.result.stats.candidates);
+      EXPECT_EQ(cold.blocked.pairs.size(), inc.blocked.pairs.size());
+      EXPECT_EQ(cold.result.stats.graph_edges, inc.result.stats.graph_edges);
+      EXPECT_EQ(cold.result.stats.mappings, inc.result.stats.mappings);
+      EXPECT_EQ(Canonical(cold.result, cold_corpus.pool()),
+                Canonical(inc.result, inc_corpus.pool()));
+      ASSERT_FALSE(HasFailure());
+    }
+  }
+  EXPECT_GT(removes + replaces, 0u)
+      << "the schedule generator produced no shrinking mutations";
+  std::printf(
+      "mutation schedules: %zu appends, %zu removes, %zu replaces, "
+      "%zu wipes\n",
+      appends, removes, replaces, wipes);
 }
 
 // ------------------------------------------------------------- edge cases
@@ -491,6 +693,102 @@ TEST(IncrementalApiTest, AppendRejectsMisuse) {
   auto bad_result = session.AppendTables(corpus, 16, f.candidates, f.blocked,
                                          f.scored, f.partitions, fake);
   EXPECT_EQ(bad_result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(IncrementalApiTest, RemoveRejectsMisuseBeforeMutating) {
+  Rng rng(17);
+  auto specs = RandomCorpusSpec(rng, 16);
+  TableCorpus corpus;
+  AddSpecs(&corpus, specs, 0, 16);
+  SynthesisSession session(BaseOptions());
+  Family f = ColdChain(&session, corpus);
+  ASSERT_FALSE(HasFailure());
+  const size_t columns_before = corpus.TotalColumns();
+
+  // Out-of-range id: rejected before any tombstoning.
+  auto oob = session.RemoveTables(&corpus, {3, 99}, f.candidates, f.blocked,
+                                  f.scored, f.partitions, f.result);
+  EXPECT_EQ(oob.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(corpus.TotalColumns(), columns_before);
+
+  // Duplicate ids in one removal set.
+  auto dup = session.RemoveTables(&corpus, {5, 5}, f.candidates, f.blocked,
+                                  f.scored, f.partitions, f.result);
+  EXPECT_EQ(dup.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(corpus.TotalColumns(), columns_before);
+
+  // Null corpus.
+  auto null_corpus = session.RemoveTables(nullptr, {1}, f.candidates,
+                                          f.blocked, f.scored, f.partitions,
+                                          f.result);
+  EXPECT_EQ(null_corpus.status().code(), StatusCode::kInvalidArgument);
+
+  // Foreign session artifacts.
+  SynthesisSession other(BaseOptions());
+  auto foreign = other.RemoveTables(&corpus, {1}, f.candidates, f.blocked,
+                                    f.scored, f.partitions, f.result);
+  EXPECT_EQ(foreign.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(corpus.TotalColumns(), columns_before);
+
+  // Corpus/artifact size mismatch.
+  TableCorpus small;
+  AddSpecs(&small, specs, 0, 8);
+  auto mismatch = session.RemoveTables(&small, {1}, f.candidates, f.blocked,
+                                       f.scored, f.partitions, f.result);
+  EXPECT_EQ(mismatch.status().code(), StatusCode::kInvalidArgument);
+
+  // A real removal succeeds; re-removing the now tombstoned slot is a
+  // no-op contribution rather than an error (idempotent retries).
+  auto once = session.RemoveTables(&corpus, {2}, f.candidates, f.blocked,
+                                   f.scored, f.partitions, f.result);
+  ASSERT_TRUE(once.ok()) << once.status().ToString();
+  const AppendedArtifacts& a = once.value();
+  EXPECT_EQ(a.candidates.tombstoned_tables, std::vector<uint32_t>{2});
+  auto again = session.RemoveTables(&corpus, {2, 4}, a.candidates, a.blocked,
+                                    a.scored, a.partitions, a.result);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again.value().append.removed_tables, 1u);  // only table 4
+  EXPECT_EQ(again.value().candidates.tombstoned_tables,
+            (std::vector<uint32_t>{2, 4}));
+}
+
+TEST(IncrementalApiTest, ReplaceRollsBackOnFrozenPoolAppendFailure) {
+  // ReplaceTables is atomic: when the delta merge fails mid-way (frozen
+  // serving pool refusing an unseen value), the tombstoned tables come
+  // back, the corpus does not grow, and the pool holds not one extra
+  // string — a retry sees the exact pre-replace state.
+  Rng rng(19);
+  auto specs = RandomCorpusSpec(rng, 20);
+  TableCorpus corpus;
+  AddSpecs(&corpus, specs, 0, 16);
+  SynthesisSession session(BaseOptions());
+  Family f = ColdChain(&session, corpus);
+  ASSERT_FALSE(HasFailure());
+
+  corpus.pool().MarkReadOnly();
+  const size_t tables_before = corpus.size();
+  const size_t columns_before = corpus.TotalColumns();
+  const size_t pool_before = corpus.pool().size();
+
+  TableCorpus delta;
+  delta.AddFromStrings("frozen.example", TableSource::kWeb,
+                       {"name", "code"},
+                       {{"value this pool has never seen"}, {"code0"}});
+  auto failed = session.ReplaceTables(&corpus, {1, 3}, delta, f.candidates,
+                                      f.blocked, f.scored, f.partitions,
+                                      f.result);
+  EXPECT_EQ(failed.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(corpus.size(), tables_before);
+  EXPECT_EQ(corpus.TotalColumns(), columns_before);
+  EXPECT_EQ(corpus.pool().size(), pool_before);
+
+  // Removal has no interning to do: it still works on the frozen pool, so
+  // the failed replace really was rolled back rather than half-applied.
+  auto removed = session.RemoveTables(&corpus, {1, 3}, f.candidates,
+                                      f.blocked, f.scored, f.partitions,
+                                      f.result);
+  ASSERT_TRUE(removed.ok()) << removed.status().ToString();
+  EXPECT_EQ(removed.value().append.removed_tables, 2u);
 }
 
 TEST(IncrementalApiTest, AppendCorpusValidatesBeforeMutating) {

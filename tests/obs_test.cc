@@ -23,6 +23,8 @@
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "synth/session.h"
+#include "table/corpus.h"
 
 namespace ms::obs {
 namespace {
@@ -401,6 +403,86 @@ TEST(ObsEnvIoTest, RetriesFoldIntoRegistry) {
   (void)fenv.RemoveFile("/tmp/obs_env_retry_test_file");
   EXPECT_EQ(fenv.retries_performed(), before_env + 1);
   EXPECT_EQ(global->Value(), before_global + 1);
+}
+
+// ------------------------------------- synth maintenance counter export
+
+// The incremental-maintenance counters are registered lazily inside
+// SynthesisSession::AppendTables (function-local statics), so the wiring
+// can only be checked end-to-end: run a real append and each series must
+// advance by exactly what that append's stats reported, then show up in
+// the exposition. The registry is process-global — every value assertion
+// is a delta against the counter's value before the append.
+TEST(ObsSynthCountersTest, AppendMaintenanceCountersReconcileWithStats) {
+  auto& reg = MetricsRegistry::Global();
+  Counter* unstable = reg.GetCounter("ms_synth_append_unstable_total");
+  Counter* rebuilds = reg.GetCounter("ms_synth_append_full_rebuilds_total");
+  Counter* skips = reg.GetCounter("ms_synth_coherence_margin_skips_total");
+  Counter* rechecks =
+      reg.GetCounter("ms_synth_coherence_margin_rechecks_total");
+  const uint64_t unstable0 = unstable->Value();
+  const uint64_t rebuilds0 = rebuilds->Value();
+  const uint64_t skips0 = skips->Value();
+  const uint64_t rechecks0 = rechecks->Value();
+
+  // Small deterministic corpus over a shared vocabulary: enough value
+  // co-occurrence for real candidates, margins, and blocking.
+  TableCorpus corpus;
+  auto add_table = [&](size_t t) {
+    std::vector<std::string> lcol, rcol;
+    for (size_t r = 0; r < 6; ++r) {
+      const size_t i = (t * 3 + r) % 12;
+      lcol.push_back("entity name " + std::to_string(i));
+      rcol.push_back("code" + std::to_string(i % 4));
+    }
+    corpus.AddFromStrings("domain" + std::to_string(t % 3) + ".example",
+                          TableSource::kWeb, {"name", "code"}, {lcol, rcol});
+  };
+  for (size_t t = 0; t < 8; ++t) add_table(t);
+
+  SynthesisOptions o;
+  o.num_threads = 2;
+  o.min_domains = 1;
+  o.min_pairs = 1;
+  // The margin cache only exists under an active coherence filter.
+  ASSERT_GT(o.extraction.coherence_threshold, -1.0);
+  SynthesisSession session(o);
+  ASSERT_TRUE(session.status().ok());
+  auto c = session.ExtractCandidates(corpus);
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  auto b = session.BlockPairs(c.value());
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  auto g = session.ScorePairs(c.value(), b.value());
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  auto p = session.Partition(g.value());
+  ASSERT_TRUE(p.ok()) << p.status().ToString();
+  auto r = session.Resolve(c.value(), g.value(), p.value());
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+
+  const size_t first_new = corpus.size();
+  for (size_t t = 8; t < 10; ++t) add_table(t);
+  auto grown = session.AppendTables(corpus, first_new, c.value(), b.value(),
+                                    g.value(), p.value(), r.value());
+  ASSERT_TRUE(grown.ok()) << grown.status().ToString();
+  const AppendStats& stats = grown.value().append;
+
+  EXPECT_EQ(unstable->Value(), unstable0 + stats.unstable_tables);
+  EXPECT_EQ(rebuilds->Value(), rebuilds0 + (stats.full_rebuild ? 1u : 0u));
+  EXPECT_EQ(skips->Value(), skips0 + stats.margin_skips);
+  EXPECT_EQ(rechecks->Value(), rechecks0 + stats.margin_rechecks);
+  // Every live old column is either proven stable by its cached margin or
+  // re-evaluated, so with a non-empty base the cache must have been
+  // consulted one way or the other.
+  EXPECT_GT(stats.margin_skips + stats.margin_rechecks, 0u);
+
+  const std::string text = reg.ExpositionText();
+  EXPECT_NE(text.find("ms_synth_append_unstable_total"), std::string::npos);
+  EXPECT_NE(text.find("ms_synth_append_full_rebuilds_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("ms_synth_coherence_margin_skips_total"),
+            std::string::npos);
+  EXPECT_NE(text.find("ms_synth_coherence_margin_rechecks_total"),
+            std::string::npos);
 }
 
 // ---------------------------------------------- concurrency (TSan leg)

@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include "apps/serving.h"
+#include "common/crc32.h"
 #include "common/random.h"
 #include "corpusgen/builtin_domains.h"
 #include "corpusgen/generator.h"
@@ -460,6 +461,129 @@ TEST(SessionSnapshotTest, RestoreIntoUsedSessionRebasesLineageIds) {
   std::remove(path.c_str());
 }
 
+TEST(SessionSnapshotTest, MaintenanceStateRoundTripsThroughV3) {
+  // A family that went through RemoveTables carries tombstones, dead
+  // candidates, and the margin cache; all of it must survive save/restore
+  // so a restored session resumes incremental maintenance where the saver
+  // left off instead of re-checking every verdict from scratch.
+  StagedRun run(26);
+  auto parts = run.session.Partition(run.scored);
+  ASSERT_TRUE(parts.ok());
+  auto mutated = run.session.RemoveTables(
+      &run.world.corpus, {1, 4}, run.candidates, run.blocked, run.scored,
+      parts.value(), run.result);
+  ASSERT_TRUE(mutated.ok()) << mutated.status().ToString();
+  const CandidateSet& cands = mutated.value().candidates;
+  ASSERT_FALSE(cands.tombstoned_tables.empty());
+  ASSERT_GT(cands.num_dead(), 0u);
+  ASSERT_FALSE(cands.margins.empty());
+
+  const std::string path = TempPath("ms_persist_maintenance.mssnap");
+  ASSERT_TRUE(run.session
+                  .SaveSnapshot(path, cands, &mutated.value().blocked,
+                                &mutated.value().scored,
+                                &mutated.value().result)
+                  .ok());
+  SynthesisSession fresh(FastOptions());
+  auto restored = fresh.RestoreSnapshot(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const CandidateSet& back = *restored.value().candidates;
+  EXPECT_EQ(back.tombstoned_tables, cands.tombstoned_tables);
+  EXPECT_EQ(back.dead, cands.dead);
+  EXPECT_EQ(back.margin_offsets, cands.margin_offsets);
+  EXPECT_EQ(back.margins, cands.margins);
+  std::remove(path.c_str());
+}
+
+/// Little-endian u32 patcher for header surgery.
+void PatchU32(std::string* bytes, size_t off, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    (*bytes)[off + i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  }
+}
+
+uint32_t ReadU32At(const std::string& bytes, size_t off) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes[off + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+uint64_t ReadU64At(const std::string& bytes, size_t off) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes[off + i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+TEST(SessionSnapshotTest, V2SnapshotRestoresWithEmptyMaintenanceState) {
+  // Backward compatibility: a v2 file (no maintenance section) written by
+  // the previous release must keep loading — with empty maintenance state,
+  // which is exactly the state a v2 build carried. Synthesize a v2 file by
+  // surgery on a v3 save: strip section 7, patch the version field, and
+  // re-checksum the header.
+  StagedRun run(27);
+  const std::string path = TempPath("ms_persist_v2compat.mssnap");
+  ASSERT_TRUE(run.session
+                  .SaveSnapshot(path, run.candidates, &run.blocked,
+                                &run.scored, &run.result)
+                  .ok());
+  std::string bytes = ReadFileBytes(path);
+  // Header: u64 magic, u32 version, u32 section_count, u64 fingerprint,
+  // u32 crc. Sections: u32 id, u32 crc, u64 size, payload.
+  ASSERT_EQ(ReadU32At(bytes, 8), persist::kSnapshotFormatVersion);
+  const uint32_t section_count = ReadU32At(bytes, 12);
+  size_t off = 28;
+  size_t maint_begin = 0, maint_end = 0;
+  for (uint32_t i = 0; i < section_count; ++i) {
+    const uint32_t id = ReadU32At(bytes, off);
+    const uint64_t size = ReadU64At(bytes, off + 8);
+    const size_t end = off + 16 + static_cast<size_t>(size);
+    if (id == persist::kSectionMaintenance) {
+      maint_begin = off;
+      maint_end = end;
+    }
+    off = end;
+  }
+  ASSERT_NE(maint_begin, maint_end) << "v3 save has no maintenance section";
+  bytes.erase(maint_begin, maint_end - maint_begin);
+  PatchU32(&bytes, 8, 2);                   // version: 3 -> 2
+  PatchU32(&bytes, 12, section_count - 1);  // one section fewer
+  PatchU32(&bytes, 24, Crc32(bytes.data(), 24));
+  WriteFileBytes(path, bytes);
+
+  SynthesisSession fresh(FastOptions());
+  auto restored = fresh.RestoreSnapshot(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const CandidateSet& back = *restored.value().candidates;
+  EXPECT_TRUE(back.tombstoned_tables.empty());
+  EXPECT_TRUE(back.dead.empty());
+  EXPECT_TRUE(back.margin_offsets.empty());
+  EXPECT_TRUE(back.margins.empty());
+  // The restored family still resolves identically — nothing besides the
+  // maintenance state was lost.
+  auto parts = fresh.Partition(*restored.value().scored);
+  ASSERT_TRUE(parts.ok());
+  auto resolved = fresh.Resolve(*restored.value().candidates,
+                                *restored.value().scored, parts.value());
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(CanonicalMappings(resolved.value(), *restored.value().pool),
+            CanonicalMappings(run.result, run.world.corpus.pool()));
+
+  // A version outside the supported range stays FailedPrecondition.
+  PatchU32(&bytes, 8, 1);
+  PatchU32(&bytes, 24, Crc32(bytes.data(), 24));
+  WriteFileBytes(path, bytes);
+  auto too_old = fresh.RestoreSnapshot(path);
+  ASSERT_FALSE(too_old.ok());
+  EXPECT_EQ(too_old.status().code(), StatusCode::kFailedPrecondition);
+  std::remove(path.c_str());
+}
+
 // ------------------------------------------------- corruption / fuzz gates
 
 TEST(SnapshotCorruptionTest, EveryBitFlipIsDataLossNeverACrash) {
@@ -582,8 +706,9 @@ std::string SectionPayload(const std::string& path) {
 }
 
 TEST(AtomicSavePersistTest, ContainerFamiliesVersionIndependently) {
-  // The PR 5 snapshot layout bump must not orphan corpus stores whose
-  // bytes never changed: snapshots write v2, corpus stores still v1.
+  // Snapshot layout bumps (v2 in PR 5, v3's additive maintenance section
+  // here) must not orphan corpus stores whose bytes never changed:
+  // snapshots write v3 and still read v2, corpus stores are still v1.
   GeneratedWorld world = SmallWorld(23);
   const std::string store = TempPath("family_version.mscorp");
   ASSERT_TRUE(persist::SaveCorpusStore(world.corpus, store).ok());
@@ -593,7 +718,8 @@ TEST(AtomicSavePersistTest, ContainerFamiliesVersionIndependently) {
   EXPECT_EQ(reader.value().format_version(),
             persist::kCorpusStoreFormatVersion);
   EXPECT_EQ(persist::kCorpusStoreFormatVersion, 1u);
-  EXPECT_EQ(persist::kSnapshotFormatVersion, 2u);
+  EXPECT_EQ(persist::kSnapshotFormatVersion, 3u);
+  EXPECT_EQ(persist::kMinSnapshotFormatVersion, 2u);
   std::remove(store.c_str());
 }
 

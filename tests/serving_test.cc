@@ -557,6 +557,180 @@ TEST(ServingAppendRecoveryTest, PublishFaultAlsoRollsBackTheMerge) {
   std::remove(tsv.c_str());
 }
 
+TEST(ServingAppendRecoveryTest, FailedRetriesHoldThePoolSizeConstant) {
+  // Regression: the append rollback truncated the corpus TABLES back to the
+  // synthesized prefix but left the delta's freshly interned strings in the
+  // pool — N failed retries pinned N orphaned copies of every delta value.
+  Rng rng(403);
+  auto specs = SmallCorpusSpec(rng, 8);
+  const std::string tsv = ScratchRoot() + "/serving_append_poolleak.tsv";
+  {
+    TableCorpus base;
+    AddSpecs(&base, specs, 0, 8);
+    ASSERT_TRUE(SaveCorpus(base, tsv).ok());
+  }
+  MappingService svc(ServingOptions());
+  ASSERT_TRUE(svc.SynthesizeFromFile(tsv).ok());
+
+  // A delta of values the base corpus has never interned, so every merge
+  // genuinely grows the pool.
+  TableCorpus delta;
+  {
+    std::vector<std::string> l, r;
+    for (int i = 0; i < 6; ++i) {
+      l.push_back("leak probe entity " + std::to_string(i));
+      r.push_back("leakcode" + std::to_string(i % 2));
+    }
+    delta.AddFromStrings("domain9.example", TableSource::kWeb,
+                         {"name", "code"}, {{l}, {r}});
+  }
+
+  const size_t pool_before = svc.shared_pool()->size();
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    svc.InjectFaultForTests(ServingFault::kAppendCommit);
+    ASSERT_FALSE(svc.AppendAndResynthesize(delta).ok());
+    // Identity, not monotonicity: the pool must be at EXACTLY the
+    // pre-append size after every failed attempt.
+    EXPECT_EQ(pool_before, svc.shared_pool()->size())
+        << "failed append attempt " << attempt << " leaked pool entries";
+  }
+  // The values really were new: a successful append grows the pool.
+  ASSERT_TRUE(svc.AppendAndResynthesize(delta).ok());
+  EXPECT_GT(svc.shared_pool()->size(), pool_before);
+  std::remove(tsv.c_str());
+}
+
+// ===================================================== ServingMutationTest
+
+/// Cold-rebuild oracle over `specs` minus `removed_specs` plus the tables
+/// of `extra` (nullptr for removals).
+std::multiset<std::string> ColdOracle(const std::vector<TableSpec>& specs,
+                                      const std::set<size_t>& removed_specs,
+                                      const TableCorpus* extra) {
+  TableCorpus corpus;
+  for (size_t i = 0; i < specs.size(); ++i) {
+    if (removed_specs.count(i) != 0) continue;
+    AddSpecs(&corpus, specs, i, i + 1);
+  }
+  if (extra != nullptr) {
+    EXPECT_TRUE(corpus.AppendFrom(*extra).ok());
+  }
+  MappingService cold(ServingOptions());
+  EXPECT_TRUE(cold.Synthesize(corpus).ok());
+  return ServiceCanonical(cold);
+}
+
+TEST(ServingMutationTest, RemoveAndResynthesizeMatchesColdRebuild) {
+  Rng rng(404);
+  auto specs = SmallCorpusSpec(rng, 12);
+  const std::string tsv = ScratchRoot() + "/serving_remove.tsv";
+  {
+    TableCorpus base;
+    AddSpecs(&base, specs, 0, 12);
+    ASSERT_TRUE(SaveCorpus(base, tsv).ok());
+  }
+  MappingService svc(ServingOptions());
+  ASSERT_TRUE(svc.SynthesizeFromFile(tsv).ok());
+  const uint64_t version_before = svc.AcquireSnapshot()->version;
+
+  ASSERT_TRUE(svc.RemoveAndResynthesize({2, 5, 9}).ok());
+  EXPECT_GT(svc.AcquireSnapshot()->version, version_before);
+  EXPECT_EQ(ServiceCanonical(svc), ColdOracle(specs, {2, 5, 9}, nullptr));
+
+  // Removing an already tombstoned table is a no-op contribution, and the
+  // service keeps serving.
+  ASSERT_TRUE(svc.RemoveAndResynthesize({2}).ok());
+  EXPECT_EQ(ServiceCanonical(svc), ColdOracle(specs, {2, 5, 9}, nullptr));
+  std::remove(tsv.c_str());
+}
+
+TEST(ServingMutationTest, ReplaceAndResynthesizeMatchesColdRebuild) {
+  Rng rng(405);
+  auto specs = SmallCorpusSpec(rng, 14);
+  const std::string tsv = ScratchRoot() + "/serving_replace.tsv";
+  {
+    TableCorpus base;
+    AddSpecs(&base, specs, 0, 10);
+    ASSERT_TRUE(SaveCorpus(base, tsv).ok());
+  }
+  MappingService svc(ServingOptions());
+  ASSERT_TRUE(svc.SynthesizeFromFile(tsv).ok());
+
+  TableCorpus delta;
+  AddSpecs(&delta, specs, 10, 14);
+  ASSERT_TRUE(svc.ReplaceAndResynthesize({1, 3}, delta).ok());
+  EXPECT_EQ(ServiceCanonical(svc), ColdOracle(specs, {1, 3, 10, 11, 12, 13},
+                                              &delta));
+  std::remove(tsv.c_str());
+}
+
+TEST(ServingMutationTest, FailedMutationsRollBackAndRetry) {
+  Rng rng(406);
+  auto specs = SmallCorpusSpec(rng, 14);
+  const std::string tsv = ScratchRoot() + "/serving_mutation_recovery.tsv";
+  {
+    TableCorpus base;
+    AddSpecs(&base, specs, 0, 10);
+    ASSERT_TRUE(SaveCorpus(base, tsv).ok());
+  }
+  MappingService svc(ServingOptions());
+  ASSERT_TRUE(svc.SynthesizeFromFile(tsv).ok());
+  const auto before_snap = svc.AcquireSnapshot();
+  const auto before_canonical = ServiceCanonical(svc);
+  const size_t pool_before = svc.shared_pool()->size();
+
+  TableCorpus delta;
+  AddSpecs(&delta, specs, 10, 14);
+
+  // Fail AFTER the session mutation succeeded (tables tombstoned, delta
+  // merged): the service must restore the columns and the pool tail so the
+  // exact same call can be retried.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    svc.InjectFaultForTests(ServingFault::kAppendCommit);
+    const Status st = svc.ReplaceAndResynthesize({0, 4}, delta);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kInternal);
+    EXPECT_EQ(svc.AcquireSnapshot().get(), before_snap.get());
+    EXPECT_EQ(ServiceCanonical(svc), before_canonical);
+    EXPECT_EQ(pool_before, svc.shared_pool()->size())
+        << "failed replace attempt " << attempt << " leaked pool entries";
+  }
+  // A publish-point failure exercises the other rollback call site.
+  svc.InjectFaultForTests(ServingFault::kPublish);
+  ASSERT_FALSE(svc.RemoveAndResynthesize({0}).ok());
+  EXPECT_EQ(ServiceCanonical(svc), before_canonical);
+
+  // Retries with the same arguments succeed and match the cold oracle —
+  // proof the tombstoned columns really came back intact.
+  ASSERT_TRUE(svc.ReplaceAndResynthesize({0, 4}, delta).ok());
+  EXPECT_EQ(ServiceCanonical(svc), ColdOracle(specs, {0, 4, 10, 11, 12, 13},
+                                              &delta));
+  std::remove(tsv.c_str());
+}
+
+TEST(ServingMutationTest, MutationsRequireAnOwnedCorpus) {
+  MappingService empty(ServingOptions());
+  EXPECT_EQ(empty.RemoveAndResynthesize({0}).code(),
+            StatusCode::kFailedPrecondition);
+
+  // An external (caller-owned) corpus must not be tombstoned in place.
+  Rng rng(407);
+  auto specs = SmallCorpusSpec(rng, 6);
+  TableCorpus corpus;
+  AddSpecs(&corpus, specs, 0, 6);
+  MappingService svc(ServingOptions());
+  ASSERT_TRUE(svc.Synthesize(corpus).ok());
+  EXPECT_EQ(svc.RemoveAndResynthesize({1}).code(),
+            StatusCode::kFailedPrecondition);
+  TableCorpus delta;
+  AddSpecs(&delta, specs, 4, 6);
+  EXPECT_EQ(svc.ReplaceAndResynthesize({1}, delta).code(),
+            StatusCode::kFailedPrecondition);
+  // The rejected mutations left serving untouched.
+  EXPECT_EQ(corpus.size(), 6u);
+  EXPECT_EQ(ServiceCanonical(svc).size(), svc.num_mappings());
+}
+
 // ===================================================== BatchLookupTest
 
 /// Probe material: real values from the store plus typos, junk, empties,

@@ -269,5 +269,76 @@ TEST_F(StatsFixture, SamplingCapChangesNothingWhenSmall) {
                    ColumnCoherence(index_, cells, small));
 }
 
+// ------------------------------------------------ Coherence margin cache
+
+TEST_F(StatsFixture, MonotoneVerdictsAreStableOutright) {
+  CoherenceProfile prof;
+  const double score = ColumnCoherence(
+      index_, {Id("usa"), Id("canada"), Id("mexico")}, {}, &prof);
+  ASSERT_GT(prof.pairs, 0u);
+  ASSERT_EQ(prof.n_eval, index_.num_columns());
+  // Same N, same counts: nothing moved.
+  EXPECT_TRUE(CoherenceVerdictStable(prof, 0.5, prof.n_eval));
+  // At fixed counts S(C) only rises with N, so a kept verdict survives any
+  // growth and a rejected one survives any shrink — no bound math needed.
+  EXPECT_TRUE(CoherenceVerdictStable(prof, score - 0.01, prof.n_eval + 100));
+  EXPECT_TRUE(CoherenceVerdictStable(prof, score + 0.01, prof.n_eval - 3));
+}
+
+TEST_F(StatsFixture, DistantThresholdsAreStableInTheHardDirections) {
+  CoherenceProfile prof;
+  ColumnCoherence(index_, {Id("usa"), Id("canada"), Id("mexico")}, {}, &prof);
+  // S(C) lives in [-1, 1] at every N, so verdicts against thresholds
+  // outside that range are provable even in the directions that need the
+  // one-sided rho bound: rejected-vs-2.0 under growth, kept-vs-(-2.0)
+  // under shrink (which additionally requires b_max < n_now).
+  EXPECT_TRUE(CoherenceVerdictStable(prof, 2.0, prof.n_eval * 10));
+  ASSERT_LT(prof.b_max, prof.n_eval - 3);
+  EXPECT_TRUE(CoherenceVerdictStable(prof, -2.0, prof.n_eval - 3));
+}
+
+TEST_F(StatsFixture, StableVerdictsAgreeWithReEvaluationOnDisjointGrowth) {
+  const std::vector<std::vector<ValueId>> cols = {
+      {Id("usa"), Id("canada"), Id("mexico")},
+      {Id("usa"), Id("canada"), Id("red"), Id("blue"), Id("orphan")},
+      {Id("red"), Id("blue")},
+  };
+  std::vector<CoherenceProfile> profs(cols.size());
+  for (size_t i = 0; i < cols.size(); ++i) {
+    ColumnCoherence(index_, cols[i], {}, &profs[i]);
+  }
+
+  // Grow the corpus with columns over fresh values: every profiled
+  // column's counts are unchanged and only N moves — exactly the regime
+  // the margin cache is allowed to rule on.
+  for (int i = 0; i < 40; ++i) {
+    corpus_.AddFromStrings("pad" + std::to_string(i), TableSource::kWeb,
+                           {"p"}, {{"pad value " + std::to_string(i)}});
+  }
+  ColumnInvertedIndex grown;
+  grown.Build(corpus_);
+  ASSERT_GT(grown.num_columns(), index_.num_columns());
+
+  for (const double thr : {0.05, 0.2, 0.5, 0.8}) {
+    for (size_t i = 0; i < cols.size(); ++i) {
+      // Growth direction: a claim of stability is a proof, so the fresh
+      // verdict at the grown N must agree with the cached one.
+      if (CoherenceVerdictStable(profs[i], thr, grown.num_columns())) {
+        EXPECT_EQ(ColumnCoherence(grown, cols[i]) >= thr,
+                  profs[i].score >= thr)
+            << "col " << i << " thr " << thr;
+      }
+      // Shrink direction: profile at the grown index, verdict at the
+      // original N.
+      CoherenceProfile big;
+      const double score = ColumnCoherence(grown, cols[i], {}, &big);
+      if (CoherenceVerdictStable(big, thr, index_.num_columns())) {
+        EXPECT_EQ(ColumnCoherence(index_, cols[i]) >= thr, score >= thr)
+            << "col " << i << " thr " << thr;
+      }
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ms

@@ -45,6 +45,57 @@ TEST(StringPoolTest, EmptyStringIsValidValue) {
   EXPECT_EQ(pool.Intern(""), e);
 }
 
+TEST(StringPoolTest, TruncateToUninternsTheTail) {
+  StringPool pool;
+  const ValueId a = pool.Intern("alpha");
+  const ValueId b = pool.Intern("beta");
+  const size_t before = pool.size();
+  const ValueId c = pool.Intern("gamma");
+  const ValueId d = pool.Intern("delta");
+  ASSERT_EQ(pool.size(), 4u);
+
+  pool.TruncateTo(before);
+  EXPECT_EQ(pool.size(), before);
+  // The surviving prefix is untouched: same ids, same bytes, still
+  // Find-able.
+  EXPECT_EQ(pool.Get(a), "alpha");
+  EXPECT_EQ(pool.Get(b), "beta");
+  EXPECT_EQ(pool.Find("alpha"), a);
+  // The dropped tail is gone from the index — a rollback must leave the
+  // dead delta's strings neither Find-able nor holding an id.
+  EXPECT_EQ(pool.Find("gamma"), kInvalidValueId);
+  EXPECT_EQ(pool.Find("delta"), kInvalidValueId);
+  // Re-interning a dropped string hands out a fresh id from the truncated
+  // end, exactly as if the failed append never happened.
+  EXPECT_EQ(pool.Intern("gamma"), c);
+  (void)d;
+}
+
+TEST(StringPoolTest, TruncateToBeyondSizeIsANoOp) {
+  StringPool pool;
+  const ValueId a = pool.Intern("alpha");
+  pool.TruncateTo(100);
+  pool.TruncateTo(pool.size());
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.Find("alpha"), a);
+}
+
+TEST(StringPoolTest, TruncateToKeepsFirstDuplicateMapped) {
+  // AdoptExternal appends views verbatim (no dedup), so a tail id can
+  // duplicate an earlier string. Truncating the duplicate away must not
+  // unmap the survivor.
+  StringPool pool;
+  const ValueId a = pool.Intern("alpha");
+  static const std::string kDup = "alpha";  // outlives the pool
+  pool.AdoptExternal({kDup});
+  ASSERT_EQ(pool.size(), 2u);
+  ASSERT_EQ(pool.Find("alpha"), a);  // keep-first: index maps to id 0
+  pool.TruncateTo(1);
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_EQ(pool.Find("alpha"), a);
+  EXPECT_EQ(pool.Get(a), "alpha");
+}
+
 TEST(StringPoolTest, ConcurrentInternIsConsistent) {
   StringPool pool;
   std::vector<std::thread> threads;
@@ -227,6 +278,57 @@ TEST(TableCorpusTest, SubsetSharesPoolAndTruncates) {
   EXPECT_EQ(half.size(), 5u);
   EXPECT_EQ(&half.pool(), &corpus.pool());
   EXPECT_EQ(half.table(0).id, 0u);  // re-assigned dense ids
+}
+
+TEST(TableCorpusTest, TombstoneAndRestoreRoundTrip) {
+  TableCorpus corpus;
+  corpus.AddFromStrings("a.com", TableSource::kWeb, {"name", "code"},
+                        {{"usa", "canada"}, {"US", "CA"}});
+  corpus.AddFromStrings("b.com", TableSource::kWeb, {"name", "code"},
+                        {{"france", "spain"}, {"FR", "ES"}});
+  const size_t cols_before = corpus.TotalColumns();
+
+  std::vector<Column> moved = corpus.Tombstone(0);
+  ASSERT_EQ(moved.size(), 2u);
+  // The shell stays: same table count, same id, zero columns — a cold
+  // rebuild over the mutated corpus sees the table contribute nothing.
+  EXPECT_EQ(corpus.size(), 2u);
+  EXPECT_EQ(corpus.table(0).num_columns(), 0u);
+  EXPECT_EQ(corpus.TotalColumns(), cols_before - 2);
+  // The neighbor is untouched.
+  EXPECT_EQ(corpus.pool().Get(corpus.table(1).columns[0].cells[0]), "france");
+
+  corpus.RestoreColumns(0, std::move(moved));
+  EXPECT_EQ(corpus.table(0).num_columns(), 2u);
+  EXPECT_EQ(corpus.TotalColumns(), cols_before);
+  EXPECT_EQ(corpus.pool().Get(corpus.table(0).columns[0].cells[1]), "canada");
+  EXPECT_EQ(corpus.pool().Get(corpus.table(0).columns[1].cells[0]), "US");
+}
+
+TEST(TableCorpusTest, TruncateLeavesPoolForTruncateTo) {
+  // The two-step rollback protocol: Truncate() drops the merged tables but
+  // deliberately leaves their pool entries; the caller reclaims them with
+  // StringPool::TruncateTo at the size recorded before the append.
+  TableCorpus corpus;
+  corpus.AddFromStrings("a.com", TableSource::kWeb, {"x"}, {{"kept"}});
+  const size_t prev_tables = corpus.size();
+  const size_t prev_pool = corpus.pool().size();
+
+  TableCorpus delta;
+  delta.AddFromStrings("b.com", TableSource::kWeb, {"x"},
+                       {{"orphaned value"}});
+  auto merged = corpus.AppendFrom(delta);
+  ASSERT_TRUE(merged.ok());
+  ASSERT_NE(corpus.pool().Find("orphaned value"), kInvalidValueId);
+
+  corpus.Truncate(prev_tables);
+  EXPECT_EQ(corpus.size(), prev_tables);
+  EXPECT_NE(corpus.pool().Find("orphaned value"), kInvalidValueId);
+
+  corpus.pool().TruncateTo(prev_pool);
+  EXPECT_EQ(corpus.pool().size(), prev_pool);
+  EXPECT_EQ(corpus.pool().Find("orphaned value"), kInvalidValueId);
+  EXPECT_NE(corpus.pool().Find("kept"), kInvalidValueId);
 }
 
 TEST(TableCorpusTest, SubsetClampsFraction) {
